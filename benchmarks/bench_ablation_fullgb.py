@@ -1,0 +1,90 @@
+"""Section 6 in-text comparison — full Gröbner basis (SINGULAR ``slimgb``).
+
+The paper: computing a *full* GB of J + J_0 under a generic elimination
+order is "infeasible (memory explosion) beyond only 32-bit circuits",
+which motivates both the abstraction term order and its RATO refinement.
+This ablation separates the two effects on the same circuits:
+
+- full Buchberger under a *structure-blind* (shuffled) elimination order —
+  the SINGULAR-like configuration; explodes almost immediately;
+- full Buchberger under RATO — the product criterion now kills nearly all
+  pairs, taming the computation (but still computing a whole basis);
+- the Section 5 guided reduction — one S-polynomial, milliseconds.
+
+Budgets (basis size + wall clock) stand in for the paper's memory limit.
+"""
+
+import time
+
+import pytest
+
+from repro.algebra import GroebnerStats, reduced_groebner_basis
+from repro.core import abstract_circuit, build_unrefined_order, circuit_ideal
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier
+from repro.verify import abstract_via_full_groebner
+
+from .conftest import FAST, report_row
+
+TABLE = "Ablation: full GB (slimgb stand-in) by term order vs guided reduction"
+
+BASIS_BUDGET = 600
+DEADLINE_SECONDS = 20.0
+
+
+def _unrefined_full_gb(circuit, field):
+    ideal = circuit_ideal(
+        circuit, field, ordering=build_unrefined_order(circuit, shuffle_seed=1)
+    )
+    stats = GroebnerStats()
+    start = time.perf_counter()
+    try:
+        reduced_groebner_basis(
+            ideal.generators + ideal.vanishing,
+            max_basis=BASIS_BUDGET,
+            stats=stats,
+            deadline_seconds=DEADLINE_SECONDS,
+        )
+        return f"{time.perf_counter() - start:.2f}s", stats
+    except RuntimeError:
+        return "EXPLODED", stats
+
+
+@pytest.mark.parametrize("k", [2] if FAST else [2, 3, 4, 5])
+def test_fullgb_vs_guided(benchmark, k):
+    field = GF2m(k)
+    circuit = mastrovito_multiplier(field)
+
+    def run():
+        return abstract_via_full_groebner(
+            circuit,
+            field,
+            max_basis=BASIS_BUDGET,
+            deadline_seconds=DEADLINE_SECONDS,
+        )
+
+    rato_full = benchmark.pedantic(run, rounds=1, iterations=1)
+    if rato_full.completed:
+        assert str(rato_full.polynomial) == "Z + A*B"
+
+    unrefined_text, unrefined_stats = _unrefined_full_gb(circuit, field)
+
+    start = time.perf_counter()
+    guided = abstract_circuit(circuit, field)
+    guided_seconds = time.perf_counter() - start
+    assert guided.polynomial == guided.ring.var("A") * guided.ring.var("B")
+
+    report_row(
+        TABLE,
+        {
+            "size_k": k,
+            "gates": circuit.num_gates(),
+            "fullgb_shuffled": unrefined_text,
+            "shuffled_pairs": unrefined_stats.pairs_total,
+            "fullgb_rato": (
+                f"{rato_full.seconds:.2f}s" if rato_full.completed else "EXPLODED"
+            ),
+            "rato_pairs": rato_full.stats.pairs_total,
+            "guided": f"{guided_seconds:.4f}s",
+        },
+    )

@@ -1,0 +1,55 @@
+"""Ablation — Case-2 cost on buggy circuits (Example 5.1 at scale).
+
+Correct multipliers reduce to a word-only remainder (Case 1); injected
+bugs leave primary-input bits in the remainder, triggering the Case-2
+computation. This benchmark injects random gate-substitution bugs into
+Mastrovito multipliers, measures abstraction cost by case, and checks the
+bug is always detected against the golden polynomial with a replayable
+counterexample.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits import random_mutation, simulate_words
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier
+from repro.verify import verify_equivalence
+
+from .conftest import FAST, report_row
+
+TABLE = "Ablation: Case-2 abstraction cost on buggy multipliers"
+
+
+@pytest.mark.parametrize("k", [4] if FAST else [4, 8, 12, 16])
+def test_buggy_case2_cost(benchmark, k):
+    field = GF2m(k)
+    spec = mastrovito_multiplier(field)
+    rng = random.Random(k * 1000 + 7)
+    mutant, mutation = random_mutation(mastrovito_multiplier(field), rng)
+
+    def run():
+        return verify_equivalence(spec, mutant, field)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.status == "not_equivalent"
+    cex = outcome.counterexample
+    assert cex is not None
+    a, b = cex["A"], cex["B"]
+    spec_z = simulate_words(spec, {"A": [a], "B": [b]})["Z"][0]
+    bug_z = simulate_words(mutant, {"A": [a], "B": [b]})["Z"][0]
+    assert spec_z != bug_z
+
+    impl_stats = outcome.details["impl"]
+    report_row(
+        TABLE,
+        {
+            "size_k": k,
+            "bug": f"{mutation.kind}@{mutation.net}",
+            "case": impl_stats["case"],
+            "verify_s": f"{outcome.seconds:.3f}",
+            "buggy_poly_terms": outcome.details["impl_terms"],
+            "counterexample": f"A={a:#x} B={b:#x}",
+        },
+    )

@@ -1,0 +1,109 @@
+"""Section 6 in-text comparison — Lv et al. [5] ideal membership.
+
+[5] reduces the *given* spec polynomial through the whole flattened
+implementation; the paper's method abstracts blocks independently. Two
+workloads expose the difference:
+
+1. flattened Montgomery vs. the A*B spec — membership stays polynomial
+   here because the constant-propagated input blocks are F2-linear (an
+   honest negative result recorded in EXPERIMENTS.md);
+2. cascades of multiplier blocks Z = W0*W1*...*Wn — each extra nonlinear
+   stage multiplies the flattened reduction's intermediate term count by k
+   (the k^depth remainder explosion [5] reports), while hierarchical
+   abstraction handles each block in isolation and composes at word level.
+"""
+
+import pytest
+
+from repro.circuits import HierarchicalCircuit
+from repro.core import abstract_circuit, abstract_hierarchy, word_ring_for
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier, montgomery_multiplier
+from repro.verify import check_ideal_membership
+
+from .conftest import FAST, report_row
+
+TABLE_FLAT = "Comparison: ideal membership [5] on flattened Montgomery"
+TABLE_CASCADE = "Comparison: flattened vs hierarchical on multiplier cascades"
+
+
+def product_cascade(field, n_inputs):
+    """Z = W0 * W1 * ... * W_{n-1} as a chain of Mastrovito blocks."""
+    hierarchy = HierarchicalCircuit(f"chain{n_inputs}", field.k)
+    for i in range(n_inputs):
+        hierarchy.add_input_word(f"W{i}")
+    previous = "W0"
+    for i in range(1, n_inputs):
+        block = mastrovito_multiplier(field, name=f"mul{i}")
+        hierarchy.add_block(
+            f"M{i}", block, {"A": previous, "B": f"W{i}"}, {"Z": f"T{i}"}
+        )
+        previous = f"T{i}"
+    hierarchy.set_output_words([previous])
+    return hierarchy, previous
+
+
+@pytest.mark.parametrize("k", [8, 16] if FAST else [8, 16, 32, 48, 64])
+def test_lv_membership_flattened_montgomery(benchmark, k):
+    field = GF2m(k)
+    flat = montgomery_multiplier(field).flatten()
+    ring = word_ring_for(field, ["A", "B"])
+    spec = ring.var("A") * ring.var("B")
+
+    def run():
+        return check_ideal_membership(flat, field, spec, output_word="G")
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.equivalent
+    report_row(
+        TABLE_FLAT,
+        {
+            "size_k": k,
+            "gates": flat.num_gates(),
+            "time_s": f"{outcome.seconds:.3f}",
+            "peak_terms": outcome.details["peak_terms"],
+            "verdict": outcome.status,
+        },
+    )
+
+
+@pytest.mark.parametrize("depth", [2, 3] if FAST else [2, 3, 4])
+def test_cascade_flat_vs_hierarchical(benchmark, depth):
+    field = GF2m(16)
+    hierarchy, out_word = product_cascade(field, depth)
+    flat = hierarchy.flatten()
+    names = [f"W{i}" for i in range(depth)]
+    ring = word_ring_for(field, names)
+    spec = ring.one()
+    for name in names:
+        spec = spec * ring.var(name)
+
+    membership = check_ideal_membership(flat, field, spec, output_word=out_word)
+    assert membership.equivalent
+    flat_abs = abstract_circuit(flat, field, output_word=out_word)
+
+    def run():
+        return abstract_hierarchy(hierarchy, field)
+
+    hier = benchmark.pedantic(run, rounds=1, iterations=1)
+    hier_poly = hier.polynomials[out_word]
+    assert {
+        tuple(sorted((hier.ring.variables[v], e) for v, e in m)): c
+        for m, c in hier_poly.terms.items()
+    } == {
+        tuple(sorted((ring.variables[v], e) for v, e in m)): c
+        for m, c in spec.terms.items()
+    }
+
+    report_row(
+        TABLE_CASCADE,
+        {
+            "cascade_depth": depth,
+            "gates": flat.num_gates(),
+            "flat_membership_s": f"{membership.seconds:.3f}",
+            "flat_peak_terms": membership.details["peak_terms"],
+            "flat_abstraction_s": f"{flat_abs.stats.seconds:.3f}",
+            "flat_abs_peak": flat_abs.stats.peak_terms,
+            "hier_abstraction_s": f"{hier.total_seconds:.3f}",
+        },
+    )

@@ -1,0 +1,127 @@
+"""Section 6 in-text comparison — SAT and BDD miters vs. abstraction.
+
+The paper: "[ABC and CSAT] cannot prove equivalence beyond 16-bit
+multiplier circuits within 24 hours". The laptop-scale analogue gives each
+bit-level engine a fixed budget (SAT conflicts / BDD nodes standing in for
+the 24 h timeout) on Mastrovito-vs-Montgomery miters and sweeps k.
+Expected shape: SAT exhausts its budget first (k around 8), BDDs blow up
+shortly after (multiplier outputs have exponential ROBDDs), while
+word-level abstraction decides every size instantly.
+"""
+
+import time
+
+import pytest
+
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier, montgomery_multiplier
+from repro.verify import (
+    check_equivalence_bdd,
+    check_equivalence_fraig,
+    check_equivalence_sat,
+    verify_equivalence,
+)
+
+from .conftest import FAST, comparison_sizes, report_row
+
+TABLE = "Comparison: SAT/fraig/BDD miters vs abstraction (TO = budget out)"
+TABLE_SIMILAR = "Comparison: fraig CEC, similar vs dissimilar architectures"
+
+SAT_CONFLICT_BUDGET = 15_000
+BDD_NODE_BUDGET = 300_000
+
+
+def _fmt(outcome):
+    if outcome.status == "unknown":
+        return "TO"
+    return f"{outcome.seconds:.2f}s"
+
+
+@pytest.mark.parametrize("k", comparison_sizes())
+def test_comparison_sat_bdd_abstraction(benchmark, k):
+    field = GF2m(k)
+    spec = mastrovito_multiplier(field)
+    hierarchy = montgomery_multiplier(field)
+    flat = hierarchy.flatten()
+
+    sat = check_equivalence_sat(
+        spec, flat, max_conflicts=SAT_CONFLICT_BUDGET, output_map={"G": "Z"}
+    )
+    bdd = check_equivalence_bdd(
+        spec, flat, max_nodes=BDD_NODE_BUDGET, output_map={"G": "Z"}
+    )
+    fraig = check_equivalence_fraig(
+        spec,
+        flat,
+        max_conflicts_final=SAT_CONFLICT_BUDGET,
+        output_map={"G": "Z"},
+    )
+
+    def run():
+        return verify_equivalence(spec, hierarchy, field)
+
+    abstraction = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Soundness: any method that finished must agree.
+    for outcome in (sat, bdd, fraig):
+        if outcome.decided:
+            assert outcome.equivalent
+    assert abstraction.equivalent
+
+    report_row(
+        TABLE,
+        {
+            "size_k": k,
+            "miter_gates": spec.num_gates() + flat.num_gates(),
+            "sat_miter": _fmt(sat),
+            "sat_conflicts": sat.details["conflicts"],
+            "fraig_cec": _fmt(fraig),
+            "fraig_merged": f"{fraig.details['merged']}/{fraig.details['and_nodes']}",
+            "bdd_miter": _fmt(bdd),
+            "bdd_nodes": bdd.details.get("nodes", "-"),
+            "abstraction": _fmt(abstraction),
+        },
+    )
+
+
+@pytest.mark.parametrize("k", [4, 8] if FAST else [8, 16, 24, 32])
+def test_fraig_similar_vs_dissimilar(benchmark, k):
+    """Fraiging flies on similar architectures, dies on dissimilar ones.
+
+    Section 2: structural methods "identify internal structural
+    equivalences ... however, when the arithmetic circuits are structurally
+    very dissimilar, these techniques are infeasible". Same tool, same
+    budget, two instance families.
+    """
+    field = GF2m(k)
+    tree = mastrovito_multiplier(field, tree=True)
+    array = mastrovito_multiplier(field, tree=False)
+
+    def run():
+        return check_equivalence_fraig(tree, array, max_conflicts_final=20_000)
+
+    similar = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert similar.equivalent
+
+    if k <= 8:  # dissimilar instances beyond 8 bits exhaust any budget
+        flat = montgomery_multiplier(field).flatten()
+        dissimilar = check_equivalence_fraig(
+            tree, flat, max_conflicts_final=15_000, output_map={"G": "Z"}
+        )
+        dissimilar_text = _fmt(dissimilar)
+        dissimilar_merged = (
+            f"{dissimilar.details['merged']}/{dissimilar.details['and_nodes']}"
+        )
+    else:
+        dissimilar_text = "(skipped)"
+        dissimilar_merged = "-"
+    report_row(
+        TABLE_SIMILAR,
+        {
+            "size_k": k,
+            "similar": _fmt(similar),
+            "similar_merged": f"{similar.details['merged']}/{similar.details['and_nodes']}",
+            "dissimilar": dissimilar_text,
+            "dissimilar_merged": dissimilar_merged,
+        },
+    )

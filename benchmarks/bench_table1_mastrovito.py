@@ -1,0 +1,46 @@
+"""Table 1 — Abstraction of flattened Mastrovito multipliers.
+
+Paper row format: field size k, gate count, abstraction time (s), memory.
+The paper sweeps k = 163..571 on a 2014 Xeon with a custom C++ tool; the
+default sweep here covers k = 8..128 (set ``REPRO_BENCH_NIST=1`` for the
+full NIST range — every size through 571 completes on this substrate).
+Expected shape: polynomial growth in k, far beyond the sizes where the
+bit-level baselines of the comparison benchmarks die.
+"""
+
+import pytest
+
+from repro.core import abstract_circuit
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier
+
+from .conftest import max_rss_mb, report_row, table1_sizes
+
+TABLE = "Table 1: abstraction of flattened Mastrovito multipliers"
+
+
+@pytest.mark.parametrize("k", table1_sizes())
+def test_table1_mastrovito_abstraction(benchmark, k):
+    field = GF2m(k)
+    circuit = mastrovito_multiplier(field)
+
+    def run():
+        return abstract_circuit(circuit, field)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = result.ring.var("A") * result.ring.var("B")
+    assert result.polynomial == expected, "abstraction must derive Z = A*B"
+    benchmark.extra_info["gates"] = circuit.num_gates()
+    benchmark.extra_info["peak_terms"] = result.stats.peak_terms
+    report_row(
+        TABLE,
+        {
+            "size_k": k,
+            "gates": circuit.num_gates(),
+            "time_s": f"{result.stats.seconds:.3f}",
+            "peak_terms": result.stats.peak_terms,
+            "substitutions": result.stats.substitutions,
+            "max_mem_mb": f"{max_rss_mb():.0f}",
+            "polynomial": "Z = A*B",
+        },
+    )

@@ -1,0 +1,66 @@
+"""Table 2 — Abstraction of hierarchical Montgomery multipliers (Fig. 1).
+
+Paper row format: per-block gate counts and abstraction times
+(BLK A / BLK B / BLK Mid / BLK Out) plus the total; the word-level
+re-composition is "solved trivially in < 1 second". Expected shape:
+BLK Mid dominates both size and time (it is the only block with two
+variable operands), the constant-propagated blocks are cheaper, and the
+hierarchical total scales past where flattened abstraction struggles.
+"""
+
+import pytest
+
+from repro.core import abstract_hierarchy
+from repro.gf import GF2m
+from repro.synth import montgomery_multiplier
+
+from .conftest import max_rss_mb, report_row, table2_sizes
+
+TABLE = "Table 2: abstraction of Montgomery blocks (hierarchical, Fig. 1)"
+
+
+@pytest.mark.parametrize("k", table2_sizes())
+def test_table2_montgomery_blocks(benchmark, k):
+    field = GF2m(k)
+    hierarchy = montgomery_multiplier(field)
+
+    def run():
+        return abstract_hierarchy(hierarchy, field)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = result.ring.var("A") * result.ring.var("B")
+    assert result.polynomials["G"] == expected
+
+    sizes = {b.name: b.circuit.num_gates() for b in hierarchy.blocks}
+    times = result.block_seconds
+    benchmark.extra_info["total_gates"] = hierarchy.num_gates()
+    report_row(
+        TABLE,
+        {
+            "size_k": k,
+            "gates_A": sizes["BLK_A"],
+            "gates_B": sizes["BLK_B"],
+            "gates_Mid": sizes["BLK_Mid"],
+            "gates_Out": sizes["BLK_Out"],
+            "t_A": f"{times['BLK_A']:.3f}",
+            "t_B": f"{times['BLK_B']:.3f}",
+            "t_Mid": f"{times['BLK_Mid']:.3f}",
+            "t_Out": f"{times['BLK_Out']:.3f}",
+            "t_compose": f"{result.compose_seconds:.3f}",
+            "t_total": f"{result.total_seconds:.3f}",
+            "max_mem_mb": f"{max_rss_mb():.0f}",
+        },
+    )
+
+
+@pytest.mark.parametrize("k", table2_sizes()[:4])
+def test_table2_block_shape(benchmark, k):
+    """Sanity row: the paper's block-size ordering (Mid > A = B > Out)."""
+    field = GF2m(k)
+    hierarchy = montgomery_multiplier(field)
+
+    def run():
+        return {b.name: b.circuit.num_gates() for b in hierarchy.blocks}
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sizes["BLK_Mid"] > sizes["BLK_A"] == sizes["BLK_B"] > sizes["BLK_Out"]

@@ -1,0 +1,86 @@
+"""Benchmark infrastructure: result tables printed at session end.
+
+Each benchmark registers the row(s) it measured via :func:`report_row`;
+a terminal-summary hook prints every table in paper layout after the
+pytest-benchmark statistics, and writes ``benchmarks/results.json`` for
+EXPERIMENTS.md bookkeeping.
+
+Environment knobs:
+
+- ``REPRO_BENCH_NIST=1``  — extend Table 1/2 sweeps to the NIST ECC field
+  sizes (163..571); several minutes of runtime.
+- ``REPRO_BENCH_FAST=1``  — shrink every sweep for smoke-testing.
+"""
+
+import json
+import os
+import resource
+from collections import OrderedDict
+from pathlib import Path
+
+import pytest
+
+_TABLES = OrderedDict()
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+NIST = os.environ.get("REPRO_BENCH_NIST") == "1"
+
+
+def report_row(table: str, row: dict) -> None:
+    """Record one row of a result table (insertion-ordered)."""
+    _TABLES.setdefault(table, []).append(row)
+
+
+def max_rss_mb() -> float:
+    """Peak resident set size of this process in MB."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def table1_sizes():
+    if FAST:
+        return [8, 16]
+    sizes = [8, 16, 32, 64, 96, 128]
+    if NIST:
+        sizes += [163, 233, 283, 409, 571]
+    return sizes
+
+
+def table2_sizes():
+    if FAST:
+        return [8, 16]
+    sizes = [8, 16, 32, 64, 96, 128]
+    if NIST:
+        sizes += [163, 233, 283, 409, 571]
+    return sizes
+
+
+def comparison_sizes():
+    return [2, 4] if FAST else [2, 4, 6, 8, 10, 12]
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    tr = terminalreporter
+    tr.section("reproduction result tables")
+    for name, rows in _TABLES.items():
+        tr.write_line("")
+        tr.write_line(name)
+        tr.write_line("-" * len(name))
+        if not rows:
+            continue
+        columns = list(rows[0].keys())
+        widths = {
+            c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+            for c in columns
+        }
+        tr.write_line("  ".join(str(c).rjust(widths[c]) for c in columns))
+        for row in rows:
+            tr.write_line(
+                "  ".join(str(row.get(c, "")).rjust(widths[c]) for c in columns)
+            )
+    out_path = Path(__file__).parent / "results.json"
+    out_path.write_text(json.dumps(_TABLES, indent=2, default=str) + "\n")
+    tr.write_line("")
+    tr.write_line(f"tables written to {out_path}")

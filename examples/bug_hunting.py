@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Bug hunting: inject gate-level design errors and catch every one.
+
+Sweeps random gate-substitution bugs over a Mastrovito multiplier. Each
+mutant's canonical polynomial is extracted (buggy circuits typically take
+the Case-2 path of Section 5), compared against ``A * B``, and a concrete
+counterexample input is derived from the polynomial difference and
+replayed on the netlists.
+
+Run:  python examples/bug_hunting.py [k] [num_bugs]    (default 16, 8)
+"""
+
+import random
+import sys
+
+from repro import GF2m
+from repro.circuits import random_mutation, simulate_words
+from repro.synth import mastrovito_multiplier
+from repro.verify import verify_equivalence
+
+
+def main() -> None:
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    num_bugs = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    field = GF2m(k)
+    spec = mastrovito_multiplier(field)
+    rng = random.Random(2014)
+
+    print(f"Hunting {num_bugs} injected bugs in a {k}-bit Mastrovito multiplier\n")
+    caught = 0
+    for i in range(num_bugs):
+        mutant, mutation = random_mutation(mastrovito_multiplier(field), rng)
+        outcome = verify_equivalence(spec, mutant, field)
+        if outcome.status != "not_equivalent":
+            print(f"bug {i}: MISSED {mutation}")
+            continue
+        caught += 1
+        cex = outcome.counterexample
+        a, b = cex["A"], cex["B"]
+        good = simulate_words(spec, {"A": [a], "B": [b]})["Z"][0]
+        bad = simulate_words(mutant, {"A": [a], "B": [b]})["Z"][0]
+        case = outcome.details["impl"]["case"]
+        print(f"bug {i}: {mutation}")
+        print(
+            f"        detected (Case {case}); counterexample "
+            f"A={a:#x} B={b:#x}: spec Z={good:#x}, buggy Z={bad:#x}\n"
+        )
+        assert good != bad
+
+    print(f"caught {caught}/{num_bugs} injected bugs")
+    assert caught == num_bugs
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Reproduce the paper's worked Examples 4.2 and 5.1 verbatim.
+
+Builds the 2-bit multiplier of Fig. 2 over F_4 (P(x) = x^2 + x + 1),
+prints the circuit polynomials f1..f10, computes the Gröbner basis of
+J + J_0 under the abstraction term order, performs the single guided
+S-polynomial reduction of Section 5, and repeats both for the buggy
+variant (r0 = s0 + s2) — reproducing every polynomial the paper prints.
+
+Run:  python examples/paper_worked_examples.py
+"""
+
+from repro import GF2m
+from repro.algebra import reduce_polynomial, reduced_groebner_basis, s_polynomial
+from repro.circuits import Circuit, rewire_gate_input
+from repro.core import abstract_circuit, circuit_ideal
+
+
+def fig2_multiplier() -> Circuit:
+    c = Circuit("fig2")
+    c.add_inputs(["a0", "a1", "b0", "b1"])
+    c.AND("a0", "b0", out="s0")
+    c.AND("a0", "b1", out="s1")
+    c.AND("a1", "b0", out="s2")
+    c.AND("a1", "b1", out="s3")
+    c.XOR("s1", "s2", out="r0")
+    c.XOR("s0", "s3", out="z0")
+    c.XOR("r0", "s3", out="z1")
+    c.set_outputs(["z0", "z1"])
+    c.add_input_word("A", ["a0", "a1"])
+    c.add_input_word("B", ["b0", "b1"])
+    c.add_output_word("Z", ["z0", "z1"])
+    return c
+
+
+def main() -> None:
+    field = GF2m(2, modulus=0b111)  # P(x) = x^2 + x + 1, P(alpha) = 0
+    circuit = fig2_multiplier()
+    ideal = circuit_ideal(circuit, field)
+
+    print("=== Example 4.2: the 2-bit multiplier over F_4 (Fig. 2) ===\n")
+    print("Circuit polynomials (f1..f10 in the paper's notation):")
+    for name, poly in ideal.output_relations.items():
+        print(f"  f_w  ({name}): {poly}")
+    for name, poly in ideal.input_relations.items():
+        print(f"  f_wi ({name}): {poly}")
+    for poly in ideal.gate_polynomials:
+        print(f"  gate      : {poly}")
+
+    print("\nReduced Groebner basis of J + J_0 under the abstraction order:")
+    basis = reduced_groebner_basis(ideal.generators + ideal.vanishing)
+    for poly in basis:
+        marker = "   <-- g7: the canonical abstraction" if str(poly) == "Z + A*B" else ""
+        print(f"  {poly}{marker}")
+
+    print("\n=== Example 5.1: the guided reduction under RATO ===\n")
+    f_w = ideal.output_relations["Z"]
+    f_g = next(p for p in ideal.gate_polynomials if str(p).startswith("z0"))
+    print(f"The only critical pair: f_w = {f_w}  |  f_g = {f_g}")
+    remainder = reduce_polynomial(
+        s_polynomial(f_w, f_g), ideal.generators + ideal.vanishing
+    )
+    print(f"Spoly(f_w, f_g) ->+ r = {remainder}   (Case 1: word variables only)")
+
+    print("\n=== Example 5.1 continued: inject the bug r0 = s0 + s2 ===\n")
+    buggy, mutation = rewire_gate_input(fig2_multiplier(), "r0", 0, "s0")
+    print(f"Injected: {mutation}")
+    buggy_ideal = circuit_ideal(buggy, field)
+    f_w = buggy_ideal.output_relations["Z"]
+    f_g = next(p for p in buggy_ideal.gate_polynomials if str(p).startswith("z0"))
+    remainder = reduce_polynomial(
+        s_polynomial(f_w, f_g), buggy_ideal.generators + buggy_ideal.vanishing
+    )
+    print(f"Spoly(f_w, f_g) ->+ r = {remainder}")
+    print("(Case 2: primary-input bits a1, b1 survive, exactly as in the paper)")
+
+    result = abstract_circuit(buggy, field, case2="groebner")
+    print(f"\nCase-2 Groebner computation yields:  Z = {result.polynomial}")
+    print("Paper: Z + (a)A^2B^2 + A^2B + (a+1)AB^2 + (a+1)AB  -- matches.")
+
+    expected = "a*A^2*B^2 + A^2*B + (a + 1)*A*B^2 + (a + 1)*A*B"
+    assert str(result.polynomial) == expected
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — word-level abstraction and equivalence verification of Galois
+field arithmetic circuits via Gröbner bases.
+
+Reproduction of: Pruss, Kalla, Enescu, *Equivalence Verification of Large
+Galois Field Arithmetic Circuits using Word-Level Abstraction via Gröbner
+Bases*, DAC 2014.
+
+Quickstart::
+
+    from repro import GF2m, verify_equivalence
+    from repro.synth import mastrovito_multiplier, montgomery_multiplier
+
+    field = GF2m(16)
+    spec = mastrovito_multiplier(field)
+    impl = montgomery_multiplier(field)
+    result = verify_equivalence(spec, impl, field)
+    assert result.equivalent
+"""
+
+from .core import abstract_circuit, abstract_hierarchy
+from .gf import GF2m, GFElement, nist_polynomial
+from .verify import verify_equivalence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GF2m",
+    "GFElement",
+    "nist_polynomial",
+    "abstract_circuit",
+    "abstract_hierarchy",
+    "verify_equivalence",
+    "__version__",
+]

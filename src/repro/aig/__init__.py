@@ -1,0 +1,15 @@
+"""AIG substrate: and-inverter graphs, strashing, fraiging-style sweeping."""
+
+from .from_circuit import circuit_to_aig
+from .graph import FALSE_LIT, TRUE_LIT, Aig
+from .sweep import SweepResult, prove_lit_equal, sat_sweep
+
+__all__ = [
+    "Aig",
+    "FALSE_LIT",
+    "TRUE_LIT",
+    "circuit_to_aig",
+    "sat_sweep",
+    "prove_lit_equal",
+    "SweepResult",
+]

@@ -1,0 +1,59 @@
+"""Convert gate-level circuits into AIGs."""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Dict, Optional, Tuple
+
+from ..circuits import Circuit, GateType
+from .graph import FALSE_LIT, TRUE_LIT, Aig
+
+__all__ = ["circuit_to_aig"]
+
+
+def circuit_to_aig(
+    circuit: Circuit,
+    aig: Optional[Aig] = None,
+    input_lits: Optional[Dict[str, int]] = None,
+) -> Tuple[Aig, Dict[str, int]]:
+    """Build an AIG for ``circuit``; returns ``(aig, net -> literal)``.
+
+    Passing an existing ``aig`` plus ``input_lits`` maps this circuit onto
+    shared inputs — the joint-AIG construction the SAT sweeper uses for
+    combinational equivalence checking.
+    """
+    aig = aig if aig is not None else Aig()
+    lits: Dict[str, int] = {}
+    for net in circuit.inputs:
+        if input_lits is not None and net in input_lits:
+            lits[net] = input_lits[net]
+        else:
+            lits[net] = aig.add_input()
+
+    for gate in circuit.topological_order():
+        ins = [lits[n] for n in gate.inputs]
+        gate_type = gate.gate_type
+        if gate_type is GateType.AND:
+            value = reduce(aig.and_gate, ins)
+        elif gate_type is GateType.OR:
+            value = reduce(aig.or_gate, ins)
+        elif gate_type is GateType.XOR:
+            value = reduce(aig.xor_gate, ins)
+        elif gate_type is GateType.NAND:
+            value = aig.negate(reduce(aig.and_gate, ins))
+        elif gate_type is GateType.NOR:
+            value = aig.negate(reduce(aig.or_gate, ins))
+        elif gate_type is GateType.XNOR:
+            value = aig.negate(reduce(aig.xor_gate, ins))
+        elif gate_type is GateType.NOT:
+            value = aig.negate(ins[0])
+        elif gate_type is GateType.BUF:
+            value = ins[0]
+        elif gate_type is GateType.CONST0:
+            value = FALSE_LIT
+        elif gate_type is GateType.CONST1:
+            value = TRUE_LIT
+        else:
+            raise ValueError(f"unknown gate type {gate_type!r}")
+        lits[gate.output] = value
+    return aig, lits

@@ -1,0 +1,143 @@
+"""And-Inverter Graphs with structural hashing.
+
+The internal representation of modern equivalence checkers (the paper's
+ABC baseline [4]): every function is a DAG of 2-input AND nodes and edge
+inverters. Literals are ints — ``2*node + complement`` — node 0 is the
+constant false, so literal 0 is FALSE and literal 1 is TRUE. Structural
+hashing merges syntactically identical AND nodes on construction, and the
+one-level rewrite rules fold constants and shared children.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Aig", "FALSE_LIT", "TRUE_LIT"]
+
+FALSE_LIT = 0
+TRUE_LIT = 1
+
+
+class Aig:
+    """A hash-consed And-Inverter Graph."""
+
+    def __init__(self) -> None:
+        # fanins[node] = (left_lit, right_lit); inputs and the constant
+        # node have no fanins (None entry).
+        self.fanins: List[Optional[Tuple[int, int]]] = [None]  # node 0: const
+        self.inputs: List[int] = []  # node indices of primary inputs
+        self._strash: Dict[Tuple[int, int], int] = {}
+
+    # -- literal helpers -------------------------------------------------------
+
+    @staticmethod
+    def lit(node: int, complement: bool = False) -> int:
+        return 2 * node + int(complement)
+
+    @staticmethod
+    def node_of(lit: int) -> int:
+        return lit >> 1
+
+    @staticmethod
+    def is_complemented(lit: int) -> bool:
+        return bool(lit & 1)
+
+    @staticmethod
+    def negate(lit: int) -> int:
+        return lit ^ 1
+
+    # -- construction ----------------------------------------------------------
+
+    def add_input(self) -> int:
+        """Create a primary input; returns its (positive) literal."""
+        node = len(self.fanins)
+        self.fanins.append(None)
+        self.inputs.append(node)
+        return self.lit(node)
+
+    def and_gate(self, a: int, b: int) -> int:
+        """AND of two literals with constant folding and strashing."""
+        if a > b:
+            a, b = b, a
+        if a == FALSE_LIT:
+            return FALSE_LIT
+        if a == TRUE_LIT:
+            return b
+        if a == b:
+            return a
+        if a == self.negate(b):
+            return FALSE_LIT
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = len(self.fanins)
+            self.fanins.append(key)
+            self._strash[key] = node
+        return self.lit(node)
+
+    def or_gate(self, a: int, b: int) -> int:
+        return self.negate(self.and_gate(self.negate(a), self.negate(b)))
+
+    def xor_gate(self, a: int, b: int) -> int:
+        return self.or_gate(
+            self.and_gate(a, self.negate(b)), self.and_gate(self.negate(a), b)
+        )
+
+    def mux(self, sel: int, then_lit: int, else_lit: int) -> int:
+        return self.or_gate(
+            self.and_gate(sel, then_lit),
+            self.and_gate(self.negate(sel), else_lit),
+        )
+
+    # -- inspection --------------------------------------------------------------
+
+    def num_nodes(self) -> int:
+        return len(self.fanins)
+
+    def num_ands(self) -> int:
+        return sum(1 for f in self.fanins if f is not None)
+
+    def is_input_node(self, node: int) -> bool:
+        return self.fanins[node] is None and node != 0
+
+    def and_nodes(self) -> List[int]:
+        """AND node indices in topological (creation) order."""
+        return [n for n, f in enumerate(self.fanins) if f is not None]
+
+    # -- evaluation --------------------------------------------------------------
+
+    def simulate(self, input_values: Dict[int, int], mask: int = 1) -> List[int]:
+        """Bit-parallel node values; ``input_values`` keyed by input node."""
+        values = [0] * len(self.fanins)
+        for node in self.inputs:
+            values[node] = input_values.get(node, 0) & mask
+
+        def lit_value(lit: int) -> int:
+            v = values[lit >> 1]
+            return (mask & ~v) if lit & 1 else v
+
+        for node, fanin in enumerate(self.fanins):
+            if fanin is not None:
+                values[node] = lit_value(fanin[0]) & lit_value(fanin[1])
+        return values
+
+    def lit_value(self, values: List[int], lit: int, mask: int = 1) -> int:
+        v = values[lit >> 1]
+        return (mask & ~v) if lit & 1 else v
+
+    def cone_size(self, lit: int) -> int:
+        """Number of AND nodes in the transitive fanin of ``lit``."""
+        seen = set()
+        stack = [lit >> 1]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            fanin = self.fanins[node]
+            if fanin is not None:
+                stack.extend((fanin[0] >> 1, fanin[1] >> 1))
+        return sum(1 for n in seen if self.fanins[n] is not None)
+
+    def __repr__(self) -> str:
+        return f"Aig(inputs={len(self.inputs)}, ands={self.num_ands()})"

@@ -1,0 +1,218 @@
+"""Fraiging-style SAT sweeping on AIGs.
+
+The strategy of modern CEC engines (ABC's ``fraig``/``cec`` [4]):
+
+1. simulate the AIG on random patterns; nodes with equal (or complemented)
+   signatures form candidate equivalence classes;
+2. sweep nodes in topological order — each candidate is checked against its
+   class representative with a bounded SAT query on the (already merged)
+   cones; proven nodes are *merged*, so later cones shrink;
+3. SAT counterexamples become new simulation patterns that split classes.
+
+On structurally similar designs most internal nodes merge and equivalence
+falls out almost for free; on structurally dissimilar ones (Mastrovito vs.
+Montgomery) no internal equivalences exist, the sweep degenerates, and the
+final miter query is as hard as monolithic SAT — which is precisely the
+paper's observation about why these tools fail on its benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..sat import CNF, SatSolver
+from .graph import FALSE_LIT, TRUE_LIT, Aig
+
+__all__ = ["SweepResult", "sat_sweep", "prove_lit_equal"]
+
+_PATTERN_BITS = 64
+
+
+class SweepResult:
+    """Outcome of a sweep: merge map plus statistics."""
+
+    __slots__ = (
+        "canon",
+        "merged",
+        "queries",
+        "sat_refuted",
+        "unknown",
+        "patterns_used",
+    )
+
+    def __init__(self, canon: Dict[int, int]):
+        self.canon = canon  # node -> canonical literal
+        self.merged = 0
+        self.queries = 0
+        self.sat_refuted = 0
+        self.unknown = 0
+        self.patterns_used = 0
+
+    def canon_lit(self, lit: int) -> int:
+        """Canonical literal for an arbitrary literal."""
+        base = self.canon.get(lit >> 1, lit & ~1)
+        return base ^ (lit & 1)
+
+
+def _canon_lit(canon: Dict[int, int], lit: int) -> int:
+    base = canon.get(lit >> 1, lit & ~1)
+    return base ^ (lit & 1)
+
+
+def _encode_cone(
+    aig: Aig, canon: Dict[int, int], roots: List[int]
+) -> Tuple[CNF, Dict[int, int]]:
+    """Tseitin-encode the merged cones of ``roots``; returns (cnf, node->var)."""
+    cnf = CNF()
+    var_of: Dict[int, int] = {}
+
+    def visit(lit: int) -> int:
+        """DIMACS literal for an AIG literal (through the merge map)."""
+        lit = _canon_lit(canon, lit)
+        if lit == FALSE_LIT or lit == TRUE_LIT:
+            if 0 not in var_of:
+                var_of[0] = cnf.new_var()
+                cnf.add_clause((-var_of[0],))  # node 0 is constant false
+            dimacs = var_of[0]
+        else:
+            node = lit >> 1
+            if node not in var_of:
+                var_of[node] = cnf.new_var()
+                fanin = aig.fanins[node]
+                if fanin is not None:
+                    a = visit(fanin[0])
+                    b = visit(fanin[1])
+                    z = var_of[node]
+                    cnf.add_clause((-z, a))
+                    cnf.add_clause((-z, b))
+                    cnf.add_clause((z, -a, -b))
+            dimacs = var_of[node]
+        return -dimacs if lit & 1 else dimacs
+
+    for root in roots:
+        visit(root)
+    return cnf, var_of
+
+
+def prove_lit_equal(
+    aig: Aig,
+    canon: Dict[int, int],
+    lit_a: int,
+    lit_b: int,
+    max_conflicts: Optional[int] = None,
+) -> Tuple[str, Optional[Dict[int, int]]]:
+    """SAT-check two literals for equality through the merge map.
+
+    Returns ``("equal", None)``, ``("diff", {input node: 0/1})`` or
+    ``("unknown", None)`` when the conflict budget runs out.
+    """
+    lit_a = _canon_lit(canon, lit_a)
+    lit_b = _canon_lit(canon, lit_b)
+    if lit_a == lit_b:
+        return "equal", None
+    cnf, var_of = _encode_cone(aig, canon, [lit_a, lit_b])
+
+    def dimacs(lit: int) -> int:
+        node = lit >> 1
+        if lit <= 1:
+            node = 0
+        var = var_of[node]
+        return -var if lit & 1 else var
+
+    # Miter: (a XOR b) must be satisfiable for a difference.
+    t = cnf.new_var()
+    a, b = dimacs(lit_a), dimacs(lit_b)
+    cnf.add_clause((-t, a, b))
+    cnf.add_clause((-t, -a, -b))
+    cnf.add_clause((t,))
+    result = SatSolver(cnf).solve(max_conflicts=max_conflicts)
+    if result.status == "unsat":
+        return "equal", None
+    if result.status == "unknown":
+        return "unknown", None
+    pattern = {
+        node: int(result.model.get(var, False))
+        for node, var in var_of.items()
+        if aig.is_input_node(node)
+    }
+    return "diff", pattern
+
+
+def sat_sweep(
+    aig: Aig,
+    max_conflicts_per_query: int = 200,
+    num_random_patterns: int = 4,
+    seed: int = 2014,
+) -> SweepResult:
+    """Merge provably equivalent AIG nodes (fraiging).
+
+    Returns a :class:`SweepResult` whose ``canon`` maps merged nodes onto
+    their representative literals.
+    """
+    rng = random.Random(seed)
+    mask = (1 << _PATTERN_BITS) - 1
+    stimuli = [
+        {node: rng.getrandbits(_PATTERN_BITS) for node in aig.inputs}
+        for _ in range(num_random_patterns)
+    ]
+    result = SweepResult({})
+    canon = result.canon
+
+    def signatures() -> Dict[int, int]:
+        sigs: Dict[int, int] = {}
+        shift = 0
+        for stimulus in stimuli:
+            values = aig.simulate(stimulus, mask)
+            for node in range(len(aig.fanins)):
+                sigs[node] = sigs.get(node, 0) | (values[node] << shift)
+            shift += _PATTERN_BITS
+        return sigs
+
+    sigs = signatures()
+    result.patterns_used = len(stimuli) * _PATTERN_BITS
+
+    def class_key(node: int) -> int:
+        sig = sigs[node]
+        # Normalise polarity so a node and its complement share a key.
+        total_mask = (1 << (len(stimuli) * _PATTERN_BITS)) - 1
+        return sig if not (sig & 1) else (~sig) & total_mask
+
+    classes: Dict[int, int] = {}  # key -> representative node
+    classes[class_key(0)] = 0  # constant-false node seeds its class
+    for node in aig.and_nodes():
+        key = class_key(node)
+        rep = classes.get(key)
+        if rep is None:
+            classes[key] = node
+            continue
+        # Same polarity if raw signatures match, else complemented.
+        complemented = sigs[node] != sigs[rep]
+        rep_lit = _canon_lit(canon, (rep << 1) | int(complemented))
+        result.queries += 1
+        status, pattern = prove_lit_equal(
+            aig, canon, node << 1, rep_lit, max_conflicts_per_query
+        )
+        if status == "equal":
+            canon[node] = rep_lit
+            result.merged += 1
+        elif status == "diff":
+            result.sat_refuted += 1
+            full = dict(stimuli[0])
+            for in_node, bit in pattern.items():
+                full[in_node] = (full[in_node] & ~1) | bit
+            stimuli[0] = full
+            sigs = signatures()  # refine classes with the witness pattern
+            classes = {class_key(0): 0}
+            # Re-seed classes with already processed unmerged nodes.
+            for processed in aig.and_nodes():
+                if processed >= node:
+                    break
+                if processed in canon:
+                    continue
+                classes.setdefault(class_key(processed), processed)
+            key = class_key(node)
+            classes.setdefault(key, node)
+        else:
+            result.unknown += 1
+    return result

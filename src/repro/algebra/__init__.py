@@ -1,0 +1,41 @@
+"""Computer algebra over F_{2^k}: rings, term orders, division, Gröbner bases."""
+
+from .buchberger import (
+    GroebnerStats,
+    buchberger,
+    interreduce,
+    is_groebner_basis,
+    leading_monomials_coprime,
+    reduced_groebner_basis,
+    s_polynomial,
+)
+from .division import DivisionTrace, divmod_polynomial, reduce_polynomial
+from .order import GrevLexOrder, GrLexOrder, LexOrder, Monomial, TermOrder
+from .parse import PolynomialSyntaxError, parse_polynomial
+from .ring import Polynomial, PolynomialRing
+from .vanishing import is_vanishing, vanishing_ideal, vanishing_polynomial
+
+__all__ = [
+    "Monomial",
+    "TermOrder",
+    "LexOrder",
+    "GrLexOrder",
+    "GrevLexOrder",
+    "PolynomialRing",
+    "Polynomial",
+    "reduce_polynomial",
+    "divmod_polynomial",
+    "DivisionTrace",
+    "s_polynomial",
+    "leading_monomials_coprime",
+    "buchberger",
+    "interreduce",
+    "reduced_groebner_basis",
+    "is_groebner_basis",
+    "GroebnerStats",
+    "vanishing_polynomial",
+    "vanishing_ideal",
+    "is_vanishing",
+    "parse_polynomial",
+    "PolynomialSyntaxError",
+]

@@ -1,0 +1,130 @@
+"""Parsing textual polynomial specifications.
+
+Lets users hand a spec like ``"A*B + 3*A^2 + 0x1f"`` to the CLI or API and
+get a :class:`~repro.algebra.Polynomial` in a given ring. Grammar::
+
+    expr   := term ('+' term)*
+    term   := factor ('*' factor)*
+    factor := atom ('^' INT)?
+    atom   := NAME | INT | '(' expr ')'
+
+Coefficients are field residues written as decimal, hex (``0x..``) or
+binary (``0b..``) integers; ``+`` is field addition (XOR of coefficients);
+names must be ring variables. There is no ``-``: characteristic 2 makes it
+identical to ``+``, and rejecting it catches copy-paste from rationals.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from .ring import Polynomial, PolynomialRing
+
+__all__ = ["parse_polynomial", "PolynomialSyntaxError"]
+
+
+class PolynomialSyntaxError(ValueError):
+    """Raised on malformed polynomial text."""
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<int>0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>[+*^()]))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise PolynomialSyntaxError(
+                f"unexpected character {remainder[0]!r} at position {position}"
+            )
+        position = match.end()
+        for kind in ("int", "name", "op"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    tokens.append(("end", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]], ring: PolynomialRing):
+        self.tokens = tokens
+        self.position = 0
+        self.ring = ring
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.position]
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect_op(self, op: str) -> None:
+        kind, value = self.advance()
+        if kind != "op" or value != op:
+            raise PolynomialSyntaxError(f"expected {op!r}, found {value!r}")
+
+    def parse_expr(self) -> Polynomial:
+        result = self.parse_term()
+        while self.peek() == ("op", "+"):
+            self.advance()
+            result = result + self.parse_term()
+        return result
+
+    def parse_term(self) -> Polynomial:
+        result = self.parse_factor()
+        while self.peek() == ("op", "*"):
+            self.advance()
+            result = result * self.parse_factor()
+        return result
+
+    def parse_factor(self) -> Polynomial:
+        base = self.parse_atom()
+        if self.peek() == ("op", "^"):
+            self.advance()
+            kind, value = self.advance()
+            if kind != "int":
+                raise PolynomialSyntaxError(
+                    f"exponent must be an integer, found {value!r}"
+                )
+            return base ** int(value, 0)
+        return base
+
+    def parse_atom(self) -> Polynomial:
+        kind, value = self.advance()
+        if kind == "int":
+            return self.ring.constant(int(value, 0))
+        if kind == "name":
+            if value not in self.ring.index:
+                raise PolynomialSyntaxError(
+                    f"unknown variable {value!r}; ring has "
+                    f"{', '.join(self.ring.variables)}"
+                )
+            return self.ring.var(value)
+        if (kind, value) == ("op", "("):
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+        raise PolynomialSyntaxError(f"unexpected token {value!r}")
+
+
+def parse_polynomial(text: str, ring: PolynomialRing) -> Polynomial:
+    """Parse ``text`` into a polynomial of ``ring``."""
+    parser = _Parser(_tokenize(text), ring)
+    result = parser.parse_expr()
+    kind, value = parser.peek()
+    if kind != "end":
+        raise PolynomialSyntaxError(f"trailing input starting at {value!r}")
+    return result

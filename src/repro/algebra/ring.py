@@ -1,0 +1,458 @@
+"""Polynomial rings over F_{2^k} with per-variable domain sizes.
+
+The verification setting mixes two kinds of indeterminates in one ring
+``R = F_{2^k}[x_1, ..., x_d, Z, A, ...]``:
+
+- *bit-level* variables (circuit nets) that only take values in F2, so
+  ``x^2 - x`` vanishes on every point of interest;
+- *word-level* variables ranging over the whole field, where ``X^q - X``
+  vanishes (``q = 2^k``).
+
+Each ring variable therefore carries a ``domain`` (2 or q). The ring folds
+exponents ``x^e -> x^((e-1) mod (domain-1) + 1)`` during arithmetic — sound
+reduction modulo the vanishing ideal ``J_0`` of Theorem 3.2 — which keeps
+every polynomial in the canonical-degree form of Definition 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..gf import GF2m
+from .order import LexOrder, Monomial, TermOrder
+
+__all__ = ["PolynomialRing", "Polynomial"]
+
+
+class PolynomialRing:
+    """``F_{2^k}[variables]`` with a term order and per-variable domains."""
+
+    def __init__(
+        self,
+        field: GF2m,
+        variables: Sequence[str],
+        order: Optional[TermOrder] = None,
+        domains: Optional[Dict[str, int]] = None,
+        fold: bool = True,
+    ):
+        #: When True, arithmetic folds exponents modulo ``x^domain - x``
+        #: (the quotient by J_0) — ideal for canonical word-level forms.
+        #: Gröbner-basis computations require ``fold=False``: Buchberger's
+        #: criterion is only valid in the free polynomial ring, where J_0 is
+        #: carried as explicit generators instead.
+        self.fold = fold
+        self.field = field
+        self.variables: List[str] = list(variables)
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError("duplicate variable names")
+        self.index: Dict[str, int] = {v: i for i, v in enumerate(self.variables)}
+        self.order = order or LexOrder(range(len(self.variables)))
+        if len(self.order.priority) != len(self.variables):
+            raise ValueError("term order ranks a different number of variables")
+        domains = domains or {}
+        self.domains: List[int] = []
+        for name in self.variables:
+            domain = domains.get(name, field.order)
+            if domain < 2:
+                raise ValueError(f"variable {name!r} has domain {domain} < 2")
+            self.domains.append(domain)
+
+    # -- element constructors ----------------------------------------------------
+
+    def zero(self) -> "Polynomial":
+        return Polynomial(self, {})
+
+    def one(self) -> "Polynomial":
+        return self.constant(1)
+
+    def constant(self, coeff: int) -> "Polynomial":
+        coeff = self.field.reduce(coeff)
+        return Polynomial(self, {(): coeff} if coeff else {})
+
+    def var(self, name: str, exp: int = 1) -> "Polynomial":
+        if name not in self.index:
+            raise KeyError(f"{name!r} is not a variable of this ring")
+        if exp < 0:
+            raise ValueError("negative exponents are not supported")
+        if exp == 0:
+            return self.one()
+        index = self.index[name]
+        exp = self.fold_exponent(index, exp)
+        return Polynomial(self, {((index, exp),): 1})
+
+    def from_terms(
+        self, terms: Iterable[Tuple[int, Dict[str, int]]]
+    ) -> "Polynomial":
+        """Build from ``(coeff, {var_name: exp})`` pairs (pairs may repeat)."""
+        data: Dict[Monomial, int] = {}
+        for coeff, powers in terms:
+            coeff = self.field.reduce(coeff)
+            monomial = self.make_monomial(
+                (self.index[v], e) for v, e in powers.items()
+            )
+            merged = data.get(monomial, 0) ^ coeff
+            if merged:
+                data[monomial] = merged
+            else:
+                data.pop(monomial, None)
+        return Polynomial(self, data)
+
+    # -- monomial helpers ---------------------------------------------------------
+
+    def fold_exponent(self, var_index: int, exp: int) -> int:
+        """Reduce ``x^exp`` to canonical degree modulo ``x^domain - x``.
+
+        No-op when the ring was built with ``fold=False``.
+        """
+        if not self.fold:
+            return exp
+        domain = self.domains[var_index]
+        if exp < domain:
+            return exp
+        return (exp - 1) % (domain - 1) + 1
+
+    def make_monomial(self, items: Iterable[Tuple[int, int]]) -> Monomial:
+        """Canonical monomial from (var_index, exp) pairs; merges repeats."""
+        merged: Dict[int, int] = {}
+        for var, exp in items:
+            if exp:
+                merged[var] = merged.get(var, 0) + exp
+        return tuple(
+            sorted((v, self.fold_exponent(v, e)) for v, e in merged.items() if e)
+        )
+
+    def monomial_mul(self, a: Monomial, b: Monomial) -> Monomial:
+        if not a:
+            return b
+        if not b:
+            return a
+        return self.make_monomial(list(a) + list(b))
+
+    def monomial_divides(self, a: Monomial, b: Monomial) -> bool:
+        """True when monomial ``a`` divides ``b``."""
+        powers = dict(b)
+        return all(powers.get(var, 0) >= exp for var, exp in a)
+
+    def monomial_div(self, a: Monomial, b: Monomial) -> Monomial:
+        """``a / b``; raises if ``b`` does not divide ``a``."""
+        powers = dict(a)
+        for var, exp in b:
+            have = powers.get(var, 0)
+            if have < exp:
+                raise ValueError("monomial division is not exact")
+            powers[var] = have - exp
+        return tuple(sorted((v, e) for v, e in powers.items() if e))
+
+    def monomial_lcm(self, a: Monomial, b: Monomial) -> Monomial:
+        powers = dict(a)
+        for var, exp in b:
+            powers[var] = max(powers.get(var, 0), exp)
+        return tuple(sorted(powers.items()))
+
+    def monomial_str(self, monomial: Monomial) -> str:
+        if not monomial:
+            return "1"
+        parts = []
+        for var, exp in sorted(monomial, key=lambda it: self.order.rank.get(it[0], it[0])):
+            name = self.variables[var]
+            parts.append(name if exp == 1 else f"{name}^{exp}")
+        return "*".join(parts)
+
+    # -- ring relations --------------------------------------------------------------
+
+    def with_order(self, order: TermOrder) -> "PolynomialRing":
+        """Same ring, different term order."""
+        ring = PolynomialRing.__new__(PolynomialRing)
+        ring.field = self.field
+        ring.variables = self.variables
+        ring.index = self.index
+        ring.domains = self.domains
+        ring.order = order
+        ring.fold = self.fold
+        return ring
+
+    def coefficient_str(self, coeff: int) -> str:
+        from ..gf import poly2
+
+        if coeff == 1:
+            return "1"
+        text = poly2.to_string(coeff, var="a")
+        return f"({text})" if "+" in text else text
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PolynomialRing)
+            and self.field == other.field
+            and self.variables == other.variables
+            and self.domains == other.domains
+            and self.fold == other.fold
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.field, tuple(self.variables), tuple(self.domains), self.fold)
+        )
+
+    def __repr__(self) -> str:
+        shown = ", ".join(self.variables[:6]) + ("..." if len(self.variables) > 6 else "")
+        return f"PolynomialRing(F_2^{self.field.k}, [{shown}], {self.order.name})"
+
+
+class Polynomial:
+    """Immutable multivariate polynomial over the ring's field.
+
+    Stored sparsely as ``{monomial: coefficient}`` with nonzero coefficients
+    (field residues as ints). Addition of coefficients is XOR
+    (characteristic 2); multiplication delegates to the field.
+    """
+
+    __slots__ = ("ring", "terms", "_lead")
+
+    def __init__(self, ring: PolynomialRing, terms: Dict[Monomial, int]):
+        self.ring = ring
+        self.terms = terms
+        self._lead: Optional[Tuple[Monomial, int]] = None
+
+    # -- inspection -------------------------------------------------------------
+
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def __bool__(self) -> bool:
+        return bool(self.terms)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def lead(self) -> Tuple[Monomial, int]:
+        """(leading monomial, leading coefficient) under the ring's order."""
+        if not self.terms:
+            raise ValueError("the zero polynomial has no leading term")
+        if self._lead is None:
+            order = self.ring.order
+            lm = min(self.terms, key=order.sort_key)
+            self._lead = (lm, self.terms[lm])
+        return self._lead
+
+    def leading_monomial(self) -> Monomial:
+        return self.lead()[0]
+
+    def leading_coefficient(self) -> int:
+        return self.lead()[1]
+
+    def tail(self) -> "Polynomial":
+        lm, _ = self.lead()
+        rest = dict(self.terms)
+        del rest[lm]
+        return Polynomial(self.ring, rest)
+
+    def total_degree(self) -> int:
+        if not self.terms:
+            return -1
+        return max(sum(e for _, e in m) for m in self.terms)
+
+    def degree_in(self, name: str) -> int:
+        index = self.ring.index[name]
+        best = 0
+        for monomial in self.terms:
+            for var, exp in monomial:
+                if var == index:
+                    best = max(best, exp)
+        return best
+
+    def variables_used(self) -> List[str]:
+        seen = set()
+        for monomial in self.terms:
+            for var, _ in monomial:
+                seen.add(var)
+        return [self.ring.variables[v] for v in sorted(seen)]
+
+    def coefficient(self, powers: Dict[str, int]) -> int:
+        monomial = self.ring.make_monomial(
+            (self.ring.index[v], e) for v, e in powers.items()
+        )
+        return self.terms.get(monomial, 0)
+
+    # -- arithmetic --------------------------------------------------------------
+
+    def _coerce(self, other: Union["Polynomial", int]) -> "Polynomial":
+        if isinstance(other, Polynomial):
+            if other.ring.field != self.ring.field or other.ring.variables != self.ring.variables:
+                raise ValueError("polynomials live in different rings")
+            return other
+        if isinstance(other, int):
+            return self.ring.constant(other)
+        raise TypeError(f"cannot combine Polynomial with {type(other).__name__}")
+
+    def __add__(self, other: Union["Polynomial", int]) -> "Polynomial":
+        other = self._coerce(other)
+        big, small = (self.terms, other.terms)
+        if len(big) < len(small):
+            big, small = small, big
+        result = dict(big)
+        for monomial, coeff in small.items():
+            merged = result.get(monomial, 0) ^ coeff
+            if merged:
+                result[monomial] = merged
+            else:
+                del result[monomial]
+        return Polynomial(self.ring, result)
+
+    __radd__ = __add__
+    __sub__ = __add__  # characteristic 2
+    __rsub__ = __add__
+
+    def __mul__(self, other: Union["Polynomial", int]) -> "Polynomial":
+        other = self._coerce(other)
+        if not self.terms or not other.terms:
+            return self.ring.zero()
+        field = self.ring.field
+        ring = self.ring
+        result: Dict[Monomial, int] = {}
+        # Iterate the smaller factor on the outside.
+        a_terms, b_terms = self.terms, other.terms
+        if len(a_terms) > len(b_terms):
+            a_terms, b_terms = b_terms, a_terms
+        for ma, ca in a_terms.items():
+            for mb, cb in b_terms.items():
+                coeff = field.mul(ca, cb)
+                if not coeff:
+                    continue
+                monomial = ring.monomial_mul(ma, mb)
+                merged = result.get(monomial, 0) ^ coeff
+                if merged:
+                    result[monomial] = merged
+                else:
+                    del result[monomial]
+        return Polynomial(self.ring, result)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if exponent < 0:
+            raise ValueError("negative exponents are not supported")
+        result = self.ring.one()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            exponent >>= 1
+            if exponent:
+                base = base * base
+        return result
+
+    def scale(self, coeff: int) -> "Polynomial":
+        field = self.ring.field
+        coeff = field.reduce(coeff)
+        if coeff == 0:
+            return self.ring.zero()
+        if coeff == 1:
+            return self
+        return Polynomial(
+            self.ring,
+            {m: field.mul(c, coeff) for m, c in self.terms.items()},
+        )
+
+    def monic(self) -> "Polynomial":
+        """Divide by the leading coefficient."""
+        lc = self.leading_coefficient()
+        if lc == 1:
+            return self
+        return self.scale(self.ring.field.inv(lc))
+
+    def mul_monomial(self, monomial: Monomial, coeff: int = 1) -> "Polynomial":
+        field = self.ring.field
+        ring = self.ring
+        result: Dict[Monomial, int] = {}
+        for m, c in self.terms.items():
+            cc = field.mul(c, coeff) if coeff != 1 else c
+            if not cc:
+                continue
+            key = ring.monomial_mul(m, monomial)
+            merged = result.get(key, 0) ^ cc
+            if merged:
+                result[key] = merged
+            else:
+                del result[key]
+        return Polynomial(self.ring, result)
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        """Evaluate at a point; every used variable must be assigned."""
+        field = self.ring.field
+        total = 0
+        for monomial, coeff in self.terms.items():
+            value = coeff
+            for var, exp in monomial:
+                name = self.ring.variables[var]
+                if name not in assignment:
+                    raise KeyError(f"no value for variable {name!r}")
+                value = field.mul(value, field.pow(assignment[name], exp))
+                if not value:
+                    break
+            total ^= value
+        return total
+
+    def substitute(self, name: str, replacement: "Polynomial") -> "Polynomial":
+        """Replace every occurrence of a variable by a polynomial."""
+        index = self.ring.index[name]
+        untouched: Dict[Monomial, int] = {}
+        result = self.ring.zero()
+        # Group terms by the exponent of the substituted variable so each
+        # replacement power is computed once.
+        by_exp: Dict[int, Dict[Monomial, int]] = {}
+        for monomial, coeff in self.terms.items():
+            exp = 0
+            rest = []
+            for var, e in monomial:
+                if var == index:
+                    exp = e
+                else:
+                    rest.append((var, e))
+            if exp == 0:
+                untouched[monomial] = coeff
+            else:
+                by_exp.setdefault(exp, {})[tuple(rest)] = coeff
+        result = result + Polynomial(self.ring, untouched)
+        for exp, terms in by_exp.items():
+            result = result + (replacement ** exp) * Polynomial(self.ring, terms)
+        return result
+
+    # -- comparison / output ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            return self.terms == self.ring.constant(other).terms
+        if isinstance(other, Polynomial):
+            return (
+                self.ring.field == other.ring.field
+                and self.ring.variables == other.ring.variables
+                and self.terms == other.terms
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.terms.items()))
+
+    def sorted_terms(self) -> List[Tuple[Monomial, int]]:
+        order = self.ring.order
+        return sorted(self.terms.items(), key=lambda item: order.sort_key(item[0]))
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for monomial, coeff in self.sorted_terms():
+            cs = self.ring.coefficient_str(coeff)
+            ms = self.ring.monomial_str(monomial)
+            if ms == "1":
+                parts.append(cs)
+            elif cs == "1":
+                parts.append(ms)
+            else:
+                parts.append(f"{cs}*{ms}")
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Polynomial({self})"

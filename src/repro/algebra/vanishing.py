@@ -1,0 +1,74 @@
+"""The vanishing ideal J_0 of Theorem 3.2 (Strong Nullstellensatz over F_q).
+
+Over ``F_q``, ``x^q - x`` vanishes at every point, and for bit-level
+variables restricted to F2, ``x^2 - x`` vanishes on all consistent circuit
+assignments. ``J_0 = <x_i^{q_i} - x_i>`` is exactly what upgrades the
+circuit ideal ``J`` to the full vanishing ideal ``I(V(J)) = J + J_0``
+(Theorem 3.2), which is why every Gröbner-basis computation in this library
+works with ``J + J_0``.
+
+The ring already folds exponents during arithmetic (sound reduction modulo
+J_0), so the explicit generators here are needed for faithful textbook
+computations, membership certificates, and tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .ring import Polynomial, PolynomialRing
+
+__all__ = ["vanishing_polynomial", "vanishing_ideal", "is_vanishing"]
+
+
+def vanishing_polynomial(ring: PolynomialRing, name: str) -> Polynomial:
+    """``x^q - x`` for variable ``name`` with its domain size ``q``.
+
+    Built in *unfolded* form: the ring's automatic exponent folding would
+    otherwise collapse ``x^q`` to ``x`` and the generator to zero.
+    """
+    index = ring.index[name]
+    q = ring.domains[index]
+    return Polynomial(ring, {((index, q),): 1, ((index, 1),): 1})
+
+
+def vanishing_ideal(
+    ring: PolynomialRing, names: Optional[Sequence[str]] = None
+) -> List[Polynomial]:
+    """Generators of J_0 for the given variables (default: all of them).
+
+    Note: because the ring folds exponents automatically, ``ring.var(name,
+    q)`` already collapses to ``ring.var(name)`` and the generator would be
+    zero. The generators are therefore built in *unfolded* form directly.
+    """
+    names = list(names) if names is not None else list(ring.variables)
+    return [vanishing_polynomial(ring, name) for name in names]
+
+
+def is_vanishing(poly: Polynomial, sample_limit: int = 4096) -> bool:
+    """Check whether ``poly`` vanishes on every point of its domain product.
+
+    Exhausts the domain when small enough, otherwise raises — callers
+    should use the algebraic normal form instead for large domains.
+    """
+    used = poly.variables_used()
+    total = 1
+    for name in used:
+        total *= poly.ring.domains[poly.ring.index[name]]
+        if total > sample_limit:
+            raise ValueError(
+                f"domain product exceeds {sample_limit} points; use algebraic checks"
+            )
+    assignment = {}
+
+    def rec(position: int) -> bool:
+        if position == len(used):
+            return poly.evaluate(assignment) == 0
+        name = used[position]
+        for value in range(poly.ring.domains[poly.ring.index[name]]):
+            assignment[name] = value
+            if not rec(position + 1):
+                return False
+        return True
+
+    return rec(0)

@@ -1,0 +1,6 @@
+"""BDD substrate: hash-consed ROBDDs and circuit builders."""
+
+from .build import build_circuit_bdds
+from .manager import FALSE, TRUE, BddManager, BddOverflow
+
+__all__ = ["BddManager", "BddOverflow", "build_circuit_bdds", "TRUE", "FALSE"]

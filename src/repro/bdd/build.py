@@ -1,0 +1,68 @@
+"""Building BDDs from gate-level circuits."""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Dict, List, Optional, Sequence
+
+from ..circuits import Circuit, GateType
+from .manager import FALSE, TRUE, BddManager
+
+__all__ = ["build_circuit_bdds"]
+
+
+def build_circuit_bdds(
+    circuit: Circuit,
+    manager: BddManager,
+    input_order: Optional[Sequence[str]] = None,
+    input_vars: Optional[Dict[str, int]] = None,
+) -> Dict[str, int]:
+    """BDD for every net of ``circuit``.
+
+    ``input_order`` fixes which BDD variable index each primary input uses
+    (default: circuit input order). ``input_vars`` instead maps input nets to
+    pre-existing BDD nodes — the hook the miter checker uses to share inputs
+    between two circuits.
+    """
+    values: Dict[str, int] = {}
+    if input_vars is not None:
+        values.update(input_vars)
+    else:
+        order = list(input_order) if input_order is not None else circuit.inputs
+        for i, net in enumerate(order):
+            values[net] = manager.var(i)
+    for net in circuit.inputs:
+        if net not in values:
+            raise ValueError(f"no BDD variable for primary input {net!r}")
+
+    binary = {
+        GateType.AND: manager.apply_and,
+        GateType.OR: manager.apply_or,
+        GateType.XOR: manager.apply_xor,
+        GateType.NAND: manager.apply_nand,
+        GateType.NOR: manager.apply_nor,
+        GateType.XNOR: manager.apply_xnor,
+    }
+    for gate in circuit.topological_order():
+        ins = [values[n] for n in gate.inputs]
+        gate_type = gate.gate_type
+        if gate_type in (GateType.AND, GateType.OR, GateType.XOR):
+            result = reduce(binary[gate_type], ins)
+        elif gate_type is GateType.NAND:
+            result = manager.apply_not(reduce(manager.apply_and, ins))
+        elif gate_type is GateType.NOR:
+            result = manager.apply_not(reduce(manager.apply_or, ins))
+        elif gate_type is GateType.XNOR:
+            result = manager.apply_not(reduce(manager.apply_xor, ins))
+        elif gate_type is GateType.NOT:
+            result = manager.apply_not(ins[0])
+        elif gate_type is GateType.BUF:
+            result = ins[0]
+        elif gate_type is GateType.CONST0:
+            result = FALSE
+        elif gate_type is GateType.CONST1:
+            result = TRUE
+        else:
+            raise ValueError(f"unknown gate type {gate_type!r}")
+        values[gate.output] = result
+    return values

@@ -1,0 +1,42 @@
+"""Gate-level netlist substrate: circuits, simulation, hierarchy, I/O."""
+
+from .blif import from_blif, read_blif, to_blif, write_blif
+from .circuit import Circuit, CircuitError
+from .gates import GATE_ARITY, Gate, GateType, eval_gate
+from .hierarchy import Block, HierarchicalCircuit
+from .mutate import (
+    Mutation,
+    random_mutation,
+    rewire_gate_input,
+    substitute_gate_type,
+    swap_gate_inputs,
+)
+from .simulate import exhaustive_word_table, simulate, simulate_words
+from .verilog import from_verilog, read_verilog, to_verilog, write_verilog
+
+__all__ = [
+    "Circuit",
+    "CircuitError",
+    "Gate",
+    "GateType",
+    "GATE_ARITY",
+    "eval_gate",
+    "Block",
+    "HierarchicalCircuit",
+    "Mutation",
+    "substitute_gate_type",
+    "swap_gate_inputs",
+    "rewire_gate_input",
+    "random_mutation",
+    "simulate",
+    "simulate_words",
+    "exhaustive_word_table",
+    "to_verilog",
+    "from_verilog",
+    "write_verilog",
+    "read_verilog",
+    "to_blif",
+    "from_blif",
+    "write_blif",
+    "read_blif",
+]

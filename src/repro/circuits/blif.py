@@ -1,0 +1,185 @@
+"""BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+Supports the combinational core of BLIF: ``.model``, ``.inputs``,
+``.outputs``, ``.names`` cover tables, and ``.end``. Gates are written as
+their canonical sum-of-products cover; on reading, covers that match a known
+gate function map back to library gates, and anything else is rejected (this
+library only models the standard gate primitives).
+"""
+
+from __future__ import annotations
+
+from itertools import product as cartesian_product
+from typing import Dict, List, Sequence, Tuple
+
+from .circuit import Circuit, CircuitError
+from .gates import GateType, eval_gate
+
+__all__ = ["to_blif", "from_blif", "write_blif", "read_blif"]
+
+
+def _cover_for(gate_type: GateType, n: int) -> List[str]:
+    """Canonical BLIF cover lines (input-pattern + ' 1') for a gate type."""
+    if gate_type is GateType.CONST0:
+        return []
+    if gate_type is GateType.CONST1:
+        return ["1"]
+    if gate_type is GateType.AND:
+        return ["1" * n + " 1"]
+    if gate_type is GateType.NOR:
+        return ["0" * n + " 1"]
+    if gate_type is GateType.OR:
+        return ["-" * i + "1" + "-" * (n - i - 1) + " 1" for i in range(n)]
+    if gate_type is GateType.NAND:
+        return ["-" * i + "0" + "-" * (n - i - 1) + " 1" for i in range(n)]
+    if gate_type is GateType.NOT:
+        return ["0 1"]
+    if gate_type is GateType.BUF:
+        return ["1 1"]
+    # XOR/XNOR need the full minterm list (no shorter cube cover exists).
+    lines = []
+    for bits in cartesian_product("01", repeat=n):
+        parity = bits.count("1") & 1
+        want = 1 if gate_type is GateType.XOR else 0
+        if parity == want:
+            lines.append("".join(bits) + " 1")
+    return lines
+
+
+def to_blif(circuit: Circuit) -> str:
+    """Serialise to BLIF text."""
+    lines = [f".model {circuit.name}"]
+    if circuit.inputs:
+        lines.append(".inputs " + " ".join(circuit.inputs))
+    if circuit.outputs:
+        lines.append(".outputs " + " ".join(circuit.outputs))
+    for word, bits in circuit.input_words.items():
+        lines.append(f"# word input {word} = {' '.join(bits)}")
+    for word, bits in circuit.output_words.items():
+        lines.append(f"# word output {word} = {' '.join(bits)}")
+    for gate in circuit.topological_order():
+        lines.append(".names " + " ".join(gate.inputs + (gate.output,)))
+        lines.extend(_cover_for(gate.gate_type, len(gate.inputs)))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _truth_vector(cover: Sequence[str], n: int) -> int:
+    """Evaluate a cover into a 2^n-bit truth vector (minterm i at bit i)."""
+    vector = 0
+    for row in range(1 << n):
+        value = 0
+        for line in cover:
+            if not line:
+                continue
+            pattern, out = (line.split() + ["1"])[:2] if " " in line else (line, "1")
+            if n == 0:
+                value = int(out)
+                break
+            match = all(
+                c == "-" or int(c) == ((row >> i) & 1)
+                for i, c in enumerate(pattern)  # BLIF patterns: first char = first input
+            )
+            # BLIF lists inputs left-to-right; bit i of ``row`` is input i.
+            if match and out == "1":
+                value = 1
+                break
+        vector |= value << row
+    return vector
+
+
+def _identify_gate(cover: Sequence[str], n: int) -> GateType:
+    """Match a cover's truth vector against the gate library."""
+    vector = _truth_vector(cover, n)
+    if n == 0:
+        return GateType.CONST1 if vector & 1 else GateType.CONST0
+    candidates = (
+        [GateType.NOT, GateType.BUF]
+        if n == 1
+        else [
+            GateType.AND,
+            GateType.OR,
+            GateType.XOR,
+            GateType.NAND,
+            GateType.NOR,
+            GateType.XNOR,
+        ]
+    )
+    for gate_type in candidates:
+        reference = 0
+        for row in range(1 << n):
+            inputs = tuple((row >> i) & 1 for i in range(n))
+            reference |= eval_gate(gate_type, inputs, 1) << row
+        if vector == reference:
+            return gate_type
+    raise CircuitError(f"cover does not match any library gate (n={n})")
+
+
+def from_blif(text: str) -> Circuit:
+    """Parse combinational BLIF back into a :class:`Circuit`."""
+    circuit = Circuit("top")
+    outputs: List[str] = []
+    words: Dict[str, Dict[str, List[str]]] = {"input": {}, "output": {}}
+    lines = text.splitlines()
+    # Handle line continuations.
+    merged: List[str] = []
+    for raw in lines:
+        line = raw.rstrip()
+        if merged and merged[-1].endswith("\\"):
+            merged[-1] = merged[-1][:-1] + " " + line.strip()
+        else:
+            merged.append(line)
+    i = 0
+    while i < len(merged):
+        line = merged[i].strip()
+        i += 1
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split()
+            if len(parts) >= 5 and parts[0] == "word" and parts[3] == "=":
+                words[parts[1]][parts[2]] = parts[4:]
+            continue
+        if line.startswith(".model"):
+            parts = line.split()
+            if len(parts) > 1:
+                circuit.name = parts[1]
+        elif line.startswith(".inputs"):
+            circuit.add_inputs(line.split()[1:])
+        elif line.startswith(".outputs"):
+            outputs.extend(line.split()[1:])
+        elif line.startswith(".names"):
+            nets = line.split()[1:]
+            if not nets:
+                raise CircuitError(".names with no nets")
+            *gate_inputs, output = nets
+            cover: List[str] = []
+            while i < len(merged):
+                nxt = merged[i].strip()
+                if not nxt or nxt.startswith((".", "#")):
+                    break
+                cover.append(nxt)
+                i += 1
+            gate_type = _identify_gate(cover, len(gate_inputs))
+            circuit.add_gate(output, gate_type, gate_inputs)
+        elif line.startswith(".end"):
+            break
+        else:
+            raise CircuitError(f"unsupported BLIF construct: {line!r}")
+    circuit.set_outputs(outputs)
+    for word, bits in words["input"].items():
+        circuit.add_input_word(word, bits)
+    for word, bits in words["output"].items():
+        circuit.add_output_word(word, bits)
+    circuit.validate()
+    return circuit
+
+
+def write_blif(circuit: Circuit, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_blif(circuit))
+
+
+def read_blif(path: str) -> Circuit:
+    with open(path) as handle:
+        return from_blif(handle.read())

@@ -1,0 +1,276 @@
+"""Combinational circuit container with word-level annotations.
+
+A :class:`Circuit` is a DAG of gates over named nets. Primary inputs are
+undriven nets; every other net is driven by exactly one gate. On top of the
+bit-level netlist, *words* group bit nets into field operands: word ``A``
+with bits ``[a0, a1, ..., a_{k-1}]`` denotes the element
+``a0 + a1*alpha + ... + a_{k-1}*alpha^{k-1}`` of F_{2^k} — the Eqn. (1)
+correspondence the abstraction engine relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .gates import Gate, GateType
+
+__all__ = ["Circuit", "CircuitError"]
+
+
+class CircuitError(ValueError):
+    """Structural problem in a netlist (cycle, redefinition, dangling net)."""
+
+
+class Circuit:
+    """A gate-level combinational netlist with word annotations."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._inputs: List[str] = []
+        self._input_set: set = set()
+        self._outputs: List[str] = []
+        self._gates: Dict[str, Gate] = {}  # output net -> driving gate
+        self.input_words: Dict[str, List[str]] = {}
+        self.output_words: Dict[str, List[str]] = {}
+        self._topo_cache: Optional[List[Gate]] = None
+
+    # -- construction ---------------------------------------------------------
+
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net."""
+        if net in self._input_set:
+            raise CircuitError(f"duplicate primary input {net!r}")
+        if net in self._gates:
+            raise CircuitError(f"net {net!r} is already driven by a gate")
+        self._inputs.append(net)
+        self._input_set.add(net)
+        self._topo_cache = None
+        return net
+
+    def add_inputs(self, nets: Iterable[str]) -> List[str]:
+        return [self.add_input(n) for n in nets]
+
+    def add_gate(self, output: str, gate_type: GateType, inputs: Sequence[str]) -> str:
+        """Add a gate driving ``output``; returns the output net name."""
+        if output in self._gates:
+            raise CircuitError(f"net {output!r} is driven twice")
+        if output in self._input_set:
+            raise CircuitError(f"net {output!r} is a primary input, cannot drive it")
+        self._gates[output] = Gate(output, gate_type, tuple(inputs))
+        self._topo_cache = None
+        return output
+
+    def set_outputs(self, nets: Sequence[str]) -> None:
+        for net in nets:
+            if net not in self._gates and net not in self._input_set:
+                raise CircuitError(f"output net {net!r} is not driven")
+        self._outputs = list(nets)
+
+    def add_input_word(self, word: str, bits: Sequence[str]) -> None:
+        """Group existing nets into an input word (LSB first)."""
+        for b in bits:
+            if b not in self._input_set:
+                raise CircuitError(f"word {word!r} bit {b!r} is not a primary input")
+        self.input_words[word] = list(bits)
+
+    def add_output_word(self, word: str, bits: Sequence[str]) -> None:
+        """Group existing nets into an output word (LSB first)."""
+        for b in bits:
+            if b not in self._gates and b not in self._input_set:
+                raise CircuitError(f"word {word!r} bit {b!r} is not driven")
+        self.output_words[word] = list(bits)
+
+    # -- convenience builders used by the generators ----------------------------
+
+    _counter = 0
+
+    def fresh_net(self, prefix: str = "n") -> str:
+        """A net name not yet used in this circuit."""
+        while True:
+            Circuit._counter += 1
+            candidate = f"{prefix}{Circuit._counter}"
+            if candidate not in self._gates and candidate not in self._input_set:
+                return candidate
+
+    def AND(self, *inputs: str, out: Optional[str] = None) -> str:
+        return self.add_gate(out or self.fresh_net("a"), GateType.AND, inputs)
+
+    def XOR(self, *inputs: str, out: Optional[str] = None) -> str:
+        return self.add_gate(out or self.fresh_net("x"), GateType.XOR, inputs)
+
+    def OR(self, *inputs: str, out: Optional[str] = None) -> str:
+        return self.add_gate(out or self.fresh_net("o"), GateType.OR, inputs)
+
+    def NOT(self, input_net: str, out: Optional[str] = None) -> str:
+        return self.add_gate(out or self.fresh_net("i"), GateType.NOT, (input_net,))
+
+    def BUF(self, input_net: str, out: Optional[str] = None) -> str:
+        return self.add_gate(out or self.fresh_net("b"), GateType.BUF, (input_net,))
+
+    def CONST(self, value: int, out: Optional[str] = None) -> str:
+        gate_type = GateType.CONST1 if value else GateType.CONST0
+        return self.add_gate(out or self.fresh_net("c"), gate_type, ())
+
+    def xor_tree(self, nets: Sequence[str], out: Optional[str] = None) -> str:
+        """Balanced XOR reduction of ``nets`` built from 2-input gates."""
+        if not nets:
+            return self.CONST(0, out=out)
+        level = list(nets)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                last_pair = len(level) <= 2
+                nxt.append(
+                    self.XOR(level[i], level[i + 1], out=out if last_pair else None)
+                )
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        if len(nets) == 1 and out is not None:
+            return self.BUF(level[0], out=out)
+        return level[0]
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def inputs(self) -> List[str]:
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> List[str]:
+        return list(self._outputs)
+
+    @property
+    def gates(self) -> List[Gate]:
+        return list(self._gates.values())
+
+    def gate_driving(self, net: str) -> Gate:
+        try:
+            return self._gates[net]
+        except KeyError:
+            raise CircuitError(f"net {net!r} is not driven by a gate") from None
+
+    def is_input(self, net: str) -> bool:
+        return net in self._input_set
+
+    def is_driven(self, net: str) -> bool:
+        return net in self._gates or net in self._input_set
+
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    def nets(self) -> List[str]:
+        return self._inputs + list(self._gates)
+
+    def gate_counts(self) -> Dict[str, int]:
+        """Gate-type histogram, e.g. ``{"and": 4, "xor": 3}``."""
+        counts: Dict[str, int] = {}
+        for gate in self._gates.values():
+            counts[gate.gate_type.value] = counts.get(gate.gate_type.value, 0) + 1
+        return counts
+
+    # -- structural analysis -----------------------------------------------------
+
+    def validate(self) -> None:
+        """Check every gate input is driven and the netlist is acyclic."""
+        for gate in self._gates.values():
+            for net in gate.inputs:
+                if not self.is_driven(net):
+                    raise CircuitError(
+                        f"gate {gate} reads undriven net {net!r}"
+                    )
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> List[Gate]:
+        """Gates ordered inputs-to-outputs (Kahn's algorithm); raises on cycles."""
+        if self._topo_cache is not None:
+            return self._topo_cache
+        indegree: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = {}
+        for out, gate in self._gates.items():
+            gate_inputs = [n for n in gate.inputs if n in self._gates]
+            indegree[out] = len(set(gate_inputs))
+            for src in set(gate_inputs):
+                dependents.setdefault(src, []).append(out)
+        ready = [out for out, deg in indegree.items() if deg == 0]
+        order: List[Gate] = []
+        while ready:
+            net = ready.pop()
+            order.append(self._gates[net])
+            for dep in dependents.get(net, ()):
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    ready.append(dep)
+        if len(order) != len(self._gates):
+            raise CircuitError(f"circuit {self.name!r} contains a combinational cycle")
+        self._topo_cache = order
+        return order
+
+    def reverse_topological_levels(self) -> Dict[str, int]:
+        """Level of each driven net counted from the outputs.
+
+        Output-side gates get small levels, input-side gates large ones —
+        exactly the variable ranking the Refined Abstraction Term Order
+        (Definition 5.1) needs: a net's RATO position decreases with its
+        distance from the primary outputs.
+        """
+        dependents: Dict[str, List[str]] = {}
+        for out, gate in self._gates.items():
+            for src in gate.inputs:
+                if src in self._gates:
+                    dependents.setdefault(src, []).append(out)
+        level: Dict[str, int] = {}
+        for gate in reversed(self.topological_order()):
+            users = dependents.get(gate.output, ())
+            level[gate.output] = max((level[u] + 1 for u in users), default=0)
+        return level
+
+    def logic_depth(self) -> int:
+        """Longest input-to-output gate path."""
+        depth: Dict[str, int] = {}
+        best = 0
+        for gate in self.topological_order():
+            d = 1 + max((depth.get(n, 0) for n in gate.inputs), default=0)
+            depth[gate.output] = d
+            best = max(best, d)
+        return best
+
+    # -- transformation ------------------------------------------------------------
+
+    def clone(self, name: Optional[str] = None) -> "Circuit":
+        other = Circuit(name or self.name)
+        other._inputs = list(self._inputs)
+        other._input_set = set(self._input_set)
+        other._outputs = list(self._outputs)
+        other._gates = dict(self._gates)
+        other.input_words = {w: list(b) for w, b in self.input_words.items()}
+        other.output_words = {w: list(b) for w, b in self.output_words.items()}
+        return other
+
+    def renamed(self, prefix: str) -> "Circuit":
+        """Copy with every net prefixed — for instantiating a block twice."""
+
+        def r(net: str) -> str:
+            return f"{prefix}{net}"
+
+        other = Circuit(f"{prefix}{self.name}")
+        other.add_inputs(r(n) for n in self._inputs)
+        for gate in self._gates.values():
+            other.add_gate(r(gate.output), gate.gate_type, [r(n) for n in gate.inputs])
+        other.set_outputs([r(n) for n in self._outputs])
+        other.input_words = {w: [r(b) for b in bits] for w, bits in self.input_words.items()}
+        other.output_words = {w: [r(b) for b in bits] for w, bits in self.output_words.items()}
+        return other
+
+    def replace_gate(self, output: str, gate_type: GateType, inputs: Sequence[str]) -> None:
+        """Swap the gate driving ``output`` (used by bug injection)."""
+        if output not in self._gates:
+            raise CircuitError(f"net {output!r} is not driven by a gate")
+        self._gates[output] = Gate(output, gate_type, tuple(inputs))
+        self._topo_cache = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, inputs={len(self._inputs)}, "
+            f"gates={len(self._gates)}, outputs={len(self._outputs)})"
+        )

@@ -1,0 +1,101 @@
+"""Gate primitives for combinational netlists.
+
+Gates are n-ary where the Boolean function is associative (AND/OR/XOR and
+their complements), unary for NOT/BUF, and nullary for constants. Each gate
+drives exactly one output net; a netlist is a set of gates plus the primary
+input nets (see :mod:`repro.circuits.circuit`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import reduce
+from typing import Callable, Dict, Tuple
+
+__all__ = ["GateType", "Gate", "GATE_ARITY", "eval_gate"]
+
+
+class GateType(enum.Enum):
+    """Supported combinational gate functions."""
+
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    XNOR = "xnor"
+    NOT = "not"
+    BUF = "buf"
+    CONST0 = "const0"
+    CONST1 = "const1"
+
+
+#: (min_inputs, max_inputs) per gate type; ``None`` means unbounded.
+GATE_ARITY: Dict[GateType, Tuple[int, int]] = {
+    GateType.AND: (2, None),
+    GateType.OR: (2, None),
+    GateType.XOR: (2, None),
+    GateType.NAND: (2, None),
+    GateType.NOR: (2, None),
+    GateType.XNOR: (2, None),
+    GateType.NOT: (1, 1),
+    GateType.BUF: (1, 1),
+    GateType.CONST0: (0, 0),
+    GateType.CONST1: (0, 0),
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single gate: ``output = gate_type(inputs)``."""
+
+    output: str
+    gate_type: GateType
+    inputs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        lo, hi = GATE_ARITY[self.gate_type]
+        n = len(self.inputs)
+        if n < lo or (hi is not None and n > hi):
+            raise ValueError(
+                f"{self.gate_type.value} gate on net {self.output!r} has "
+                f"{n} inputs; expected between {lo} and {hi if hi is not None else 'inf'}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.output} = {self.gate_type.value}({', '.join(self.inputs)})"
+
+
+def _wordwise(op: Callable[[int, int], int], values: Tuple[int, ...]) -> int:
+    return reduce(op, values)
+
+
+def eval_gate(gate_type: GateType, values: Tuple[int, ...], mask: int = 1) -> int:
+    """Evaluate a gate on bit-parallel integer values.
+
+    Each value packs many simulation vectors, one per bit; ``mask`` selects
+    the active lanes (``1`` for plain single-vector simulation). Complemented
+    gates invert within the mask.
+    """
+    if gate_type is GateType.AND:
+        return _wordwise(int.__and__, values)
+    if gate_type is GateType.OR:
+        return _wordwise(int.__or__, values)
+    if gate_type is GateType.XOR:
+        return _wordwise(int.__xor__, values)
+    if gate_type is GateType.NAND:
+        return mask & ~_wordwise(int.__and__, values)
+    if gate_type is GateType.NOR:
+        return mask & ~_wordwise(int.__or__, values)
+    if gate_type is GateType.XNOR:
+        return mask & ~_wordwise(int.__xor__, values)
+    if gate_type is GateType.NOT:
+        return mask & ~values[0]
+    if gate_type is GateType.BUF:
+        return values[0]
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return mask
+    raise ValueError(f"unknown gate type {gate_type!r}")

@@ -1,0 +1,215 @@
+"""Hierarchical designs: word-connected blocks of gate-level circuits.
+
+Custom large-field datapaths (the paper's Montgomery multiplier, Fig. 1) are
+built as interconnections of pre-designed blocks. A
+:class:`HierarchicalCircuit` holds named *word nets* and :class:`Block`
+instances whose gate-level circuits read and drive those words. The
+verification flow abstracts each block to a word-level polynomial and
+composes the results (:mod:`repro.core.composition`); for bit-level
+baselines the hierarchy can also be flattened to a single netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .circuit import Circuit, CircuitError
+from .simulate import simulate_words
+
+__all__ = ["Block", "HierarchicalCircuit"]
+
+
+@dataclass
+class Block:
+    """One instance of a design inside a hierarchy.
+
+    ``circuit`` is either a gate-level :class:`Circuit` or a nested
+    :class:`HierarchicalCircuit` (hierarchies are trees). ``input_bindings``
+    maps each input word of the inner design to a hierarchy word net;
+    ``output_bindings`` does the same for output words.
+    """
+
+    name: str
+    circuit: object  # Circuit | HierarchicalCircuit
+    input_bindings: Dict[str, str] = field(default_factory=dict)
+    output_bindings: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_nested(self) -> bool:
+        return isinstance(self.circuit, HierarchicalCircuit)
+
+    def inner_input_words(self) -> List[str]:
+        return list(self.circuit.input_words)
+
+    def inner_output_words(self) -> List[str]:
+        return list(self.circuit.output_words)
+
+    def validate(self) -> None:
+        missing_in = set(self.inner_input_words()) - set(self.input_bindings)
+        if missing_in:
+            raise CircuitError(f"block {self.name!r}: unbound input words {missing_in}")
+        missing_out = set(self.inner_output_words()) - set(self.output_bindings)
+        if missing_out:
+            raise CircuitError(
+                f"block {self.name!r}: unbound output words {missing_out}"
+            )
+
+
+class HierarchicalCircuit:
+    """Word-level interconnection of gate-level blocks (acyclic)."""
+
+    def __init__(self, name: str, k: int):
+        self.name = name
+        self.k = k
+        self.input_words: List[str] = []
+        self.output_words: List[str] = []
+        self.blocks: List[Block] = []
+
+    def add_input_word(self, word: str) -> str:
+        if word in self.input_words:
+            raise CircuitError(f"duplicate hierarchy input word {word!r}")
+        self.input_words.append(word)
+        return word
+
+    def add_block(
+        self,
+        name: str,
+        circuit: Circuit,
+        inputs: Mapping[str, str],
+        outputs: Mapping[str, str],
+    ) -> Block:
+        """Instantiate ``circuit`` with the given word bindings."""
+        block = Block(name, circuit, dict(inputs), dict(outputs))
+        block.validate()
+        driven = self._driven_words()
+        for word in block.output_bindings.values():
+            if word in driven or word in self.input_words:
+                raise CircuitError(f"hierarchy word {word!r} is driven twice")
+        self.blocks.append(block)
+        return block
+
+    def set_output_words(self, words: Sequence[str]) -> None:
+        driven = self._driven_words() | set(self.input_words)
+        for word in words:
+            if word not in driven:
+                raise CircuitError(f"hierarchy output word {word!r} is not driven")
+        self.output_words = list(words)
+
+    def _driven_words(self) -> set:
+        return {
+            word for block in self.blocks for word in block.output_bindings.values()
+        }
+
+    def topological_blocks(self) -> List[Block]:
+        """Blocks ordered so producers precede consumers; raises on cycles."""
+        producer: Dict[str, Block] = {}
+        for block in self.blocks:
+            for word in block.output_bindings.values():
+                producer[word] = block
+        order: List[Block] = []
+        state: Dict[str, int] = {}  # block name -> 0 visiting, 1 done
+
+        def visit(block: Block) -> None:
+            mark = state.get(block.name)
+            if mark == 1:
+                return
+            if mark == 0:
+                raise CircuitError(
+                    f"hierarchy {self.name!r} has a cycle through block {block.name!r}"
+                )
+            state[block.name] = 0
+            for word in block.input_bindings.values():
+                if word in producer:
+                    visit(producer[word])
+                elif word not in self.input_words:
+                    raise CircuitError(
+                        f"block {block.name!r} reads undriven word {word!r}"
+                    )
+            state[block.name] = 1
+            order.append(block)
+
+        for block in self.blocks:
+            visit(block)
+        return order
+
+    # -- evaluation -----------------------------------------------------------
+
+    def simulate_words(
+        self, word_values: Mapping[str, Sequence[int]]
+    ) -> Dict[str, List[int]]:
+        """Word-level simulation: run each block's netlist in dependency order."""
+        lanes: Optional[int] = None
+        values: Dict[str, List[int]] = {}
+        for word in self.input_words:
+            if word not in word_values:
+                raise CircuitError(f"missing value for hierarchy input {word!r}")
+            values[word] = list(word_values[word])
+            if lanes is None:
+                lanes = len(values[word])
+            elif len(values[word]) != lanes:
+                raise CircuitError("all input words need the same number of lanes")
+        for block in self.topological_blocks():
+            stimuli = {
+                circ_word: values[hier_word]
+                for circ_word, hier_word in block.input_bindings.items()
+            }
+            if block.is_nested:
+                results = block.circuit.simulate_words(stimuli)
+            else:
+                results = simulate_words(block.circuit, stimuli)
+            for circ_word, hier_word in block.output_bindings.items():
+                values[hier_word] = results[circ_word]
+        return {word: values[word] for word in self.output_words}
+
+    # -- flattening -----------------------------------------------------------
+
+    def flatten(self, name: Optional[str] = None) -> Circuit:
+        """Inline every block into a single gate-level netlist.
+
+        Hierarchy words become shared bit nets; block-internal nets are
+        prefixed with the block name to stay unique.
+        """
+        flat = Circuit(name or f"{self.name}_flat")
+        word_bits: Dict[str, List[str]] = {}
+        for word in self.input_words:
+            bits = [f"{word}_{i}" for i in range(self.k)]
+            flat.add_inputs(bits)
+            flat.add_input_word(word, bits)
+            word_bits[word] = bits
+        for block in self.topological_blocks():
+            prefix = f"{block.name}__"
+            inner = (
+                block.circuit.flatten() if block.is_nested else block.circuit
+            )
+            inst = inner.renamed(prefix)
+            alias: Dict[str, str] = {}
+            for circ_word, hier_word in block.input_bindings.items():
+                for inst_bit, flat_bit in zip(
+                    inst.input_words[circ_word], word_bits[hier_word]
+                ):
+                    alias[inst_bit] = flat_bit
+            for gate in inst.topological_order():
+                flat.add_gate(
+                    gate.output,
+                    gate.gate_type,
+                    [alias.get(n, n) for n in gate.inputs],
+                )
+            for circ_word, hier_word in block.output_bindings.items():
+                bits = [alias.get(b, b) for b in inst.output_words[circ_word]]
+                word_bits[hier_word] = bits
+        out_bits: List[str] = []
+        for word in self.output_words:
+            flat.add_output_word(word, word_bits[word])
+            out_bits.extend(word_bits[word])
+        flat.set_outputs(out_bits)
+        return flat
+
+    def num_gates(self) -> int:
+        return sum(block.circuit.num_gates() for block in self.blocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"HierarchicalCircuit({self.name!r}, k={self.k}, "
+            f"blocks={[b.name for b in self.blocks]})"
+        )

@@ -1,0 +1,114 @@
+"""Bug injection for netlists.
+
+The paper's Example 5.1 studies abstraction of *buggy* circuits (where the
+Case-2 Gröbner basis computation kicks in). This module injects the classic
+gate-level design-error models: gate-type substitution, input swap, and
+wrong-input (connection) errors. Each mutation returns a fresh circuit plus
+a record of what changed, so experiments can sweep error populations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .circuit import Circuit
+from .gates import Gate, GateType
+
+__all__ = ["Mutation", "substitute_gate_type", "swap_gate_inputs", "rewire_gate_input", "random_mutation"]
+
+#: Gate-type substitution targets that always change the Boolean function.
+_SUBSTITUTIONS = {
+    GateType.AND: [GateType.OR, GateType.XOR, GateType.NAND],
+    GateType.OR: [GateType.AND, GateType.XOR, GateType.NOR],
+    GateType.XOR: [GateType.AND, GateType.OR, GateType.XNOR],
+    GateType.NAND: [GateType.AND, GateType.NOR, GateType.XNOR],
+    GateType.NOR: [GateType.OR, GateType.NAND, GateType.XOR],
+    GateType.XNOR: [GateType.XOR, GateType.AND, GateType.OR],
+    GateType.NOT: [GateType.BUF],
+    GateType.BUF: [GateType.NOT],
+}
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """Record of an injected design error."""
+
+    kind: str
+    net: str
+    before: Gate
+    after: Gate
+
+    def __str__(self) -> str:
+        return f"{self.kind} at {self.net!r}: [{self.before}] -> [{self.after}]"
+
+
+def substitute_gate_type(
+    circuit: Circuit, net: str, new_type: Optional[GateType] = None
+) -> "tuple[Circuit, Mutation]":
+    """Replace the gate driving ``net`` with a different gate type."""
+    mutant = circuit.clone(f"{circuit.name}_bug")
+    before = mutant.gate_driving(net)
+    if new_type is None:
+        choices = _SUBSTITUTIONS.get(before.gate_type)
+        if not choices:
+            raise ValueError(f"no substitution defined for {before.gate_type}")
+        new_type = choices[0]
+    mutant.replace_gate(net, new_type, before.inputs)
+    after = mutant.gate_driving(net)
+    return mutant, Mutation("gate-substitution", net, before, after)
+
+
+def swap_gate_inputs(circuit: Circuit, net: str) -> "tuple[Circuit, Mutation]":
+    """Swap the first two inputs of the gate driving ``net``.
+
+    Only meaningful combined with asymmetric rewiring; provided for
+    completeness of the classical error model (it is a no-op for the
+    symmetric gate library, which tests assert).
+    """
+    mutant = circuit.clone(f"{circuit.name}_bug")
+    before = mutant.gate_driving(net)
+    if len(before.inputs) < 2:
+        raise ValueError(f"gate at {net!r} has fewer than two inputs")
+    swapped = (before.inputs[1], before.inputs[0]) + before.inputs[2:]
+    mutant.replace_gate(net, before.gate_type, swapped)
+    return mutant, Mutation("input-swap", net, before, mutant.gate_driving(net))
+
+
+def rewire_gate_input(
+    circuit: Circuit, net: str, position: int, new_source: str
+) -> "tuple[Circuit, Mutation]":
+    """Reconnect one input of the gate driving ``net`` to a different net.
+
+    This is the bug class of the paper's Example 5.1, where
+    ``r0 = s1 + s2`` becomes ``r0 = s0 + s2``. Rewiring must not create a
+    combinational cycle; the caller picks ``new_source`` upstream of ``net``.
+    """
+    mutant = circuit.clone(f"{circuit.name}_bug")
+    before = mutant.gate_driving(net)
+    if not 0 <= position < len(before.inputs):
+        raise ValueError(f"gate at {net!r} has no input position {position}")
+    inputs = list(before.inputs)
+    inputs[position] = new_source
+    mutant.replace_gate(net, before.gate_type, inputs)
+    mutant.validate()  # rejects cycles introduced by the rewiring
+    return mutant, Mutation("rewire", net, before, mutant.gate_driving(net))
+
+
+def random_mutation(
+    circuit: Circuit, rng: Optional[random.Random] = None
+) -> "tuple[Circuit, Mutation]":
+    """Inject one random gate-substitution error at a mutable gate."""
+    rng = rng or random.Random()
+    candidates: List[str] = [
+        gate.output
+        for gate in circuit.gates
+        if gate.gate_type in _SUBSTITUTIONS
+    ]
+    if not candidates:
+        raise ValueError("circuit has no mutable gates")
+    net = rng.choice(candidates)
+    before = circuit.gate_driving(net)
+    new_type = rng.choice(_SUBSTITUTIONS[before.gate_type])
+    return substitute_gate_type(circuit, net, new_type)

@@ -1,0 +1,200 @@
+"""Netlist simplification: constant propagation and dead-logic removal.
+
+The paper's Montgomery blocks (Table 2) are "simplified by
+constant-propagation" — e.g. the input block multiplies by the constant
+``R^2 mod P`` — so structurally identical block generators yield different
+gate counts per block. This pass reproduces that flow: tie word inputs to
+constants, sweep constants through the gate network, collapse trivial gates,
+and strip logic no output depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .circuit import Circuit, CircuitError
+from .gates import GateType
+
+__all__ = ["constant_propagate", "strip_dead_logic", "bind_word_constant", "simplify"]
+
+_INVERTED = {
+    GateType.NAND: GateType.AND,
+    GateType.NOR: GateType.OR,
+    GateType.XNOR: GateType.XOR,
+}
+
+
+def bind_word_constant(circuit: Circuit, word: str, value: int) -> Circuit:
+    """Tie an input word's bits to a constant residue.
+
+    Returns a new circuit where the word's bit nets become constant gates
+    and the word disappears from ``input_words``; follow with
+    :func:`simplify` to propagate the constants.
+    """
+    if word not in circuit.input_words:
+        raise CircuitError(f"{word!r} is not an input word of {circuit.name!r}")
+    bits = circuit.input_words[word]
+    bound = Circuit(f"{circuit.name}_{word}const")
+    bit_set = set(bits)
+    bound.add_inputs(n for n in circuit.inputs if n not in bit_set)
+    for i, net in enumerate(bits):
+        bound.CONST((value >> i) & 1, out=net)
+    for gate in circuit.topological_order():
+        bound.add_gate(gate.output, gate.gate_type, gate.inputs)
+    bound.set_outputs(circuit.outputs)
+    for w, b in circuit.input_words.items():
+        if w != word:
+            bound.add_input_word(w, b)
+    for w, b in circuit.output_words.items():
+        bound.add_output_word(w, b)
+    return bound
+
+
+def constant_propagate(circuit: Circuit) -> Circuit:
+    """Sweep constants and identities through the netlist.
+
+    Rules applied per gate, in topological order:
+
+    - constant inputs are folded (``x XOR 1 -> NOT x``, ``x AND 0 -> 0``, ...)
+    - single-survivor associative gates degenerate to BUF/NOT
+    - BUF chains are bypassed (consumers read through them)
+
+    Output nets keep their names (a BUF/CONST is materialised there when the
+    net's function collapses), so word annotations stay valid.
+    """
+    const: Dict[str, int] = {}  # net -> 0/1 where known
+    alias: Dict[str, str] = {}  # net -> equivalent earlier net
+
+    def resolve(net: str) -> str:
+        while net in alias:
+            net = alias[net]
+        return net
+
+    keep: List[Tuple[str, GateType, Tuple[str, ...]]] = []
+    output_set = set(circuit.outputs)
+    for word_bits in circuit.output_words.values():
+        output_set.update(word_bits)
+
+    def emit(out: str, gate_type: GateType, inputs: Sequence[str]) -> None:
+        keep.append((out, gate_type, tuple(inputs)))
+
+    for gate in circuit.topological_order():
+        out = gate.output
+        gate_type = gate.gate_type
+        if gate_type is GateType.CONST0:
+            const[out] = 0
+            continue
+        if gate_type is GateType.CONST1:
+            const[out] = 1
+            continue
+        ins = [resolve(n) for n in gate.inputs]
+        known = [const[n] for n in ins if n in const]
+        unknown = [n for n in ins if n not in const]
+
+        if gate_type in (GateType.BUF, GateType.NOT):
+            invert = gate_type is GateType.NOT
+            if not unknown:
+                const[out] = known[0] ^ invert
+            elif invert:
+                emit(out, GateType.NOT, unknown)
+            else:
+                alias[out] = unknown[0]
+            continue
+
+        invert = gate_type in _INVERTED
+        base = _INVERTED.get(gate_type, gate_type)
+
+        if base is GateType.XOR:
+            parity = invert
+            for v in known:
+                parity ^= v
+            # XOR of a net with itself cancels pairwise.
+            counts: Dict[str, int] = {}
+            for n in unknown:
+                counts[n] = counts.get(n, 0) + 1
+            survivors = [n for n, c in counts.items() if c & 1]
+            if not survivors:
+                const[out] = int(parity)
+            elif len(survivors) == 1:
+                if parity:
+                    emit(out, GateType.NOT, survivors)
+                else:
+                    alias[out] = survivors[0]
+            else:
+                emit(out, GateType.XNOR if parity else GateType.XOR, survivors)
+            continue
+
+        # AND / OR with absorbing and identity constants.
+        absorbing = 0 if base is GateType.AND else 1
+        if absorbing in known:
+            const[out] = absorbing ^ invert
+            continue
+        survivors = list(dict.fromkeys(unknown))  # dedupe, keep order (idempotent)
+        if not survivors:
+            const[out] = (1 - absorbing) ^ invert
+        elif len(survivors) == 1:
+            if invert:
+                emit(out, GateType.NOT, survivors)
+            else:
+                alias[out] = survivors[0]
+        else:
+            emit(out, GateType.NAND if invert and base is GateType.AND
+                 else GateType.NOR if invert else base, survivors)
+
+    simplified = Circuit(circuit.name)
+    simplified.add_inputs(circuit.inputs)
+    emitted = set(circuit.inputs)
+    for out, gate_type, inputs in keep:
+        simplified.add_gate(out, gate_type, inputs)
+        emitted.add(out)
+    # Materialise collapsed output nets so port names survive.
+    for net in sorted(output_set):
+        if net in emitted:
+            continue
+        if net in const:
+            simplified.CONST(const[net], out=net)
+        else:
+            source = resolve(net)
+            if source in const:
+                simplified.CONST(const[source], out=net)
+            else:
+                simplified.BUF(source, out=net)
+        emitted.add(net)
+    simplified.set_outputs(circuit.outputs)
+    for w, b in circuit.input_words.items():
+        simplified.add_input_word(w, b)
+    for w, b in circuit.output_words.items():
+        simplified.add_output_word(w, b)
+    return simplified
+
+
+def strip_dead_logic(circuit: Circuit) -> Circuit:
+    """Remove gates that no primary output (or output word bit) reads."""
+    live = set(circuit.outputs)
+    for bits in circuit.output_words.values():
+        live.update(bits)
+    for gate in reversed(circuit.topological_order()):
+        if gate.output in live:
+            live.update(gate.inputs)
+    pruned = Circuit(circuit.name)
+    pruned.add_inputs(circuit.inputs)
+    for gate in circuit.topological_order():
+        if gate.output in live:
+            pruned.add_gate(gate.output, gate.gate_type, gate.inputs)
+    pruned.set_outputs(circuit.outputs)
+    for w, b in circuit.input_words.items():
+        pruned.add_input_word(w, b)
+    for w, b in circuit.output_words.items():
+        pruned.add_output_word(w, b)
+    return pruned
+
+
+def simplify(circuit: Circuit, rounds: int = 4) -> Circuit:
+    """Fixpoint of constant propagation + dead-logic removal."""
+    current = circuit
+    for _ in range(rounds):
+        before = current.num_gates()
+        current = strip_dead_logic(constant_propagate(current))
+        if current.num_gates() == before:
+            break
+    return current

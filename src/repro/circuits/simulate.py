@@ -1,0 +1,116 @@
+"""Bit-parallel simulation of combinational circuits.
+
+Net values are Python ints holding one simulation vector per bit, so a
+single topological sweep evaluates the circuit on arbitrarily many input
+patterns at once. Word-level helpers translate between field residues and
+the per-bit patterns of a word's nets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from .circuit import Circuit, CircuitError
+from .gates import eval_gate
+
+__all__ = ["simulate", "simulate_words", "exhaustive_word_table"]
+
+
+def simulate(
+    circuit: Circuit, input_values: Mapping[str, int], lanes: int = 1
+) -> Dict[str, int]:
+    """Evaluate every net given primary-input values.
+
+    ``input_values`` maps each primary input net to an integer whose low
+    ``lanes`` bits are independent simulation vectors. Returns the value of
+    every net in the circuit.
+    """
+    mask = (1 << lanes) - 1
+    values: Dict[str, int] = {}
+    for net in circuit.inputs:
+        if net not in input_values:
+            raise CircuitError(f"missing value for primary input {net!r}")
+        values[net] = input_values[net] & mask
+    for gate in circuit.topological_order():
+        values[gate.output] = eval_gate(
+            gate.gate_type, tuple(values[n] for n in gate.inputs), mask
+        )
+    return values
+
+
+def _spread_words(
+    circuit: Circuit, word_values: Mapping[str, Sequence[int]], lanes: int
+) -> Dict[str, int]:
+    """Turn per-lane word residues into bit-parallel net patterns."""
+    input_values: Dict[str, int] = {}
+    for word, bits in circuit.input_words.items():
+        if word not in word_values:
+            raise CircuitError(f"missing value for input word {word!r}")
+        residues = word_values[word]
+        if len(residues) != lanes:
+            raise CircuitError(
+                f"word {word!r}: got {len(residues)} lane values, expected {lanes}"
+            )
+        for i, net in enumerate(bits):
+            pattern = 0
+            for lane, residue in enumerate(residues):
+                pattern |= ((residue >> i) & 1) << lane
+            input_values[net] = pattern
+    return input_values
+
+
+def simulate_words(
+    circuit: Circuit, word_values: Mapping[str, Sequence[int]]
+) -> Dict[str, List[int]]:
+    """Simulate on word-level stimuli; returns per-lane output-word residues.
+
+    ``word_values[word]`` is a sequence of field residues, one per lane; the
+    result maps each output word to its residues in the same lane order.
+    """
+    lanes = None
+    for residues in word_values.values():
+        if lanes is None:
+            lanes = len(residues)
+        elif len(residues) != lanes:
+            raise CircuitError("all input words need the same number of lanes")
+    if lanes is None or lanes == 0:
+        return {word: [] for word in circuit.output_words}
+    values = simulate(circuit, _spread_words(circuit, word_values, lanes), lanes)
+    results: Dict[str, List[int]] = {}
+    for word, bits in circuit.output_words.items():
+        lane_values = []
+        for lane in range(lanes):
+            residue = 0
+            for i, net in enumerate(bits):
+                residue |= ((values[net] >> lane) & 1) << i
+            lane_values.append(residue)
+        results[word] = lane_values
+    return results
+
+
+def exhaustive_word_table(
+    circuit: Circuit, k: int, words: Iterable[str] = ()
+) -> Dict[tuple, Dict[str, int]]:
+    """Full truth table over all word-input combinations (small k only).
+
+    Returns ``{(a, b, ...): {output_word: value}}`` for every point of
+    ``F_{2^k}^n`` in the order of ``circuit.input_words``. The table grows as
+    ``2^(k*n)``; callers use it as a ground-truth oracle at small k.
+    """
+    del words  # reserved for sub-selection; the full word set is always used
+    names = list(circuit.input_words)
+    n = len(names)
+    total = 1 << (k * n)
+    if total > 1 << 20:
+        raise CircuitError(
+            f"exhaustive table over {n} words of {k} bits has {total} rows; too large"
+        )
+    points = []
+    for index in range(total):
+        points.append(tuple((index >> (k * j)) & ((1 << k) - 1) for j in range(n)))
+    stimuli = {name: [p[j] for p in points] for j, name in enumerate(names)}
+    outputs = simulate_words(circuit, stimuli)
+    table: Dict[tuple, Dict[str, int]] = {}
+    for row, point in enumerate(points):
+        table[point] = {word: lanes[row] for word, lanes in outputs.items()}
+    return table

@@ -1,0 +1,166 @@
+"""Structural Verilog subset: writer and parser for gate-level netlists.
+
+The dialect is the flat, gate-primitive style synthesis tools emit::
+
+    module mastrovito_8 (a_0, ..., b_7, z_0, ..., z_7);
+      input a_0, a_1, ...;
+      output z_0, ...;
+      wire n1, n2, ...;
+      and g1 (n1, a_0, b_0);
+      xor g2 (z_0, n1, n2);
+      // word A = a_0 a_1 ... a_7   (annotation comments carry word info)
+    endmodule
+
+Only gate primitives (``and or xor nand nor xnor not buf``), constant
+assigns (``assign n = 1'b0;``), and port declarations are supported — enough
+to round-trip every circuit this library builds and to import externally
+synthesised multipliers of the same style.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .circuit import Circuit, CircuitError
+from .gates import GateType
+
+__all__ = ["to_verilog", "from_verilog", "write_verilog", "read_verilog"]
+
+_PRIMITIVES = {
+    GateType.AND: "and",
+    GateType.OR: "or",
+    GateType.XOR: "xor",
+    GateType.NAND: "nand",
+    GateType.NOR: "nor",
+    GateType.XNOR: "xnor",
+    GateType.NOT: "not",
+    GateType.BUF: "buf",
+}
+_PRIMITIVES_REVERSED = {v: k for k, v in _PRIMITIVES.items()}
+
+
+def _sanitize(net: str) -> str:
+    """Make a net name verilog-safe (escape is overkill for our generators)."""
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", net):
+        return net
+    return "\\" + net + " "
+
+
+def to_verilog(circuit: Circuit) -> str:
+    """Serialise a circuit as structural Verilog text."""
+    ports = circuit.inputs + circuit.outputs
+    lines: List[str] = []
+    module_name = re.sub(r"[^A-Za-z0-9_]", "_", circuit.name) or "top"
+    lines.append(f"module {module_name} ({', '.join(_sanitize(p) for p in ports)});")
+    if circuit.inputs:
+        lines.append(f"  input {', '.join(_sanitize(n) for n in circuit.inputs)};")
+    if circuit.outputs:
+        lines.append(f"  output {', '.join(_sanitize(n) for n in circuit.outputs)};")
+    output_set = set(circuit.outputs)
+    wires = [g.output for g in circuit.gates if g.output not in output_set]
+    if wires:
+        lines.append(f"  wire {', '.join(_sanitize(n) for n in wires)};")
+    for word, bits in circuit.input_words.items():
+        lines.append(f"  // word input {word} = {' '.join(bits)}")
+    for word, bits in circuit.output_words.items():
+        lines.append(f"  // word output {word} = {' '.join(bits)}")
+    index = 0
+    for gate in circuit.topological_order():
+        if gate.gate_type is GateType.CONST0:
+            lines.append(f"  assign {_sanitize(gate.output)} = 1'b0;")
+        elif gate.gate_type is GateType.CONST1:
+            lines.append(f"  assign {_sanitize(gate.output)} = 1'b1;")
+        else:
+            index += 1
+            prim = _PRIMITIVES[gate.gate_type]
+            terminals = ", ".join(_sanitize(n) for n in (gate.output,) + gate.inputs)
+            lines.append(f"  {prim} g{index} ({terminals});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_GATE_RE = re.compile(
+    r"^\s*(and|or|xor|nand|nor|xnor|not|buf)\s+[A-Za-z_][\w$]*\s*\(([^)]*)\)\s*;"
+)
+_ASSIGN_RE = re.compile(r"^\s*assign\s+(\S+)\s*=\s*1'b([01])\s*;")
+_DECL_RE = re.compile(r"^\s*(input|output|wire)\s+(.*);\s*$")
+_WORD_RE = re.compile(r"^\s*//\s*word\s+(input|output)\s+(\S+)\s*=\s*(.*)$")
+_MODULE_RE = re.compile(r"^\s*module\s+([A-Za-z_][\w$]*)")
+
+
+def from_verilog(text: str) -> Circuit:
+    """Parse the structural subset back into a :class:`Circuit`."""
+    circuit: Circuit = Circuit("top")
+    outputs: List[str] = []
+    words: Dict[str, Dict[str, List[str]]] = {"input": {}, "output": {}}
+    # Join statements split across lines, preserving comment lines.
+    statements: List[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("//"):
+            statements.append(line)
+            continue
+        pending = f"{pending} {line}".strip() if pending else line
+        if pending.endswith(";") or pending.startswith(("module",)) and pending.endswith(");"):
+            statements.append(pending)
+            pending = ""
+        elif pending.startswith("endmodule"):
+            statements.append(pending)
+            pending = ""
+    if pending:
+        statements.append(pending)
+
+    for stmt in statements:
+        m = _MODULE_RE.match(stmt)
+        if m:
+            circuit.name = m.group(1)
+            continue
+        m = _WORD_RE.match(stmt)
+        if m:
+            direction, word, bits = m.group(1), m.group(2), m.group(3).split()
+            words[direction][word] = bits
+            continue
+        if stmt.startswith("//") or stmt.startswith("endmodule"):
+            continue
+        m = _DECL_RE.match(stmt)
+        if m:
+            kind, rest = m.group(1), m.group(2)
+            nets = [n.strip() for n in rest.split(",") if n.strip()]
+            if kind == "input":
+                circuit.add_inputs(nets)
+            elif kind == "output":
+                outputs.extend(nets)
+            continue
+        m = _ASSIGN_RE.match(stmt)
+        if m:
+            circuit.CONST(int(m.group(2)), out=m.group(1))
+            continue
+        m = _GATE_RE.match(stmt)
+        if m:
+            prim, terminals = m.group(1), m.group(2)
+            nets = [n.strip() for n in terminals.split(",") if n.strip()]
+            if len(nets) < 2:
+                raise CircuitError(f"malformed gate instance: {stmt!r}")
+            circuit.add_gate(nets[0], _PRIMITIVES_REVERSED[prim], nets[1:])
+            continue
+    circuit.set_outputs(outputs)
+    for word, bits in words["input"].items():
+        circuit.add_input_word(word, bits)
+    for word, bits in words["output"].items():
+        circuit.add_output_word(word, bits)
+    circuit.validate()
+    return circuit
+
+
+def write_verilog(circuit: Circuit, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_verilog(circuit))
+
+
+def read_verilog(path: str) -> Circuit:
+    with open(path) as handle:
+        return from_verilog(handle.read())

@@ -1,0 +1,228 @@
+"""Command-line interface: generate, inspect, abstract, verify.
+
+Usage (also via ``python -m repro``)::
+
+    repro gen mastrovito -k 16 -o spec.v
+    repro gen montgomery -k 16 -o impl.v          # flattened Fig. 1 design
+    repro stats spec.v
+    repro abstract spec.v -k 16
+    repro verify spec.v impl.v -k 16 [--method abstraction|sat|fraig|bdd]
+    repro check-spec impl.v -k 16 --spec "A*B"    # Lv-style membership test
+
+Netlists are the structural-Verilog subset (``.v``) or BLIF (``.blif``)
+this library writes; word annotations travel in comments, so generated
+files round-trip with full word-level information.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .circuits import Circuit, read_blif, read_verilog, write_blif, write_verilog
+from .core import abstract_circuit
+from .gf import GF2m, poly2
+from .synth import (
+    gf_adder,
+    gf_squarer,
+    karatsuba_multiplier,
+    mastrovito_multiplier,
+    montgomery_block,
+    montgomery_multiplier,
+)
+from .algebra import parse_polynomial
+from .core import word_ring_for
+from .verify import (
+    check_equivalence_bdd,
+    check_equivalence_fraig,
+    check_equivalence_sat,
+    check_ideal_membership,
+    verify_equivalence,
+)
+
+__all__ = ["main"]
+
+GENERATORS = {
+    "mastrovito": lambda field: mastrovito_multiplier(field),
+    "montgomery": lambda field: montgomery_multiplier(field).flatten(),
+    "montgomery-block": lambda field: montgomery_block(field),
+    "karatsuba": lambda field: karatsuba_multiplier(field),
+    "squarer": lambda field: gf_squarer(field),
+    "adder": lambda field: gf_adder(field),
+}
+
+
+def _read_netlist(path: str) -> Circuit:
+    if path.endswith(".blif"):
+        return read_blif(path)
+    return read_verilog(path)
+
+
+def _write_netlist(circuit: Circuit, path: str) -> None:
+    if path.endswith(".blif"):
+        write_blif(circuit, path)
+    else:
+        write_verilog(circuit, path)
+
+
+def _field(args: argparse.Namespace) -> GF2m:
+    modulus = int(args.modulus, 0) if getattr(args, "modulus", None) else None
+    return GF2m(args.k, modulus=modulus)
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    field = _field(args)
+    circuit = GENERATORS[args.architecture](field)
+    _write_netlist(circuit, args.output)
+    print(
+        f"wrote {args.architecture} over F_2^{args.k} "
+        f"({circuit.num_gates()} gates) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    circuit = _read_netlist(args.netlist)
+    circuit.validate()
+    print(f"module:  {circuit.name}")
+    print(f"inputs:  {len(circuit.inputs)}")
+    print(f"outputs: {len(circuit.outputs)}")
+    print(f"gates:   {circuit.num_gates()}  {circuit.gate_counts()}")
+    print(f"depth:   {circuit.logic_depth()}")
+    for word, bits in circuit.input_words.items():
+        print(f"word in:  {word} [{len(bits)} bits]")
+    for word, bits in circuit.output_words.items():
+        print(f"word out: {word} [{len(bits)} bits]")
+    return 0
+
+
+def _cmd_abstract(args: argparse.Namespace) -> int:
+    field = _field(args)
+    circuit = _read_netlist(args.netlist)
+    result = abstract_circuit(
+        circuit, field, output_word=args.output_word, case2=args.case2
+    )
+    print(f"field:      F_2^{field.k}, P(x) = {poly2.to_string(field.modulus)}")
+    print(f"case:       {result.stats.case}")
+    print(f"time:       {result.stats.seconds:.3f}s")
+    print(f"peak terms: {result.stats.peak_terms}")
+    print(f"polynomial: {result.output_word} = {result.polynomial}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    field = _field(args)
+    spec = _read_netlist(args.spec)
+    impl = _read_netlist(args.impl)
+    output_map = None
+    if list(spec.output_words) != list(impl.output_words):
+        spec_out = list(spec.output_words)
+        impl_out = list(impl.output_words)
+        if len(spec_out) == len(impl_out) == 1:
+            output_map = {impl_out[0]: spec_out[0]}
+    if args.method == "abstraction":
+        outcome = verify_equivalence(spec, impl, field)
+    elif args.method == "sat":
+        outcome = check_equivalence_sat(
+            spec, impl, max_conflicts=args.budget, output_map=output_map
+        )
+    elif args.method == "fraig":
+        outcome = check_equivalence_fraig(
+            spec, impl, max_conflicts_final=args.budget, output_map=output_map
+        )
+    else:
+        outcome = check_equivalence_bdd(
+            spec, impl, max_nodes=args.budget, output_map=output_map
+        )
+    print(outcome)
+    if outcome.status == "equivalent":
+        return 0
+    if outcome.status == "not_equivalent":
+        return 1
+    return 2
+
+
+def _cmd_check_spec(args: argparse.Namespace) -> int:
+    field = _field(args)
+    circuit = _read_netlist(args.netlist)
+    ring = word_ring_for(field, sorted(circuit.input_words))
+    spec = parse_polynomial(args.spec, ring)
+    outcome = check_ideal_membership(
+        circuit, field, spec, output_word=args.output_word
+    )
+    print(f"spec: Z = {spec}")
+    print(outcome)
+    return 0 if outcome.equivalent else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Word-level abstraction & equivalence verification of "
+        "Galois field circuits (DAC 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="generate a benchmark netlist")
+    gen.add_argument("architecture", choices=sorted(GENERATORS))
+    gen.add_argument("-k", type=int, required=True, help="field degree")
+    gen.add_argument("--modulus", help="irreducible P(x) as an int literal")
+    gen.add_argument("-o", "--output", required=True, help=".v or .blif path")
+    gen.set_defaults(func=_cmd_gen)
+
+    stats = sub.add_parser("stats", help="print netlist statistics")
+    stats.add_argument("netlist")
+    stats.set_defaults(func=_cmd_stats)
+
+    abstract = sub.add_parser(
+        "abstract", help="derive the canonical word-level polynomial"
+    )
+    abstract.add_argument("netlist")
+    abstract.add_argument("-k", type=int, required=True)
+    abstract.add_argument("--modulus")
+    abstract.add_argument("--output-word", default=None)
+    abstract.add_argument(
+        "--case2", choices=["linearized", "groebner"], default="linearized"
+    )
+    abstract.set_defaults(func=_cmd_abstract)
+
+    verify = sub.add_parser("verify", help="prove or refute equivalence")
+    verify.add_argument("spec")
+    verify.add_argument("impl")
+    verify.add_argument("-k", type=int, required=True)
+    verify.add_argument("--modulus")
+    verify.add_argument(
+        "--method", choices=["abstraction", "sat", "fraig", "bdd"], default="abstraction"
+    )
+    verify.add_argument(
+        "--budget",
+        type=int,
+        default=1_000_000,
+        help="SAT conflict / BDD node budget for the bit-level methods",
+    )
+    verify.set_defaults(func=_cmd_verify)
+
+    check_spec = sub.add_parser(
+        "check-spec",
+        help="verify a circuit against a textual spec polynomial "
+        "(ideal-membership, Lv et al. style)",
+    )
+    check_spec.add_argument("netlist")
+    check_spec.add_argument("-k", type=int, required=True)
+    check_spec.add_argument("--modulus")
+    check_spec.add_argument(
+        "--spec", required=True, help='e.g. "A*B" or "A^2 + 3*B"'
+    )
+    check_spec.add_argument("--output-word", default=None)
+    check_spec.set_defaults(func=_cmd_check_spec)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The paper's core contribution: word-level abstraction via Gröbner bases."""
+
+from .abstraction import (
+    AbstractionResult,
+    AbstractionStats,
+    abstract_all_outputs,
+    abstract_circuit,
+    word_ring_for,
+)
+from .bitpoly import SubstitutionEngine
+from .composition import (
+    HierarchicalAbstraction,
+    abstract_hierarchy,
+    compose_polynomials,
+)
+from .extractor import CircuitIdeal, circuit_ideal
+from .gate_polys import BitTerms, gate_tail
+from .rato import RatoOrdering, build_rato, build_unrefined_order
+
+__all__ = [
+    "abstract_circuit",
+    "abstract_all_outputs",
+    "AbstractionResult",
+    "AbstractionStats",
+    "word_ring_for",
+    "SubstitutionEngine",
+    "abstract_hierarchy",
+    "HierarchicalAbstraction",
+    "compose_polynomials",
+    "circuit_ideal",
+    "CircuitIdeal",
+    "gate_tail",
+    "BitTerms",
+    "build_rato",
+    "build_unrefined_order",
+    "RatoOrdering",
+]

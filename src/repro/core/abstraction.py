@@ -1,0 +1,383 @@
+"""Word-level abstraction via guided Gröbner-basis reduction (Sections 4-5).
+
+Given a circuit computing ``Z = F(A, B, ...)`` over ``F_{2^k}``, derive the
+unique canonical polynomial ``F``. By the Abstraction Theorem (Thm 4.2) a
+reduced Gröbner basis of ``J + J_0`` under the abstraction term order
+contains exactly one polynomial ``Z + G(A)`` and ``G`` is canonical
+(Cor 4.1). Computing that full basis is hopeless for real circuits, so —
+following Section 5 — the refined order (RATO) plus the product criterion
+single out one critical pair ``(f_w, f_g)``, and the whole computation
+collapses to ``Spoly(f_w, f_g) ->_{F, F0}+ r``: a cascade of per-net
+substitutions performed by :class:`~repro.core.bitpoly.SubstitutionEngine`.
+
+Two outcomes (Section 5, step 3):
+
+- **Case 1** — ``r`` contains only word variables: ``r = Z + G(A)`` and we
+  are done.
+- **Case 2** — ``r`` retains primary-input bits. The paper finishes with a
+  small reduced-GB computation on ``{r, input word relations} ∪ F_0``
+  (``case2="groebner"`` here, faithful). The default ``case2="linearized"``
+  reaches the same unique polynomial by substituting each leftover bit with
+  its dual-basis coordinate polynomial ``a_i = sum_j (beta_i A)^{2^j}`` —
+  algebraically equivalent by Cor 4.1 uniqueness, and polynomial-time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, FrozenSet, List, Optional
+
+from ..algebra import (
+    LexOrder,
+    Polynomial,
+    PolynomialRing,
+    reduced_groebner_basis,
+    vanishing_ideal,
+)
+from ..circuits import Circuit
+from ..gf import GF2m, coordinate_coefficients
+from .bitpoly import SubstitutionEngine
+from .gate_polys import gate_tail
+from .rato import RatoOrdering, build_rato
+
+__all__ = [
+    "AbstractionResult",
+    "AbstractionStats",
+    "abstract_circuit",
+    "abstract_all_outputs",
+    "reduce_through_gates",
+    "word_ring_for",
+]
+
+
+@dataclass
+class AbstractionStats:
+    """Cost counters for one abstraction run."""
+
+    seconds: float = 0.0
+    gate_count: int = 0
+    substitutions: int = 0
+    peak_terms: int = 0
+    term_traffic: int = 0
+    case: int = 1
+    case2_method: Optional[str] = None
+    remainder_bits: List[str] = dataclass_field(default_factory=list)
+
+
+@dataclass
+class AbstractionResult:
+    """The derived canonical word-level polynomial ``Z = G(words)``."""
+
+    polynomial: Polynomial  # G, in a ring over the input words
+    output_word: str
+    input_words: List[str]
+    ring: PolynomialRing
+    stats: AbstractionStats
+
+    def __str__(self) -> str:
+        return f"{self.output_word} = {self.polynomial}"
+
+
+def word_ring_for(field: GF2m, input_words: List[str]) -> PolynomialRing:
+    """The ring ``F_{2^k}[input words]`` canonical polynomials live in."""
+    return PolynomialRing(
+        field, list(input_words), order=LexOrder(range(len(input_words)))
+    )
+
+
+def _case1_polynomial(
+    engine: SubstitutionEngine,
+    word_ring: PolynomialRing,
+    id_to_word: Dict[int, str],
+) -> Polynomial:
+    data = {}
+    for monomial, coeff in engine.terms.items():
+        key = tuple(
+            sorted((word_ring.index[id_to_word[var]], 1) for var in monomial)
+        )
+        data[key] = coeff
+    return Polynomial(word_ring, data)
+
+
+def _case2_linearized(
+    engine: SubstitutionEngine,
+    field: GF2m,
+    word_ring: PolynomialRing,
+    id_to_word: Dict[int, str],
+    bit_owner: Dict[int, "tuple[str, int]"],
+) -> Polynomial:
+    """Eliminate leftover input bits with dual-basis coordinate polynomials.
+
+    Works directly on term dictionaries: buggy circuits can produce dense
+    canonical polynomials (up to q^n terms), so the expansion accumulates
+    in place rather than through repeated immutable-polynomial additions.
+    """
+    mul = field.mul
+    monomial_mul = word_ring.monomial_mul
+    coord_cache: Dict[int, Dict] = {}
+
+    def coordinate_terms(bit_id: int) -> Dict:
+        cached = coord_cache.get(bit_id)
+        if cached is None:
+            word, position = bit_owner[bit_id]
+            word_index = word_ring.index[word]
+            coeffs = coordinate_coefficients(field, position)
+            cached = {
+                ((word_index, word_ring.fold_exponent(word_index, 1 << j)),): c
+                for j, c in enumerate(coeffs)
+                if c
+            }
+            coord_cache[bit_id] = cached
+        return cached
+
+    result: Dict = {}
+    for monomial, coeff in engine.terms.items():
+        partial: Dict = {(): coeff}
+        for var in monomial:
+            if var in id_to_word:
+                factor = {((word_ring.index[id_to_word[var]], 1),): 1}
+            else:
+                factor = coordinate_terms(var)
+            expanded: Dict = {}
+            for m1, c1 in partial.items():
+                for m2, c2 in factor.items():
+                    key = monomial_mul(m1, m2)
+                    c = c1 if c2 == 1 else mul(c1, c2)
+                    merged = expanded.get(key, 0) ^ c
+                    if merged:
+                        expanded[key] = merged
+                    else:
+                        del expanded[key]
+            partial = expanded
+        for m, c in partial.items():
+            merged = result.get(m, 0) ^ c
+            if merged:
+                result[m] = merged
+            else:
+                del result[m]
+    return Polynomial(word_ring, result)
+
+
+def _case2_groebner(
+    engine: SubstitutionEngine,
+    field: GF2m,
+    circuit: Circuit,
+    ordering: RatoOrdering,
+    output_word: str,
+    id_of: Dict[str, int],
+) -> Polynomial:
+    """Faithful Case 2: reduced GB of {r, word relations} ∪ vanishing polys.
+
+    Returns ``G`` from the unique basis polynomial ``Z + G(words)``
+    guaranteed by Corollary 4.1; the result ring has variables
+    ``bits > Z > input words`` (lex).
+    """
+    bits = [b for word in ordering.input_words for b in circuit.input_words[word]]
+    variables = bits + [output_word] + ordering.input_words
+    domains = {b: 2 for b in bits}
+    ring = PolynomialRing(
+        field,
+        variables,
+        order=LexOrder(range(len(variables))),
+        domains=domains,
+        fold=False,  # honest free-ring arithmetic; J_0 enters as generators
+    )
+
+    # r = Z + (engine terms translated into the small ring).
+    reverse = {id_of[name]: name for name in variables if name in id_of}
+    data: Dict[tuple, int] = {((ring.index[output_word], 1),): 1}
+    for monomial, coeff in engine.terms.items():
+        key = tuple(sorted((ring.index[reverse[var]], 1) for var in monomial))
+        data[key] = data.get(key, 0) ^ coeff
+    r = Polynomial(ring, {m: c for m, c in data.items() if c})
+
+    alpha_powers = [field.pow(field.alpha, i) for i in range(field.k)]
+    relations = []
+    for word in ordering.input_words:
+        terms = {((ring.index[word], 1),): 1}
+        for i, bit in enumerate(circuit.input_words[word]):
+            key = ((ring.index[bit], 1),)
+            terms[key] = terms.get(key, 0) ^ alpha_powers[i]
+        relations.append(Polynomial(ring, {m: c for m, c in terms.items() if c}))
+
+    generators = [r] + relations + vanishing_ideal(ring)
+    basis = reduced_groebner_basis(generators)
+    z_index = ring.index[output_word]
+    matches = [
+        p for p in basis if p.leading_monomial() == ((z_index, 1),)
+    ]
+    if len(matches) != 1:
+        raise RuntimeError(
+            f"expected exactly one basis polynomial with leading term "
+            f"{output_word}; found {len(matches)}"
+        )
+    return matches[0] + ring.var(output_word)
+
+
+def _map_words(
+    poly: Polynomial, word_ring: PolynomialRing
+) -> Polynomial:
+    """Re-home a polynomial that uses only word variables into ``word_ring``."""
+    source = poly.ring
+    data = {}
+    for monomial, coeff in poly.terms.items():
+        key = tuple(
+            sorted((word_ring.index[source.variables[var]], exp) for var, exp in monomial)
+        )
+        data[key] = coeff
+    return Polynomial(word_ring, data)
+
+
+def reduce_through_gates(
+    circuit: Circuit,
+    engine: SubstitutionEngine,
+    ordering: RatoOrdering,
+) -> None:
+    """Run the guided reduction: eliminate every gate variable from ``engine``.
+
+    Repeatedly substitutes the highest-ranked gate variable present (smaller
+    id == higher RATO rank). Under RATO tails only mention lower-ranked
+    variables, so this is a single forward sweep; under an unrefined order
+    the heap re-schedules re-introduced variables, mirroring how plain lex
+    division would thrash. Shared by the abstraction flow and the Lv-style
+    ideal-membership baseline.
+    """
+    id_of = ordering.var_ids
+    gate_ids = {id_of[net] for net in ordering.gate_nets}
+    tails = {
+        id_of[gate.output]: gate_tail(gate, id_of)
+        for gate in circuit.topological_order()
+    }
+    heap = [var for var in engine.variables_present() if var in gate_ids]
+    heapq.heapify(heap)
+    queued = set(heap)
+    while heap:
+        var = heapq.heappop(heap)
+        queued.discard(var)
+        if not engine.contains_var(var):
+            continue
+        engine.substitute(var, tails[var])
+        for tail_monomial in tails[var]:
+            for v in tail_monomial:
+                if v in gate_ids and v not in queued and engine.contains_var(v):
+                    heapq.heappush(heap, v)
+                    queued.add(v)
+
+
+def abstract_circuit(
+    circuit: Circuit,
+    field: GF2m,
+    output_word: Optional[str] = None,
+    case2: str = "linearized",
+    ordering: Optional[RatoOrdering] = None,
+) -> AbstractionResult:
+    """Derive the canonical polynomial ``Z = G(input words)`` of a circuit.
+
+    Parameters
+    ----------
+    circuit:
+        Gate-level netlist with word annotations (all words ``field.k`` bits).
+    output_word:
+        Which output word to abstract (defaults to the only one).
+    case2:
+        ``"linearized"`` (default, scalable) or ``"groebner"`` (the paper's
+        Case-2 computation, exact but exponential in the worst case).
+    ordering:
+        Variable ordering; defaults to RATO. Pass
+        :func:`~repro.core.rato.build_unrefined_order` output for ablations.
+    """
+    start = time.perf_counter()
+    if case2 not in ("linearized", "groebner"):
+        raise ValueError(f"unknown case2 strategy {case2!r}")
+    if not circuit.output_words:
+        raise ValueError("circuit has no output words to abstract")
+    if output_word is None:
+        if len(circuit.output_words) != 1:
+            raise ValueError("output_word must be named for multi-word circuits")
+        output_word = next(iter(circuit.output_words))
+    for word, bits in {**circuit.input_words, **circuit.output_words}.items():
+        if len(bits) != field.k:
+            raise ValueError(
+                f"word {word!r} has {len(bits)} bits; field is F_2^{field.k}"
+            )
+
+    ordering = ordering or build_rato(circuit, output_words=[output_word])
+    id_of = ordering.var_ids
+
+    # Seed with Spoly(f_w, f_g)'s surviving part: sum_i alpha^i * z_i.
+    engine = SubstitutionEngine(field)
+    alpha_powers = [field.pow(field.alpha, i) for i in range(field.k)]
+    for i, bit in enumerate(circuit.output_words[output_word]):
+        engine.add_term(frozenset((id_of[bit],)), alpha_powers[i])
+
+    reduce_through_gates(circuit, engine, ordering)
+
+    # Divide by the input word relations f_wi = b_0 + b_1*alpha + ... + W:
+    # each division step substitutes the relation's leading bit b_0.
+    bit_owner: Dict[int, "tuple[str, int]"] = {}
+    id_to_word: Dict[int, str] = {}
+    for word in ordering.input_words:
+        bits = circuit.input_words[word]
+        word_id = id_of[word]
+        id_to_word[word_id] = word
+        for i, bit in enumerate(bits):
+            bit_owner[id_of[bit]] = (word, i)
+        replacement = {frozenset((word_id,)): 1}
+        for i in range(1, len(bits)):
+            key = frozenset((id_of[bits[i]],))
+            replacement[key] = replacement.get(key, 0) ^ alpha_powers[i]
+        engine.substitute(id_of[bits[0]], replacement)
+
+    word_ring = word_ring_for(field, ordering.input_words)
+    leftover_bits = sorted(
+        var for var in engine.variables_present() if var not in id_to_word
+    )
+    stats = AbstractionStats(
+        gate_count=circuit.num_gates(),
+        substitutions=engine.substitutions,
+        peak_terms=engine.peak_terms,
+        term_traffic=engine.term_traffic,
+    )
+    if not leftover_bits:
+        stats.case = 1
+        polynomial = _case1_polynomial(engine, word_ring, id_to_word)
+    else:
+        stats.case = 2
+        stats.case2_method = case2
+        stats.remainder_bits = [ordering.variables[v] for v in leftover_bits]
+        if case2 == "linearized":
+            polynomial = _case2_linearized(
+                engine, field, word_ring, id_to_word, bit_owner
+            )
+        else:
+            small = _case2_groebner(
+                engine, field, circuit, ordering, output_word, id_of
+            )
+            polynomial = _map_words(small, word_ring)
+    stats.seconds = time.perf_counter() - start
+    return AbstractionResult(
+        polynomial=polynomial,
+        output_word=output_word,
+        input_words=list(ordering.input_words),
+        ring=word_ring,
+        stats=stats,
+    )
+
+
+def abstract_all_outputs(
+    circuit: Circuit,
+    field: GF2m,
+    case2: str = "linearized",
+) -> Dict[str, AbstractionResult]:
+    """Abstract every output word of a multi-output circuit.
+
+    Datapaths such as ECC point operations produce several word results
+    (``X3``, ``Y3``); this derives each canonical polynomial independently
+    and returns ``{output word: AbstractionResult}``.
+    """
+    return {
+        word: abstract_circuit(circuit, field, output_word=word, case2=case2)
+        for word in circuit.output_words
+    }

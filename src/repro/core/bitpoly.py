@@ -1,0 +1,114 @@
+"""Sparse polynomial accumulator for the guided S-polynomial reduction.
+
+Under RATO every circuit polynomial is ``x + tail``, so each division step
+of ``Spoly(f_w, f_g) ->_{F, F0}+ r`` *substitutes* a net variable by its
+gate tail. This engine performs those substitutions on a sparse polynomial
+over idempotent variables (monomials are ``frozenset`` of variable ids,
+coefficients live in F_{2^k}), maintaining an occurrence index so each
+substitution touches only the monomials that actually contain the variable.
+
+The reduction modulo the vanishing polynomials ``x^2 - x`` is implicit in
+the representation: set-union multiplication is exactly idempotent
+multiplication. This mirrors the paper's F4-style custom reduction — same
+normal forms, batch per-variable elimination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
+
+from ..gf import GF2m
+from .gate_polys import BitTerms
+
+__all__ = ["SubstitutionEngine"]
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+class SubstitutionEngine:
+    """Mutable sparse polynomial with per-variable substitution."""
+
+    __slots__ = ("field", "terms", "occ", "peak_terms", "substitutions", "term_traffic")
+
+    def __init__(self, field: GF2m):
+        self.field = field
+        self.terms: Dict[FrozenSet[int], int] = {}
+        self.occ: Dict[int, Set[FrozenSet[int]]] = {}
+        self.peak_terms = 0
+        self.substitutions = 0
+        self.term_traffic = 0  # total monomials written (work measure)
+
+    def add_term(self, monomial: FrozenSet[int], coeff: int) -> None:
+        """XOR-accumulate ``coeff * monomial`` into the polynomial."""
+        if not coeff:
+            return
+        terms = self.terms
+        current = terms.get(monomial, 0)
+        merged = current ^ coeff
+        self.term_traffic += 1
+        if merged:
+            terms[monomial] = merged
+            if not current:
+                occ = self.occ
+                for var in monomial:
+                    bucket = occ.get(var)
+                    if bucket is None:
+                        occ[var] = {monomial}
+                    else:
+                        bucket.add(monomial)
+        else:
+            del terms[monomial]
+            occ = self.occ
+            for var in monomial:
+                occ[var].discard(monomial)
+
+    def add_terms(self, items: Iterable[Tuple[FrozenSet[int], int]]) -> None:
+        for monomial, coeff in items:
+            self.add_term(monomial, coeff)
+
+    def contains_var(self, var: int) -> bool:
+        bucket = self.occ.get(var)
+        return bool(bucket)
+
+    def variables_present(self) -> Set[int]:
+        return {var for var, bucket in self.occ.items() if bucket}
+
+    def substitute(self, var: int, tail: BitTerms) -> int:
+        """Replace ``var`` by ``tail`` everywhere; returns monomials touched.
+
+        Implements one batch of division steps ``... ->_{x+tail}+ ...``: for
+        every monomial ``var * base`` the term becomes ``tail * base`` (with
+        idempotent monomial union and field-coefficient products).
+        """
+        bucket = self.occ.pop(var, None)
+        if not bucket:
+            return 0
+        affected = list(bucket)
+        terms = self.terms
+        occ = self.occ
+        saved = []
+        for monomial in affected:
+            coeff = terms.pop(monomial)
+            for v in monomial:
+                if v != var:
+                    occ[v].discard(monomial)
+            saved.append((monomial, coeff))
+        mul = self.field.mul
+        var_singleton = frozenset((var,))
+        for monomial, coeff in saved:
+            base = monomial - var_singleton
+            for tail_monomial, tail_coeff in tail.items():
+                self.add_term(
+                    base | tail_monomial,
+                    coeff if tail_coeff == 1 else mul(coeff, tail_coeff),
+                )
+        self.substitutions += 1
+        if len(terms) > self.peak_terms:
+            self.peak_terms = len(terms)
+        return len(affected)
+
+    def snapshot(self) -> Dict[FrozenSet[int], int]:
+        return dict(self.terms)
+
+    def __len__(self) -> int:
+        return len(self.terms)

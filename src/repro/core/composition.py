@@ -1,0 +1,124 @@
+"""Word-level composition of block abstractions (hierarchical verification).
+
+Section 6 / Table 2: for a hierarchical design each block is abstracted
+gate-level -> word-level, "and then the approach is re-applied at word level
+to derive the input-output relation (solved trivially)". This module is that
+re-application: each block contributes a word-level polynomial; blocks are
+composed in dependency order by polynomial substitution, with exponents
+folded modulo ``X^q - X`` so the composite stays canonical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional
+
+from ..algebra import Polynomial, PolynomialRing
+from ..circuits import HierarchicalCircuit
+from ..gf import GF2m
+from .abstraction import AbstractionResult, abstract_circuit, word_ring_for
+
+__all__ = ["HierarchicalAbstraction", "abstract_hierarchy", "compose_polynomials"]
+
+
+@dataclass
+class HierarchicalAbstraction:
+    """Canonical polynomials of a hierarchy and its per-block breakdown."""
+
+    polynomials: Dict[str, Polynomial]  # hierarchy output word -> G(inputs)
+    ring: PolynomialRing  # over the hierarchy's input words
+    block_results: Dict[str, AbstractionResult]
+    compose_seconds: float = 0.0
+    block_seconds: Dict[str, float] = dataclass_field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compose_seconds + sum(self.block_seconds.values())
+
+
+def compose_polynomials(
+    block_poly: Polynomial,
+    bindings: Dict[str, Polynomial],
+    target_ring: PolynomialRing,
+) -> Polynomial:
+    """Evaluate a block polynomial on word-level expressions.
+
+    ``bindings`` maps each variable of ``block_poly`` to a polynomial of
+    ``target_ring``; exponent folding in the target ring keeps the result
+    canonical (degrees < q per variable).
+    """
+    source = block_poly.ring
+    result = target_ring.zero()
+    power_cache: Dict["tuple[str, int]", Polynomial] = {}
+
+    def bound_power(name: str, exp: int) -> Polynomial:
+        key = (name, exp)
+        if key not in power_cache:
+            power_cache[key] = bindings[name] ** exp
+        return power_cache[key]
+
+    for monomial, coeff in block_poly.terms.items():
+        term = target_ring.constant(coeff)
+        for var, exp in monomial:
+            term = term * bound_power(source.variables[var], exp)
+            if term.is_zero():
+                break
+        result = result + term
+    return result
+
+
+def abstract_hierarchy(
+    hierarchy: HierarchicalCircuit,
+    field: GF2m,
+    case2: str = "linearized",
+    block_results: Optional[Dict[str, AbstractionResult]] = None,
+) -> HierarchicalAbstraction:
+    """Abstract every block, then compose word-level polynomials.
+
+    ``block_results`` allows reusing already-computed block abstractions
+    (e.g. when the same block circuit instantiates several times).
+    """
+    ring = word_ring_for(field, hierarchy.input_words)
+    values: Dict[str, Polynomial] = {
+        word: ring.var(word) for word in hierarchy.input_words
+    }
+    results: Dict[str, AbstractionResult] = {}
+    block_seconds: Dict[str, float] = {}
+    compose_seconds = 0.0
+    for block in hierarchy.topological_blocks():
+        provided = block_results.get(block.name) if block_results else None
+        inner_result = None
+        if provided is None and block.is_nested:
+            # Hierarchies are trees: recurse, then compose the child's
+            # word-level polynomials like any other block polynomial.
+            inner_result = abstract_hierarchy(block.circuit, field, case2=case2)
+            block_seconds[block.name] = inner_result.total_seconds
+        for circ_word, hier_word in block.output_bindings.items():
+            if provided is not None:
+                results[block.name] = provided
+                block_seconds[block.name] = provided.stats.seconds
+                polynomial = provided.polynomial
+            elif inner_result is not None:
+                polynomial = inner_result.polynomials[circ_word]
+            else:
+                result = abstract_circuit(
+                    block.circuit, field, output_word=circ_word, case2=case2
+                )
+                results[block.name] = result
+                block_seconds[block.name] = result.stats.seconds
+                polynomial = result.polynomial
+            start = time.perf_counter()
+            bindings = {
+                circ_in: values[hier_in]
+                for circ_in, hier_in in block.input_bindings.items()
+            }
+            values[hier_word] = compose_polynomials(polynomial, bindings, ring)
+            compose_seconds += time.perf_counter() - start
+    return HierarchicalAbstraction(
+        polynomials={w: values[w] for w in hierarchy.output_words},
+        ring=ring,
+        block_results=results,
+        compose_seconds=compose_seconds,
+        block_seconds=block_seconds,
+    )

@@ -1,0 +1,101 @@
+"""Gate-level Boolean operators as polynomials over F2 ⊂ F_{2^k}.
+
+Section 4 of the paper models every gate as a polynomial relation
+``output + tail(inputs) = 0`` in the ring ``F_{2^k}[...]`` (all bit
+variables restricted to F2, i.e. idempotent):
+
+====  =================================
+AND   z + x*y           (x*y: product)
+XOR   z + x + y
+OR    z + x + y + x*y
+NOT   z + x + 1
+====  =================================
+
+n-ary gates expand the same way (OR via De Morgan:
+``OR(xs) = 1 + prod(1 + x)``). Tails are produced in the sparse
+idempotent-monomial form used by the substitution engine: a dict mapping
+``frozenset(variable ids)`` to a field coefficient.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Sequence
+
+from ..circuits import Gate, GateType
+
+__all__ = ["gate_tail", "BitTerms"]
+
+#: Sparse polynomial in idempotent (bit) variables:
+#: ``{frozenset(var_ids): coefficient}`` with nonzero field coefficients.
+BitTerms = Dict[FrozenSet[int], int]
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+def _xor_term(terms: BitTerms, monomial: FrozenSet[int], coeff: int = 1) -> None:
+    merged = terms.get(monomial, 0) ^ coeff
+    if merged:
+        terms[monomial] = merged
+    else:
+        del terms[monomial]
+
+
+def _product(ids: Sequence[int]) -> BitTerms:
+    return {frozenset(ids): 1}
+
+
+def _sum(ids: Sequence[int]) -> BitTerms:
+    terms: BitTerms = {}
+    for i in ids:
+        _xor_term(terms, frozenset((i,)))
+    return terms
+
+
+def _complement(terms: BitTerms) -> BitTerms:
+    result = dict(terms)
+    _xor_term(result, _EMPTY)
+    return result
+
+
+def _or_terms(ids: Sequence[int]) -> BitTerms:
+    # OR(xs) = 1 + prod(1 + x_i): expand the product of (1 + x_i) terms.
+    product: BitTerms = {_EMPTY: 1}
+    for i in ids:
+        expanded: BitTerms = {}
+        for monomial, coeff in product.items():
+            _xor_term(expanded, monomial, coeff)  # * 1
+            _xor_term(expanded, monomial | {i}, coeff)  # * x_i (idempotent)
+        product = expanded
+    return _complement(product)
+
+
+def gate_tail(gate: Gate, var_ids: Mapping[str, int]) -> BitTerms:
+    """The tail polynomial ``P`` of the gate relation ``output + P = 0``.
+
+    With the refined abstraction term order, every gate polynomial is
+    ``x_out + P(inputs)`` with ``lt = x_out`` (Sec. 5); this returns ``P``
+    with input nets translated through ``var_ids``.
+    """
+    ids = [var_ids[n] for n in gate.inputs]
+    gate_type = gate.gate_type
+    if gate_type is GateType.AND:
+        return _product(ids)
+    if gate_type is GateType.XOR:
+        return _sum(ids)
+    if gate_type is GateType.OR:
+        return _or_terms(ids)
+    if gate_type is GateType.NAND:
+        return _complement(_product(ids))
+    if gate_type is GateType.NOR:
+        return _complement(_or_terms(ids))
+    if gate_type is GateType.XNOR:
+        return _complement(_sum(ids))
+    if gate_type is GateType.NOT:
+        return _complement(_product(ids))  # 1 + x
+    if gate_type is GateType.BUF:
+        return _product(ids)  # x
+    if gate_type is GateType.CONST0:
+        return {}
+    if gate_type is GateType.CONST1:
+        return {_EMPTY: 1}
+    raise ValueError(f"unknown gate type {gate_type!r}")

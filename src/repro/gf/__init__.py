@@ -1,0 +1,22 @@
+"""Galois field substrate: F2[x] arithmetic and binary extension fields."""
+
+from . import poly2
+from .dualbasis import coordinate_coefficients, dual_basis
+from .field import GF2m, GFElement
+from .irreducible import find_irreducible, find_primitive, is_irreducible, is_primitive
+from .tables import NIST_POLYNOMIALS, STANDARD_POLYNOMIALS, nist_polynomial
+
+__all__ = [
+    "poly2",
+    "dual_basis",
+    "coordinate_coefficients",
+    "GF2m",
+    "GFElement",
+    "is_irreducible",
+    "is_primitive",
+    "find_irreducible",
+    "find_primitive",
+    "nist_polynomial",
+    "NIST_POLYNOMIALS",
+    "STANDARD_POLYNOMIALS",
+]

@@ -1,0 +1,94 @@
+"""Dual bases and bit-coordinate polynomials over F_{2^k}.
+
+The standard basis of F_{2^k} over F2 is ``{1, alpha, ..., alpha^{k-1}}``.
+Its *trace-dual* basis ``{beta_0, ..., beta_{k-1}}`` satisfies
+``Tr(alpha^i * beta_j) = delta_ij``, which makes each bit of a field element
+recoverable algebraically::
+
+    A = a_0 + a_1 alpha + ... + a_{k-1} alpha^{k-1}
+    a_i = Tr(beta_i * A) = sum_j (beta_i)^{2^j} * A^{2^j}
+
+so every coordinate ``a_i`` is a *linearized polynomial* in ``A``. The
+abstraction engine's Case-2 path uses these coordinate polynomials to
+eliminate leftover primary-input bits from a remainder — an algebraic
+substitution whose result coincides with the paper's Case-2 Gröbner basis
+computation by the uniqueness of the canonical representation (Cor. 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .field import GF2m
+
+__all__ = ["dual_basis", "coordinate_coefficients"]
+
+
+def _invert_f2_matrix(rows: List[int], k: int) -> List[int]:
+    """Invert a k x k matrix over F2 (row ``i`` is a bitmask; bit ``j`` =
+    entry ``(i, j)``). Raises on singular matrices."""
+    aug = [rows[i] | (1 << (k + i)) for i in range(k)]
+    for col in range(k):
+        pivot = next(
+            (r for r in range(col, k) if (aug[r] >> col) & 1), None
+        )
+        if pivot is None:
+            raise ValueError("matrix is singular over F2")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        for r in range(k):
+            if r != col and (aug[r] >> col) & 1:
+                aug[r] ^= aug[col]
+    return [aug[i] >> k for i in range(k)]
+
+
+_DUAL_CACHE: dict = {}
+
+
+def dual_basis(field: GF2m) -> List[int]:
+    """The trace-dual basis of the polynomial basis ``{alpha^i}``.
+
+    Returns residues ``beta_0 .. beta_{k-1}`` with
+    ``Tr(alpha^i * beta_j) = 1`` iff ``i == j``. Cached per field: the
+    Case-2 path queries one coordinate at a time and the Gram-matrix
+    inversion is O(k^3).
+    """
+    cached = _DUAL_CACHE.get(field)
+    if cached is not None:
+        return list(cached)
+    k = field.k
+    powers = [field.pow(field.alpha, i) for i in range(k)]
+    gram = []
+    for i in range(k):
+        row = 0
+        for j in range(k):
+            if field.trace(field.mul(powers[i], powers[j])):
+                row |= 1 << j
+        gram.append(row)
+    inverse = _invert_f2_matrix(gram, k)
+    # beta_j = sum_i inverse[i][j] * alpha^i
+    betas = []
+    for j in range(k):
+        beta = 0
+        for i in range(k):
+            if (inverse[i] >> j) & 1:
+                beta ^= powers[i]
+        betas.append(beta)
+    _DUAL_CACHE[field] = tuple(betas)
+    return betas
+
+
+def coordinate_coefficients(field: GF2m, bit: int) -> List[int]:
+    """Coefficients ``c_j`` with ``a_bit = sum_j c_j * A^(2^j)``.
+
+    ``c_j = (beta_bit)^(2^j)`` where ``beta`` is the dual basis element; the
+    returned list has length ``k`` (index ``j`` multiplies ``A^(2^j)``).
+    """
+    if not 0 <= bit < field.k:
+        raise ValueError(f"bit index {bit} out of range for F_2^{field.k}")
+    beta = dual_basis(field)[bit]
+    coeffs = []
+    value = beta
+    for _ in range(field.k):
+        coeffs.append(value)
+        value = field.square(value)
+    return coeffs

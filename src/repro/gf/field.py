@@ -1,0 +1,240 @@
+"""Binary extension fields F_{2^k} and their elements.
+
+A field is constructed as ``F2[x] / (P(x))`` for an irreducible ``P`` of
+degree ``k``. Elements are residues, encoded as ints whose bit ``i`` is the
+coefficient of ``alpha^i`` (``alpha`` a root of ``P``); equivalently the
+``k``-bit vector the hardware carries. Two interfaces are provided:
+
+- the :class:`GF2m` field object exposes ``add``/``mul``/``inv``/... on raw
+  ints — the fast path used throughout the algebra engine, where coefficient
+  arithmetic dominates runtime;
+- calling the field, ``field(value)``, wraps a residue in a
+  :class:`GFElement` with operator overloading for ergonomic user code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from . import poly2
+from .irreducible import is_irreducible
+from .tables import nist_polynomial
+
+__all__ = ["GF2m", "GFElement"]
+
+
+class GF2m:
+    """The Galois field F_{2^k}, constructed from an irreducible ``P(x)``."""
+
+    __slots__ = ("k", "modulus", "order", "_mask")
+
+    def __init__(self, k: int, modulus: Optional[int] = None):
+        if k < 1:
+            raise ValueError("field degree k must be >= 1")
+        if modulus is None:
+            modulus = nist_polynomial(k)
+        if poly2.degree(modulus) != k:
+            raise ValueError(
+                f"modulus has degree {poly2.degree(modulus)}, expected {k}"
+            )
+        if not is_irreducible(modulus):
+            raise ValueError(
+                f"modulus {poly2.to_string(modulus)} is not irreducible over F2"
+            )
+        self.k = k
+        self.modulus = modulus
+        self.order = 1 << k
+        self._mask = self.order - 1
+
+    # -- element construction ------------------------------------------------
+
+    def __call__(self, value: int) -> "GFElement":
+        return GFElement(self, self.reduce(value))
+
+    def element_from_bits(self, bits: List[int]) -> int:
+        """Pack a little-endian bit list (coefficient of ``alpha^i`` at index i)."""
+        if len(bits) > self.k:
+            raise ValueError(f"too many bits ({len(bits)}) for F_2^{self.k}")
+        value = 0
+        for i, b in enumerate(bits):
+            if b not in (0, 1):
+                raise ValueError(f"bit {i} is {b}, expected 0 or 1")
+            value |= b << i
+        return value
+
+    def bits_of(self, value: int) -> List[int]:
+        """Little-endian bit list of a residue, always length ``k``."""
+        self._check(value)
+        return [(value >> i) & 1 for i in range(self.k)]
+
+    @property
+    def alpha(self) -> int:
+        """The residue of ``x``: a root of the field's modulus.
+
+        For ``k == 1`` (modulus ``x + 1``) the residue of ``x`` is 1.
+        """
+        return self.reduce(0b10)
+
+    def elements(self) -> Iterator[int]:
+        """Iterate all ``2^k`` residues (use only for small fields)."""
+        return iter(range(self.order))
+
+    # -- raw-int arithmetic (fast path) --------------------------------------
+
+    def _check(self, a: int) -> None:
+        if not 0 <= a < self.order:
+            raise ValueError(f"{a} is not a residue of F_2^{self.k}")
+
+    def reduce(self, a: int) -> int:
+        """Reduce an arbitrary F2[x] polynomial to its residue."""
+        if 0 <= a < self.order:
+            return a
+        return poly2.mod(a, self.modulus)
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (== subtraction in characteristic 2)."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication: carry-less product reduced mod ``P(x)``."""
+        product = poly2.clmul(a, b)
+        if product < self.order:
+            return product
+        return poly2.mod(product, self.modulus)
+
+    def square(self, a: int) -> int:
+        squared = poly2.square(a)
+        if squared < self.order:
+            return squared
+        return poly2.mod(squared, self.modulus)
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse via extended Euclid in F2[x]."""
+        self._check(a)
+        return poly2.invmod(a, self.modulus)
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, exponent: int) -> int:
+        """``a**exponent`` with negative exponents resolved through ``inv``."""
+        if exponent < 0:
+            return poly2.powmod(self.inv(a), -exponent, self.modulus)
+        return poly2.powmod(a, exponent, self.modulus)
+
+    def frobenius(self, a: int, times: int = 1) -> int:
+        """Apply the Frobenius automorphism ``a -> a^2`` ``times`` times."""
+        for _ in range(times % self.k if self.k else 1):
+            a = self.square(a)
+        return a
+
+    def trace(self, a: int) -> int:
+        """Absolute trace ``Tr(a) = a + a^2 + ... + a^(2^(k-1))`` (0 or 1)."""
+        acc = 0
+        t = a
+        for _ in range(self.k):
+            acc ^= t
+            t = self.square(t)
+        return acc
+
+    # -- identity / introspection --------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GF2m)
+            and self.k == other.k
+            and self.modulus == other.modulus
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.k, self.modulus))
+
+    def __repr__(self) -> str:
+        return f"GF2m(k={self.k}, P(x)={poly2.to_string(self.modulus)})"
+
+
+class GFElement:
+    """A residue of F_{2^k} with operator overloading.
+
+    Thin wrapper over ``(field, int)``; arithmetic delegates to the field's
+    raw-int routines. Mixed operations with plain ints treat the int as a
+    residue of the same field.
+    """
+
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: GF2m, value: int):
+        field._check(value)
+        self.field = field
+        self.value = value
+
+    def _coerce(self, other: object) -> Optional[int]:
+        if isinstance(other, GFElement):
+            if other.field != self.field:
+                raise ValueError("elements belong to different fields")
+            return other.value
+        if isinstance(other, int):
+            return self.field.reduce(other)
+        return None
+
+    def __add__(self, other: object) -> "GFElement":
+        v = self._coerce(other)
+        if v is None:
+            return NotImplemented
+        return GFElement(self.field, self.value ^ v)
+
+    __radd__ = __add__
+    __sub__ = __add__  # characteristic 2: subtraction is addition
+    __rsub__ = __add__
+
+    def __mul__(self, other: object) -> "GFElement":
+        v = self._coerce(other)
+        if v is None:
+            return NotImplemented
+        return GFElement(self.field, self.field.mul(self.value, v))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object) -> "GFElement":
+        v = self._coerce(other)
+        if v is None:
+            return NotImplemented
+        return GFElement(self.field, self.field.div(self.value, v))
+
+    def __rtruediv__(self, other: object) -> "GFElement":
+        v = self._coerce(other)
+        if v is None:
+            return NotImplemented
+        return GFElement(self.field, self.field.div(v, self.value))
+
+    def __pow__(self, exponent: int) -> "GFElement":
+        return GFElement(self.field, self.field.pow(self.value, exponent))
+
+    def __neg__(self) -> "GFElement":
+        return self
+
+    def inverse(self) -> "GFElement":
+        return GFElement(self.field, self.field.inv(self.value))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GFElement):
+            return self.field == other.field and self.value == other.value
+        if isinstance(other, int):
+            return self.value == self.field.reduce(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.value))
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"GFElement({self.value:#x} in F_2^{self.field.k})"
+
+    def __str__(self) -> str:
+        """Render as a polynomial in alpha, e.g. ``a^3 + a + 1``."""
+        return poly2.to_string(self.value, var="a")

@@ -1,0 +1,136 @@
+"""Irreducibility and primitivity of polynomials over F2, plus search.
+
+Field construction needs an irreducible ``P(x)`` of degree ``k``; ECC
+standards additionally pick *primitive* or at least fixed low-weight
+irreducible polynomials (trinomials/pentanomials). This module provides:
+
+- :func:`is_irreducible` — Rabin's test,
+- :func:`is_primitive` — order test via factoring ``2^k - 1``,
+- :func:`find_irreducible` — lowest-weight irreducible of a given degree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from . import poly2
+
+__all__ = [
+    "is_irreducible",
+    "is_primitive",
+    "find_irreducible",
+    "find_primitive",
+    "prime_factors",
+]
+
+
+def _distinct_prime_divisors(n: int) -> List[int]:
+    """Distinct prime divisors of ``n`` by trial division with Pollard fallback."""
+    factors = set()
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.add(d)
+            n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.add(n)
+    return sorted(factors)
+
+
+def prime_factors(n: int) -> Dict[int, int]:
+    """Full prime factorisation ``{prime: multiplicity}`` by trial division."""
+    factors: Dict[int, int] = {}
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors[d] = factors.get(d, 0) + 1
+            n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors[n] = factors.get(n, 0) + 1
+    return factors
+
+
+def is_irreducible(poly: int) -> bool:
+    """Rabin's irreducibility test over F2.
+
+    ``poly`` of degree ``k`` is irreducible iff ``x^(2^k) == x (mod poly)``
+    and ``gcd(x^(2^(k/q)) - x, poly) == 1`` for every prime ``q | k``.
+    """
+    k = poly2.degree(poly)
+    if k <= 0:
+        return False
+    if k == 1:
+        return True
+    if poly & 1 == 0:  # divisible by x
+        return False
+    x = 0b10
+    for q in _distinct_prime_divisors(k):
+        # h = x^(2^(k/q)) mod poly, computed by repeated squaring of x.
+        h = x
+        for _ in range(k // q):
+            h = poly2.mod(poly2.square(h), poly)
+        if poly2.gcd(h ^ x, poly) != 1:
+            return False
+    h = x
+    for _ in range(k):
+        h = poly2.mod(poly2.square(h), poly)
+    return h == x
+
+
+def is_primitive(poly: int) -> bool:
+    """True when ``poly`` is primitive: its root generates ``F_{2^k}^*``.
+
+    Requires irreducibility plus ``ord(x) = 2^k - 1`` modulo ``poly``, checked
+    via ``x^((2^k-1)/q) != 1`` for every prime ``q | 2^k - 1``. Factoring
+    ``2^k - 1`` by trial division keeps this practical for ``k`` up to ~64;
+    the verification flow itself never requires primitivity, only
+    irreducibility, so large NIST degrees skip this check.
+    """
+    if not is_irreducible(poly):
+        return False
+    k = poly2.degree(poly)
+    order = (1 << k) - 1
+    x = 0b10
+    for q in _distinct_prime_divisors(order):
+        if poly2.powmod(x, order // q, poly) == 1:
+            return False
+    return True
+
+
+def _weight_candidates(k: int) -> Iterator[int]:
+    """Candidate degree-``k`` polynomials in increasing weight order.
+
+    Yields trinomials ``x^k + x^a + 1`` first, then pentanomials
+    ``x^k + x^c + x^b + x^a + 1`` — the forms hardware standards use.
+    """
+    top = (1 << k) | 1
+    for a in range(1, k):
+        yield top | (1 << a)
+    for c in range(3, k):
+        for b in range(2, c):
+            for a in range(1, b):
+                yield top | (1 << c) | (1 << b) | (1 << a)
+
+
+def find_irreducible(k: int) -> int:
+    """Lowest-weight irreducible polynomial of degree ``k`` (k >= 1)."""
+    if k < 1:
+        raise ValueError("degree must be >= 1")
+    if k == 1:
+        return 0b10  # x itself (the only degree-1 irreducible aside from x+1)
+    for candidate in _weight_candidates(k):
+        if is_irreducible(candidate):
+            return candidate
+    raise RuntimeError(f"no low-weight irreducible of degree {k} found")
+
+
+def find_primitive(k: int) -> int:
+    """Lowest-weight *primitive* polynomial of degree ``k``."""
+    if k < 2:
+        raise ValueError("degree must be >= 2 for a primitive polynomial search")
+    for candidate in _weight_candidates(k):
+        if is_primitive(candidate):
+            return candidate
+    raise RuntimeError(f"no low-weight primitive polynomial of degree {k} found")

@@ -1,0 +1,206 @@
+"""Arithmetic in F2[x]: polynomials over GF(2) represented as Python ints.
+
+Bit ``i`` of the integer is the coefficient of ``x**i``, so the zero
+polynomial is ``0``, ``x`` is ``0b10`` and ``x**3 + x + 1`` is ``0b1011``.
+Python's arbitrary-precision integers make this representation compact and
+fast: addition is XOR, multiplication is a carry-less (XOR-accumulating)
+shift-and-add, and reduction is long division driven by bit lengths.
+
+These routines are the foundation for constructing binary extension fields
+``F_{2^k} = F2[x] / (P(x))`` in :mod:`repro.gf.field`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+__all__ = [
+    "degree",
+    "from_exponents",
+    "to_exponents",
+    "to_string",
+    "clmul",
+    "mod",
+    "divmod2",
+    "mulmod",
+    "powmod",
+    "gcd",
+    "ext_gcd",
+    "invmod",
+    "square",
+    "derivative",
+    "evaluate",
+]
+
+
+def degree(poly: int) -> int:
+    """Degree of ``poly``; the zero polynomial has degree -1 by convention."""
+    if poly < 0:
+        raise ValueError("polynomials over F2 are encoded as non-negative ints")
+    return poly.bit_length() - 1
+
+
+def from_exponents(exponents: Iterable[int]) -> int:
+    """Build a polynomial from an iterable of exponents.
+
+    Repeated exponents cancel in characteristic 2, matching the algebra:
+    ``from_exponents([3, 1, 1, 0]) == x**3 + 1``.
+    """
+    poly = 0
+    for e in exponents:
+        if e < 0:
+            raise ValueError(f"negative exponent {e}")
+        poly ^= 1 << e
+    return poly
+
+
+def to_exponents(poly: int) -> List[int]:
+    """Exponents with nonzero coefficients, in decreasing order."""
+    exps = []
+    while poly:
+        d = degree(poly)
+        exps.append(d)
+        poly ^= 1 << d
+    return exps
+
+
+def to_string(poly: int, var: str = "x") -> str:
+    """Human-readable form, e.g. ``x^3 + x + 1``."""
+    if poly == 0:
+        return "0"
+    parts = []
+    for e in to_exponents(poly):
+        if e == 0:
+            parts.append("1")
+        elif e == 1:
+            parts.append(var)
+        else:
+            parts.append(f"{var}^{e}")
+    return " + ".join(parts)
+
+
+def clmul(a: int, b: int) -> int:
+    """Carry-less product of two F2[x] polynomials."""
+    if a < 0 or b < 0:
+        raise ValueError("polynomials over F2 are encoded as non-negative ints")
+    # Iterate over the sparser operand's set bits.
+    if a.bit_count() > b.bit_count():
+        a, b = b, a
+    result = 0
+    while a:
+        low = a & -a
+        result ^= b << (low.bit_length() - 1)
+        a ^= low
+    return result
+
+
+def divmod2(a: int, b: int) -> Tuple[int, int]:
+    """Quotient and remainder of ``a / b`` in F2[x]."""
+    if b == 0:
+        raise ZeroDivisionError("division by the zero polynomial")
+    deg_b = degree(b)
+    quotient = 0
+    while True:
+        shift = degree(a) - deg_b
+        if shift < 0:
+            return quotient, a
+        quotient ^= 1 << shift
+        a ^= b << shift
+
+
+def mod(a: int, b: int) -> int:
+    """Remainder of ``a`` modulo ``b`` in F2[x]."""
+    if b == 0:
+        raise ZeroDivisionError("reduction by the zero polynomial")
+    deg_b = degree(b)
+    while True:
+        shift = degree(a) - deg_b
+        if shift < 0:
+            return a
+        a ^= b << shift
+
+
+def mulmod(a: int, b: int, modulus: int) -> int:
+    """``a * b mod modulus`` in F2[x]."""
+    return mod(clmul(a, b), modulus)
+
+
+def square(a: int) -> int:
+    """Square in F2[x]: interleave zero bits (the Frobenius map on coefficients)."""
+    result = 0
+    i = 0
+    while a:
+        if a & 1:
+            result |= 1 << (2 * i)
+        a >>= 1
+        i += 1
+    return result
+
+
+def powmod(a: int, exponent: int, modulus: int) -> int:
+    """``a**exponent mod modulus`` by square-and-multiply."""
+    if exponent < 0:
+        raise ValueError("negative exponents require invmod")
+    result = mod(1, modulus)
+    a = mod(a, modulus)
+    while exponent:
+        if exponent & 1:
+            result = mulmod(result, a, modulus)
+        a = mod(square(a), modulus)
+        exponent >>= 1
+    return result
+
+
+def gcd(a: int, b: int) -> int:
+    """Greatest common divisor in F2[x] (monic by construction)."""
+    while b:
+        a, b = b, mod(a, b)
+    return a
+
+
+def ext_gcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Extended Euclid: returns ``(g, s, t)`` with ``s*a + t*b = g``."""
+    r0, r1 = a, b
+    s0, s1 = 1, 0
+    t0, t1 = 0, 1
+    while r1:
+        q, r = divmod2(r0, r1)
+        r0, r1 = r1, r
+        s0, s1 = s1, s0 ^ clmul(q, s1)
+        t0, t1 = t1, t0 ^ clmul(q, t1)
+    return r0, s0, t0
+
+
+def invmod(a: int, modulus: int) -> int:
+    """Multiplicative inverse of ``a`` modulo ``modulus`` in F2[x]."""
+    a = mod(a, modulus)
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse")
+    g, s, _ = ext_gcd(a, modulus)
+    if g != 1:
+        raise ValueError(
+            f"{to_string(a)} is not invertible modulo {to_string(modulus)}"
+        )
+    return mod(s, modulus)
+
+
+def derivative(poly: int) -> int:
+    """Formal derivative in F2[x]: even-exponent terms vanish."""
+    result = 0
+    e = 1
+    poly >>= 1
+    while poly:
+        if poly & 1 and e & 1:
+            result |= 1 << (e - 1)
+        poly >>= 1
+        e += 1
+    return result
+
+
+def evaluate(poly: int, point: int) -> int:
+    """Evaluate at a point of F2 (0 or 1)."""
+    if point == 0:
+        return poly & 1
+    if point == 1:
+        return poly.bit_count() & 1
+    raise ValueError("evaluation point must be 0 or 1 over F2")

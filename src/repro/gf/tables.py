@@ -1,0 +1,68 @@
+"""Standard irreducible polynomials for binary extension fields.
+
+The NIST FIPS 186 curves over binary fields fix the reduction polynomials
+used in this table; the small degrees carry the conventional low-weight
+choices (also the ones :func:`repro.gf.irreducible.find_irreducible`
+discovers). ``nist_polynomial`` is the lookup the rest of the library uses
+when a caller does not supply ``P(x)`` explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from . import poly2
+from .irreducible import find_irreducible
+
+__all__ = ["NIST_POLYNOMIALS", "STANDARD_POLYNOMIALS", "nist_polynomial"]
+
+
+def _poly(*exponents: int) -> int:
+    return poly2.from_exponents(exponents)
+
+
+#: Reduction polynomials fixed by NIST FIPS 186 for binary ECC fields.
+NIST_POLYNOMIALS: Dict[int, int] = {
+    163: _poly(163, 7, 6, 3, 0),
+    233: _poly(233, 74, 0),
+    283: _poly(283, 12, 7, 5, 0),
+    409: _poly(409, 87, 0),
+    571: _poly(571, 10, 5, 2, 0),
+}
+
+#: Conventional low-weight irreducible polynomials for common small degrees.
+STANDARD_POLYNOMIALS: Dict[int, int] = {
+    1: _poly(1, 0),  # x + 1: F2 itself represented as degree-1 quotient
+    2: _poly(2, 1, 0),
+    3: _poly(3, 1, 0),
+    4: _poly(4, 1, 0),
+    5: _poly(5, 2, 0),
+    6: _poly(6, 1, 0),
+    7: _poly(7, 1, 0),
+    8: _poly(8, 4, 3, 1, 0),  # the AES polynomial
+    9: _poly(9, 1, 0),
+    10: _poly(10, 3, 0),
+    11: _poly(11, 2, 0),
+    12: _poly(12, 3, 0),
+    16: _poly(16, 5, 3, 1, 0),
+    24: _poly(24, 4, 3, 1, 0),
+    32: _poly(32, 7, 3, 2, 0),
+    48: _poly(48, 5, 3, 2, 0),
+    64: _poly(64, 4, 3, 1, 0),
+    96: _poly(96, 10, 9, 6, 0),
+    128: _poly(128, 7, 2, 1, 0),
+}
+
+
+def nist_polynomial(k: int) -> int:
+    """The standard irreducible polynomial of degree ``k``.
+
+    Prefers the NIST ECC polynomials, then the conventional small-degree
+    table, and finally falls back to a lowest-weight irreducible search so
+    any ``k >= 1`` yields a valid field construction.
+    """
+    if k in NIST_POLYNOMIALS:
+        return NIST_POLYNOMIALS[k]
+    if k in STANDARD_POLYNOMIALS:
+        return STANDARD_POLYNOMIALS[k]
+    return find_irreducible(k)

@@ -1,0 +1,5 @@
+"""Interpolation oracle: canonical polynomials by exhaustive evaluation."""
+
+from .lagrange import indicator_polynomial, interpolate, interpolate_univariate
+
+__all__ = ["interpolate", "interpolate_univariate", "indicator_polynomial"]

@@ -1,0 +1,86 @@
+"""Lagrange interpolation of functions over F_{2^k}.
+
+Section 1 notes the canonical polynomial can in principle be derived by
+Lagrange interpolation, "however this requires analysing f over the entire
+field, which is exhaustive and infeasible" for large k. At *small* k it is
+perfectly feasible — and that makes it the ideal ground-truth oracle for the
+abstraction engine: interpolate the simulated circuit and compare canonical
+polynomials coefficient by coefficient.
+
+Univariate: ``F(X) = sum_a f(a) * (1 - (X - a)^(q-1))`` using that
+``(X-a)^(q-1)`` is 1 exactly off ``a``. Multivariate: tensor products of the
+same indicator polynomials, built iteratively per variable.
+"""
+
+from __future__ import annotations
+
+from itertools import product as cartesian_product
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..algebra import LexOrder, Polynomial, PolynomialRing
+from ..gf import GF2m
+
+__all__ = ["interpolate_univariate", "interpolate", "indicator_polynomial"]
+
+
+def indicator_polynomial(ring: PolynomialRing, name: str, point: int) -> Polynomial:
+    """The polynomial that is 1 at ``var == point`` and 0 elsewhere.
+
+    ``1 - (X - a)^(q-1)`` expanded to canonical degree ``q-1``.
+    """
+    field = ring.field
+    x_minus_a = ring.var(name) + ring.constant(point)
+    return ring.one() + x_minus_a ** (field.order - 1)
+
+
+def interpolate_univariate(
+    field: GF2m, values: Sequence[int], name: str = "A"
+) -> Polynomial:
+    """Canonical polynomial with ``F(a) = values[a]`` for every ``a`` in F_q."""
+    if len(values) != field.order:
+        raise ValueError(f"need {field.order} values, got {len(values)}")
+    ring = PolynomialRing(field, [name], order=LexOrder([0]))
+    result = ring.zero()
+    for a, fa in enumerate(values):
+        if fa:
+            result = result + indicator_polynomial(ring, name, a).scale(fa)
+    return result
+
+
+def interpolate(
+    field: GF2m,
+    function: Callable[..., int],
+    names: Sequence[str],
+) -> Polynomial:
+    """Canonical polynomial of ``f : F_q^n -> F_q`` given as a callable.
+
+    Exhausts the full domain (``q^n`` evaluations) — use only at small
+    ``k * n``. The result lives in a fold-enabled lex ring over ``names``,
+    matching the rings produced by the abstraction engine so polynomials
+    compare directly.
+    """
+    n = len(names)
+    domain_size = field.order ** n
+    if domain_size > 1 << 22:
+        raise ValueError(
+            f"interpolation over {domain_size} points is infeasible; "
+            "this oracle is for small fields only"
+        )
+    ring = PolynomialRing(field, list(names), order=LexOrder(range(n)))
+    # Precompute per-variable indicators once: q polynomials per variable.
+    indicators: List[List[Polynomial]] = [
+        [indicator_polynomial(ring, name, a) for a in range(field.order)]
+        for name in names
+    ]
+    result = ring.zero()
+    for point in cartesian_product(range(field.order), repeat=n):
+        value = function(*point)
+        if not value:
+            continue
+        term = ring.constant(value)
+        for var_index, coordinate in enumerate(point):
+            term = term * indicators[var_index][coordinate]
+            if term.is_zero():
+                break
+        result = result + term
+    return result

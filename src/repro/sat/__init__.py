@@ -1,0 +1,14 @@
+"""SAT substrate: CNF, Tseitin encoding, CDCL solver."""
+
+from .cnf import CNF
+from .solver import SatResult, SatSolver, solve
+from .tseitin import CircuitEncoding, tseitin_encode
+
+__all__ = [
+    "CNF",
+    "SatSolver",
+    "SatResult",
+    "solve",
+    "tseitin_encode",
+    "CircuitEncoding",
+]

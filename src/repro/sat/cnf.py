@@ -1,0 +1,86 @@
+"""CNF formulas in DIMACS-style integer literal encoding.
+
+Variables are positive integers; a literal is ``+v`` or ``-v``; a clause is
+a tuple of literals. :class:`CNF` tracks the variable counter and offers
+DIMACS serialisation for interoperability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["CNF"]
+
+
+class CNF:
+    """A growable CNF formula."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = tuple(literals)
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            if abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} references an unallocated variable")
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def to_dimacs(self) -> str:
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(map(str, clause)) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        cnf = cls()
+        declared_vars: Optional[int] = None
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"bad problem line: {line!r}")
+                declared_vars = int(parts[2])
+                cnf.num_vars = declared_vars
+                continue
+            literals = [int(tok) for tok in line.split()]
+            if literals and literals[-1] == 0:
+                literals = literals[:-1]
+            if literals:
+                cnf.num_vars = max(cnf.num_vars, max(abs(l) for l in literals))
+                cnf.clauses.append(tuple(literals))
+        if declared_vars is not None:
+            cnf.num_vars = max(cnf.num_vars, declared_vars)
+        return cnf
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """True when the assignment satisfies every clause."""
+        for clause in self.clauses:
+            if not any(
+                assignment.get(abs(lit), False) == (lit > 0) for lit in clause
+            ):
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)})"

@@ -1,0 +1,354 @@
+"""A CDCL SAT solver (the stand-in for the paper's circuit-SAT baseline).
+
+Conflict-driven clause learning with:
+
+- two-watched-literal unit propagation,
+- first-UIP conflict analysis with clause minimisation by self-subsumption
+  against reason clauses,
+- VSIDS-style activity-based decisions with exponential decay,
+- Luby-sequence restarts,
+- optional conflict budget so equivalence sweeps can time out gracefully.
+
+This is the decision procedure behind the miter-based equivalence baseline
+(Sec. 6's ABC/CSAT comparison): on structurally dissimilar multipliers it
+exhibits the expected exponential blow-up, which the benchmarks demonstrate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cnf import CNF
+
+__all__ = ["SatSolver", "SatResult", "solve"]
+
+
+class SatResult:
+    """Outcome of a SAT call: status plus model or proof-of-work stats."""
+
+    __slots__ = ("status", "model", "conflicts", "decisions", "propagations")
+
+    def __init__(
+        self,
+        status: str,
+        model: Optional[Dict[int, bool]] = None,
+        conflicts: int = 0,
+        decisions: int = 0,
+        propagations: int = 0,
+    ):
+        if status not in ("sat", "unsat", "unknown"):
+            raise ValueError(f"bad status {status!r}")
+        self.status = status
+        self.model = model
+        self.conflicts = conflicts
+        self.decisions = decisions
+        self.propagations = propagations
+
+    def __repr__(self) -> str:
+        return f"SatResult({self.status}, conflicts={self.conflicts})"
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,..."""
+    while True:
+        k = i.bit_length()  # 2^(k-1) <= i < 2^k
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class SatSolver:
+    """CDCL over an immutable input CNF (learnt clauses kept internally)."""
+
+    def __init__(self, cnf: CNF):
+        self.num_vars = cnf.num_vars
+        self.clauses: List[List[int]] = [list(c) for c in cnf.clauses if c]
+        if any(len(c) == 0 for c in cnf.clauses):
+            self.trivially_unsat = True
+        else:
+            self.trivially_unsat = False
+        # assignment[v]: None unassigned, else bool
+        self.assign: List[Optional[bool]] = [None] * (self.num_vars + 1)
+        self.level: List[int] = [0] * (self.num_vars + 1)
+        self.reason: List[Optional[int]] = [None] * (self.num_vars + 1)
+        self.activity: List[float] = [0.0] * (self.num_vars + 1)
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.watches: Dict[int, List[int]] = {}
+        self.polarity: List[bool] = [False] * (self.num_vars + 1)
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        # Lazy max-activity heap of (-activity, var); stale entries are
+        # re-pushed on pop, assigned ones skipped.
+        self._order_heap: List[Tuple[float, int]] = [
+            (0.0, v) for v in range(1, self.num_vars + 1)
+        ]
+        heapq.heapify(self._order_heap)
+        for idx, clause in enumerate(self.clauses):
+            self._watch_clause(idx)
+
+    # -- watched literals ------------------------------------------------------
+
+    def _watch_clause(self, idx: int) -> None:
+        clause = self.clauses[idx]
+        if len(clause) >= 2:
+            self.watches.setdefault(clause[0], []).append(idx)
+            self.watches.setdefault(clause[1], []).append(idx)
+
+    def _value(self, lit: int) -> Optional[bool]:
+        v = self.assign[abs(lit)]
+        if v is None:
+            return None
+        return v if lit > 0 else not v
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> bool:
+        value = self._value(lit)
+        if value is not None:
+            return value
+        var = abs(lit)
+        self.assign[var] = lit > 0
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns a conflicting clause index or None."""
+        head = getattr(self, "_qhead", 0)
+        assign = self.assign
+        clauses = self.clauses
+        trail = self.trail
+        watches = self.watches
+        while head < len(trail):
+            lit = trail[head]
+            head += 1
+            self.propagations += 1
+            falsified = -lit
+            watch_list = watches.get(falsified, [])
+            new_list: List[int] = []
+            i = 0
+            conflict = None
+            while i < len(watch_list):
+                idx = watch_list[i]
+                i += 1
+                clause = clauses[idx]
+                # Ensure clause[1] is the falsified watcher.
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                # Inlined literal valuation (hot loop).
+                v = assign[first] if first > 0 else assign[-first]
+                first_value = v if (first > 0 or v is None) else not v
+                if first_value is True:
+                    new_list.append(idx)
+                    continue
+                # Search replacement watch.
+                found = False
+                for j in range(2, len(clause)):
+                    other = clause[j]
+                    v = assign[other] if other > 0 else assign[-other]
+                    value = v if (other > 0 or v is None) else not v
+                    if value is not False:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        watches.setdefault(other, []).append(idx)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_list.append(idx)
+                if first_value is False:
+                    # Conflict: restore remaining watches and report.
+                    new_list.extend(watch_list[i:])
+                    conflict = idx
+                    break
+                self._enqueue(first, idx)
+            watches[falsified] = new_list
+            if conflict is not None:
+                self._qhead = len(trail)
+                return conflict
+        self._qhead = head
+        return None
+
+    # -- conflict analysis --------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+            self._order_heap = [
+                (-self.activity[v], v)
+                for v in range(1, self.num_vars + 1)
+                if self.assign[v] is None
+            ]
+            heapq.heapify(self._order_heap)
+        else:
+            heapq.heappush(self._order_heap, (-self.activity[var], var))
+
+    def _analyze(self, conflict_idx: int) -> Tuple[List[int], int]:
+        """First-UIP learning; returns (learnt clause, backjump level)."""
+        learnt: List[int] = [0]  # slot 0 reserved for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = None
+        idx: Optional[int] = conflict_idx
+        trail_pos = len(self.trail) - 1
+        current_level = len(self.trail_lim)
+        while True:
+            assert idx is not None
+            for q in self.clauses[idx]:
+                # When expanding the reason of an implied literal p, iterate
+                # over clause \ {p} (lit holds -p at this point).
+                if lit is not None and q == -lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # pick next literal from trail
+            while not seen[abs(self.trail[trail_pos])]:
+                trail_pos -= 1
+            lit = -self.trail[trail_pos]
+            var = abs(lit)
+            seen[var] = False
+            trail_pos -= 1
+            counter -= 1
+            if counter == 0:
+                learnt[0] = lit
+                break
+            idx = self.reason[var]
+        # Minimise: drop literals implied by the rest (reason subsumption).
+        marked = set(abs(l) for l in learnt)
+        minimised = [learnt[0]]
+        for q in learnt[1:]:
+            reason_idx = self.reason[abs(q)]
+            if reason_idx is None:
+                minimised.append(q)
+                continue
+            if all(
+                abs(r) in marked or self.level[abs(r)] == 0
+                for r in self.clauses[reason_idx]
+                if r != -q
+            ):
+                continue
+            minimised.append(q)
+        learnt = minimised
+        if len(learnt) == 1:
+            return learnt, 0
+        backjump = max(self.level[abs(q)] for q in learnt[1:])
+        return learnt, backjump
+
+    def _backtrack(self, target_level: int) -> None:
+        while len(self.trail_lim) > target_level:
+            mark = self.trail_lim.pop()
+            while len(self.trail) > mark:
+                lit = self.trail.pop()
+                var = abs(lit)
+                self.polarity[var] = self.assign[var] or False
+                self.assign[var] = None
+                self.reason[var] = None
+                heapq.heappush(self._order_heap, (-self.activity[var], var))
+        self._qhead = min(getattr(self, "_qhead", 0), len(self.trail))
+
+    def _decide(self) -> Optional[int]:
+        heap = self._order_heap
+        while heap:
+            neg_act, var = heapq.heappop(heap)
+            if self.assign[var] is not None:
+                continue
+            if -neg_act < self.activity[var]:
+                # Stale entry: a fresher one with higher priority exists.
+                heapq.heappush(heap, (-self.activity[var], var))
+                continue
+            return var if self.polarity[var] else -var
+        # Heap exhausted: fall back to a linear scan (assignment complete
+        # in the common case).
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] is None:
+                return var if self.polarity[var] else -var
+        return None
+
+    # -- driver ----------------------------------------------------------------------
+
+    def solve(
+        self, max_conflicts: Optional[int] = None, assumptions: Sequence[int] = ()
+    ) -> SatResult:
+        if self.trivially_unsat:
+            return SatResult("unsat")
+        self._qhead = 0
+        # Top-level units.
+        for idx, clause in enumerate(self.clauses):
+            if len(clause) == 1:
+                if not self._enqueue(clause[0], idx):
+                    return SatResult("unsat")
+        for lit in assumptions:
+            if not self._enqueue(lit, None):
+                return SatResult("unsat")
+        if self._propagate() is not None:
+            return SatResult("unsat")
+        restart_count = 0
+        conflicts_until_restart = 32 * _luby(1)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                if not self.trail_lim:
+                    return SatResult(
+                        "unsat",
+                        conflicts=self.conflicts,
+                        decisions=self.decisions,
+                        propagations=self.propagations,
+                    )
+                if max_conflicts is not None and self.conflicts >= max_conflicts:
+                    return SatResult(
+                        "unknown",
+                        conflicts=self.conflicts,
+                        decisions=self.decisions,
+                        propagations=self.propagations,
+                    )
+                learnt, backjump = self._analyze(conflict)
+                self._backtrack(backjump)
+                idx = len(self.clauses)
+                self.clauses.append(learnt)
+                self._watch_clause(idx)
+                self._enqueue(learnt[0], idx if len(learnt) > 1 else None)
+                self.var_inc /= self.var_decay
+                conflicts_until_restart -= 1
+                if conflicts_until_restart <= 0:
+                    restart_count += 1
+                    conflicts_until_restart = 32 * _luby(restart_count + 1)
+                    self._backtrack(0)
+                continue
+            decision = self._decide()
+            if decision is None:
+                model = {
+                    v: bool(self.assign[v]) for v in range(1, self.num_vars + 1)
+                }
+                return SatResult(
+                    "sat",
+                    model=model,
+                    conflicts=self.conflicts,
+                    decisions=self.decisions,
+                    propagations=self.propagations,
+                )
+            self.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(decision, None)
+
+
+def solve(
+    cnf: CNF,
+    max_conflicts: Optional[int] = None,
+    assumptions: Sequence[int] = (),
+) -> SatResult:
+    """One-shot convenience wrapper around :class:`SatSolver`."""
+    return SatSolver(cnf).solve(max_conflicts=max_conflicts, assumptions=assumptions)

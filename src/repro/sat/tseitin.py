@@ -1,0 +1,114 @@
+"""Tseitin encoding: gate-level circuits to equisatisfiable CNF.
+
+Each net gets a CNF variable; each gate contributes the clauses asserting
+``output <-> gate(inputs)``. n-ary associative gates are encoded directly
+(AND/OR get ``n+1`` clauses, XOR chains through fresh intermediates to avoid
+the exponential direct encoding).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..circuits import Circuit, GateType
+from .cnf import CNF
+
+__all__ = ["tseitin_encode", "CircuitEncoding"]
+
+
+class CircuitEncoding:
+    """CNF plus the net-to-variable map for one or more encoded circuits."""
+
+    def __init__(self) -> None:
+        self.cnf = CNF()
+        self.var_of: Dict[str, int] = {}
+
+    def variable(self, net: str) -> int:
+        if net not in self.var_of:
+            self.var_of[net] = self.cnf.new_var()
+        return self.var_of[net]
+
+    def assignment_of(self, model: Dict[int, bool]) -> Dict[str, bool]:
+        return {net: model.get(var, False) for net, var in self.var_of.items()}
+
+
+def _encode_and(cnf: CNF, out: int, ins: List[int]) -> None:
+    for i in ins:
+        cnf.add_clause((-out, i))
+    cnf.add_clause([out] + [-i for i in ins])
+
+
+def _encode_or(cnf: CNF, out: int, ins: List[int]) -> None:
+    for i in ins:
+        cnf.add_clause((out, -i))
+    cnf.add_clause([-out] + ins)
+
+
+def _encode_xor2(cnf: CNF, out: int, a: int, b: int) -> None:
+    cnf.add_clause((-out, a, b))
+    cnf.add_clause((-out, -a, -b))
+    cnf.add_clause((out, -a, b))
+    cnf.add_clause((out, a, -b))
+
+
+def _encode_xor(cnf: CNF, out: int, ins: List[int]) -> None:
+    acc = ins[0]
+    for nxt in ins[1:-1]:
+        fresh = cnf.new_var()
+        _encode_xor2(cnf, fresh, acc, nxt)
+        acc = fresh
+    _encode_xor2(cnf, out, acc, ins[-1])
+
+
+def _encode_eq(cnf: CNF, out: int, src: int, invert: bool) -> None:
+    if invert:
+        cnf.add_clause((-out, -src))
+        cnf.add_clause((out, src))
+    else:
+        cnf.add_clause((-out, src))
+        cnf.add_clause((out, -src))
+
+
+def tseitin_encode(
+    circuit: Circuit, encoding: CircuitEncoding = None, prefix: str = ""
+) -> CircuitEncoding:
+    """Encode ``circuit`` into CNF; nets are keyed as ``prefix + net``.
+
+    Passing an existing ``encoding`` composes several circuits over shared
+    variables (the miter construction maps both circuits' primary inputs to
+    the same keys).
+    """
+    enc = encoding if encoding is not None else CircuitEncoding()
+    cnf = enc.cnf
+    for net in circuit.inputs:
+        enc.variable(prefix + net)
+    for gate in circuit.topological_order():
+        out = enc.variable(prefix + gate.output)
+        ins = [enc.variable(prefix + n) for n in gate.inputs]
+        gate_type = gate.gate_type
+        if gate_type is GateType.AND:
+            _encode_and(cnf, out, ins)
+        elif gate_type is GateType.OR:
+            _encode_or(cnf, out, ins)
+        elif gate_type is GateType.XOR:
+            _encode_xor(cnf, out, ins)
+        elif gate_type in (GateType.NAND, GateType.NOR, GateType.XNOR):
+            inner = cnf.new_var()
+            if gate_type is GateType.NAND:
+                _encode_and(cnf, inner, ins)
+            elif gate_type is GateType.NOR:
+                _encode_or(cnf, inner, ins)
+            else:
+                _encode_xor(cnf, inner, ins)
+            _encode_eq(cnf, out, inner, invert=True)
+        elif gate_type is GateType.NOT:
+            _encode_eq(cnf, out, ins[0], invert=True)
+        elif gate_type is GateType.BUF:
+            _encode_eq(cnf, out, ins[0], invert=False)
+        elif gate_type is GateType.CONST0:
+            cnf.add_clause((-out,))
+        elif gate_type is GateType.CONST1:
+            cnf.add_clause((out,))
+        else:
+            raise ValueError(f"unknown gate type {gate_type!r}")
+    return enc

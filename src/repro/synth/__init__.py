@@ -1,0 +1,48 @@
+"""Circuit generators: the paper's Spec/Impl benchmarks and test workloads."""
+
+from .ecc import point_double_datapath, point_double_reference, point_double_spec
+from .inversion import frobenius_power_circuit, itoh_tsujii_inverter
+from .karatsuba import karatsuba_multiplier, karatsuba_product
+from .linear import (
+    constant_adder,
+    constant_multiplier,
+    gf_adder,
+    gf_squarer,
+    linear_map_circuit,
+)
+from .mastrovito import mastrovito_multiplier, reduction_matrix
+from .montgomery import (
+    montgomery_block,
+    montgomery_squarer,
+    montgomery_constant_block,
+    montgomery_multiplier,
+    montgomery_r,
+    montgomery_r2,
+)
+from .random_logic import random_netlist, random_word_function, synthesize_word_function
+
+__all__ = [
+    "mastrovito_multiplier",
+    "reduction_matrix",
+    "karatsuba_multiplier",
+    "karatsuba_product",
+    "frobenius_power_circuit",
+    "itoh_tsujii_inverter",
+    "point_double_datapath",
+    "point_double_spec",
+    "point_double_reference",
+    "constant_adder",
+    "montgomery_block",
+    "montgomery_constant_block",
+    "montgomery_multiplier",
+    "montgomery_squarer",
+    "montgomery_r",
+    "montgomery_r2",
+    "gf_adder",
+    "gf_squarer",
+    "constant_multiplier",
+    "linear_map_circuit",
+    "synthesize_word_function",
+    "random_word_function",
+    "random_netlist",
+]

@@ -1,0 +1,82 @@
+"""Itoh-Tsujii inversion datapath: a deep hierarchical verification target.
+
+Fermat's little theorem gives ``A^{-1} = A^{2^k - 2}`` over ``F_{2^k}``.
+The Itoh-Tsujii algorithm (ITA) evaluates this with an addition chain on
+``beta_t = A^{2^t - 1}``::
+
+    beta_1 = A
+    beta_{2t}  = (beta_t)^{2^t} * beta_t
+    beta_{t+1} = (beta_t)^2    * A
+    A^{-1}     = (beta_{k-1})^2
+
+following the binary expansion of ``k - 1``: O(log k) multiplications and
+Frobenius-power blocks. Each ``X^{2^e}`` block is F2-linear (an XOR
+network); multiplications are Mastrovito blocks. The resulting hierarchy
+is much deeper than the paper's Fig. 1 — a stress test for word-level
+composition, whose canonical result must be the single monomial
+``A^{q-2}``.
+"""
+
+from __future__ import annotations
+
+from ..circuits import Circuit, HierarchicalCircuit
+from ..gf import GF2m
+from .linear import linear_map_circuit
+from .mastrovito import mastrovito_multiplier
+
+__all__ = ["frobenius_power_circuit", "itoh_tsujii_inverter"]
+
+
+def frobenius_power_circuit(field: GF2m, e: int, name: str = "") -> Circuit:
+    """XOR network for ``Z = A^(2^e)`` (the e-fold Frobenius map)."""
+    if e < 0:
+        raise ValueError("Frobenius power must be non-negative")
+    columns = [
+        field.pow(field.alpha, i << e) if i else 1 for i in range(field.k)
+    ]
+    # alpha^0 = 1 maps to 1 regardless of e; higher basis vectors map to
+    # alpha^(i * 2^e) reduced in the field.
+    return linear_map_circuit(field, columns, name or f"frob{e}_{field.k}")
+
+
+def itoh_tsujii_inverter(field: GF2m, name: str = "") -> HierarchicalCircuit:
+    """Hierarchical inverter ``Z = A^{2^k - 2}`` (``0 -> 0``)."""
+    k = field.k
+    if k < 2:
+        raise ValueError("inversion datapath needs k >= 2")
+    hierarchy = HierarchicalCircuit(name or f"itoh_tsujii_{k}", k)
+    hierarchy.add_input_word("A")
+
+    fresh = {"n": 0}
+
+    def next_word() -> str:
+        fresh["n"] += 1
+        return f"t{fresh['n']}"
+
+    def frob_block(src: str, e: int) -> str:
+        out = next_word()
+        block = frobenius_power_circuit(field, e, name=f"frob{e}_{k}_{out}")
+        hierarchy.add_block(f"F{out}", block, {"A": src}, {"Z": out})
+        return out
+
+    def mul_block(lhs: str, rhs: str) -> str:
+        out = next_word()
+        block = mastrovito_multiplier(field, name=f"mul_{k}_{out}")
+        hierarchy.add_block(f"M{out}", block, {"A": lhs, "B": rhs}, {"Z": out})
+        return out
+
+    # Addition chain on t with beta_t = A^(2^t - 1), driven by the binary
+    # expansion of k - 1 (MSB first).
+    exponent_bits = bin(k - 1)[2:]
+    beta = "A"  # beta_1
+    t = 1
+    for bit in exponent_bits[1:]:
+        beta = mul_block(frob_block(beta, t), beta)  # beta_{2t}
+        t *= 2
+        if bit == "1":
+            beta = mul_block(frob_block(beta, 1), "A")  # beta_{t+1}
+            t += 1
+    assert t == k - 1
+    inverse = frob_block(beta, 1)  # (beta_{k-1})^2 = A^(2^k - 2)
+    hierarchy.set_output_words([inverse])
+    return hierarchy

@@ -1,0 +1,101 @@
+"""Linear (XOR-network) datapaths: adders, squarers, constant multipliers.
+
+Addition in F_{2^k} is bitwise XOR; squaring and multiplication by a
+constant are F2-linear maps, so each output bit is an XOR of a subset of
+input bits. These generators emit the corresponding XOR networks — small
+circuits that exercise the abstraction engine on functions other than
+``A * B`` (``A + B``, ``A^2``, ``c * A``) and provide building blocks for
+composed datapaths.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuits import Circuit
+from ..gf import GF2m
+
+__all__ = [
+    "gf_adder",
+    "gf_squarer",
+    "constant_adder",
+    "constant_multiplier",
+    "linear_map_circuit",
+]
+
+
+def gf_adder(field: GF2m, name: str = "") -> Circuit:
+    """``Z = A + B`` over F_{2^k}: one XOR per bit."""
+    k = field.k
+    circuit = Circuit(name or f"gfadd_{k}")
+    a_bits = circuit.add_inputs(f"a{i}" for i in range(k))
+    b_bits = circuit.add_inputs(f"b{i}" for i in range(k))
+    circuit.add_input_word("A", a_bits)
+    circuit.add_input_word("B", b_bits)
+    z_bits = [circuit.XOR(a_bits[i], b_bits[i], out=f"z{i}") for i in range(k)]
+    circuit.set_outputs(z_bits)
+    circuit.add_output_word("Z", z_bits)
+    return circuit
+
+
+def linear_map_circuit(
+    field: GF2m, columns: List[int], name: str, input_word: str = "A"
+) -> Circuit:
+    """XOR network for the F2-linear map sending basis vector i to columns[i].
+
+    ``columns[i]`` is the image of ``alpha^i`` as a ``k``-bit residue; output
+    bit ``j`` is the XOR of input bits ``i`` with bit ``j`` of
+    ``columns[i]`` set.
+    """
+    k = field.k
+    if len(columns) != k:
+        raise ValueError(f"expected {k} columns, got {len(columns)}")
+    circuit = Circuit(name)
+    a_bits = circuit.add_inputs(f"a{i}" for i in range(k))
+    circuit.add_input_word(input_word, a_bits)
+    z_bits = []
+    for j in range(k):
+        terms = [a_bits[i] for i in range(k) if (columns[i] >> j) & 1]
+        if not terms:
+            z_bits.append(circuit.CONST(0, out=f"z{j}"))
+        elif len(terms) == 1:
+            z_bits.append(circuit.BUF(terms[0], out=f"z{j}"))
+        else:
+            z_bits.append(circuit.xor_tree(terms, out=f"z{j}"))
+    circuit.set_outputs(z_bits)
+    circuit.add_output_word("Z", z_bits)
+    return circuit
+
+
+def constant_adder(field: GF2m, constant: int, name: str = "") -> Circuit:
+    """``Z = A + c``: inverters on the bit positions set in ``c``."""
+    k = field.k
+    field._check(constant)
+    circuit = Circuit(name or f"gfaddconst_{k}_{constant:x}")
+    a_bits = circuit.add_inputs(f"a{i}" for i in range(k))
+    circuit.add_input_word("A", a_bits)
+    z_bits = []
+    for i in range(k):
+        if (constant >> i) & 1:
+            z_bits.append(circuit.NOT(a_bits[i], out=f"z{i}"))
+        else:
+            z_bits.append(circuit.BUF(a_bits[i], out=f"z{i}"))
+    circuit.set_outputs(z_bits)
+    circuit.add_output_word("Z", z_bits)
+    return circuit
+
+
+def gf_squarer(field: GF2m, name: str = "") -> Circuit:
+    """``Z = A^2`` over F_{2^k}: the Frobenius map as an XOR network."""
+    columns = [field.pow(field.alpha, 2 * i) for i in range(field.k)]
+    return linear_map_circuit(field, columns, name or f"gfsquare_{field.k}")
+
+
+def constant_multiplier(field: GF2m, constant: int, name: str = "") -> Circuit:
+    """``Z = c * A`` over F_{2^k} for a fixed residue ``c``."""
+    columns = [
+        field.mul(constant, field.pow(field.alpha, i)) for i in range(field.k)
+    ]
+    return linear_map_circuit(
+        field, columns, name or f"gfconstmul_{field.k}_{constant:x}"
+    )

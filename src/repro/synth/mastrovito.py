@@ -1,0 +1,89 @@
+"""Mastrovito multiplier generator: the paper's golden-model (Spec) circuit.
+
+A Mastrovito multiplier [Mastrovito, 1988] computes ``Z = A * B mod P(x)``
+in two stages:
+
+1. an array multiplier forms the polynomial product
+   ``S = A * B`` over F2, with ``s_t = XOR_{i+j=t} (a_i AND b_j)`` for
+   ``t = 0 .. 2k-2``;
+2. a reduction network folds the high coefficients ``s_k .. s_{2k-2}`` back
+   into the low ``k`` positions using the precomputed residues
+   ``alpha^t mod P(x)``.
+
+The result is a flat netlist of ``k^2`` AND gates and O(k^2) XOR gates with
+input words ``A``, ``B`` and output word ``Z`` — the flattened Spec of the
+paper's Table 1 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuits import Circuit
+from ..gf import GF2m, poly2
+
+__all__ = ["mastrovito_multiplier", "reduction_matrix"]
+
+
+def reduction_matrix(field: GF2m) -> List[int]:
+    """Residues ``alpha^t mod P(x)`` for ``t = 0 .. 2k-2``.
+
+    Row ``t`` is a ``k``-bit mask: bit ``j`` set means ``s_t`` contributes to
+    output coefficient ``z_j`` after reduction.
+    """
+    rows = []
+    residue = 1
+    for _ in range(2 * field.k - 1):
+        rows.append(residue)
+        residue = field.mul(residue, field.alpha)
+    return rows
+
+
+def mastrovito_multiplier(
+    field: GF2m, name: str = "", tree: bool = True
+) -> Circuit:
+    """Build a gate-level Mastrovito multiplier for ``field``.
+
+    ``tree=True`` accumulates partial products with balanced XOR trees
+    (shallow, synthesis-like); ``tree=False`` chains them linearly, matching
+    the classic array-multiplier structure. Both compute the same function.
+    """
+    k = field.k
+    circuit = Circuit(name or f"mastrovito_{k}")
+    a_bits = circuit.add_inputs(f"a{i}" for i in range(k))
+    b_bits = circuit.add_inputs(f"b{i}" for i in range(k))
+    circuit.add_input_word("A", a_bits)
+    circuit.add_input_word("B", b_bits)
+
+    # Stage 1: partial products and the polynomial product S.
+    s_nets: List[str] = []
+    for t in range(2 * k - 1):
+        partials = []
+        for i in range(max(0, t - k + 1), min(t, k - 1) + 1):
+            partials.append(circuit.AND(a_bits[i], b_bits[t - i], out=f"pp_{i}_{t - i}"))
+        if len(partials) == 1:
+            s_nets.append(partials[0])
+        elif tree:
+            s_nets.append(circuit.xor_tree(partials, out=f"s{t}"))
+        else:
+            acc = partials[0]
+            for p in partials[1:]:
+                acc = circuit.XOR(acc, p)
+            s_nets.append(circuit.BUF(acc, out=f"s{t}"))
+
+    # Stage 2: reduction network z_j = s_j XOR (high s_t with alpha^t bit j).
+    rows = reduction_matrix(field)
+    z_bits = []
+    for j in range(k):
+        terms = [s_nets[j]] if j < len(s_nets) else []
+        for t in range(k, 2 * k - 1):
+            if (rows[t] >> j) & 1:
+                terms.append(s_nets[t])
+        if len(terms) == 1:
+            z_bits.append(circuit.BUF(terms[0], out=f"z{j}"))
+        else:
+            z_bits.append(circuit.xor_tree(terms, out=f"z{j}"))
+
+    circuit.set_outputs(z_bits)
+    circuit.add_output_word("Z", z_bits)
+    return circuit

@@ -1,0 +1,114 @@
+"""Truth-table synthesis and random word functions (test workloads).
+
+Any function ``f : F_{2^k}^n -> F_{2^k}`` is realisable as two-level logic;
+:func:`synthesize_word_function` builds the XOR-of-minterms netlist for an
+arbitrary table. Together with :func:`random_word_function` this gives the
+test suite a supply of circuits whose canonical polynomials are *not* nice
+arithmetic identities, exercising the abstraction engine (and its Case-2
+path) far from the multiplier benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import product as cartesian_product
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..circuits import Circuit
+from ..gf import GF2m
+
+__all__ = ["synthesize_word_function", "random_word_function", "random_netlist"]
+
+
+def synthesize_word_function(
+    field: GF2m,
+    table: Dict[Tuple[int, ...], int],
+    num_inputs: int,
+    name: str = "tt",
+) -> Circuit:
+    """Two-level netlist for the word function given by ``table``.
+
+    ``table`` maps every point of ``F_{2^k}^num_inputs`` to a residue.
+    Each output bit is the XOR of its minterms (minterms are disjoint, so
+    XOR equals OR); minterms are ANDs of input literals with NOT gates for
+    complemented bits. Practical only for small ``k * num_inputs``.
+    """
+    k = field.k
+    expected = 1 << (k * num_inputs)
+    if len(table) != expected:
+        raise ValueError(f"table has {len(table)} rows, expected {expected}")
+    circuit = Circuit(f"{name}_{k}")
+    words: List[List[str]] = []
+    for w in range(num_inputs):
+        bits = circuit.add_inputs(f"w{w}_{i}" for i in range(k))
+        circuit.add_input_word(chr(ord("A") + w), bits)
+        words.append(bits)
+    flat_bits = [b for bits in words for b in bits]
+    inverted = {b: circuit.NOT(b, out=f"n_{b}") for b in flat_bits}
+
+    minterm_cache: Dict[Tuple[int, ...], str] = {}
+
+    def minterm(point: Tuple[int, ...]) -> str:
+        if point in minterm_cache:
+            return minterm_cache[point]
+        literals = []
+        for w, value in enumerate(point):
+            for i, bit in enumerate(words[w]):
+                literals.append(bit if (value >> i) & 1 else inverted[bit])
+        net = literals[0]
+        for lit in literals[1:]:
+            net = circuit.AND(net, lit)
+        minterm_cache[point] = net
+        return net
+
+    z_bits = []
+    for j in range(k):
+        terms = [minterm(p) for p, out in sorted(table.items()) if (out >> j) & 1]
+        if not terms:
+            z_bits.append(circuit.CONST(0, out=f"z{j}"))
+        else:
+            z_bits.append(circuit.xor_tree(terms, out=f"z{j}"))
+    circuit.set_outputs(z_bits)
+    circuit.add_output_word("Z", z_bits)
+    return circuit
+
+
+def random_word_function(
+    field: GF2m,
+    num_inputs: int = 1,
+    rng: Optional[random.Random] = None,
+    name: str = "randfn",
+) -> Tuple[Circuit, Dict[Tuple[int, ...], int]]:
+    """A random function table over ``F_{2^k}^num_inputs`` and its netlist."""
+    rng = rng or random.Random()
+    k = field.k
+    points = cartesian_product(range(field.order), repeat=num_inputs)
+    table = {p: rng.randrange(field.order) for p in points}
+    return synthesize_word_function(field, table, num_inputs, name=name), table
+
+
+def random_netlist(
+    num_inputs: int,
+    num_gates: int,
+    rng: Optional[random.Random] = None,
+    name: str = "randnet",
+) -> Circuit:
+    """A random acyclic gate soup (structural tests, I/O round-trips)."""
+    from ..circuits.gates import GateType
+
+    rng = rng or random.Random()
+    circuit = Circuit(name)
+    nets = circuit.add_inputs(f"i{j}" for j in range(num_inputs))
+    binary = [GateType.AND, GateType.OR, GateType.XOR, GateType.NAND, GateType.NOR, GateType.XNOR]
+    for _ in range(num_gates):
+        gate_type = rng.choice(binary + [GateType.NOT])
+        if gate_type is GateType.NOT:
+            nets.append(circuit.NOT(rng.choice(nets)))
+        else:
+            nets.append(
+                circuit.add_gate(
+                    circuit.fresh_net("g"), gate_type, rng.sample(nets, 2)
+                )
+            )
+    circuit.set_outputs(nets[-max(1, num_gates // 4):])
+    return circuit

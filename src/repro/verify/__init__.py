@@ -1,0 +1,25 @@
+"""Equivalence verification front-end: the paper's flow plus all baselines."""
+
+from .bdd_checker import check_equivalence_bdd
+from .counterexample import find_nonzero_point
+from .equivalence import canonical_polynomial, verify_equivalence
+from .fraig_checker import check_equivalence_fraig
+from .fullgb import FullGroebnerResult, abstract_via_full_groebner
+from .ideal_membership import check_ideal_membership
+from .miter import build_miter
+from .outcome import EquivalenceOutcome
+from .sat_checker import check_equivalence_sat
+
+__all__ = [
+    "verify_equivalence",
+    "canonical_polynomial",
+    "EquivalenceOutcome",
+    "build_miter",
+    "check_equivalence_sat",
+    "check_equivalence_bdd",
+    "check_equivalence_fraig",
+    "check_ideal_membership",
+    "abstract_via_full_groebner",
+    "FullGroebnerResult",
+    "find_nonzero_point",
+]

@@ -1,0 +1,55 @@
+"""Counterexample extraction from differing canonical polynomials.
+
+When two circuits' canonical polynomials ``G1 != G2`` the difference
+``D = G1 + G2`` is a nonzero canonical polynomial, hence a nonzero
+*function* on ``F_q^n`` (Definition 3.1 uniqueness) — some input point
+witnesses the disagreement. Small domains are exhausted; larger ones are
+sampled (Schwartz–Zippel: a random point misses a nonzero low-degree
+polynomial with probability at most ``deg/q``).
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import product as cartesian_product
+from typing import Dict, Optional
+
+from ..algebra import Polynomial
+
+__all__ = ["find_nonzero_point"]
+
+
+def find_nonzero_point(
+    difference: Polynomial,
+    exhaustive_limit: int = 1 << 16,
+    samples: int = 20000,
+    seed: int = 2014,
+) -> Optional[Dict[str, int]]:
+    """A point where ``difference`` evaluates nonzero, or None if not found.
+
+    Unused ring variables are fixed to 0 in the returned assignment.
+    """
+    if difference.is_zero():
+        return None
+    ring = difference.ring
+    q = ring.field.order
+    used = difference.variables_used()
+    full = {name: 0 for name in ring.variables}
+
+    domain_size = q ** len(used) if used else 1
+    if not used:
+        return dict(full)  # nonzero constant differs everywhere
+    if domain_size <= exhaustive_limit:
+        for point in cartesian_product(range(q), repeat=len(used)):
+            assignment = dict(zip(used, point))
+            if difference.evaluate(assignment):
+                full.update(assignment)
+                return full
+        return None  # unreachable for canonical nonzero polynomials
+    rng = random.Random(seed)
+    for _ in range(samples):
+        assignment = {name: rng.randrange(q) for name in used}
+        if difference.evaluate(assignment):
+            full.update(assignment)
+            return full
+    return None

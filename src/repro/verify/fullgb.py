@@ -1,0 +1,75 @@
+"""Full Gröbner-basis abstraction — the paper's SINGULAR ``slimgb`` baseline.
+
+Section 6: "we use the SINGULAR computer algebra tool to derive the
+polynomial abstraction by computing a full Gröbner basis of J + J_0 ...
+and find the technique is infeasible (memory explosion) beyond only 32-bit
+circuits". This module reproduces that experiment with the built-in
+Buchberger: extract the whole circuit ideal, compute a reduced basis under
+the abstraction (lex) order, and fish out ``Z + G(A)`` — with a basis-size
+budget standing in for the memory limit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..algebra import GroebnerStats, Polynomial, reduced_groebner_basis
+from ..circuits import Circuit
+from ..core.extractor import circuit_ideal
+from ..gf import GF2m
+
+__all__ = ["FullGroebnerResult", "abstract_via_full_groebner"]
+
+
+@dataclass
+class FullGroebnerResult:
+    """Outcome of the full-GB abstraction baseline."""
+
+    polynomial: Optional[Polynomial]  # Z + G(A,...) from the basis, or None
+    completed: bool
+    seconds: float
+    stats: GroebnerStats
+    basis_size: int = 0
+
+
+def abstract_via_full_groebner(
+    circuit: Circuit,
+    field: GF2m,
+    output_word: Optional[str] = None,
+    max_basis: Optional[int] = 20000,
+    deadline_seconds: Optional[float] = 60.0,
+) -> FullGroebnerResult:
+    """Compute GB(J + J_0) under the abstraction order and extract Z + G.
+
+    Exponential in general — exactly why Section 5 exists. ``max_basis``
+    bounds the basis size and ``deadline_seconds`` the wall clock;
+    exceeding either reports ``completed=False`` (the "memory explosion" /
+    24h-timeout outcomes from the paper's Section 6 discussion).
+    """
+    start = time.perf_counter()
+    if output_word is None:
+        if len(circuit.output_words) != 1:
+            raise ValueError("output_word must be named for multi-word circuits")
+        output_word = next(iter(circuit.output_words))
+    ideal = circuit_ideal(circuit, field)
+    stats = GroebnerStats()
+    generators = ideal.generators + ideal.vanishing
+    try:
+        basis = reduced_groebner_basis(
+            generators,
+            max_basis=max_basis,
+            stats=stats,
+            deadline_seconds=deadline_seconds,
+        )
+    except RuntimeError:
+        return FullGroebnerResult(
+            None, False, time.perf_counter() - start, stats
+        )
+    z_index = ideal.ring.index[output_word]
+    matches = [p for p in basis if p.leading_monomial() == ((z_index, 1),)]
+    elapsed = time.perf_counter() - start
+    if len(matches) != 1:
+        return FullGroebnerResult(None, False, elapsed, stats, len(basis))
+    return FullGroebnerResult(matches[0], True, elapsed, stats, len(basis))

@@ -1,0 +1,47 @@
+"""Shared result type for every equivalence-checking method."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["EquivalenceOutcome"]
+
+
+@dataclass
+class EquivalenceOutcome:
+    """Verdict of an equivalence check.
+
+    ``status``: ``"equivalent"``, ``"not_equivalent"`` or ``"unknown"``
+    (resource budget exhausted). ``counterexample`` maps input word names to
+    residues on which the designs differ (when available). ``details``
+    carries method-specific statistics (conflicts, node counts, polynomial
+    sizes, wall time) for the benchmark harness.
+    """
+
+    status: str
+    method: str
+    counterexample: Optional[Dict[str, int]] = None
+    seconds: float = 0.0
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.status not in ("equivalent", "not_equivalent", "unknown"):
+            raise ValueError(f"bad status {self.status!r}")
+
+    @property
+    def equivalent(self) -> bool:
+        return self.status == "equivalent"
+
+    @property
+    def decided(self) -> bool:
+        return self.status != "unknown"
+
+    def __str__(self) -> str:
+        extra = ""
+        if self.counterexample:
+            pretty = ", ".join(
+                f"{w}={v:#x}" for w, v in sorted(self.counterexample.items())
+            )
+            extra = f" (counterexample: {pretty})"
+        return f"[{self.method}] {self.status}{extra} in {self.seconds:.3f}s"

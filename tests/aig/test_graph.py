@@ -1,0 +1,95 @@
+"""Unit tests for the AIG core."""
+
+import itertools
+
+import pytest
+
+from repro.aig import FALSE_LIT, TRUE_LIT, Aig
+
+
+class TestLiterals:
+    def test_lit_encoding(self):
+        assert Aig.lit(3) == 6
+        assert Aig.lit(3, complement=True) == 7
+        assert Aig.node_of(7) == 3
+        assert Aig.is_complemented(7)
+        assert Aig.negate(6) == 7 and Aig.negate(7) == 6
+
+    def test_constants(self):
+        assert FALSE_LIT == 0 and TRUE_LIT == 1
+        assert Aig.negate(FALSE_LIT) == TRUE_LIT
+
+
+class TestConstruction:
+    def test_inputs(self):
+        aig = Aig()
+        a = aig.add_input()
+        b = aig.add_input()
+        assert a != b
+        assert aig.is_input_node(a >> 1)
+        assert not aig.is_input_node(0)
+
+    def test_and_folding_rules(self):
+        aig = Aig()
+        a = aig.add_input()
+        assert aig.and_gate(a, FALSE_LIT) == FALSE_LIT
+        assert aig.and_gate(a, TRUE_LIT) == a
+        assert aig.and_gate(a, a) == a
+        assert aig.and_gate(a, Aig.negate(a)) == FALSE_LIT
+
+    def test_structural_hashing(self):
+        aig = Aig()
+        a, b = aig.add_input(), aig.add_input()
+        n1 = aig.and_gate(a, b)
+        n2 = aig.and_gate(b, a)  # commuted
+        assert n1 == n2
+        assert aig.num_ands() == 1
+
+    def test_derived_gates_truth_tables(self):
+        aig = Aig()
+        a, b = aig.add_input(), aig.add_input()
+        gates = {
+            "and": aig.and_gate(a, b),
+            "or": aig.or_gate(a, b),
+            "xor": aig.xor_gate(a, b),
+        }
+        expected = {
+            "and": lambda x, y: x & y,
+            "or": lambda x, y: x | y,
+            "xor": lambda x, y: x ^ y,
+        }
+        for x, y in itertools.product((0, 1), repeat=2):
+            values = aig.simulate({a >> 1: x, b >> 1: y})
+            for name, lit in gates.items():
+                assert aig.lit_value(values, lit) == expected[name](x, y), name
+
+    def test_mux(self):
+        aig = Aig()
+        s, t, e = aig.add_input(), aig.add_input(), aig.add_input()
+        m = aig.mux(s, t, e)
+        for sv, tv, ev in itertools.product((0, 1), repeat=3):
+            values = aig.simulate({s >> 1: sv, t >> 1: tv, e >> 1: ev})
+            assert aig.lit_value(values, m) == (tv if sv else ev)
+
+
+class TestSimulation:
+    def test_bit_parallel(self):
+        aig = Aig()
+        a, b = aig.add_input(), aig.add_input()
+        z = aig.xor_gate(a, b)
+        mask = 0b1111
+        values = aig.simulate({a >> 1: 0b0011, b >> 1: 0b0101}, mask)
+        assert aig.lit_value(values, z, mask) == 0b0110
+
+    def test_complemented_inputs(self):
+        aig = Aig()
+        a = aig.add_input()
+        values = aig.simulate({a >> 1: 1})
+        assert aig.lit_value(values, Aig.negate(a)) == 0
+
+    def test_cone_size(self):
+        aig = Aig()
+        a, b, c = (aig.add_input() for _ in range(3))
+        z = aig.and_gate(aig.and_gate(a, b), c)
+        assert aig.cone_size(z) == 2
+        assert aig.cone_size(a) == 0

@@ -1,0 +1,177 @@
+"""Unit tests for Buchberger's algorithm and reduced Gröbner bases."""
+
+import pytest
+
+from repro.algebra import (
+    GroebnerStats,
+    LexOrder,
+    PolynomialRing,
+    buchberger,
+    interreduce,
+    is_groebner_basis,
+    leading_monomials_coprime,
+    reduce_polynomial,
+    reduced_groebner_basis,
+    s_polynomial,
+    vanishing_ideal,
+)
+from repro.gf import GF2m
+
+
+@pytest.fixture
+def ring(f16):
+    return PolynomialRing(f16, ["x", "y", "z"], order=LexOrder([0, 1, 2]), fold=False)
+
+
+class TestSPolynomial:
+    def test_cancels_leading_terms(self, ring):
+        x, y, z = ring.var("x"), ring.var("y"), ring.var("z")
+        f = x * x * y + z
+        g = x * y * y + x
+        s = s_polynomial(f, g)
+        # lcm = x^2 y^2; Spoly = y*f + x*g = yz + x^2
+        assert s == y * z + x * x
+
+    def test_spoly_with_self_is_zero(self, ring):
+        f = ring.var("x") + ring.var("y")
+        assert s_polynomial(f, f).is_zero()
+
+    def test_nonmonic_normalised(self, ring):
+        x, y = ring.var("x"), ring.var("y")
+        f = x.scale(3) + y
+        g = x.scale(5) + 1
+        s = s_polynomial(f, g)
+        # Both scaled to monic x + ...: Spoly = (y/3) + (1/5)
+        expected = y.scale(ring.field.inv(3)) + ring.constant(ring.field.inv(5))
+        assert s == expected
+
+
+class TestProductCriterion:
+    def test_coprime_leads(self, ring):
+        f = ring.var("x") + 1
+        g = ring.var("y") + 1
+        assert leading_monomials_coprime(f, g)
+
+    def test_shared_variable(self, ring):
+        f = ring.var("x") * ring.var("y") + 1
+        g = ring.var("x") + 1
+        assert not leading_monomials_coprime(f, g)
+
+    def test_criterion_is_sound(self, ring):
+        """Coprime-lead S-polynomials must reduce to zero by the pair."""
+        x, y, z = ring.var("x"), ring.var("y"), ring.var("z")
+        f = x * x + y * z + 1
+        g = y + z
+        assert leading_monomials_coprime(f, g)
+        assert reduce_polynomial(s_polynomial(f, g), [f, g]).is_zero()
+
+
+class TestBuchberger:
+    def test_linear_system(self, ring):
+        x, y, z = ring.var("x"), ring.var("y"), ring.var("z")
+        basis = reduced_groebner_basis([x + y, y + z])
+        assert basis == [x + z, y + z] or basis == [y + z, x + z]
+
+    def test_definition_check(self, ring):
+        x, y, z = ring.var("x"), ring.var("y"), ring.var("z")
+        basis = buchberger([x * y + z, y * y + 1, x * z + y])
+        assert is_groebner_basis(basis)
+
+    def test_ideal_membership_decided(self, ring):
+        x, y, z = ring.var("x"), ring.var("y"), ring.var("z")
+        gens = [x + y * y, y * z + 1]
+        basis = buchberger(gens)
+        member = gens[0] * (x + z) + gens[1] * y
+        assert reduce_polynomial(member, basis).is_zero()
+        assert not reduce_polynomial(x + 1, basis).is_zero()
+
+    def test_elimination_property(self, f16):
+        """Theorem 4.1: a lex GB eliminates high variables."""
+        ring = PolynomialRing(
+            f16, ["x", "Y", "Z"], order=LexOrder([0, 1, 2]), fold=False
+        )
+        x, Y, Z = ring.var("x"), ring.var("Y"), ring.var("Z")
+        # x = Y + Z enforced twice differently: elimination ideal in (Y, Z).
+        basis = reduced_groebner_basis([x + Y + Z, x + Y * Z])
+        eliminated = [
+            p for p in basis if all(v != "x" for v in p.variables_used())
+        ]
+        assert eliminated  # Y + Z + Y*Z survives without x
+        assert any(p == Y * Z + Y + Z for p in eliminated)
+
+    def test_empty_generators(self):
+        assert buchberger([]) == []
+
+    def test_fold_ring_rejected(self, f16):
+        ring = PolynomialRing(f16, ["x"])  # fold=True
+        with pytest.raises(ValueError):
+            buchberger([ring.var("x")])
+        with pytest.raises(ValueError):
+            is_groebner_basis([ring.var("x")])
+
+    def test_max_basis_guard(self, f16):
+        ring = PolynomialRing(
+            f16, ["x", "y", "z"], order=LexOrder([0, 1, 2]), fold=False
+        )
+        x, y, z = ring.var("x"), ring.var("y"), ring.var("z")
+        gens = [x * x * y + z * x + 1, y * y * z + x, z * z + y * x]
+        with pytest.raises(RuntimeError):
+            buchberger(gens, max_basis=3)
+
+    def test_stats_populated(self, ring):
+        x, y = ring.var("x"), ring.var("y")
+        stats = GroebnerStats()
+        buchberger([x * y + 1, y * y + x], stats=stats)
+        assert stats.pairs_total > 0
+        assert stats.basis_size >= 2
+
+
+class TestInterreduce:
+    def test_removes_redundant_generators(self, ring):
+        x, y = ring.var("x"), ring.var("y")
+        basis = interreduce([x + y, x * x + x * y])  # second is x*(first)
+        assert basis == [x + y]
+
+    def test_monic_output(self, ring):
+        x, y = ring.var("x"), ring.var("y")
+        basis = interreduce([x.scale(5) + y])
+        assert basis == [x + y.scale(ring.field.inv(5))]
+
+    def test_tails_reduced(self, ring):
+        x, y, z = ring.var("x"), ring.var("y"), ring.var("z")
+        basis = interreduce([x + y, y + z])
+        # The reduced basis of <x+y, y+z> replaces x+y by x+z.
+        assert set(str(p) for p in basis) == {"x + z", "y + z"}
+
+    def test_reduced_gb_is_canonical(self, ring):
+        """Same ideal, different generators -> same reduced basis."""
+        x, y, z = ring.var("x"), ring.var("y"), ring.var("z")
+        g1 = [x + y, y + z]
+        g2 = [x + z, y + z, x + y]
+        b1 = reduced_groebner_basis(g1)
+        b2 = reduced_groebner_basis(g2)
+        assert sorted(map(str, b1)) == sorted(map(str, b2))
+
+
+class TestWithVanishingIdeal:
+    def test_boolean_system(self, f4):
+        """GB over bit variables with x^2 - x included behaves like SAT."""
+        ring = PolynomialRing(
+            f4, ["x", "y"], order=LexOrder([0, 1]), domains={"x": 2, "y": 2},
+            fold=False,
+        )
+        x, y = ring.var("x"), ring.var("y")
+        # Constraints: x*y = 1 and x + y = 0 -> x = y = 1.
+        gens = [x * y + 1, x + y] + vanishing_ideal(ring)
+        basis = reduced_groebner_basis(gens)
+        assert any(p == x + 1 for p in basis)
+        assert any(p == y + 1 for p in basis)
+
+    def test_unsatisfiable_system_gives_unit_ideal(self, f4):
+        ring = PolynomialRing(
+            f4, ["x"], order=LexOrder([0]), domains={"x": 2}, fold=False
+        )
+        x = ring.var("x")
+        # x = 0 and x = 1 simultaneously.
+        basis = reduced_groebner_basis([x, x + 1] + vanishing_ideal(ring))
+        assert basis == [ring.one()]

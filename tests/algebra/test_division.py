@@ -1,0 +1,106 @@
+"""Unit tests for multivariate division/reduction."""
+
+import pytest
+
+from repro.algebra import (
+    DivisionTrace,
+    LexOrder,
+    PolynomialRing,
+    divmod_polynomial,
+    reduce_polynomial,
+)
+from repro.gf import GF2m
+
+
+@pytest.fixture
+def ring(f16):
+    return PolynomialRing(f16, ["x", "y", "z"], order=LexOrder([0, 1, 2]), fold=False)
+
+
+class TestReduce:
+    def test_reduce_by_nothing(self, ring):
+        p = ring.var("x") + 1
+        assert reduce_polynomial(p, []) == p
+
+    def test_exact_division(self, ring):
+        x, y = ring.var("x"), ring.var("y")
+        product = (x + y) * (x + 1)
+        assert reduce_polynomial(product, [x + y]).is_zero()
+
+    def test_remainder_not_divisible(self, ring):
+        x, y = ring.var("x"), ring.var("y")
+        r = reduce_polynomial(x * x + y, [x * x + x])
+        # x^2 rewrites to x, leaving x + y; neither term divisible by x^2.
+        assert r == x + y
+
+    def test_textbook_example(self, ring):
+        # Cox-Little-O'Shea style: divide x^2 y + x y^2 + y^2 by [xy - 1, y^2 - 1]
+        # over characteristic 2: xy + 1 and y^2 + 1.
+        x, y = ring.var("x"), ring.var("y")
+        f = x * x * y + x * y * y + y * y
+        g1 = x * y + 1
+        g2 = y * y + 1
+        r = reduce_polynomial(f, [g1, g2])
+        assert r == x + y + 1
+
+    def test_zero_divisors_skipped(self, ring):
+        p = ring.var("x")
+        assert reduce_polynomial(p, [ring.zero()]) == p
+
+    def test_no_remainder_term_divisible(self, ring):
+        import itertools
+
+        x, y, z = ring.var("x"), ring.var("y"), ring.var("z")
+        divisors = [x * y + z, y * y + x]
+        f = (x + y + z) ** 3 + x * y * z
+        r = reduce_polynomial(f, divisors)
+        for monomial in r.terms:
+            for g in divisors:
+                assert not ring.monomial_divides(g.leading_monomial(), monomial)
+
+    def test_nonmonic_divisor(self, ring):
+        x, y = ring.var("x"), ring.var("y")
+        g = x.scale(3) + y  # leading coefficient 3
+        r = reduce_polynomial(x, [g])
+        # x = (1/3)(3x + y) + (1/3)y
+        assert r == y.scale(ring.field.inv(3))
+
+    def test_trace_counts_steps(self, ring):
+        x, y = ring.var("x"), ring.var("y")
+        trace = DivisionTrace()
+        reduce_polynomial((x + y) * (x + 1), [x + y], trace=trace)
+        assert trace.steps > 0
+        assert trace.peak_terms >= 0
+
+
+class TestDivmod:
+    def test_certificate_identity(self, ring):
+        """f == sum(q_i g_i) + r exactly."""
+        x, y, z = ring.var("x"), ring.var("y"), ring.var("z")
+        divisors = [x * y + 1, y * y + z]
+        f = x * x * y + x * y * y + y * y + z
+        quotients, r = divmod_polynomial(f, divisors)
+        recombined = r
+        for q, g in zip(quotients, divisors):
+            recombined = recombined + q * g
+        assert recombined == f
+
+    def test_remainder_matches_reduce(self, ring):
+        x, y = ring.var("x"), ring.var("y")
+        divisors = [x * y + 1, y * y + 1]
+        f = x * x * y + x * y * y + y * y
+        _, r = divmod_polynomial(f, divisors)
+        assert r == reduce_polynomial(f, divisors)
+
+    def test_zero_dividend(self, ring):
+        quotients, r = divmod_polynomial(ring.zero(), [ring.var("x")])
+        assert r.is_zero() and all(q.is_zero() for q in quotients)
+
+    def test_divisor_order_respected(self, ring):
+        # First matching divisor takes the term: same leading monomials.
+        x, y = ring.var("x"), ring.var("y")
+        g1 = x + y
+        g2 = x + 1
+        quotients, _ = divmod_polynomial(x, [g1, g2])
+        assert not quotients[0].is_zero()
+        assert quotients[1].is_zero()

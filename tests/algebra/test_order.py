@@ -1,0 +1,166 @@
+"""Unit tests for monomial term orders."""
+
+import pytest
+
+from repro.algebra import GrevLexOrder, GrLexOrder, LexOrder
+
+
+def M(*pairs):
+    """Monomial from (var, exp) pairs."""
+    return tuple(sorted(pairs))
+
+
+class TestLexOrder:
+    """Variables 0 > 1 > 2 under priority [0, 1, 2] (x > y > z)."""
+
+    order = LexOrder([0, 1, 2])
+
+    def greater(self, a, b):
+        return self.order.greater(a, b)
+
+    def test_higher_variable_wins(self):
+        assert self.greater(M((0, 1)), M((1, 5)))  # x > y^5
+
+    def test_higher_power_wins(self):
+        assert self.greater(M((0, 2)), M((0, 1)))  # x^2 > x
+
+    def test_multiple_beats_divisor(self):
+        assert self.greater(M((0, 1), (1, 1)), M((0, 1)))  # xy > x
+
+    def test_everything_beats_one(self):
+        assert self.greater(M((2, 1)), M())  # z > 1
+
+    def test_equal(self):
+        assert self.order.compare(M((0, 1)), M((0, 1))) == 0
+
+    def test_antisymmetry(self):
+        a, b = M((0, 1), (2, 3)), M((0, 1), (1, 1))
+        assert self.greater(b, a) != self.greater(a, b)
+
+    def test_classic_chain(self):
+        # x^3 > x^2 y > x^2 z > x y^2 > ... textbook lex chain
+        chain = [
+            M((0, 3)),
+            M((0, 2), (1, 1)),
+            M((0, 2), (2, 1)),
+            M((0, 1), (1, 2)),
+            M((1, 3)),
+            M((2, 5)),
+        ]
+        for earlier, later in zip(chain, chain[1:]):
+            assert self.greater(earlier, later)
+
+    def test_multiplicative_compatibility(self):
+        # a > b implies a*m > b*m
+        a, b, m = M((0, 1)), M((1, 2)), M((2, 4))
+        am = M((0, 1), (2, 4))
+        bm = M((1, 2), (2, 4))
+        assert self.greater(a, b) and self.greater(am, bm)
+
+    def test_custom_priority(self):
+        reversed_order = LexOrder([2, 1, 0])  # z > y > x
+        assert reversed_order.greater(M((2, 1)), M((0, 5)))
+
+    def test_unranked_variable_rejected(self):
+        with pytest.raises(KeyError):
+            self.order.sort_key(M((7, 1)))
+
+    def test_duplicate_priority_rejected(self):
+        with pytest.raises(ValueError):
+            LexOrder([0, 0, 1])
+
+
+class TestGrLexOrder:
+    order = GrLexOrder([0, 1, 2])
+
+    def test_degree_dominates(self):
+        assert self.order.greater(M((2, 3)), M((0, 2)))  # z^3 > x^2
+
+    def test_lex_tiebreak(self):
+        assert self.order.greater(M((0, 1), (1, 1)), M((1, 1), (2, 1)))  # xy > yz
+
+    def test_textbook_chain(self):
+        chain = [M((0, 2)), M((0, 1), (1, 1)), M((1, 2)), M((0, 1)), M((1, 1)), M()]
+        for earlier, later in zip(chain, chain[1:]):
+            assert self.order.greater(earlier, later)
+
+
+class TestGrevLexOrder:
+    order = GrevLexOrder([0, 1, 2])
+
+    def test_degree_dominates(self):
+        assert self.order.greater(M((2, 3)), M((0, 2)))
+
+    def test_classic_grevlex_vs_grlex_difference(self):
+        # x y^2 z vs x^2 z^2 (degree 4 both): grevlex compares from the
+        # last variable: z exponents 1 vs 2, difference negative at z for
+        # the first, so x y^2 z > x^2 z^2.
+        a = M((0, 1), (1, 2), (2, 1))
+        b = M((0, 2), (2, 2))
+        assert self.order.greater(a, b)
+
+    def test_degree2_chain(self):
+        # x^2 > xy > y^2 > xz > yz > z^2
+        chain = [
+            M((0, 2)),
+            M((0, 1), (1, 1)),
+            M((1, 2)),
+            M((0, 1), (2, 1)),
+            M((1, 1), (2, 1)),
+            M((2, 2)),
+        ]
+        for earlier, later in zip(chain, chain[1:]):
+            assert self.order.greater(earlier, later)
+
+
+class TestOrderAxioms:
+    """Any term order must be a total well-order compatible with products."""
+
+    @pytest.mark.parametrize(
+        "order", [LexOrder([0, 1, 2]), GrLexOrder([0, 1, 2]), GrevLexOrder([0, 1, 2])]
+    )
+    def test_one_is_minimal(self, order):
+        monomials = [M((0, 1)), M((1, 3)), M((2, 2)), M((0, 1), (1, 1))]
+        for m in monomials:
+            assert order.greater(m, M())
+
+    @pytest.mark.parametrize(
+        "order", [LexOrder([0, 1, 2]), GrLexOrder([0, 1, 2]), GrevLexOrder([0, 1, 2])]
+    )
+    def test_totality_and_transitivity(self, order):
+        import itertools
+
+        monomials = [
+            M(),
+            M((0, 1)),
+            M((1, 1)),
+            M((2, 1)),
+            M((0, 2)),
+            M((0, 1), (1, 1)),
+            M((1, 1), (2, 2)),
+            M((0, 1), (1, 1), (2, 1)),
+        ]
+        ranked = sorted(monomials, key=order.sort_key)
+        # sorted by sort_key = descending monomial order; check pairwise
+        for i, a in enumerate(ranked):
+            for b in ranked[i + 1 :]:
+                assert order.greater(a, b)
+
+    @pytest.mark.parametrize(
+        "order", [LexOrder([0, 1, 2]), GrLexOrder([0, 1, 2]), GrevLexOrder([0, 1, 2])]
+    )
+    def test_product_compatibility(self, order):
+        import itertools
+
+        monomials = [M((0, 1)), M((1, 2)), M((2, 1)), M((0, 1), (2, 1))]
+
+        def mul(a, b):
+            powers = {}
+            for var, exp in list(a) + list(b):
+                powers[var] = powers.get(var, 0) + exp
+            return tuple(sorted(powers.items()))
+
+        for a, b in itertools.permutations(monomials, 2):
+            if order.greater(a, b):
+                for m in monomials:
+                    assert order.greater(mul(a, m), mul(b, m))

@@ -1,0 +1,93 @@
+"""Unit tests for the polynomial spec parser."""
+
+import pytest
+
+from repro.algebra import PolynomialSyntaxError, parse_polynomial
+from repro.core import word_ring_for
+from repro.gf import GF2m
+
+
+@pytest.fixture
+def ring(f16):
+    return word_ring_for(f16, ["A", "B"])
+
+
+class TestBasics:
+    def test_single_variable(self, ring):
+        assert parse_polynomial("A", ring) == ring.var("A")
+
+    def test_constant_decimal(self, ring):
+        assert parse_polynomial("7", ring) == ring.constant(7)
+
+    def test_constant_hex_and_binary(self, ring):
+        assert parse_polynomial("0xF", ring) == ring.constant(15)
+        assert parse_polynomial("0b101", ring) == ring.constant(5)
+
+    def test_product(self, ring):
+        assert parse_polynomial("A*B", ring) == ring.var("A") * ring.var("B")
+
+    def test_sum(self, ring):
+        assert parse_polynomial("A + B", ring) == ring.var("A") + ring.var("B")
+
+    def test_power(self, ring):
+        assert parse_polynomial("A^3", ring) == ring.var("A", 3)
+
+    def test_coefficient_times_monomial(self, ring):
+        assert parse_polynomial("3*A^2", ring) == ring.var("A", 2).scale(3)
+
+
+class TestStructure:
+    def test_precedence(self, ring):
+        # A + B*A^2 parses as A + (B * (A^2)).
+        expected = ring.var("A") + ring.var("B") * ring.var("A", 2)
+        assert parse_polynomial("A + B*A^2", ring) == expected
+
+    def test_parentheses(self, ring):
+        expected = (ring.var("A") + ring.var("B")) * ring.var("A")
+        assert parse_polynomial("(A + B)*A", ring) == expected
+
+    def test_nested_parentheses(self, ring):
+        expected = ((ring.var("A") + 1) ** 2) * ring.var("B")
+        assert parse_polynomial("((A + 1)^2)*B", ring) == expected
+
+    def test_whitespace_insensitive(self, ring):
+        assert parse_polynomial("  A *B+ 1 ", ring) == parse_polynomial(
+            "A*B+1", ring
+        )
+
+    def test_characteristic_two_cancellation(self, ring):
+        assert parse_polynomial("A + A", ring).is_zero()
+
+    def test_exponent_folding(self, ring):
+        # A^16 folds to A over F_16.
+        assert parse_polynomial("A^16", ring) == ring.var("A")
+
+    def test_roundtrip_through_str(self, ring):
+        poly = ring.var("A", 2) * ring.var("B") + ring.var("A").scale(3) + 1
+        assert parse_polynomial(str(poly).replace("a", "0b10"), ring) == poly
+
+
+class TestErrors:
+    def test_unknown_variable(self, ring):
+        with pytest.raises(PolynomialSyntaxError):
+            parse_polynomial("C + 1", ring)
+
+    def test_unexpected_character(self, ring):
+        with pytest.raises(PolynomialSyntaxError):
+            parse_polynomial("A - B", ring)
+
+    def test_unbalanced_parentheses(self, ring):
+        with pytest.raises(PolynomialSyntaxError):
+            parse_polynomial("(A + B", ring)
+
+    def test_trailing_garbage(self, ring):
+        with pytest.raises(PolynomialSyntaxError):
+            parse_polynomial("A B", ring)
+
+    def test_bad_exponent(self, ring):
+        with pytest.raises(PolynomialSyntaxError):
+            parse_polynomial("A^B", ring)
+
+    def test_empty_input(self, ring):
+        with pytest.raises(PolynomialSyntaxError):
+            parse_polynomial("", ring)

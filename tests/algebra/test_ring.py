@@ -1,0 +1,237 @@
+"""Unit tests for polynomial rings and polynomials over F_{2^k}."""
+
+import pytest
+
+from repro.algebra import LexOrder, Polynomial, PolynomialRing
+from repro.gf import GF2m
+
+
+@pytest.fixture
+def ring(f16):
+    """F_16[x, y, Z] with x, y bit-valued and Z word-valued."""
+    return PolynomialRing(
+        f16, ["x", "y", "Z"], order=LexOrder([0, 1, 2]), domains={"x": 2, "y": 2}
+    )
+
+
+class TestRingConstruction:
+    def test_duplicate_variables_rejected(self, f16):
+        with pytest.raises(ValueError):
+            PolynomialRing(f16, ["x", "x"])
+
+    def test_default_domains_are_field_order(self, f16):
+        ring = PolynomialRing(f16, ["A"])
+        assert ring.domains == [16]
+
+    def test_bad_domain_rejected(self, f16):
+        with pytest.raises(ValueError):
+            PolynomialRing(f16, ["x"], domains={"x": 1})
+
+    def test_order_length_checked(self, f16):
+        with pytest.raises(ValueError):
+            PolynomialRing(f16, ["x", "y"], order=LexOrder([0]))
+
+    def test_equality_and_hash(self, f16):
+        r1 = PolynomialRing(f16, ["x"], domains={"x": 2})
+        r2 = PolynomialRing(f16, ["x"], domains={"x": 2})
+        r3 = PolynomialRing(f16, ["x"])
+        assert r1 == r2 and r1 != r3
+        assert len({r1, r2, r3}) == 2
+
+    def test_fold_flag_distinguishes_rings(self, f16):
+        assert PolynomialRing(f16, ["x"]) != PolynomialRing(f16, ["x"], fold=False)
+
+
+class TestElementConstruction:
+    def test_zero_and_one(self, ring):
+        assert ring.zero().is_zero()
+        assert not ring.one().is_zero()
+        assert ring.one() == 1
+
+    def test_constant_reduces_into_field(self, ring):
+        assert ring.constant(16 ^ 3) == ring.constant(ring.field.reduce(16) ^ 3)
+
+    def test_var(self, ring):
+        x = ring.var("x")
+        assert len(x) == 1 and x.total_degree() == 1
+
+    def test_var_power_zero_is_one(self, ring):
+        assert ring.var("Z", 0) == ring.one()
+
+    def test_unknown_var_rejected(self, ring):
+        with pytest.raises(KeyError):
+            ring.var("w")
+
+    def test_negative_exponent_rejected(self, ring):
+        with pytest.raises(ValueError):
+            ring.var("Z", -1)
+
+    def test_from_terms_merges_duplicates(self, ring):
+        p = ring.from_terms([(1, {"x": 1}), (1, {"x": 1})])
+        assert p.is_zero()  # characteristic 2
+
+
+class TestExponentFolding:
+    def test_bit_variable_idempotent(self, ring):
+        x = ring.var("x")
+        assert x * x == x
+
+    def test_word_variable_folds_at_q(self, ring):
+        Z = ring.var("Z")
+        assert Z ** 16 == Z
+        assert Z ** 17 == Z * Z
+        assert Z ** 31 == Z  # 31 = 16 + 15 -> (31-1) % 15 + 1 = 1
+
+    def test_fold_false_keeps_exponents(self, f16):
+        ring = PolynomialRing(f16, ["Z"], fold=False)
+        Z = ring.var("Z")
+        assert (Z ** 16).degree_in("Z") == 16
+
+    def test_canonical_degree_bound(self, ring):
+        p = (ring.var("Z") + ring.one()) ** 20
+        assert p.degree_in("Z") <= 15
+
+
+class TestArithmetic:
+    def test_addition_is_xor_of_coefficients(self, ring):
+        p = ring.var("x").scale(0b0101) + ring.var("x").scale(0b0011)
+        assert p == ring.var("x").scale(0b0110)
+
+    def test_add_sub_identical(self, ring):
+        p = ring.var("x") + ring.var("y")
+        assert p - ring.var("y") == p + ring.var("y") == ring.var("x")
+
+    def test_multiplication_distributes(self, ring):
+        x, y, Z = ring.var("x"), ring.var("y"), ring.var("Z")
+        assert (x + y) * Z == x * Z + y * Z
+
+    def test_multiplication_uses_field(self, ring):
+        a = ring.constant(0b0110)
+        b = ring.constant(0b0101)
+        assert a * b == ring.constant(ring.field.mul(0b0110, 0b0101))
+
+    def test_int_coercion(self, ring):
+        x = ring.var("x")
+        assert x + 0 == x
+        assert x * 1 == x
+        assert x * 0 == ring.zero()
+        assert 1 * x == x
+
+    def test_cross_ring_rejected(self, ring, f16):
+        other = PolynomialRing(f16, ["w"])
+        with pytest.raises(ValueError):
+            ring.var("x") + other.var("w")
+
+    def test_pow(self, ring):
+        p = ring.var("Z") + 1
+        assert p ** 2 == ring.var("Z", 2) + 1  # freshman's dream in char 2
+
+    def test_pow_negative_rejected(self, ring):
+        with pytest.raises(ValueError):
+            ring.var("Z") ** -1
+
+    def test_scale(self, ring):
+        p = ring.var("x") + ring.var("y")
+        assert p.scale(0) == ring.zero()
+        assert p.scale(1) == p
+
+    def test_monic(self, ring):
+        p = ring.var("x").scale(0b0110) + ring.one()
+        assert p.monic().leading_coefficient() == 1
+
+    def test_mul_monomial(self, ring):
+        p = ring.var("x") + 1
+        q = p.mul_monomial(((ring.index["y"], 1),))
+        assert q == ring.var("x") * ring.var("y") + ring.var("y")
+
+
+class TestLeadingTerms:
+    def test_lead_under_lex(self, ring):
+        p = ring.var("Z", 5) + ring.var("x") * ring.var("y") + ring.var("y")
+        assert p.leading_monomial() == ((0, 1), (1, 1))  # x*y beats Z^5
+
+    def test_zero_has_no_lead(self, ring):
+        with pytest.raises(ValueError):
+            ring.zero().lead()
+
+    def test_tail(self, ring):
+        p = ring.var("x") + ring.var("y") + 1
+        assert p.tail() == ring.var("y") + 1
+
+    def test_sorted_terms_descending(self, ring):
+        p = ring.var("x") + ring.var("y") + ring.var("Z") + 1
+        names = [ring.monomial_str(m) for m, _ in p.sorted_terms()]
+        assert names == ["x", "y", "Z", "1"]
+
+
+class TestInspection:
+    def test_total_degree(self, ring):
+        assert ring.zero().total_degree() == -1
+        assert ring.one().total_degree() == 0
+        assert (ring.var("Z", 3) * ring.var("x")).total_degree() == 4
+
+    def test_degree_in(self, ring):
+        p = ring.var("Z", 3) + ring.var("x")
+        assert p.degree_in("Z") == 3
+        assert p.degree_in("x") == 1
+        assert p.degree_in("y") == 0
+
+    def test_variables_used(self, ring):
+        p = ring.var("x") * ring.var("Z") + 1
+        assert p.variables_used() == ["x", "Z"]
+
+    def test_coefficient_lookup(self, ring):
+        p = ring.var("x").scale(7) + ring.one()
+        assert p.coefficient({"x": 1}) == 7
+        assert p.coefficient({}) == 1
+        assert p.coefficient({"y": 1}) == 0
+
+
+class TestEvaluate:
+    def test_polynomial_function(self, ring):
+        f16 = ring.field
+        p = ring.var("Z", 2) + ring.var("x").scale(3)
+        for z in range(16):
+            for x in (0, 1):
+                expected = f16.square(z) ^ f16.mul(3, x)
+                assert p.evaluate({"Z": z, "x": x}) == expected
+
+    def test_missing_variable_rejected(self, ring):
+        with pytest.raises(KeyError):
+            (ring.var("x") + ring.var("y")).evaluate({"x": 1})
+
+
+class TestSubstitute:
+    def test_linear_substitution(self, ring):
+        p = ring.var("x") * ring.var("Z")
+        q = p.substitute("x", ring.var("y") + 1)
+        assert q == ring.var("y") * ring.var("Z") + ring.var("Z")
+
+    def test_substitution_folds(self, ring):
+        p = ring.var("Z", 15)
+        q = p.substitute("Z", ring.var("Z", 2))
+        assert q == ring.var("Z", 15)  # 30 folds to 15
+
+    def test_substitute_evaluates_consistently(self, ring):
+        f16 = ring.field
+        p = ring.var("Z", 2) + ring.var("Z") + 1
+        q = p.substitute("Z", ring.var("Z") + 1)
+        for z in range(16):
+            assert q.evaluate({"Z": z}) == p.evaluate({"Z": z ^ 1})
+
+
+class TestStringOutput:
+    def test_zero(self, ring):
+        assert str(ring.zero()) == "0"
+
+    def test_terms_and_coefficients(self, ring):
+        p = ring.var("Z", 2).scale(0b10) + ring.one()
+        assert str(p) == "a*Z^2 + 1"
+
+    def test_compound_coefficient_parenthesised(self, ring):
+        p = ring.var("Z").scale(0b11)
+        assert str(p) == "(a + 1)*Z"
+
+    def test_monomial_str(self, ring):
+        assert ring.monomial_str(()) == "1"
+        assert ring.monomial_str(((0, 1), (2, 3))) == "x*Z^3"

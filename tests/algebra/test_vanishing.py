@@ -1,0 +1,80 @@
+"""Unit tests for the vanishing ideal J_0."""
+
+import pytest
+
+from repro.algebra import (
+    LexOrder,
+    PolynomialRing,
+    is_vanishing,
+    vanishing_ideal,
+    vanishing_polynomial,
+)
+from repro.gf import GF2m
+
+
+@pytest.fixture
+def ring(f16):
+    return PolynomialRing(
+        f16, ["x", "Z"], order=LexOrder([0, 1]), domains={"x": 2}, fold=False
+    )
+
+
+class TestVanishingPolynomial:
+    def test_bit_variable(self, ring):
+        p = vanishing_polynomial(ring, "x")
+        assert p.degree_in("x") == 2
+        assert is_vanishing(p)
+
+    def test_word_variable(self, ring):
+        p = vanishing_polynomial(ring, "Z")
+        assert p.degree_in("Z") == 16
+        assert is_vanishing(p)
+
+    def test_unfolded_even_in_folding_ring(self, f16):
+        folded = PolynomialRing(f16, ["Z"])
+        p = vanishing_polynomial(folded, "Z")
+        assert not p.is_zero()
+        assert p.degree_in("Z") == 16
+
+
+class TestVanishingIdeal:
+    def test_all_variables(self, ring):
+        gens = vanishing_ideal(ring)
+        assert len(gens) == 2
+        assert all(is_vanishing(g) for g in gens)
+
+    def test_subset(self, ring):
+        gens = vanishing_ideal(ring, ["x"])
+        assert len(gens) == 1
+        assert gens[0].degree_in("x") == 2
+
+
+class TestIsVanishing:
+    def test_zero_polynomial(self, ring):
+        assert is_vanishing(ring.zero())
+
+    def test_nonvanishing(self, ring):
+        assert not is_vanishing(ring.var("Z") + 1)
+
+    def test_vanishing_product(self, ring):
+        p = vanishing_polynomial(ring, "x") * ring.var("Z")
+        assert is_vanishing(p)
+
+    def test_frobenius_difference_vanishes(self, f4):
+        # (Z + W)^2 - Z^2 - W^2 = 0 identically in characteristic 2.
+        ring = PolynomialRing(f4, ["Z", "W"], order=LexOrder([0, 1]), fold=False)
+        Z, W = ring.var("Z"), ring.var("W")
+        p = (Z + W) ** 2 + Z ** 2 + W ** 2
+        assert p.is_zero()  # cancels syntactically
+        # Z^4 - Z vanishes as a function though not syntactically zero.
+        assert is_vanishing(Z ** 4 + Z)
+
+    def test_domain_guard(self, f16):
+        ring = PolynomialRing(
+            f16, [f"w{i}" for i in range(8)], order=LexOrder(range(8)), fold=False
+        )
+        p = ring.one()
+        for i in range(8):
+            p = p * ring.var(f"w{i}")
+        with pytest.raises(ValueError):
+            is_vanishing(p + 1, sample_limit=100)

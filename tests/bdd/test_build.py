@@ -1,0 +1,92 @@
+"""Unit tests for circuit-to-BDD construction."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BddManager, build_circuit_bdds
+from repro.circuits import Circuit, GateType, simulate
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier
+
+from ..circuits.test_circuit import two_bit_multiplier
+
+
+class TestBuild:
+    def test_matches_simulation_exhaustively(self):
+        c = two_bit_multiplier()
+        mgr = BddManager(4)
+        values = build_circuit_bdds(c, mgr)
+        for bits in itertools.product((0, 1), repeat=4):
+            stim = dict(zip(c.inputs, bits))
+            expected = simulate(c, stim)
+            for net in c.nets():
+                assert mgr.evaluate(values[net], list(bits)) == expected[net]
+
+    def test_custom_input_order(self):
+        c = two_bit_multiplier()
+        mgr = BddManager(4)
+        order = ["b1", "b0", "a1", "a0"]
+        values = build_circuit_bdds(c, mgr, input_order=order)
+        stim = {"a0": 1, "a1": 1, "b0": 1, "b1": 0}
+        vector = [stim[n] for n in order]
+        expected = simulate(c, stim)
+        assert mgr.evaluate(values["z0"], vector) == expected["z0"]
+
+    def test_shared_input_vars(self):
+        c1 = two_bit_multiplier().renamed("u_")
+        c2 = two_bit_multiplier().renamed("v_")
+        mgr = BddManager(4)
+        shared = {net: mgr.var(i) for i, net in enumerate(c1.inputs)}
+        aliased = {
+            f"v_{net[2:]}": shared[net] for net in c1.inputs
+        }
+        v1 = build_circuit_bdds(c1, mgr, input_vars=shared)
+        v2 = build_circuit_bdds(c2, mgr, input_vars=aliased)
+        # Identical circuits on shared inputs -> identical output nodes.
+        assert v1["u_z0"] == v2["v_z0"]
+        assert v1["u_z1"] == v2["v_z1"]
+
+    def test_missing_input_var_rejected(self):
+        c = two_bit_multiplier()
+        mgr = BddManager(4)
+        with pytest.raises(ValueError):
+            build_circuit_bdds(c, mgr, input_vars={"a0": mgr.var(0)})
+
+    def test_all_gate_types(self):
+        c = Circuit("allgates")
+        c.add_inputs(["a", "b"])
+        for gate_type in (
+            GateType.AND,
+            GateType.OR,
+            GateType.XOR,
+            GateType.NAND,
+            GateType.NOR,
+            GateType.XNOR,
+        ):
+            c.add_gate(f"g_{gate_type.value}", gate_type, ("a", "b"))
+        c.NOT("a", out="g_not")
+        c.BUF("b", out="g_buf")
+        c.CONST(0, out="g_c0")
+        c.CONST(1, out="g_c1")
+        c.set_outputs([g.output for g in c.gates])
+        mgr = BddManager(2)
+        values = build_circuit_bdds(c, mgr)
+        for bits in itertools.product((0, 1), repeat=2):
+            expected = simulate(c, dict(zip(["a", "b"], bits)))
+            for net in c.outputs:
+                assert mgr.evaluate(values[net], list(bits)) == expected[net]
+
+    def test_multiplier_bdd_grows_with_k(self):
+        """The expected exponential blow-up on multiplier outputs."""
+        sizes = {}
+        for k in (2, 3, 4, 5):
+            field = GF2m(k)
+            c = mastrovito_multiplier(field)
+            mgr = BddManager(2 * k)
+            values = build_circuit_bdds(c, mgr)
+            msb = c.output_words["Z"][-1]
+            sizes[k] = mgr.size(values[msb])
+        assert sizes[5] > sizes[4] > sizes[3]
+        # Super-linear growth: size more than doubles per extra bit.
+        assert sizes[5] > 2 * sizes[3]

@@ -1,0 +1,129 @@
+"""Unit tests for the ROBDD manager."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import FALSE, TRUE, BddManager, BddOverflow
+
+
+class TestBasics:
+    def test_terminals(self):
+        mgr = BddManager(2)
+        assert mgr.evaluate(TRUE, [0, 0]) == 1
+        assert mgr.evaluate(FALSE, [1, 1]) == 0
+
+    def test_var(self):
+        mgr = BddManager(2)
+        x0 = mgr.var(0)
+        assert mgr.evaluate(x0, [1, 0]) == 1
+        assert mgr.evaluate(x0, [0, 1]) == 0
+
+    def test_var_out_of_range(self):
+        mgr = BddManager(2)
+        with pytest.raises(ValueError):
+            mgr.var(2)
+
+    def test_hash_consing(self):
+        mgr = BddManager(2)
+        assert mgr.var(0) == mgr.var(0)
+        a = mgr.apply_and(mgr.var(0), mgr.var(1))
+        b = mgr.apply_and(mgr.var(0), mgr.var(1))
+        assert a == b
+
+
+class TestCanonicity:
+    def test_equivalent_formulas_same_node(self):
+        mgr = BddManager(3)
+        x, y, z = mgr.var(0), mgr.var(1), mgr.var(2)
+        # De Morgan: !(x & y) == !x | !y
+        lhs = mgr.apply_not(mgr.apply_and(x, y))
+        rhs = mgr.apply_or(mgr.apply_not(x), mgr.apply_not(y))
+        assert lhs == rhs
+
+    def test_xor_associativity(self):
+        mgr = BddManager(3)
+        x, y, z = mgr.var(0), mgr.var(1), mgr.var(2)
+        assert mgr.apply_xor(mgr.apply_xor(x, y), z) == mgr.apply_xor(
+            x, mgr.apply_xor(y, z)
+        )
+
+    def test_tautology_collapses_to_true(self):
+        mgr = BddManager(2)
+        x = mgr.var(0)
+        assert mgr.apply_or(x, mgr.apply_not(x)) == TRUE
+
+    def test_contradiction_collapses_to_false(self):
+        mgr = BddManager(2)
+        x = mgr.var(0)
+        assert mgr.apply_and(x, mgr.apply_not(x)) == FALSE
+
+
+class TestConnectives:
+    @pytest.mark.parametrize(
+        "name,func",
+        [
+            ("and", lambda a, b: a & b),
+            ("or", lambda a, b: a | b),
+            ("xor", lambda a, b: a ^ b),
+            ("nand", lambda a, b: 1 - (a & b)),
+            ("nor", lambda a, b: 1 - (a | b)),
+            ("xnor", lambda a, b: 1 - (a ^ b)),
+        ],
+    )
+    def test_binary_semantics(self, name, func):
+        mgr = BddManager(2)
+        x, y = mgr.var(0), mgr.var(1)
+        node = getattr(mgr, f"apply_{name}")(x, y)
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert mgr.evaluate(node, [a, b]) == func(a, b)
+
+    def test_ite_semantics(self):
+        mgr = BddManager(3)
+        f, g, h = mgr.var(0), mgr.var(1), mgr.var(2)
+        node = mgr.ite(f, g, h)
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            assert mgr.evaluate(node, [a, b, c]) == (b if a else c)
+
+
+class TestQueries:
+    def test_sat_count(self):
+        mgr = BddManager(4)
+        x, y = mgr.var(0), mgr.var(1)
+        assert mgr.sat_count(TRUE) == 16
+        assert mgr.sat_count(FALSE) == 0
+        assert mgr.sat_count(x) == 8
+        assert mgr.sat_count(mgr.apply_and(x, y)) == 4
+        assert mgr.sat_count(mgr.apply_xor(x, y)) == 8
+
+    def test_sat_count_skipped_levels(self):
+        mgr = BddManager(5)
+        node = mgr.apply_and(mgr.var(0), mgr.var(4))
+        assert mgr.sat_count(node) == 8
+
+    def test_any_sat(self):
+        mgr = BddManager(3)
+        node = mgr.apply_and(mgr.var(0), mgr.apply_not(mgr.var(2)))
+        witness = mgr.any_sat(node)
+        assert mgr.evaluate(node, witness) == 1
+
+    def test_any_sat_false(self):
+        mgr = BddManager(2)
+        assert mgr.any_sat(FALSE) is None
+
+    def test_size(self):
+        mgr = BddManager(3)
+        parity = mgr.apply_xor(mgr.apply_xor(mgr.var(0), mgr.var(1)), mgr.var(2))
+        # Parity of n variables: n internal nodes... with complement-free
+        # BDDs it is 2n - 1 internal nodes plus 2 terminals.
+        assert mgr.size(parity) == 2 * 3 - 1 + 2
+
+
+class TestOverflow:
+    def test_node_budget_enforced(self):
+        mgr = BddManager(16, max_nodes=24)
+        with pytest.raises(BddOverflow):
+            node = TRUE
+            for i in range(16):
+                node = mgr.apply_and(node, mgr.apply_xor(mgr.var(i), TRUE))
+                node = mgr.apply_or(node, mgr.var((i * 7) % 16))

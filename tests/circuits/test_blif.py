@@ -1,0 +1,114 @@
+"""Unit tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    CircuitError,
+    GateType,
+    from_blif,
+    read_blif,
+    simulate_words,
+    to_blif,
+    write_blif,
+)
+from repro.gf import GF2m
+
+from .test_circuit import two_bit_multiplier
+
+
+class TestWriter:
+    def test_header(self):
+        text = to_blif(two_bit_multiplier())
+        assert text.startswith(".model mult2")
+        assert ".inputs a0 a1 b0 b1" in text
+        assert ".outputs z0 z1" in text
+        assert text.rstrip().endswith(".end")
+
+    def test_and_cover(self):
+        c = Circuit("t")
+        c.add_inputs(["a", "b"])
+        c.AND("a", "b", out="z")
+        c.set_outputs(["z"])
+        text = to_blif(c)
+        assert ".names a b z\n11 1" in text
+
+    def test_xor_cover_lists_odd_minterms(self):
+        c = Circuit("t")
+        c.add_inputs(["a", "b"])
+        c.XOR("a", "b", out="z")
+        c.set_outputs(["z"])
+        text = to_blif(c)
+        assert "10 1" in text and "01 1" in text
+
+    def test_word_comments(self):
+        text = to_blif(two_bit_multiplier())
+        assert "# word input A = a0 a1" in text
+
+
+class TestRoundTrip:
+    def test_structure_and_function(self, f4):
+        c = two_bit_multiplier()
+        r = from_blif(to_blif(c))
+        assert r.num_gates() == c.num_gates()
+        assert r.input_words == c.input_words
+        stim = {"A": list(range(4)) * 4, "B": [b for b in range(4) for _ in range(4)]}
+        assert simulate_words(c, stim) == simulate_words(r, stim)
+
+    def test_all_gate_types(self):
+        c = Circuit("allgates")
+        c.add_inputs(["a", "b"])
+        for gate_type in (
+            GateType.AND,
+            GateType.OR,
+            GateType.XOR,
+            GateType.NAND,
+            GateType.NOR,
+            GateType.XNOR,
+        ):
+            c.add_gate(f"g_{gate_type.value}", gate_type, ("a", "b"))
+        c.NOT("a", out="g_not")
+        c.BUF("b", out="g_buf")
+        c.CONST(0, out="g_c0")
+        c.CONST(1, out="g_c1")
+        c.set_outputs([g.output for g in c.gates])
+        r = from_blif(to_blif(c))
+        for gate in c.gates:
+            assert r.gate_driving(gate.output).gate_type is gate.gate_type
+
+    def test_ternary_gates(self):
+        c = Circuit("t3")
+        c.add_inputs(["a", "b", "c"])
+        c.add_gate("z1", GateType.XOR, ("a", "b", "c"))
+        c.add_gate("z2", GateType.AND, ("a", "b", "c"))
+        c.add_gate("z3", GateType.OR, ("a", "b", "c"))
+        c.set_outputs(["z1", "z2", "z3"])
+        r = from_blif(to_blif(c))
+        for net in ("z1", "z2", "z3"):
+            assert r.gate_driving(net).gate_type is c.gate_driving(net).gate_type
+
+    def test_file_io(self, tmp_path):
+        c = two_bit_multiplier()
+        path = str(tmp_path / "m.blif")
+        write_blif(c, path)
+        assert read_blif(path).num_gates() == c.num_gates()
+
+
+class TestParser:
+    def test_unknown_cover_rejected(self):
+        text = ".model t\n.inputs a b\n.outputs z\n.names a b z\n1- 1\n.end\n"
+        # Cover "a" alone is not one of the library gates for 2 inputs.
+        with pytest.raises(CircuitError):
+            from_blif(text)
+
+    def test_unsupported_construct_rejected(self):
+        text = ".model t\n.inputs a\n.outputs z\n.latch a z re clk 0\n.end\n"
+        with pytest.raises(CircuitError):
+            from_blif(text)
+
+    def test_line_continuation(self):
+        text = (
+            ".model t\n.inputs a \\\nb\n.outputs z\n.names a b z\n11 1\n.end\n"
+        )
+        c = from_blif(text)
+        assert c.inputs == ["a", "b"]

@@ -1,0 +1,85 @@
+"""Unit tests for gate primitives."""
+
+import pytest
+
+from repro.circuits import GATE_ARITY, Gate, GateType, eval_gate
+
+
+class TestGateConstruction:
+    def test_valid_and(self):
+        gate = Gate("z", GateType.AND, ("a", "b"))
+        assert gate.output == "z"
+
+    def test_nary_xor(self):
+        Gate("z", GateType.XOR, ("a", "b", "c", "d"))
+
+    def test_not_needs_one_input(self):
+        with pytest.raises(ValueError):
+            Gate("z", GateType.NOT, ("a", "b"))
+
+    def test_and_needs_two_inputs(self):
+        with pytest.raises(ValueError):
+            Gate("z", GateType.AND, ("a",))
+
+    def test_const_takes_no_inputs(self):
+        Gate("z", GateType.CONST0, ())
+        with pytest.raises(ValueError):
+            Gate("z", GateType.CONST1, ("a",))
+
+    def test_str(self):
+        assert str(Gate("z", GateType.XOR, ("a", "b"))) == "z = xor(a, b)"
+
+    def test_frozen(self):
+        gate = Gate("z", GateType.AND, ("a", "b"))
+        with pytest.raises(AttributeError):
+            gate.output = "y"
+
+
+class TestEvalGate:
+    TRUTH = {
+        GateType.AND: [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)],
+        GateType.OR: [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 1)],
+        GateType.XOR: [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)],
+        GateType.NAND: [(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)],
+        GateType.NOR: [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 0)],
+        GateType.XNOR: [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 1)],
+    }
+
+    @pytest.mark.parametrize("gate_type", sorted(TRUTH, key=lambda g: g.value))
+    def test_binary_truth_tables(self, gate_type):
+        for a, b, out in self.TRUTH[gate_type]:
+            assert eval_gate(gate_type, (a, b)) == out
+
+    def test_not(self):
+        assert eval_gate(GateType.NOT, (0,)) == 1
+        assert eval_gate(GateType.NOT, (1,)) == 0
+
+    def test_buf(self):
+        assert eval_gate(GateType.BUF, (0,)) == 0
+        assert eval_gate(GateType.BUF, (1,)) == 1
+
+    def test_constants(self):
+        assert eval_gate(GateType.CONST0, ()) == 0
+        assert eval_gate(GateType.CONST1, ()) == 1
+
+    def test_nary_and(self):
+        assert eval_gate(GateType.AND, (1, 1, 1)) == 1
+        assert eval_gate(GateType.AND, (1, 0, 1)) == 0
+
+    def test_nary_xor_parity(self):
+        assert eval_gate(GateType.XOR, (1, 1, 1)) == 1
+        assert eval_gate(GateType.XOR, (1, 1, 1, 1)) == 0
+
+    def test_bit_parallel_lanes(self):
+        mask = 0b1111
+        a, b = 0b0011, 0b0101
+        assert eval_gate(GateType.AND, (a, b), mask) == 0b0001
+        assert eval_gate(GateType.XOR, (a, b), mask) == 0b0110
+        assert eval_gate(GateType.NOT, (a,), mask) == 0b1100
+        assert eval_gate(GateType.NOR, (a, b), mask) == 0b1000
+        assert eval_gate(GateType.CONST1, (), mask) == mask
+
+    def test_arity_table_consistent(self):
+        for gate_type, (lo, hi) in GATE_ARITY.items():
+            assert lo >= 0
+            assert hi is None or hi >= lo

@@ -1,0 +1,130 @@
+"""Unit tests for hierarchical circuits."""
+
+import pytest
+
+from repro.circuits import CircuitError, HierarchicalCircuit, simulate_words
+from repro.gf import GF2m
+from repro.synth import gf_adder, gf_squarer, montgomery_multiplier
+
+
+def adder_chain(field, stages=2):
+    """Z = A + B + B + ... through a chain of adder blocks."""
+    hier = HierarchicalCircuit("chain", field.k)
+    hier.add_input_word("A")
+    hier.add_input_word("B")
+    previous = "A"
+    for i in range(stages):
+        hier.add_block(
+            f"add{i}",
+            gf_adder(field, name=f"add{i}"),
+            {"A": previous, "B": "B"},
+            {"Z": f"t{i}"},
+        )
+        previous = f"t{i}"
+    hier.set_output_words([previous])
+    return hier, previous
+
+
+class TestConstruction:
+    def test_duplicate_input_word(self, f16):
+        hier = HierarchicalCircuit("h", 4)
+        hier.add_input_word("A")
+        with pytest.raises(CircuitError):
+            hier.add_input_word("A")
+
+    def test_unbound_word_rejected(self, f16):
+        hier = HierarchicalCircuit("h", 4)
+        hier.add_input_word("A")
+        with pytest.raises(CircuitError):
+            hier.add_block("b", gf_adder(f16), {"A": "A"}, {"Z": "T"})
+
+    def test_double_driven_word_rejected(self, f16):
+        hier = HierarchicalCircuit("h", 4)
+        hier.add_input_word("A")
+        hier.add_input_word("B")
+        hier.add_block("b1", gf_adder(f16), {"A": "A", "B": "B"}, {"Z": "T"})
+        with pytest.raises(CircuitError):
+            hier.add_block("b2", gf_adder(f16), {"A": "A", "B": "B"}, {"Z": "T"})
+
+    def test_undriven_output_rejected(self, f16):
+        hier = HierarchicalCircuit("h", 4)
+        hier.add_input_word("A")
+        with pytest.raises(CircuitError):
+            hier.set_output_words(["ghost"])
+
+    def test_reading_undriven_word_rejected(self, f16):
+        hier = HierarchicalCircuit("h", 4)
+        hier.add_input_word("A")
+        hier.add_block("b", gf_adder(f16), {"A": "A", "B": "ghost"}, {"Z": "T"})
+        with pytest.raises(CircuitError):
+            hier.topological_blocks()
+
+
+class TestTopology:
+    def test_blocks_ordered(self, f16):
+        hier, _ = adder_chain(f16, stages=3)
+        names = [b.name for b in hier.topological_blocks()]
+        assert names == ["add0", "add1", "add2"]
+
+    def test_num_gates_sums_blocks(self, f16):
+        hier, _ = adder_chain(f16, stages=3)
+        assert hier.num_gates() == 3 * gf_adder(f16).num_gates()
+
+
+class TestSimulation:
+    def test_chain_function(self, f16):
+        hier, out = adder_chain(f16, stages=2)
+        result = hier.simulate_words({"A": [5, 9], "B": [3, 3]})
+        # A + B + B = A in characteristic 2
+        assert result[out] == [5, 9]
+
+    def test_montgomery_hierarchy(self, f16):
+        hier = montgomery_multiplier(f16)
+        import random
+
+        rng = random.Random(11)
+        a_vals = [rng.randrange(16) for _ in range(32)]
+        b_vals = [rng.randrange(16) for _ in range(32)]
+        result = hier.simulate_words({"A": a_vals, "B": b_vals})
+        for a, b, g in zip(a_vals, b_vals, result["G"]):
+            assert g == f16.mul(a, b)
+
+    def test_missing_input_rejected(self, f16):
+        hier, _ = adder_chain(f16)
+        with pytest.raises(CircuitError):
+            hier.simulate_words({"A": [1]})
+
+
+class TestFlatten:
+    def test_flat_function_matches(self, f16):
+        hier = montgomery_multiplier(f16)
+        flat = hier.flatten()
+        import random
+
+        rng = random.Random(13)
+        a_vals = [rng.randrange(16) for _ in range(32)]
+        b_vals = [rng.randrange(16) for _ in range(32)]
+        assert simulate_words(flat, {"A": a_vals, "B": b_vals})[
+            "G"
+        ] == hier.simulate_words({"A": a_vals, "B": b_vals})["G"]
+
+    def test_flat_gate_count(self, f16):
+        hier = montgomery_multiplier(f16)
+        assert hier.flatten().num_gates() == hier.num_gates()
+
+    def test_flat_words(self, f16):
+        flat = montgomery_multiplier(f16).flatten()
+        assert set(flat.input_words) == {"A", "B"}
+        assert set(flat.output_words) == {"G"}
+        flat.validate()
+
+    def test_single_word_blocks(self, f8):
+        hier = HierarchicalCircuit("sq2", f8.k)
+        hier.add_input_word("A")
+        hier.add_block("s1", gf_squarer(f8, name="s1"), {"A": "A"}, {"Z": "T"})
+        hier.add_block("s2", gf_squarer(f8, name="s2"), {"A": "T"}, {"Z": "Z"})
+        hier.set_output_words(["Z"])
+        flat = hier.flatten()
+        for a in range(8):
+            expected = f8.square(f8.square(a))
+            assert simulate_words(flat, {"A": [a]})["Z"][0] == expected

@@ -1,0 +1,120 @@
+"""Unit tests for nested hierarchies (blocks containing hierarchies)."""
+
+import pytest
+
+from repro.circuits import HierarchicalCircuit, simulate_words
+from repro.core import abstract_hierarchy
+from repro.gf import GF2m
+from repro.synth import gf_adder, gf_squarer, mastrovito_multiplier
+
+
+def squarer_pair(field, name="sq2"):
+    """Inner hierarchy computing A^4 as two chained squarers."""
+    inner = HierarchicalCircuit(name, field.k)
+    inner.add_input_word("A")
+    inner.add_block("s1", gf_squarer(field, name=f"{name}_s1"), {"A": "A"}, {"Z": "T"})
+    inner.add_block("s2", gf_squarer(field, name=f"{name}_s2"), {"A": "T"}, {"Z": "Z"})
+    inner.set_output_words(["Z"])
+    return inner
+
+
+@pytest.fixture
+def nested(f16):
+    """Outer hierarchy: Z = (A^4) * B with a nested squarer pair."""
+    outer = HierarchicalCircuit("outer", 4)
+    outer.add_input_word("A")
+    outer.add_input_word("B")
+    outer.add_block("QUAD", squarer_pair(f16), {"A": "A"}, {"Z": "A4"})
+    outer.add_block(
+        "MUL",
+        mastrovito_multiplier(f16, name="outer_mul"),
+        {"A": "A4", "B": "B"},
+        {"Z": "Z"},
+    )
+    outer.set_output_words(["Z"])
+    return outer
+
+
+class TestNestedStructure:
+    def test_block_flags(self, nested):
+        flags = {b.name: b.is_nested for b in nested.blocks}
+        assert flags == {"QUAD": True, "MUL": False}
+
+    def test_num_gates_recurses(self, nested, f16):
+        expected = 2 * gf_squarer(f16).num_gates() + mastrovito_multiplier(f16).num_gates()
+        assert nested.num_gates() == expected
+
+    def test_word_accessors(self, nested):
+        quad = nested.blocks[0]
+        assert quad.inner_input_words() == ["A"]
+        assert quad.inner_output_words() == ["Z"]
+
+
+class TestNestedSimulation:
+    def test_function(self, nested, f16):
+        a_vals = list(range(16))
+        b_vals = [(a * 3) % 16 for a in a_vals]
+        result = nested.simulate_words({"A": a_vals, "B": b_vals})
+        for a, b, z in zip(a_vals, b_vals, result["Z"]):
+            assert z == f16.mul(f16.pow(a, 4), b)
+
+    def test_flatten_through_nesting(self, nested, f16):
+        flat = nested.flatten()
+        flat.validate()
+        a_vals = list(range(16))
+        b_vals = [(a * 7) % 16 for a in a_vals]
+        assert simulate_words(flat, {"A": a_vals, "B": b_vals}) == (
+            nested.simulate_words({"A": a_vals, "B": b_vals})
+        )
+
+    def test_double_nesting(self, f16):
+        """Three levels deep: hierarchy > hierarchy > hierarchy."""
+        level2 = HierarchicalCircuit("level2", 4)
+        level2.add_input_word("A")
+        level2.add_block("inner", squarer_pair(f16, "isq"), {"A": "A"}, {"Z": "T"})
+        level2.add_block(
+            "plus", gf_adder(f16, name="l2add"), {"A": "T", "B": "A"}, {"Z": "Z"}
+        )
+        level2.set_output_words(["Z"])
+
+        level3 = HierarchicalCircuit("level3", 4)
+        level3.add_input_word("A")
+        level3.add_block("mid", level2, {"A": "A"}, {"Z": "Z"})
+        level3.set_output_words(["Z"])
+
+        for a in range(16):
+            expected = f16.pow(a, 4) ^ a
+            assert level3.simulate_words({"A": [a]})["Z"][0] == expected
+        flat = level3.flatten()
+        for a in range(16):
+            expected = f16.pow(a, 4) ^ a
+            assert simulate_words(flat, {"A": [a]})["Z"][0] == expected
+
+
+class TestNestedAbstraction:
+    def test_composition_recurses(self, nested, f16):
+        result = abstract_hierarchy(nested, f16)
+        ring = result.ring
+        assert result.polynomials["Z"] == ring.var("A", 4) * ring.var("B")
+
+    def test_nested_block_seconds_recorded(self, nested, f16):
+        result = abstract_hierarchy(nested, f16)
+        assert "QUAD" in result.block_seconds
+        assert "MUL" in result.block_seconds
+
+    def test_triple_nesting_abstraction(self, f16):
+        level2 = HierarchicalCircuit("level2", 4)
+        level2.add_input_word("A")
+        level2.add_block("inner", squarer_pair(f16, "isq2"), {"A": "A"}, {"Z": "T"})
+        level2.add_block(
+            "plus", gf_adder(f16, name="l2add2"), {"A": "T", "B": "A"}, {"Z": "Z"}
+        )
+        level2.set_output_words(["Z"])
+        level3 = HierarchicalCircuit("level3", 4)
+        level3.add_input_word("A")
+        level3.add_block("mid", level2, {"A": "A"}, {"Z": "Z"})
+        level3.set_output_words(["Z"])
+
+        result = abstract_hierarchy(level3, f16)
+        ring = result.ring
+        assert result.polynomials["Z"] == ring.var("A", 4) + ring.var("A")

@@ -1,0 +1,180 @@
+"""Unit tests for constant propagation and dead-logic removal."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import Circuit, CircuitError, GateType, simulate, simulate_words
+from repro.circuits.opt import (
+    bind_word_constant,
+    constant_propagate,
+    simplify,
+    strip_dead_logic,
+)
+from repro.gf import GF2m
+from repro.synth import montgomery_block
+
+
+def equivalent(original, simplified, inputs=None):
+    """Exhaustively compare two circuits on the given primary inputs."""
+    inputs = inputs if inputs is not None else original.inputs
+    for pattern in itertools.product((0, 1), repeat=len(inputs)):
+        stim = dict(zip(inputs, pattern))
+        v1 = simulate(original, stim)
+        v2 = simulate(simplified, stim)
+        for out in original.outputs:
+            if v1[out] != v2[out]:
+                return False
+    return True
+
+
+class TestConstantPropagate:
+    def test_and_with_zero(self):
+        c = Circuit()
+        c.add_input("a")
+        zero = c.CONST(0)
+        c.AND("a", zero, out="z")
+        c.set_outputs(["z"])
+        s = constant_propagate(c)
+        assert s.gate_driving("z").gate_type is GateType.CONST0
+
+    def test_and_with_one_becomes_wire(self):
+        c = Circuit()
+        c.add_input("a")
+        one = c.CONST(1)
+        c.AND("a", one, out="z")
+        c.set_outputs(["z"])
+        s = constant_propagate(c)
+        gate = s.gate_driving("z")
+        assert gate.gate_type is GateType.BUF and gate.inputs == ("a",)
+
+    def test_xor_with_one_becomes_not(self):
+        c = Circuit()
+        c.add_input("a")
+        one = c.CONST(1)
+        c.XOR("a", one, out="z")
+        c.set_outputs(["z"])
+        s = constant_propagate(c)
+        assert s.gate_driving("z").gate_type is GateType.NOT
+
+    def test_xor_self_cancellation(self):
+        c = Circuit()
+        c.add_input("a")
+        c.XOR("a", "a", out="z")
+        c.set_outputs(["z"])
+        s = constant_propagate(c)
+        assert s.gate_driving("z").gate_type is GateType.CONST0
+
+    def test_and_idempotent_dedup(self):
+        c = Circuit()
+        c.add_input("a")
+        c.AND("a", "a", out="z")
+        c.set_outputs(["z"])
+        s = constant_propagate(c)
+        assert s.gate_driving("z").gate_type is GateType.BUF
+
+    def test_or_with_one(self):
+        c = Circuit()
+        c.add_input("a")
+        one = c.CONST(1)
+        c.OR("a", one, out="z")
+        c.set_outputs(["z"])
+        s = constant_propagate(c)
+        assert s.gate_driving("z").gate_type is GateType.CONST1
+
+    def test_nand_nor_xnor_folding(self):
+        c = Circuit()
+        c.add_inputs(["a", "b"])
+        one = c.CONST(1)
+        zero = c.CONST(0)
+        c.add_gate("z1", GateType.NAND, ("a", zero))  # -> 1
+        c.add_gate("z2", GateType.NOR, ("a", one))  # -> 0
+        c.add_gate("z3", GateType.XNOR, ("a", one))  # -> buf a
+        c.set_outputs(["z1", "z2", "z3"])
+        s = constant_propagate(c)
+        assert s.gate_driving("z1").gate_type is GateType.CONST1
+        assert s.gate_driving("z2").gate_type is GateType.CONST0
+        assert s.gate_driving("z3").gate_type is GateType.BUF
+
+    def test_buf_chain_bypassed(self):
+        c = Circuit()
+        c.add_input("a")
+        b1 = c.BUF("a")
+        b2 = c.BUF(b1)
+        c.XOR(b2, "a", out="z")
+        c.set_outputs(["z"])
+        s = constant_propagate(c)
+        # xor(a, a) through the chain must cancel to constant 0
+        assert s.gate_driving("z").gate_type is GateType.CONST0
+
+    def test_random_circuits_preserved(self):
+        import random
+
+        from repro.synth import random_netlist
+
+        rng = random.Random(77)
+        for trial in range(20):
+            c = random_netlist(4, 15, rng, name=f"r{trial}")
+            s = constant_propagate(c)
+            assert equivalent(c, s), trial
+
+    def test_not_of_constant(self):
+        c = Circuit()
+        c.add_input("a")
+        one = c.CONST(1)
+        c.NOT(one, out="z")
+        c.set_outputs(["z"])
+        s = constant_propagate(c)
+        assert s.gate_driving("z").gate_type is GateType.CONST0
+
+
+class TestStripDeadLogic:
+    def test_removes_unread_gates(self):
+        c = Circuit()
+        c.add_inputs(["a", "b"])
+        c.AND("a", "b", out="dead")
+        c.XOR("a", "b", out="z")
+        c.set_outputs(["z"])
+        s = strip_dead_logic(c)
+        assert s.num_gates() == 1
+        assert not s.is_driven("dead")
+
+    def test_keeps_word_bits_alive(self):
+        c = Circuit()
+        c.add_inputs(["a", "b"])
+        c.AND("a", "b", out="w0")
+        c.set_outputs([])
+        c.add_output_word("W", ["w0"])
+        s = strip_dead_logic(c)
+        assert s.is_driven("w0")
+
+
+class TestBindWordConstant:
+    def test_bind_and_simplify(self, f16):
+        block = montgomery_block(f16)
+        constant = 0b1011
+        bound = simplify(bind_word_constant(block, "B", constant))
+        assert "B" not in bound.input_words
+        assert bound.num_gates() < block.num_gates()
+        import random
+
+        rng = random.Random(3)
+        for _ in range(20):
+            a = rng.randrange(16)
+            full = simulate_words(block, {"A": [a], "B": [constant]})["G"][0]
+            slim = simulate_words(bound, {"A": [a]})["G"][0]
+            assert full == slim
+
+    def test_unknown_word_rejected(self, f16):
+        with pytest.raises(CircuitError):
+            bind_word_constant(montgomery_block(f16), "C", 1)
+
+
+class TestSimplifyFixpoint:
+    def test_converges(self, f16):
+        block = montgomery_block(f16)
+        once = simplify(bind_word_constant(block, "B", 1), rounds=1)
+        full = simplify(bind_word_constant(block, "B", 1), rounds=8)
+        assert full.num_gates() <= once.num_gates()
+        # Re-simplifying a fixpoint changes nothing.
+        assert simplify(full).num_gates() == full.num_gates()

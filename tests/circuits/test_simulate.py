@@ -1,0 +1,100 @@
+"""Unit tests for bit-parallel simulation."""
+
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    CircuitError,
+    exhaustive_word_table,
+    simulate,
+    simulate_words,
+)
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier
+
+from .test_circuit import two_bit_multiplier
+
+
+class TestSimulate:
+    def test_single_vector(self):
+        c = two_bit_multiplier()
+        values = simulate(c, {"a0": 1, "a1": 1, "b0": 1, "b1": 0})
+        # A = 3 (a0=a1=1), B = 1 -> Z = 3: z0=1, z1=1
+        assert values["z0"] == 1 and values["z1"] == 1
+
+    def test_missing_input_rejected(self):
+        c = two_bit_multiplier()
+        with pytest.raises(CircuitError):
+            simulate(c, {"a0": 1})
+
+    def test_lanes_mask_inputs(self):
+        c = Circuit()
+        c.add_inputs(["a"])
+        c.NOT("a", out="z")
+        c.set_outputs(["z"])
+        values = simulate(c, {"a": 0b01}, lanes=2)
+        assert values["z"] == 0b10
+
+    def test_parallel_matches_serial(self):
+        c = two_bit_multiplier()
+        import itertools
+
+        patterns = list(itertools.product((0, 1), repeat=4))
+        packed = {
+            net: sum(p[i] << lane for lane, p in enumerate(patterns))
+            for i, net in enumerate(["a0", "a1", "b0", "b1"])
+        }
+        wide = simulate(c, packed, lanes=len(patterns))
+        for lane, p in enumerate(patterns):
+            narrow = simulate(c, dict(zip(["a0", "a1", "b0", "b1"], p)))
+            for net in c.nets():
+                assert (wide[net] >> lane) & 1 == narrow[net]
+
+
+class TestSimulateWords:
+    def test_multiplication(self, f4):
+        c = two_bit_multiplier()
+        a_vals = [a for a in range(4) for _ in range(4)]
+        b_vals = [b for _ in range(4) for b in range(4)]
+        result = simulate_words(c, {"A": a_vals, "B": b_vals})
+        for i in range(16):
+            assert result["Z"][i] == f4.mul(a_vals[i], b_vals[i])
+
+    def test_empty_stimuli(self):
+        c = two_bit_multiplier()
+        assert simulate_words(c, {"A": [], "B": []}) == {"Z": []}
+
+    def test_mismatched_lanes_rejected(self):
+        c = two_bit_multiplier()
+        with pytest.raises(CircuitError):
+            simulate_words(c, {"A": [1, 2], "B": [1]})
+
+    def test_missing_word_rejected(self):
+        c = two_bit_multiplier()
+        with pytest.raises(CircuitError):
+            simulate_words(c, {"A": [1]})
+
+    def test_large_batch(self, f256):
+        c = mastrovito_multiplier(f256)
+        import random
+
+        rng = random.Random(7)
+        a_vals = [rng.randrange(256) for _ in range(128)]
+        b_vals = [rng.randrange(256) for _ in range(128)]
+        result = simulate_words(c, {"A": a_vals, "B": b_vals})
+        for a, b, z in zip(a_vals, b_vals, result["Z"]):
+            assert z == f256.mul(a, b)
+
+
+class TestExhaustiveTable:
+    def test_full_multiplication_table(self, f4):
+        c = two_bit_multiplier()
+        table = exhaustive_word_table(c, 2)
+        assert len(table) == 16
+        for (a, b), outs in table.items():
+            assert outs["Z"] == f4.mul(a, b)
+
+    def test_size_guard(self, f4):
+        c = two_bit_multiplier()
+        with pytest.raises(CircuitError):
+            exhaustive_word_table(c, 11)

@@ -1,0 +1,129 @@
+"""Unit tests for the structural-Verilog reader/writer."""
+
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    CircuitError,
+    GateType,
+    from_verilog,
+    read_verilog,
+    simulate_words,
+    to_verilog,
+    write_verilog,
+)
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier
+
+from .test_circuit import two_bit_multiplier
+
+
+class TestWriter:
+    def test_contains_module_and_ports(self):
+        text = to_verilog(two_bit_multiplier())
+        assert text.startswith("module mult2 (")
+        assert "input a0, a1, b0, b1;" in text
+        assert "output z0, z1;" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_gates_serialised(self):
+        text = to_verilog(two_bit_multiplier())
+        assert "and " in text and "xor " in text
+
+    def test_word_annotations(self):
+        text = to_verilog(two_bit_multiplier())
+        assert "// word input A = a0 a1" in text
+        assert "// word output Z = z0 z1" in text
+
+    def test_constants_as_assign(self):
+        c = Circuit("consts")
+        c.add_input("a")
+        c.CONST(0, out="zero")
+        c.CONST(1, out="one")
+        c.set_outputs(["zero", "one"])
+        text = to_verilog(c)
+        assert "assign zero = 1'b0;" in text
+        assert "assign one = 1'b1;" in text
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        c = two_bit_multiplier()
+        r = from_verilog(to_verilog(c))
+        assert r.name == "mult2"
+        assert r.inputs == c.inputs
+        assert r.outputs == c.outputs
+        assert r.num_gates() == c.num_gates()
+        assert r.input_words == c.input_words
+        assert r.output_words == c.output_words
+
+    def test_function_preserved(self, f4):
+        c = two_bit_multiplier()
+        r = from_verilog(to_verilog(c))
+        stim = {"A": list(range(4)) * 4, "B": [b for b in range(4) for _ in range(4)]}
+        assert simulate_words(c, stim) == simulate_words(r, stim)
+
+    def test_large_circuit(self, f256):
+        c = mastrovito_multiplier(f256)
+        r = from_verilog(to_verilog(c))
+        assert r.num_gates() == c.num_gates()
+        import random
+
+        rng = random.Random(2)
+        stim = {
+            "A": [rng.randrange(256) for _ in range(16)],
+            "B": [rng.randrange(256) for _ in range(16)],
+        }
+        assert simulate_words(c, stim) == simulate_words(r, stim)
+
+    def test_all_gate_types(self):
+        c = Circuit("allgates")
+        c.add_inputs(["a", "b"])
+        for gate_type in (
+            GateType.AND,
+            GateType.OR,
+            GateType.XOR,
+            GateType.NAND,
+            GateType.NOR,
+            GateType.XNOR,
+        ):
+            c.add_gate(f"g_{gate_type.value}", gate_type, ("a", "b"))
+        c.NOT("a", out="g_not")
+        c.BUF("b", out="g_buf")
+        c.set_outputs([g.output for g in c.gates])
+        r = from_verilog(to_verilog(c))
+        for gate in c.gates:
+            assert r.gate_driving(gate.output).gate_type is gate.gate_type
+
+    def test_file_io(self, tmp_path):
+        c = two_bit_multiplier()
+        path = str(tmp_path / "m.v")
+        write_verilog(c, path)
+        r = read_verilog(path)
+        assert r.num_gates() == c.num_gates()
+
+
+class TestParser:
+    def test_multiline_statement(self):
+        text = (
+            "module t (a, b,\n"
+            "          z);\n"
+            "  input a, b;\n"
+            "  output z;\n"
+            "  and g1 (z,\n"
+            "          a, b);\n"
+            "endmodule\n"
+        )
+        c = from_verilog(text)
+        assert c.gate_driving("z").gate_type is GateType.AND
+
+    def test_validates_result(self):
+        text = (
+            "module t (a, z);\n"
+            "  input a;\n"
+            "  output z;\n"
+            "  and g1 (z, a, ghost);\n"
+            "endmodule\n"
+        )
+        with pytest.raises(CircuitError):
+            from_verilog(text)

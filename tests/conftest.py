@@ -1,0 +1,38 @@
+"""Shared fixtures: fields and benchmark circuits at small sizes."""
+
+import pytest
+
+from repro.gf import GF2m
+
+
+@pytest.fixture(scope="session")
+def f2():
+    return GF2m(1)
+
+
+@pytest.fixture(scope="session")
+def f4():
+    """F_4 with P(x) = x^2 + x + 1 — the paper's worked-example field."""
+    return GF2m(2)
+
+
+@pytest.fixture(scope="session")
+def f8():
+    return GF2m(3)
+
+
+@pytest.fixture(scope="session")
+def f16():
+    return GF2m(4)
+
+
+@pytest.fixture(scope="session")
+def f256():
+    """F_256 with the AES polynomial."""
+    return GF2m(8)
+
+
+@pytest.fixture(scope="session", params=[2, 3, 4, 5, 8])
+def any_field(request):
+    """A selection of small fields for parametrised math tests."""
+    return GF2m(request.param)

@@ -1,0 +1,125 @@
+"""Abstraction over circuits that use the full gate library.
+
+The arithmetic generators only emit AND/XOR; these tests build word
+functions out of OR/NOR/NAND/XNOR/NOT gates and check the derived
+canonical polynomial against exhaustive simulation — covering the
+remaining rows of the Section 4 gate-modeling table end to end.
+"""
+
+import itertools
+
+import pytest
+
+from repro.circuits import Circuit, GateType, exhaustive_word_table
+from repro.core import abstract_circuit
+from repro.gf import GF2m
+
+
+def build_wordwise(field, gate_type, name):
+    """Z_i = gate(A_i, B_i) bitwise, as a word circuit."""
+    k = field.k
+    c = Circuit(name)
+    a = [c.add_input(f"a{i}") for i in range(k)]
+    b = [c.add_input(f"b{i}") for i in range(k)]
+    c.add_input_word("A", a)
+    c.add_input_word("B", b)
+    z = [c.add_gate(f"z{i}", gate_type, (a[i], b[i])) for i in range(k)]
+    c.set_outputs(z)
+    c.add_output_word("Z", z)
+    return c
+
+
+class TestBitwiseWordOperators:
+    @pytest.mark.parametrize(
+        "gate_type",
+        [GateType.OR, GateType.NOR, GateType.NAND, GateType.XNOR, GateType.AND],
+    )
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_abstraction_matches_simulation(self, gate_type, k):
+        field = GF2m(k)
+        circuit = build_wordwise(field, gate_type, f"bw_{gate_type.value}_{k}")
+        result = abstract_circuit(circuit, field)
+        table = exhaustive_word_table(circuit, k)
+        for (a, b), outs in table.items():
+            assert result.polynomial.evaluate({"A": a, "B": b}) == outs["Z"], (
+                gate_type,
+                a,
+                b,
+            )
+
+    def test_bitwise_or_polynomial_shape(self, f4):
+        """Bitwise OR is not F_{2^k}-linear: its polynomial has cross terms."""
+        circuit = build_wordwise(f4, GateType.OR, "bw_or")
+        result = abstract_circuit(circuit, f4)
+        assert result.polynomial.total_degree() > 1
+
+
+class TestMixedGateCircuits:
+    def test_mux_based_circuit(self, f4):
+        """Z = (s ? A : B) bitwise, built from AND/OR/NOT."""
+        k = 2
+        c = Circuit("mux")
+        a = [c.add_input(f"a{i}") for i in range(k)]
+        b = [c.add_input(f"b{i}") for i in range(k)]
+        s = [c.add_input(f"s{i}") for i in range(k)]
+        c.add_input_word("A", a)
+        c.add_input_word("B", b)
+        c.add_input_word("S", s)
+        z = []
+        for i in range(k):
+            ns = c.NOT(s[i])
+            z.append(
+                c.add_gate(
+                    f"z{i}",
+                    GateType.OR,
+                    (c.AND(s[i], a[i]), c.AND(ns, b[i])),
+                )
+            )
+        c.set_outputs(z)
+        c.add_output_word("Z", z)
+        result = abstract_circuit(c, f4)
+        table = exhaustive_word_table(c, k)
+        for (av, bv, sv), outs in table.items():
+            assert (
+                result.polynomial.evaluate({"A": av, "B": bv, "S": sv})
+                == outs["Z"]
+            )
+
+    def test_nand_nand_multiplier(self, f4):
+        """Fig. 2 rebuilt with NAND-NAND logic (AND = NAND + NOT)."""
+        c = Circuit("nandmult")
+        for n in ["a0", "a1", "b0", "b1"]:
+            c.add_input(n)
+        def and_via_nand(x, y, out=None):
+            n = c.add_gate(c.fresh_net("nd"), GateType.NAND, (x, y))
+            return c.NOT(n, out=out) if out else c.NOT(n)
+        s0 = and_via_nand("a0", "b0")
+        s1 = and_via_nand("a0", "b1")
+        s2 = and_via_nand("a1", "b0")
+        s3 = and_via_nand("a1", "b1")
+        r0 = c.XOR(s1, s2)
+        z0 = c.XOR(s0, s3, out="z0")
+        z1 = c.XOR(r0, s3, out="z1")
+        c.set_outputs([z0, z1])
+        c.add_input_word("A", ["a0", "a1"])
+        c.add_input_word("B", ["b0", "b1"])
+        c.add_output_word("Z", [z0, z1])
+        result = abstract_circuit(c, f4)
+        assert result.polynomial == result.ring.var("A") * result.ring.var("B")
+
+    def test_or_based_adder_false_friend(self, f4):
+        """Bitwise OR is NOT field addition; the polynomials must differ."""
+        or_circuit = build_wordwise(f4, GateType.OR, "or_add")
+        from repro.synth import gf_adder
+
+        or_poly = abstract_circuit(or_circuit, f4).polynomial
+        add_poly = abstract_circuit(gf_adder(f4), f4).polynomial
+
+        def comparable(poly):
+            ring = poly.ring
+            return {
+                tuple(sorted((ring.variables[v], e) for v, e in m)): c
+                for m, c in poly.terms.items()
+            }
+
+        assert comparable(or_poly) != comparable(add_poly)

@@ -1,0 +1,160 @@
+"""Unit tests for the substitution engine."""
+
+import pytest
+
+from repro.core import SubstitutionEngine
+from repro.gf import GF2m
+
+E = frozenset()
+
+
+def fs(*ids):
+    return frozenset(ids)
+
+
+class TestAddTerm:
+    def test_accumulates_xor(self, f16):
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1), 0b0101)
+        eng.add_term(fs(1), 0b0011)
+        assert eng.terms == {fs(1): 0b0110}
+
+    def test_cancellation_removes_monomial(self, f16):
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1, 2), 7)
+        eng.add_term(fs(1, 2), 7)
+        assert not eng.terms
+        assert not eng.contains_var(1)
+
+    def test_zero_coefficient_ignored(self, f16):
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1), 0)
+        assert not eng.terms
+
+    def test_occurrence_index(self, f16):
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1, 2), 1)
+        eng.add_term(fs(2, 3), 1)
+        assert eng.contains_var(2)
+        assert eng.variables_present() == {1, 2, 3}
+
+
+class TestSubstitute:
+    def test_xor_tail(self, f16):
+        # poly = x1; substitute x1 -> x2 + x3
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1), 1)
+        eng.substitute(1, {fs(2): 1, fs(3): 1})
+        assert eng.terms == {fs(2): 1, fs(3): 1}
+
+    def test_and_tail_in_context(self, f16):
+        # poly = x1 * x4; substitute x1 -> x2*x3 yields x2*x3*x4
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1, 4), 5)
+        eng.substitute(1, {fs(2, 3): 1})
+        assert eng.terms == {fs(2, 3, 4): 5}
+
+    def test_idempotent_merge(self, f16):
+        # poly = x1 * x2; substitute x1 -> x2 yields x2 (x2*x2 = x2)
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1, 2), 1)
+        eng.substitute(1, {fs(2): 1})
+        assert eng.terms == {fs(2): 1}
+
+    def test_coefficient_multiplication(self, f16):
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1), 0b0010)  # alpha * x1
+        eng.substitute(1, {fs(2): 0b0010})  # x1 -> alpha*x2
+        assert eng.terms == {fs(2): f16.mul(0b0010, 0b0010)}
+
+    def test_constant_tail(self, f16):
+        # x1 -> 1 (CONST1): poly x1*x2 + x1 becomes x2 + 1
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1, 2), 1)
+        eng.add_term(fs(1), 1)
+        eng.substitute(1, {E: 1})
+        assert eng.terms == {fs(2): 1, E: 1}
+
+    def test_empty_tail_zeroes_var(self, f16):
+        # x1 -> 0 (CONST0): terms containing x1 vanish.
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1, 2), 1)
+        eng.add_term(fs(3), 1)
+        eng.substitute(1, {})
+        assert eng.terms == {fs(3): 1}
+
+    def test_absent_variable_is_noop(self, f16):
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(2), 1)
+        assert eng.substitute(1, {fs(3): 1}) == 0
+        assert eng.terms == {fs(2): 1}
+
+    def test_cancellation_through_substitution(self, f16):
+        # poly = x1 + x2; substitute x1 -> x2: everything cancels.
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1), 1)
+        eng.add_term(fs(2), 1)
+        eng.substitute(1, {fs(2): 1})
+        assert not eng.terms
+
+    def test_stats_tracked(self, f16):
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1), 1)
+        eng.substitute(1, {fs(2): 1, fs(3): 1})
+        assert eng.substitutions == 1
+        assert eng.peak_terms >= 2
+        assert eng.term_traffic >= 3
+
+    def test_snapshot_is_copy(self, f16):
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1), 1)
+        snap = eng.snapshot()
+        eng.add_term(fs(2), 1)
+        assert fs(2) not in snap
+
+    def test_len(self, f16):
+        eng = SubstitutionEngine(f16)
+        eng.add_term(fs(1), 1)
+        eng.add_term(fs(2), 3)
+        assert len(eng) == 2
+
+
+class TestAgainstBooleanSemantics:
+    def test_substitution_preserves_function(self, f16):
+        """Random substitution chains keep the represented function intact."""
+        import itertools
+        import random
+
+        rng = random.Random(4)
+        for trial in range(20):
+            eng = SubstitutionEngine(f16)
+            # Random poly in vars 5..8, then substitute 5 -> poly in 1..4.
+            base_vars = [5, 6, 7, 8]
+            for _ in range(6):
+                mono = frozenset(rng.sample(base_vars, rng.randint(1, 3)))
+                eng.add_term(mono, rng.randrange(1, 16))
+            tail = {}
+            for _ in range(3):
+                mono = frozenset(rng.sample([1, 2, 3, 4], rng.randint(1, 2)))
+                tail[mono] = rng.randrange(1, 16)
+            before = eng.snapshot()
+            eng.substitute(5, tail)
+
+            def eval_terms(terms, assignment):
+                total = 0
+                for monomial, coeff in terms.items():
+                    if all(assignment[v] for v in monomial):
+                        total ^= coeff
+                return total
+
+            for bits in itertools.product((0, 1), repeat=8):
+                assignment = {i + 1: bits[i] for i in range(8)}
+                tail_value = eval_terms(tail, assignment)
+                # tail is F2-polynomial of bits: value in the field; the
+                # substituted variable takes that value (0/1 in practice).
+                ref_assignment = dict(assignment)
+                ref_assignment[5] = tail_value
+                if tail_value in (0, 1):
+                    assert eval_terms(eng.terms, assignment) == eval_terms(
+                        before, ref_assignment
+                    ), trial

@@ -1,0 +1,108 @@
+"""Unit tests for hierarchical word-level composition."""
+
+import pytest
+
+from repro.algebra import LexOrder, PolynomialRing
+from repro.circuits import HierarchicalCircuit
+from repro.core import abstract_hierarchy, compose_polynomials, word_ring_for
+from repro.gf import GF2m
+from repro.synth import (
+    gf_adder,
+    gf_squarer,
+    montgomery_multiplier,
+)
+
+
+class TestComposePolynomials:
+    def test_identity_binding(self, f16):
+        ring = word_ring_for(f16, ["A", "B"])
+        block_ring = word_ring_for(f16, ["X", "Y"])
+        poly = block_ring.var("X") * block_ring.var("Y")
+        composed = compose_polynomials(
+            poly, {"X": ring.var("A"), "Y": ring.var("B")}, ring
+        )
+        assert composed == ring.var("A") * ring.var("B")
+
+    def test_nested_expression(self, f16):
+        ring = word_ring_for(f16, ["A"])
+        block_ring = word_ring_for(f16, ["X"])
+        square = block_ring.var("X", 2)
+        composed = compose_polynomials(
+            square, {"X": ring.var("A", 2)}, ring
+        )
+        assert composed == ring.var("A", 4)
+
+    def test_folding_applies(self, f4):
+        ring = word_ring_for(f4, ["A"])
+        block_ring = word_ring_for(f4, ["X"])
+        square = block_ring.var("X", 2)
+        composed = compose_polynomials(square, {"X": ring.var("A", 2)}, ring)
+        assert composed == ring.var("A")  # A^4 = A over F_4
+
+    def test_constant_term_passthrough(self, f16):
+        ring = word_ring_for(f16, ["A"])
+        block_ring = word_ring_for(f16, ["X"])
+        poly = block_ring.var("X") + block_ring.constant(7)
+        composed = compose_polynomials(poly, {"X": ring.var("A")}, ring)
+        assert composed == ring.var("A") + ring.constant(7)
+
+
+class TestAbstractHierarchy:
+    def test_montgomery_fig1(self, f16):
+        """The headline hierarchy: Fig. 1 composes to G = A*B."""
+        hier = montgomery_multiplier(f16)
+        result = abstract_hierarchy(hier, f16)
+        assert result.polynomials["G"] == result.ring.var("A") * result.ring.var("B")
+
+    def test_block_results_exposed(self, f16):
+        result = abstract_hierarchy(montgomery_multiplier(f16), f16)
+        assert set(result.block_results) == {"BLK_A", "BLK_B", "BLK_Mid", "BLK_Out"}
+        assert set(result.block_seconds) == set(result.block_results)
+        assert result.total_seconds >= result.compose_seconds
+
+    def test_squarer_chain_composes_with_folding(self, f4):
+        """A^2 composed with A^2 folds to A over F_4."""
+        hier = HierarchicalCircuit("sq2", 2)
+        hier.add_input_word("A")
+        hier.add_block("s1", gf_squarer(f4, name="s1"), {"A": "A"}, {"Z": "T"})
+        hier.add_block("s2", gf_squarer(f4, name="s2"), {"A": "T"}, {"Z": "Z"})
+        hier.set_output_words(["Z"])
+        result = abstract_hierarchy(hier, f4)
+        assert result.polynomials["Z"] == result.ring.var("A")
+
+    def test_adder_tree(self, f16):
+        hier = HierarchicalCircuit("addtree", 4)
+        hier.add_input_word("A")
+        hier.add_input_word("B")
+        hier.add_input_word("C")
+        hier.add_block(
+            "a1", gf_adder(f16, name="a1"), {"A": "A", "B": "B"}, {"Z": "T"}
+        )
+        hier.add_block(
+            "a2", gf_adder(f16, name="a2"), {"A": "T", "B": "C"}, {"Z": "Z"}
+        )
+        hier.set_output_words(["Z"])
+        result = abstract_hierarchy(hier, f16)
+        ring = result.ring
+        assert result.polynomials["Z"] == (
+            ring.var("A") + ring.var("B") + ring.var("C")
+        )
+
+    def test_reused_block_results(self, f16):
+        hier = montgomery_multiplier(f16)
+        first = abstract_hierarchy(hier, f16)
+        second = abstract_hierarchy(
+            hier, f16, block_results=first.block_results
+        )
+        assert second.polynomials["G"] == first.polynomials["G"]
+
+    def test_composition_matches_simulation(self, f16):
+        import random
+
+        hier = montgomery_multiplier(f16)
+        result = abstract_hierarchy(hier, f16)
+        rng = random.Random(6)
+        for _ in range(20):
+            a, b = rng.randrange(16), rng.randrange(16)
+            sim = hier.simulate_words({"A": [a], "B": [b]})["G"][0]
+            assert result.polynomials["G"].evaluate({"A": a, "B": b}) == sim

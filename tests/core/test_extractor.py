@@ -1,0 +1,107 @@
+"""Unit tests for circuit-to-ideal extraction (Problem Setup 4.1)."""
+
+import pytest
+
+from repro.core import circuit_ideal
+from repro.gf import GF2m
+
+from ..circuits.test_circuit import two_bit_multiplier
+
+
+@pytest.fixture
+def ideal(f4):
+    return circuit_ideal(two_bit_multiplier(), f4)
+
+
+class TestStructure:
+    def test_one_polynomial_per_gate(self, ideal):
+        assert len(ideal.gate_polynomials) == 7
+
+    def test_word_relations_present(self, ideal):
+        assert set(ideal.output_relations) == {"Z"}
+        assert set(ideal.input_relations) == {"A", "B"}
+
+    def test_ring_is_unfolded(self, ideal):
+        assert not ideal.ring.fold
+
+    def test_domains(self, ideal):
+        ring = ideal.ring
+        assert ring.domains[ring.index["s0"]] == 2
+        assert ring.domains[ring.index["a0"]] == 2
+        assert ring.domains[ring.index["Z"]] == 4
+        assert ring.domains[ring.index["A"]] == 4
+
+    def test_vanishing_generators(self, ideal):
+        # One x^q - x per ring variable.
+        assert len(ideal.vanishing) == len(ideal.ring.variables)
+
+    def test_generators_property(self, ideal):
+        assert len(ideal.generators) == 7 + 1 + 2
+
+
+class TestPolynomialForms:
+    def test_gate_polynomials_match_example_4_2(self, ideal):
+        """The generators must be exactly the f_4..f_10 of Example 4.2."""
+        ring = ideal.ring
+        texts = {str(p) for p in ideal.gate_polynomials}
+        assert "s0 + a0*b0" in texts
+        assert "s1 + a0*b1" in texts
+        assert "r0 + s1 + s2" in texts
+        assert "z0 + s0 + s3" in texts
+        assert "z1 + r0 + s3" in texts
+
+    def test_output_relation_is_eqn_1(self, ideal):
+        # f_1 : z0 + z1*alpha + Z
+        assert str(ideal.output_relations["Z"]) == "z0 + a*z1 + Z"
+
+    def test_input_relation_is_eqn_1(self, ideal):
+        assert str(ideal.input_relations["A"]) == "a0 + a*a1 + A"
+
+    def test_gate_polys_have_output_leading_term(self, ideal):
+        """Under RATO, lt of each gate polynomial is the gate output."""
+        ring = ideal.ring
+        for gate_poly, gate in zip(
+            ideal.gate_polynomials, two_bit_multiplier().topological_order()
+        ):
+            lm = gate_poly.leading_monomial()
+            assert lm == ((ring.index[gate.output], 1),)
+
+    def test_pairwise_coprime_leads_except_fw_fg(self, ideal):
+        """Section 5's key structural fact about RATO."""
+        from repro.algebra import leading_monomials_coprime
+
+        polys = ideal.generators
+        non_coprime = [
+            (str(p), str(q))
+            for i, p in enumerate(polys)
+            for q in polys[i + 1 :]
+            if not leading_monomials_coprime(p, q)
+        ]
+        # Exactly one non-coprime pair: (f_w, gate poly of the lead z bit).
+        assert len(non_coprime) == 1
+        pair_text = " | ".join(non_coprime[0])
+        assert "Z" in pair_text and "z0 + s0 + s3" in pair_text
+
+
+class TestConsistency:
+    def test_generators_vanish_on_circuit_executions(self, ideal, f4):
+        """Every consistent simulation assignment is a zero of the ideal."""
+        from repro.circuits import simulate
+
+        circuit = two_bit_multiplier()
+        import itertools
+
+        for bits in itertools.product((0, 1), repeat=4):
+            stim = dict(zip(["a0", "a1", "b0", "b1"], bits))
+            values = simulate(circuit, stim)
+            assignment = {net: values[net] for net in circuit.nets()}
+            assignment["A"] = bits[0] | (bits[1] << 1)
+            assignment["B"] = bits[2] | (bits[3] << 1)
+            assignment["Z"] = values["z0"] | (values["z1"] << 1)
+            for poly in ideal.generators:
+                assert poly.evaluate(assignment) == 0, str(poly)
+
+    def test_invalid_assignment_violates_some_generator(self, ideal):
+        assignment = {v: 0 for v in ideal.ring.variables}
+        assignment["z0"] = 1  # z0 must be 0 when all inputs are 0
+        assert any(p.evaluate(assignment) != 0 for p in ideal.generators)

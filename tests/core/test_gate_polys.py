@@ -1,0 +1,99 @@
+"""Unit tests for gate-to-polynomial modeling (Section 4)."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import Gate, GateType, eval_gate
+from repro.core import gate_tail
+from repro.gf import GF2m
+
+IDS = {"a": 0, "b": 1, "c": 2, "z": 9}
+
+
+def evaluate_tail(tail, assignment, field):
+    """Evaluate a BitTerms polynomial on an F2 assignment by variable id."""
+    total = 0
+    for monomial, coeff in tail.items():
+        if all(assignment[var] for var in monomial):
+            total ^= coeff
+    return total
+
+
+class TestTailShapes:
+    def test_and_is_product(self):
+        tail = gate_tail(Gate("z", GateType.AND, ("a", "b")), IDS)
+        assert tail == {frozenset({0, 1}): 1}
+
+    def test_xor_is_sum(self):
+        tail = gate_tail(Gate("z", GateType.XOR, ("a", "b")), IDS)
+        assert tail == {frozenset({0}): 1, frozenset({1}): 1}
+
+    def test_or_matches_paper_form(self):
+        # OR: x + y + x*y
+        tail = gate_tail(Gate("z", GateType.OR, ("a", "b")), IDS)
+        assert tail == {
+            frozenset({0}): 1,
+            frozenset({1}): 1,
+            frozenset({0, 1}): 1,
+        }
+
+    def test_not_is_complement(self):
+        tail = gate_tail(Gate("z", GateType.NOT, ("a",)), IDS)
+        assert tail == {frozenset(): 1, frozenset({0}): 1}
+
+    def test_buf_is_identity(self):
+        tail = gate_tail(Gate("z", GateType.BUF, ("a",)), IDS)
+        assert tail == {frozenset({0}): 1}
+
+    def test_constants(self):
+        assert gate_tail(Gate("z", GateType.CONST0, ()), IDS) == {}
+        assert gate_tail(Gate("z", GateType.CONST1, ()), IDS) == {frozenset(): 1}
+
+    def test_repeated_input_and(self):
+        # AND(a, a) = a by idempotence.
+        tail = gate_tail(Gate("z", GateType.AND, ("a", "a")), IDS)
+        assert tail == {frozenset({0}): 1}
+
+    def test_repeated_input_xor(self):
+        # XOR(a, a) = 0.
+        tail = gate_tail(Gate("z", GateType.XOR, ("a", "a")), IDS)
+        assert tail == {}
+
+
+class TestSemantics:
+    """Every tail must agree with the gate's Boolean function pointwise."""
+
+    BINARY = [
+        GateType.AND,
+        GateType.OR,
+        GateType.XOR,
+        GateType.NAND,
+        GateType.NOR,
+        GateType.XNOR,
+    ]
+
+    @pytest.mark.parametrize("gate_type", BINARY)
+    def test_binary_gates(self, gate_type, f16):
+        tail = gate_tail(Gate("z", gate_type, ("a", "b")), IDS)
+        for a, b in itertools.product((0, 1), repeat=2):
+            expected = eval_gate(gate_type, (a, b))
+            assert evaluate_tail(tail, {0: a, 1: b}, f16) == expected
+
+    @pytest.mark.parametrize("gate_type", BINARY)
+    def test_ternary_gates(self, gate_type, f16):
+        tail = gate_tail(Gate("z", gate_type, ("a", "b", "c")), IDS)
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            expected = eval_gate(gate_type, (a, b, c))
+            assert evaluate_tail(tail, {0: a, 1: b, 2: c}, f16) == expected
+
+    def test_unary_gates(self, f16):
+        for gate_type in (GateType.NOT, GateType.BUF):
+            tail = gate_tail(Gate("z", gate_type, ("a",)), IDS)
+            for a in (0, 1):
+                assert evaluate_tail(tail, {0: a}, f16) == eval_gate(gate_type, (a,))
+
+    def test_wide_or_has_full_expansion(self, f16):
+        tail = gate_tail(Gate("z", GateType.OR, ("a", "b", "c")), IDS)
+        # 1 + (1+a)(1+b)(1+c): 7 nonempty subsets.
+        assert len(tail) == 7

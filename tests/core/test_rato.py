@@ -1,0 +1,97 @@
+"""Unit tests for the Refined Abstraction Term Order (Definition 5.1)."""
+
+import pytest
+
+from repro.core import build_rato, build_unrefined_order
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier
+
+from ..circuits.test_circuit import two_bit_multiplier
+
+
+class TestBuildRato:
+    def test_variable_partitions(self):
+        c = two_bit_multiplier()
+        rato = build_rato(c)
+        assert set(rato.gate_nets) == {"s0", "s1", "s2", "s3", "r0", "z0", "z1"}
+        assert rato.input_bits == ["a0", "a1", "b0", "b1"]
+        assert rato.output_words == ["Z"]
+        assert rato.input_words == ["A", "B"]
+
+    def test_outputs_rank_highest(self):
+        c = two_bit_multiplier()
+        rato = build_rato(c)
+        # z0, z1 are at reverse-topo level 0: they must come first.
+        assert set(rato.gate_nets[:2]) == {"z0", "z1"}
+
+    def test_levels_monotone(self):
+        c = two_bit_multiplier()
+        rato = build_rato(c)
+        levels = c.reverse_topological_levels()
+        ranks = [levels[net] for net in rato.gate_nets]
+        assert ranks == sorted(ranks)
+
+    def test_gate_bits_above_words(self):
+        c = two_bit_multiplier()
+        rato = build_rato(c)
+        assert all(
+            rato.id_of(net) < rato.id_of("Z") for net in rato.gate_nets
+        )
+        assert rato.id_of("Z") < rato.id_of("A") < rato.id_of("B")
+
+    def test_ids_dense_and_ordered(self):
+        c = two_bit_multiplier()
+        rato = build_rato(c)
+        assert sorted(rato.var_ids.values()) == list(range(len(rato.variables)))
+        assert rato.variables[rato.id_of("r0")] == "r0"
+
+    def test_tails_only_mention_lower_ranked_vars(self, f256):
+        """The property the single forward sweep relies on."""
+        c = mastrovito_multiplier(f256)
+        rato = build_rato(c)
+        for gate in c.gates:
+            out_rank = rato.id_of(gate.output)
+            for src in gate.inputs:
+                assert rato.id_of(src) > out_rank, (gate.output, src)
+
+    def test_explicit_output_words(self):
+        c = two_bit_multiplier()
+        rato = build_rato(c, output_words=["Z"])
+        assert rato.output_words == ["Z"]
+
+    def test_name_collision_rejected(self):
+        from repro.circuits import Circuit
+
+        c = Circuit("clash")
+        c.add_inputs(["a0", "a1"])
+        c.XOR("a0", "a1", out="A")  # net named like the word
+        c.set_outputs(["A"])
+        c.add_input_word("A", ["a0", "a1"])
+        c.add_output_word("Z", ["A", "A"])
+        with pytest.raises(ValueError):
+            build_rato(c)
+
+
+class TestUnrefinedOrder:
+    def test_same_variable_set(self):
+        c = two_bit_multiplier()
+        rato = build_rato(c)
+        unrefined = build_unrefined_order(c)
+        assert set(unrefined.variables) == set(rato.variables)
+
+    def test_alphabetical_default(self):
+        c = two_bit_multiplier()
+        unrefined = build_unrefined_order(c)
+        assert unrefined.gate_nets == sorted(unrefined.gate_nets)
+
+    def test_shuffle_deterministic(self):
+        c = two_bit_multiplier()
+        s1 = build_unrefined_order(c, shuffle_seed=42)
+        s2 = build_unrefined_order(c, shuffle_seed=42)
+        assert s1.gate_nets == s2.gate_nets
+
+    def test_shuffle_differs_from_rato(self, f256):
+        c = mastrovito_multiplier(f256)
+        rato = build_rato(c)
+        shuffled = build_unrefined_order(c, shuffle_seed=1)
+        assert shuffled.gate_nets != rato.gate_nets

@@ -1,0 +1,81 @@
+"""Unit tests for dual bases and coordinate polynomials."""
+
+import pytest
+
+from repro.gf import GF2m, coordinate_coefficients, dual_basis
+from repro.gf.dualbasis import _invert_f2_matrix
+
+
+class TestMatrixInverse:
+    def test_identity(self):
+        rows = [1 << i for i in range(4)]
+        assert _invert_f2_matrix(rows, 4) == rows
+
+    def test_inverse_property(self):
+        rows = [0b1101, 0b0110, 0b0011, 0b1001]
+        inv = _invert_f2_matrix(rows, 4)
+
+        def matmul(a, b, k):
+            out = []
+            for i in range(k):
+                row = 0
+                for j in range(k):
+                    bit = 0
+                    for t in range(k):
+                        bit ^= ((a[i] >> t) & 1) & ((b[t] >> j) & 1)
+                    row |= bit << j
+                out.append(row)
+            return out
+
+        assert matmul(rows, inv, 4) == [1 << i for i in range(4)]
+
+    def test_singular_rejected(self):
+        with pytest.raises(ValueError):
+            _invert_f2_matrix([0b11, 0b11], 2)
+
+
+class TestDualBasis:
+    def test_duality_relation(self, any_field):
+        field = any_field
+        betas = dual_basis(field)
+        for i in range(field.k):
+            for j in range(field.k):
+                trace = field.trace(
+                    field.mul(field.pow(field.alpha, i), betas[j])
+                )
+                assert trace == (1 if i == j else 0)
+
+    def test_basis_is_spanning(self, f16):
+        # The dual basis must itself be linearly independent over F2.
+        betas = dual_basis(f16)
+        seen = set()
+        for mask in range(16):
+            combo = 0
+            for i in range(4):
+                if (mask >> i) & 1:
+                    combo ^= betas[i]
+            seen.add(combo)
+        assert len(seen) == 16
+
+
+class TestCoordinateCoefficients:
+    def test_recovers_every_bit(self, any_field):
+        field = any_field
+        for bit in range(field.k):
+            coeffs = coordinate_coefficients(field, bit)
+            for a in field.elements():
+                value = 0
+                for j, c in enumerate(coeffs):
+                    value ^= field.mul(c, field.pow(a, 1 << j))
+                assert value == (a >> bit) & 1
+
+    def test_coefficients_are_frobenius_orbit(self, f16):
+        coeffs = coordinate_coefficients(f16, 2)
+        for j in range(1, 4):
+            assert coeffs[j] == f16.square(coeffs[j - 1])
+
+    def test_bad_bit_rejected(self, f16):
+        with pytest.raises(ValueError):
+            coordinate_coefficients(f16, 4)
+        with pytest.raises(ValueError):
+            coordinate_coefficients(f16, -1)

@@ -1,0 +1,227 @@
+"""Unit tests for GF2m fields and elements."""
+
+import pytest
+
+from repro.gf import GF2m, nist_polynomial
+
+
+class TestConstruction:
+    def test_default_modulus(self):
+        field = GF2m(8)
+        assert field.modulus == nist_polynomial(8)
+        assert field.order == 256
+
+    def test_explicit_modulus(self):
+        field = GF2m(2, modulus=0b111)
+        assert field.k == 2
+
+    def test_wrong_degree_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(3, modulus=0b111)
+
+    def test_reducible_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(2, modulus=0b101)  # (x+1)^2
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            GF2m(0)
+
+    def test_equality(self):
+        assert GF2m(4) == GF2m(4)
+        assert GF2m(4) != GF2m(5)
+        assert GF2m(4, 0b10011) != GF2m(4, 0b11001)
+
+    def test_hashable(self):
+        assert len({GF2m(4), GF2m(4), GF2m(5)}) == 2
+
+
+class TestRawArithmetic:
+    def test_aes_multiplication(self, f256):
+        # The canonical AES example: 0x57 * 0x83 = 0xc1.
+        assert f256.mul(0x57, 0x83) == 0xC1
+
+    def test_add_is_xor(self, f16):
+        assert f16.add(0b1010, 0b0110) == 0b1100
+
+    def test_mul_identity(self, any_field):
+        for a in any_field.elements():
+            assert any_field.mul(a, 1) == a
+
+    def test_mul_zero(self, any_field):
+        for a in any_field.elements():
+            assert any_field.mul(a, 0) == 0
+
+    def test_inverse(self, any_field):
+        for a in range(1, any_field.order):
+            assert any_field.mul(a, any_field.inv(a)) == 1
+
+    def test_inv_zero_raises(self, f16):
+        with pytest.raises(ZeroDivisionError):
+            f16.inv(0)
+
+    def test_fermat(self, any_field):
+        q = any_field.order
+        for a in any_field.elements():
+            assert any_field.pow(a, q) == a
+
+    def test_pow_negative(self, f16):
+        for a in range(1, 16):
+            assert f16.mul(f16.pow(a, -1), a) == 1
+
+    def test_square_matches_mul(self, any_field):
+        for a in any_field.elements():
+            assert any_field.square(a) == any_field.mul(a, a)
+
+    def test_frobenius_is_automorphism(self, f16):
+        for a in range(16):
+            for b in range(16):
+                assert f16.frobenius(f16.mul(a, b)) == f16.mul(
+                    f16.frobenius(a), f16.frobenius(b)
+                )
+
+    def test_frobenius_order_k(self, f16):
+        for a in range(16):
+            assert f16.frobenius(a, times=4) == a
+
+    def test_trace_is_f2_valued_and_linear(self, f16):
+        for a in range(16):
+            assert f16.trace(a) in (0, 1)
+        for a in range(16):
+            for b in range(16):
+                assert f16.trace(a ^ b) == f16.trace(a) ^ f16.trace(b)
+
+    def test_trace_not_identically_zero(self, any_field):
+        assert any(any_field.trace(a) for a in any_field.elements())
+
+    def test_reduce(self, f16):
+        # alpha^4 = alpha + 1 for P = x^4 + x + 1
+        assert f16.reduce(0b10000) == 0b0011
+
+    def test_range_check(self, f16):
+        with pytest.raises(ValueError):
+            f16.inv(16)
+
+    def test_bits_roundtrip(self, f256):
+        for value in (0, 1, 0x57, 0xFF):
+            assert f256.element_from_bits(f256.bits_of(value)) == value
+
+    def test_element_from_bits_validates(self, f16):
+        with pytest.raises(ValueError):
+            f16.element_from_bits([0, 2])
+        with pytest.raises(ValueError):
+            f16.element_from_bits([0] * 5)
+
+
+class TestFieldAxioms:
+    """Exhaustive field-axiom checks on F_16."""
+
+    def test_additive_group(self, f16):
+        for a in range(16):
+            assert f16.add(a, 0) == a
+            assert f16.add(a, a) == 0  # characteristic 2: self-inverse
+
+    def test_multiplicative_associativity(self, f16):
+        import itertools
+
+        for a, b, c in itertools.product(range(16), repeat=3):
+            assert f16.mul(f16.mul(a, b), c) == f16.mul(a, f16.mul(b, c))
+
+    def test_distributivity(self, f16):
+        import itertools
+
+        for a, b, c in itertools.product(range(16), repeat=3):
+            assert f16.mul(a, b ^ c) == f16.mul(a, b) ^ f16.mul(a, c)
+
+    def test_commutativity(self, f16):
+        for a in range(16):
+            for b in range(16):
+                assert f16.mul(a, b) == f16.mul(b, a)
+
+    def test_no_zero_divisors(self, f16):
+        for a in range(1, 16):
+            for b in range(1, 16):
+                assert f16.mul(a, b) != 0
+
+    def test_multiplicative_group_order(self, f16):
+        # alpha generates the full group for the primitive x^4 + x + 1
+        seen = set()
+        x = 1
+        for _ in range(15):
+            seen.add(x)
+            x = f16.mul(x, f16.alpha)
+        assert len(seen) == 15
+
+
+class TestGFElement:
+    def test_operator_overloads(self, f256):
+        a, b = f256(0x57), f256(0x83)
+        assert (a * b).value == 0xC1
+        assert (a + b).value == 0x57 ^ 0x83
+        assert (a - b) == (a + b)  # characteristic 2
+        assert (a / a).value == 1
+        assert (a ** 2).value == f256.square(0x57)
+        assert (-a) == a
+
+    def test_int_coercion(self, f16):
+        a = f16(3)
+        assert (a + 1).value == 2
+        assert (1 + a).value == 2
+        assert (a * 2).value == f16.mul(3, 2)
+        assert a == 3
+
+    def test_rtruediv(self, f16):
+        a = f16(5)
+        assert (1 / a) == a.inverse()
+
+    def test_cross_field_rejected(self, f16, f256):
+        with pytest.raises(ValueError):
+            f16(1) + f256(1)
+
+    def test_bool_and_int(self, f16):
+        assert not f16(0)
+        assert f16(1)
+        assert int(f16(9)) == 9
+
+    def test_str_polynomial_form(self, f16):
+        assert str(f16(0b0110)) == "a^2 + a"
+
+    def test_hash_consistency(self, f16):
+        assert len({f16(3), f16(3), f16(4)}) == 2
+
+    def test_out_of_range_rejected(self, f16):
+        from repro.gf.field import GFElement
+
+        with pytest.raises(ValueError):
+            GFElement(f16, 16)
+
+
+class TestDegenerateFieldK1:
+    """F_2 itself, constructed as F2[x]/(x+1) — the k=1 edge case."""
+
+    def test_alpha_is_one(self, f2):
+        # The residue of x modulo x+1 is 1.
+        assert f2.alpha == 1
+
+    def test_arithmetic(self, f2):
+        assert f2.mul(1, 1) == 1
+        assert f2.add(1, 1) == 0
+        assert f2.inv(1) == 1
+        assert f2.order == 2
+
+    def test_trace_is_identity(self, f2):
+        assert f2.trace(0) == 0
+        assert f2.trace(1) == 1
+
+    def test_multiplier_circuit_is_single_and(self, f2):
+        from repro.synth import mastrovito_multiplier
+
+        circuit = mastrovito_multiplier(f2)
+        assert circuit.gate_counts() == {"and": 1, "buf": 1}
+
+    def test_abstraction(self, f2):
+        from repro.core import abstract_circuit
+        from repro.synth import mastrovito_multiplier
+
+        result = abstract_circuit(mastrovito_multiplier(f2), f2)
+        assert result.polynomial == result.ring.var("A") * result.ring.var("B")

@@ -1,0 +1,107 @@
+"""Unit tests for irreducibility/primitivity testing and search."""
+
+import pytest
+
+from repro.gf import poly2
+from repro.gf.irreducible import (
+    find_irreducible,
+    find_primitive,
+    is_irreducible,
+    is_primitive,
+    prime_factors,
+)
+
+
+class TestPrimeFactors:
+    def test_small(self):
+        assert prime_factors(12) == {2: 2, 3: 1}
+
+    def test_prime(self):
+        assert prime_factors(31) == {31: 1}
+
+    def test_mersenne_15(self):
+        assert prime_factors(15) == {3: 1, 5: 1}
+
+
+class TestIsIrreducible:
+    @pytest.mark.parametrize(
+        "poly",
+        [0b111, 0b1011, 0b1101, 0b10011, 0b100101, 0b1000011],
+    )
+    def test_known_irreducibles(self, poly):
+        assert is_irreducible(poly)
+
+    @pytest.mark.parametrize(
+        "poly,factors",
+        [
+            (0b101, "x^2+1 = (x+1)^2"),
+            (0b110, "x^2+x = x(x+1)"),
+            (0b1001, "x^3+1 = (x+1)(x^2+x+1)"),
+            (0b1111, "x^3+x^2+x+1 = (x+1)^3"),
+        ],
+    )
+    def test_known_reducibles(self, poly, factors):
+        assert not is_irreducible(poly)
+
+    def test_constants_not_irreducible(self):
+        assert not is_irreducible(0)
+        assert not is_irreducible(1)
+
+    def test_degree_one(self):
+        assert is_irreducible(0b10)  # x
+        assert is_irreducible(0b11)  # x + 1
+
+    def test_exhaustive_degree_4(self):
+        """Cross-check Rabin's test against trial division for degree 4."""
+        smaller = [p for p in range(2, 16) if is_irreducible(p)]
+        for candidate in range(16, 32):
+            has_factor = any(
+                poly2.mod(candidate, f) == 0 for f in smaller
+            )
+            assert is_irreducible(candidate) == (not has_factor), bin(candidate)
+
+
+class TestIsPrimitive:
+    def test_primitive_examples(self):
+        assert is_primitive(0b111)  # x^2+x+1 over F4: order 3 element
+        assert is_primitive(0b1011)  # x^3+x+1
+        assert is_primitive(0b10011)  # x^4+x+1
+
+    def test_irreducible_but_not_primitive(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible; its root has order 5 != 15
+        assert is_irreducible(0b11111)
+        assert not is_primitive(0b11111)
+
+    def test_reducible_not_primitive(self):
+        assert not is_primitive(0b101)
+
+
+class TestFindIrreducible:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 7, 8, 12, 16])
+    def test_finds_correct_degree(self, k):
+        poly = find_irreducible(k)
+        assert poly2.degree(poly) == k
+        assert is_irreducible(poly)
+
+    def test_prefers_trinomials(self):
+        # Degree 4 has the trinomial x^4 + x + 1.
+        assert find_irreducible(4) == 0b10011
+
+    def test_pentanomial_fallback(self):
+        # Degree 8 has no irreducible trinomial; expect weight 5.
+        poly = find_irreducible(8)
+        assert bin(poly).count("1") == 5
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            find_irreducible(0)
+
+
+class TestFindPrimitive:
+    @pytest.mark.parametrize("k", [2, 3, 4, 8])
+    def test_is_primitive(self, k):
+        assert is_primitive(find_primitive(k))
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            find_primitive(1)

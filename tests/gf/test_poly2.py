@@ -1,0 +1,203 @@
+"""Unit tests for F2[x] arithmetic (repro.gf.poly2)."""
+
+import pytest
+
+from repro.gf import poly2
+
+
+class TestDegree:
+    def test_zero_polynomial(self):
+        assert poly2.degree(0) == -1
+
+    def test_constant_one(self):
+        assert poly2.degree(1) == 0
+
+    def test_x(self):
+        assert poly2.degree(0b10) == 1
+
+    def test_general(self):
+        assert poly2.degree(0b10011) == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            poly2.degree(-1)
+
+
+class TestExponentConversions:
+    def test_from_exponents(self):
+        assert poly2.from_exponents([3, 1, 0]) == 0b1011
+
+    def test_from_exponents_cancels_duplicates(self):
+        assert poly2.from_exponents([3, 1, 1, 0]) == 0b1001
+
+    def test_roundtrip(self):
+        poly = 0b110101
+        assert poly2.from_exponents(poly2.to_exponents(poly)) == poly
+
+    def test_to_exponents_decreasing(self):
+        exps = poly2.to_exponents(0b10011)
+        assert exps == sorted(exps, reverse=True) == [4, 1, 0]
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            poly2.from_exponents([-1])
+
+
+class TestToString:
+    def test_zero(self):
+        assert poly2.to_string(0) == "0"
+
+    def test_one(self):
+        assert poly2.to_string(1) == "1"
+
+    def test_x(self):
+        assert poly2.to_string(0b10) == "x"
+
+    def test_full(self):
+        assert poly2.to_string(0b1011) == "x^3 + x + 1"
+
+    def test_custom_var(self):
+        assert poly2.to_string(0b110, var="a") == "a^2 + a"
+
+
+class TestClmul:
+    def test_by_zero(self):
+        assert poly2.clmul(0b1011, 0) == 0
+
+    def test_by_one(self):
+        assert poly2.clmul(0b1011, 1) == 0b1011
+
+    def test_shift(self):
+        assert poly2.clmul(0b1011, 0b10) == 0b10110
+
+    def test_known_product(self):
+        # (x + 1)(x + 1) = x^2 + 1 over F2
+        assert poly2.clmul(0b11, 0b11) == 0b101
+
+    def test_commutative(self):
+        assert poly2.clmul(0b1101, 0b1011) == poly2.clmul(0b1011, 0b1101)
+
+    def test_degrees_add(self):
+        a, b = 0b1101, 0b101101
+        assert poly2.degree(poly2.clmul(a, b)) == poly2.degree(a) + poly2.degree(b)
+
+
+class TestDivision:
+    def test_divmod_identity(self):
+        a, b = 0b110101011, 0b1011
+        q, r = poly2.divmod2(a, b)
+        assert poly2.clmul(q, b) ^ r == a
+        assert poly2.degree(r) < poly2.degree(b)
+
+    def test_mod_matches_divmod(self):
+        a, b = 0b111100101, 0b10011
+        assert poly2.mod(a, b) == poly2.divmod2(a, b)[1]
+
+    def test_exact_division(self):
+        b = 0b1011
+        product = poly2.clmul(b, 0b1101)
+        q, r = poly2.divmod2(product, b)
+        assert r == 0 and q == 0b1101
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly2.divmod2(0b101, 0)
+        with pytest.raises(ZeroDivisionError):
+            poly2.mod(0b101, 0)
+
+    def test_small_by_large(self):
+        assert poly2.mod(0b11, 0b10011) == 0b11
+
+
+class TestSquare:
+    def test_square_is_bit_interleave(self):
+        # (x + 1)^2 = x^2 + 1
+        assert poly2.square(0b11) == 0b101
+
+    def test_matches_clmul(self):
+        for poly in (0, 1, 0b10, 0b1011, 0b110101):
+            assert poly2.square(poly) == poly2.clmul(poly, poly)
+
+
+class TestPowmod:
+    def test_power_zero(self):
+        assert poly2.powmod(0b10, 0, 0b111) == 1
+
+    def test_power_one(self):
+        assert poly2.powmod(0b10, 1, 0b111) == 0b10
+
+    def test_fermat(self):
+        # x^(2^2) = x mod irreducible of degree 2
+        assert poly2.powmod(0b10, 4, 0b111) == 0b10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            poly2.powmod(0b10, -1, 0b111)
+
+
+class TestGcd:
+    def test_gcd_with_zero(self):
+        assert poly2.gcd(0b1011, 0) == 0b1011
+
+    def test_gcd_of_multiples(self):
+        g = 0b111
+        a = poly2.clmul(g, 0b101)
+        b = poly2.clmul(g, 0b110001)
+        assert poly2.gcd(a, b) % g == 0  # g divides the gcd
+        assert poly2.mod(poly2.gcd(a, b), g) == 0
+
+    def test_coprime(self):
+        assert poly2.gcd(0b111, 0b1011) == 1
+
+
+class TestExtGcd:
+    def test_bezout_identity(self):
+        a, b = 0b110101, 0b10011
+        g, s, t = poly2.ext_gcd(a, b)
+        assert poly2.clmul(s, a) ^ poly2.clmul(t, b) == g
+
+
+class TestInvmod:
+    def test_inverse_times_self(self):
+        modulus = 0b10011  # x^4 + x + 1, irreducible
+        for a in range(1, 16):
+            inv = poly2.invmod(a, modulus)
+            assert poly2.mulmod(a, inv, modulus) == 1
+
+    def test_zero_not_invertible(self):
+        with pytest.raises(ZeroDivisionError):
+            poly2.invmod(0, 0b10011)
+
+    def test_non_coprime_rejected(self):
+        # x is not invertible modulo x^2 (reducible modulus)
+        with pytest.raises(ValueError):
+            poly2.invmod(0b10, 0b100)
+
+
+class TestDerivative:
+    def test_constant(self):
+        assert poly2.derivative(1) == 0
+
+    def test_x(self):
+        assert poly2.derivative(0b10) == 1
+
+    def test_even_powers_vanish(self):
+        assert poly2.derivative(0b101) == 0  # d/dx (x^2 + 1) = 2x = 0
+
+    def test_mixed(self):
+        # d/dx (x^3 + x^2 + x + 1) = 3x^2 + 2x + 1 = x^2 + 1
+        assert poly2.derivative(0b1111) == 0b101
+
+
+class TestEvaluate:
+    def test_at_zero(self):
+        assert poly2.evaluate(0b1011, 0) == 1
+        assert poly2.evaluate(0b1010, 0) == 0
+
+    def test_at_one_is_parity(self):
+        assert poly2.evaluate(0b1011, 1) == 1
+        assert poly2.evaluate(0b1111, 1) == 0
+
+    def test_bad_point(self):
+        with pytest.raises(ValueError):
+            poly2.evaluate(0b1011, 2)

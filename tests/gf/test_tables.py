@@ -1,0 +1,49 @@
+"""Unit tests for the standard-polynomial tables."""
+
+import pytest
+
+from repro.gf import NIST_POLYNOMIALS, STANDARD_POLYNOMIALS, nist_polynomial, poly2
+from repro.gf.irreducible import is_irreducible
+
+
+class TestNistTable:
+    def test_all_nist_degrees_present(self):
+        assert sorted(NIST_POLYNOMIALS) == [163, 233, 283, 409, 571]
+
+    @pytest.mark.parametrize("k", [163, 233, 283, 409, 571])
+    def test_degree(self, k):
+        assert poly2.degree(NIST_POLYNOMIALS[k]) == k
+
+    @pytest.mark.parametrize("k", [163, 233, 283, 409, 571])
+    def test_irreducible(self, k):
+        assert is_irreducible(NIST_POLYNOMIALS[k])
+
+    def test_233_is_the_nist_trinomial(self):
+        assert NIST_POLYNOMIALS[233] == poly2.from_exponents([233, 74, 0])
+
+    def test_571_is_the_nist_pentanomial(self):
+        assert NIST_POLYNOMIALS[571] == poly2.from_exponents([571, 10, 5, 2, 0])
+
+
+class TestStandardTable:
+    @pytest.mark.parametrize("k", sorted(STANDARD_POLYNOMIALS))
+    def test_valid(self, k):
+        poly = STANDARD_POLYNOMIALS[k]
+        assert poly2.degree(poly) == k
+        assert is_irreducible(poly)
+
+    def test_aes_polynomial(self):
+        assert STANDARD_POLYNOMIALS[8] == 0b100011011
+
+
+class TestLookup:
+    def test_prefers_nist(self):
+        assert nist_polynomial(163) == NIST_POLYNOMIALS[163]
+
+    def test_falls_back_to_standard(self):
+        assert nist_polynomial(8) == STANDARD_POLYNOMIALS[8]
+
+    def test_searches_unknown_degrees(self):
+        poly = nist_polynomial(13)
+        assert poly2.degree(poly) == 13
+        assert is_irreducible(poly)

@@ -1,0 +1,50 @@
+"""Every shipped example must run clean (small parameters).
+
+Executed in-process via runpy so assertion failures inside the examples
+fail the suite; sys.argv is patched to keep runtimes small.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(monkeypatch, capsys, name, *args):
+    monkeypatch.setattr(sys, "argv", [name, *args])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart.py", "8")
+        assert "EQUIVALENT" in out
+
+    def test_paper_worked_examples(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "paper_worked_examples.py")
+        assert "Z + A*B" in out
+        assert "a*A^2*B^2" in out
+
+    def test_verify_montgomery(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "verify_montgomery.py", "8")
+        assert "Equals A*B: True" in out
+
+    def test_bug_hunting(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "bug_hunting.py", "8", "2")
+        assert "caught 2/2" in out
+
+    def test_method_comparison(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "method_comparison.py", "4")
+        assert "abstraction" in out
+
+    def test_inversion_datapath(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "inversion_datapath.py", "8")
+        assert "A^254" in out
+
+    def test_ecc_point_double(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "ecc_point_double.py", "8")
+        assert "matches affine spec: True" in out

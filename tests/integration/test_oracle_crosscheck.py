@@ -1,0 +1,117 @@
+"""Abstraction engine vs. the Lagrange interpolation oracle.
+
+Definition 3.1 guarantees a *unique* canonical polynomial per function, so
+the Gröbner-based abstraction and exhaustive interpolation must produce
+literally identical polynomials — a strong whole-pipeline correctness check
+over arbitrary (non-arithmetic) circuits.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits import simulate_words
+from repro.core import abstract_circuit
+from repro.gf import GF2m
+from repro.interp import interpolate
+from repro.synth import (
+    gf_adder,
+    gf_squarer,
+    mastrovito_multiplier,
+    random_word_function,
+    synthesize_word_function,
+)
+
+
+def as_comparable(poly):
+    """Ring-independent form: {((var_name, exp), ...): coeff}."""
+    ring = poly.ring
+    return {
+        tuple(sorted((ring.variables[v], e) for v, e in monomial)): coeff
+        for monomial, coeff in poly.terms.items()
+    }
+
+
+class TestArithmeticCircuits:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_multiplier(self, k):
+        field = GF2m(k)
+        abstracted = abstract_circuit(mastrovito_multiplier(field), field)
+        oracle = interpolate(field, field.mul, ["A", "B"])
+        assert as_comparable(abstracted.polynomial) == as_comparable(oracle)
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_squarer(self, k):
+        field = GF2m(k)
+        abstracted = abstract_circuit(gf_squarer(field), field)
+        oracle = interpolate(field, field.square, ["A"])
+        assert as_comparable(abstracted.polynomial) == as_comparable(oracle)
+
+    def test_adder(self, f16):
+        abstracted = abstract_circuit(gf_adder(f16), f16)
+        oracle = interpolate(f16, lambda a, b: a ^ b, ["A", "B"])
+        assert as_comparable(abstracted.polynomial) == as_comparable(oracle)
+
+
+class TestRandomFunctions:
+    """Random truth tables exercise dense canonical polynomials."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    def test_univariate_random(self, seed, f4):
+        circuit, table = random_word_function(f4, 1, random.Random(seed))
+        abstracted = abstract_circuit(circuit, f4)
+        oracle = interpolate(f4, lambda a: table[(a,)], ["A"])
+        assert as_comparable(abstracted.polynomial) == as_comparable(oracle)
+
+    @pytest.mark.parametrize("seed", [7, 8, 9])
+    def test_bivariate_random(self, seed, f4):
+        circuit, table = random_word_function(f4, 2, random.Random(seed))
+        abstracted = abstract_circuit(circuit, f4)
+        oracle = interpolate(f4, lambda a, b: table[(a, b)], ["A", "B"])
+        assert as_comparable(abstracted.polynomial) == as_comparable(oracle)
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_univariate_random_f8(self, seed, f8):
+        circuit, table = random_word_function(f8, 1, random.Random(seed))
+        abstracted = abstract_circuit(circuit, f8)
+        oracle = interpolate(f8, lambda a: table[(a,)], ["A"])
+        assert as_comparable(abstracted.polynomial) == as_comparable(oracle)
+
+    def test_case2_groebner_matches_oracle(self, f4):
+        """The faithful Case-2 GB path against the oracle."""
+        circuit, table = random_word_function(f4, 1, random.Random(21))
+        abstracted = abstract_circuit(circuit, f4, case2="groebner")
+        oracle = interpolate(f4, lambda a: table[(a,)], ["A"])
+        assert as_comparable(abstracted.polynomial) == as_comparable(oracle)
+
+
+class TestHandPickedFunctions:
+    def test_inversion_circuit(self, f8):
+        """Synthesise Z = A^{-1} (0 -> 0) and abstract it: expect A^{q-2}."""
+        table = {(0,): 0}
+        table.update({(a,): f8.inv(a) for a in range(1, 8)})
+        circuit = synthesize_word_function(f8, table, 1, name="inv")
+        abstracted = abstract_circuit(circuit, f8)
+        assert abstracted.polynomial == abstracted.ring.var("A", 6)
+
+    def test_conditional_function(self, f4):
+        """A genuinely non-arithmetic mapping still abstracts correctly."""
+        table = {(a,): (3 if a == 2 else a) for a in range(4)}
+        circuit = synthesize_word_function(f4, table, 1, name="cond")
+        abstracted = abstract_circuit(circuit, f4)
+        for a in range(4):
+            assert abstracted.polynomial.evaluate({"A": a}) == table[(a,)]
+
+    def test_frobenius_composition(self, f16):
+        """Z = (A^2)^2 synthesised as a squarer pair equals A^4."""
+        from repro.circuits import HierarchicalCircuit
+        from repro.core import abstract_hierarchy
+
+        hier = HierarchicalCircuit("frob2", 4)
+        hier.add_input_word("A")
+        hier.add_block("s1", gf_squarer(f16, name="s1"), {"A": "A"}, {"Z": "T"})
+        hier.add_block("s2", gf_squarer(f16, name="s2"), {"A": "T"}, {"Z": "Z"})
+        hier.set_output_words(["Z"])
+        result = abstract_hierarchy(hier, f16)
+        oracle = interpolate(f16, lambda a: f16.pow(a, 4), ["A"])
+        assert as_comparable(result.polynomials["Z"]) == as_comparable(oracle)

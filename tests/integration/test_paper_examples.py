@@ -1,0 +1,163 @@
+"""Exact reproduction of the paper's worked examples (Fig. 2, Ex. 4.2, 5.1)."""
+
+import pytest
+
+from repro.algebra import (
+    LexOrder,
+    Polynomial,
+    PolynomialRing,
+    reduce_polynomial,
+    reduced_groebner_basis,
+    s_polynomial,
+    vanishing_ideal,
+)
+from repro.circuits import Circuit, rewire_gate_input
+from repro.core import abstract_circuit, circuit_ideal
+from repro.gf import GF2m
+
+
+def fig2_multiplier():
+    """The 2-bit multiplier over F_4 of Fig. 2 with the paper's net names."""
+    c = Circuit("fig2")
+    c.add_inputs(["a0", "a1", "b0", "b1"])
+    c.AND("a0", "b0", out="s0")
+    c.AND("a0", "b1", out="s1")
+    c.AND("a1", "b0", out="s2")
+    c.AND("a1", "b1", out="s3")
+    c.XOR("s1", "s2", out="r0")
+    c.XOR("s0", "s3", out="z0")
+    c.XOR("r0", "s3", out="z1")
+    c.set_outputs(["z0", "z1"])
+    c.add_input_word("A", ["a0", "a1"])
+    c.add_input_word("B", ["b0", "b1"])
+    c.add_output_word("Z", ["z0", "z1"])
+    return c
+
+
+@pytest.fixture(scope="module")
+def field():
+    return GF2m(2, modulus=0b111)  # P(x) = x^2 + x + 1, as in the paper
+
+
+class TestExample42:
+    """Example 4.2: the ideal's generators and the GB member g7 = Z + AB."""
+
+    def test_circuit_polynomials_f4_to_f10(self, field):
+        ideal = circuit_ideal(fig2_multiplier(), field)
+        texts = {str(p) for p in ideal.gate_polynomials}
+        assert texts == {
+            "s0 + a0*b0",
+            "s1 + a0*b1",
+            "s2 + a1*b0",
+            "s3 + a1*b1",
+            "r0 + s1 + s2",
+            "z0 + s0 + s3",
+            "z1 + r0 + s3",
+        }
+
+    def test_word_relations_f1_to_f3(self, field):
+        ideal = circuit_ideal(fig2_multiplier(), field)
+        assert str(ideal.output_relations["Z"]) == "z0 + a*z1 + Z"
+        assert str(ideal.input_relations["A"]) == "a0 + a*a1 + A"
+        assert str(ideal.input_relations["B"]) == "b0 + a*b1 + B"
+
+    def test_groebner_basis_contains_g7(self, field):
+        """Computing GB(J + J0) under > yields g7 : Z + AB."""
+        ideal = circuit_ideal(fig2_multiplier(), field)
+        basis = reduced_groebner_basis(ideal.generators + ideal.vanishing)
+        z_var = ideal.ring.index["Z"]
+        g7 = [p for p in basis if p.leading_monomial() == ((z_var, 1),)]
+        assert len(g7) == 1
+        assert str(g7[0]) == "Z + A*B"
+
+
+class TestExample51Correct:
+    """Example 5.1 (correct circuit): Spoly(f1, f9) reduces to Z + AB."""
+
+    def test_only_one_critical_pair(self, field):
+        from repro.algebra import leading_monomials_coprime
+
+        ideal = circuit_ideal(fig2_multiplier(), field)
+        generators = ideal.generators
+        pairs = [
+            (p, q)
+            for i, p in enumerate(generators)
+            for q in generators[i + 1 :]
+            if not leading_monomials_coprime(p, q)
+        ]
+        assert len(pairs) == 1
+        f_w, f_g = pairs[0]
+        leads = {str(f_w), str(f_g)}
+        assert leads == {"z0 + a*z1 + Z", "z0 + s0 + s3"}
+
+    def test_spoly_reduction_gives_z_plus_ab(self, field):
+        ideal = circuit_ideal(fig2_multiplier(), field)
+        generators = ideal.generators
+        f_w = ideal.output_relations["Z"]
+        f_g = next(p for p in ideal.gate_polynomials if str(p).startswith("z0"))
+        spoly = s_polynomial(f_w, f_g)
+        remainder = reduce_polynomial(spoly, generators + ideal.vanishing)
+        assert str(remainder) == "Z + A*B"
+
+    def test_engine_agrees(self, field):
+        result = abstract_circuit(fig2_multiplier(), field)
+        ring = result.ring
+        assert result.polynomial == ring.var("A") * ring.var("B")
+        assert result.stats.case == 1
+
+
+class TestExample51Buggy:
+    """Example 5.1 (bug injected): r0 reads s0 instead of s1."""
+
+    @pytest.fixture(scope="class")
+    def buggy(self):
+        circuit, mutation = rewire_gate_input(fig2_multiplier(), "r0", 0, "s0")
+        assert mutation.kind == "rewire"
+        return circuit
+
+    def test_remainder_keeps_input_bits(self, field, buggy):
+        """r = alpha a1 b1 + (alpha+1) a1 B + b1 A + Z + (alpha+1) AB."""
+        ideal = circuit_ideal(buggy, field)
+        f_w = ideal.output_relations["Z"]
+        f_g = next(p for p in ideal.gate_polynomials if str(p).startswith("z0"))
+        remainder = reduce_polynomial(
+            s_polynomial(f_w, f_g), ideal.generators + ideal.vanishing
+        )
+        used = set(remainder.variables_used())
+        assert used == {"a1", "b1", "Z", "A", "B"}
+        # Exact form from the paper (alpha prints as 'a'):
+        assert (
+            str(remainder)
+            == "a*a1*b1 + (a + 1)*a1*B + b1*A + Z + (a + 1)*A*B"
+        )
+
+    def test_case2_polynomial_matches_paper(self, field, buggy):
+        """G of the buggy circuit: alpha A^2B^2 + A^2B + (alpha+1)AB^2 + (alpha+1)AB."""
+        for method in ("linearized", "groebner"):
+            result = abstract_circuit(buggy, field, case2=method)
+            assert result.stats.case == 2
+            assert (
+                str(result.polynomial)
+                == "a*A^2*B^2 + A^2*B + (a + 1)*A*B^2 + (a + 1)*A*B"
+            )
+
+    def test_buggy_polynomial_is_the_buggy_function(self, field, buggy):
+        """The extracted polynomial matches the buggy netlist pointwise."""
+        from repro.circuits import exhaustive_word_table
+
+        result = abstract_circuit(buggy, field)
+        table = exhaustive_word_table(buggy, 2)
+        for (a, b), outs in table.items():
+            assert result.polynomial.evaluate({"A": a, "B": b}) == outs["Z"]
+
+    def test_bug_detected_by_equivalence_check(self, field, buggy):
+        from repro.verify import verify_equivalence
+
+        outcome = verify_equivalence(fig2_multiplier(), buggy, field)
+        assert outcome.status == "not_equivalent"
+        cex = outcome.counterexample
+        from repro.circuits import simulate_words
+
+        good = simulate_words(fig2_multiplier(), {"A": [cex["A"]], "B": [cex["B"]]})
+        bad = simulate_words(buggy, {"A": [cex["A"]], "B": [cex["B"]]})
+        assert good["Z"] != bad["Z"]

@@ -1,0 +1,96 @@
+"""Unit tests for the Lagrange interpolation oracle."""
+
+import random
+
+import pytest
+
+from repro.gf import GF2m
+from repro.interp import indicator_polynomial, interpolate, interpolate_univariate
+
+
+class TestIndicator:
+    def test_is_point_indicator(self, f16):
+        from repro.algebra import LexOrder, PolynomialRing
+
+        ring = PolynomialRing(f16, ["A"], order=LexOrder([0]))
+        for point in (0, 1, 7, 15):
+            ind = indicator_polynomial(ring, "A", point)
+            for a in range(16):
+                assert ind.evaluate({"A": a}) == (1 if a == point else 0)
+
+    def test_canonical_degree(self, f16):
+        from repro.algebra import LexOrder, PolynomialRing
+
+        ring = PolynomialRing(f16, ["A"], order=LexOrder([0]))
+        assert indicator_polynomial(ring, "A", 3).degree_in("A") == 15
+
+
+class TestUnivariate:
+    def test_square_function(self, f16):
+        poly = interpolate_univariate(f16, [f16.square(a) for a in range(16)])
+        assert poly == poly.ring.var("A", 2)
+
+    def test_inverse_function(self, f4):
+        values = [0] + [f4.inv(a) for a in range(1, 4)]
+        poly = interpolate_univariate(f4, values)
+        assert poly == poly.ring.var("A", 2)  # A^{-1} = A^{q-2} = A^2 over F_4
+
+    def test_constant_function(self, f16):
+        poly = interpolate_univariate(f16, [5] * 16)
+        assert poly == poly.ring.constant(5)
+
+    def test_identity(self, f16):
+        poly = interpolate_univariate(f16, list(range(16)))
+        assert poly == poly.ring.var("A")
+
+    def test_random_function_agrees(self, f16):
+        rng = random.Random(10)
+        values = [rng.randrange(16) for _ in range(16)]
+        poly = interpolate_univariate(f16, values)
+        for a in range(16):
+            assert poly.evaluate({"A": a}) == values[a]
+
+    def test_wrong_length_rejected(self, f16):
+        with pytest.raises(ValueError):
+            interpolate_univariate(f16, [0, 1])
+
+    def test_canonical_uniqueness(self, f8):
+        """Two interpolations of the same function are identical."""
+        rng = random.Random(3)
+        values = [rng.randrange(8) for _ in range(8)]
+        assert interpolate_univariate(f8, values) == interpolate_univariate(
+            f8, list(values)
+        )
+
+
+class TestMultivariate:
+    def test_multiplication(self, f4):
+        poly = interpolate(f4, f4.mul, ["A", "B"])
+        ring = poly.ring
+        assert poly == ring.var("A") * ring.var("B")
+
+    def test_addition(self, f8):
+        poly = interpolate(f8, lambda a, b: a ^ b, ["A", "B"])
+        ring = poly.ring
+        assert poly == ring.var("A") + ring.var("B")
+
+    def test_three_variables(self, f4):
+        poly = interpolate(
+            f4, lambda a, b, c: f4.mul(a, b) ^ c, ["A", "B", "C"]
+        )
+        ring = poly.ring
+        assert poly == ring.var("A") * ring.var("B") + ring.var("C")
+
+    def test_random_bivariate_agrees(self, f4):
+        rng = random.Random(17)
+        table = {
+            (a, b): rng.randrange(4) for a in range(4) for b in range(4)
+        }
+        poly = interpolate(f4, lambda a, b: table[(a, b)], ["A", "B"])
+        for (a, b), value in table.items():
+            assert poly.evaluate({"A": a, "B": b}) == value
+
+    def test_domain_guard(self):
+        big = GF2m(12)
+        with pytest.raises(ValueError):
+            interpolate(big, lambda a, b: 0, ["A", "B"])

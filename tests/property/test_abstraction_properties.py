@@ -1,0 +1,107 @@
+"""Property-based tests for the abstraction pipeline's core invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_mutation
+from repro.core import abstract_circuit
+from repro.gf import GF2m
+from repro.synth import random_word_function, synthesize_word_function
+
+F4 = GF2m(2)
+F8 = GF2m(3)
+
+
+@st.composite
+def univariate_tables(draw, field=F4):
+    return {
+        (a,): draw(st.integers(0, field.order - 1)) for a in range(field.order)
+    }
+
+
+@st.composite
+def bivariate_tables(draw, field=F4):
+    return {
+        (a, b): draw(st.integers(0, field.order - 1))
+        for a in range(field.order)
+        for b in range(field.order)
+    }
+
+
+class TestAbstractionSoundness:
+    """Theorem 4.2(ii): the abstraction IS the circuit's function."""
+
+    @given(univariate_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_univariate_f4(self, table):
+        circuit = synthesize_word_function(F4, table, 1)
+        result = abstract_circuit(circuit, F4)
+        for (a,), value in table.items():
+            assert result.polynomial.evaluate({"A": a}) == value
+
+    @given(bivariate_tables())
+    @settings(max_examples=15, deadline=None)
+    def test_bivariate_f4(self, table):
+        circuit = synthesize_word_function(F4, table, 2)
+        result = abstract_circuit(circuit, F4)
+        for (a, b), value in table.items():
+            assert result.polynomial.evaluate({"A": a, "B": b}) == value
+
+
+class TestCanonicity:
+    """Corollary 4.1: one function, one canonical polynomial."""
+
+    @given(univariate_tables())
+    @settings(max_examples=25, deadline=None)
+    def test_degree_bound(self, table):
+        circuit = synthesize_word_function(F4, table, 1)
+        result = abstract_circuit(circuit, F4)
+        assert result.polynomial.degree_in("A") <= F4.order - 1
+
+    @given(univariate_tables())
+    @settings(max_examples=25, deadline=None)
+    def test_case2_methods_agree(self, table):
+        circuit = synthesize_word_function(F4, table, 1)
+        lin = abstract_circuit(circuit, F4, case2="linearized")
+        gro = abstract_circuit(circuit, F4, case2="groebner")
+        assert lin.polynomial == gro.polynomial
+
+    @given(univariate_tables(), st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_interpolation_agreement(self, table, _):
+        from repro.interp import interpolate
+
+        circuit = synthesize_word_function(F4, table, 1)
+        result = abstract_circuit(circuit, F4)
+        oracle = interpolate(F4, lambda a: table[(a,)], ["A"])
+        lhs = {
+            tuple(sorted((result.ring.variables[v], e) for v, e in m)): c
+            for m, c in result.polynomial.terms.items()
+        }
+        rhs = {
+            tuple(sorted((oracle.ring.variables[v], e) for v, e in m)): c
+            for m, c in oracle.terms.items()
+        }
+        assert lhs == rhs
+
+
+class TestEquivalenceDecisions:
+    """Coefficient matching never produces false verdicts."""
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_mutant_detection_is_sound(self, seed):
+        """If polynomials differ, the circuits really differ (and vice versa)."""
+        from repro.circuits import exhaustive_word_table
+        from repro.synth import mastrovito_multiplier
+
+        spec = mastrovito_multiplier(F4)
+        mutant, _ = random_mutation(mastrovito_multiplier(F4), random.Random(seed))
+        spec_poly = abstract_circuit(spec, F4).polynomial
+        mutant_poly = abstract_circuit(mutant, F4).polynomial
+        functionally_equal = exhaustive_word_table(
+            spec, 2
+        ) == exhaustive_word_table(mutant, 2)
+        assert (spec_poly == mutant_poly) == functionally_equal

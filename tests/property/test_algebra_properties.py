@@ -1,0 +1,149 @@
+"""Property-based tests for polynomial rings, division and Gröbner bases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    LexOrder,
+    Polynomial,
+    PolynomialRing,
+    divmod_polynomial,
+    reduce_polynomial,
+)
+from repro.gf import GF2m
+
+FIELD = GF2m(4)
+RING = PolynomialRing(
+    FIELD,
+    ["x", "y", "Z"],
+    order=LexOrder([0, 1, 2]),
+    domains={"x": 2, "y": 2},
+)
+UNFOLDED = PolynomialRing(
+    FIELD, ["x", "y", "Z"], order=LexOrder([0, 1, 2]), domains={"x": 2, "y": 2},
+    fold=False,
+)
+
+
+@st.composite
+def polynomials(draw, ring=RING, max_terms=5):
+    terms = []
+    for _ in range(draw(st.integers(0, max_terms))):
+        coeff = draw(st.integers(0, FIELD.order - 1))
+        powers = {}
+        for name in ring.variables:
+            e = draw(st.integers(0, 3))
+            if e:
+                powers[name] = e
+        terms.append((coeff, powers))
+    return ring.from_terms(terms)
+
+
+@st.composite
+def points(draw):
+    return {
+        "x": draw(st.integers(0, 1)),
+        "y": draw(st.integers(0, 1)),
+        "Z": draw(st.integers(0, FIELD.order - 1)),
+    }
+
+
+class TestRingAxioms:
+    @given(polynomials(), polynomials())
+    def test_addition_commutative(self, p, q):
+        assert p + q == q + p
+
+    @given(polynomials(), polynomials(), polynomials())
+    def test_addition_associative(self, p, q, r):
+        assert (p + q) + r == p + (q + r)
+
+    @given(polynomials())
+    def test_additive_self_inverse(self, p):
+        assert (p + p).is_zero()
+
+    @given(polynomials(), polynomials())
+    def test_multiplication_commutative(self, p, q):
+        assert p * q == q * p
+
+    @given(polynomials(), polynomials(), polynomials())
+    def test_multiplication_associative(self, p, q, r):
+        assert (p * q) * r == p * (q * r)
+
+    @given(polynomials(), polynomials(), polynomials())
+    def test_distributivity(self, p, q, r):
+        assert p * (q + r) == p * q + p * r
+
+    @given(polynomials())
+    def test_one_is_identity(self, p):
+        assert p * RING.one() == p
+
+    @given(polynomials(), polynomials())
+    def test_evaluation_is_homomorphism(self, p, q):
+        point = {"x": 1, "y": 0, "Z": 3}
+        assert (p + q).evaluate(point) == p.evaluate(point) ^ q.evaluate(point)
+        assert (p * q).evaluate(point) == FIELD.mul(
+            p.evaluate(point), q.evaluate(point)
+        )
+
+    @given(polynomials(), points())
+    def test_folding_preserves_function(self, p, point):
+        """Folded arithmetic only ever changes the syntax, not the function."""
+        # Build the same polynomial in the unfolded ring and compare values.
+        unfolded = Polynomial(
+            UNFOLDED,
+            {m: c for m, c in p.terms.items()},
+        )
+        assert p.evaluate(point) == unfolded.evaluate(point)
+
+
+class TestLeadingTermProperties:
+    @given(polynomials(), polynomials())
+    def test_lead_of_sum(self, p, q):
+        """lm(p + q) <= max(lm p, lm q) whenever everything is nonzero."""
+        if p.is_zero() or q.is_zero() or (p + q).is_zero():
+            return
+        order = RING.order
+        biggest = min(
+            [p.leading_monomial(), q.leading_monomial()], key=order.sort_key
+        )
+        s = (p + q).leading_monomial()
+        assert not order.greater(s, biggest)
+
+    @given(polynomials())
+    def test_monic_has_unit_lead(self, p):
+        if not p.is_zero():
+            assert p.monic().leading_coefficient() == 1
+
+
+class TestDivisionProperties:
+    @given(polynomials(UNFOLDED), polynomials(UNFOLDED), polynomials(UNFOLDED))
+    @settings(max_examples=50)
+    def test_divmod_certificate(self, f, g1, g2):
+        divisors = [g for g in (g1, g2) if not g.is_zero()]
+        quotients, r = divmod_polynomial(f, divisors)
+        recombined = r
+        for q, g in zip(quotients, divisors):
+            recombined = recombined + q * g
+        assert recombined == f
+
+    @given(polynomials(UNFOLDED), polynomials(UNFOLDED))
+    @settings(max_examples=50)
+    def test_remainder_irreducible(self, f, g):
+        if g.is_zero():
+            return
+        r = reduce_polynomial(f, [g])
+        lm = g.leading_monomial()
+        for monomial in r.terms:
+            assert not UNFOLDED.monomial_divides(lm, monomial)
+
+    @given(polynomials(UNFOLDED), polynomials(UNFOLDED))
+    @settings(max_examples=50)
+    def test_reduction_stays_in_coset(self, f, g):
+        """f - r must be a multiple of g (single-divisor case)."""
+        if g.is_zero():
+            return
+        r = reduce_polynomial(f, [g])
+        difference = f + r
+        # Divide the difference by g: remainder must vanish.
+        assert reduce_polynomial(difference, [g]).is_zero()

@@ -1,0 +1,124 @@
+"""Property-based tests for the ROBDD substrate."""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, TRUE, BddManager, build_circuit_bdds
+from repro.circuits import simulate
+from repro.synth import random_netlist
+
+
+@st.composite
+def boolean_exprs(draw, num_vars=4, depth=4):
+    """A random Boolean expression tree as a nested tuple."""
+    if depth == 0 or draw(st.booleans()):
+        return ("var", draw(st.integers(0, num_vars - 1)))
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return ("not", draw(boolean_exprs(num_vars=num_vars, depth=depth - 1)))
+    return (
+        op,
+        draw(boolean_exprs(num_vars=num_vars, depth=depth - 1)),
+        draw(boolean_exprs(num_vars=num_vars, depth=depth - 1)),
+    )
+
+
+def build_bdd(mgr, expr):
+    if expr[0] == "var":
+        return mgr.var(expr[1])
+    if expr[0] == "not":
+        return mgr.apply_not(build_bdd(mgr, expr[1]))
+    op = {"and": mgr.apply_and, "or": mgr.apply_or, "xor": mgr.apply_xor}[expr[0]]
+    return op(build_bdd(mgr, expr[1]), build_bdd(mgr, expr[2]))
+
+
+def eval_expr(expr, assignment):
+    if expr[0] == "var":
+        return assignment[expr[1]]
+    if expr[0] == "not":
+        return 1 - eval_expr(expr[1], assignment)
+    a = eval_expr(expr[1], assignment)
+    b = eval_expr(expr[2], assignment)
+    return {"and": a & b, "or": a | b, "xor": a ^ b}[expr[0]]
+
+
+NUM_VARS = 4
+
+
+class TestSemantics:
+    @given(boolean_exprs())
+    @settings(max_examples=80, deadline=None)
+    def test_bdd_evaluates_like_expression(self, expr):
+        mgr = BddManager(NUM_VARS)
+        node = build_bdd(mgr, expr)
+        for bits in itertools.product((0, 1), repeat=NUM_VARS):
+            assert mgr.evaluate(node, list(bits)) == eval_expr(expr, list(bits))
+
+    @given(boolean_exprs())
+    @settings(max_examples=80, deadline=None)
+    def test_sat_count_matches_truth_table(self, expr):
+        mgr = BddManager(NUM_VARS)
+        node = build_bdd(mgr, expr)
+        expected = sum(
+            eval_expr(expr, list(bits))
+            for bits in itertools.product((0, 1), repeat=NUM_VARS)
+        )
+        assert mgr.sat_count(node) == expected
+
+    @given(boolean_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_any_sat_is_genuine(self, expr):
+        mgr = BddManager(NUM_VARS)
+        node = build_bdd(mgr, expr)
+        witness = mgr.any_sat(node)
+        if witness is None:
+            assert node == FALSE
+        else:
+            assert mgr.evaluate(node, witness) == 1
+
+
+class TestCanonicity:
+    @given(boolean_exprs(), boolean_exprs())
+    @settings(max_examples=80, deadline=None)
+    def test_equal_functions_equal_nodes(self, e1, e2):
+        """ROBDD canonicity: same truth table iff same node id."""
+        mgr = BddManager(NUM_VARS)
+        n1, n2 = build_bdd(mgr, e1), build_bdd(mgr, e2)
+        same_function = all(
+            eval_expr(e1, list(bits)) == eval_expr(e2, list(bits))
+            for bits in itertools.product((0, 1), repeat=NUM_VARS)
+        )
+        assert (n1 == n2) == same_function
+
+    @given(boolean_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_double_negation(self, expr):
+        mgr = BddManager(NUM_VARS)
+        node = build_bdd(mgr, expr)
+        assert mgr.apply_not(mgr.apply_not(node)) == node
+
+    @given(boolean_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_xor_with_self_is_false(self, expr):
+        mgr = BddManager(NUM_VARS)
+        node = build_bdd(mgr, expr)
+        assert mgr.apply_xor(node, node) == FALSE
+
+
+class TestCircuitBdds:
+    @given(st.integers(0, 3000))
+    @settings(max_examples=40, deadline=None)
+    def test_circuit_bdds_match_simulation(self, seed):
+        rng = random.Random(seed)
+        circuit = random_netlist(rng.randint(2, 5), rng.randint(1, 15), rng)
+        mgr = BddManager(len(circuit.inputs))
+        values = build_circuit_bdds(circuit, mgr)
+        for _ in range(8):
+            stim = {n: rng.randint(0, 1) for n in circuit.inputs}
+            expected = simulate(circuit, stim)
+            vector = [stim[n] for n in circuit.inputs]
+            for out in circuit.outputs:
+                assert mgr.evaluate(values[out], vector) == expected[out]

@@ -1,0 +1,116 @@
+"""Property-based tests for circuit structure, simulation and I/O."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    from_blif,
+    from_verilog,
+    simulate,
+    to_blif,
+    to_verilog,
+)
+from repro.circuits.opt import constant_propagate, simplify, strip_dead_logic
+from repro.synth import random_netlist
+
+
+@st.composite
+def netlists(draw):
+    seed = draw(st.integers(0, 10_000))
+    num_inputs = draw(st.integers(2, 6))
+    num_gates = draw(st.integers(1, 25))
+    return random_netlist(num_inputs, num_gates, random.Random(seed))
+
+
+def sample_patterns(circuit, seed, count=16):
+    rng = random.Random(seed)
+    return [
+        {net: rng.randint(0, 1) for net in circuit.inputs} for _ in range(count)
+    ]
+
+
+class TestStructuralInvariants:
+    @given(netlists())
+    @settings(max_examples=60)
+    def test_topological_order_is_consistent(self, circuit):
+        order = [g.output for g in circuit.topological_order()]
+        position = {net: i for i, net in enumerate(order)}
+        for gate in circuit.gates:
+            for src in gate.inputs:
+                if src in position:
+                    assert position[src] < position[gate.output]
+
+    @given(netlists())
+    @settings(max_examples=60)
+    def test_levels_decrease_toward_outputs(self, circuit):
+        levels = circuit.reverse_topological_levels()
+        for gate in circuit.gates:
+            for src in gate.inputs:
+                if src in levels:
+                    assert levels[src] >= levels[gate.output] + 1
+
+    @given(netlists())
+    @settings(max_examples=60)
+    def test_renamed_is_isomorphic(self, circuit):
+        renamed = circuit.renamed("p_")
+        assert renamed.num_gates() == circuit.num_gates()
+        for stim in sample_patterns(circuit, 1):
+            v1 = simulate(circuit, stim)
+            v2 = simulate(renamed, {f"p_{n}": v for n, v in stim.items()})
+            for out in circuit.outputs:
+                assert v1[out] == v2[f"p_{out}"]
+
+
+class TestSimplificationPreservesFunction:
+    @given(netlists())
+    @settings(max_examples=60)
+    def test_constant_propagation(self, circuit):
+        simplified = constant_propagate(circuit)
+        for stim in sample_patterns(circuit, 2):
+            v1 = simulate(circuit, stim)
+            v2 = simulate(simplified, stim)
+            for out in circuit.outputs:
+                assert v1[out] == v2[out]
+
+    @given(netlists())
+    @settings(max_examples=60)
+    def test_dead_logic_removal(self, circuit):
+        stripped = strip_dead_logic(circuit)
+        assert stripped.num_gates() <= circuit.num_gates()
+        for stim in sample_patterns(circuit, 3):
+            v1 = simulate(circuit, stim)
+            v2 = simulate(stripped, stim)
+            for out in circuit.outputs:
+                assert v1[out] == v2[out]
+
+    @given(netlists())
+    @settings(max_examples=30)
+    def test_simplify_fixpoint(self, circuit):
+        simplified = simplify(circuit)
+        again = simplify(simplified)
+        assert again.num_gates() == simplified.num_gates()
+
+
+class TestSerialisationRoundTrips:
+    @given(netlists())
+    @settings(max_examples=40)
+    def test_verilog(self, circuit):
+        reparsed = from_verilog(to_verilog(circuit))
+        assert reparsed.num_gates() == circuit.num_gates()
+        for stim in sample_patterns(circuit, 4):
+            v1 = simulate(circuit, stim)
+            v2 = simulate(reparsed, stim)
+            for out in circuit.outputs:
+                assert v1[out] == v2[out]
+
+    @given(netlists())
+    @settings(max_examples=40)
+    def test_blif(self, circuit):
+        reparsed = from_blif(to_blif(circuit))
+        for stim in sample_patterns(circuit, 5):
+            v1 = simulate(circuit, stim)
+            v2 = simulate(reparsed, stim)
+            for out in circuit.outputs:
+                assert v1[out] == v2[out]

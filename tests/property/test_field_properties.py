@@ -1,0 +1,118 @@
+"""Property-based tests: field axioms and F2[x] identities (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF2m, poly2
+
+FIELDS = {k: GF2m(k) for k in (2, 4, 8, 16, 32)}
+
+field_and_elements = st.sampled_from(sorted(FIELDS)).flatmap(
+    lambda k: st.tuples(
+        st.just(FIELDS[k]),
+        st.integers(0, FIELDS[k].order - 1),
+        st.integers(0, FIELDS[k].order - 1),
+        st.integers(0, FIELDS[k].order - 1),
+    )
+)
+
+polys = st.integers(0, (1 << 64) - 1)
+nonzero_polys = st.integers(1, (1 << 64) - 1)
+
+
+class TestPolyTwoProperties:
+    @given(polys, polys)
+    def test_clmul_commutative(self, a, b):
+        assert poly2.clmul(a, b) == poly2.clmul(b, a)
+
+    @given(polys, polys, polys)
+    def test_clmul_associative(self, a, b, c):
+        assert poly2.clmul(poly2.clmul(a, b), c) == poly2.clmul(a, poly2.clmul(b, c))
+
+    @given(polys, polys, polys)
+    def test_clmul_distributes_over_xor(self, a, b, c):
+        assert poly2.clmul(a, b ^ c) == poly2.clmul(a, b) ^ poly2.clmul(a, c)
+
+    @given(polys, nonzero_polys)
+    def test_divmod_identity(self, a, b):
+        q, r = poly2.divmod2(a, b)
+        assert poly2.clmul(q, b) ^ r == a
+        assert poly2.degree(r) < poly2.degree(b)
+
+    @given(polys)
+    def test_square_matches_self_product(self, a):
+        assert poly2.square(a) == poly2.clmul(a, a)
+
+    @given(polys, polys)
+    def test_gcd_divides_both(self, a, b):
+        g = poly2.gcd(a, b)
+        if g:
+            assert poly2.mod(a, g) == 0
+            assert poly2.mod(b, g) == 0
+
+    @given(polys, nonzero_polys)
+    def test_ext_gcd_bezout(self, a, b):
+        g, s, t = poly2.ext_gcd(a, b)
+        assert poly2.clmul(s, a) ^ poly2.clmul(t, b) == g
+
+    @given(polys, polys)
+    def test_derivative_of_product(self, a, b):
+        # (fg)' = f'g + fg' holds formally in characteristic 2 too.
+        lhs = poly2.derivative(poly2.clmul(a, b))
+        rhs = poly2.clmul(poly2.derivative(a), b) ^ poly2.clmul(
+            a, poly2.derivative(b)
+        )
+        assert lhs == rhs
+
+
+class TestFieldAxioms:
+    @given(field_and_elements)
+    def test_mul_commutative(self, data):
+        field, a, b, _ = data
+        assert field.mul(a, b) == field.mul(b, a)
+
+    @given(field_and_elements)
+    def test_mul_associative(self, data):
+        field, a, b, c = data
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    @given(field_and_elements)
+    def test_distributive(self, data):
+        field, a, b, c = data
+        assert field.mul(a, b ^ c) == field.mul(a, b) ^ field.mul(a, c)
+
+    @given(field_and_elements)
+    def test_inverse(self, data):
+        field, a, _, _ = data
+        if a:
+            assert field.mul(a, field.inv(a)) == 1
+
+    @given(field_and_elements)
+    def test_fermat_small(self, data):
+        field, a, _, _ = data
+        assert field.pow(a, field.order) == a
+
+    @given(field_and_elements)
+    def test_frobenius_additive(self, data):
+        field, a, b, _ = data
+        assert field.square(a ^ b) == field.square(a) ^ field.square(b)
+
+    @given(field_and_elements)
+    def test_trace_in_prime_field(self, data):
+        field, a, _, _ = data
+        assert field.trace(a) in (0, 1)
+
+    @given(field_and_elements)
+    def test_pow_adds_exponents(self, data):
+        field, a, _, _ = data
+        if a:
+            e1, e2 = 5, 9
+            assert field.mul(field.pow(a, e1), field.pow(a, e2)) == field.pow(
+                a, e1 + e2
+            )
+
+    @given(field_and_elements)
+    def test_division_consistent(self, data):
+        field, a, b, _ = data
+        if b:
+            assert field.mul(field.div(a, b), b) == a

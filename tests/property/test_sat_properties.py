@@ -1,0 +1,92 @@
+"""Property-based tests for the SAT substrate."""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import simulate
+from repro.sat import CNF, solve, tseitin_encode
+from repro.synth import random_netlist
+
+
+@st.composite
+def cnfs(draw):
+    num_vars = draw(st.integers(1, 8))
+    cnf = CNF()
+    cnf.new_vars(num_vars)
+    num_clauses = draw(st.integers(0, 20))
+    for _ in range(num_clauses):
+        width = draw(st.integers(1, 3))
+        clause = [
+            draw(st.sampled_from([1, -1])) * draw(st.integers(1, num_vars))
+            for _ in range(width)
+        ]
+        cnf.add_clause(clause)
+    return cnf
+
+
+def brute_force(cnf):
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        if cnf.evaluate({v: bits[v - 1] for v in range(1, cnf.num_vars + 1)}):
+            return True
+    return False
+
+
+class TestSolverCorrectness:
+    @given(cnfs())
+    @settings(max_examples=120, deadline=None)
+    def test_verdict_matches_brute_force(self, cnf):
+        result = solve(cnf)
+        assert result.status == ("sat" if brute_force(cnf) else "unsat")
+
+    @given(cnfs())
+    @settings(max_examples=120, deadline=None)
+    def test_models_are_genuine(self, cnf):
+        result = solve(cnf)
+        if result.status == "sat":
+            assert cnf.evaluate(result.model)
+
+    @given(cnfs())
+    @settings(max_examples=40, deadline=None)
+    def test_dimacs_roundtrip_same_verdict(self, cnf):
+        reparsed = CNF.from_dimacs(cnf.to_dimacs())
+        assert solve(cnf).status == solve(reparsed).status
+
+
+class TestTseitinEquisatisfiability:
+    @given(st.integers(0, 2000))
+    @settings(max_examples=40, deadline=None)
+    def test_encoding_consistent_with_simulation(self, seed):
+        rng = random.Random(seed)
+        circuit = random_netlist(rng.randint(2, 4), rng.randint(1, 12), rng)
+        enc = tseitin_encode(circuit)
+        stim = {n: rng.randint(0, 1) for n in circuit.inputs}
+        assumptions = [
+            enc.variable(n) if stim[n] else -enc.variable(n)
+            for n in circuit.inputs
+        ]
+        result = solve(enc.cnf, assumptions=assumptions)
+        assert result.status == "sat"  # circuits are total functions
+        expected = simulate(circuit, stim)
+        assignment = enc.assignment_of(result.model)
+        for net in circuit.nets():
+            assert assignment[net] == bool(expected[net])
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=25, deadline=None)
+    def test_forced_disagreement_unsat(self, seed):
+        """Asserting output != simulated value must be unsatisfiable."""
+        rng = random.Random(seed)
+        circuit = random_netlist(rng.randint(2, 4), rng.randint(1, 10), rng)
+        out = circuit.outputs[0]
+        enc = tseitin_encode(circuit)
+        stim = {n: rng.randint(0, 1) for n in circuit.inputs}
+        expected = simulate(circuit, stim)[out]
+        assumptions = [
+            enc.variable(n) if stim[n] else -enc.variable(n)
+            for n in circuit.inputs
+        ]
+        assumptions.append(-enc.variable(out) if expected else enc.variable(out))
+        assert solve(enc.cnf, assumptions=assumptions).status == "unsat"

@@ -1,0 +1,82 @@
+"""Unit tests for CNF formulas."""
+
+import pytest
+
+from repro.sat import CNF
+
+
+class TestConstruction:
+    def test_new_vars_sequential(self):
+        cnf = CNF()
+        assert cnf.new_vars(3) == [1, 2, 3]
+        assert cnf.num_vars == 3
+
+    def test_add_clause(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clause([1, -2])
+        assert cnf.clauses == [(1, -2)]
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        cnf.new_var()
+        with pytest.raises(ValueError):
+            cnf.add_clause([1, 0])
+
+    def test_unallocated_variable_rejected(self):
+        cnf = CNF()
+        cnf.new_var()
+        with pytest.raises(ValueError):
+            cnf.add_clause([2])
+
+    def test_add_clauses(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clauses([[1], [-1, 2]])
+        assert len(cnf) == 2
+
+
+class TestDimacs:
+    def test_serialisation(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clause([1, -2])
+        text = cnf.to_dimacs()
+        assert "p cnf 2 1" in text
+        assert "1 -2 0" in text
+
+    def test_roundtrip(self):
+        cnf = CNF()
+        cnf.new_vars(3)
+        cnf.add_clauses([[1, 2], [-1, 3], [-2, -3]])
+        parsed = CNF.from_dimacs(cnf.to_dimacs())
+        assert parsed.num_vars == 3
+        assert parsed.clauses == cnf.clauses
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 2 1\n1 -2 0\n"
+        cnf = CNF.from_dimacs(text)
+        assert cnf.num_vars == 2 and cnf.clauses == [(1, -2)]
+
+    def test_bad_problem_line(self):
+        with pytest.raises(ValueError):
+            CNF.from_dimacs("p sat 2 1\n")
+
+
+class TestEvaluate:
+    def test_satisfying(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clauses([[1], [-1, 2]])
+        assert cnf.evaluate({1: True, 2: True})
+        assert not cnf.evaluate({1: True, 2: False})
+        assert not cnf.evaluate({1: False, 2: True})
+
+    def test_empty_formula_true(self):
+        assert CNF().evaluate({})
+
+    def test_missing_variable_defaults_false(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([-1])
+        assert cnf.evaluate({})

@@ -1,0 +1,156 @@
+"""Unit tests for the CDCL solver."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat import CNF, SatSolver, solve
+from repro.sat.solver import SatResult, _luby
+
+
+def brute_force_sat(cnf):
+    for bits in itertools.product([False, True], repeat=cnf.num_vars):
+        if cnf.evaluate({v: bits[v - 1] for v in range(1, cnf.num_vars + 1)}):
+            return True
+    return False
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+class TestSatResult:
+    def test_bad_status_rejected(self):
+        with pytest.raises(ValueError):
+            SatResult("maybe")
+
+
+class TestBasicCases:
+    def test_empty_formula_sat(self):
+        assert solve(CNF()).status == "sat"
+
+    def test_single_unit(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([1])
+        result = solve(cnf)
+        assert result.status == "sat" and result.model[1] is True
+
+    def test_contradictory_units(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clauses([[1], [-1]])
+        assert solve(cnf).status == "unsat"
+
+    def test_empty_clause_unsat(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.clauses.append(())
+        assert solve(cnf).status == "unsat"
+
+    def test_implication_chain(self):
+        cnf = CNF()
+        cnf.new_vars(5)
+        cnf.add_clause([1])
+        for v in range(1, 5):
+            cnf.add_clause([-v, v + 1])
+        result = solve(cnf)
+        assert result.status == "sat"
+        assert all(result.model[v] for v in range(1, 6))
+
+    def test_xor_constraints(self):
+        # x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is unsatisfiable.
+        cnf = CNF()
+        cnf.new_vars(3)
+        for a, b in [(1, 2), (2, 3), (1, 3)]:
+            cnf.add_clauses([[a, b], [-a, -b]])
+        assert solve(cnf).status == "unsat"
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_3sat(self, seed):
+        rng = random.Random(seed)
+        nv = rng.randint(3, 9)
+        cnf = CNF()
+        cnf.new_vars(nv)
+        for _ in range(rng.randint(nv, 4 * nv)):
+            clause = {
+                rng.choice([1, -1]) * rng.randint(1, nv)
+                for _ in range(rng.randint(1, 3))
+            }
+            cnf.add_clause(clause)
+        result = solve(cnf)
+        assert result.status == ("sat" if brute_force_sat(cnf) else "unsat")
+        if result.status == "sat":
+            assert cnf.evaluate(result.model)
+
+
+class TestHardInstances:
+    @pytest.mark.parametrize("holes", [3, 4, 5])
+    def test_pigeonhole_unsat(self, holes):
+        pigeons = holes + 1
+        cnf = CNF()
+        P = {
+            (i, j): cnf.new_var() for i in range(pigeons) for j in range(holes)
+        }
+        for i in range(pigeons):
+            cnf.add_clause([P[(i, j)] for j in range(holes)])
+        for j in range(holes):
+            for i1 in range(pigeons):
+                for i2 in range(i1 + 1, pigeons):
+                    cnf.add_clause([-P[(i1, j)], -P[(i2, j)]])
+        assert solve(cnf).status == "unsat"
+
+    def test_learns_clauses(self):
+        cnf = CNF()
+        cnf.new_vars(8)
+        rng = random.Random(123)
+        for _ in range(40):
+            cnf.add_clause(
+                {rng.choice([1, -1]) * rng.randint(1, 8) for _ in range(3)}
+            )
+        solver = SatSolver(cnf)
+        initial = len(solver.clauses)
+        solver.solve()
+        assert len(solver.clauses) >= initial  # learnt clauses appended
+
+
+class TestBudget:
+    def test_conflict_budget_gives_unknown(self):
+        # A hard pigeonhole instance with a tiny conflict budget.
+        holes = 6
+        pigeons = 7
+        cnf = CNF()
+        P = {
+            (i, j): cnf.new_var() for i in range(pigeons) for j in range(holes)
+        }
+        for i in range(pigeons):
+            cnf.add_clause([P[(i, j)] for j in range(holes)])
+        for j in range(holes):
+            for i1 in range(pigeons):
+                for i2 in range(i1 + 1, pigeons):
+                    cnf.add_clause([-P[(i1, j)], -P[(i2, j)]])
+        result = solve(cnf, max_conflicts=5)
+        assert result.status == "unknown"
+        assert result.conflicts >= 5
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clause([1, 2])
+        result = solve(cnf, assumptions=[-1])
+        assert result.status == "sat"
+        assert result.model[1] is False and result.model[2] is True
+
+    def test_conflicting_assumption(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([1])
+        assert solve(cnf, assumptions=[-1]).status == "unsat"

@@ -1,0 +1,108 @@
+"""Unit tests for Tseitin encoding."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import Circuit, GateType, simulate
+from repro.sat import CircuitEncoding, solve, tseitin_encode
+from repro.synth import mastrovito_multiplier
+
+from ..circuits.test_circuit import two_bit_multiplier
+
+
+def assert_encoding_consistent(circuit):
+    """For every input pattern, the CNF must force exactly the simulation."""
+    enc = tseitin_encode(circuit)
+    for bits in itertools.product((0, 1), repeat=len(circuit.inputs)):
+        stim = dict(zip(circuit.inputs, bits))
+        expected = simulate(circuit, stim)
+        assumptions = [
+            enc.variable(n) if stim[n] else -enc.variable(n) for n in circuit.inputs
+        ]
+        result = solve(enc.cnf, assumptions=assumptions)
+        assert result.status == "sat"
+        assignment = enc.assignment_of(result.model)
+        for net in circuit.nets():
+            assert assignment[net] == bool(expected[net]), net
+
+
+class TestGateEncodings:
+    @pytest.mark.parametrize(
+        "gate_type",
+        [
+            GateType.AND,
+            GateType.OR,
+            GateType.XOR,
+            GateType.NAND,
+            GateType.NOR,
+            GateType.XNOR,
+        ],
+    )
+    def test_binary_gate(self, gate_type):
+        c = Circuit("g")
+        c.add_inputs(["a", "b"])
+        c.add_gate("z", gate_type, ("a", "b"))
+        c.set_outputs(["z"])
+        assert_encoding_consistent(c)
+
+    @pytest.mark.parametrize(
+        "gate_type", [GateType.AND, GateType.OR, GateType.XOR]
+    )
+    def test_ternary_gate(self, gate_type):
+        c = Circuit("g3")
+        c.add_inputs(["a", "b", "c"])
+        c.add_gate("z", gate_type, ("a", "b", "c"))
+        c.set_outputs(["z"])
+        assert_encoding_consistent(c)
+
+    def test_not_buf_const(self):
+        c = Circuit("u")
+        c.add_input("a")
+        c.NOT("a", out="n")
+        c.BUF("a", out="b")
+        c.CONST(0, out="c0")
+        c.CONST(1, out="c1")
+        c.set_outputs(["n", "b", "c0", "c1"])
+        assert_encoding_consistent(c)
+
+
+class TestWholeCircuits:
+    def test_two_bit_multiplier(self):
+        assert_encoding_consistent(two_bit_multiplier())
+
+    def test_forced_output_finds_preimage(self, f4):
+        c = two_bit_multiplier()
+        enc = tseitin_encode(c)
+        # Ask for Z = 3: z0 = 1, z1 = 1.
+        enc.cnf.add_clause((enc.variable("z0"),))
+        enc.cnf.add_clause((enc.variable("z1"),))
+        result = solve(enc.cnf)
+        assert result.status == "sat"
+        assignment = enc.assignment_of(result.model)
+        a = int(assignment["a0"]) | (int(assignment["a1"]) << 1)
+        b = int(assignment["b0"]) | (int(assignment["b1"]) << 1)
+        assert f4.mul(a, b) == 3
+
+    def test_shared_encoding_composes(self):
+        c1 = two_bit_multiplier().renamed("u1_")
+        c2 = two_bit_multiplier().renamed("u2_")
+        enc = CircuitEncoding()
+        tseitin_encode(c1, enc)
+        tseitin_encode(c2, enc)
+        # Variables are distinct per circuit instance.
+        assert enc.variable("u1_z0") != enc.variable("u2_z0")
+
+    def test_prefix_isolation(self):
+        c = two_bit_multiplier()
+        enc = CircuitEncoding()
+        tseitin_encode(c, enc, prefix="x_")
+        tseitin_encode(c, enc, prefix="y_")
+        assert enc.variable("x_z0") != enc.variable("y_z0")
+
+    def test_variable_count_linear(self, f256):
+        c = mastrovito_multiplier(f256)
+        enc = tseitin_encode(c)
+        # One var per net plus XOR-chain/inverter auxiliaries.
+        assert enc.cnf.num_vars >= len(c.nets())
+        assert enc.cnf.num_vars < 4 * len(c.nets())

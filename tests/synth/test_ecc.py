@@ -1,0 +1,130 @@
+"""Unit tests for the ECC point-doubling datapath."""
+
+import pytest
+
+from repro.core import abstract_hierarchy
+from repro.gf import GF2m
+from repro.synth import (
+    constant_adder,
+    point_double_datapath,
+    point_double_reference,
+    point_double_spec,
+)
+
+
+def comparable(poly):
+    ring = poly.ring
+    return {
+        tuple(sorted((ring.variables[v], e) for v, e in m)): c
+        for m, c in poly.terms.items()
+    }
+
+
+class TestConstantAdder:
+    @pytest.mark.parametrize("constant", [0, 1, 5, 15])
+    def test_function(self, f16, constant):
+        from repro.circuits import simulate_words
+
+        circuit = constant_adder(f16, constant)
+        result = simulate_words(circuit, {"A": list(range(16))})
+        for a, z in zip(range(16), result["Z"]):
+            assert z == a ^ constant
+
+    def test_structure(self, f16):
+        counts = constant_adder(f16, 0b0101).gate_counts()
+        assert counts == {"not": 2, "buf": 2}
+
+    def test_out_of_range_rejected(self, f16):
+        with pytest.raises(ValueError):
+            constant_adder(f16, 16)
+
+
+class TestReferenceFormula:
+    def test_doubles_points_on_curve(self, f16):
+        """2P stays on the curve y^2 + xy = x^3 + a2 x^2 + a6."""
+        a2 = 1
+        found = 0
+        for a6 in range(1, 16):
+            for x in range(1, 16):
+                for y in range(16):
+                    lhs = f16.square(y) ^ f16.mul(x, y)
+                    rhs = f16.pow(x, 3) ^ f16.mul(a2, f16.square(x)) ^ a6
+                    if lhs != rhs:
+                        continue
+                    x3, y3 = point_double_reference(f16, x, y, a2)
+                    if x3 == 0:
+                        continue  # doubled to a 2-torsion-adjacent point
+                    lhs3 = f16.square(y3) ^ f16.mul(x3, y3)
+                    rhs3 = f16.pow(x3, 3) ^ f16.mul(a2, f16.square(x3)) ^ a6
+                    assert lhs3 == rhs3, (a6, x, y)
+                    found += 1
+        assert found > 10  # the sweep exercised real curve points
+
+    def test_x_zero_rejected(self, f16):
+        with pytest.raises(ZeroDivisionError):
+            point_double_reference(f16, 0, 3)
+
+
+class TestDatapath:
+    @pytest.mark.parametrize("k", [3, 4, 8])
+    def test_matches_reference_formula(self, k):
+        field = GF2m(k)
+        datapath = point_double_datapath(field)
+        xs = list(range(1, field.order))
+        ys = [(x * 7) % field.order for x in xs]
+        sim = datapath.simulate_words({"X": xs, "Y": ys})
+        for x, y, x3, y3 in zip(xs, ys, sim["X3"], sim["Y3"]):
+            assert (x3, y3) == point_double_reference(field, x, y)
+
+    def test_contains_nested_inverter(self, f16):
+        datapath = point_double_datapath(f16)
+        inv = next(b for b in datapath.blocks if b.name == "INV")
+        assert inv.is_nested
+
+    def test_flatten_through_nesting(self, f16):
+        from repro.circuits import simulate_words
+
+        datapath = point_double_datapath(f16)
+        flat = datapath.flatten()
+        xs = list(range(1, 16))
+        ys = [(x * 5) % 16 for x in xs]
+        assert simulate_words(flat, {"X": xs, "Y": ys}) == datapath.simulate_words(
+            {"X": xs, "Y": ys}
+        )
+
+
+class TestAbstractionVsSpec:
+    @pytest.mark.parametrize("k", [3, 4, 8, 16])
+    def test_datapath_equals_affine_spec(self, k):
+        field = GF2m(k)
+        datapath = point_double_datapath(field, a2=1)
+        ring, spec = point_double_spec(field, a2=1)
+        result = abstract_hierarchy(datapath, field)
+        for word in ("X3", "Y3"):
+            assert comparable(result.polynomials[word]) == comparable(spec[word]), word
+
+    def test_different_a2_detected(self, f16):
+        """Datapath with a2=1 must not match the a2=2 spec."""
+        datapath = point_double_datapath(f16, a2=1)
+        _, wrong_spec = point_double_spec(f16, a2=2)
+        result = abstract_hierarchy(datapath, f16)
+        assert comparable(result.polynomials["X3"]) != comparable(wrong_spec["X3"])
+
+    def test_buggy_multiplier_detected(self, f16):
+        from repro.circuits import substitute_gate_type
+
+        datapath = point_double_datapath(f16)
+        block = next(b for b in datapath.blocks if b.name == "MUL_LX3")
+        gate = next(g for g in block.circuit.gates if g.gate_type.value == "and")
+        block.circuit, _ = substitute_gate_type(block.circuit, gate.output)
+        _, spec = point_double_spec(f16)
+        result = abstract_hierarchy(datapath, f16)
+        assert comparable(result.polynomials["Y3"]) != comparable(spec["Y3"])
+
+    def test_spec_agrees_with_reference_numerically(self, f16):
+        ring, spec = point_double_spec(f16)
+        for x in range(1, 16):
+            for y in (0, 3, 9):
+                x3, y3 = point_double_reference(f16, x, y)
+                assert spec["X3"].evaluate({"X": x, "Y": y}) == x3
+                assert spec["Y3"].evaluate({"X": x, "Y": y}) == y3

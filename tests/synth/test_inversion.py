@@ -1,0 +1,95 @@
+"""Unit tests for the Itoh-Tsujii inversion datapath."""
+
+import pytest
+
+from repro.circuits import simulate_words
+from repro.core import abstract_hierarchy
+from repro.gf import GF2m
+from repro.synth import frobenius_power_circuit, itoh_tsujii_inverter
+
+
+class TestFrobeniusPower:
+    @pytest.mark.parametrize("e", [0, 1, 2, 3])
+    def test_function(self, f16, e):
+        circuit = frobenius_power_circuit(f16, e)
+        values = list(range(16))
+        result = simulate_words(circuit, {"A": values})
+        for a, z in zip(values, result["Z"]):
+            assert z == f16.pow(a, 1 << e)
+
+    def test_e0_is_identity(self, f16):
+        circuit = frobenius_power_circuit(f16, 0)
+        result = simulate_words(circuit, {"A": list(range(16))})
+        assert result["Z"] == list(range(16))
+
+    def test_is_linear_network(self, f256):
+        counts = frobenius_power_circuit(f256, 3).gate_counts()
+        assert set(counts) <= {"xor", "buf", "const0"}
+
+    def test_negative_rejected(self, f16):
+        with pytest.raises(ValueError):
+            frobenius_power_circuit(f16, -1)
+
+    def test_full_period(self, f16):
+        """Frobenius^k is the identity map."""
+        circuit = frobenius_power_circuit(f16, 4)
+        result = simulate_words(circuit, {"A": list(range(16))})
+        assert result["Z"] == list(range(16))
+
+
+class TestItohTsujii:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 8])
+    def test_inverts_every_element(self, k):
+        field = GF2m(k)
+        hierarchy = itoh_tsujii_inverter(field)
+        values = list(range(field.order))
+        out_word = hierarchy.output_words[0]
+        result = hierarchy.simulate_words({"A": values})
+        for a, z in zip(values, result[out_word]):
+            expected = 0 if a == 0 else field.inv(a)
+            assert z == expected
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 8, 16])
+    def test_abstracts_to_fermat_monomial(self, k):
+        """The composed canonical polynomial must be A^(q-2)."""
+        field = GF2m(k)
+        hierarchy = itoh_tsujii_inverter(field)
+        result = abstract_hierarchy(hierarchy, field)
+        out_word = hierarchy.output_words[0]
+        assert result.polynomials[out_word] == result.ring.var(
+            "A", field.order - 2
+        )
+
+    def test_block_count_logarithmic(self):
+        """ITA uses O(log k) multiplications, not O(k)."""
+        field = GF2m(16)
+        hierarchy = itoh_tsujii_inverter(field)
+        multipliers = [b for b in hierarchy.blocks if b.name.startswith("M")]
+        assert len(multipliers) <= 2 * 16 .bit_length()
+
+    def test_flattened_matches_hierarchy(self, f16):
+        hierarchy = itoh_tsujii_inverter(f16)
+        flat = hierarchy.flatten()
+        out_word = hierarchy.output_words[0]
+        values = list(range(16))
+        hier_out = hierarchy.simulate_words({"A": values})[out_word]
+        flat_out = simulate_words(flat, {"A": values})[out_word]
+        assert hier_out == flat_out
+
+    def test_k1_rejected(self):
+        with pytest.raises(ValueError):
+            itoh_tsujii_inverter(GF2m(1))
+
+    def test_buggy_inverter_detected(self, f16):
+        """Break one multiplier block: composition must not be A^14."""
+        from repro.circuits import substitute_gate_type
+
+        hierarchy = itoh_tsujii_inverter(f16)
+        mul_block = next(b for b in hierarchy.blocks if b.name.startswith("M"))
+        gate = next(
+            g for g in mul_block.circuit.gates if g.gate_type.value == "and"
+        )
+        mul_block.circuit, _ = substitute_gate_type(mul_block.circuit, gate.output)
+        result = abstract_hierarchy(hierarchy, f16)
+        out_word = hierarchy.output_words[0]
+        assert result.polynomials[out_word] != result.ring.var("A", 14)

@@ -1,0 +1,92 @@
+"""Unit tests for the Karatsuba multiplier generator."""
+
+import random
+
+import pytest
+
+from repro.circuits import Circuit, simulate_words
+from repro.gf import GF2m
+from repro.synth import karatsuba_multiplier, karatsuba_product, mastrovito_multiplier
+
+
+class TestKaratsubaProduct:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8])
+    def test_polynomial_product(self, n):
+        """Gate network computes the F2[x] product for all widths."""
+        from repro.circuits import simulate
+        from repro.gf import poly2
+
+        circuit = Circuit(f"prod{n}")
+        a = circuit.add_inputs(f"a{i}" for i in range(n))
+        b = circuit.add_inputs(f"b{i}" for i in range(n))
+        nets = karatsuba_product(circuit, list(a), list(b), threshold=2)
+        rng = random.Random(n)
+        for _ in range(30):
+            av = rng.randrange(1 << n)
+            bv = rng.randrange(1 << n)
+            stim = {f"a{i}": (av >> i) & 1 for i in range(n)}
+            stim.update({f"b{i}": (bv >> i) & 1 for i in range(n)})
+            values = simulate(circuit, stim)
+            expected = poly2.clmul(av, bv)
+            for t, net in enumerate(nets):
+                bit = values[net] if net is not None else 0
+                assert bit == (expected >> t) & 1, (n, av, bv, t)
+
+    def test_structural_zeros_emitted_as_none(self):
+        circuit = Circuit("p1")
+        a = circuit.add_inputs(["a0"])
+        b = circuit.add_inputs(["b0"])
+        nets = karatsuba_product(circuit, list(a), list(b), threshold=2)
+        assert len(nets) == 1 and nets[0] is not None
+
+
+class TestKaratsubaMultiplier:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 8])
+    def test_exhaustive_or_random(self, k):
+        field = GF2m(k)
+        circuit = karatsuba_multiplier(field, threshold=2)
+        rng = random.Random(k)
+        count = min(field.order ** 2, 256)
+        points = [
+            (rng.randrange(field.order), rng.randrange(field.order))
+            for _ in range(count)
+        ]
+        result = simulate_words(
+            circuit, {"A": [p[0] for p in points], "B": [p[1] for p in points]}
+        )
+        for (a, b), z in zip(points, result["Z"]):
+            assert z == field.mul(a, b)
+
+    def test_fewer_and_gates_than_mastrovito(self):
+        """The point of Karatsuba: sub-quadratic AND count."""
+        field = GF2m(32)
+        kar = karatsuba_multiplier(field)
+        mast = mastrovito_multiplier(field)
+        assert kar.gate_counts()["and"] < mast.gate_counts()["and"]
+
+    def test_abstracts_to_ab(self, f256):
+        from repro.core import abstract_circuit
+
+        result = abstract_circuit(karatsuba_multiplier(f256), f256)
+        assert result.polynomial == result.ring.var("A") * result.ring.var("B")
+
+    def test_equivalent_to_mastrovito(self, f16):
+        from repro.verify import verify_equivalence
+
+        outcome = verify_equivalence(
+            mastrovito_multiplier(f16), karatsuba_multiplier(f16), f16
+        )
+        assert outcome.equivalent
+
+    def test_threshold_variants_agree(self, f256):
+        t2 = karatsuba_multiplier(f256, threshold=2)
+        t8 = karatsuba_multiplier(f256, threshold=8)
+        rng = random.Random(5)
+        stim = {
+            "A": [rng.randrange(256) for _ in range(32)],
+            "B": [rng.randrange(256) for _ in range(32)],
+        }
+        assert simulate_words(t2, stim) == simulate_words(t8, stim)
+
+    def test_validates(self, f256):
+        karatsuba_multiplier(f256).validate()

@@ -1,0 +1,73 @@
+"""Unit tests for linear datapath generators (adder, squarer, const-mult)."""
+
+import pytest
+
+from repro.circuits import GateType, simulate_words
+from repro.gf import GF2m
+from repro.synth import (
+    constant_multiplier,
+    gf_adder,
+    gf_squarer,
+    linear_map_circuit,
+)
+
+
+class TestAdder:
+    def test_function(self, f16):
+        adder = gf_adder(f16)
+        points = [(a, b) for a in range(16) for b in range(16)]
+        result = simulate_words(
+            adder, {"A": [p[0] for p in points], "B": [p[1] for p in points]}
+        )
+        for (a, b), z in zip(points, result["Z"]):
+            assert z == a ^ b
+
+    def test_structure_is_k_xors(self, f16):
+        assert gf_adder(f16).gate_counts() == {"xor": 4}
+
+
+class TestSquarer:
+    @pytest.mark.parametrize("k", [2, 3, 4, 8])
+    def test_function_exhaustive(self, k):
+        field = GF2m(k)
+        squarer = gf_squarer(field)
+        values = list(field.elements())
+        result = simulate_words(squarer, {"A": values})
+        for a, z in zip(values, result["Z"]):
+            assert z == field.square(a)
+
+    def test_pure_xor_network(self, f256):
+        counts = gf_squarer(f256).gate_counts()
+        assert set(counts) <= {"xor", "buf", "const0"}
+
+
+class TestConstantMultiplier:
+    @pytest.mark.parametrize("constant", [0, 1, 2, 3, 7, 15])
+    def test_function(self, f16, constant):
+        circuit = constant_multiplier(f16, constant)
+        values = list(range(16))
+        result = simulate_words(circuit, {"A": values})
+        for a, z in zip(values, result["Z"]):
+            assert z == f16.mul(constant, a)
+
+    def test_zero_constant_all_const0(self, f16):
+        circuit = constant_multiplier(f16, 0)
+        assert set(circuit.gate_counts()) == {"const0"}
+
+    def test_one_constant_all_buffers(self, f16):
+        circuit = constant_multiplier(f16, 1)
+        assert set(circuit.gate_counts()) == {"buf"}
+
+
+class TestLinearMap:
+    def test_column_count_checked(self, f16):
+        with pytest.raises(ValueError):
+            linear_map_circuit(f16, [1, 2], "bad")
+
+    def test_arbitrary_linear_map(self, f16):
+        # Map alpha^i -> alpha^(i+1) (multiply by alpha), built by hand.
+        columns = [f16.pow(f16.alpha, i + 1) for i in range(4)]
+        circuit = linear_map_circuit(f16, columns, "mul_alpha")
+        result = simulate_words(circuit, {"A": list(range(16))})
+        for a, z in zip(range(16), result["Z"]):
+            assert z == f16.mul(a, f16.alpha)

@@ -1,0 +1,107 @@
+"""Unit tests for the Mastrovito multiplier generator."""
+
+import random
+
+import pytest
+
+from repro.circuits import simulate_words
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier, reduction_matrix
+
+
+class TestReductionMatrix:
+    def test_first_rows_are_identity(self, f16):
+        rows = reduction_matrix(f16)
+        for t in range(4):
+            assert rows[t] == 1 << t
+
+    def test_row_count(self, f16):
+        assert len(reduction_matrix(f16)) == 2 * 4 - 1
+
+    def test_high_rows_reduce(self, f16):
+        rows = reduction_matrix(f16)
+        # alpha^4 = alpha + 1 for x^4 + x + 1
+        assert rows[4] == 0b0011
+        assert rows[5] == 0b0110
+
+    def test_rows_match_field_powers(self, f256):
+        rows = reduction_matrix(f256)
+        for t, row in enumerate(rows):
+            assert row == f256.pow(f256.alpha, t)
+
+
+class TestStructure:
+    def test_gate_count_quadratic(self, f16):
+        k = 4
+        c = mastrovito_multiplier(f16)
+        counts = c.gate_counts()
+        assert counts["and"] == k * k
+
+    def test_words_declared(self, f16):
+        c = mastrovito_multiplier(f16)
+        assert list(c.input_words) == ["A", "B"]
+        assert list(c.output_words) == ["Z"]
+        assert len(c.output_words["Z"]) == 4
+
+    def test_validates(self, f256):
+        mastrovito_multiplier(f256).validate()
+
+    def test_depth_logarithmic(self, f256):
+        # Balanced trees: depth should be O(log k), far below k.
+        assert mastrovito_multiplier(f256).logic_depth() <= 12
+
+    def test_array_variant_deeper(self, f256):
+        tree = mastrovito_multiplier(f256, tree=True)
+        array = mastrovito_multiplier(f256, tree=False)
+        assert array.logic_depth() >= tree.logic_depth()
+
+    def test_custom_name(self, f16):
+        assert mastrovito_multiplier(f16, name="mymul").name == "mymul"
+
+
+class TestFunction:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_exhaustive_small(self, k):
+        field = GF2m(k)
+        c = mastrovito_multiplier(field)
+        points = [(a, b) for a in range(field.order) for b in range(field.order)]
+        result = simulate_words(
+            c, {"A": [p[0] for p in points], "B": [p[1] for p in points]}
+        )
+        for (a, b), z in zip(points, result["Z"]):
+            assert z == field.mul(a, b)
+
+    @pytest.mark.parametrize("k", [8, 12, 16])
+    def test_random_larger(self, k):
+        field = GF2m(k)
+        c = mastrovito_multiplier(field)
+        rng = random.Random(k)
+        points = [
+            (rng.randrange(field.order), rng.randrange(field.order))
+            for _ in range(100)
+        ]
+        result = simulate_words(
+            c, {"A": [p[0] for p in points], "B": [p[1] for p in points]}
+        )
+        for (a, b), z in zip(points, result["Z"]):
+            assert z == field.mul(a, b)
+
+    def test_array_variant_same_function(self, f16):
+        tree = mastrovito_multiplier(f16, tree=True)
+        array = mastrovito_multiplier(f16, tree=False)
+        stim = {
+            "A": [a for a in range(16) for _ in range(16)],
+            "B": [b for _ in range(16) for b in range(16)],
+        }
+        assert simulate_words(tree, stim) == simulate_words(array, stim)
+
+    def test_nonstandard_modulus(self):
+        field = GF2m(4, modulus=0b11001)  # x^4 + x^3 + 1
+        c = mastrovito_multiplier(field)
+        stim = {
+            "A": [a for a in range(16) for _ in range(16)],
+            "B": [b for _ in range(16) for b in range(16)],
+        }
+        result = simulate_words(c, stim)
+        for i, z in enumerate(result["Z"]):
+            assert z == field.mul(i // 16, i % 16)

@@ -1,0 +1,172 @@
+"""Unit tests for the Montgomery multiplier generators."""
+
+import random
+
+import pytest
+
+from repro.circuits import simulate_words
+from repro.gf import GF2m
+from repro.synth import (
+    montgomery_block,
+    montgomery_constant_block,
+    montgomery_multiplier,
+    montgomery_r,
+    montgomery_r2,
+)
+
+
+class TestRadix:
+    def test_r_is_alpha_to_k(self, f16):
+        assert montgomery_r(f16) == f16.pow(f16.alpha, 4)
+
+    def test_r2_is_r_squared(self, f16):
+        r = montgomery_r(f16)
+        assert montgomery_r2(f16) == f16.mul(r, r)
+
+    def test_r_invertible(self, any_field):
+        r = montgomery_r(any_field)
+        assert any_field.mul(r, any_field.inv(r)) == 1
+
+
+class TestBlock:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_computes_abr_inverse_exhaustive(self, k):
+        field = GF2m(k)
+        block = montgomery_block(field)
+        r_inv = field.inv(montgomery_r(field))
+        points = [(a, b) for a in range(field.order) for b in range(field.order)]
+        result = simulate_words(
+            block, {"A": [p[0] for p in points], "B": [p[1] for p in points]}
+        )
+        for (a, b), g in zip(points, result["G"]):
+            assert g == field.mul(field.mul(a, b), r_inv)
+
+    def test_random_k8(self, f256):
+        block = montgomery_block(f256)
+        r_inv = f256.inv(montgomery_r(f256))
+        rng = random.Random(8)
+        points = [(rng.randrange(256), rng.randrange(256)) for _ in range(100)]
+        result = simulate_words(
+            block, {"A": [p[0] for p in points], "B": [p[1] for p in points]}
+        )
+        for (a, b), g in zip(points, result["G"]):
+            assert g == f256.mul(f256.mul(a, b), r_inv)
+
+    def test_structure(self, f256):
+        block = montgomery_block(f256)
+        assert block.gate_counts()["and"] == 64  # k^2 partial products
+        block.validate()
+
+
+class TestConstantBlock:
+    def test_smaller_than_generic(self, f256):
+        generic = montgomery_block(f256)
+        const = montgomery_constant_block(f256, montgomery_r2(f256))
+        assert const.num_gates() < generic.num_gates()
+        assert "and" not in const.gate_counts()  # all partial products folded
+
+    def test_single_input_word(self, f16):
+        const = montgomery_constant_block(f16, 1)
+        assert list(const.input_words) == ["A"]
+
+    def test_function_matches_generic(self, f16):
+        constant = montgomery_r2(f16)
+        generic = montgomery_block(f16)
+        const = montgomery_constant_block(f16, constant)
+        for a in range(16):
+            full = simulate_words(generic, {"A": [a], "B": [constant]})["G"][0]
+            slim = simulate_words(const, {"A": [a]})["G"][0]
+            assert full == slim
+
+    def test_identity_block_tiny(self, f256):
+        # MontMul(A, 1) = A * R^-1: a pure XOR/shift network.
+        block = montgomery_constant_block(f256, 1)
+        assert block.num_gates() < montgomery_block(f256).num_gates() // 4
+
+
+class TestHierarchy:
+    def test_fig1_block_names(self, f16):
+        hier = montgomery_multiplier(f16)
+        assert [b.name for b in hier.blocks] == [
+            "BLK_A",
+            "BLK_B",
+            "BLK_Mid",
+            "BLK_Out",
+        ]
+
+    def test_block_size_shape(self, f256):
+        """Paper Table 2: Mid is the largest block, Out the smallest."""
+        hier = montgomery_multiplier(f256)
+        sizes = {b.name: b.circuit.num_gates() for b in hier.blocks}
+        assert sizes["BLK_Mid"] > sizes["BLK_A"] > sizes["BLK_Out"]
+        assert sizes["BLK_A"] == sizes["BLK_B"]
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_computes_product_exhaustive(self, k):
+        field = GF2m(k)
+        hier = montgomery_multiplier(field)
+        points = [(a, b) for a in range(field.order) for b in range(field.order)]
+        result = hier.simulate_words(
+            {"A": [p[0] for p in points], "B": [p[1] for p in points]}
+        )
+        for (a, b), g in zip(points, result["G"]):
+            assert g == field.mul(a, b)
+
+    def test_random_k8(self, f256):
+        hier = montgomery_multiplier(f256)
+        rng = random.Random(88)
+        points = [(rng.randrange(256), rng.randrange(256)) for _ in range(64)]
+        result = hier.simulate_words(
+            {"A": [p[0] for p in points], "B": [p[1] for p in points]}
+        )
+        for (a, b), g in zip(points, result["G"]):
+            assert g == f256.mul(a, b)
+
+    def test_structurally_dissimilar_from_mastrovito(self, f256):
+        """The whole premise: same function, very different structure."""
+        from repro.synth import mastrovito_multiplier
+
+        mast = mastrovito_multiplier(f256)
+        flat = montgomery_multiplier(f256).flatten()
+        assert flat.num_gates() > 1.5 * mast.num_gates()
+        assert flat.logic_depth() > 2 * mast.logic_depth()
+
+
+class TestMontgomerySquarer:
+    """Wu [2]: the Montgomery squarer G = A^2 * R^-1 (no AND gates)."""
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 8])
+    def test_function_exhaustive(self, k):
+        from repro.synth import montgomery_squarer
+
+        field = GF2m(k)
+        squarer = montgomery_squarer(field)
+        r_inv = field.inv(montgomery_r(field))
+        values = list(range(field.order))
+        result = simulate_words(squarer, {"A": values})
+        for a, g in zip(values, result["G"]):
+            assert g == field.mul(field.square(a), r_inv)
+
+    def test_pure_xor_network(self, f256):
+        from repro.synth import montgomery_squarer
+
+        counts = montgomery_squarer(f256).gate_counts()
+        assert "and" not in counts
+
+    def test_abstracts_to_scaled_square(self, f256):
+        from repro.core import abstract_circuit
+        from repro.synth import montgomery_squarer
+
+        result = abstract_circuit(montgomery_squarer(f256), f256)
+        r_inv = f256.inv(montgomery_r(f256))
+        assert result.polynomial == result.ring.var("A", 2).scale(r_inv)
+
+    def test_agrees_with_multiplier_block_on_diagonal(self, f16):
+        from repro.synth import montgomery_squarer
+
+        squarer = montgomery_squarer(f16)
+        block = montgomery_block(f16)
+        for a in range(16):
+            sq = simulate_words(squarer, {"A": [a]})["G"][0]
+            mul = simulate_words(block, {"A": [a], "B": [a]})["G"][0]
+            assert sq == mul

@@ -1,0 +1,75 @@
+"""Unit tests for truth-table synthesis and random workloads."""
+
+import random
+
+import pytest
+
+from repro.circuits import exhaustive_word_table
+from repro.gf import GF2m
+from repro.synth import (
+    random_netlist,
+    random_word_function,
+    synthesize_word_function,
+)
+
+
+class TestSynthesizeWordFunction:
+    def test_univariate_square(self, f4):
+        table = {(a,): f4.square(a) for a in range(4)}
+        circuit = synthesize_word_function(f4, table, 1)
+        realised = exhaustive_word_table(circuit, 2)
+        for (a,), value in table.items():
+            assert realised[(a,)]["Z"] == value
+
+    def test_bivariate_multiplication(self, f4):
+        table = {(a, b): f4.mul(a, b) for a in range(4) for b in range(4)}
+        circuit = synthesize_word_function(f4, table, 2)
+        realised = exhaustive_word_table(circuit, 2)
+        for point, value in table.items():
+            assert realised[point]["Z"] == value
+
+    def test_constant_function(self, f4):
+        table = {(a,): 3 for a in range(4)}
+        circuit = synthesize_word_function(f4, table, 1)
+        realised = exhaustive_word_table(circuit, 2)
+        assert all(out["Z"] == 3 for out in realised.values())
+
+    def test_incomplete_table_rejected(self, f4):
+        with pytest.raises(ValueError):
+            synthesize_word_function(f4, {(0,): 1}, 1)
+
+    def test_word_names(self, f4):
+        table = {(a, b): a ^ b for a in range(4) for b in range(4)}
+        circuit = synthesize_word_function(f4, table, 2)
+        assert list(circuit.input_words) == ["A", "B"]
+
+
+class TestRandomWordFunction:
+    def test_circuit_matches_returned_table(self, f4):
+        circuit, table = random_word_function(f4, 1, random.Random(1))
+        realised = exhaustive_word_table(circuit, 2)
+        for point, value in table.items():
+            assert realised[point]["Z"] == value
+
+    def test_two_inputs(self, f4):
+        circuit, table = random_word_function(f4, 2, random.Random(2))
+        realised = exhaustive_word_table(circuit, 2)
+        for point, value in table.items():
+            assert realised[point]["Z"] == value
+
+    def test_deterministic_with_seed(self, f4):
+        _, t1 = random_word_function(f4, 1, random.Random(9))
+        _, t2 = random_word_function(f4, 1, random.Random(9))
+        assert t1 == t2
+
+
+class TestRandomNetlist:
+    def test_valid_and_acyclic(self):
+        for seed in range(5):
+            circuit = random_netlist(4, 30, random.Random(seed))
+            circuit.validate()
+            assert circuit.num_gates() == 30
+
+    def test_has_outputs(self):
+        circuit = random_netlist(3, 8, random.Random(0))
+        assert circuit.outputs

@@ -1,0 +1,106 @@
+"""Unit tests for the SAT- and BDD-based equivalence baselines."""
+
+import random
+
+import pytest
+
+from repro.circuits import random_mutation, simulate_words, substitute_gate_type
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier, montgomery_multiplier
+from repro.verify import check_equivalence_bdd, check_equivalence_sat
+
+
+@pytest.fixture(scope="module", params=[2, 3, 4])
+def setup(request):
+    k = request.param
+    field = GF2m(k)
+    spec = mastrovito_multiplier(field)
+    impl = montgomery_multiplier(field).flatten()
+    return field, spec, impl
+
+
+class TestSatChecker:
+    def test_equivalent_pair(self, setup):
+        field, spec, impl = setup
+        outcome = check_equivalence_sat(
+            spec, impl, max_conflicts=500000, output_map={"G": "Z"}
+        )
+        assert outcome.equivalent
+        assert outcome.method == "sat-miter"
+        assert outcome.details["clauses"] > 0
+
+    def test_buggy_pair_with_valid_counterexample(self, setup):
+        field, spec, _ = setup
+        buggy, _ = random_mutation(
+            mastrovito_multiplier(field), random.Random(field.k)
+        )
+        outcome = check_equivalence_sat(spec, buggy, max_conflicts=500000)
+        assert outcome.status == "not_equivalent"
+        a, b = outcome.counterexample["A"], outcome.counterexample["B"]
+        spec_z = simulate_words(spec, {"A": [a], "B": [b]})["Z"][0]
+        bug_z = simulate_words(buggy, {"A": [a], "B": [b]})["Z"][0]
+        assert spec_z != bug_z
+
+    def test_budget_exhaustion_unknown(self):
+        field = GF2m(6)
+        spec = mastrovito_multiplier(field)
+        impl = montgomery_multiplier(field).flatten()
+        outcome = check_equivalence_sat(
+            spec, impl, max_conflicts=10, output_map={"G": "Z"}
+        )
+        assert outcome.status == "unknown"
+        assert not outcome.decided
+
+
+class TestBddChecker:
+    def test_equivalent_pair(self, setup):
+        field, spec, impl = setup
+        outcome = check_equivalence_bdd(
+            spec, impl, max_nodes=2_000_000, output_map={"G": "Z"}
+        )
+        assert outcome.equivalent
+        assert outcome.method == "bdd-miter"
+        assert outcome.details["nodes"] > 0
+
+    def test_buggy_pair_with_valid_counterexample(self, setup):
+        field, spec, _ = setup
+        buggy, _ = random_mutation(
+            mastrovito_multiplier(field), random.Random(field.k + 100)
+        )
+        outcome = check_equivalence_bdd(spec, buggy, max_nodes=2_000_000)
+        assert outcome.status == "not_equivalent"
+        a, b = outcome.counterexample["A"], outcome.counterexample["B"]
+        spec_z = simulate_words(spec, {"A": [a], "B": [b]})["Z"][0]
+        bug_z = simulate_words(buggy, {"A": [a], "B": [b]})["Z"][0]
+        assert spec_z != bug_z
+
+    def test_node_budget_unknown(self):
+        field = GF2m(8)
+        spec = mastrovito_multiplier(field)
+        impl = montgomery_multiplier(field).flatten()
+        outcome = check_equivalence_bdd(
+            spec, impl, max_nodes=500, output_map={"G": "Z"}
+        )
+        assert outcome.status == "unknown"
+
+    def test_word_interface_mismatch_rejected(self, f4, f16):
+        from repro.synth import gf_adder
+
+        with pytest.raises(ValueError):
+            check_equivalence_bdd(gf_adder(f4), gf_adder(f16))
+
+
+class TestSingleGateBugsAlwaysCaught:
+    """Sweep every gate of a small multiplier with a substitution error."""
+
+    def test_all_gate_substitutions_detected(self):
+        field = GF2m(2)
+        spec = mastrovito_multiplier(field)
+        for gate in spec.gates:
+            if gate.gate_type.value not in ("and", "xor"):
+                continue
+            buggy, _ = substitute_gate_type(spec, gate.output)
+            sat = check_equivalence_sat(spec, buggy, max_conflicts=100000)
+            bdd = check_equivalence_bdd(spec, buggy, max_nodes=100000)
+            assert sat.status == "not_equivalent", gate.output
+            assert bdd.status == "not_equivalent", gate.output

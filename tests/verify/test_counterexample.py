@@ -1,0 +1,55 @@
+"""Unit tests for counterexample extraction from polynomial differences."""
+
+import pytest
+
+from repro.core import word_ring_for
+from repro.gf import GF2m
+from repro.verify import find_nonzero_point
+
+
+class TestFindNonzeroPoint:
+    def test_zero_polynomial_has_no_witness(self, f16):
+        ring = word_ring_for(f16, ["A"])
+        assert find_nonzero_point(ring.zero()) is None
+
+    def test_constant_polynomial(self, f16):
+        ring = word_ring_for(f16, ["A"])
+        point = find_nonzero_point(ring.constant(3))
+        assert point == {"A": 0}
+
+    def test_univariate(self, f16):
+        ring = word_ring_for(f16, ["A"])
+        poly = ring.var("A") + ring.constant(5)
+        point = find_nonzero_point(poly)
+        assert poly.evaluate(point) != 0
+
+    def test_multivariate(self, f16):
+        ring = word_ring_for(f16, ["A", "B"])
+        poly = ring.var("A") * ring.var("B") + ring.var("A") + ring.var("B")
+        point = find_nonzero_point(poly)
+        assert poly.evaluate(point) != 0
+
+    def test_unused_variables_default_zero(self, f16):
+        ring = word_ring_for(f16, ["A", "B", "C"])
+        poly = ring.var("B") + 1
+        point = find_nonzero_point(poly)
+        assert point["A"] == 0 and point["C"] == 0
+        assert poly.evaluate(point) != 0
+
+    def test_sparse_function_found_exhaustively(self, f16):
+        # Nonzero only at A == 7: the indicator polynomial.
+        from repro.interp import indicator_polynomial
+
+        ring = word_ring_for(f16, ["A"])
+        poly = indicator_polynomial(ring, "A", 7)
+        point = find_nonzero_point(poly)
+        assert point == {"A": 7}
+
+    def test_random_sampling_path(self):
+        """Large domain forces the sampling branch."""
+        field = GF2m(12)
+        ring = word_ring_for(field, ["A", "B"])
+        poly = ring.var("A") * ring.var("B") + 1
+        point = find_nonzero_point(poly, exhaustive_limit=16)
+        assert point is not None
+        assert poly.evaluate(point) != 0

@@ -1,0 +1,148 @@
+"""Unit tests for the top-level abstraction-based verification flow."""
+
+import random
+
+import pytest
+
+from repro.circuits import random_mutation, simulate_words, substitute_gate_type
+from repro.gf import GF2m
+from repro.synth import (
+    gf_adder,
+    mastrovito_multiplier,
+    montgomery_block,
+    montgomery_multiplier,
+)
+from repro.verify import canonical_polynomial, verify_equivalence
+
+
+class TestMainFlow:
+    @pytest.mark.parametrize("k", [2, 3, 4, 8, 16])
+    def test_mastrovito_vs_montgomery_hierarchy(self, k):
+        """The paper's headline experiment at laptop scale."""
+        field = GF2m(k)
+        outcome = verify_equivalence(
+            mastrovito_multiplier(field), montgomery_multiplier(field), field
+        )
+        assert outcome.equivalent
+        assert outcome.details["spec_polynomial"] == "A*B"
+        assert outcome.details["impl_polynomial"] == "A*B"
+
+    def test_flat_vs_flat(self, f16):
+        outcome = verify_equivalence(
+            mastrovito_multiplier(f16),
+            montgomery_multiplier(f16).flatten(),
+            f16,
+        )
+        assert outcome.equivalent
+
+    def test_hierarchy_vs_hierarchy(self, f16):
+        outcome = verify_equivalence(
+            montgomery_multiplier(f16), montgomery_multiplier(f16), f16
+        )
+        assert outcome.equivalent
+
+    def test_different_functions_rejected(self, f16):
+        outcome = verify_equivalence(
+            mastrovito_multiplier(f16), gf_adder(f16), f16
+        )
+        assert outcome.status == "not_equivalent"
+        cex = outcome.counterexample
+        assert cex is not None
+        assert f16.mul(cex["A"], cex["B"]) != cex["A"] ^ cex["B"]
+
+    def test_montgomery_block_alone_differs_from_multiplier(self, f16):
+        """MontMul computes A*B*R^-1, not A*B: must be caught."""
+        outcome = verify_equivalence(
+            mastrovito_multiplier(f16), montgomery_block(f16), f16
+        )
+        assert outcome.status == "not_equivalent"
+
+
+class TestBuggyDesigns:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_bug_detected_with_counterexample(self, seed, f16):
+        spec = mastrovito_multiplier(f16)
+        buggy, mutation = random_mutation(
+            mastrovito_multiplier(f16), random.Random(seed)
+        )
+        outcome = verify_equivalence(spec, buggy, f16)
+        assert outcome.status == "not_equivalent", str(mutation)
+        a, b = outcome.counterexample["A"], outcome.counterexample["B"]
+        spec_z = simulate_words(spec, {"A": [a], "B": [b]})["Z"][0]
+        bug_z = simulate_words(buggy, {"A": [a], "B": [b]})["Z"][0]
+        assert spec_z != bug_z
+
+    def test_bug_in_hierarchy_block(self, f16):
+        spec = mastrovito_multiplier(f16)
+        impl = montgomery_multiplier(f16)
+        target = impl.blocks[2].circuit  # BLK_Mid
+        gate = next(g for g in target.gates if g.gate_type.value == "xor")
+        buggy_block, _ = substitute_gate_type(target, gate.output)
+        impl.blocks[2].circuit = buggy_block
+        outcome = verify_equivalence(spec, impl, f16)
+        assert outcome.status == "not_equivalent"
+
+    def test_exhaustive_single_gate_bugs_small(self):
+        field = GF2m(2)
+        spec = mastrovito_multiplier(field)
+        for gate in spec.gates:
+            if gate.gate_type.value not in ("and", "xor"):
+                continue
+            buggy, _ = substitute_gate_type(spec, gate.output)
+            outcome = verify_equivalence(spec, buggy, field)
+            assert outcome.status == "not_equivalent", gate.output
+
+
+class TestWordMapping:
+    def test_word_map_renames_inputs(self, f16):
+        impl = mastrovito_multiplier(f16)
+        impl.input_words["X"] = impl.input_words.pop("A")
+        impl.input_words["Y"] = impl.input_words.pop("B")
+        outcome = verify_equivalence(
+            mastrovito_multiplier(f16),
+            impl,
+            f16,
+            word_map={"X": "A", "Y": "B"},
+        )
+        assert outcome.equivalent
+
+    def test_mismatched_words_rejected(self, f16):
+        impl = mastrovito_multiplier(f16)
+        impl.input_words["X"] = impl.input_words.pop("A")
+        with pytest.raises(ValueError):
+            verify_equivalence(mastrovito_multiplier(f16), impl, f16)
+
+
+class TestCanonicalPolynomial:
+    def test_flat_circuit(self, f16):
+        poly, stats = canonical_polynomial(mastrovito_multiplier(f16), f16)
+        assert str(poly) == "A*B"
+        assert stats["case"] == 1
+        assert stats["gates"] > 0
+
+    def test_hierarchy(self, f16):
+        poly, stats = canonical_polynomial(montgomery_multiplier(f16), f16)
+        assert str(poly) == "A*B"
+        assert set(stats["blocks"]) == {"BLK_A", "BLK_B", "BLK_Mid", "BLK_Out"}
+
+    def test_details_include_polynomials(self, f16):
+        outcome = verify_equivalence(
+            mastrovito_multiplier(f16), montgomery_multiplier(f16), f16
+        )
+        assert outcome.details["spec_terms"] == 1
+        assert "blocks" in outcome.details["impl"]
+
+
+class TestOutcomeType:
+    def test_str_rendering(self, f16):
+        outcome = verify_equivalence(
+            mastrovito_multiplier(f16), gf_adder(f16), f16
+        )
+        text = str(outcome)
+        assert "not_equivalent" in text and "A=" in text
+
+    def test_bad_status_rejected(self):
+        from repro.verify import EquivalenceOutcome
+
+        with pytest.raises(ValueError):
+            EquivalenceOutcome("perhaps", "m")

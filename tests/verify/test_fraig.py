@@ -1,0 +1,86 @@
+"""Unit tests for the fraiging-based equivalence checker."""
+
+import random
+
+import pytest
+
+from repro.circuits import random_mutation, simulate_words
+from repro.gf import GF2m
+from repro.synth import (
+    karatsuba_multiplier,
+    mastrovito_multiplier,
+    montgomery_multiplier,
+)
+from repro.verify import check_equivalence_fraig
+
+
+class TestSimilarArchitectures:
+    def test_tree_vs_array_mastrovito(self, f256):
+        tree = mastrovito_multiplier(f256, tree=True)
+        array = mastrovito_multiplier(f256, tree=False)
+        outcome = check_equivalence_fraig(tree, array)
+        assert outcome.equivalent
+        assert outcome.method == "fraig-cec"
+
+    def test_identical_circuits_strash_away(self, f16):
+        spec = mastrovito_multiplier(f16)
+        outcome = check_equivalence_fraig(spec, spec.clone("copy"))
+        assert outcome.equivalent
+        # Structural hashing alone proves it: zero SAT queries needed for
+        # the outputs beyond the sweep.
+        assert outcome.details["and_nodes"] > 0
+
+    def test_karatsuba_vs_mastrovito_small(self):
+        field = GF2m(5)
+        outcome = check_equivalence_fraig(
+            mastrovito_multiplier(field),
+            karatsuba_multiplier(field, threshold=2),
+            max_conflicts_final=200_000,
+        )
+        assert outcome.equivalent
+
+
+class TestDissimilarArchitectures:
+    def test_montgomery_small(self):
+        field = GF2m(4)
+        outcome = check_equivalence_fraig(
+            mastrovito_multiplier(field),
+            montgomery_multiplier(field).flatten(),
+            output_map={"G": "Z"},
+            max_conflicts_final=200_000,
+        )
+        assert outcome.equivalent
+        # The paper's point: almost nothing merges across these designs.
+        assert outcome.details["merged"] < outcome.details["and_nodes"] / 4
+
+    def test_budget_exhaustion_unknown(self):
+        field = GF2m(8)
+        outcome = check_equivalence_fraig(
+            mastrovito_multiplier(field),
+            montgomery_multiplier(field).flatten(),
+            output_map={"G": "Z"},
+            max_conflicts_final=20,
+        )
+        assert outcome.status == "unknown"
+
+
+class TestBugDetection:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_counterexample_replays(self, seed):
+        field = GF2m(4)
+        spec = mastrovito_multiplier(field)
+        buggy, _ = random_mutation(mastrovito_multiplier(field), random.Random(seed))
+        outcome = check_equivalence_fraig(spec, buggy, max_conflicts_final=100_000)
+        assert outcome.status == "not_equivalent"
+        a, b = outcome.counterexample["A"], outcome.counterexample["B"]
+        spec_z = simulate_words(spec, {"A": [a], "B": [b]})["Z"][0]
+        bug_z = simulate_words(buggy, {"A": [a], "B": [b]})["Z"][0]
+        assert spec_z != bug_z
+
+
+class TestInterfaceChecks:
+    def test_word_mismatch_rejected(self, f16, f256):
+        from repro.synth import gf_adder
+
+        with pytest.raises(ValueError):
+            check_equivalence_fraig(gf_adder(f16), gf_adder(f256))

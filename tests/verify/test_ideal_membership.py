@@ -1,0 +1,109 @@
+"""Unit tests for the Lv-style ideal-membership baseline."""
+
+import random
+
+import pytest
+
+from repro.circuits import random_mutation, simulate_words
+from repro.core import word_ring_for
+from repro.gf import GF2m
+from repro.synth import (
+    gf_adder,
+    gf_squarer,
+    mastrovito_multiplier,
+    montgomery_block,
+    montgomery_multiplier,
+    montgomery_r,
+)
+from repro.verify import check_ideal_membership
+
+
+class TestCorrectCircuits:
+    @pytest.mark.parametrize("k", [2, 3, 4, 8])
+    def test_mastrovito_against_ab(self, k):
+        field = GF2m(k)
+        ring = word_ring_for(field, ["A", "B"])
+        spec = ring.var("A") * ring.var("B")
+        outcome = check_ideal_membership(mastrovito_multiplier(field), field, spec)
+        assert outcome.equivalent
+        assert outcome.details["remainder_terms"] == 0
+
+    def test_adder_against_sum(self, f16):
+        ring = word_ring_for(f16, ["A", "B"])
+        outcome = check_ideal_membership(
+            gf_adder(f16), f16, ring.var("A") + ring.var("B")
+        )
+        assert outcome.equivalent
+
+    def test_squarer_against_a2(self, f16):
+        ring = word_ring_for(f16, ["A"])
+        outcome = check_ideal_membership(gf_squarer(f16), f16, ring.var("A", 2))
+        assert outcome.equivalent
+
+    def test_montgomery_block_against_abrinv(self, f16):
+        ring = word_ring_for(f16, ["A", "B"])
+        r_inv = f16.inv(montgomery_r(f16))
+        spec = (ring.var("A") * ring.var("B")).scale(r_inv)
+        outcome = check_ideal_membership(montgomery_block(f16), f16, spec)
+        assert outcome.equivalent
+
+    def test_flattened_montgomery_against_ab(self, f16):
+        """The expensive case for [5]: the whole flattened cascade."""
+        ring = word_ring_for(f16, ["A", "B"])
+        flat = montgomery_multiplier(f16).flatten()
+        outcome = check_ideal_membership(
+            flat, f16, ring.var("A") * ring.var("B"), output_word="G"
+        )
+        assert outcome.equivalent
+
+
+class TestWrongSpecs:
+    def test_multiplier_is_not_an_adder(self, f16):
+        ring = word_ring_for(f16, ["A", "B"])
+        outcome = check_ideal_membership(
+            mastrovito_multiplier(f16), f16, ring.var("A") + ring.var("B")
+        )
+        assert outcome.status == "not_equivalent"
+
+    def test_counterexample_is_valid(self, f16):
+        ring = word_ring_for(f16, ["A", "B"])
+        buggy, _ = random_mutation(mastrovito_multiplier(f16), random.Random(1))
+        spec = ring.var("A") * ring.var("B")
+        outcome = check_ideal_membership(buggy, f16, spec)
+        assert outcome.status == "not_equivalent"
+        if outcome.counterexample is not None:
+            a = outcome.counterexample["A"]
+            b = outcome.counterexample["B"]
+            got = simulate_words(buggy, {"A": [a], "B": [b]})["Z"][0]
+            assert got != f16.mul(a, b)
+
+    def test_every_gate_bug_detected(self):
+        field = GF2m(3)
+        ring = word_ring_for(field, ["A", "B"])
+        spec = ring.var("A") * ring.var("B")
+        golden = mastrovito_multiplier(field)
+        from repro.circuits import substitute_gate_type
+
+        for gate in golden.gates:
+            if gate.gate_type.value not in ("and", "xor"):
+                continue
+            buggy, _ = substitute_gate_type(golden, gate.output)
+            outcome = check_ideal_membership(buggy, field, spec)
+            assert outcome.status == "not_equivalent", gate.output
+
+
+class TestDiagnostics:
+    def test_stats_populated(self, f16):
+        ring = word_ring_for(f16, ["A", "B"])
+        outcome = check_ideal_membership(
+            mastrovito_multiplier(f16), f16, ring.var("A") * ring.var("B")
+        )
+        assert outcome.details["substitutions"] > 0
+        assert outcome.details["peak_terms"] > 0
+
+    def test_multi_output_needs_name(self, f16):
+        flat = montgomery_multiplier(f16).flatten()
+        flat.add_output_word("G2", flat.output_words["G"])
+        ring = word_ring_for(f16, ["A", "B"])
+        with pytest.raises(ValueError):
+            check_ideal_membership(flat, f16, ring.var("A") * ring.var("B"))

@@ -1,0 +1,66 @@
+"""Unit tests for miter construction."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import simulate, simulate_words
+from repro.gf import GF2m
+from repro.synth import gf_adder, mastrovito_multiplier, montgomery_multiplier
+from repro.verify import build_miter
+
+from ..circuits.test_circuit import two_bit_multiplier
+
+
+class TestBuildMiter:
+    def test_diff_zero_for_identical_circuits(self, f4):
+        c = two_bit_multiplier()
+        miter, diff = build_miter(c, c.clone("copy"))
+        for bits in itertools.product((0, 1), repeat=4):
+            stim = {f"A_{i}": bits[i] for i in range(2)}
+            stim.update({f"B_{i}": bits[2 + i] for i in range(2)})
+            assert simulate(miter, stim)[diff] == 0
+
+    def test_diff_fires_on_differing_circuits(self, f4):
+        mult = two_bit_multiplier()
+        add = gf_adder(f4)
+        # Rename adder output word to match.
+        add.output_words["Z"] = add.output_words.pop("Z")
+        miter, diff = build_miter(mult, add)
+        fired = False
+        for bits in itertools.product((0, 1), repeat=4):
+            stim = {f"A_{i}": bits[i] for i in range(2)}
+            stim.update({f"B_{i}": bits[2 + i] for i in range(2)})
+            if simulate(miter, stim)[diff]:
+                fired = True
+        assert fired
+
+    def test_shared_inputs_are_word_named(self, f4):
+        miter, _ = build_miter(two_bit_multiplier(), two_bit_multiplier())
+        assert set(miter.inputs) == {"A_0", "A_1", "B_0", "B_1"}
+        assert miter.input_words == {"A": ["A_0", "A_1"], "B": ["B_0", "B_1"]}
+
+    def test_mismatched_inputs_rejected(self, f4, f16):
+        with pytest.raises(ValueError):
+            build_miter(two_bit_multiplier(), gf_adder(f16))
+
+    def test_output_map(self, f4):
+        field = GF2m(2)
+        spec = mastrovito_multiplier(field)
+        impl = montgomery_multiplier(field).flatten()
+        miter, diff = build_miter(spec, impl, output_map={"G": "Z"})
+        for bits in itertools.product((0, 1), repeat=4):
+            stim = {f"A_{i}": bits[i] for i in range(2)}
+            stim.update({f"B_{i}": bits[2 + i] for i in range(2)})
+            assert simulate(miter, stim)[diff] == 0
+
+    def test_width_mismatch_rejected(self, f4):
+        c1 = two_bit_multiplier()
+        c2 = two_bit_multiplier()
+        c2.input_words["A"] = c2.input_words["A"][:1]
+        with pytest.raises(ValueError):
+            build_miter(c1, c2)
+
+    def test_miter_validates(self, f4):
+        miter, _ = build_miter(two_bit_multiplier(), two_bit_multiplier())
+        miter.validate()
