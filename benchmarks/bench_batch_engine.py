@@ -1,0 +1,105 @@
+"""Batch engine — parallel speedup and cache effectiveness on Table-1 pairs.
+
+Ports the Table 1/2-style verification sweep through ``repro.jobs``: a
+manifest of Mastrovito-vs-{Montgomery, Karatsuba} verify jobs runs three
+ways —
+
+1. ``--jobs 1`` with a cold cache (the sequential baseline),
+2. ``--jobs N`` with a cold cache (parallel speedup; the spec abstraction
+   is still computed once per distinct netlist thanks to per-key locking),
+3. ``--jobs N`` again on the now-warm cache (every abstraction is a hit;
+   only coefficient matching remains).
+
+The reported row is wall-clock per configuration plus the measured
+speedup and the warm run's cache-hit count.
+"""
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.circuits import write_verilog
+from repro.gf import GF2m
+from repro.jobs import load_manifest, run_batch
+from repro.synth import (
+    karatsuba_multiplier,
+    mastrovito_multiplier,
+    montgomery_multiplier,
+)
+
+from .conftest import FAST, report_row
+
+TABLE = "Batch engine: parallel verification of Table-1 multiplier pairs"
+
+SIZES = [8, 16] if FAST else [8, 16, 24, 32]
+WORKERS = max(2, min(4, multiprocessing.cpu_count()))
+
+
+def _build_manifest(tmp_path):
+    jobs = []
+    for k in SIZES:
+        field = GF2m(k)
+        spec_path = tmp_path / f"mastrovito_{k}.v"
+        write_verilog(mastrovito_multiplier(field), str(spec_path))
+        for arch, builder in (
+            ("montgomery", lambda f: montgomery_multiplier(f).flatten()),
+            ("karatsuba", karatsuba_multiplier),
+        ):
+            impl_path = tmp_path / f"{arch}_{k}.v"
+            write_verilog(builder(field), str(impl_path))
+            jobs.append(
+                {
+                    "id": f"{arch}-vs-mastrovito-k{k}",
+                    "type": "verify",
+                    "spec": spec_path.name,
+                    "impl": impl_path.name,
+                    "k": k,
+                }
+            )
+    manifest_path = tmp_path / "manifest.json"
+    manifest_path.write_text(json.dumps({"jobs": jobs}, indent=2))
+    return manifest_path, len(jobs)
+
+
+def test_batch_engine_speedup(benchmark, tmp_path):
+    manifest_path, num_jobs = _build_manifest(tmp_path)
+    manifest = load_manifest(str(manifest_path))
+    cold_serial_dir = tmp_path / "cache-serial"
+    cold_parallel_dir = tmp_path / "cache-parallel"
+
+    t0 = time.perf_counter()
+    serial = run_batch(manifest, workers=1, cache_dir=str(cold_serial_dir))
+    serial_seconds = time.perf_counter() - t0
+    assert serial.ok and all(r["verdict"] == "equivalent" for r in serial.results)
+
+    def run_parallel_cold():
+        return run_batch(manifest, workers=WORKERS, cache_dir=str(cold_parallel_dir))
+
+    parallel = benchmark.pedantic(run_parallel_cold, rounds=1, iterations=1)
+    parallel_seconds = parallel.wall_seconds
+    assert parallel.ok
+
+    t1 = time.perf_counter()
+    warm = run_batch(manifest, workers=WORKERS, cache_dir=str(cold_parallel_dir))
+    warm_seconds = time.perf_counter() - t1
+    assert warm.ok
+    assert warm.cache_hits == 2 * num_jobs, "warm run must hit on every abstraction"
+
+    benchmark.extra_info["jobs"] = num_jobs
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["speedup"] = round(serial_seconds / parallel_seconds, 2)
+    report_row(
+        TABLE,
+        {
+            "jobs": num_jobs,
+            "workers": WORKERS,
+            "serial_s": f"{serial_seconds:.2f}",
+            "parallel_s": f"{parallel_seconds:.2f}",
+            "speedup": f"{serial_seconds / parallel_seconds:.2f}x",
+            "warm_s": f"{warm_seconds:.2f}",
+            "warm_hits": warm.cache_hits,
+            "warm_misses": warm.cache_misses,
+        },
+    )

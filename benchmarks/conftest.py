@@ -10,6 +10,9 @@ Environment knobs:
 - ``REPRO_BENCH_NIST=1``  — extend Table 1/2 sweeps to the NIST ECC field
   sizes (163..571); several minutes of runtime.
 - ``REPRO_BENCH_FAST=1``  — shrink every sweep for smoke-testing.
+- ``REPRO_BENCH_OUT=path`` — write the result tables there instead of
+  ``benchmarks/results.json`` (CI and batch runs must not clobber the
+  checked-in baseline).
 """
 
 import json
@@ -80,7 +83,11 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
             tr.write_line(
                 "  ".join(str(row.get(c, "")).rjust(widths[c]) for c in columns)
             )
-    out_path = Path(__file__).parent / "results.json"
+    out_override = os.environ.get("REPRO_BENCH_OUT")
+    out_path = (
+        Path(out_override) if out_override else Path(__file__).parent / "results.json"
+    )
+    out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(_TABLES, indent=2, default=str) + "\n")
     tr.write_line("")
     tr.write_line(f"tables written to {out_path}")

@@ -11,6 +11,7 @@ from .mutate import (
     substitute_gate_type,
     swap_gate_inputs,
 )
+from .io import read_netlist, sniff_netlist_format
 from .simulate import exhaustive_word_table, simulate, simulate_words
 from .verilog import from_verilog, read_verilog, to_verilog, write_verilog
 
@@ -39,4 +40,6 @@ __all__ = [
     "from_blif",
     "write_blif",
     "read_blif",
+    "read_netlist",
+    "sniff_netlist_format",
 ]

@@ -1,0 +1,60 @@
+"""Format-agnostic netlist loading.
+
+``read_netlist`` picks the parser by file extension (``.blif`` / ``.v``)
+and falls back to *content sniffing* for anything else: a BLIF file opens
+with a ``.model`` directive, a structural-Verilog file with a ``module``
+header. Unrecognisable content raises :class:`CircuitError` with a
+diagnostic instead of letting the wrong parser crash mid-file — the CLI
+and the batch engine both route every netlist load through here.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .blif import read_blif
+from .circuit import Circuit, CircuitError
+from .verilog import read_verilog
+
+__all__ = ["read_netlist", "sniff_netlist_format"]
+
+
+def sniff_netlist_format(text: str) -> "str | None":
+    """``"blif"``, ``"verilog"`` or None, judged from the first directive.
+
+    Comment lines (``#`` for BLIF, ``//`` for Verilog) and blank lines are
+    skipped; the first remaining token decides.
+    """
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#") or stripped.startswith("//"):
+            continue
+        token = stripped.split()[0]
+        if token in (".model", ".inputs", ".outputs", ".names"):
+            return "blif"
+        if token == "module":
+            return "verilog"
+        return None
+    return None
+
+
+def read_netlist(path: str) -> Circuit:
+    """Load a netlist, choosing the parser by extension or content."""
+    if not os.path.exists(path):
+        raise CircuitError(f"netlist file not found: {path}")
+    if path.endswith(".blif"):
+        return read_blif(path)
+    if path.endswith(".v"):
+        return read_verilog(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    fmt = sniff_netlist_format(text)
+    if fmt == "blif":
+        return read_blif(path)
+    if fmt == "verilog":
+        return read_verilog(path)
+    raise CircuitError(
+        f"cannot determine netlist format of {path!r}: expected a BLIF "
+        f"'.model' header or a Verilog 'module' header (or use a .blif/.v "
+        f"file extension)"
+    )

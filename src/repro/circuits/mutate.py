@@ -97,10 +97,17 @@ def rewire_gate_input(
 
 
 def random_mutation(
-    circuit: Circuit, rng: Optional[random.Random] = None
+    circuit: Circuit,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
 ) -> "tuple[Circuit, Mutation]":
-    """Inject one random gate-substitution error at a mutable gate."""
-    rng = rng or random.Random()
+    """Inject one random gate-substitution error at a mutable gate.
+
+    Pass ``rng`` (or the convenience ``seed``) for reproducible error
+    populations; the default remains nondeterministic.
+    """
+    if rng is None:
+        rng = random.Random(seed) if seed is not None else random.Random()
     candidates: List[str] = [
         gate.output
         for gate in circuit.gates

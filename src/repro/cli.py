@@ -8,10 +8,14 @@ Usage (also via ``python -m repro``)::
     repro abstract spec.v -k 16
     repro verify spec.v impl.v -k 16 [--method abstraction|sat|fraig|bdd]
     repro check-spec impl.v -k 16 --spec "A*B"    # Lv-style membership test
+    repro batch manifest.json --jobs 4 --timeout 120 --cache-dir .repro-cache
+    repro cache stats
+    repro cache clear
 
 Netlists are the structural-Verilog subset (``.v``) or BLIF (``.blif``)
 this library writes; word annotations travel in comments, so generated
-files round-trip with full word-level information.
+files round-trip with full word-level information. Files with other
+extensions are content-sniffed (BLIF ``.model`` vs Verilog ``module``).
 """
 
 from __future__ import annotations
@@ -20,7 +24,13 @@ import argparse
 import sys
 from typing import Optional
 
-from .circuits import Circuit, read_blif, read_verilog, write_blif, write_verilog
+from .circuits import (
+    Circuit,
+    CircuitError,
+    read_netlist,
+    write_blif,
+    write_verilog,
+)
 from .core import abstract_circuit
 from .gf import GF2m, poly2
 from .synth import (
@@ -54,9 +64,7 @@ GENERATORS = {
 
 
 def _read_netlist(path: str) -> Circuit:
-    if path.endswith(".blif"):
-        return read_blif(path)
-    return read_verilog(path)
+    return read_netlist(path)
 
 
 def _write_netlist(circuit: Circuit, path: str) -> None:
@@ -122,7 +130,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         if len(spec_out) == len(impl_out) == 1:
             output_map = {impl_out[0]: spec_out[0]}
     if args.method == "abstraction":
-        outcome = verify_equivalence(spec, impl, field)
+        outcome = verify_equivalence(spec, impl, field, seed=args.seed)
     elif args.method == "sat":
         outcome = check_equivalence_sat(
             spec, impl, max_conflicts=args.budget, output_map=output_map
@@ -154,6 +162,62 @@ def _cmd_check_spec(args: argparse.Namespace) -> int:
     print(f"spec: Z = {spec}")
     print(outcome)
     return 0 if outcome.equivalent else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .jobs import default_cache_dir, load_manifest, run_batch
+
+    manifest = load_manifest(args.manifest)
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or str(default_cache_dir())
+    report = run_batch(
+        manifest,
+        workers=args.jobs,
+        cache_dir=cache_dir,
+        default_timeout=args.timeout,
+        log_path=args.log,
+        seed=args.seed,
+        retries=args.retries,
+    )
+    for result in report.results:
+        verdict = result.get("verdict", "")
+        extra = f"  {verdict}" if verdict else ""
+        seconds = result.get("seconds")
+        timing = f"  {seconds:.3f}s" if isinstance(seconds, (int, float)) else ""
+        error = result.get("error")
+        note = f"  ({error})" if error and result["status"] != "ok" else ""
+        print(f"{result['id']:<24} {result['status']:<8}{extra}{timing}{note}")
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(report.counts.items()))
+    print(
+        f"batch: {len(report.results)} job(s) on {report.workers} worker(s) "
+        f"in {report.wall_seconds:.2f}s  [{counts}]"
+    )
+    if cache_dir:
+        print(
+            f"cache: {report.cache_hits} hit(s), {report.cache_misses} miss(es) "
+            f"({cache_dir})"
+        )
+    if report.log_path:
+        print(f"run log: {report.log_path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .jobs import CanonicalPolyCache, default_cache_dir
+
+    cache = CanonicalPolyCache(args.cache_dir or default_cache_dir())
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached polynomial(s) from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache dir: {stats['cache_dir']}")
+    print(f"entries:   {stats['entries']}")
+    print(f"size:      {stats['bytes'] / 1024.0:.1f} KiB")
+    print(f"hits:      {stats['hits']}")
+    print(f"misses:    {stats['misses']}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -201,7 +265,78 @@ def build_parser() -> argparse.ArgumentParser:
         default=1_000_000,
         help="SAT conflict / BDD node budget for the bit-level methods",
     )
+    verify.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed for the randomized counterexample search (reproducible runs)",
+    )
     verify.set_defaults(func=_cmd_verify)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a manifest of verification jobs on a parallel worker pool",
+    )
+    batch.add_argument("manifest", help="JSON job manifest (see repro.jobs)")
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="W",
+        help="number of worker processes (default 1)",
+    )
+    batch.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help="per-job wall-clock deadline in seconds (default 300; "
+        "manifest jobs may override)",
+    )
+    batch.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="D",
+        help="canonical-polynomial cache directory "
+        "(default $REPRO_CACHE_DIR or ~/.cache/repro/canonical)",
+    )
+    batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the canonical-polynomial cache for this run",
+    )
+    batch.add_argument(
+        "--log",
+        default=None,
+        metavar="PATH",
+        help="JSONL run log path (default: no log file)",
+    )
+    batch.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed; job i uses seed+i for its counterexample search",
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="crash retries per job (overrides manifest; default 1)",
+    )
+    batch.set_defaults(func=_cmd_batch)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the canonical-polynomial cache"
+    )
+    cache.add_argument("cache_command", choices=["stats", "clear"])
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="D",
+        help="cache directory (default $REPRO_CACHE_DIR or "
+        "~/.cache/repro/canonical)",
+    )
+    cache.set_defaults(func=_cmd_cache)
 
     check_spec = sub.add_parser(
         "check-spec",
@@ -221,7 +356,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    from .jobs.manifest import ManifestError
+
+    try:
+        return args.func(args)
+    except (CircuitError, ManifestError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

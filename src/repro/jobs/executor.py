@@ -1,0 +1,288 @@
+"""In-worker job execution with per-phase timings and cache integration.
+
+:func:`execute_job` runs one :class:`~repro.jobs.manifest.BatchJob` (passed
+as a plain dict so it crosses the process boundary cheaply) and returns a
+JSON-serialisable result record. The phases mirror the paper's pipeline:
+
+``parse``
+    Netlist reading (BLIF / structural Verilog).
+``rato_setup``
+    Building the Refined Abstraction Term Order (Definition 5.1).
+``spoly_reduction``
+    The guided reduction ``Spoly(f_w, f_g) ->_{F, F0}+ r`` plus Case-2
+    finishing — the dominant cost.
+``coeff_match``
+    Re-homing both canonical polynomials into a shared ring and comparing
+    coefficients (plus counterexample search on mismatch).
+
+Canonical polynomials route through the content-addressed cache when a
+``cache_dir`` is given: a warm hit skips ``rato_setup`` and
+``spoly_reduction`` entirely, which is exactly what the run log's phase
+records make visible.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import resource
+import time
+from typing import Dict, Optional, Tuple
+
+from ..algebra import parse_polynomial
+from ..circuits import Circuit, read_netlist
+from ..core import abstract_circuit, build_rato, word_ring_for
+from ..gf import GF2m
+from ..verify import check_ideal_membership, find_nonzero_point
+from ..verify.equivalence import counterexample_by_simulation
+from .cache import (
+    CanonicalPolyCache,
+    canonical_cache_key,
+    polynomial_payload,
+    rehydrate_polynomial,
+)
+
+__all__ = ["execute_job"]
+
+#: Polynomials larger than this many characters are elided in result
+#: records — buggy Case-2 abstractions can be astronomically dense, and the
+#: run log should stay grep-able.
+_MAX_POLY_CHARS = 2000
+
+
+def _peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _field_for(params: Dict) -> GF2m:
+    modulus = params.get("modulus")
+    if isinstance(modulus, str):
+        modulus = int(modulus, 0)
+    return GF2m(int(params["k"]), modulus=modulus)
+
+
+def _poly_str(polynomial, output_word: str) -> str:
+    text = f"{output_word} = {polynomial}"
+    if len(text) > _MAX_POLY_CHARS:
+        return text[:_MAX_POLY_CHARS] + f"... [{len(polynomial)} terms]"
+    return text
+
+
+def _cached_canonical(
+    circuit: Circuit,
+    field: GF2m,
+    case2: str,
+    output_word: Optional[str],
+    cache: Optional[CanonicalPolyCache],
+    phases: Dict[str, float],
+) -> Tuple[Dict, bool]:
+    """Canonical-polynomial payload for a flat circuit, cache-aware.
+
+    Returns ``(payload, hit)``; on a miss the RATO and reduction phase
+    timings accumulate into ``phases``.
+    """
+
+    def compute() -> Dict:
+        t0 = time.perf_counter()
+        words = [output_word] if output_word else None
+        ordering = build_rato(circuit, output_words=words)
+        phases["rato_setup"] = phases.get("rato_setup", 0.0) + (
+            time.perf_counter() - t0
+        )
+        t1 = time.perf_counter()
+        result = abstract_circuit(
+            circuit, field, output_word=output_word, case2=case2, ordering=ordering
+        )
+        phases["spoly_reduction"] = phases.get("spoly_reduction", 0.0) + (
+            time.perf_counter() - t1
+        )
+        return polynomial_payload(result)
+
+    if cache is None:
+        return compute(), False
+    key = canonical_cache_key(circuit, field, case2=case2, output_word=output_word)
+    return cache.get_or_compute(key, compute)
+
+
+def _run_verify(
+    params: Dict,
+    cache: Optional[CanonicalPolyCache],
+    phases: Dict[str, float],
+    counters: Dict[str, int],
+    seed: Optional[int],
+) -> Dict:
+    field = _field_for(params)
+    case2 = params.get("case2", "linearized")
+
+    t0 = time.perf_counter()
+    spec = read_netlist(params["spec"])
+    impl = read_netlist(params["impl"])
+    phases["parse"] = time.perf_counter() - t0
+
+    spec_payload, spec_hit = _cached_canonical(
+        spec, field, case2, None, cache, phases
+    )
+    impl_payload, impl_hit = _cached_canonical(
+        impl, field, case2, None, cache, phases
+    )
+    counters["hits"] += int(spec_hit) + int(impl_hit)
+    counters["misses"] += int(not spec_hit) + int(not impl_hit)
+
+    t1 = time.perf_counter()
+    spec_poly = rehydrate_polynomial(spec_payload, field)
+    impl_poly = rehydrate_polynomial(impl_payload, field)
+    shared_words = sorted(spec_payload["input_words"])
+    if sorted(impl_payload["input_words"]) != shared_words:
+        raise ValueError(
+            f"input words do not match: spec {shared_words}, "
+            f"impl {sorted(impl_payload['input_words'])}"
+        )
+    ring = word_ring_for(field, shared_words)
+
+    def rehome(poly):
+        source = poly.ring
+        data = {}
+        for monomial, coeff in poly.terms.items():
+            key = tuple(
+                sorted((ring.index[source.variables[v]], e) for v, e in monomial)
+            )
+            data[key] = coeff
+        return type(poly)(ring, data)
+
+    spec_canonical = rehome(spec_poly)
+    impl_canonical = rehome(impl_poly)
+    equivalent = spec_canonical == impl_canonical
+    counterexample = None
+    if not equivalent:
+        rng = random.Random(0xDAC14 if seed is None else seed)
+        counterexample = counterexample_by_simulation(
+            spec, impl, field, shared_words, {}, rng=rng
+        )
+        if counterexample is None:
+            counterexample = find_nonzero_point(
+                spec_canonical + impl_canonical,
+                exhaustive_limit=1 << 12,
+                samples=500,
+                rng=random.Random(2014 if seed is None else seed + 1),
+            )
+    phases["coeff_match"] = time.perf_counter() - t1
+    return {
+        "verdict": "equivalent" if equivalent else "not_equivalent",
+        "counterexample": counterexample,
+        "spec_polynomial": _poly_str(spec_canonical, spec_payload["output_word"]),
+        "spec_terms": len(spec_canonical),
+        "impl_terms": len(impl_canonical),
+        "spec_cache_hit": spec_hit,
+        "impl_cache_hit": impl_hit,
+        "spec_case": spec_payload["stats"]["case"],
+        "impl_case": impl_payload["stats"]["case"],
+    }
+
+
+def _run_abstract(
+    params: Dict,
+    cache: Optional[CanonicalPolyCache],
+    phases: Dict[str, float],
+    counters: Dict[str, int],
+) -> Dict:
+    field = _field_for(params)
+    case2 = params.get("case2", "linearized")
+    t0 = time.perf_counter()
+    circuit = read_netlist(params["netlist"])
+    phases["parse"] = time.perf_counter() - t0
+    payload, hit = _cached_canonical(
+        circuit, field, case2, params.get("output_word"), cache, phases
+    )
+    counters["hits"] += int(hit)
+    counters["misses"] += int(not hit)
+    polynomial = rehydrate_polynomial(payload, field)
+    return {
+        "polynomial": _poly_str(polynomial, payload["output_word"]),
+        "terms": len(polynomial),
+        "case": payload["stats"]["case"],
+        "cache_hit": hit,
+        "abstraction_stats": payload["stats"],
+    }
+
+
+def _run_check_spec(params: Dict, phases: Dict[str, float]) -> Dict:
+    field = _field_for(params)
+    t0 = time.perf_counter()
+    circuit = read_netlist(params["netlist"])
+    phases["parse"] = time.perf_counter() - t0
+    ring = word_ring_for(field, sorted(circuit.input_words))
+    spec = parse_polynomial(params["spec_poly"], ring)
+    t1 = time.perf_counter()
+    outcome = check_ideal_membership(
+        circuit, field, spec, output_word=params.get("output_word")
+    )
+    phases["spoly_reduction"] = time.perf_counter() - t1
+    return {
+        "verdict": outcome.status,
+        "counterexample": outcome.counterexample,
+        "spec_polynomial": str(spec),
+        "details": {
+            k: v
+            for k, v in outcome.details.items()
+            if isinstance(v, (int, float, str))
+        },
+    }
+
+
+def _run_sleep(params: Dict) -> Dict:
+    time.sleep(float(params["seconds"]))
+    return {"slept": float(params["seconds"])}
+
+
+def _run_crash(params: Dict, attempt: int) -> Dict:
+    fail_attempts = int(params.get("fail_attempts", 1 << 30))
+    if attempt <= fail_attempts:
+        os._exit(66)  # simulate a hard worker death (OOM-kill / segfault)
+    return {"survived_attempt": attempt}
+
+
+def execute_job(
+    job: Dict,
+    cache_dir: Optional[str] = None,
+    attempt: int = 1,
+    seed: Optional[int] = None,
+) -> Dict:
+    """Run one batch job in-process and return its result record.
+
+    Exceptions propagate — the pool wrapper converts them to ``failed``
+    records; hard process deaths (the ``crash`` self-test, real OOM kills)
+    surface to the parent as missing results and are retried there.
+    """
+    params = job.get("params", {})
+    phases: Dict[str, float] = {}
+    counters = {"hits": 0, "misses": 0}
+    cache = CanonicalPolyCache(cache_dir) if cache_dir else None
+    job_seed = job.get("seed") if job.get("seed") is not None else seed
+
+    start = time.perf_counter()
+    job_type = job["type"]
+    if job_type == "verify":
+        body = _run_verify(params, cache, phases, counters, job_seed)
+    elif job_type == "abstract":
+        body = _run_abstract(params, cache, phases, counters)
+    elif job_type == "check-spec":
+        body = _run_check_spec(params, phases)
+    elif job_type == "sleep":
+        body = _run_sleep(params)
+    elif job_type == "crash":
+        body = _run_crash(params, attempt)
+    else:
+        raise ValueError(f"unknown job type {job_type!r}")
+
+    result = {
+        "id": job["id"],
+        "type": job_type,
+        "status": "ok",
+        "attempt": attempt,
+        "seconds": time.perf_counter() - start,
+        "phases": {k: round(v, 6) for k, v in phases.items()},
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "cache": dict(counters),
+    }
+    result.update(body)
+    return result

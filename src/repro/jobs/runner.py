@@ -1,0 +1,327 @@
+"""Parallel batch engine: process-per-job pool with deadlines and retries.
+
+The verification workload is embarrassingly parallel across instances
+(cf. Yu & Ciesielski's parallel GF-multiplier verification), so the engine
+simply keeps up to ``workers`` single-job OS processes alive at once. One
+process per job buys the three failure-isolation properties the engine
+guarantees:
+
+- **wall-clock deadlines** — a job past its timeout is SIGTERM'd (then
+  SIGKILL'd) and reported ``timeout`` while its siblings keep running;
+- **crash containment** — a worker that dies without reporting (hard
+  ``os._exit``, segfault, OOM-kill) marks only that job ``crashed`` and is
+  retried up to ``retries`` times before the job is declared failed;
+- **memory hygiene** — per-job peak RSS is measured in the worker itself,
+  and a runaway job cannot bloat the parent or its siblings.
+
+Results stream to a JSONL run log as they land: a ``start`` record, one
+``job`` record per attempt outcome, and a final ``summary`` with verdict /
+status counts, aggregate cache hits, and wall time.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional
+
+from .cache import CanonicalPolyCache
+from .executor import execute_job
+from .manifest import BatchManifest
+
+__all__ = ["BatchReport", "run_batch"]
+
+_POLL_INTERVAL = 0.02
+_KILL_GRACE = 2.0
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one batch run."""
+
+    results: List[Dict] = dataclass_field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    log_path: Optional[str] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result["status"]] = counts.get(result["status"], 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        return all(result["status"] == "ok" for result in self.results)
+
+
+def _worker_main(job: Dict, conn, cache_dir: Optional[str], attempt: int, seed) -> None:
+    """Entry point of a single-job worker process."""
+    try:
+        result = execute_job(job, cache_dir=cache_dir, attempt=attempt, seed=seed)
+    except BaseException as exc:  # noqa: BLE001 — any failure becomes a record
+        result = {
+            "id": job["id"],
+            "type": job["type"],
+            "status": "failed",
+            "attempt": attempt,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+    try:
+        conn.send(result)
+        conn.close()
+    except (BrokenPipeError, OSError):  # parent already gave up on us
+        pass
+
+
+class _RunLog:
+    """Append-only JSONL writer (no-op when no path is given)."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self._handle = None
+        if path:
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(path, "w", encoding="utf-8")
+
+    def write(self, record: Dict) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(record, default=str) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+@dataclass
+class _Running:
+    job: Dict
+    process: multiprocessing.Process
+    conn: "multiprocessing.connection.Connection"
+    deadline: Optional[float]
+    attempt: int
+    started: float
+    job_seed: Optional[int]
+    max_retries: int
+
+
+def run_batch(
+    manifest: BatchManifest,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    default_timeout: Optional[float] = 300.0,
+    log_path: Optional[str] = None,
+    seed: Optional[int] = None,
+    retries: Optional[int] = None,
+) -> BatchReport:
+    """Run every job of ``manifest`` on a pool of ``workers`` processes.
+
+    ``default_timeout``/``retries`` apply to jobs that do not override them
+    in the manifest; ``seed`` derives a distinct deterministic per-job seed
+    (``seed + job index``) for the randomized counterexample search.
+    """
+    workers = max(1, int(workers))
+    ctx = multiprocessing.get_context("fork")
+    log = _RunLog(log_path)
+    started = time.perf_counter()
+    log.write(
+        {
+            "event": "start",
+            "manifest": manifest.path,
+            "jobs": len(manifest.jobs),
+            "workers": workers,
+            "cache_dir": cache_dir,
+            "timeout": default_timeout,
+            "seed": seed,
+        }
+    )
+
+    pending: List[tuple] = []  # (job dict, attempt, job seed, max retries)
+    for index, job in enumerate(manifest.jobs):
+        job_seed = seed + index if seed is not None else None
+        job_retries = job.retries if retries is None else retries
+        pending.append((job.to_dict(), 1, job_seed, job_retries))
+    pending.reverse()  # pop() from the tail preserves manifest order
+
+    running: List[_Running] = []
+    results: List[Dict] = []
+
+    def finalize(record: Dict) -> None:
+        results.append(record)
+        log.write({"event": "job", **record})
+
+    def spawn(entry: tuple) -> None:
+        job, attempt, job_seed, max_retries = entry
+        recv, send = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(job, send, cache_dir, attempt, job_seed),
+            daemon=True,
+        )
+        process.start()
+        send.close()  # parent keeps only the read end
+        timeout = job.get("timeout")
+        if timeout is None:
+            timeout = default_timeout
+        deadline = time.monotonic() + timeout if timeout else None
+        running.append(
+            _Running(
+                job,
+                process,
+                recv,
+                deadline,
+                attempt,
+                time.monotonic(),
+                job_seed,
+                max_retries,
+            )
+        )
+
+    def reap(entry: _Running) -> Optional[Dict]:
+        """Result record if the worker reported one, else None."""
+        try:
+            if entry.conn.poll():
+                return entry.conn.recv()
+        except (EOFError, OSError):
+            pass
+        return None
+
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                spawn(pending.pop())
+
+            time.sleep(_POLL_INTERVAL)
+            still_running: List[_Running] = []
+            for entry in running:
+                result = reap(entry)
+                if result is not None:
+                    entry.process.join()
+                    entry.conn.close()
+                    finalize(result)
+                    continue
+                if not entry.process.is_alive():
+                    # The worker may have exited right after sending; pipe
+                    # buffers survive process death, so drain once more.
+                    result = reap(entry)
+                    if result is not None:
+                        entry.process.join()
+                        entry.conn.close()
+                        finalize(result)
+                        continue
+                    # Died without a result: hard crash (os._exit, signal,
+                    # OOM-kill). Retry if the job has budget left.
+                    exitcode = entry.process.exitcode
+                    entry.process.join()
+                    entry.conn.close()
+                    if entry.attempt <= entry.max_retries:
+                        log.write(
+                            {
+                                "event": "retry",
+                                "id": entry.job["id"],
+                                "attempt": entry.attempt,
+                                "exitcode": exitcode,
+                            }
+                        )
+                        pending.append(
+                            (
+                                entry.job,
+                                entry.attempt + 1,
+                                entry.job_seed,
+                                entry.max_retries,
+                            )
+                        )
+                    else:
+                        finalize(
+                            {
+                                "id": entry.job["id"],
+                                "type": entry.job["type"],
+                                "status": "crashed",
+                                "attempt": entry.attempt,
+                                "seconds": round(
+                                    time.monotonic() - entry.started, 3
+                                ),
+                                "error": f"worker died with exit code "
+                                f"{exitcode} (no result); "
+                                f"{entry.attempt} attempt(s) made",
+                            }
+                        )
+                    continue
+                if entry.deadline is not None and time.monotonic() > entry.deadline:
+                    _kill(entry.process)
+                    entry.conn.close()
+                    finalize(
+                        {
+                            "id": entry.job["id"],
+                            "type": entry.job["type"],
+                            "status": "timeout",
+                            "attempt": entry.attempt,
+                            "seconds": round(time.monotonic() - entry.started, 3),
+                            "error": "wall-clock deadline exceeded",
+                        }
+                    )
+                    continue
+                still_running.append(entry)
+            running[:] = still_running
+    finally:
+        for entry in running:
+            _kill(entry.process)
+
+    report = _summarize(results, manifest, workers, started, cache_dir, log)
+    log.close()
+    return report
+
+
+def _kill(process: multiprocessing.Process) -> None:
+    if not process.is_alive():
+        process.join()
+        return
+    process.terminate()
+    process.join(_KILL_GRACE)
+    if process.is_alive():
+        process.kill()
+        process.join()
+
+
+def _summarize(
+    results: List[Dict],
+    manifest: BatchManifest,
+    workers: int,
+    started: float,
+    cache_dir: Optional[str],
+    log: _RunLog,
+) -> BatchReport:
+    hits = sum(r.get("cache", {}).get("hits", 0) for r in results)
+    misses = sum(r.get("cache", {}).get("misses", 0) for r in results)
+    if cache_dir and (hits or misses):
+        CanonicalPolyCache(cache_dir).record(hits=hits, misses=misses)
+    report = BatchReport(
+        results=results,
+        wall_seconds=time.perf_counter() - started,
+        workers=workers,
+        log_path=log.path,
+        cache_hits=hits,
+        cache_misses=misses,
+    )
+    log.write(
+        {
+            "event": "summary",
+            "jobs": len(manifest.jobs),
+            "workers": workers,
+            "wall_seconds": round(report.wall_seconds, 3),
+            "status_counts": report.counts,
+            "cache_hits": hits,
+            "cache_misses": misses,
+        }
+    )
+    return report

@@ -78,9 +78,15 @@ def random_word_function(
     num_inputs: int = 1,
     rng: Optional[random.Random] = None,
     name: str = "randfn",
+    seed: Optional[int] = None,
 ) -> Tuple[Circuit, Dict[Tuple[int, ...], int]]:
-    """A random function table over ``F_{2^k}^num_inputs`` and its netlist."""
-    rng = rng or random.Random()
+    """A random function table over ``F_{2^k}^num_inputs`` and its netlist.
+
+    ``rng`` (or the convenience ``seed``) pins the table for reproducible
+    runs; the default remains nondeterministic.
+    """
+    if rng is None:
+        rng = random.Random(seed) if seed is not None else random.Random()
     k = field.k
     points = cartesian_product(range(field.order), repeat=num_inputs)
     table = {p: rng.randrange(field.order) for p in points}
@@ -92,11 +98,17 @@ def random_netlist(
     num_gates: int,
     rng: Optional[random.Random] = None,
     name: str = "randnet",
+    seed: Optional[int] = None,
 ) -> Circuit:
-    """A random acyclic gate soup (structural tests, I/O round-trips)."""
+    """A random acyclic gate soup (structural tests, I/O round-trips).
+
+    ``rng`` (or the convenience ``seed``) makes the topology reproducible;
+    the default remains nondeterministic.
+    """
     from ..circuits.gates import GateType
 
-    rng = rng or random.Random()
+    if rng is None:
+        rng = random.Random(seed) if seed is not None else random.Random()
     circuit = Circuit(name)
     nets = circuit.add_inputs(f"i{j}" for j in range(num_inputs))
     binary = [GateType.AND, GateType.OR, GateType.XOR, GateType.NAND, GateType.NOR, GateType.XNOR]

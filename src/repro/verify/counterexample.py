@@ -24,10 +24,13 @@ def find_nonzero_point(
     exhaustive_limit: int = 1 << 16,
     samples: int = 20000,
     seed: int = 2014,
+    rng: Optional[random.Random] = None,
 ) -> Optional[Dict[str, int]]:
     """A point where ``difference`` evaluates nonzero, or None if not found.
 
     Unused ring variables are fixed to 0 in the returned assignment.
+    ``rng`` (when given) overrides ``seed`` — callers that need a
+    reproducible batch thread one generator through every search.
     """
     if difference.is_zero():
         return None
@@ -46,7 +49,7 @@ def find_nonzero_point(
                 full.update(assignment)
                 return full
         return None  # unreachable for canonical nonzero polynomials
-    rng = random.Random(seed)
+    rng = rng or random.Random(seed)
     for _ in range(samples):
         assignment = {name: rng.randrange(q) for name in used}
         if difference.evaluate(assignment):

@@ -21,7 +21,11 @@ from ..gf import GF2m
 from .counterexample import find_nonzero_point
 from .outcome import EquivalenceOutcome
 
-__all__ = ["verify_equivalence", "canonical_polynomial"]
+__all__ = [
+    "verify_equivalence",
+    "canonical_polynomial",
+    "counterexample_by_simulation",
+]
 
 Design = Union[Circuit, HierarchicalCircuit]
 
@@ -77,7 +81,7 @@ def _simulate_design(
     return simulate_words(design, stimuli)
 
 
-def _counterexample_by_simulation(
+def counterexample_by_simulation(
     spec: Design,
     impl: Design,
     field: GF2m,
@@ -87,6 +91,7 @@ def _counterexample_by_simulation(
     impl_output: Optional[str] = None,
     batches: int = 8,
     lanes: int = 512,
+    rng: Optional[random.Random] = None,
 ) -> Optional[Dict[str, int]]:
     """Find a differing input by random batched simulation.
 
@@ -95,9 +100,10 @@ def _counterexample_by_simulation(
     differ correspond to functions that differ, and injected-bug differences
     are rarely confined to a negligible input fraction, so a few thousand
     samples almost always suffice; callers fall back to the algebraic search
-    when this returns None.
+    when this returns None. Pass ``rng`` for a reproducible search (the
+    default generator is seeded, so repeat runs already agree).
     """
-    rng = random.Random(0xDAC14)
+    rng = rng or random.Random(0xDAC14)
     reverse_map = {word_map.get(w, w): w for w in (word_map or {})}
     impl_words = [reverse_map.get(w, w) for w in spec_words]
     q = field.order
@@ -146,12 +152,15 @@ def verify_equivalence(
     impl_output: Optional[str] = None,
     word_map: Optional[Dict[str, str]] = None,
     case2: str = "linearized",
+    seed: Optional[int] = None,
 ) -> EquivalenceOutcome:
     """Decide whether two designs implement the same word-level function.
 
     ``word_map`` renames impl input words to spec input words when the
     designs use different names (identity by default). Output words may
     differ in name (``Z`` vs ``G``); only the polynomials are compared.
+    ``seed`` makes the counterexample search reproducible across batch
+    runs; the default keeps the historical fixed-seed behavior.
     """
     start = time.perf_counter()
     spec_words = _input_words(spec)
@@ -196,14 +205,24 @@ def verify_equivalence(
     }
     if spec_canonical == impl_canonical:
         return EquivalenceOutcome("equivalent", "abstraction", None, elapsed, details)
-    counterexample = _counterexample_by_simulation(
-        spec, impl, field, list(spec_words), word_map, spec_output, impl_output
+    counterexample = counterexample_by_simulation(
+        spec,
+        impl,
+        field,
+        list(spec_words),
+        word_map,
+        spec_output,
+        impl_output,
+        rng=random.Random(0xDAC14 if seed is None else seed),
     )
     if counterexample is None:
         # Algebraic fallback: search the nonzero difference polynomial.
         difference = spec_canonical + impl_canonical
         counterexample = find_nonzero_point(
-            difference, exhaustive_limit=1 << 12, samples=500
+            difference,
+            exhaustive_limit=1 << 12,
+            samples=500,
+            rng=random.Random(2014 if seed is None else seed + 1),
         )
     return EquivalenceOutcome(
         "not_equivalent", "abstraction", counterexample, elapsed, details

@@ -1,0 +1,35 @@
+"""Shared fixtures for the batch-engine tests: tiny multiplier netlists."""
+
+import json
+
+import pytest
+
+from repro.circuits import write_verilog
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier, montgomery_multiplier
+
+
+@pytest.fixture()
+def netlist_dir(tmp_path):
+    """A directory holding mastrovito/montgomery netlists over F_16."""
+    field = GF2m(4)
+    write_verilog(mastrovito_multiplier(field), str(tmp_path / "mastrovito_4.v"))
+    write_verilog(
+        montgomery_multiplier(field).flatten(), str(tmp_path / "montgomery_4.v")
+    )
+    return tmp_path
+
+
+@pytest.fixture()
+def write_manifest(netlist_dir):
+    """Write a manifest next to the netlists and return its path."""
+
+    def _write(jobs, defaults=None, name="manifest.json"):
+        path = netlist_dir / name
+        document = {"jobs": jobs}
+        if defaults:
+            document["defaults"] = defaults
+        path.write_text(json.dumps(document, indent=2))
+        return str(path)
+
+    return _write

@@ -1,0 +1,135 @@
+"""Content-addressed canonical-polynomial cache: keys, hits, invalidation."""
+
+import json
+
+import pytest
+
+from repro.circuits import read_verilog, write_verilog
+from repro.circuits.mutate import substitute_gate_type
+from repro.core import abstract_circuit
+from repro.gf import GF2m
+from repro.jobs import (
+    CanonicalPolyCache,
+    canonical_cache_key,
+    normalize_circuit_text,
+    polynomial_payload,
+    rehydrate_polynomial,
+)
+from repro.synth import mastrovito_multiplier
+
+
+@pytest.fixture(scope="module")
+def field():
+    return GF2m(4)
+
+
+@pytest.fixture(scope="module")
+def circuit(field):
+    return mastrovito_multiplier(field)
+
+
+class TestCacheKey:
+    def test_key_survives_serialization_roundtrip(self, circuit, field, tmp_path):
+        """Formatting/comment differences in the file must not change the key."""
+        path = tmp_path / "c.v"
+        write_verilog(circuit, str(path))
+        reloaded = read_verilog(str(path))
+        assert canonical_cache_key(reloaded, field) == canonical_cache_key(
+            circuit, field
+        )
+
+    def test_key_ignores_circuit_name(self, circuit, field):
+        renamed = circuit.clone("some_other_name")
+        assert canonical_cache_key(renamed, field) == canonical_cache_key(
+            circuit, field
+        )
+
+    def test_key_changes_on_netlist_edit(self, circuit, field):
+        mutant, _ = substitute_gate_type(
+            circuit, circuit.gates[0].output
+        )
+        assert canonical_cache_key(mutant, field) != canonical_cache_key(
+            circuit, field
+        )
+
+    def test_key_depends_on_field_modulus(self, circuit):
+        # F_16 has several irreducible degree-4 polynomials.
+        f_a = GF2m(4, modulus=0b10011)
+        f_b = GF2m(4, modulus=0b11001)
+        assert canonical_cache_key(circuit, f_a) != canonical_cache_key(
+            circuit, f_b
+        )
+
+    def test_key_depends_on_case2_mode(self, circuit, field):
+        assert canonical_cache_key(
+            circuit, field, case2="linearized"
+        ) != canonical_cache_key(circuit, field, case2="groebner")
+
+    def test_normalized_text_is_order_insensitive(self, circuit, field):
+        text = normalize_circuit_text(circuit)
+        assert "gate" in text and "word_in A" in text
+
+
+class TestPayloadRoundtrip:
+    def test_polynomial_rehydrates_identically(self, circuit, field):
+        result = abstract_circuit(circuit, field)
+        payload = polynomial_payload(result)
+        payload = json.loads(json.dumps(payload))  # force a JSON round-trip
+        rebuilt = rehydrate_polynomial(payload, field)
+        assert rebuilt == result.polynomial
+        assert payload["output_word"] == result.output_word
+
+
+class TestCacheStore:
+    def test_miss_then_hit(self, circuit, field, tmp_path):
+        cache = CanonicalPolyCache(tmp_path / "cache")
+        key = canonical_cache_key(circuit, field)
+        assert cache.get(key) is None
+
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return polynomial_payload(abstract_circuit(circuit, field))
+
+        payload1, hit1 = cache.get_or_compute(key, compute)
+        payload2, hit2 = cache.get_or_compute(key, compute)
+        assert (hit1, hit2) == (False, True)
+        assert len(calls) == 1
+        assert payload1["terms"] == payload2["terms"]
+
+    def test_edited_netlist_misses(self, circuit, field, tmp_path):
+        cache = CanonicalPolyCache(tmp_path / "cache")
+        cache.put(
+            canonical_cache_key(circuit, field),
+            polynomial_payload(abstract_circuit(circuit, field)),
+        )
+        mutant, _ = substitute_gate_type(circuit, circuit.gates[0].output)
+        assert cache.get(canonical_cache_key(mutant, field)) is None
+
+    def test_stats_and_clear(self, circuit, field, tmp_path):
+        cache = CanonicalPolyCache(tmp_path / "cache")
+        cache.put(
+            canonical_cache_key(circuit, field),
+            polynomial_payload(abstract_circuit(circuit, field)),
+        )
+        cache.record(hits=3, misses=1)
+        cache.record(hits=2)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["hits"] == 5
+        assert stats["misses"] == 1
+
+        assert cache.clear() == 1
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["hits"] == 0
+
+    def test_corrupt_entry_is_a_miss(self, circuit, field, tmp_path):
+        cache = CanonicalPolyCache(tmp_path / "cache")
+        key = canonical_cache_key(circuit, field)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(key) is None
