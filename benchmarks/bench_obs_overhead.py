@@ -1,0 +1,125 @@
+"""Telemetry overhead guard: disabled instrumentation must stay < 5%.
+
+The span/counter call sites live permanently in the library hot paths
+(``reduce_polynomial``, ``buchberger``, the abstraction engine), so the
+subsystem's core promise — *disabled means free* — needs a regression
+guard, not a code-review convention. The guard triangulates:
+
+1. time the k=32 Mastrovito-vs-Montgomery verify path with tracing
+   disabled (the product configuration);
+2. census the instrumentation traffic that same path *would* generate by
+   re-running it once under a counting collector (span opens + counter
+   flushes + gauge updates);
+3. microbenchmark the per-call disabled cost of ``span()`` and
+   ``counter_add()`` in a tight loop;
+
+and asserts ``traffic x per_call_cost < 5% of the verify wall time``.
+Because the disabled fast path is one module-global read, the measured
+budget fraction is typically far below 0.1% — the assert only trips if
+someone makes the disabled path allocate or lock.
+"""
+
+import time
+
+from repro import obs
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier, montgomery_multiplier
+from repro.verify import verify_equivalence
+
+from .conftest import FAST, report_row
+
+TABLE = "Telemetry overhead: disabled-path cost on the verify pipeline"
+
+K = 16 if FAST else 32
+OVERHEAD_BUDGET = 0.05
+_LOOP = 100_000
+
+
+class _CountingCollector(obs.TraceCollector):
+    """Tallies instrumentation traffic instead of storing it."""
+
+    def __init__(self):
+        super().__init__()
+        self.span_opens = 0
+        self.counter_calls = 0
+        self.gauge_calls = 0
+
+    def new_span_id(self):
+        self.span_opens += 1
+        return super().new_span_id()
+
+    def counter_add(self, name, amount=1):
+        self.counter_calls += 1
+        super().counter_add(name, amount)
+
+    def gauge_max(self, name, value):
+        self.gauge_calls += 1
+        super().gauge_max(name, value)
+
+
+def _build_pair():
+    field = GF2m(K)
+    return mastrovito_multiplier(field), montgomery_multiplier(field).flatten(), field
+
+
+def _per_call_disabled_seconds():
+    """Mean cost of one disabled span() and one disabled counter_add()."""
+    assert not obs.is_enabled()
+    t0 = time.perf_counter()
+    for _ in range(_LOOP):
+        with obs.span("probe", k=K):
+            pass
+    span_cost = (time.perf_counter() - t0) / _LOOP
+    t0 = time.perf_counter()
+    for _ in range(_LOOP):
+        obs.counter_add("probe", 1)
+    counter_cost = (time.perf_counter() - t0) / _LOOP
+    return span_cost, counter_cost
+
+
+def test_disabled_telemetry_overhead_under_5_percent(benchmark):
+    spec, impl, field = _build_pair()
+    obs.disable()
+
+    def verify_disabled():
+        outcome = verify_equivalence(spec, impl, field)
+        assert outcome.equivalent
+        return outcome
+
+    benchmark.pedantic(verify_disabled, rounds=3, iterations=1, warmup_rounds=1)
+    verify_seconds = benchmark.stats["mean"]
+
+    # Census: how many instrumentation calls does this path actually make?
+    counting = _CountingCollector()
+    obs.enable(counting)
+    try:
+        verify_disabled()
+    finally:
+        obs.disable()
+    traffic = counting.span_opens + counting.counter_calls + counting.gauge_calls
+
+    span_cost, counter_cost = _per_call_disabled_seconds()
+    per_call = max(span_cost, counter_cost)
+    overhead_seconds = traffic * per_call
+    fraction = overhead_seconds / verify_seconds
+
+    benchmark.extra_info["instrumentation_calls"] = traffic
+    benchmark.extra_info["overhead_fraction"] = round(fraction, 6)
+    report_row(
+        TABLE,
+        {
+            "k": K,
+            "verify_ms": f"{verify_seconds * 1e3:.1f}",
+            "calls": traffic,
+            "span_ns": f"{span_cost * 1e9:.0f}",
+            "counter_ns": f"{counter_cost * 1e9:.0f}",
+            "overhead": f"{fraction * 100:.4f}%",
+            "budget": f"{OVERHEAD_BUDGET * 100:.0f}%",
+        },
+    )
+    assert traffic > 0, "census run recorded no instrumentation traffic"
+    assert fraction < OVERHEAD_BUDGET, (
+        f"disabled telemetry costs {fraction * 100:.2f}% of the k={K} verify "
+        f"path (budget {OVERHEAD_BUDGET * 100:.0f}%): the disabled fast path "
+        f"must stay a single global read"
+    )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import metrics
 from .order import Monomial
 from .ring import Polynomial, PolynomialRing
 
@@ -63,12 +64,18 @@ def reduce_polynomial(
     leads = [g.lead() for g in divisors]
     work: Dict[Monomial, int] = dict(f.terms)
     remainder: Dict[Monomial, int] = {}
+    steps = 0
+    peak_terms = 0
     while work:
         monomial = min(work, key=order.sort_key)  # the current leading term
         coeff = work.pop(monomial)
         index = _find_reducer(ring, monomial, divisors, leads)
+        steps += 1
+        size = len(work) + len(remainder)
+        if size > peak_terms:
+            peak_terms = size
         if trace is not None:
-            trace.observe(len(work) + len(remainder))
+            trace.observe(size)
         if index is None:
             remainder[monomial] = coeff
             continue
@@ -88,6 +95,10 @@ def reduce_polynomial(
                 work[key] = merged
             else:
                 del work[key]
+    if metrics.is_enabled():
+        metrics.counter_add(metrics.DIVISION_CALLS, 1)
+        metrics.counter_add(metrics.DIVISION_STEPS, steps)
+        metrics.gauge_max(metrics.DIVISION_PEAK_TERMS, peak_terms)
     return Polynomial(ring, remainder)
 
 
@@ -107,9 +118,11 @@ def divmod_polynomial(
     quotients: List[Dict[Monomial, int]] = [dict() for _ in divisors]
     work: Dict[Monomial, int] = dict(f.terms)
     remainder: Dict[Monomial, int] = {}
+    steps = 0
     while work:
         monomial = min(work, key=order.sort_key)
         coeff = work.pop(monomial)
+        steps += 1
         hit = None
         for slot, (orig_index, g) in enumerate(active):
             lm, _ = leads[slot]
@@ -135,6 +148,9 @@ def divmod_polynomial(
                 work[key] = merged
             else:
                 del work[key]
+    if metrics.is_enabled():
+        metrics.counter_add(metrics.DIVISION_CALLS, 1)
+        metrics.counter_add(metrics.DIVISION_STEPS, steps)
     return (
         [Polynomial(ring, {m: c for m, c in q.items() if c}) for q in quotients],
         Polynomial(ring, remainder),

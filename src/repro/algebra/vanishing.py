@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..obs import metrics
 from .ring import Polynomial, PolynomialRing
 
 __all__ = ["vanishing_polynomial", "vanishing_ideal", "is_vanishing"]
@@ -42,7 +43,10 @@ def vanishing_ideal(
     zero. The generators are therefore built in *unfolded* form directly.
     """
     names = list(names) if names is not None else list(ring.variables)
-    return [vanishing_polynomial(ring, name) for name in names]
+    generators = [vanishing_polynomial(ring, name) for name in names]
+    if generators:
+        metrics.counter_add(metrics.VANISHING_GENERATORS, len(generators))
+    return generators
 
 
 def is_vanishing(poly: Polynomial, sample_limit: int = 4096) -> bool:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import os
 
+from ..obs.spans import span
 from .blif import read_blif
 from .circuit import Circuit, CircuitError
 from .verilog import read_verilog
@@ -40,21 +41,22 @@ def sniff_netlist_format(text: str) -> "str | None":
 
 def read_netlist(path: str) -> Circuit:
     """Load a netlist, choosing the parser by extension or content."""
-    if not os.path.exists(path):
-        raise CircuitError(f"netlist file not found: {path}")
-    if path.endswith(".blif"):
-        return read_blif(path)
-    if path.endswith(".v"):
-        return read_verilog(path)
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    fmt = sniff_netlist_format(text)
-    if fmt == "blif":
-        return read_blif(path)
-    if fmt == "verilog":
-        return read_verilog(path)
-    raise CircuitError(
-        f"cannot determine netlist format of {path!r}: expected a BLIF "
-        f"'.model' header or a Verilog 'module' header (or use a .blif/.v "
-        f"file extension)"
-    )
+    with span("parse", path=os.path.basename(path)):
+        if not os.path.exists(path):
+            raise CircuitError(f"netlist file not found: {path}")
+        if path.endswith(".blif"):
+            return read_blif(path)
+        if path.endswith(".v"):
+            return read_verilog(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        fmt = sniff_netlist_format(text)
+        if fmt == "blif":
+            return read_blif(path)
+        if fmt == "verilog":
+            return read_verilog(path)
+        raise CircuitError(
+            f"cannot determine netlist format of {path!r}: expected a BLIF "
+            f"'.model' header or a Verilog 'module' header (or use a .blif/.v "
+            f"file extension)"
+        )

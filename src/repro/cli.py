@@ -7,10 +7,18 @@ Usage (also via ``python -m repro``)::
     repro stats spec.v
     repro abstract spec.v -k 16
     repro verify spec.v impl.v -k 16 [--method abstraction|sat|fraig|bdd]
+    repro verify spec.v impl.v -k 16 --trace out.trace.json --metrics
     repro check-spec impl.v -k 16 --spec "A*B"    # Lv-style membership test
     repro batch manifest.json --jobs 4 --timeout 120 --cache-dir .repro-cache
+    repro batch manifest.json --log run.jsonl --trace-dir traces/
+    repro report run.jsonl                        # aggregate a batch run log
     repro cache stats
     repro cache clear
+
+``--quiet``/``--verbose`` tune diagnostic logging and are accepted both
+before and after the subcommand. ``--trace`` writes a Chrome-trace JSON
+(load in ``chrome://tracing`` or https://ui.perfetto.dev) unless the path
+ends in ``.jsonl``, which selects the flat JSONL event log instead.
 
 Netlists are the structural-Verilog subset (``.v``) or BLIF (``.blif``)
 this library writes; word annotations travel in comments, so generated
@@ -21,8 +29,12 @@ extensions are content-sniffed (BLIF ``.model`` vs Verilog ``module``).
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import Optional
+
+from . import obs
 
 from .circuits import (
     Circuit,
@@ -119,31 +131,52 @@ def _cmd_abstract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _export_trace(snapshot, path: str) -> None:
+    if path.endswith(".jsonl"):
+        obs.write_jsonl(snapshot, path)
+    else:
+        obs.write_chrome_trace(snapshot, path)
+    print(f"trace: {path}")
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     field = _field(args)
-    spec = _read_netlist(args.spec)
-    impl = _read_netlist(args.impl)
-    output_map = None
-    if list(spec.output_words) != list(impl.output_words):
-        spec_out = list(spec.output_words)
-        impl_out = list(impl.output_words)
-        if len(spec_out) == len(impl_out) == 1:
-            output_map = {impl_out[0]: spec_out[0]}
-    if args.method == "abstraction":
-        outcome = verify_equivalence(spec, impl, field, seed=args.seed)
-    elif args.method == "sat":
-        outcome = check_equivalence_sat(
-            spec, impl, max_conflicts=args.budget, output_map=output_map
-        )
-    elif args.method == "fraig":
-        outcome = check_equivalence_fraig(
-            spec, impl, max_conflicts_final=args.budget, output_map=output_map
-        )
-    else:
-        outcome = check_equivalence_bdd(
-            spec, impl, max_nodes=args.budget, output_map=output_map
-        )
+    trace_path = args.trace
+    collector = obs.enable() if (trace_path or args.metrics) else None
+    try:
+        with obs.span("verify", method=args.method, k=args.k):
+            spec = _read_netlist(args.spec)
+            impl = _read_netlist(args.impl)
+            output_map = None
+            if list(spec.output_words) != list(impl.output_words):
+                spec_out = list(spec.output_words)
+                impl_out = list(impl.output_words)
+                if len(spec_out) == len(impl_out) == 1:
+                    output_map = {impl_out[0]: spec_out[0]}
+            if args.method == "abstraction":
+                outcome = verify_equivalence(spec, impl, field, seed=args.seed)
+            elif args.method == "sat":
+                outcome = check_equivalence_sat(
+                    spec, impl, max_conflicts=args.budget, output_map=output_map
+                )
+            elif args.method == "fraig":
+                outcome = check_equivalence_fraig(
+                    spec, impl, max_conflicts_final=args.budget, output_map=output_map
+                )
+            else:
+                outcome = check_equivalence_bdd(
+                    spec, impl, max_nodes=args.budget, output_map=output_map
+                )
+    finally:
+        if collector is not None:
+            obs.disable()
     print(outcome)
+    if collector is not None:
+        snapshot = collector.snapshot()
+        if trace_path:
+            _export_trace(snapshot, trace_path)
+        if args.metrics:
+            print(obs.summary_table(snapshot))
     if outcome.status == "equivalent":
         return 0
     if outcome.status == "not_equivalent":
@@ -179,6 +212,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         log_path=args.log,
         seed=args.seed,
         retries=args.retries,
+        trace_dir=args.trace_dir,
     )
     for result in report.results:
         verdict = result.get("verdict", "")
@@ -198,9 +232,25 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"cache: {report.cache_hits} hit(s), {report.cache_misses} miss(es) "
             f"({cache_dir})"
         )
+    if args.trace_dir:
+        traced = sum(1 for r in report.results if r.get("trace_file"))
+        print(f"traces: {traced} file(s) in {args.trace_dir}")
     if report.log_path:
         print(f"run log: {report.log_path}")
     return 0 if report.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        aggregate = obs.aggregate_run_log(args.runlog)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(aggregate, indent=2, sort_keys=True))
+    else:
+        print(obs.format_report(aggregate))
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -220,26 +270,63 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _setup_logging(args: argparse.Namespace) -> None:
+    """Configure stderr logging from ``--quiet``/``--verbose``.
+
+    Both flags default to ``argparse.SUPPRESS`` so they can be given before
+    or after the subcommand without the subparser's default clobbering a
+    value parsed by the main parser.
+    """
+    if getattr(args, "quiet", False):
+        level = logging.ERROR
+    elif getattr(args, "verbose", False):
+        level = logging.DEBUG
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level, stream=sys.stderr, format="%(levelname)s %(name)s: %(message)s"
+    )
+    logging.getLogger("repro").setLevel(level)
+
+
 def build_parser() -> argparse.ArgumentParser:
+    log_flags = argparse.ArgumentParser(add_help=False)
+    log_flags.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="only log errors",
+    )
+    log_flags.add_argument(
+        "--verbose",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="log debug diagnostics (per-job timings, cache traffic)",
+    )
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Word-level abstraction & equivalence verification of "
         "Galois field circuits (DAC 2014 reproduction)",
+        parents=[log_flags],
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("gen", help="generate a benchmark netlist")
+    def add_command(name: str, **kwargs) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=[log_flags], **kwargs)
+
+    gen = add_command("gen", help="generate a benchmark netlist")
     gen.add_argument("architecture", choices=sorted(GENERATORS))
     gen.add_argument("-k", type=int, required=True, help="field degree")
     gen.add_argument("--modulus", help="irreducible P(x) as an int literal")
     gen.add_argument("-o", "--output", required=True, help=".v or .blif path")
     gen.set_defaults(func=_cmd_gen)
 
-    stats = sub.add_parser("stats", help="print netlist statistics")
+    stats = add_command("stats", help="print netlist statistics")
     stats.add_argument("netlist")
     stats.set_defaults(func=_cmd_stats)
 
-    abstract = sub.add_parser(
+    abstract = add_command(
         "abstract", help="derive the canonical word-level polynomial"
     )
     abstract.add_argument("netlist")
@@ -251,7 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     abstract.set_defaults(func=_cmd_abstract)
 
-    verify = sub.add_parser("verify", help="prove or refute equivalence")
+    verify = add_command("verify", help="prove or refute equivalence")
     verify.add_argument("spec")
     verify.add_argument("impl")
     verify.add_argument("-k", type=int, required=True)
@@ -271,9 +358,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seed for the randomized counterexample search (reproducible runs)",
     )
+    verify.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a span trace: Chrome-trace JSON (chrome://tracing), or "
+        "a flat JSONL event log if PATH ends in .jsonl",
+    )
+    verify.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print per-span timings and algebraic work counters afterwards",
+    )
     verify.set_defaults(func=_cmd_verify)
 
-    batch = sub.add_parser(
+    batch = add_command(
         "batch",
         help="run a manifest of verification jobs on a parallel worker pool",
     )
@@ -323,9 +422,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="crash retries per job (overrides manifest; default 1)",
     )
+    batch.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="D",
+        help="write one Chrome-trace JSON per job into this directory",
+    )
     batch.set_defaults(func=_cmd_batch)
 
-    cache = sub.add_parser(
+    report = add_command(
+        "report",
+        help="aggregate a batch JSONL run log into per-phase timings and "
+        "work counters",
+    )
+    report.add_argument("runlog", help="run log written by batch --log")
+    report.add_argument(
+        "--json", action="store_true", help="emit the aggregate as JSON"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    cache = add_command(
         "cache", help="inspect or clear the canonical-polynomial cache"
     )
     cache.add_argument("cache_command", choices=["stats", "clear"])
@@ -338,7 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache.set_defaults(func=_cmd_cache)
 
-    check_spec = sub.add_parser(
+    check_spec = add_command(
         "check-spec",
         help="verify a circuit against a textual spec polynomial "
         "(ideal-membership, Lv et al. style)",
@@ -356,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
+    _setup_logging(args)
     from .jobs.manifest import ManifestError
 
     try:

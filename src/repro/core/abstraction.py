@@ -38,6 +38,8 @@ from ..algebra import (
 )
 from ..circuits import Circuit
 from ..gf import GF2m, coordinate_coefficients
+from ..obs import metrics
+from ..obs.spans import span
 from .bitpoly import SubstitutionEngine
 from .gate_polys import gate_tail
 from .rato import RatoOrdering, build_rato
@@ -312,23 +314,24 @@ def abstract_circuit(
     for i, bit in enumerate(circuit.output_words[output_word]):
         engine.add_term(frozenset((id_of[bit],)), alpha_powers[i])
 
-    reduce_through_gates(circuit, engine, ordering)
-
-    # Divide by the input word relations f_wi = b_0 + b_1*alpha + ... + W:
-    # each division step substitutes the relation's leading bit b_0.
     bit_owner: Dict[int, "tuple[str, int]"] = {}
     id_to_word: Dict[int, str] = {}
-    for word in ordering.input_words:
-        bits = circuit.input_words[word]
-        word_id = id_of[word]
-        id_to_word[word_id] = word
-        for i, bit in enumerate(bits):
-            bit_owner[id_of[bit]] = (word, i)
-        replacement = {frozenset((word_id,)): 1}
-        for i in range(1, len(bits)):
-            key = frozenset((id_of[bits[i]],))
-            replacement[key] = replacement.get(key, 0) ^ alpha_powers[i]
-        engine.substitute(id_of[bits[0]], replacement)
+    with span("spoly_reduction", gates=circuit.num_gates(), output=output_word):
+        reduce_through_gates(circuit, engine, ordering)
+
+        # Divide by the input word relations f_wi = b_0 + b_1*alpha + ... + W:
+        # each division step substitutes the relation's leading bit b_0.
+        for word in ordering.input_words:
+            bits = circuit.input_words[word]
+            word_id = id_of[word]
+            id_to_word[word_id] = word
+            for i, bit in enumerate(bits):
+                bit_owner[id_of[bit]] = (word, i)
+            replacement = {frozenset((word_id,)): 1}
+            for i in range(1, len(bits)):
+                key = frozenset((id_of[bits[i]],))
+                replacement[key] = replacement.get(key, 0) ^ alpha_powers[i]
+            engine.substitute(id_of[bits[0]], replacement)
 
     word_ring = word_ring_for(field, ordering.input_words)
     leftover_bits = sorted(
@@ -347,16 +350,21 @@ def abstract_circuit(
         stats.case = 2
         stats.case2_method = case2
         stats.remainder_bits = [ordering.variables[v] for v in leftover_bits]
-        if case2 == "linearized":
-            polynomial = _case2_linearized(
-                engine, field, word_ring, id_to_word, bit_owner
-            )
-        else:
-            small = _case2_groebner(
-                engine, field, circuit, ordering, output_word, id_of
-            )
-            polynomial = _map_words(small, word_ring)
+        with span("case2_finish", method=case2, leftover_bits=len(leftover_bits)):
+            if case2 == "linearized":
+                polynomial = _case2_linearized(
+                    engine, field, word_ring, id_to_word, bit_owner
+                )
+            else:
+                small = _case2_groebner(
+                    engine, field, circuit, ordering, output_word, id_of
+                )
+                polynomial = _map_words(small, word_ring)
     stats.seconds = time.perf_counter() - start
+    if metrics.is_enabled():
+        metrics.counter_add(metrics.ABSTRACTION_SUBSTITUTIONS, stats.substitutions)
+        metrics.counter_add(metrics.ABSTRACTION_TERM_TRAFFIC, stats.term_traffic)
+        metrics.gauge_max(metrics.ABSTRACTION_PEAK_TERMS, stats.peak_terms)
     return AbstractionResult(
         polynomial=polynomial,
         output_word=output_word,

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..circuits import Circuit
+from ..obs.spans import span
 
 __all__ = ["RatoOrdering", "build_rato", "build_unrefined_order"]
 
@@ -63,9 +64,10 @@ def build_rato(
     circuit: Circuit, output_words: Optional[Sequence[str]] = None
 ) -> RatoOrdering:
     """RATO for ``circuit``: reverse-topological ranking of the gate nets."""
-    levels = circuit.reverse_topological_levels()
-    gate_nets = sorted(levels, key=lambda net: (levels[net], net))
-    return _assemble(circuit, gate_nets, output_words)
+    with span("rato_setup", gates=circuit.num_gates()):
+        levels = circuit.reverse_topological_levels()
+        gate_nets = sorted(levels, key=lambda net: (levels[net], net))
+        return _assemble(circuit, gate_nets, output_words)
 
 
 def build_unrefined_order(

@@ -1,8 +1,13 @@
-"""In-worker job execution with per-phase timings and cache integration.
+"""In-worker job execution with span-derived phase timings and cache hits.
 
 :func:`execute_job` runs one :class:`~repro.jobs.manifest.BatchJob` (passed
 as a plain dict so it crosses the process boundary cheaply) and returns a
-JSON-serialisable result record. The phases mirror the paper's pipeline:
+JSON-serialisable result record. Each job runs under its own
+:class:`~repro.obs.spans.TraceCollector`; the record's ``phases`` map —
+the run log's historical schema — is *derived* from the recorded spans,
+and the full span snapshot travels alongside as ``telemetry`` so the pool
+parent can merge it or export per-job Chrome traces. The phases mirror
+the paper's pipeline:
 
 ``parse``
     Netlist reading (BLIF / structural Verilog).
@@ -16,9 +21,11 @@ JSON-serialisable result record. The phases mirror the paper's pipeline:
     coefficients (plus counterexample search on mismatch).
 
 Canonical polynomials route through the content-addressed cache when a
-``cache_dir`` is given: a warm hit skips ``rato_setup`` and
-``spoly_reduction`` entirely, which is exactly what the run log's phase
-records make visible.
+``cache_dir`` is given. A warm hit skips ``rato_setup`` and
+``spoly_reduction`` entirely — those phases are still emitted as explicit
+zeros (with per-side ``*_cache_hit`` flags) so downstream aggregation
+never KeyErrors and cache wins don't skew phase averages by dropping out
+of the denominator.
 """
 
 from __future__ import annotations
@@ -29,10 +36,12 @@ import resource
 import time
 from typing import Dict, Optional, Tuple
 
+from .. import obs
 from ..algebra import parse_polynomial
 from ..circuits import Circuit, read_netlist
-from ..core import abstract_circuit, build_rato, word_ring_for
+from ..core import abstract_circuit, word_ring_for
 from ..gf import GF2m
+from ..obs import metrics
 from ..verify import check_ideal_membership, find_nonzero_point
 from ..verify.equivalence import counterexample_by_simulation
 from .cache import (
@@ -42,12 +51,41 @@ from .cache import (
     rehydrate_polynomial,
 )
 
-__all__ = ["execute_job"]
+__all__ = ["execute_job", "phases_from_spans"]
 
 #: Polynomials larger than this many characters are elided in result
 #: records — buggy Case-2 abstractions can be astronomically dense, and the
 #: run log should stay grep-able.
 _MAX_POLY_CHARS = 2000
+
+#: Span name -> run-log phase. ``case2_finish`` folds into
+#: ``spoly_reduction`` because the historical phase timed the whole
+#: abstraction step (Section 5's reduction plus its Case-2 epilogue).
+_PHASE_OF_SPAN = {
+    "parse": "parse",
+    "rato_setup": "rato_setup",
+    "spoly_reduction": "spoly_reduction",
+    "case2_finish": "spoly_reduction",
+    "coeff_match": "coeff_match",
+}
+
+#: Phases emitted as explicit zeros when nothing contributed to them
+#: (cache hits), keyed by job type.
+_EXPECTED_PHASES = {
+    "verify": ("parse", "rato_setup", "spoly_reduction", "coeff_match"),
+    "abstract": ("parse", "rato_setup", "spoly_reduction"),
+    "check-spec": ("parse", "rato_setup", "spoly_reduction"),
+}
+
+
+def phases_from_spans(spans) -> Dict[str, float]:
+    """Fold span durations into the run log's flat ``phases`` map."""
+    phases: Dict[str, float] = {}
+    for record in spans:
+        phase = _PHASE_OF_SPAN.get(record["name"])
+        if phase is not None:
+            phases[phase] = phases.get(phase, 0.0) + record["dur"]
+    return phases
 
 
 def _peak_rss_mb() -> float:
@@ -74,98 +112,85 @@ def _cached_canonical(
     case2: str,
     output_word: Optional[str],
     cache: Optional[CanonicalPolyCache],
-    phases: Dict[str, float],
+    counters: Dict[str, int],
 ) -> Tuple[Dict, bool]:
     """Canonical-polynomial payload for a flat circuit, cache-aware.
 
-    Returns ``(payload, hit)``; on a miss the RATO and reduction phase
-    timings accumulate into ``phases``.
+    Returns ``(payload, hit)``. On a miss the RATO and reduction work runs
+    inside :func:`~repro.core.abstraction.abstract_circuit`, whose spans
+    feed the job's phase timings; on a hit neither span fires and the
+    executor reports both phases as explicit zeros.
     """
 
     def compute() -> Dict:
-        t0 = time.perf_counter()
-        words = [output_word] if output_word else None
-        ordering = build_rato(circuit, output_words=words)
-        phases["rato_setup"] = phases.get("rato_setup", 0.0) + (
-            time.perf_counter() - t0
-        )
-        t1 = time.perf_counter()
-        result = abstract_circuit(
-            circuit, field, output_word=output_word, case2=case2, ordering=ordering
-        )
-        phases["spoly_reduction"] = phases.get("spoly_reduction", 0.0) + (
-            time.perf_counter() - t1
-        )
+        result = abstract_circuit(circuit, field, output_word=output_word, case2=case2)
         return polynomial_payload(result)
 
     if cache is None:
-        return compute(), False
-    key = canonical_cache_key(circuit, field, case2=case2, output_word=output_word)
-    return cache.get_or_compute(key, compute)
+        payload, hit = compute(), False
+    else:
+        key = canonical_cache_key(
+            circuit, field, case2=case2, output_word=output_word
+        )
+        payload, hit = cache.get_or_compute(key, compute)
+    counters["hits"] += int(hit)
+    counters["misses"] += int(not hit)
+    metrics.counter_add(metrics.CACHE_HITS if hit else metrics.CACHE_MISSES, 1)
+    return payload, hit
 
 
 def _run_verify(
     params: Dict,
     cache: Optional[CanonicalPolyCache],
-    phases: Dict[str, float],
     counters: Dict[str, int],
     seed: Optional[int],
 ) -> Dict:
     field = _field_for(params)
     case2 = params.get("case2", "linearized")
 
-    t0 = time.perf_counter()
     spec = read_netlist(params["spec"])
     impl = read_netlist(params["impl"])
-    phases["parse"] = time.perf_counter() - t0
 
-    spec_payload, spec_hit = _cached_canonical(
-        spec, field, case2, None, cache, phases
-    )
-    impl_payload, impl_hit = _cached_canonical(
-        impl, field, case2, None, cache, phases
-    )
-    counters["hits"] += int(spec_hit) + int(impl_hit)
-    counters["misses"] += int(not spec_hit) + int(not impl_hit)
+    spec_payload, spec_hit = _cached_canonical(spec, field, case2, None, cache, counters)
+    impl_payload, impl_hit = _cached_canonical(impl, field, case2, None, cache, counters)
 
-    t1 = time.perf_counter()
-    spec_poly = rehydrate_polynomial(spec_payload, field)
-    impl_poly = rehydrate_polynomial(impl_payload, field)
-    shared_words = sorted(spec_payload["input_words"])
-    if sorted(impl_payload["input_words"]) != shared_words:
-        raise ValueError(
-            f"input words do not match: spec {shared_words}, "
-            f"impl {sorted(impl_payload['input_words'])}"
-        )
-    ring = word_ring_for(field, shared_words)
-
-    def rehome(poly):
-        source = poly.ring
-        data = {}
-        for monomial, coeff in poly.terms.items():
-            key = tuple(
-                sorted((ring.index[source.variables[v]], e) for v, e in monomial)
+    with obs.span("coeff_match"):
+        spec_poly = rehydrate_polynomial(spec_payload, field)
+        impl_poly = rehydrate_polynomial(impl_payload, field)
+        shared_words = sorted(spec_payload["input_words"])
+        if sorted(impl_payload["input_words"]) != shared_words:
+            raise ValueError(
+                f"input words do not match: spec {shared_words}, "
+                f"impl {sorted(impl_payload['input_words'])}"
             )
-            data[key] = coeff
-        return type(poly)(ring, data)
+        ring = word_ring_for(field, shared_words)
 
-    spec_canonical = rehome(spec_poly)
-    impl_canonical = rehome(impl_poly)
-    equivalent = spec_canonical == impl_canonical
-    counterexample = None
-    if not equivalent:
-        rng = random.Random(0xDAC14 if seed is None else seed)
-        counterexample = counterexample_by_simulation(
-            spec, impl, field, shared_words, {}, rng=rng
-        )
-        if counterexample is None:
-            counterexample = find_nonzero_point(
-                spec_canonical + impl_canonical,
-                exhaustive_limit=1 << 12,
-                samples=500,
-                rng=random.Random(2014 if seed is None else seed + 1),
+        def rehome(poly):
+            source = poly.ring
+            data = {}
+            for monomial, coeff in poly.terms.items():
+                key = tuple(
+                    sorted((ring.index[source.variables[v]], e) for v, e in monomial)
+                )
+                data[key] = coeff
+            return type(poly)(ring, data)
+
+        spec_canonical = rehome(spec_poly)
+        impl_canonical = rehome(impl_poly)
+        equivalent = spec_canonical == impl_canonical
+        counterexample = None
+        if not equivalent:
+            rng = random.Random(0xDAC14 if seed is None else seed)
+            counterexample = counterexample_by_simulation(
+                spec, impl, field, shared_words, {}, rng=rng
             )
-    phases["coeff_match"] = time.perf_counter() - t1
+            if counterexample is None:
+                counterexample = find_nonzero_point(
+                    spec_canonical + impl_canonical,
+                    exhaustive_limit=1 << 12,
+                    samples=500,
+                    rng=random.Random(2014 if seed is None else seed + 1),
+                )
     return {
         "verdict": "equivalent" if equivalent else "not_equivalent",
         "counterexample": counterexample,
@@ -182,19 +207,14 @@ def _run_verify(
 def _run_abstract(
     params: Dict,
     cache: Optional[CanonicalPolyCache],
-    phases: Dict[str, float],
     counters: Dict[str, int],
 ) -> Dict:
     field = _field_for(params)
     case2 = params.get("case2", "linearized")
-    t0 = time.perf_counter()
     circuit = read_netlist(params["netlist"])
-    phases["parse"] = time.perf_counter() - t0
     payload, hit = _cached_canonical(
-        circuit, field, case2, params.get("output_word"), cache, phases
+        circuit, field, case2, params.get("output_word"), cache, counters
     )
-    counters["hits"] += int(hit)
-    counters["misses"] += int(not hit)
     polynomial = rehydrate_polynomial(payload, field)
     return {
         "polynomial": _poly_str(polynomial, payload["output_word"]),
@@ -205,18 +225,14 @@ def _run_abstract(
     }
 
 
-def _run_check_spec(params: Dict, phases: Dict[str, float]) -> Dict:
+def _run_check_spec(params: Dict) -> Dict:
     field = _field_for(params)
-    t0 = time.perf_counter()
     circuit = read_netlist(params["netlist"])
-    phases["parse"] = time.perf_counter() - t0
     ring = word_ring_for(field, sorted(circuit.input_words))
     spec = parse_polynomial(params["spec_poly"], ring)
-    t1 = time.perf_counter()
     outcome = check_ideal_membership(
         circuit, field, spec, output_word=params.get("output_word")
     )
-    phases["spoly_reduction"] = time.perf_counter() - t1
     return {
         "verdict": outcome.status,
         "counterexample": outcome.counterexample,
@@ -252,37 +268,62 @@ def execute_job(
     Exceptions propagate — the pool wrapper converts them to ``failed``
     records; hard process deaths (the ``crash`` self-test, real OOM kills)
     surface to the parent as missing results and are retried there.
+
+    The job runs under a fresh per-job trace collector (any collector the
+    caller had active is restored afterwards and receives a merged copy of
+    the job's telemetry). The returned record carries ``phases`` (derived
+    from spans, backward-compatible schema), ``counters``/``gauges``
+    (algebraic work), and the raw ``telemetry`` snapshot.
     """
     params = job.get("params", {})
-    phases: Dict[str, float] = {}
     counters = {"hits": 0, "misses": 0}
     cache = CanonicalPolyCache(cache_dir) if cache_dir else None
     job_seed = job.get("seed") if job.get("seed") is not None else seed
 
-    start = time.perf_counter()
+    previous = obs.active_collector()
+    collector = obs.enable(obs.TraceCollector())
+    obs.reset_context()  # a forked worker inherits the parent's current span
     job_type = job["type"]
-    if job_type == "verify":
-        body = _run_verify(params, cache, phases, counters, job_seed)
-    elif job_type == "abstract":
-        body = _run_abstract(params, cache, phases, counters)
-    elif job_type == "check-spec":
-        body = _run_check_spec(params, phases)
-    elif job_type == "sleep":
-        body = _run_sleep(params)
-    elif job_type == "crash":
-        body = _run_crash(params, attempt)
-    else:
-        raise ValueError(f"unknown job type {job_type!r}")
+    try:
+        start = time.perf_counter()
+        with obs.span("job", id=job["id"], type=job_type, attempt=attempt):
+            if job_type == "verify":
+                body = _run_verify(params, cache, counters, job_seed)
+            elif job_type == "abstract":
+                body = _run_abstract(params, cache, counters)
+            elif job_type == "check-spec":
+                body = _run_check_spec(params)
+            elif job_type == "sleep":
+                body = _run_sleep(params)
+            elif job_type == "crash":
+                body = _run_crash(params, attempt)
+            else:
+                raise ValueError(f"unknown job type {job_type!r}")
+        seconds = time.perf_counter() - start
+    finally:
+        obs.disable()
+        if previous is not None:
+            obs.enable(previous)
+
+    snapshot = collector.snapshot()
+    if previous is not None:
+        previous.merge(snapshot)
+    phases = phases_from_spans(snapshot["spans"])
+    for phase in _EXPECTED_PHASES.get(job_type, ()):
+        phases.setdefault(phase, 0.0)
 
     result = {
         "id": job["id"],
         "type": job_type,
         "status": "ok",
         "attempt": attempt,
-        "seconds": time.perf_counter() - start,
+        "seconds": seconds,
         "phases": {k: round(v, 6) for k, v in phases.items()},
         "peak_rss_mb": round(_peak_rss_mb(), 1),
         "cache": dict(counters),
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "telemetry": snapshot,
     }
     result.update(body)
     return result

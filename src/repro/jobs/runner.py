@@ -17,22 +17,34 @@ guarantees:
 Results stream to a JSONL run log as they land: a ``start`` record, one
 ``job`` record per attempt outcome, and a final ``summary`` with verdict /
 status counts, aggregate cache hits, and wall time.
+
+Each worker runs its job under its own trace collector and ships the span
+snapshot home inside the result record (``telemetry``). The parent pops it
+before logging — run logs stay compact — and, when a ``trace_dir`` is
+given, writes one Chrome-trace file per job (``<trace_dir>/<id>.trace.json``,
+noted in the record as ``trace_file``). If the parent itself has tracing
+enabled, worker telemetry also merges into its collector.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import multiprocessing
 import os
+import re
 import time
 from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, List, Optional
 
+from .. import obs
 from .cache import CanonicalPolyCache
 from .executor import execute_job
 from .manifest import BatchManifest
 
 __all__ = ["BatchReport", "run_batch"]
+
+logger = logging.getLogger("repro.jobs")
 
 _POLL_INTERVAL = 0.02
 _KILL_GRACE = 2.0
@@ -115,6 +127,10 @@ class _Running:
     max_retries: int
 
 
+def _trace_file_name(job_id: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", job_id) + ".trace.json"
+
+
 def run_batch(
     manifest: BatchManifest,
     workers: int = 1,
@@ -123,16 +139,20 @@ def run_batch(
     log_path: Optional[str] = None,
     seed: Optional[int] = None,
     retries: Optional[int] = None,
+    trace_dir: Optional[str] = None,
 ) -> BatchReport:
     """Run every job of ``manifest`` on a pool of ``workers`` processes.
 
     ``default_timeout``/``retries`` apply to jobs that do not override them
     in the manifest; ``seed`` derives a distinct deterministic per-job seed
     (``seed + job index``) for the randomized counterexample search.
+    ``trace_dir`` enables per-job Chrome traces.
     """
     workers = max(1, int(workers))
     ctx = multiprocessing.get_context("fork")
     log = _RunLog(log_path)
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
     started = time.perf_counter()
     log.write(
         {
@@ -157,6 +177,29 @@ def run_batch(
     results: List[Dict] = []
 
     def finalize(record: Dict) -> None:
+        # The raw span snapshot is bulky; keep it out of the run log and the
+        # in-memory results, exporting/merging it here instead.
+        telemetry = record.pop("telemetry", None)
+        if telemetry:
+            if trace_dir:
+                path = os.path.join(trace_dir, _trace_file_name(record["id"]))
+                obs.write_chrome_trace(telemetry, path)
+                record["trace_file"] = path
+            parent = obs.active_collector()
+            if parent is not None:
+                parent.merge(telemetry)
+        if record.get("status") != "ok":
+            logger.warning(
+                "job %s finished %s after %d attempt(s): %s",
+                record["id"],
+                record["status"],
+                record.get("attempt", 1),
+                record.get("error", ""),
+            )
+        else:
+            logger.debug(
+                "job %s ok in %.3fs", record["id"], record.get("seconds", 0.0)
+            )
         results.append(record)
         log.write({"event": "job", **record})
 
@@ -225,6 +268,12 @@ def run_batch(
                     entry.process.join()
                     entry.conn.close()
                     if entry.attempt <= entry.max_retries:
+                        logger.warning(
+                            "job %s died with exit code %s on attempt %d; retrying",
+                            entry.job["id"],
+                            exitcode,
+                            entry.attempt,
+                        )
                         log.write(
                             {
                                 "event": "retry",
@@ -258,6 +307,11 @@ def run_batch(
                         )
                     continue
                 if entry.deadline is not None and time.monotonic() > entry.deadline:
+                    logger.warning(
+                        "job %s exceeded its %.1fs deadline; killing worker",
+                        entry.job["id"],
+                        time.monotonic() - entry.started,
+                    )
                     _kill(entry.process)
                     entry.conn.close()
                     finalize(

@@ -1,0 +1,67 @@
+"""Pipeline telemetry: hierarchical spans, work metrics, trace exporters.
+
+Zero-dependency observability for the abstraction/verification stack.
+Three layers, all importable from this package:
+
+- :mod:`repro.obs.spans` — ``span()`` context manager / ``traced()``
+  decorator with contextvars-based nesting, a thread-safe per-process
+  :class:`TraceCollector`, and snapshot/merge for worker-pool handoff;
+- :mod:`repro.obs.metrics` — canonical counter/gauge names for algebraic
+  work (Buchberger pairs, division steps, SAT conflicts, BDD nodes, ...);
+- :mod:`repro.obs.export` / :mod:`repro.obs.schema` /
+  :mod:`repro.obs.report` — Chrome-trace + JSONL exporters, trace
+  validation, and batch run-log aggregation (``repro report``).
+
+Tracing is off by default and the instrumentation left in library hot
+paths costs one global read per call site when disabled (guarded by
+``benchmarks/bench_obs_overhead.py``). Typical use::
+
+    from repro import obs
+
+    collector = obs.enable()
+    with obs.span("verify", k=32):
+        ...instrumented pipeline runs here...
+    obs.disable()
+    obs.write_chrome_trace(collector.snapshot(), "out.trace.json")
+"""
+
+from . import metrics
+from .export import summary_table, to_chrome_trace, write_chrome_trace, write_jsonl
+from .report import aggregate_run_log, format_report
+from .schema import validate_trace, validate_trace_file
+from .spans import (
+    SCHEMA_VERSION,
+    TraceCollector,
+    active_collector,
+    counter_add,
+    disable,
+    enable,
+    gauge_max,
+    is_enabled,
+    reset_context,
+    span,
+    traced,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TraceCollector",
+    "active_collector",
+    "aggregate_run_log",
+    "counter_add",
+    "disable",
+    "enable",
+    "format_report",
+    "gauge_max",
+    "is_enabled",
+    "metrics",
+    "reset_context",
+    "span",
+    "summary_table",
+    "to_chrome_trace",
+    "traced",
+    "validate_trace",
+    "validate_trace_file",
+    "write_chrome_trace",
+    "write_jsonl",
+]

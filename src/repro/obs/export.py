@@ -1,0 +1,176 @@
+"""Trace exporters: Chrome trace-format JSON, JSONL event log, summary table.
+
+All three consume the JSON snapshot produced by
+:meth:`repro.obs.spans.TraceCollector.snapshot` (or an equal merge of
+several workers' snapshots):
+
+- :func:`write_chrome_trace` emits the Trace Event Format consumed by
+  ``chrome://tracing`` / Perfetto — every span becomes a complete ``"X"``
+  event, so nested spans render as a flamegraph with one lane per
+  (pid, tid);
+- :func:`write_jsonl` emits a grep-able event log, one JSON object per
+  line (``meta``, ``span`` × N, ``counters``, ``gauges``);
+- :func:`summary_table` renders per-span-name timing aggregates plus the
+  counters/gauges as a fixed-width text table for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .spans import SCHEMA_VERSION
+
+__all__ = [
+    "summary_table",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+def to_chrome_trace(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert a collector snapshot into a Chrome Trace Event Format dict.
+
+    Timestamps are rebased to the earliest span so the viewer opens at
+    t=0; counters and gauges ride along in ``otherData`` (the viewer
+    shows them under Metadata).
+    """
+    spans = snapshot.get("spans", [])
+    t0 = min((record["ts"] for record in spans), default=0.0)
+    events: List[Dict[str, Any]] = []
+    seen_pids = set()
+    for record in spans:
+        args = dict(record.get("tags") or {})
+        if "error" in record:
+            args["error"] = record["error"]
+        args["span_id"] = record["id"]
+        if record.get("parent") is not None:
+            args["parent_id"] = record["parent"]
+        events.append(
+            {
+                "name": record["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": (record["ts"] - t0) * 1e6,
+                "dur": record["dur"] * 1e6,
+                "pid": record["pid"],
+                "tid": record["tid"],
+                "args": args,
+            }
+        )
+        seen_pids.add(record["pid"])
+    for pid in sorted(seen_pids):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": snapshot.get("schema", SCHEMA_VERSION),
+            "counters": snapshot.get("counters", {}),
+            "gauges": snapshot.get("gauges", {}),
+        },
+    }
+
+
+def write_chrome_trace(snapshot: Dict[str, Any], path: str) -> None:
+    """Write ``snapshot`` as a ``chrome://tracing``-loadable JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(snapshot), handle, indent=1, default=str)
+        handle.write("\n")
+
+
+def write_jsonl(snapshot: Dict[str, Any], path: str) -> None:
+    """Write ``snapshot`` as a JSONL event log (one object per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(
+                {
+                    "event": "meta",
+                    "schema": snapshot.get("schema", SCHEMA_VERSION),
+                    "spans": len(snapshot.get("spans", [])),
+                }
+            )
+            + "\n"
+        )
+        for record in snapshot.get("spans", []):
+            handle.write(json.dumps({"event": "span", **record}, default=str) + "\n")
+        handle.write(
+            json.dumps({"event": "counters", **snapshot.get("counters", {})}) + "\n"
+        )
+        handle.write(
+            json.dumps({"event": "gauges", **snapshot.get("gauges", {})}) + "\n"
+        )
+
+
+def _format_rows(rows: List[Dict[str, Any]]) -> List[str]:
+    if not rows:
+        return []
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    lines = ["  ".join(str(c).ljust(widths[c]) for c in columns)]
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return lines
+
+
+def summary_table(snapshot: Dict[str, Any]) -> str:
+    """Human-readable summary: span timings by name, counters, gauges."""
+    by_name: Dict[str, Dict[str, Any]] = {}
+    for record in snapshot.get("spans", []):
+        agg = by_name.setdefault(
+            record["name"], {"count": 0, "total": 0.0, "max": 0.0, "errors": 0}
+        )
+        agg["count"] += 1
+        agg["total"] += record["dur"]
+        agg["max"] = max(agg["max"], record["dur"])
+        if "error" in record:
+            agg["errors"] += 1
+    span_rows = [
+        {
+            "span": name,
+            "count": agg["count"],
+            "total_s": f"{agg['total']:.4f}",
+            "mean_s": f"{agg['total'] / agg['count']:.4f}",
+            "max_s": f"{agg['max']:.4f}",
+            "errors": agg["errors"],
+        }
+        for name, agg in sorted(
+            by_name.items(), key=lambda item: item[1]["total"], reverse=True
+        )
+    ]
+    lines: List[str] = ["spans"]
+    lines.extend(_format_rows(span_rows) or ["  (none)"])
+    counters = snapshot.get("counters") or {}
+    lines.append("")
+    lines.append("counters")
+    if counters:
+        lines.extend(
+            _format_rows(
+                [{"counter": k, "value": v} for k, v in sorted(counters.items())]
+            )
+        )
+    else:
+        lines.append("  (none)")
+    gauges = snapshot.get("gauges") or {}
+    lines.append("")
+    lines.append("gauges")
+    if gauges:
+        lines.extend(
+            _format_rows([{"gauge": k, "max": v} for k, v in sorted(gauges.items())])
+        )
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines)

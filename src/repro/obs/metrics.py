@@ -1,0 +1,70 @@
+"""Canonical metric names for the algebraic-work counters and gauges.
+
+Every instrumented module reports under these names so exporters, the
+``repro report`` aggregator and the tests agree on spelling. Names are
+dotted ``subsystem.measure``; counters accumulate by addition, gauges are
+high-water marks.
+
+The helpers re-exported here (:func:`counter_add`, :func:`gauge_max`) are
+the ones from :mod:`repro.obs.spans` — one global read when disabled.
+"""
+
+from __future__ import annotations
+
+from .spans import counter_add, gauge_max, is_enabled
+
+__all__ = [
+    "ABSTRACTION_PEAK_TERMS",
+    "ABSTRACTION_SUBSTITUTIONS",
+    "ABSTRACTION_TERM_TRAFFIC",
+    "BDD_NODES",
+    "BUCHBERGER_PAIRS_CONSIDERED",
+    "BUCHBERGER_PAIRS_SKIPPED",
+    "BUCHBERGER_REDUCTIONS",
+    "CACHE_HITS",
+    "CACHE_MISSES",
+    "DIVISION_CALLS",
+    "DIVISION_PEAK_TERMS",
+    "DIVISION_STEPS",
+    "FRAIG_MERGED",
+    "FRAIG_QUERIES",
+    "SAT_CONFLICTS",
+    "SAT_DECISIONS",
+    "SAT_PROPAGATIONS",
+    "VANISHING_GENERATORS",
+    "counter_add",
+    "gauge_max",
+    "is_enabled",
+]
+
+# Buchberger's algorithm (Algorithm 1): critical-pair bookkeeping. The
+# pairs-skipped counter is the paper's headline number — under RATO the
+# product criterion kills every pair but one.
+BUCHBERGER_PAIRS_CONSIDERED = "buchberger.pairs_considered"
+BUCHBERGER_PAIRS_SKIPPED = "buchberger.pairs_skipped_coprime"
+BUCHBERGER_REDUCTIONS = "buchberger.spoly_reductions"
+
+# Multivariate division (``f ->_G+ r``): the inner loop of everything.
+DIVISION_CALLS = "division.calls"
+DIVISION_STEPS = "division.steps"
+DIVISION_PEAK_TERMS = "division.peak_terms"  # gauge
+
+# Vanishing ideal J_0 generators materialised for faithful GB runs.
+VANISHING_GENERATORS = "vanishing.generators"
+
+# Guided S-polynomial reduction (the abstraction engine).
+ABSTRACTION_SUBSTITUTIONS = "abstraction.substitutions"
+ABSTRACTION_TERM_TRAFFIC = "abstraction.term_traffic"
+ABSTRACTION_PEAK_TERMS = "abstraction.peak_terms"  # gauge
+
+# Canonical-polynomial cache.
+CACHE_HITS = "cache.hits"
+CACHE_MISSES = "cache.misses"
+
+# Bit-level cross-checkers.
+SAT_CONFLICTS = "sat.conflicts"
+SAT_DECISIONS = "sat.decisions"
+SAT_PROPAGATIONS = "sat.propagations"
+BDD_NODES = "bdd.nodes"  # gauge
+FRAIG_QUERIES = "fraig.queries"
+FRAIG_MERGED = "fraig.merged"

@@ -1,0 +1,201 @@
+"""Batch run-log aggregation behind ``repro report``.
+
+A batch run log (``repro batch --log run.jsonl``) is a JSONL stream of
+``start`` / ``job`` / ``retry`` / ``summary`` records. This module folds
+the per-job records into one profile of the whole run:
+
+- **per-phase totals** — sum/mean/max of each pipeline phase (``parse``,
+  ``rato_setup``, ``spoly_reduction``, ``coeff_match``), which is the
+  Table 1/2 cost breakdown across an entire batch instead of one run;
+- **algebraic work counters** — summed ``counters`` (Buchberger pairs
+  skipped, division steps, SAT conflicts, ...) and maxed ``gauges``;
+- **cache effectiveness** — aggregate hit/miss counts and the hit rate;
+- **status/verdict tallies** and total job seconds.
+
+Legacy logs (pre-telemetry) aggregate fine: records without ``counters``
+or ``gauges`` simply contribute nothing to those sections.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+__all__ = ["aggregate_run_log", "format_report"]
+
+
+def aggregate_run_log(path: str) -> Dict[str, Any]:
+    """Aggregate a batch JSONL run log into one profile dict.
+
+    Raises ``ValueError`` on unreadable/garbled input or when the log
+    contains no job records at all.
+    """
+    jobs: List[Dict[str, Any]] = []
+    start: Dict[str, Any] = {}
+    summary: Dict[str, Any] = {}
+    retries = 0
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise ValueError(f"cannot read run log: {exc}") from exc
+    with handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON ({exc})"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{line_number}: record must be an object")
+            event = record.get("event")
+            if event == "job" or (event is None and "status" in record):
+                jobs.append(record)
+            elif event == "start":
+                start = record
+            elif event == "summary":
+                summary = record
+            elif event == "retry":
+                retries += 1
+    if not jobs:
+        raise ValueError(f"no job records found in {path}")
+
+    phases: Dict[str, Dict[str, float]] = {}
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    statuses: Dict[str, int] = {}
+    verdicts: Dict[str, int] = {}
+    cache_hits = 0
+    cache_misses = 0
+    total_seconds = 0.0
+    for record in jobs:
+        statuses[record.get("status", "?")] = (
+            statuses.get(record.get("status", "?"), 0) + 1
+        )
+        verdict = record.get("verdict")
+        if verdict:
+            verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        seconds = record.get("seconds")
+        if isinstance(seconds, (int, float)):
+            total_seconds += seconds
+        for name, value in (record.get("phases") or {}).items():
+            if not isinstance(value, (int, float)):
+                continue
+            agg = phases.setdefault(name, {"total": 0.0, "max": 0.0, "count": 0})
+            agg["total"] += value
+            agg["count"] += 1
+            agg["max"] = max(agg["max"], value)
+        for name, value in (record.get("counters") or {}).items():
+            if isinstance(value, (int, float)):
+                counters[name] = counters.get(name, 0) + value
+        for name, value in (record.get("gauges") or {}).items():
+            if isinstance(value, (int, float)):
+                gauges[name] = max(gauges.get(name, float("-inf")), value)
+        cache = record.get("cache") or {}
+        cache_hits += int(cache.get("hits", 0))
+        cache_misses += int(cache.get("misses", 0))
+    for agg in phases.values():
+        agg["mean"] = agg["total"] / agg["count"]
+    lookups = cache_hits + cache_misses
+    return {
+        "run_log": path,
+        "jobs": len(jobs),
+        "retries": retries,
+        "workers": start.get("workers") or summary.get("workers"),
+        "wall_seconds": summary.get("wall_seconds"),
+        "job_seconds_total": total_seconds,
+        "statuses": statuses,
+        "verdicts": verdicts,
+        "phases": phases,
+        "counters": counters,
+        "gauges": gauges,
+        "cache": {
+            "hits": cache_hits,
+            "misses": cache_misses,
+            "hit_rate": (cache_hits / lookups) if lookups else None,
+        },
+    }
+
+
+def _table(rows: List[Dict[str, Any]]) -> List[str]:
+    if not rows:
+        return ["  (none)"]
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    lines = ["  ".join(str(c).ljust(widths[c]) for c in columns)]
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return lines
+
+
+def format_report(aggregate: Dict[str, Any]) -> str:
+    """Render an :func:`aggregate_run_log` result as a terminal report."""
+    lines: List[str] = []
+    header = f"run log: {aggregate['run_log']}"
+    lines.append(header)
+    lines.append("=" * len(header))
+    statuses = ", ".join(f"{k}={v}" for k, v in sorted(aggregate["statuses"].items()))
+    verdicts = ", ".join(f"{k}={v}" for k, v in sorted(aggregate["verdicts"].items()))
+    summary_bits = [f"jobs: {aggregate['jobs']}", f"status [{statuses}]"]
+    if verdicts:
+        summary_bits.append(f"verdict [{verdicts}]")
+    if aggregate.get("retries"):
+        summary_bits.append(f"retries: {aggregate['retries']}")
+    if aggregate.get("workers"):
+        summary_bits.append(f"workers: {aggregate['workers']}")
+    lines.append("  ".join(summary_bits))
+    wall = aggregate.get("wall_seconds")
+    wall_text = f"{wall:.3f}s" if isinstance(wall, (int, float)) else "n/a"
+    lines.append(
+        f"wall: {wall_text}  job seconds (sum): "
+        f"{aggregate['job_seconds_total']:.3f}s"
+    )
+    lines.append("")
+    lines.append("phase timings")
+    phase_rows = [
+        {
+            "phase": name,
+            "total_s": f"{agg['total']:.4f}",
+            "mean_s": f"{agg['mean']:.4f}",
+            "max_s": f"{agg['max']:.4f}",
+            "jobs": agg["count"],
+        }
+        for name, agg in sorted(
+            aggregate["phases"].items(), key=lambda item: item[1]["total"], reverse=True
+        )
+    ]
+    lines.extend(_table(phase_rows))
+    lines.append("")
+    lines.append("algebraic work counters")
+    lines.extend(
+        _table(
+            [
+                {"counter": name, "total": value}
+                for name, value in sorted(aggregate["counters"].items())
+            ]
+        )
+    )
+    gauges = aggregate.get("gauges") or {}
+    if gauges:
+        lines.append("")
+        lines.append("gauges (max across jobs)")
+        lines.extend(
+            _table(
+                [{"gauge": name, "max": value} for name, value in sorted(gauges.items())]
+            )
+        )
+    cache = aggregate["cache"]
+    lines.append("")
+    rate = cache["hit_rate"]
+    rate_text = f"{rate * 100:.1f}%" if rate is not None else "n/a"
+    lines.append(
+        f"cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
+        f"hit rate {rate_text}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Trace-file schema validation (zero-dependency, CI-friendly).
+
+Validates the Chrome Trace Event Format documents written by
+:func:`repro.obs.export.write_chrome_trace` without pulling in a JSON
+Schema library: :func:`validate_trace` returns a list of human-readable
+problems (empty == valid), and running the module validates a file and
+exits nonzero on failure::
+
+    python -m repro.obs.schema out.trace.json
+
+CI runs exactly that against a freshly generated trace so exporter
+regressions fail the build rather than silently producing files the
+trace viewer rejects.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from .spans import SCHEMA_VERSION
+
+__all__ = ["validate_trace", "validate_trace_file", "main"]
+
+_ALLOWED_PHASES = {"X", "M", "B", "E", "C", "i"}
+
+
+def _check_event(event: Any, index: int, errors: List[str]) -> None:
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        errors.append(f"{where}: must be an object, got {type(event).__name__}")
+        return
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: 'name' must be a non-empty string")
+    ph = event.get("ph")
+    if ph not in _ALLOWED_PHASES:
+        errors.append(f"{where}: 'ph' must be one of {sorted(_ALLOWED_PHASES)}, got {ph!r}")
+    for key in ("pid", "tid"):
+        if not isinstance(event.get(key), int):
+            errors.append(f"{where}: {key!r} must be an integer")
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        errors.append(f"{where}: 'ts' must be a non-negative number")
+    if ph == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            errors.append(f"{where}: complete ('X') events need a non-negative 'dur'")
+    args = event.get("args")
+    if args is not None and not isinstance(args, dict):
+        errors.append(f"{where}: 'args' must be an object when present")
+
+
+def validate_trace(doc: Any) -> List[str]:
+    """Validate a Chrome-trace document; returns a list of problems."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be a JSON object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("'traceEvents' must be a list")
+        events = []
+    for index, event in enumerate(events):
+        _check_event(event, index, errors)
+    other = doc.get("otherData")
+    if other is not None:
+        if not isinstance(other, dict):
+            errors.append("'otherData' must be an object when present")
+        else:
+            schema = other.get("schema")
+            if schema is not None and schema != SCHEMA_VERSION:
+                errors.append(
+                    f"'otherData.schema' is {schema!r}; this validator expects "
+                    f"{SCHEMA_VERSION!r}"
+                )
+            for key in ("counters", "gauges"):
+                table = other.get(key)
+                if table is None:
+                    continue
+                if not isinstance(table, dict) or any(
+                    not isinstance(v, (int, float)) for v in table.values()
+                ):
+                    errors.append(f"'otherData.{key}' must map names to numbers")
+    return errors
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Load ``path`` as JSON and validate it as a Chrome trace."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"{path} is not valid JSON: {exc}"]
+    return validate_trace(doc)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv:
+        print("usage: python -m repro.obs.schema TRACE.json ...", file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        errors = validate_trace_file(path)
+        if errors:
+            for error in errors:
+                print(f"invalid: {error}", file=sys.stderr)
+            status = 1
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            doc: Dict[str, Any] = json.load(handle)
+        spans = sum(1 for e in doc.get("traceEvents", []) if e.get("ph") == "X")
+        print(f"ok: {path} ({spans} span event(s))")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

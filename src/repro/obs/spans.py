@@ -1,0 +1,260 @@
+"""Hierarchical span tracing with near-zero disabled overhead.
+
+A *span* is one timed region of the pipeline (``parse``, ``rato_setup``,
+``spoly_reduction``, ...). Spans nest: the ``contextvars`` machinery tracks
+the current span per thread (and per asyncio task, for free), so a span
+opened inside another records its parent and exporters can rebuild the
+tree — Chrome's trace viewer renders it as a flamegraph.
+
+Design constraints, in order:
+
+1. **Disabled means free.** Instrumentation stays in library hot paths
+   permanently, so when no collector is active ``span()`` must cost one
+   global read plus returning a shared no-op context manager, and
+   ``counter_add``/``gauge_max`` one global read. The
+   ``bench_obs_overhead.py`` guard keeps this honest (< 5% of the k=32
+   verify path).
+2. **Thread-safe.** A single :class:`TraceCollector` may receive spans
+   from several threads; its buffer and counter maps are lock-guarded,
+   while the *current span* is per-thread state in a ``ContextVar``.
+3. **Process-safe.** Worker processes (the ``repro.jobs`` pool) run their
+   own collector and ship :meth:`TraceCollector.snapshot` — a plain JSON
+   document — back over the result pipe; the parent folds it in with
+   :meth:`TraceCollector.merge`. Span ids are only unique per process;
+   ``(pid, id)`` is the global key, and every record carries its ``pid``.
+
+Enable/disable is process-global (one active collector), matching how the
+CLI and the batch workers use it: one collector per verification run.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TraceCollector",
+    "active_collector",
+    "counter_add",
+    "disable",
+    "enable",
+    "gauge_max",
+    "is_enabled",
+    "reset_context",
+    "span",
+    "traced",
+]
+
+#: Version tag stamped into snapshots and validated by ``repro.obs.schema``.
+SCHEMA_VERSION = "repro-trace-v1"
+
+
+class TraceCollector:
+    """Per-process buffer of finished spans plus counter/gauge maps.
+
+    Counters accumulate by addition (``buchberger.pairs_skipped_coprime``,
+    ``division.steps``, ...); gauges keep the maximum observed value
+    (``abstraction.peak_terms``, ``bdd.nodes``). Both are flat
+    ``name -> number`` maps so snapshots serialize to JSON directly.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: List[Dict[str, Any]] = []
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._next_id = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def new_span_id(self) -> int:
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
+
+    def add_span(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._spans.append(record)
+
+    def counter_add(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge_max(self, name: str, value: float) -> None:
+        with self._lock:
+            if value > self._gauges.get(name, float("-inf")):
+                self._gauges[name] = value
+
+    # -- export / handoff ----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serialisable copy of everything recorded so far."""
+        with self._lock:
+            return {
+                "schema": SCHEMA_VERSION,
+                "spans": [dict(record) for record in self._spans],
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+            }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another collector's snapshot in (worker -> parent handoff).
+
+        Spans append verbatim — their ids stay meaningful because each
+        record carries the originating ``pid``. Counters add; gauges max.
+        """
+        with self._lock:
+            self._spans.extend(dict(r) for r in snapshot.get("spans", ()))
+            for name, amount in (snapshot.get("counters") or {}).items():
+                self._counters[name] = self._counters.get(name, 0) + amount
+            for name, value in (snapshot.get("gauges") or {}).items():
+                if value > self._gauges.get(name, float("-inf")):
+                    self._gauges[name] = value
+
+    @property
+    def num_spans(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+_ACTIVE: Optional[TraceCollector] = None
+_CURRENT: "contextvars.ContextVar[Optional[int]]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_tag(self, key: str, value: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """An open span: records timing, parentage and tags on exit."""
+
+    __slots__ = ("_collector", "_name", "_tags", "_id", "_parent", "_token", "_ts", "_t0")
+
+    def __init__(self, collector: TraceCollector, name: str, tags: Dict[str, Any]):
+        self._collector = collector
+        self._name = name
+        self._tags = tags
+
+    def __enter__(self) -> "_LiveSpan":
+        self._parent = _CURRENT.get()
+        self._id = self._collector.new_span_id()
+        self._token = _CURRENT.set(self._id)
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def set_tag(self, key: str, value: Any) -> None:
+        """Attach a tag after entry (e.g. a verdict known only at the end)."""
+        self._tags[key] = value
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._t0
+        _CURRENT.reset(self._token)
+        record: Dict[str, Any] = {
+            "name": self._name,
+            "id": self._id,
+            "parent": self._parent,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "ts": self._ts,
+            "dur": duration,
+            "tags": self._tags,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        self._collector.add_span(record)
+        return False
+
+
+def enable(collector: Optional[TraceCollector] = None) -> TraceCollector:
+    """Activate tracing for this process; returns the active collector."""
+    global _ACTIVE
+    if collector is None:
+        collector = TraceCollector()
+    _ACTIVE = collector
+    return collector
+
+
+def disable() -> Optional[TraceCollector]:
+    """Deactivate tracing; returns the collector that was active (if any)."""
+    global _ACTIVE
+    collector, _ACTIVE = _ACTIVE, None
+    return collector
+
+
+def is_enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def active_collector() -> Optional[TraceCollector]:
+    return _ACTIVE
+
+
+def reset_context() -> None:
+    """Clear the current-span pointer (a forked worker inherits its parent's)."""
+    _CURRENT.set(None)
+
+
+def span(name: str, **tags: Any):
+    """Open a span: ``with span("rato_setup", gates=n): ...``.
+
+    When tracing is disabled this returns a shared no-op context manager;
+    the call costs one global read.
+    """
+    collector = _ACTIVE
+    if collector is None:
+        return _NULL_SPAN
+    return _LiveSpan(collector, name, tags)
+
+
+def traced(name: Optional[str] = None, **tags: Any) -> Callable:
+    """Decorator form of :func:`span` (span name defaults to the function's)."""
+
+    def decorate(func: Callable) -> Callable:
+        label = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if _ACTIVE is None:
+                return func(*args, **kwargs)
+            with span(label, **tags):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def counter_add(name: str, amount: int = 1) -> None:
+    """Add to a named counter (no-op while tracing is disabled)."""
+    collector = _ACTIVE
+    if collector is not None:
+        collector.counter_add(name, amount)
+
+
+def gauge_max(name: str, value: float) -> None:
+    """Raise a named high-water-mark gauge (no-op while disabled)."""
+    collector = _ACTIVE
+    if collector is not None:
+        collector.gauge_max(name, value)

@@ -14,6 +14,8 @@ from typing import Dict, Optional
 
 from ..bdd import BddManager, BddOverflow, build_circuit_bdds
 from ..circuits import Circuit
+from ..obs import metrics
+from ..obs.spans import span
 from .outcome import EquivalenceOutcome
 
 __all__ = ["check_equivalence_bdd"]
@@ -68,19 +70,21 @@ def check_equivalence_bdd(
         return mapping
 
     try:
-        spec_values = build_circuit_bdds(
-            spec, manager, input_vars=input_vars(spec.input_words)
-        )
-        impl_values = build_circuit_bdds(
-            impl, manager, input_vars=input_vars(impl_inputs)
-        )
-        diff = 0  # BDD FALSE
-        for word in sorted(spec.output_words):
-            for sb, ib in zip(spec.output_words[word], impl_outputs[word]):
-                diff = manager.apply_or(
-                    diff, manager.apply_xor(spec_values[sb], impl_values[ib])
-                )
+        with span("bdd_miter", budget=max_nodes):
+            spec_values = build_circuit_bdds(
+                spec, manager, input_vars=input_vars(spec.input_words)
+            )
+            impl_values = build_circuit_bdds(
+                impl, manager, input_vars=input_vars(impl_inputs)
+            )
+            diff = 0  # BDD FALSE
+            for word in sorted(spec.output_words):
+                for sb, ib in zip(spec.output_words[word], impl_outputs[word]):
+                    diff = manager.apply_or(
+                        diff, manager.apply_xor(spec_values[sb], impl_values[ib])
+                    )
     except BddOverflow:
+        metrics.gauge_max(metrics.BDD_NODES, manager.num_nodes())
         return EquivalenceOutcome(
             "unknown",
             "bdd-miter",
@@ -88,6 +92,7 @@ def check_equivalence_bdd(
             time.perf_counter() - start,
             {"nodes": manager.num_nodes(), "budget": max_nodes},
         )
+    metrics.gauge_max(metrics.BDD_NODES, manager.num_nodes())
     elapsed = time.perf_counter() - start
     details = {"nodes": manager.num_nodes(), "diff_size": manager.size(diff)}
     if diff == 0:

@@ -18,6 +18,7 @@ from ..algebra import Polynomial
 from ..circuits import Circuit, HierarchicalCircuit, simulate_words
 from ..core import abstract_circuit, abstract_hierarchy, word_ring_for
 from ..gf import GF2m
+from ..obs.spans import span
 from .counterexample import find_nonzero_point
 from .outcome import EquivalenceOutcome
 
@@ -173,27 +174,31 @@ def verify_equivalence(
             f"impl {translated} (after word_map)"
         )
 
-    spec_poly, spec_stats = canonical_polynomial(spec, field, spec_output, case2)
-    impl_poly, impl_stats = canonical_polynomial(impl, field, impl_output, case2)
+    with span("abstract", side="spec"):
+        spec_poly, spec_stats = canonical_polynomial(spec, field, spec_output, case2)
+    with span("abstract", side="impl"):
+        impl_poly, impl_stats = canonical_polynomial(impl, field, impl_output, case2)
 
-    # Re-home both polynomials into one shared ring over the spec's words.
-    ring = word_ring_for(field, sorted(spec_words))
+    with span("coeff_match"):
+        # Re-home both polynomials into one shared ring over the spec's words.
+        ring = word_ring_for(field, sorted(spec_words))
 
-    def rehome(poly: Polynomial, rename: Dict[str, str]) -> Polynomial:
-        data = {}
-        source = poly.ring
-        for monomial, coeff in poly.terms.items():
-            key = tuple(
-                sorted(
-                    (ring.index[rename.get(source.variables[v], source.variables[v])], e)
-                    for v, e in monomial
+        def rehome(poly: Polynomial, rename: Dict[str, str]) -> Polynomial:
+            data = {}
+            source = poly.ring
+            for monomial, coeff in poly.terms.items():
+                key = tuple(
+                    sorted(
+                        (ring.index[rename.get(source.variables[v], source.variables[v])], e)
+                        for v, e in monomial
+                    )
                 )
-            )
-            data[key] = coeff
-        return Polynomial(ring, data)
+                data[key] = coeff
+            return Polynomial(ring, data)
 
-    spec_canonical = rehome(spec_poly, {})
-    impl_canonical = rehome(impl_poly, word_map)
+        spec_canonical = rehome(spec_poly, {})
+        impl_canonical = rehome(impl_poly, word_map)
+        equivalent = spec_canonical == impl_canonical
     elapsed = time.perf_counter() - start
     details = {
         "spec": spec_stats,
@@ -203,27 +208,28 @@ def verify_equivalence(
         "spec_terms": len(spec_canonical),
         "impl_terms": len(impl_canonical),
     }
-    if spec_canonical == impl_canonical:
+    if equivalent:
         return EquivalenceOutcome("equivalent", "abstraction", None, elapsed, details)
-    counterexample = counterexample_by_simulation(
-        spec,
-        impl,
-        field,
-        list(spec_words),
-        word_map,
-        spec_output,
-        impl_output,
-        rng=random.Random(0xDAC14 if seed is None else seed),
-    )
-    if counterexample is None:
-        # Algebraic fallback: search the nonzero difference polynomial.
-        difference = spec_canonical + impl_canonical
-        counterexample = find_nonzero_point(
-            difference,
-            exhaustive_limit=1 << 12,
-            samples=500,
-            rng=random.Random(2014 if seed is None else seed + 1),
+    with span("counterexample_search"):
+        counterexample = counterexample_by_simulation(
+            spec,
+            impl,
+            field,
+            list(spec_words),
+            word_map,
+            spec_output,
+            impl_output,
+            rng=random.Random(0xDAC14 if seed is None else seed),
         )
+        if counterexample is None:
+            # Algebraic fallback: search the nonzero difference polynomial.
+            difference = spec_canonical + impl_canonical
+            counterexample = find_nonzero_point(
+                difference,
+                exhaustive_limit=1 << 12,
+                samples=500,
+                rng=random.Random(2014 if seed is None else seed + 1),
+            )
     return EquivalenceOutcome(
         "not_equivalent", "abstraction", counterexample, elapsed, details
     )

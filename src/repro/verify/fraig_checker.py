@@ -15,6 +15,8 @@ from typing import Dict, Optional
 
 from ..aig import Aig, circuit_to_aig, prove_lit_equal, sat_sweep
 from ..circuits import Circuit
+from ..obs import metrics
+from ..obs.spans import span
 from .outcome import EquivalenceOutcome
 
 __all__ = ["check_equivalence_fraig"]
@@ -59,7 +61,10 @@ def check_equivalence_fraig(
     _, spec_lits = circuit_to_aig(spec, aig, spec_input_lits)
     _, impl_lits = circuit_to_aig(impl, aig, impl_input_lits)
 
-    sweep = sat_sweep(aig, max_conflicts_per_query=max_conflicts_per_query)
+    with span("fraig_sweep", and_nodes=aig.num_ands()):
+        sweep = sat_sweep(aig, max_conflicts_per_query=max_conflicts_per_query)
+    metrics.counter_add(metrics.FRAIG_QUERIES, sweep.queries)
+    metrics.counter_add(metrics.FRAIG_MERGED, sweep.merged)
     details = {
         "and_nodes": aig.num_ands(),
         "queries": sweep.queries,

@@ -26,6 +26,7 @@ from ..core.abstraction import reduce_through_gates
 from ..core.bitpoly import SubstitutionEngine
 from ..core.rato import build_rato
 from ..gf import GF2m
+from ..obs.spans import span
 from .outcome import EquivalenceOutcome
 
 __all__ = ["check_ideal_membership"]
@@ -127,8 +128,9 @@ def check_ideal_membership(
     # f = Z + F with Z written bit-level: sum alpha^i z_i + F(bits of A, B).
     for i, bit in enumerate(circuit.output_words[output_word]):
         engine.add_term(frozenset((id_of[bit],)), alpha_powers[i])
-    _expand_spec_into_bits(spec, circuit, field, id_of, engine)
-    reduce_through_gates(circuit, engine, ordering)
+    with span("spoly_reduction", method="ideal_membership", gates=circuit.num_gates()):
+        _expand_spec_into_bits(spec, circuit, field, id_of, engine)
+        reduce_through_gates(circuit, engine, ordering)
     elapsed = time.perf_counter() - start
     details = {
         "remainder_terms": len(engine.terms),

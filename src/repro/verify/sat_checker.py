@@ -12,6 +12,8 @@ import time
 from typing import Dict, Optional
 
 from ..circuits import Circuit
+from ..obs import metrics
+from ..obs.spans import span
 from ..sat import SatSolver, tseitin_encode
 from .miter import build_miter
 from .outcome import EquivalenceOutcome
@@ -28,13 +30,19 @@ def check_equivalence_sat(
 ) -> EquivalenceOutcome:
     """Prove/refute equivalence by SAT on the miter."""
     start = time.perf_counter()
-    miter, diff_net = build_miter(
-        spec, impl, word_map=word_map, output_map=output_map
-    )
-    encoding = tseitin_encode(miter)
-    encoding.cnf.add_clause((encoding.variable(diff_net),))
-    solver = SatSolver(encoding.cnf)
-    result = solver.solve(max_conflicts=max_conflicts)
+    with span("sat_miter", budget=max_conflicts) as trace_span:
+        miter, diff_net = build_miter(
+            spec, impl, word_map=word_map, output_map=output_map
+        )
+        encoding = tseitin_encode(miter)
+        encoding.cnf.add_clause((encoding.variable(diff_net),))
+        solver = SatSolver(encoding.cnf)
+        result = solver.solve(max_conflicts=max_conflicts)
+        if trace_span is not None:
+            trace_span.set_tag("status", result.status)
+        metrics.counter_add(metrics.SAT_CONFLICTS, result.conflicts)
+        metrics.counter_add(metrics.SAT_DECISIONS, result.decisions)
+        metrics.counter_add(metrics.SAT_PROPAGATIONS, result.propagations)
     elapsed = time.perf_counter() - start
     details = {
         "conflicts": result.conflicts,

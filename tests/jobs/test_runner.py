@@ -56,8 +56,11 @@ class TestHappyPath:
         assert by_id["abs"]["terms"] == 1  # Z = A*B
         # Phase records cover the paper's pipeline on at least one cold job.
         cold = by_id["equiv"]["phases"]
-        assert {"parse", "coeff_match"} <= set(cold)
+        assert {"parse", "rato_setup", "spoly_reduction", "coeff_match"} <= set(cold)
+        assert cold["spoly_reduction"] > 0
         assert by_id["equiv"]["peak_rss_mb"] > 0
+        # Per-job algebraic work counters ride along with the record.
+        assert by_id["equiv"]["counters"].get("abstraction.substitutions", 0) > 0
 
     def test_buggy_impl_gets_counterexample(self, netlist_dir, write_manifest):
         from repro.circuits import read_verilog, write_verilog
@@ -190,9 +193,14 @@ class TestCacheIntegration:
         assert warm.cache_misses == 0
         assert warm.cache_hits == 6
         for result in warm.results:
-            # Gröbner-basis work is skipped entirely on a warm cache.
-            assert "rato_setup" not in result["phases"]
-            assert "spoly_reduction" not in result["phases"]
+            # Gröbner-basis work is skipped entirely on a warm cache; the
+            # phases still appear — as explicit zeros — so downstream
+            # aggregation never KeyErrors and averages keep their denominators.
+            assert result["phases"]["rato_setup"] == 0.0
+            assert result["phases"]["spoly_reduction"] == 0.0
+            assert result["phases"]["coeff_match"] > 0
+            assert result["spec_cache_hit"] is True
+            assert result["impl_cache_hit"] is True
 
 
 class TestRunLog:

@@ -1,0 +1,15 @@
+"""Fixtures for the telemetry tests: keep the process-global collector clean."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_collector():
+    """Tracing state is process-global; never leak it across tests."""
+    obs.disable()
+    obs.reset_context()
+    yield
+    obs.disable()
+    obs.reset_context()

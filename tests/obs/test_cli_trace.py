@@ -1,0 +1,240 @@
+"""End-to-end CLI telemetry: verify --trace/--metrics, batch --trace-dir,
+repro report, and the multiprocess span handoff."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.schema import validate_trace_file
+
+
+@pytest.fixture
+def netlists(tmp_path):
+    spec = str(tmp_path / "spec.v")
+    impl = str(tmp_path / "impl.v")
+    assert main(["gen", "mastrovito", "-k", "4", "-o", spec]) == 0
+    assert main(["gen", "montgomery", "-k", "4", "-o", impl]) == 0
+    return spec, impl
+
+
+class TestVerifyTrace:
+    def test_chrome_trace_with_nested_pipeline_spans(self, netlists, tmp_path, capsys):
+        spec, impl = netlists
+        trace = str(tmp_path / "out.trace.json")
+        assert main(["verify", spec, impl, "-k", "4", "--trace", trace]) == 0
+        assert "trace:" in capsys.readouterr().out
+        assert validate_trace_file(trace) == []
+        with open(trace) as handle:
+            doc = json.load(handle)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {}
+        for event in spans:
+            by_name.setdefault(event["name"], []).append(event)
+        # The acceptance flow: parse -> RATO setup -> S-poly reduction ->
+        # coefficient match, all nested under the root verify span.
+        for name in ("verify", "parse", "rato_setup", "spoly_reduction", "coeff_match"):
+            assert name in by_name, sorted(by_name)
+        root = by_name["verify"][0]["args"]["span_id"]
+        assert all(e["args"]["parent_id"] == root for e in by_name["parse"])
+        assert doc["otherData"]["counters"]["abstraction.substitutions"] > 0
+
+    def test_metrics_flag_prints_summary(self, netlists, capsys):
+        spec, impl = netlists
+        assert main(["verify", spec, impl, "-k", "4", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+        assert "spoly_reduction" in out
+        assert "abstraction.substitutions" in out
+
+    def test_jsonl_extension_selects_event_log(self, netlists, tmp_path):
+        spec, impl = netlists
+        trace = str(tmp_path / "out.jsonl")
+        assert main(["verify", spec, impl, "-k", "4", "--trace", trace]) == 0
+        lines = [json.loads(l) for l in open(trace) if l.strip()]
+        assert lines[0]["event"] == "meta"
+        assert any(l.get("name") == "spoly_reduction" for l in lines)
+
+    def test_sat_method_traces_miter_span(self, netlists, tmp_path):
+        spec, impl = netlists
+        trace = str(tmp_path / "sat.trace.json")
+        assert (
+            main(
+                ["verify", spec, impl, "-k", "4", "--method", "sat", "--trace", trace]
+            )
+            == 0
+        )
+        with open(trace) as handle:
+            doc = json.load(handle)
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "sat_miter" in names
+        assert doc["otherData"]["counters"].get("sat.conflicts", 0) >= 0
+
+    def test_untraced_run_leaves_no_file(self, netlists, tmp_path):
+        spec, impl = netlists
+        assert main(["verify", spec, impl, "-k", "4"]) == 0
+        assert not list(tmp_path.glob("*.json"))
+
+
+class TestBatchTraceDir:
+    def _manifest(self, tmp_path, spec, impl, jobs=None):
+        path = tmp_path / "m.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "jobs": jobs
+                    or [
+                        {
+                            "id": "pair",
+                            "type": "verify",
+                            "spec": spec,
+                            "impl": impl,
+                            "k": 4,
+                        }
+                    ]
+                }
+            )
+        )
+        return str(path)
+
+    def test_per_job_trace_proves_worker_process_handoff(self, netlists, tmp_path):
+        spec, impl = netlists
+        manifest = self._manifest(tmp_path, spec, impl)
+        trace_dir = str(tmp_path / "traces")
+        log = str(tmp_path / "run.jsonl")
+        rc = main(
+            [
+                "batch",
+                manifest,
+                "--no-cache",
+                "--trace-dir",
+                trace_dir,
+                "--log",
+                log,
+            ]
+        )
+        assert rc == 0
+        trace_file = os.path.join(trace_dir, "pair.trace.json")
+        assert validate_trace_file(trace_file) == []
+        with open(trace_file) as handle:
+            doc = json.load(handle)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in spans}
+        assert {"job", "parse", "rato_setup", "spoly_reduction", "coeff_match"} <= names
+        # The spans were recorded in the worker process and shipped back
+        # over the result pipe: their pid differs from this (parent) process.
+        assert all(e["pid"] != os.getpid() for e in spans)
+        # The run log notes where each job's trace landed.
+        records = [json.loads(l) for l in open(log) if l.strip()]
+        job = next(r for r in records if r.get("event") == "job")
+        assert job["trace_file"] == trace_file
+        assert "telemetry" not in job  # raw snapshot stays out of the log
+
+    def test_warm_cache_trace_has_zero_phases(self, netlists, tmp_path, capsys):
+        spec, impl = netlists
+        manifest = self._manifest(tmp_path, spec, impl)
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", manifest, "--cache-dir", cache_dir]) == 0
+        log = str(tmp_path / "warm.jsonl")
+        assert (
+            main(["batch", manifest, "--cache-dir", cache_dir, "--log", log]) == 0
+        )
+        capsys.readouterr()
+        records = [json.loads(l) for l in open(log) if l.strip()]
+        job = next(r for r in records if r.get("event") == "job")
+        assert job["spec_cache_hit"] is True
+        assert job["phases"]["rato_setup"] == 0.0
+        assert job["phases"]["spoly_reduction"] == 0.0
+
+
+class TestReportCommand:
+    def test_report_aggregates_batch_log(self, netlists, tmp_path, capsys):
+        spec, impl = netlists
+        manifest = tmp_path / "m.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "jobs": [
+                        {
+                            "id": f"j{i}",
+                            "type": "verify",
+                            "spec": spec,
+                            "impl": impl,
+                            "k": 4,
+                        }
+                        for i in range(2)
+                    ]
+                }
+            )
+        )
+        log = str(tmp_path / "run.jsonl")
+        assert main(["batch", str(manifest), "--no-cache", "--log", log]) == 0
+        capsys.readouterr()
+        assert main(["report", log]) == 0
+        out = capsys.readouterr().out
+        assert "jobs: 2" in out
+        assert "spoly_reduction" in out
+        assert "abstraction.substitutions" in out
+
+    def test_report_json_mode(self, netlists, tmp_path, capsys):
+        spec, impl = netlists
+        manifest = tmp_path / "m.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "jobs": [
+                        {
+                            "id": "j",
+                            "type": "verify",
+                            "spec": spec,
+                            "impl": impl,
+                            "k": 4,
+                        }
+                    ]
+                }
+            )
+        )
+        log = str(tmp_path / "run.jsonl")
+        assert main(["batch", str(manifest), "--no-cache", "--log", log]) == 0
+        capsys.readouterr()
+        assert main(["report", log, "--json"]) == 0
+        aggregate = json.loads(capsys.readouterr().out)
+        assert aggregate["jobs"] == 1
+        assert aggregate["phases"]["spoly_reduction"]["count"] == 1
+
+    def test_report_on_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLoggingFlags:
+    def test_flags_accepted_before_and_after_subcommand(self, tmp_path):
+        out = str(tmp_path / "a.v")
+        assert main(["--quiet", "gen", "adder", "-k", "4", "-o", out]) == 0
+        assert main(["gen", "adder", "-k", "4", "-o", out, "--verbose"]) == 0
+        assert main(["-q", "gen", "adder", "-k", "4", "-o", out]) == 0
+
+    def test_verbose_batch_logs_job_completion(self, netlists, tmp_path, caplog):
+        import logging
+
+        spec, impl = netlists
+        manifest = tmp_path / "m.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "jobs": [
+                        {
+                            "id": "j",
+                            "type": "verify",
+                            "spec": spec,
+                            "impl": impl,
+                            "k": 4,
+                        }
+                    ]
+                }
+            )
+        )
+        with caplog.at_level(logging.DEBUG, logger="repro.jobs"):
+            assert main(["batch", str(manifest), "--no-cache", "--verbose"]) == 0
+        assert any("job j ok" in message for message in caplog.messages)

@@ -1,0 +1,131 @@
+"""Exporters and schema validation: Chrome trace, JSONL log, summary table."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.schema import main as schema_main, validate_trace
+
+
+def _sample_snapshot():
+    collector = obs.TraceCollector()
+    base = 1000.0
+    collector.add_span(
+        {
+            "name": "verify",
+            "id": 1,
+            "parent": None,
+            "pid": 10,
+            "tid": 1,
+            "ts": base,
+            "dur": 1.0,
+            "tags": {"k": 8},
+        }
+    )
+    collector.add_span(
+        {
+            "name": "spoly_reduction",
+            "id": 2,
+            "parent": 1,
+            "pid": 10,
+            "tid": 1,
+            "ts": base + 0.25,
+            "dur": 0.5,
+            "tags": {},
+            "error": "RuntimeError",
+        }
+    )
+    collector.counter_add("division.steps", 42)
+    collector.gauge_max("abstraction.peak_terms", 99)
+    return collector.snapshot()
+
+
+class TestChromeTrace:
+    def test_round_trip_passes_validator(self, tmp_path):
+        path = str(tmp_path / "out.trace.json")
+        obs.write_chrome_trace(_sample_snapshot(), path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert validate_trace(doc) == []
+
+    def test_timestamps_rebase_to_zero_microseconds(self):
+        doc = obs.to_chrome_trace(_sample_snapshot())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["verify"]["ts"] == 0.0
+        assert by_name["spoly_reduction"]["ts"] == pytest.approx(0.25e6)
+        assert by_name["verify"]["dur"] == pytest.approx(1e6)
+
+    def test_parentage_error_and_aggregates_travel_in_args(self):
+        doc = obs.to_chrome_trace(_sample_snapshot())
+        child = next(
+            e for e in doc["traceEvents"] if e["name"] == "spoly_reduction"
+        )
+        assert child["args"]["parent_id"] == 1
+        assert child["args"]["error"] == "RuntimeError"
+        assert doc["otherData"]["counters"]["division.steps"] == 42
+        assert doc["otherData"]["gauges"]["abstraction.peak_terms"] == 99
+        assert doc["otherData"]["schema"] == obs.SCHEMA_VERSION
+
+    def test_metadata_names_each_process_lane(self):
+        doc = obs.to_chrome_trace(_sample_snapshot())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(e["pid"] == 10 for e in meta)
+
+
+class TestJsonl:
+    def test_every_line_is_json_with_meta_first(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        obs.write_jsonl(_sample_snapshot(), path)
+        lines = [json.loads(l) for l in open(path) if l.strip()]
+        assert lines[0]["event"] == "meta"
+        assert lines[0]["schema"] == obs.SCHEMA_VERSION
+        assert lines[0]["spans"] == 2
+        events = [l["event"] for l in lines]
+        assert events.count("span") == 2
+        assert "counters" in events and "gauges" in events
+
+
+class TestSummaryTable:
+    def test_contains_spans_counters_and_error_counts(self):
+        table = obs.summary_table(_sample_snapshot())
+        assert "verify" in table
+        assert "spoly_reduction" in table
+        assert "division.steps" in table
+        assert "abstraction.peak_terms" in table
+
+    def test_empty_snapshot_renders(self):
+        table = obs.summary_table(obs.TraceCollector().snapshot())
+        assert "(none)" in table
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_trace([]) != []
+
+    def test_rejects_missing_dur_on_complete_event(self):
+        doc = {
+            "traceEvents": [
+                {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0}
+            ]
+        }
+        errors = validate_trace(doc)
+        assert any("dur" in e for e in errors)
+
+    def test_rejects_wrong_schema_version(self):
+        doc = {"traceEvents": [], "otherData": {"schema": "bogus-v9"}}
+        errors = validate_trace(doc)
+        assert any("schema" in e for e in errors)
+
+    def test_cli_ok_and_invalid_paths(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        obs.write_chrome_trace(_sample_snapshot(), str(good))
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": "nope"}')
+        assert schema_main([str(good)]) == 0
+        assert "ok:" in capsys.readouterr().out
+        assert schema_main([str(bad)]) == 1
+        assert "invalid" in capsys.readouterr().err
+        assert schema_main([str(good), str(bad)]) == 1
+        assert schema_main([]) == 2

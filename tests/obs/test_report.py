@@ -1,0 +1,109 @@
+"""Run-log aggregation math behind ``repro report``."""
+
+import json
+
+import pytest
+
+from repro.obs import aggregate_run_log, format_report
+
+
+def _write_log(tmp_path, records, name="run.jsonl"):
+    path = tmp_path / name
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return str(path)
+
+
+@pytest.fixture
+def sample_log(tmp_path):
+    return _write_log(
+        tmp_path,
+        [
+            {"event": "start", "jobs": 3, "workers": 2},
+            {
+                "event": "job",
+                "id": "a",
+                "status": "ok",
+                "verdict": "equivalent",
+                "seconds": 1.0,
+                "phases": {"parse": 0.2, "spoly_reduction": 0.6},
+                "counters": {"division.steps": 10},
+                "gauges": {"abstraction.peak_terms": 50},
+                "cache": {"hits": 0, "misses": 2},
+            },
+            {"event": "retry", "id": "b", "attempt": 1},
+            {
+                "event": "job",
+                "id": "b",
+                "status": "ok",
+                "verdict": "not_equivalent",
+                "seconds": 3.0,
+                "phases": {"parse": 0.4, "spoly_reduction": 0.0},
+                "counters": {"division.steps": 5},
+                "gauges": {"abstraction.peak_terms": 80},
+                "cache": {"hits": 2, "misses": 0},
+            },
+            {"event": "job", "id": "c", "status": "timeout", "seconds": 9.0},
+            {"event": "summary", "wall_seconds": 8.5, "workers": 2},
+        ],
+    )
+
+
+class TestAggregation:
+    def test_phase_totals_means_and_maxes(self, sample_log):
+        aggregate = aggregate_run_log(sample_log)
+        parse = aggregate["phases"]["parse"]
+        assert parse["total"] == pytest.approx(0.6)
+        assert parse["mean"] == pytest.approx(0.3)
+        assert parse["max"] == pytest.approx(0.4)
+        assert parse["count"] == 2
+        # Zero-valued phases (warm cache) keep their denominator slot.
+        spoly = aggregate["phases"]["spoly_reduction"]
+        assert spoly["count"] == 2
+        assert spoly["mean"] == pytest.approx(0.3)
+
+    def test_counters_sum_gauges_max(self, sample_log):
+        aggregate = aggregate_run_log(sample_log)
+        assert aggregate["counters"]["division.steps"] == 15
+        assert aggregate["gauges"]["abstraction.peak_terms"] == 80
+
+    def test_statuses_verdicts_retries_cache(self, sample_log):
+        aggregate = aggregate_run_log(sample_log)
+        assert aggregate["jobs"] == 3
+        assert aggregate["statuses"] == {"ok": 2, "timeout": 1}
+        assert aggregate["verdicts"] == {"equivalent": 1, "not_equivalent": 1}
+        assert aggregate["retries"] == 1
+        assert aggregate["workers"] == 2
+        assert aggregate["wall_seconds"] == 8.5
+        assert aggregate["job_seconds_total"] == pytest.approx(13.0)
+        assert aggregate["cache"] == {"hits": 2, "misses": 2, "hit_rate": 0.5}
+
+    def test_legacy_records_without_event_key(self, tmp_path):
+        path = _write_log(
+            tmp_path,
+            [{"id": "old", "status": "ok", "seconds": 1.5, "phases": {"parse": 0.1}}],
+        )
+        aggregate = aggregate_run_log(path)
+        assert aggregate["jobs"] == 1
+        assert aggregate["cache"]["hit_rate"] is None
+
+    def test_missing_file_garbled_line_and_empty_log_raise(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            aggregate_run_log(str(tmp_path / "absent.jsonl"))
+        garbled = tmp_path / "garbled.jsonl"
+        garbled.write_text('{"event": "job", "status": "ok"}\nnot json\n')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            aggregate_run_log(str(garbled))
+        empty = _write_log(tmp_path, [{"event": "start"}], name="empty.jsonl")
+        with pytest.raises(ValueError, match="no job records"):
+            aggregate_run_log(empty)
+
+
+class TestFormatting:
+    def test_report_mentions_all_sections(self, sample_log):
+        text = format_report(aggregate_run_log(sample_log))
+        assert "phase timings" in text
+        assert "spoly_reduction" in text
+        assert "algebraic work counters" in text
+        assert "division.steps" in text
+        assert "hit rate 50.0%" in text
+        assert "retries: 1" in text

@@ -1,0 +1,239 @@
+"""Span core: nesting, exception safety, enable/disable, counters, merge."""
+
+import os
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics
+
+
+def _by_name(collector):
+    return {record["name"]: record for record in collector.snapshot()["spans"]}
+
+
+class TestNesting:
+    def test_child_records_parent_id(self):
+        collector = obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        spans = _by_name(collector)
+        assert spans["inner"]["parent"] == spans["outer"]["id"]
+        assert spans["outer"]["parent"] is None
+
+    def test_siblings_share_a_parent(self):
+        collector = obs.enable()
+        with obs.span("root"):
+            with obs.span("a"):
+                pass
+            with obs.span("b"):
+                pass
+        spans = _by_name(collector)
+        assert spans["a"]["parent"] == spans["b"]["parent"] == spans["root"]["id"]
+
+    def test_threads_get_independent_current_spans(self):
+        collector = obs.enable()
+        ready = threading.Event()
+
+        def worker():
+            # Fresh thread => fresh contextvar: this span must be a root,
+            # not a child of the main thread's open span.
+            with obs.span("thread_root"):
+                ready.set()
+
+        with obs.span("main_root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert ready.is_set()
+        spans = _by_name(collector)
+        assert spans["thread_root"]["parent"] is None
+        assert spans["thread_root"]["tid"] != spans["main_root"]["tid"]
+
+    def test_decorator_uses_function_name(self):
+        collector = obs.enable()
+
+        @obs.traced()
+        def do_work():
+            return 7
+
+        assert do_work() == 7
+        (record,) = collector.snapshot()["spans"]
+        assert "do_work" in record["name"]
+
+
+class TestExceptionSafety:
+    def test_span_closed_by_exception_records_duration_and_error(self):
+        collector = obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs.span("doomed", k=8):
+                raise RuntimeError("boom")
+        (record,) = collector.snapshot()["spans"]
+        assert record["error"] == "RuntimeError"
+        assert record["dur"] >= 0.0
+        assert record["tags"] == {"k": 8}
+
+    def test_exception_does_not_corrupt_nesting(self):
+        collector = obs.enable()
+        with obs.span("outer"):
+            with pytest.raises(ValueError):
+                with obs.span("failed_child"):
+                    raise ValueError()
+            with obs.span("next_child"):
+                pass
+        spans = _by_name(collector)
+        assert spans["next_child"]["parent"] == spans["outer"]["id"]
+        assert "error" not in spans["outer"]
+
+
+class TestEnableDisable:
+    def test_disabled_span_is_shared_noop(self):
+        assert not obs.is_enabled()
+        first = obs.span("anything", k=1)
+        second = obs.span("other")
+        assert first is second  # the shared null span: no allocation per call
+        with first:
+            first.set_tag("ignored", True)
+
+    def test_disabled_counters_are_noops(self):
+        obs.counter_add("x", 5)
+        obs.gauge_max("y", 5.0)
+        collector = obs.enable()
+        assert collector.snapshot()["counters"] == {}
+
+    def test_enable_records_disable_stops(self):
+        collector = obs.enable()
+        with obs.span("recorded"):
+            pass
+        obs.disable()
+        with obs.span("dropped"):
+            pass
+        assert [r["name"] for r in collector.snapshot()["spans"]] == ["recorded"]
+
+    def test_set_tag_after_entry(self):
+        collector = obs.enable()
+        with obs.span("tagged") as live:
+            live.set_tag("verdict", "sat")
+        (record,) = collector.snapshot()["spans"]
+        assert record["tags"]["verdict"] == "sat"
+
+
+class TestCountersAndGauges:
+    def test_counters_accumulate_gauges_max(self):
+        collector = obs.enable()
+        metrics.counter_add(metrics.DIVISION_STEPS, 10)
+        metrics.counter_add(metrics.DIVISION_STEPS, 5)
+        metrics.gauge_max(metrics.DIVISION_PEAK_TERMS, 100)
+        metrics.gauge_max(metrics.DIVISION_PEAK_TERMS, 40)
+        snapshot = collector.snapshot()
+        assert snapshot["counters"][metrics.DIVISION_STEPS] == 15
+        assert snapshot["gauges"][metrics.DIVISION_PEAK_TERMS] == 100
+
+    def test_thread_safety_of_counter_adds(self):
+        collector = obs.enable()
+
+        def hammer():
+            for _ in range(1000):
+                obs.counter_add("hits")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert collector.snapshot()["counters"]["hits"] == 4000
+
+
+class TestSnapshotMerge:
+    def test_merge_adds_counters_maxes_gauges_extends_spans(self):
+        worker = obs.TraceCollector()
+        worker.counter_add("division.steps", 7)
+        worker.gauge_max("peak", 50)
+        worker.add_span(
+            {
+                "name": "remote",
+                "id": 1,
+                "parent": None,
+                "pid": 99999,
+                "tid": 1,
+                "ts": 0.0,
+                "dur": 0.5,
+                "tags": {},
+            }
+        )
+        parent = obs.TraceCollector()
+        parent.counter_add("division.steps", 3)
+        parent.gauge_max("peak", 80)
+        parent.merge(worker.snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["division.steps"] == 10
+        assert snapshot["gauges"]["peak"] == 80
+        assert snapshot["spans"][0]["name"] == "remote"
+        assert snapshot["spans"][0]["pid"] == 99999
+
+    def test_snapshot_is_schema_stamped_and_deep_copied(self):
+        collector = obs.enable()
+        with obs.span("s"):
+            pass
+        snapshot = collector.snapshot()
+        assert snapshot["schema"] == obs.SCHEMA_VERSION
+        snapshot["spans"][0]["name"] = "mutated"
+        assert collector.snapshot()["spans"][0]["name"] == "s"
+
+    def test_spans_carry_this_process_pid(self):
+        collector = obs.enable()
+        with obs.span("here"):
+            pass
+        (record,) = collector.snapshot()["spans"]
+        assert record["pid"] == os.getpid()
+
+
+class TestPipelineInstrumentation:
+    """The library hot paths actually emit the documented spans/counters."""
+
+    def test_verify_emits_nested_pipeline_spans(self, tmp_path):
+        from repro.circuits import write_verilog
+        from repro.gf import GF2m
+        from repro.synth import mastrovito_multiplier, montgomery_multiplier
+        from repro.verify import verify_equivalence
+
+        field = GF2m(4)
+        spec = mastrovito_multiplier(field)
+        impl = montgomery_multiplier(field).flatten()
+        collector = obs.enable()
+        with obs.span("verify"):
+            outcome = verify_equivalence(spec, impl, field)
+        assert outcome.equivalent
+        snapshot = collector.snapshot()
+        names = [record["name"] for record in snapshot["spans"]]
+        for expected in ("rato_setup", "spoly_reduction", "abstract", "coeff_match"):
+            assert expected in names, names
+        assert snapshot["counters"][metrics.ABSTRACTION_SUBSTITUTIONS] > 0
+        assert snapshot["gauges"][metrics.ABSTRACTION_PEAK_TERMS] > 0
+        # abstract spans parent the reduction spans; verify parents abstract.
+        spans = snapshot["spans"]
+        verify_id = next(r["id"] for r in spans if r["name"] == "verify")
+        abstract_ids = {r["id"] for r in spans if r["name"] == "abstract"}
+        for record in spans:
+            if record["name"] == "abstract":
+                assert record["parent"] == verify_id
+            if record["name"] == "spoly_reduction":
+                assert record["parent"] in abstract_ids
+
+    def test_buchberger_counters_survive_instrumentation(self):
+        from repro.algebra import LexOrder, PolynomialRing, buchberger
+        from repro.gf import GF2m
+
+        field = GF2m(4)
+        ring = PolynomialRing(
+            field, ["x", "y", "z"], order=LexOrder([0, 1, 2]), fold=False
+        )
+        x, y, z = ring.var("x"), ring.var("y"), ring.var("z")
+        collector = obs.enable()
+        basis = buchberger([x * y + z, y * y + 1, x * z + y])
+        assert basis
+        counters = collector.snapshot()["counters"]
+        assert counters.get(metrics.BUCHBERGER_PAIRS_CONSIDERED, 0) > 0
+        assert counters.get(metrics.BUCHBERGER_REDUCTIONS, 0) > 0
