@@ -9,7 +9,13 @@ from .buchberger import (
     reduced_groebner_basis,
     s_polynomial,
 )
-from .division import DivisionTrace, divmod_polynomial, reduce_polynomial
+from .division import (
+    DivisionTrace,
+    DivisorIndex,
+    divmod_polynomial,
+    reduce_polynomial,
+    reference_reduce_polynomial,
+)
 from .order import GrevLexOrder, GrLexOrder, LexOrder, Monomial, TermOrder
 from .parse import PolynomialSyntaxError, parse_polynomial
 from .ring import Polynomial, PolynomialRing
@@ -24,8 +30,10 @@ __all__ = [
     "PolynomialRing",
     "Polynomial",
     "reduce_polynomial",
+    "reference_reduce_polynomial",
     "divmod_polynomial",
     "DivisionTrace",
+    "DivisorIndex",
     "s_polynomial",
     "leading_monomials_coprime",
     "buchberger",

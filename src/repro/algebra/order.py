@@ -22,6 +22,11 @@ __all__ = ["Monomial", "TermOrder", "LexOrder", "GrLexOrder", "GrevLexOrder"]
 _SENTINEL = (1 << 30, 0)
 
 
+#: Memoized keys are dropped once a cache grows past this many monomials —
+#: far beyond any verification workload, so in practice keys persist.
+_KEY_CACHE_CAP = 1 << 20
+
+
 class TermOrder:
     """Base class: a total order on monomials compatible with multiplication."""
 
@@ -33,13 +38,26 @@ class TermOrder:
         self.rank: Dict[int, int] = {v: i for i, v in enumerate(priority)}
         if len(self.rank) != len(self.priority):
             raise ValueError("priority list contains duplicate variables")
+        self._key_cache: Dict[Monomial, object] = {}
 
     def sort_key(self, monomial: Monomial):
         """A key such that bigger monomials have *smaller* keys.
 
         Using inverted keys lets ``min(terms, key=...)`` fetch the leading
         term and ``sorted(...)`` produce descending term order directly.
+        Keys are memoized per order instance: reductions compare the same
+        monomials thousands of times, so ranking each one once matters.
         """
+        cache = self._key_cache
+        key = cache.get(monomial)
+        if key is None:
+            key = self._compute_key(monomial)
+            if len(cache) >= _KEY_CACHE_CAP:
+                cache.clear()
+            cache[monomial] = key
+        return key
+
+    def _compute_key(self, monomial: Monomial):
         raise NotImplementedError
 
     def compare(self, a: Monomial, b: Monomial) -> int:
@@ -70,7 +88,7 @@ class LexOrder(TermOrder):
 
     name = "lex"
 
-    def sort_key(self, monomial: Monomial):
+    def _compute_key(self, monomial: Monomial):
         key = [(rank, -exp) for rank, exp in self._ranked(monomial)]
         key.append(_SENTINEL)
         return tuple(key)
@@ -81,7 +99,7 @@ class GrLexOrder(TermOrder):
 
     name = "grlex"
 
-    def sort_key(self, monomial: Monomial):
+    def _compute_key(self, monomial: Monomial):
         total = sum(exp for _, exp in monomial)
         key = [(rank, -exp) for rank, exp in self._ranked(monomial)]
         key.append(_SENTINEL)
@@ -95,7 +113,7 @@ class GrevLexOrder(TermOrder):
 
     name = "grevlex"
 
-    def sort_key(self, monomial: Monomial):
+    def _compute_key(self, monomial: Monomial):
         total = sum(exp for _, exp in monomial)
         # Reverse-lex tie-break: scanning from the least significant
         # variable, a larger exponent makes the monomial *smaller*. A dense

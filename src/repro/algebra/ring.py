@@ -122,32 +122,82 @@ class PolynomialRing:
         )
 
     def monomial_mul(self, a: Monomial, b: Monomial) -> Monomial:
+        # Two-pointer merge of the sorted factor tuples: no dict, no sort.
         if not a:
             return b
         if not b:
             return a
-        return self.make_monomial(list(a) + list(b))
+        out = []
+        i = j = 0
+        la, lb = len(a), len(b)
+        while i < la and j < lb:
+            va, ea = a[i]
+            vb, eb = b[j]
+            if va < vb:
+                out.append(a[i])
+                i += 1
+            elif vb < va:
+                out.append(b[j])
+                j += 1
+            else:
+                exp = self.fold_exponent(va, ea + eb)
+                if exp:
+                    out.append((va, exp))
+                i += 1
+                j += 1
+        out.extend(a[i:])
+        out.extend(b[j:])
+        return tuple(out)
 
     def monomial_divides(self, a: Monomial, b: Monomial) -> bool:
-        """True when monomial ``a`` divides ``b``."""
-        powers = dict(b)
-        return all(powers.get(var, 0) >= exp for var, exp in a)
+        """True when monomial ``a`` divides ``b`` (allocation-free scan)."""
+        j = 0
+        lb = len(b)
+        for var, exp in a:
+            while j < lb and b[j][0] < var:
+                j += 1
+            if j == lb or b[j][0] != var or b[j][1] < exp:
+                return False
+            j += 1
+        return True
 
     def monomial_div(self, a: Monomial, b: Monomial) -> Monomial:
         """``a / b``; raises if ``b`` does not divide ``a``."""
-        powers = dict(a)
-        for var, exp in b:
-            have = powers.get(var, 0)
-            if have < exp:
-                raise ValueError("monomial division is not exact")
-            powers[var] = have - exp
-        return tuple(sorted((v, e) for v, e in powers.items() if e))
+        out = []
+        j = 0
+        lb = len(b)
+        for var, exp in a:
+            if j < lb and b[j][0] == var:
+                exp -= b[j][1]
+                j += 1
+                if exp < 0:
+                    raise ValueError("monomial division is not exact")
+            if exp:
+                out.append((var, exp))
+        if j != lb:
+            raise ValueError("monomial division is not exact")
+        return tuple(out)
 
     def monomial_lcm(self, a: Monomial, b: Monomial) -> Monomial:
-        powers = dict(a)
-        for var, exp in b:
-            powers[var] = max(powers.get(var, 0), exp)
-        return tuple(sorted(powers.items()))
+        out = []
+        i = j = 0
+        la, lb = len(a), len(b)
+        while i < la and j < lb:
+            va, ea = a[i]
+            vb, eb = b[j]
+            if va < vb:
+                out.append(a[i])
+                i += 1
+            elif vb < va:
+                out.append(b[j])
+                j += 1
+            else:
+                out.append((va, ea if ea >= eb else eb))
+                i += 1
+                j += 1
+        out.extend(a[i:])
+        out.extend(b[j:])
+        return tuple(out)
 
     def monomial_str(self, monomial: Monomial) -> str:
         if not monomial:
@@ -381,14 +431,22 @@ class Polynomial:
     def evaluate(self, assignment: Dict[str, int]) -> int:
         """Evaluate at a point; every used variable must be assigned."""
         field = self.ring.field
+        variables = self.ring.variables
+        # The same (variable, exponent) power recurs across many monomials;
+        # compute each once per call.
+        power_cache: Dict[Tuple[int, int], int] = {}
         total = 0
         for monomial, coeff in self.terms.items():
             value = coeff
             for var, exp in monomial:
-                name = self.ring.variables[var]
-                if name not in assignment:
-                    raise KeyError(f"no value for variable {name!r}")
-                value = field.mul(value, field.pow(assignment[name], exp))
+                power = power_cache.get((var, exp))
+                if power is None:
+                    name = variables[var]
+                    if name not in assignment:
+                        raise KeyError(f"no value for variable {name!r}")
+                    power = field.pow(assignment[name], exp)
+                    power_cache[(var, exp)] = power
+                value = field.mul(value, power)
                 if not value:
                     break
             total ^= value
@@ -415,8 +473,14 @@ class Polynomial:
             else:
                 by_exp.setdefault(exp, {})[tuple(rest)] = coeff
         result = result + Polynomial(self.ring, untouched)
-        for exp, terms in by_exp.items():
-            result = result + (replacement ** exp) * Polynomial(self.ring, terms)
+        # Walk exponents in ascending order so each replacement power is an
+        # incremental product over the previous one, not a fresh ``** exp``.
+        power = None
+        prev = 0
+        for exp in sorted(by_exp):
+            power = power * (replacement ** (exp - prev)) if prev else replacement ** exp
+            prev = exp
+            result = result + power * Polynomial(self.ring, by_exp[exp])
         return result
 
     # -- comparison / output ----------------------------------------------------------

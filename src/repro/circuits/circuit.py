@@ -33,6 +33,7 @@ class Circuit:
         self.input_words: Dict[str, List[str]] = {}
         self.output_words: Dict[str, List[str]] = {}
         self._topo_cache: Optional[List[Gate]] = None
+        self._levels_cache: Optional[Dict[str, int]] = None
 
     # -- construction ---------------------------------------------------------
 
@@ -45,6 +46,7 @@ class Circuit:
         self._inputs.append(net)
         self._input_set.add(net)
         self._topo_cache = None
+        self._levels_cache = None
         return net
 
     def add_inputs(self, nets: Iterable[str]) -> List[str]:
@@ -58,6 +60,7 @@ class Circuit:
             raise CircuitError(f"net {output!r} is a primary input, cannot drive it")
         self._gates[output] = Gate(output, gate_type, tuple(inputs))
         self._topo_cache = None
+        self._levels_cache = None
         return output
 
     def set_outputs(self, nets: Sequence[str]) -> None:
@@ -185,12 +188,31 @@ class Circuit:
         """Gates ordered inputs-to-outputs (Kahn's algorithm); raises on cycles."""
         if self._topo_cache is not None:
             return self._topo_cache
+        # Fast path: the builders emit gates producer-before-consumer, so
+        # insertion order is usually already topological — one superset
+        # check per gate confirms it without building the Kahn structures.
+        seen = set(self._input_set)
+        ordered = True
+        for out, gate in self._gates.items():
+            if gate.inputs and not seen.issuperset(gate.inputs):
+                ordered = False
+                break
+            seen.add(out)
+        if ordered:
+            self._topo_cache = order = list(self._gates.values())
+            return order
         indegree: Dict[str, int] = {}
         dependents: Dict[str, List[str]] = {}
-        for out, gate in self._gates.items():
-            gate_inputs = [n for n in gate.inputs if n in self._gates]
-            indegree[out] = len(set(gate_inputs))
-            for src in set(gate_inputs):
+        gates = self._gates
+        for out, gate in gates.items():
+            driven = [n for n in gate.inputs if n in gates]
+            if len(driven) == 2:  # the common case, dedup without a set
+                if driven[0] == driven[1]:
+                    driven = driven[:1]
+            elif len(driven) > 2:
+                driven = list(dict.fromkeys(driven))
+            indegree[out] = len(driven)
+            for src in driven:
                 dependents.setdefault(src, []).append(out)
         ready = [out for out, deg in indegree.items() if deg == 0]
         order: List[Gate] = []
@@ -213,16 +235,27 @@ class Circuit:
         exactly the variable ranking the Refined Abstraction Term Order
         (Definition 5.1) needs: a net's RATO position decreases with its
         distance from the primary outputs.
+
+        Cached alongside the topological order (and invalidated at the same
+        mutation points); callers must not mutate the returned dict.
         """
-        dependents: Dict[str, List[str]] = {}
-        for out, gate in self._gates.items():
-            for src in gate.inputs:
-                if src in self._gates:
-                    dependents.setdefault(src, []).append(out)
+        if self._levels_cache is not None:
+            return self._levels_cache
+        gates = self._gates
+        # Walk consumers before producers and push ``level + 1`` onto each
+        # gate input — every consumer of a net is visited before the net's
+        # own gate, so the pushed maximum is final by the time we read it.
         level: Dict[str, int] = {}
+        level_get = level.get
         for gate in reversed(self.topological_order()):
-            users = dependents.get(gate.output, ())
-            level[gate.output] = max((level[u] + 1 for u in users), default=0)
+            out = gate.output
+            lv = level_get(out, 0)
+            level[out] = lv
+            lv1 = lv + 1
+            for src in gate.inputs:
+                if src in gates and level_get(src, 0) < lv1:
+                    level[src] = lv1
+        self._levels_cache = level
         return level
 
     def logic_depth(self) -> int:
@@ -268,6 +301,7 @@ class Circuit:
             raise CircuitError(f"net {output!r} is not driven by a gate")
         self._gates[output] = Gate(output, gate_type, tuple(inputs))
         self._topo_cache = None
+        self._levels_cache = None
 
     def __repr__(self) -> str:
         return (

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import heapq
 import time
+from collections import Counter
+from itertools import chain
 from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, FrozenSet, List, Optional
 
@@ -36,7 +38,7 @@ from ..algebra import (
     reduced_groebner_basis,
     vanishing_ideal,
 )
-from ..circuits import Circuit
+from ..circuits import Circuit, GateType
 from ..gf import GF2m, coordinate_coefficients
 from ..obs import metrics
 from ..obs.spans import span
@@ -195,7 +197,7 @@ def _case2_groebner(
         data[key] = data.get(key, 0) ^ coeff
     r = Polynomial(ring, {m: c for m, c in data.items() if c})
 
-    alpha_powers = [field.pow(field.alpha, i) for i in range(field.k)]
+    alpha_powers = field.alpha_powers()
     relations = []
     for word in ordering.input_words:
         terms = {((ring.index[word], 1),): 1}
@@ -232,40 +234,439 @@ def _map_words(
     return Polynomial(word_ring, data)
 
 
+def _merge_sorted(a: tuple, b: tuple) -> tuple:
+    """Union of two sorted tuples of distinct ints, kept sorted."""
+    out: list = []
+    i = j = 0
+    la = len(a)
+    lb = len(b)
+    while i < la and j < lb:
+        x = a[i]
+        y = b[j]
+        if x < y:
+            out.append(x)
+            i += 1
+        elif y < x:
+            out.append(y)
+            j += 1
+        else:
+            out.append(x)
+            i += 1
+            j += 1
+    if i < la:
+        out.extend(a[i:])
+    elif j < lb:
+        out.extend(b[j:])
+    return tuple(out)
+
+
 def reduce_through_gates(
     circuit: Circuit,
     engine: SubstitutionEngine,
     ordering: RatoOrdering,
+    word_relations: Optional[List[tuple]] = None,
 ) -> None:
     """Run the guided reduction: eliminate every gate variable from ``engine``.
 
     Repeatedly substitutes the highest-ranked gate variable present (smaller
     id == higher RATO rank). Under RATO tails only mention lower-ranked
     variables, so this is a single forward sweep; under an unrefined order
-    the heap re-schedules re-introduced variables, mirroring how plain lex
+    re-introduced variables are re-scheduled, mirroring how plain lex
     division would thrash. Shared by the abstraction flow and the Lv-style
     ideal-membership baseline.
+
+    The sweep runs on a compact monomial encoding rather than on the
+    engine's frozensets. RATO ids place the gate nets in the dense prefix
+    ``0..num_gates-1``, so a monomial splits into ``(mask, gates)``: the
+    non-gate variables packed into an int bitmask (a few machine words —
+    primary inputs and words only) and the gate variables as a small sorted
+    tuple. Monomials are *staged* under their smallest gate variable — the
+    next one the ascending-id schedule will substitute — so each elimination
+    pops exactly the affected terms with no occurrence sets and no stale
+    entries, and the product loop costs an int ``|`` plus a tiny tuple merge
+    instead of a wide frozenset union. Gate-free products land in the
+    remainder and are never rescanned. The result (and the engine's usual
+    substitution counters) is written back to ``engine`` at the end.
+
+    ``word_relations`` optionally appends trailing division steps by the
+    input word relations, applied to the gate-free remainder while it is
+    still in the compact encoding. Each entry is ``(var_id, tail_items)``
+    with ``tail_items`` a list of ``(var_id, coeff)`` pairs; all ids must
+    be non-gate variables. Counter accounting matches running the same
+    steps through ``engine.substitute`` afterwards.
     """
     id_of = ordering.var_ids
-    gate_ids = {id_of[net] for net in ordering.gate_nets}
-    tails = {
-        id_of[gate.output]: gate_tail(gate, id_of)
-        for gate in circuit.topological_order()
-    }
-    heap = [var for var in engine.variables_present() if var in gate_ids]
+    num_gates = len(ordering.gate_nets)
+
+    # Gates whose tail is a *single* monomial with coefficient 1 (AND, BUF —
+    # the bulk of a multiplier netlist) never need a substitution step of
+    # their own: their division step is a pure monomial rewrite that cannot
+    # change term counts, so the gate variable is *resolved* — inlined into
+    # every tail and seed monomial that mentions it as it is encoded. Only
+    # multi-term gates (XOR, OR, NOT, ...) stay in the staged schedule.
+    # Tails are built in topological order, so resolutions are transitive.
+    # Gate ids are dense (0..num_gates-1), so the per-gate side tables are
+    # flat lists, not dicts.
+    resolved: list = [None] * num_gates
+
+    def encode(monomial) -> "tuple[int, tuple]":
+        mask = 0
+        gs = ()
+        for v in monomial:
+            if v < num_gates:
+                r = resolved[v]
+                if r is None:
+                    gs = _merge_sorted(gs, (v,)) if gs else (v,)
+                else:
+                    mask |= r[0]
+                    if r[1]:
+                        gs = _merge_sorted(gs, r[1]) if gs else r[1]
+            else:
+                mask |= 1 << (v - num_gates)
+        return mask, gs
+
+    # A second fusion handles XOR trees: a multi-term gate feeding exactly
+    # one consumer (and not referenced by the seed) contributes its tail
+    # *additively* inside that consumer's XOR, so its items are spliced in
+    # at build time. A 32-input XOR tree then costs one 32-item
+    # substitution instead of 31 cascaded 2-item ones.
+    fanout = Counter(
+        chain.from_iterable(g.inputs for g in circuit.topological_order())
+    )
+    pinned = [False] * num_gates
+    for monomial in engine.terms:
+        for v in monomial:
+            if v < num_gates:
+                pinned[v] = True
+
+    # Tails in encoded form. AND/XOR are built directly without the
+    # intermediate frozenset dicts; everything else goes through the
+    # generic gate_tail translation.
+    tails: Dict[int, Dict[tuple, int]] = {}
+    for gate in circuit.topological_order():
+        out = id_of[gate.output]
+        gtype = gate.gate_type
+        if gtype is GateType.AND or gtype is GateType.BUF:
+            mask = 0
+            gs = ()
+            for net in gate.inputs:
+                v = id_of[net]
+                if v < num_gates:
+                    r = resolved[v]
+                    if r is None:
+                        if not gs:
+                            gs = (v,)
+                        elif len(gs) == 1:  # dominant shapes, merged inline
+                            g0 = gs[0]
+                            if v > g0:
+                                gs = (g0, v)
+                            elif v < g0:
+                                gs = (v, g0)
+                        else:
+                            gs = _merge_sorted(gs, (v,))
+                    else:
+                        mask |= r[0]
+                        rg = r[1]
+                        if rg:
+                            if not gs:
+                                gs = rg
+                            elif len(gs) == 1 and len(rg) == 1:
+                                g0 = gs[0]
+                                w = rg[0]
+                                if w > g0:
+                                    gs = (g0, w)
+                                elif w < g0:
+                                    gs = (w, g0)
+                            else:
+                                gs = _merge_sorted(gs, rg)
+                else:
+                    mask |= 1 << (v - num_gates)
+            resolved[out] = (mask, gs)
+            continue
+        if gtype is GateType.XOR:
+            acc: Dict[tuple, int] = {}
+            for net in gate.inputs:
+                v = id_of[net]
+                if v < num_gates:
+                    r = resolved[v]
+                    if r is None:
+                        spliced = (
+                            tails.pop(v)
+                            if fanout[net] == 1 and not pinned[v] and v in tails
+                            else None
+                        )
+                        if spliced is not None:
+                            # Steal the first child's dict outright; after
+                            # that merge the smaller side into the larger,
+                            # which keeps XOR-tree collapse near-linear.
+                            if not acc:
+                                acc = spliced
+                                continue
+                            if len(spliced) > len(acc):
+                                acc, spliced = spliced, acc
+                            for skey, scoeff in spliced.items():
+                                cur = acc.get(skey, 0) ^ scoeff
+                                if cur:
+                                    acc[skey] = cur
+                                else:
+                                    del acc[skey]
+                            continue
+                        key = (0, (v,))
+                    else:
+                        key = r
+                else:
+                    key = (1 << (v - num_gates), ())
+                cur = acc.get(key, 0) ^ 1  # XOR parity on repeats
+                if cur:
+                    acc[key] = cur
+                else:
+                    del acc[key]
+        else:
+            acc = {}
+            for tm, tc in gate_tail(gate, id_of).items():
+                key = encode(tm)  # encode is not injective: XOR-merge
+                cur = acc.get(key, 0) ^ tc
+                if cur:
+                    acc[key] = cur
+                else:
+                    del acc[key]
+        if len(acc) == 1:
+            (key, coeff), = acc.items()
+            if coeff == 1:
+                resolved[out] = key
+                continue
+        tails[out] = acc
+
+    # Stage every seed term under its smallest gate variable; gate-free
+    # terms go straight to the remainder. Buckets are two-level — gate
+    # tuple, then mask — so per-product work in the sweep is int-keyed
+    # dict traffic only. Resolution can make distinct seed monomials
+    # encode to the same key, so staging XOR-merges.
+    staged: Dict[int, Dict[tuple, Dict[int, int]]] = {}
+    remainder: Dict[int, int] = {}
+    for monomial, coeff in engine.terms.items():
+        mask, gates = encode(monomial)
+        sub = remainder if not gates else (
+            staged.setdefault(gates[0], {}).setdefault(gates, {})
+        )
+        cur = sub.get(mask)
+        if cur is None:
+            sub[mask] = coeff
+        else:
+            merged = cur ^ coeff
+            if merged:
+                sub[mask] = merged
+            else:
+                del sub[mask]
+
+    mul = engine.field.mul
+    substitutions = 0
+    traffic = 0
+    live = len(remainder) + sum(
+        len(sub) for bucket in staged.values() for sub in bucket.values()
+    )
+    peak = 0
+    heap = [v for v, bucket in staged.items() if bucket]
     heapq.heapify(heap)
     queued = set(heap)
+    staged_get = staged.get
     while heap:
         var = heapq.heappop(heap)
         queued.discard(var)
-        if not engine.contains_var(var):
+        bucket = staged.pop(var, None)
+        if not bucket:
             continue
-        engine.substitute(var, tails[var])
-        for tail_monomial in tails[var]:
-            for v in tail_monomial:
-                if v in gate_ids and v not in queued and engine.contains_var(v):
-                    heapq.heappush(heap, v)
-                    queued.add(v)
+        tail_items = tails[var]
+        substitutions_here = 0
+        # Resolve each tail monomial's target bucket once per pop: groups
+        # whose gate tuple is just ``(var,)`` (the common case) route every
+        # product straight into that bucket, so the innermost loop is an
+        # int ``|`` plus one int-keyed dict merge. Buckets are mutated in
+        # place, so the precomputed references stay valid as the pop
+        # introduces further terms.
+        routed = []
+        slim = []
+        for (tmask, tgates), tcoeff in tail_items.items():
+            if tgates:
+                g0 = tgates[0]
+                outer = staged_get(g0)
+                if outer is None:
+                    staged[g0] = outer = {}
+                if g0 not in queued:
+                    heapq.heappush(heap, g0)
+                    queued.add(g0)
+                tgt = outer.get(tgates)
+                if tgt is None:
+                    outer[tgates] = tgt = {}
+            else:
+                tgt = remainder
+            routed.append((tmask, tgates, tcoeff, tgt))
+            if tcoeff == 1:
+                slim.append((tmask, tgt))
+        # Gate tails over F2 logic are all coefficient 1, so the slim
+        # no-merge no-multiply path is the one that actually runs hot.
+        use_slim = len(slim) == len(routed)
+        for gates, sub in bucket.items():
+            if not sub:
+                continue
+            substitutions_here = 1
+            live -= len(sub)
+            traffic += len(sub) * len(routed)
+            rest = gates[1:]  # gates[0] == var by the staging invariant
+            if not rest and use_slim:
+                if len(sub) == 1:
+                    (mask, coeff), = sub.items()
+                    for tmask, tgt in slim:
+                        kmask = mask | tmask
+                        cur = tgt.get(kmask)
+                        if cur is None:
+                            tgt[kmask] = coeff
+                            live += 1
+                        else:
+                            merged = cur ^ coeff
+                            if merged:
+                                tgt[kmask] = merged
+                            else:
+                                del tgt[kmask]
+                                live -= 1
+                else:
+                    sub_items = list(sub.items())
+                    for tmask, tgt in slim:
+                        for mask, coeff in sub_items:
+                            kmask = mask | tmask
+                            cur = tgt.get(kmask)
+                            if cur is None:
+                                tgt[kmask] = coeff
+                                live += 1
+                            else:
+                                merged = cur ^ coeff
+                                if merged:
+                                    tgt[kmask] = merged
+                                else:
+                                    del tgt[kmask]
+                                    live -= 1
+                continue
+            for tmask, tgates, tcoeff, tgt in routed:
+                if rest:
+                    if not tgates:
+                        kgates = rest
+                    elif len(rest) == 1 and len(tgates) == 1:
+                        a = rest[0]
+                        b = tgates[0]
+                        kgates = (
+                            (a, b) if a < b else ((b, a) if b < a else rest)
+                        )
+                    else:
+                        kgates = _merge_sorted(rest, tgates)
+                    g0 = kgates[0]
+                    outer = staged_get(g0)
+                    if outer is None:
+                        staged[g0] = outer = {}
+                    if g0 not in queued:
+                        heapq.heappush(heap, g0)
+                        queued.add(g0)
+                    tgt = outer.get(kgates)
+                    if tgt is None:
+                        outer[kgates] = tgt = {}
+                if tcoeff == 1:
+                    for mask, coeff in sub.items():
+                        kmask = mask | tmask
+                        cur = tgt.get(kmask)
+                        if cur is None:
+                            tgt[kmask] = coeff
+                            live += 1
+                        else:
+                            merged = cur ^ coeff
+                            if merged:
+                                tgt[kmask] = merged
+                            else:
+                                del tgt[kmask]
+                                live -= 1
+                else:
+                    for mask, coeff in sub.items():
+                        kmask = mask | tmask
+                        cc = mul(coeff, tcoeff)
+                        cur = tgt.get(kmask)
+                        if cur is None:
+                            tgt[kmask] = cc
+                            live += 1
+                        else:
+                            merged = cur ^ cc
+                            if merged:
+                                tgt[kmask] = merged
+                            else:
+                                del tgt[kmask]
+                                live -= 1
+        substitutions += substitutions_here
+        if live > peak:
+            peak = live
+
+    # Trailing division by the input word relations, still in mask space:
+    # the remainder at this point is a dense bit-monomial polynomial (a
+    # thousand terms at k=32), so substituting each word's leading bit here
+    # avoids building frozensets only to immediately rewrite them.
+    if word_relations:
+        for var, rel_tail in word_relations:
+            bit = 1 << (var - num_gates)
+            affected = [item for item in remainder.items() if item[0] & bit]
+            if not affected:
+                continue
+            titems = [(1 << (tv - num_gates), tc) for tv, tc in rel_tail]
+            for mask, _ in affected:
+                del remainder[mask]
+            traffic += len(affected) * len(titems)
+            rget = remainder.get
+            for mask, coeff in affected:
+                base = mask ^ bit
+                for tmask, tcoeff in titems:
+                    key = base | tmask
+                    cc = coeff if tcoeff == 1 else mul(coeff, tcoeff)
+                    cur = rget(key)
+                    if cur is None:
+                        remainder[key] = cc
+                    else:
+                        merged = cur ^ cc
+                        if merged:
+                            remainder[key] = merged
+                        else:
+                            del remainder[key]
+            substitutions += 1
+            if len(remainder) > peak:
+                peak = len(remainder)
+
+    # Write the gate-free remainder back as engine state (terms + index).
+    terms = engine.terms
+    occ = engine.occ
+    indexed = engine.indexed
+    terms.clear()
+    occ.clear()
+    indexed_mask = 0
+    if indexed is not None:
+        for v in indexed:
+            if v >= num_gates:
+                indexed_mask |= 1 << (v - num_gates)
+    for mask, coeff in remainder.items():
+        vars_: list = []
+        hits = mask & indexed_mask if indexed is not None else mask
+        while mask:
+            low = mask & -mask
+            vars_.append(num_gates + low.bit_length() - 1)
+            mask ^= low
+        key = frozenset(vars_)
+        terms[key] = coeff
+        while hits:
+            low = hits & -hits
+            v = num_gates + low.bit_length() - 1
+            hits ^= low
+            b = occ.get(v)
+            if b is None:
+                occ[v] = {key}
+            else:
+                b.add(key)
+    engine.substitutions += substitutions
+    engine.term_traffic += traffic
+    if peak > engine.peak_terms:
+        engine.peak_terms = peak
 
 
 def abstract_circuit(
@@ -309,29 +710,36 @@ def abstract_circuit(
     id_of = ordering.var_ids
 
     # Seed with Spoly(f_w, f_g)'s surviving part: sum_i alpha^i * z_i.
-    engine = SubstitutionEngine(field)
-    alpha_powers = [field.pow(field.alpha, i) for i in range(field.k)]
+    # Only gate variables and each input word's leading bit are ever
+    # substituted, so the occurrence index tracks just those.
+    substitutable = {id_of[net] for net in ordering.gate_nets}
+    for word in ordering.input_words:
+        substitutable.add(id_of[circuit.input_words[word][0]])
+    engine = SubstitutionEngine(field, indexed_vars=substitutable)
+    alpha_powers = field.alpha_powers()
     for i, bit in enumerate(circuit.output_words[output_word]):
         engine.add_term(frozenset((id_of[bit],)), alpha_powers[i])
 
     bit_owner: Dict[int, "tuple[str, int]"] = {}
     id_to_word: Dict[int, str] = {}
     with span("spoly_reduction", gates=circuit.num_gates(), output=output_word):
-        reduce_through_gates(circuit, engine, ordering)
-
-        # Divide by the input word relations f_wi = b_0 + b_1*alpha + ... + W:
-        # each division step substitutes the relation's leading bit b_0.
+        # Division by the input word relations f_wi = b_0 + b_1*alpha + ...
+        # + W substitutes each relation's leading bit b_0; handing the
+        # relations to the sweep keeps those steps in its compact encoding.
+        word_relations = []
         for word in ordering.input_words:
             bits = circuit.input_words[word]
             word_id = id_of[word]
             id_to_word[word_id] = word
             for i, bit in enumerate(bits):
                 bit_owner[id_of[bit]] = (word, i)
-            replacement = {frozenset((word_id,)): 1}
+            rel_tail = [(word_id, 1)]
             for i in range(1, len(bits)):
-                key = frozenset((id_of[bits[i]],))
-                replacement[key] = replacement.get(key, 0) ^ alpha_powers[i]
-            engine.substitute(id_of[bits[0]], replacement)
+                rel_tail.append((id_of[bits[i]], alpha_powers[i]))
+            word_relations.append((id_of[bits[0]], rel_tail))
+        reduce_through_gates(
+            circuit, engine, ordering, word_relations=word_relations
+        )
 
     word_ring = word_ring_for(field, ordering.input_words)
     leftover_bits = sorted(

@@ -11,11 +11,19 @@ The reduction modulo the vanishing polynomials ``x^2 - x`` is implicit in
 the representation: set-union multiplication is exactly idempotent
 multiplication. This mirrors the paper's F4-style custom reduction — same
 normal forms, batch per-variable elimination.
+
+The occurrence index is maintained *lazily*: deleting a term never touches
+the index, so a bucket may hold monomials that have since cancelled or been
+rewritten. Readers (``substitute``, ``contains_var``) filter through the
+term dict and prune dead buckets as they go. Substitution accumulates the
+product terms into a local delta dict first and merges it into the
+polynomial in one pass — cancellations inside one substitution batch never
+churn the shared index.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from ..gf import GF2m
 from .gate_polys import BitTerms
@@ -26,14 +34,34 @@ _EMPTY: FrozenSet[int] = frozenset()
 
 
 class SubstitutionEngine:
-    """Mutable sparse polynomial with per-variable substitution."""
+    """Mutable sparse polynomial with per-variable substitution.
 
-    __slots__ = ("field", "terms", "occ", "peak_terms", "substitutions", "term_traffic")
+    ``indexed_vars`` restricts the occurrence index to the given variable
+    ids — the ones that will ever be substituted. Callers that know the
+    substitution schedule up front (the guided reduction only eliminates
+    gate variables and each word's leading bit) skip indexing the primary
+    input bits that make up the bulk of every monomial, which is most of
+    the per-insert cost on wide circuits. Substituting a variable outside
+    the index stays correct through a full-scan fallback.
+    """
 
-    def __init__(self, field: GF2m):
+    __slots__ = (
+        "field",
+        "terms",
+        "occ",
+        "indexed",
+        "peak_terms",
+        "substitutions",
+        "term_traffic",
+    )
+
+    def __init__(self, field: GF2m, indexed_vars: Optional[Set[int]] = None):
         self.field = field
         self.terms: Dict[FrozenSet[int], int] = {}
         self.occ: Dict[int, Set[FrozenSet[int]]] = {}
+        self.indexed: Optional[FrozenSet[int]] = (
+            frozenset(indexed_vars) if indexed_vars is not None else None
+        )
         self.peak_terms = 0
         self.substitutions = 0
         self.term_traffic = 0  # total monomials written (work measure)
@@ -43,35 +71,50 @@ class SubstitutionEngine:
         if not coeff:
             return
         terms = self.terms
-        current = terms.get(monomial, 0)
-        merged = current ^ coeff
+        current = terms.get(monomial)
         self.term_traffic += 1
-        if merged:
-            terms[monomial] = merged
-            if not current:
-                occ = self.occ
-                for var in monomial:
-                    bucket = occ.get(var)
-                    if bucket is None:
-                        occ[var] = {monomial}
-                    else:
-                        bucket.add(monomial)
-        else:
-            del terms[monomial]
+        if current is None:
+            terms[monomial] = coeff
+            indexed = self.indexed
             occ = self.occ
-            for var in monomial:
-                occ[var].discard(monomial)
+            for var in monomial if indexed is None else monomial & indexed:
+                bucket = occ.get(var)
+                if bucket is None:
+                    occ[var] = {monomial}
+                else:
+                    bucket.add(monomial)
+        else:
+            merged = current ^ coeff
+            if merged:
+                terms[monomial] = merged
+            else:
+                del terms[monomial]  # occ entries go stale, pruned on read
 
     def add_terms(self, items: Iterable[Tuple[FrozenSet[int], int]]) -> None:
         for monomial, coeff in items:
             self.add_term(monomial, coeff)
 
     def contains_var(self, var: int) -> bool:
+        indexed = self.indexed
+        if indexed is not None and var not in indexed:
+            return any(var in monomial for monomial in self.terms)
         bucket = self.occ.get(var)
-        return bool(bucket)
+        if not bucket:
+            if bucket is not None:
+                del self.occ[var]
+            return False
+        terms = self.terms
+        for monomial in bucket:
+            if monomial in terms:
+                return True
+        del self.occ[var]  # every entry was stale
+        return False
 
     def variables_present(self) -> Set[int]:
-        return {var for var, bucket in self.occ.items() if bucket}
+        present: Set[int] = set()
+        for monomial in self.terms:
+            present |= monomial
+        return present
 
     def substitute(self, var: int, tail: BitTerms) -> int:
         """Replace ``var`` by ``tail`` everywhere; returns monomials touched.
@@ -81,27 +124,53 @@ class SubstitutionEngine:
         idempotent monomial union and field-coefficient products).
         """
         bucket = self.occ.pop(var, None)
-        if not bucket:
-            return 0
-        affected = list(bucket)
         terms = self.terms
-        occ = self.occ
-        saved = []
-        for monomial in affected:
-            coeff = terms.pop(monomial)
-            for v in monomial:
-                if v != var:
-                    occ[v].discard(monomial)
-            saved.append((monomial, coeff))
+        affected = []
+        if bucket:
+            for monomial in bucket:
+                coeff = terms.pop(monomial, None)
+                if coeff is not None:  # None: stale index entry
+                    affected.append((monomial, coeff))
+        elif self.indexed is not None and var not in self.indexed:
+            # Unindexed variable: correctness fallback via a full scan.
+            for monomial in [m for m in terms if var in m]:
+                affected.append((monomial, terms.pop(monomial)))
+        if not affected:
+            return 0
         mul = self.field.mul
+        tail_items = list(tail.items())
         var_singleton = frozenset((var,))
-        for monomial, coeff in saved:
+        delta: Dict[FrozenSet[int], int] = {}
+        delta_get = delta.get
+        for monomial, coeff in affected:
             base = monomial - var_singleton
-            for tail_monomial, tail_coeff in tail.items():
-                self.add_term(
-                    base | tail_monomial,
-                    coeff if tail_coeff == 1 else mul(coeff, tail_coeff),
-                )
+            for tail_monomial, tail_coeff in tail_items:
+                key = base | tail_monomial
+                cc = coeff if tail_coeff == 1 else mul(coeff, tail_coeff)
+                cur = delta_get(key)
+                delta[key] = cc if cur is None else cur ^ cc
+        self.term_traffic += len(affected) * len(tail_items)
+        occ = self.occ
+        indexed = self.indexed
+        terms_get = terms.get
+        for key, cc in delta.items():
+            if not cc:
+                continue  # cancelled within the batch
+            cur = terms_get(key)
+            if cur is None:
+                terms[key] = cc
+                for v in key if indexed is None else key & indexed:
+                    b = occ.get(v)
+                    if b is None:
+                        occ[v] = {key}
+                    else:
+                        b.add(key)
+            else:
+                merged = cur ^ cc
+                if merged:
+                    terms[key] = merged
+                else:
+                    del terms[key]
         self.substitutions += 1
         if len(terms) > self.peak_terms:
             self.peak_terms = len(terms)

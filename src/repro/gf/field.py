@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
-from . import poly2
+from . import logtables, poly2
 from .irreducible import is_irreducible
 from .tables import nist_polynomial
 
@@ -24,9 +24,19 @@ __all__ = ["GF2m", "GFElement"]
 
 
 class GF2m:
-    """The Galois field F_{2^k}, constructed from an irreducible ``P(x)``."""
+    """The Galois field F_{2^k}, constructed from an irreducible ``P(x)``.
 
-    __slots__ = ("k", "modulus", "order", "_mask")
+    Arithmetic runs on one of three paths, fastest available first:
+
+    - ``k <= 16``: log/antilog lookup tables (O(1) ``mul``/``div``/``inv``);
+    - ``k > 16``: carry-less multiply plus byte-windowed table reduction;
+    - ``REPRO_GF_TABLES=0``: the pure :mod:`repro.gf.poly2` reference path.
+
+    Tables are built lazily on the first operation that needs them and are
+    shared between instances of the same ``(k, modulus)`` field.
+    """
+
+    __slots__ = ("k", "modulus", "order", "_mask", "_exp", "_log", "_red", "_tables_pending")
 
     def __init__(self, k: int, modulus: Optional[int] = None):
         if k < 1:
@@ -45,6 +55,10 @@ class GF2m:
         self.modulus = modulus
         self.order = 1 << k
         self._mask = self.order - 1
+        self._exp: Optional[List[int]] = None
+        self._log: Optional[List[int]] = None
+        self._red: Optional[List[List[int]]] = None
+        self._tables_pending = logtables.tables_enabled()
 
     # -- element construction ------------------------------------------------
 
@@ -75,6 +89,15 @@ class GF2m:
         """
         return self.reduce(0b10)
 
+    def alpha_powers(self) -> List[int]:
+        """``[alpha^0, ..., alpha^{k-1}]`` — the word-to-bit weights of Eqn. (1).
+
+        ``x^i`` for ``i < k`` has degree below the modulus and is its own
+        residue, so these are the unit bit patterns (``[1]`` for k == 1);
+        centralised so hot paths skip ``k`` modular exponentiations.
+        """
+        return [1 << i for i in range(self.k)] if self.k > 1 else [1]
+
     def elements(self) -> Iterator[int]:
         """Iterate all ``2^k`` residues (use only for small fields)."""
         return iter(range(self.order))
@@ -84,6 +107,34 @@ class GF2m:
     def _check(self, a: int) -> None:
         if not 0 <= a < self.order:
             raise ValueError(f"{a} is not a residue of F_2^{self.k}")
+
+    def ensure_tables(self) -> None:
+        """Build (or fetch from the process-wide cache) the lookup tables.
+
+        Called lazily from the first arithmetic operation; safe to call
+        eagerly before a hot loop to keep table construction out of timings.
+        """
+        self._tables_pending = False
+        if not logtables.tables_enabled():
+            return
+        if self.k <= logtables.MAX_LOG_K:
+            self._exp, self._log = logtables.log_tables(self.k, self.modulus)
+        else:
+            self._red = logtables.reduction_table(self.k, self.modulus)
+
+    def _window_reduce(self, value: int) -> int:
+        """Reduce a product of two residues (degree <= 2k-2) byte-at-a-time."""
+        red = self._red
+        low = value & self._mask
+        high = value >> self.k
+        i = 0
+        while high:
+            byte = high & 0xFF
+            if byte:
+                low ^= red[i][byte]
+            high >>= 8
+            i += 1
+        return low
 
     def reduce(self, a: int) -> int:
         """Reduce an arbitrary F2[x] polynomial to its residue."""
@@ -97,27 +148,65 @@ class GF2m:
 
     def mul(self, a: int, b: int) -> int:
         """Field multiplication: carry-less product reduced mod ``P(x)``."""
+        if self._tables_pending:
+            self.ensure_tables()
+        exp = self._exp
+        if exp is not None and 0 <= a < self.order and 0 <= b < self.order:
+            if a and b:
+                log = self._log
+                return exp[log[a] + log[b]]
+            return 0
         product = poly2.clmul(a, b)
         if product < self.order:
             return product
+        if self._red is not None and a < self.order and b < self.order:
+            return self._window_reduce(product)
         return poly2.mod(product, self.modulus)
 
     def square(self, a: int) -> int:
+        if self._tables_pending:
+            self.ensure_tables()
+        exp = self._exp
+        if exp is not None and 0 <= a < self.order:
+            return exp[2 * self._log[a]] if a else 0
         squared = poly2.square(a)
         if squared < self.order:
             return squared
+        if self._red is not None and a < self.order:
+            return self._window_reduce(squared)
         return poly2.mod(squared, self.modulus)
 
     def inv(self, a: int) -> int:
-        """Multiplicative inverse via extended Euclid in F2[x]."""
+        """Multiplicative inverse via log tables or extended Euclid in F2[x]."""
+        if self._tables_pending:
+            self.ensure_tables()
+        exp = self._exp
+        if exp is not None and 0 < a < self.order:
+            return exp[self.order - 1 - self._log[a]]
         self._check(a)
         return poly2.invmod(a, self.modulus)
 
     def div(self, a: int, b: int) -> int:
+        if self._tables_pending:
+            self.ensure_tables()
+        exp = self._exp
+        if exp is not None and 0 <= a < self.order and 0 < b < self.order:
+            if a == 0:
+                return 0
+            return exp[self._log[a] - self._log[b] + self.order - 1]
         return self.mul(a, self.inv(b))
 
     def pow(self, a: int, exponent: int) -> int:
         """``a**exponent`` with negative exponents resolved through ``inv``."""
+        if self._tables_pending:
+            self.ensure_tables()
+        exp = self._exp
+        if exp is not None and 0 <= a < self.order:
+            if a == 0:
+                if exponent < 0:
+                    raise ZeroDivisionError("zero has no inverse")
+                return 1 if exponent == 0 else 0
+            return exp[(self._log[a] * exponent) % (self.order - 1)]
         if exponent < 0:
             return poly2.powmod(self.inv(a), -exponent, self.modulus)
         return poly2.powmod(a, exponent, self.modulus)

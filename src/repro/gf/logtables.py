@@ -1,0 +1,148 @@
+"""Lookup tables that accelerate F_{2^k} arithmetic (``REPRO_GF_TABLES``).
+
+Two table families, both built lazily on first use and shared process-wide
+through a ``(k, modulus)``-keyed cache so every :class:`~repro.gf.field.GF2m`
+instance of the same field reuses them:
+
+- **log/antilog tables** (``k <= MAX_LOG_K``): discrete logarithms with
+  respect to a generator of the multiplicative group turn ``mul``, ``div``,
+  ``inv``, ``pow`` and ``square`` into O(1) list lookups. The antilog table
+  is doubled so the common index arithmetic never needs a modulo.
+- **windowed-reduction tables** (``k > MAX_LOG_K``): a full log table is
+  infeasible, but the modular reduction after a carry-less multiply can be
+  done byte-at-a-time with 256-entry tables of ``byte * x^(k+8i) mod P`` —
+  O(k/8) XORs instead of the bit-by-bit long division of ``poly2.mod``.
+
+Setting ``REPRO_GF_TABLES=0`` in the environment disables both families;
+every operation then runs on the pure :mod:`repro.gf.poly2` reference path
+(the correctness oracle the differential tests compare against).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+from . import poly2
+
+__all__ = [
+    "MAX_LOG_K",
+    "tables_enabled",
+    "log_tables",
+    "reduction_table",
+]
+
+#: Largest k for which full log/antilog tables are built (2^k entries each).
+MAX_LOG_K = 16
+
+_log_cache: Dict[Tuple[int, int], Tuple[List[int], List[int]]] = {}
+_reduction_cache: Dict[Tuple[int, int], List[List[int]]] = {}
+
+
+def tables_enabled() -> bool:
+    """Honour the ``REPRO_GF_TABLES`` switch (default: enabled)."""
+    return os.environ.get("REPRO_GF_TABLES", "1") != "0"
+
+
+def _try_generator(g: int, k: int, modulus: int) -> "List[int] | None":
+    """Antilog table for candidate generator ``g``, or None if not primitive.
+
+    The table has length ``2 * span`` (``span = 2^k - 1``) with
+    ``exp[i] = g^(i mod span)``, so ``exp[la + lb]`` and
+    ``exp[la - lb + span]`` need no index reduction.
+    """
+    order = 1 << k
+    span = order - 1
+    exp = [1] * (2 * span)
+    value = 1
+    if g == 0b10:
+        # Multiplication by x is a shift and one conditional reduction.
+        for i in range(1, span):
+            value <<= 1
+            if value & order:
+                value ^= modulus
+            if value == 1:
+                return None  # cycle shorter than 2^k - 1: not primitive
+            exp[i] = value
+    else:
+        for i in range(1, span):
+            value = poly2.mulmod(value, g, modulus)
+            if value == 1:
+                return None
+            exp[i] = value
+    exp[span : 2 * span] = exp[:span]
+    return exp
+
+
+def log_tables(k: int, modulus: int) -> Tuple[List[int], List[int]]:
+    """``(exp, log)`` tables for ``F_2^k = F2[x]/(modulus)``.
+
+    ``exp`` is the doubled antilog table from :func:`_try_generator`;
+    ``log[a]`` is the discrete logarithm of the nonzero residue ``a``
+    (``log[0]`` is a poison value that keeps the list dense but must never
+    be read — callers branch on zero first).
+    """
+    key = (k, modulus)
+    cached = _log_cache.get(key)
+    if cached is not None:
+        return cached
+    span = (1 << k) - 1
+    if span == 1:  # F_2: the multiplicative group is trivial
+        tables = ([1, 1], [-(1 << 60), 0])
+        _log_cache[key] = tables
+        return tables
+    exp = None
+    # alpha = x is primitive for every modulus in the standard tables; the
+    # search only continues past it for exotic user-supplied polynomials.
+    for g in range(2, 1 << k):
+        exp = _try_generator(g, k, modulus)
+        if exp is not None:
+            break
+    if exp is None:  # pragma: no cover - every field has a generator
+        raise RuntimeError(f"no generator found for F_2^{k}")
+    log = [-(1 << 60)] * (span + 1)
+    for i in range(span):
+        log[exp[i]] = i
+    _log_cache[key] = (exp, log)
+    return exp, log
+
+
+def reduction_table(k: int, modulus: int) -> List[List[int]]:
+    """Byte-window reduction tables for products of two degree-<k residues.
+
+    ``table[i][byte] == (byte << (k + 8*i)) mod modulus`` for every byte
+    position ``i`` of the product's high part (degree ``k .. 2k-2``).
+    Built incrementally from ``x^(k+j) mod P`` recurrences in O(k + 256*k/8)
+    word operations — no per-entry long division.
+    """
+    key = (k, modulus)
+    cached = _reduction_cache.get(key)
+    if cached is not None:
+        return cached
+    order = 1 << k
+    mask = order - 1
+    low = modulus & mask  # x^k ≡ low  (mod P)
+    # residues[j] = x^(k+j) mod P for the k-1 possible high-part bits
+    residues = [0] * (k - 1) if k > 1 else [0]
+    residues[0] = low
+    for j in range(1, len(residues)):
+        r = residues[j - 1] << 1
+        if r & order:
+            r = (r & mask) ^ low
+        residues[j] = r
+    positions = (len(residues) + 7) // 8
+    table: List[List[int]] = []
+    for i in range(positions):
+        rows = [0] * 256
+        base = 8 * i
+        limit = min(8, len(residues) - base)
+        for byte in range(1, 256):
+            lowbit = byte & -byte
+            bit = lowbit.bit_length() - 1
+            if bit >= limit:
+                rows[byte] = rows[byte ^ lowbit]
+            else:
+                rows[byte] = rows[byte ^ lowbit] ^ residues[base + bit]
+        table.append(rows)
+    _reduction_cache[key] = table
+    return table

@@ -46,7 +46,7 @@ def _expand_spec_into_bits(
     performed term by term with idempotent bit monomials. Practical for the
     low-degree specs arithmetic circuits have (``A*B``, ``A^2``, ...).
     """
-    alpha_powers = [field.pow(field.alpha, i) for i in range(field.k)]
+    alpha_powers = field.alpha_powers()
     word_bits = {
         word: [id_of[b] for b in bits] for word, bits in circuit.input_words.items()
     }
@@ -123,8 +123,11 @@ def check_ideal_membership(
         output_word = next(iter(circuit.output_words))
     ordering = build_rato(circuit, output_words=[output_word])
     id_of = ordering.var_ids
-    engine = SubstitutionEngine(field)
-    alpha_powers = [field.pow(field.alpha, i) for i in range(field.k)]
+    # Only gate variables are eliminated here; index nothing else.
+    engine = SubstitutionEngine(
+        field, indexed_vars={id_of[net] for net in ordering.gate_nets}
+    )
+    alpha_powers = field.alpha_powers()
     # f = Z + F with Z written bit-level: sum alpha^i z_i + F(bits of A, B).
     for i, bit in enumerate(circuit.output_words[output_word]):
         engine.add_term(frozenset((id_of[bit],)), alpha_powers[i])

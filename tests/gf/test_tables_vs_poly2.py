@@ -1,0 +1,233 @@
+"""Differential tests for the arithmetic fast paths.
+
+Two oracles, two implementations each:
+
+- ``GF2m`` with lookup tables (log/antilog for k <= 16, byte-window
+  reduction beyond) against the raw ``poly2`` carry-less reference, and
+  against a ``REPRO_GF_TABLES=0`` field instance — exhaustively for small
+  k, randomized for the larger ones;
+- the heap-based ``reduce_polynomial`` against the retained scan-based
+  ``reference_reduce_polynomial``, including ``DivisionTrace`` step/peak
+  parity, on randomized polynomial workloads.
+
+Everything is seeded: a failure here reproduces bit-for-bit.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import LexOrder, PolynomialRing, reduce_polynomial
+from repro.algebra.division import (
+    DivisionTrace,
+    DivisorIndex,
+    reference_reduce_polynomial,
+)
+from repro.gf import GF2m, poly2
+from repro.gf.logtables import MAX_LOG_K, tables_enabled
+
+
+def _ref_mul(field: GF2m, a: int, b: int) -> int:
+    product = poly2.clmul(a, b)
+    if product < field.order:
+        return product
+    return poly2.mod(product, field.modulus)
+
+
+@pytest.fixture
+def no_tables_field(monkeypatch):
+    """A field construction context with the table fast paths disabled."""
+
+    def build(k: int) -> GF2m:
+        monkeypatch.setenv("REPRO_GF_TABLES", "0")
+        field = GF2m(k)
+        assert field._exp is None and field._red is None
+        return field
+
+    return build
+
+
+class TestTablesVsPoly2Exhaustive:
+    """k <= 8: every operand pair, tables vs the poly2 reference."""
+
+    @pytest.mark.parametrize("k", range(1, 9))
+    def test_mul_all_pairs(self, k):
+        field = GF2m(k)
+        for a in range(field.order):
+            for b in range(field.order):
+                assert field.mul(a, b) == _ref_mul(field, a, b), (k, a, b)
+
+    @pytest.mark.parametrize("k", range(1, 9))
+    def test_square_matches_mul(self, k):
+        field = GF2m(k)
+        for a in range(field.order):
+            assert field.square(a) == _ref_mul(field, a, a)
+
+    @pytest.mark.parametrize("k", range(1, 9))
+    def test_inv_and_div(self, k):
+        field = GF2m(k)
+        for a in range(1, field.order):
+            inv = field.inv(a)
+            assert inv == poly2.invmod(a, field.modulus)
+            assert field.mul(a, inv) == 1
+        for a in range(field.order):
+            for b in range(1, field.order):
+                assert field.div(a, b) == _ref_mul(field, a, field.inv(b))
+
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_pow_small_grid(self, k):
+        field = GF2m(k)
+        for a in range(1, field.order):
+            for e in (-3, -1, 0, 1, 2, 5, field.order - 1, field.order):
+                if e >= 0:
+                    expected = poly2.powmod(a, e, field.modulus)
+                else:
+                    expected = poly2.powmod(
+                        poly2.invmod(a, field.modulus), -e, field.modulus
+                    )
+                assert field.pow(a, e) == expected, (k, a, e)
+
+
+class TestTablesVsPoly2Randomized:
+    """k in {12, 16}: log/antilog paths on random operands."""
+
+    @pytest.mark.parametrize("k", [12, 16])
+    def test_mul_random(self, k):
+        rng = random.Random(0xC0DE + k)
+        field = GF2m(k)
+        assert k <= MAX_LOG_K
+        for _ in range(2000):
+            a = rng.randrange(field.order)
+            b = rng.randrange(field.order)
+            assert field.mul(a, b) == _ref_mul(field, a, b), (a, b)
+
+    @pytest.mark.parametrize("k", [12, 16])
+    def test_inv_pow_random(self, k):
+        rng = random.Random(0xBEEF + k)
+        field = GF2m(k)
+        for _ in range(300):
+            a = rng.randrange(1, field.order)
+            assert field.mul(a, field.inv(a)) == 1
+            e = rng.randrange(-50, 50)
+            if e >= 0:
+                expected = poly2.powmod(a, e, field.modulus)
+            else:
+                expected = poly2.powmod(
+                    poly2.invmod(a, field.modulus), -e, field.modulus
+                )
+            assert field.pow(a, e) == expected, (a, e)
+
+    def test_zero_handling(self):
+        for k in (8, 12, 16, 32):
+            field = GF2m(k)
+            x = 0b101 % field.order
+            assert field.mul(0, x) == 0
+            assert field.mul(x, 0) == 0
+            assert field.div(0, 1) == 0
+            assert field.pow(0, 0) == 1
+            assert field.pow(0, 5) == 0
+            with pytest.raises(ZeroDivisionError):
+                field.pow(0, -1)
+
+
+class TestWindowedReductionK32:
+    """k = 32 exceeds MAX_LOG_K: the byte-window reduction path."""
+
+    def test_mul_random(self):
+        rng = random.Random(0x32)
+        field = GF2m(32)
+        assert field.k > MAX_LOG_K
+        for _ in range(1000):
+            a = rng.randrange(field.order)
+            b = rng.randrange(field.order)
+            assert field.mul(a, b) == _ref_mul(field, a, b), (a, b)
+
+    def test_square_random(self):
+        rng = random.Random(0x3232)
+        field = GF2m(32)
+        for _ in range(500):
+            a = rng.randrange(field.order)
+            assert field.square(a) == _ref_mul(field, a, a)
+
+
+class TestEscapeHatch:
+    """REPRO_GF_TABLES=0 must produce bit-identical arithmetic."""
+
+    @pytest.mark.parametrize("k", [8, 16, 32])
+    def test_disabled_field_agrees(self, k, no_tables_field):
+        plain = no_tables_field(k)
+        fast = GF2m(k)
+        rng = random.Random(0xD15A + k)
+        for _ in range(500):
+            a = rng.randrange(plain.order)
+            b = rng.randrange(plain.order)
+            assert plain.mul(a, b) == fast.mul(a, b)
+        for _ in range(100):
+            a = rng.randrange(1, plain.order)
+            assert plain.inv(a) == fast.inv(a)
+            assert plain.square(a) == fast.square(a)
+
+    def test_flag_read_at_construction(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GF_TABLES", raising=False)
+        assert tables_enabled()
+        monkeypatch.setenv("REPRO_GF_TABLES", "0")
+        assert not tables_enabled()
+
+
+def _random_workload(seed: int, nvars: int = 8, terms: int = 120, ndiv: int = 10):
+    rng = random.Random(seed)
+    field = GF2m(8)
+    names = [f"x{i}" for i in range(nvars)]
+    ring = PolynomialRing(field, names, order=LexOrder(range(nvars)), fold=False)
+    variables = [ring.var(n) for n in names]
+
+    def random_poly(nterms: int, max_deg: int):
+        p = ring.zero()
+        for _ in range(nterms):
+            m = ring.one()
+            for v in rng.sample(variables, rng.randint(1, 3)):
+                m = m * (v ** rng.randint(1, max_deg))
+            p = p + m.scale(rng.randrange(1, field.order))
+        return p
+
+    f = random_poly(terms, 3)
+    divisors = [random_poly(rng.randint(2, 4), 2) for _ in range(ndiv)]
+    return f, divisors
+
+
+class TestHeapVsReferenceReducer:
+    """The lazy-deletion heap reducer against the scan-based oracle."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 42, 1234, 99991])
+    def test_remainders_identical(self, seed):
+        f, divisors = _random_workload(seed)
+        assert reduce_polynomial(f, divisors) == reference_reduce_polynomial(
+            f, divisors
+        )
+
+    @pytest.mark.parametrize("seed", [3, 17, 2024])
+    def test_trace_parity(self, seed):
+        f, divisors = _random_workload(seed)
+        heap_trace = DivisionTrace()
+        ref_trace = DivisionTrace()
+        heap_r = reduce_polynomial(f, divisors, trace=heap_trace)
+        ref_r = reference_reduce_polynomial(f, divisors, trace=ref_trace)
+        assert heap_r == ref_r
+        assert heap_trace.steps == ref_trace.steps
+        assert heap_trace.peak_terms == ref_trace.peak_terms
+
+    @pytest.mark.parametrize("seed", [5, 55])
+    def test_prebuilt_index_identical(self, seed):
+        f, divisors = _random_workload(seed)
+        index = DivisorIndex(f.ring, divisors)
+        assert reduce_polynomial(
+            f, divisors, index=index
+        ) == reference_reduce_polynomial(f, divisors)
+
+    def test_remainder_is_fully_reduced(self):
+        f, divisors = _random_workload(271828)
+        r = reduce_polynomial(f, divisors)
+        ring = f.ring
+        leads = [g.leading_monomial() for g in divisors if not g.is_zero()]
+        for monomial in r.terms:
+            assert not any(ring.monomial_divides(lm, monomial) for lm in leads)
