@@ -1,0 +1,199 @@
+"""Cone-sliced parallel abstraction benchmark: worker sweep at paper sizes.
+
+Times :func:`repro.core.extract_canonical` on Mastrovito multipliers —
+serial versus the cone-sliced pool at 1/2/4/8 workers — at k in
+{64, 96, 128} with a k=163 (NIST B-163) attempt, checks the parallel
+polynomial is term-for-term identical to the serial one at every point,
+compares the serial path against the recorded baseline
+(``benchmarks/baselines/parallel_serial_pre_pr.json``), and writes a
+``BENCH_parallel.json`` trajectory (respecting ``$REPRO_BENCH_OUT``).
+
+Standalone script so CI can gate on it cheaply::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_abstraction.py --quick
+
+``--quick`` restricts the sweep to k=32 with a 2-worker pool and enforces
+``--ceiling-seconds`` on the serial abstraction (exit status 1 beyond it)
+— the CI perf-smoke contract. Run without flags for the full sweep.
+
+The pool threshold is dropped for the duration of the run
+(``REPRO_PARALLEL_MIN_GATES=1``) so every size exercises the pool; the
+sweep reports pool utilization and speedup per worker count honestly —
+on a single-CPU host the pool's fork overhead makes it *slower* than
+serial, which is exactly what the utilization column shows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core import extract_canonical
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "parallel_serial_pre_pr.json"
+
+SWEEP_SIZES = (64, 96, 128)
+ATTEMPT_SIZES = (163,)
+QUICK_SIZES = (32,)
+WORKER_SWEEP = (1, 2, 4, 8)
+QUICK_WORKERS = (2,)
+
+
+def _time_extract(circuit, field, jobs, reps: int):
+    """Median wall clock plus the last run's result for identity checks."""
+    samples = []
+    result = None
+    for _ in range(reps):
+        gc.collect()
+        t0 = time.perf_counter()
+        result = extract_canonical(circuit, field, jobs=jobs)
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples), result
+
+
+def bench_size(k: int, workers, reps: int) -> dict:
+    field = GF2m(k)
+    circuit = mastrovito_multiplier(field)
+    serial_seconds, serial = _time_extract(circuit, field, None, reps)
+    row: dict = {
+        "gates": circuit.num_gates(),
+        "serial_seconds": serial_seconds,
+        "workers": {},
+    }
+    print(f"abstract k={k} ({row['gates']} gates) serial: {serial_seconds*1e3:.1f} ms")
+    for count in workers:
+        seconds, parallel = _time_extract(circuit, field, count, reps)
+        assert parallel.polynomial.terms == serial.polynomial.terms, (
+            f"k={k} jobs={count}: parallel polynomial differs from serial"
+        )
+        entry = {
+            "seconds": seconds,
+            "speedup_vs_serial": round(serial_seconds / seconds, 2) if seconds else None,
+            "engaged": parallel.stats.jobs > 0,
+        }
+        if parallel.stats.jobs:
+            entry["cones"] = parallel.stats.cones
+            entry["pool_utilization_pct"] = round(parallel.stats.pool_utilization_pct, 1)
+            entry["table_rebuilds"] = parallel.stats.table_rebuilds
+        row["workers"][str(count)] = entry
+        note = "" if entry["engaged"] else " (serial path: jobs=1)"
+        print(
+            f"abstract k={k} jobs={count}: {seconds*1e3:.1f} ms "
+            f"(speedup {entry['speedup_vs_serial']}x){note}"
+        )
+    return row
+
+
+def run_suite(quick: bool) -> dict:
+    sizes = QUICK_SIZES if quick else SWEEP_SIZES
+    workers = QUICK_WORKERS if quick else WORKER_SWEEP
+    results: dict = {"abstraction": {}}
+    for k in sizes:
+        reps = 3 if k <= 96 else 2
+        results["abstraction"][str(k)] = bench_size(k, workers, reps)
+    if not quick:
+        for k in ATTEMPT_SIZES:
+            try:
+                results["abstraction"][str(k)] = bench_size(k, (2,), reps=1)
+            except Exception as exc:  # noqa: BLE001 — attempt is best-effort
+                results["abstraction"][str(k)] = {"error": f"{type(exc).__name__}: {exc}"}
+                print(f"abstract k={k} attempt failed: {exc}", file=sys.stderr)
+    return results
+
+
+def compute_speedups(baseline: dict, current: dict) -> dict:
+    base = baseline.get("abstraction", {})
+    speedup = {}
+    for k, row in current.get("abstraction", {}).items():
+        if k in base and row.get("serial_seconds") and base[k].get("serial_seconds"):
+            speedup[k] = round(base[k]["serial_seconds"] / row["serial_seconds"], 2)
+    return {"serial_abstraction": speedup}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="k=32 sweep only, with the wall-clock ceiling enforced (CI mode)",
+    )
+    parser.add_argument(
+        "--ceiling-seconds",
+        type=float,
+        default=20.0,
+        help="--quick fails when the k=32 serial abstraction exceeds this "
+        "(default 20s)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default $REPRO_BENCH_OUT or ./BENCH_parallel.json)",
+    )
+    parser.add_argument(
+        "--capture-baseline",
+        action="store_true",
+        help=f"record this run as the comparison baseline ({BASELINE_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    # Every size in the sweep should exercise the pool, not just k>=48.
+    os.environ["REPRO_PARALLEL_MIN_GATES"] = "1"
+    try:
+        current = run_suite(args.quick)
+    finally:
+        del os.environ["REPRO_PARALLEL_MIN_GATES"]
+    payload = {
+        "meta": {
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "current": current,
+    }
+
+    if args.capture_baseline:
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"baseline recorded to {BASELINE_PATH}")
+        return 0
+
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        payload["baseline"] = baseline["current"]
+        payload["baseline_meta"] = baseline["meta"]
+        payload["speedup"] = compute_speedups(baseline["current"], current)
+        print("speedup vs recorded baseline:", json.dumps(payload["speedup"]))
+
+    out = args.out or os.environ.get("REPRO_BENCH_OUT") or "BENCH_parallel.json"
+    out_path = Path(out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"trajectory written to {out_path}")
+
+    if args.quick:
+        quick_k = str(QUICK_SIZES[0])
+        serial = current["abstraction"].get(quick_k, {}).get("serial_seconds")
+        if serial is None or serial > args.ceiling_seconds:
+            print(
+                f"FAIL: k={quick_k} serial abstraction took {serial:.2f}s "
+                f"(ceiling {args.ceiling_seconds:.0f}s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: k={quick_k} serial abstraction {serial*1e3:.1f} ms under ceiling")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

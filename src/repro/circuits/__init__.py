@@ -1,7 +1,7 @@
 """Gate-level netlist substrate: circuits, simulation, hierarchy, I/O."""
 
 from .blif import from_blif, read_blif, to_blif, write_blif
-from .circuit import Circuit, CircuitError
+from .circuit import Circuit, CircuitError, FaninCone
 from .gates import GATE_ARITY, Gate, GateType, eval_gate
 from .hierarchy import Block, HierarchicalCircuit
 from .mutate import (
@@ -18,6 +18,7 @@ from .verilog import from_verilog, read_verilog, to_verilog, write_verilog
 __all__ = [
     "Circuit",
     "CircuitError",
+    "FaninCone",
     "Gate",
     "GateType",
     "GATE_ARITY",

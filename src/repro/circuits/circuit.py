@@ -10,11 +10,40 @@ correspondence the abstraction engine relies on.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .gates import Gate, GateType
 
-__all__ = ["Circuit", "CircuitError"]
+__all__ = ["Circuit", "CircuitError", "FaninCone"]
+
+
+@dataclass
+class FaninCone:
+    """The transitive fanin of one net: everything that can influence it.
+
+    ``gates`` are in topological order (producers before consumers, the
+    order :func:`Circuit.topological_order` would give the subcircuit) and
+    ``inputs`` are the primary inputs feeding the cone, in the owning
+    circuit's input order. Cones of different output bits may share gates —
+    the slices overlap wherever logic has fanout across output bits.
+    """
+
+    root: str
+    gates: List[Gate]
+    inputs: List[str]
+
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def subcircuit(self, name: Optional[str] = None) -> "Circuit":
+        """Materialise the cone as a standalone single-output circuit."""
+        sub = Circuit(name or f"cone:{self.root}")
+        sub.add_inputs(self.inputs)
+        for gate in self.gates:
+            sub.add_gate(gate.output, gate.gate_type, gate.inputs)
+        sub.set_outputs([self.root])
+        return sub
 
 
 class CircuitError(ValueError):
@@ -267,6 +296,67 @@ class Circuit:
             depth[gate.output] = d
             best = max(best, d)
         return best
+
+    def _cone_of(
+        self,
+        root: str,
+        topo_pos: Dict[str, int],
+        input_pos: Dict[str, int],
+    ) -> FaninCone:
+        gates = self._gates
+        seen_gates: set = set()
+        seen_inputs: set = set()
+        stack = [root]
+        while stack:
+            net = stack.pop()
+            gate = gates.get(net)
+            if gate is None:
+                if net not in self._input_set:
+                    raise CircuitError(
+                        f"cone of {root!r} reaches undriven net {net!r}"
+                    )
+                seen_inputs.add(net)
+                continue
+            if net in seen_gates:
+                continue
+            seen_gates.add(net)
+            stack.extend(gate.inputs)
+        cone_gates = [gates[n] for n in sorted(seen_gates, key=topo_pos.__getitem__)]
+        cone_inputs = sorted(seen_inputs, key=input_pos.__getitem__)
+        return FaninCone(root, cone_gates, cone_inputs)
+
+    def fanin_cone(self, root: str) -> FaninCone:
+        """Transitive-fanin cone of one net (the net itself may be an input)."""
+        if root not in self._gates and root not in self._input_set:
+            raise CircuitError(f"net {root!r} is not driven")
+        topo_pos = {g.output: i for i, g in enumerate(self.topological_order())}
+        input_pos = {n: i for i, n in enumerate(self._inputs)}
+        return self._cone_of(root, topo_pos, input_pos)
+
+    def output_cones(self, word: Optional[str] = None) -> List[FaninCone]:
+        """Per-output-bit fanin cones — the unit of parallel abstraction.
+
+        Each output bit ``z_i`` depends only on its transitive fanin, so the
+        guided reduction decomposes into one independent problem per cone
+        (cf. Yu & Ciesielski's parallel GF-multiplier verification). With
+        ``word`` given, returns one cone per bit of that output word (LSB
+        first, matching the word's bit order); otherwise one cone per
+        primary output net. Cones may share gates: shared logic appears in
+        every cone that reaches it.
+        """
+        if word is not None:
+            try:
+                roots = self.output_words[word]
+            except KeyError:
+                raise CircuitError(f"unknown output word {word!r}") from None
+        else:
+            roots = self._outputs
+        topo_pos = {g.output: i for i, g in enumerate(self.topological_order())}
+        input_pos = {n: i for i, n in enumerate(self._inputs)}
+        for root in roots:
+            if root not in self._gates and root not in self._input_set:
+                raise CircuitError(f"output net {root!r} is not driven")
+        return [self._cone_of(root, topo_pos, input_pos) for root in roots]
 
     # -- transformation ------------------------------------------------------------
 

@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``)::
     repro abstract spec.v -k 16
     repro verify spec.v impl.v -k 16 [--method abstraction|sat|fraig|bdd]
     repro verify spec.v impl.v -k 16 --trace out.trace.json --metrics
+    repro verify spec.v impl.v -k 128 --jobs 4    # cone-sliced parallel path
     repro check-spec impl.v -k 16 --spec "A*B"    # Lv-style membership test
     repro batch manifest.json --jobs 4 --timeout 120 --cache-dir .repro-cache
     repro batch manifest.json --log run.jsonl --trace-dir traces/
@@ -43,7 +44,7 @@ from .circuits import (
     write_blif,
     write_verilog,
 )
-from .core import abstract_circuit
+from .core import extract_canonical
 from .gf import GF2m, poly2
 from .synth import (
     gf_adder,
@@ -120,13 +121,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_abstract(args: argparse.Namespace) -> int:
     field = _field(args)
     circuit = _read_netlist(args.netlist)
-    result = abstract_circuit(
-        circuit, field, output_word=args.output_word, case2=args.case2
+    result = extract_canonical(
+        circuit,
+        field,
+        output_word=args.output_word,
+        case2=args.case2,
+        jobs=args.jobs,
     )
     print(f"field:      F_2^{field.k}, P(x) = {poly2.to_string(field.modulus)}")
     print(f"case:       {result.stats.case}")
     print(f"time:       {result.stats.seconds:.3f}s")
     print(f"peak terms: {result.stats.peak_terms}")
+    if result.stats.jobs:
+        print(
+            f"parallel:   {result.stats.cones} cones on {result.stats.jobs} "
+            f"worker(s), {result.stats.pool_utilization_pct:.0f}% pool "
+            f"utilization"
+        )
     print(f"polynomial: {result.output_word} = {result.polynomial}")
     return 0
 
@@ -137,6 +148,36 @@ def _export_trace(snapshot, path: str) -> None:
     else:
         obs.write_chrome_trace(snapshot, path)
     print(f"trace: {path}")
+
+
+def _print_parallel_metrics(outcome) -> None:
+    """Per-cone division work and pool health from a verify outcome.
+
+    Printed under ``--metrics`` so load imbalance is visible without
+    opening the trace in a viewer; data comes from the per-side
+    ``parallel`` stats block that :func:`canonical_polynomial` attaches
+    when the cone-sliced path ran.
+    """
+    details = getattr(outcome, "details", None) or {}
+    for side in ("spec", "impl"):
+        parallel = (details.get(side) or {}).get("parallel")
+        if not parallel:
+            continue
+        steps = parallel["cone_division_steps"]
+        idle = parallel["pool_idle_seconds"]
+        print(
+            f"parallel[{side}]: {parallel['cones']} cones on "
+            f"{parallel['jobs']} worker(s), "
+            f"{parallel['pool_utilization_pct']:.1f}% utilization "
+            f"({idle:.3f}s idle), table rebuilds: "
+            f"{parallel['table_rebuilds']}"
+        )
+        if steps:
+            print(
+                f"  division steps/cone: min={min(steps)} max={max(steps)} "
+                f"total={sum(steps)}"
+            )
+            print(f"  per cone (LSB first): {steps}")
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -154,7 +195,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 if len(spec_out) == len(impl_out) == 1:
                     output_map = {impl_out[0]: spec_out[0]}
             if args.method == "abstraction":
-                outcome = verify_equivalence(spec, impl, field, seed=args.seed)
+                outcome = verify_equivalence(
+                    spec, impl, field, seed=args.seed, jobs=args.jobs
+                )
             elif args.method == "sat":
                 outcome = check_equivalence_sat(
                     spec, impl, max_conflicts=args.budget, output_map=output_map
@@ -177,6 +220,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             _export_trace(snapshot, trace_path)
         if args.metrics:
             print(obs.summary_table(snapshot))
+            _print_parallel_metrics(outcome)
     if outcome.status == "equivalent":
         return 0
     if outcome.status == "not_equivalent":
@@ -336,6 +380,14 @@ def build_parser() -> argparse.ArgumentParser:
     abstract.add_argument(
         "--case2", choices=["linearized", "groebner"], default="linearized"
     )
+    abstract.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cone-sliced parallel abstraction: N worker processes "
+        "(0 = one per CPU; default serial)",
+    )
     abstract.set_defaults(func=_cmd_abstract)
 
     verify = add_command("verify", help="prove or refute equivalence")
@@ -357,6 +409,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="seed for the randomized counterexample search (reproducible runs)",
+    )
+    verify.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cone-sliced parallel abstraction: N worker processes "
+        "(0 = one per CPU; default serial; abstraction method only)",
     )
     verify.add_argument(
         "--trace",

@@ -5,6 +5,7 @@ from .abstraction import (
     AbstractionStats,
     abstract_all_outputs,
     abstract_circuit,
+    extract_canonical,
     word_ring_for,
 )
 from .bitpoly import SubstitutionEngine
@@ -20,6 +21,7 @@ from .rato import RatoOrdering, build_rato, build_unrefined_order
 __all__ = [
     "abstract_circuit",
     "abstract_all_outputs",
+    "extract_canonical",
     "AbstractionResult",
     "AbstractionStats",
     "word_ring_for",

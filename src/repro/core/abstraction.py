@@ -25,6 +25,8 @@ Two outcomes (Section 5, step 3):
 from __future__ import annotations
 
 import heapq
+import logging
+import os
 import time
 from collections import Counter
 from itertools import chain
@@ -38,10 +40,10 @@ from ..algebra import (
     reduced_groebner_basis,
     vanishing_ideal,
 )
-from ..circuits import Circuit, GateType
+from ..circuits import Circuit, FaninCone, GateType
 from ..gf import GF2m, coordinate_coefficients
 from ..obs import metrics
-from ..obs.spans import span
+from ..obs.spans import active_collector, span
 from .bitpoly import SubstitutionEngine
 from .gate_polys import gate_tail
 from .rato import RatoOrdering, build_rato
@@ -49,11 +51,15 @@ from .rato import RatoOrdering, build_rato
 __all__ = [
     "AbstractionResult",
     "AbstractionStats",
+    "DEFAULT_PARALLEL_MIN_GATES",
     "abstract_circuit",
     "abstract_all_outputs",
+    "extract_canonical",
     "reduce_through_gates",
     "word_ring_for",
 ]
+
+logger = logging.getLogger("repro.core")
 
 
 @dataclass
@@ -68,6 +74,13 @@ class AbstractionStats:
     case: int = 1
     case2_method: Optional[str] = None
     remainder_bits: List[str] = dataclass_field(default_factory=list)
+    # Parallel-path accounting; all zero/empty when the serial path ran.
+    jobs: int = 0  # pool workers used (0 == serial)
+    cones: int = 0
+    cone_division_steps: List[int] = dataclass_field(default_factory=list)
+    pool_idle_seconds: float = 0.0
+    pool_utilization_pct: float = 0.0
+    table_rebuilds: int = 0
 
 
 @dataclass
@@ -295,6 +308,33 @@ def reduce_through_gates(
     be non-gate variables. Counter accounting matches running the same
     steps through ``engine.substitute`` afterwards.
     """
+    remainder, substitutions, traffic, peak = _reduce_to_masks(
+        circuit, engine.terms, engine.field, ordering, word_relations
+    )
+    _write_back_masks(engine, remainder, len(ordering.gate_nets))
+    engine.substitutions += substitutions
+    engine.term_traffic += traffic
+    if peak > engine.peak_terms:
+        engine.peak_terms = peak
+
+
+def _reduce_to_masks(
+    circuit: Circuit,
+    seed_terms: Dict[FrozenSet[int], int],
+    field: GF2m,
+    ordering: RatoOrdering,
+    word_relations: Optional[List[tuple]] = None,
+) -> "tuple[Dict[int, int], int, int, int]":
+    """The sweep behind :func:`reduce_through_gates`, remainder kept packed.
+
+    Takes the seed as a plain ``frozenset -> coeff`` dict and returns
+    ``(remainder, substitutions, term_traffic, peak_terms)`` with the
+    gate-free remainder still in mask encoding (``bit i`` == non-gate
+    variable ``num_gates + i``). The per-cone parallel path calls this
+    directly so cone remainders can travel between processes as packed
+    ints instead of frozensets; :func:`reduce_through_gates` wraps it with
+    the engine write-back.
+    """
     id_of = ordering.var_ids
     num_gates = len(ordering.gate_nets)
 
@@ -334,7 +374,7 @@ def reduce_through_gates(
         chain.from_iterable(g.inputs for g in circuit.topological_order())
     )
     pinned = [False] * num_gates
-    for monomial in engine.terms:
+    for monomial in seed_terms:
         for v in monomial:
             if v < num_gates:
                 pinned[v] = True
@@ -444,7 +484,7 @@ def reduce_through_gates(
     # encode to the same key, so staging XOR-merges.
     staged: Dict[int, Dict[tuple, Dict[int, int]]] = {}
     remainder: Dict[int, int] = {}
-    for monomial, coeff in engine.terms.items():
+    for monomial, coeff in seed_terms.items():
         mask, gates = encode(monomial)
         sub = remainder if not gates else (
             staged.setdefault(gates[0], {}).setdefault(gates, {})
@@ -459,7 +499,7 @@ def reduce_through_gates(
             else:
                 del sub[mask]
 
-    mul = engine.field.mul
+    mul = field.mul
     substitutions = 0
     traffic = 0
     live = len(remainder) + sum(
@@ -606,35 +646,67 @@ def reduce_through_gates(
     # thousand terms at k=32), so substituting each word's leading bit here
     # avoids building frozensets only to immediately rewrite them.
     if word_relations:
-        for var, rel_tail in word_relations:
-            bit = 1 << (var - num_gates)
-            affected = [item for item in remainder.items() if item[0] & bit]
-            if not affected:
-                continue
-            titems = [(1 << (tv - num_gates), tc) for tv, tc in rel_tail]
-            for mask, _ in affected:
-                del remainder[mask]
-            traffic += len(affected) * len(titems)
-            rget = remainder.get
-            for mask, coeff in affected:
-                base = mask ^ bit
-                for tmask, tcoeff in titems:
-                    key = base | tmask
-                    cc = coeff if tcoeff == 1 else mul(coeff, tcoeff)
-                    cur = rget(key)
-                    if cur is None:
-                        remainder[key] = cc
-                    else:
-                        merged = cur ^ cc
-                        if merged:
-                            remainder[key] = merged
-                        else:
-                            del remainder[key]
-            substitutions += 1
-            if len(remainder) > peak:
-                peak = len(remainder)
+        div_subs, div_traffic, div_peak = _divide_word_relations(
+            remainder, word_relations, num_gates, mul
+        )
+        substitutions += div_subs
+        traffic += div_traffic
+        if div_peak > peak:
+            peak = div_peak
+    return remainder, substitutions, traffic, peak
 
-    # Write the gate-free remainder back as engine state (terms + index).
+
+def _divide_word_relations(
+    remainder: Dict[int, int],
+    word_relations: List[tuple],
+    num_gates: int,
+    mul,
+) -> "tuple[int, int, int]":
+    """Divide a mask-space remainder by the input word relations, in place.
+
+    Substitutes each relation's leading bit by its tail (the word variable
+    plus the alpha-scaled higher bits). Returns ``(substitutions,
+    term_traffic, peak_terms)`` deltas; the serial sweep folds them into
+    its own counters and the parallel merge applies this to the combined
+    remainder — one place, identical term-by-term behaviour.
+    """
+    substitutions = 0
+    traffic = 0
+    peak = 0
+    for var, rel_tail in word_relations:
+        bit = 1 << (var - num_gates)
+        affected = [item for item in remainder.items() if item[0] & bit]
+        if not affected:
+            continue
+        titems = [(1 << (tv - num_gates), tc) for tv, tc in rel_tail]
+        for mask, _ in affected:
+            del remainder[mask]
+        traffic += len(affected) * len(titems)
+        rget = remainder.get
+        for mask, coeff in affected:
+            base = mask ^ bit
+            for tmask, tcoeff in titems:
+                key = base | tmask
+                cc = coeff if tcoeff == 1 else mul(coeff, tcoeff)
+                cur = rget(key)
+                if cur is None:
+                    remainder[key] = cc
+                else:
+                    merged = cur ^ cc
+                    if merged:
+                        remainder[key] = merged
+                    else:
+                        del remainder[key]
+        substitutions += 1
+        if len(remainder) > peak:
+            peak = len(remainder)
+    return substitutions, traffic, peak
+
+
+def _write_back_masks(
+    engine: SubstitutionEngine, remainder: Dict[int, int], num_gates: int
+) -> None:
+    """Install a gate-free mask-space remainder as engine state (terms + index)."""
     terms = engine.terms
     occ = engine.occ
     indexed = engine.indexed
@@ -663,37 +735,11 @@ def reduce_through_gates(
                 occ[v] = {key}
             else:
                 b.add(key)
-    engine.substitutions += substitutions
-    engine.term_traffic += traffic
-    if peak > engine.peak_terms:
-        engine.peak_terms = peak
 
 
-def abstract_circuit(
-    circuit: Circuit,
-    field: GF2m,
-    output_word: Optional[str] = None,
-    case2: str = "linearized",
-    ordering: Optional[RatoOrdering] = None,
-) -> AbstractionResult:
-    """Derive the canonical polynomial ``Z = G(input words)`` of a circuit.
-
-    Parameters
-    ----------
-    circuit:
-        Gate-level netlist with word annotations (all words ``field.k`` bits).
-    output_word:
-        Which output word to abstract (defaults to the only one).
-    case2:
-        ``"linearized"`` (default, scalable) or ``"groebner"`` (the paper's
-        Case-2 computation, exact but exponential in the worst case).
-    ordering:
-        Variable ordering; defaults to RATO. Pass
-        :func:`~repro.core.rato.build_unrefined_order` output for ablations.
-    """
-    start = time.perf_counter()
-    if case2 not in ("linearized", "groebner"):
-        raise ValueError(f"unknown case2 strategy {case2!r}")
+def _resolve_output_word(
+    circuit: Circuit, field: GF2m, output_word: Optional[str]
+) -> str:
     if not circuit.output_words:
         raise ValueError("circuit has no output words to abstract")
     if output_word is None:
@@ -705,51 +751,50 @@ def abstract_circuit(
             raise ValueError(
                 f"word {word!r} has {len(bits)} bits; field is F_2^{field.k}"
             )
+    return output_word
 
-    ordering = ordering or build_rato(circuit, output_words=[output_word])
+
+def _word_relation_tables(
+    circuit: Circuit, ordering: RatoOrdering, alpha_powers: List[int]
+) -> "tuple[List[tuple], Dict[int, str], Dict[int, tuple]]":
+    """Input word relations ``f_wi = b_0 + alpha*b_1 + ... + W`` as id tuples.
+
+    Returns ``(word_relations, id_to_word, bit_owner)``: the division steps
+    for each relation's leading bit, the word-variable id map used by the
+    finishing steps, and each input bit's ``(word, position)``.
+    """
     id_of = ordering.var_ids
-
-    # Seed with Spoly(f_w, f_g)'s surviving part: sum_i alpha^i * z_i.
-    # Only gate variables and each input word's leading bit are ever
-    # substituted, so the occurrence index tracks just those.
-    substitutable = {id_of[net] for net in ordering.gate_nets}
-    for word in ordering.input_words:
-        substitutable.add(id_of[circuit.input_words[word][0]])
-    engine = SubstitutionEngine(field, indexed_vars=substitutable)
-    alpha_powers = field.alpha_powers()
-    for i, bit in enumerate(circuit.output_words[output_word]):
-        engine.add_term(frozenset((id_of[bit],)), alpha_powers[i])
-
-    bit_owner: Dict[int, "tuple[str, int]"] = {}
+    word_relations: List[tuple] = []
     id_to_word: Dict[int, str] = {}
-    with span("spoly_reduction", gates=circuit.num_gates(), output=output_word):
-        # Division by the input word relations f_wi = b_0 + b_1*alpha + ...
-        # + W substitutes each relation's leading bit b_0; handing the
-        # relations to the sweep keeps those steps in its compact encoding.
-        word_relations = []
-        for word in ordering.input_words:
-            bits = circuit.input_words[word]
-            word_id = id_of[word]
-            id_to_word[word_id] = word
-            for i, bit in enumerate(bits):
-                bit_owner[id_of[bit]] = (word, i)
-            rel_tail = [(word_id, 1)]
-            for i in range(1, len(bits)):
-                rel_tail.append((id_of[bits[i]], alpha_powers[i]))
-            word_relations.append((id_of[bits[0]], rel_tail))
-        reduce_through_gates(
-            circuit, engine, ordering, word_relations=word_relations
-        )
+    bit_owner: Dict[int, "tuple[str, int]"] = {}
+    for word in ordering.input_words:
+        bits = circuit.input_words[word]
+        word_id = id_of[word]
+        id_to_word[word_id] = word
+        for i, bit in enumerate(bits):
+            bit_owner[id_of[bit]] = (word, i)
+        rel_tail = [(word_id, 1)]
+        for i in range(1, len(bits)):
+            rel_tail.append((id_of[bits[i]], alpha_powers[i]))
+        word_relations.append((id_of[bits[0]], rel_tail))
+    return word_relations, id_to_word, bit_owner
 
+
+def _finish_polynomial(
+    circuit: Circuit,
+    field: GF2m,
+    ordering: RatoOrdering,
+    output_word: str,
+    case2: str,
+    engine: SubstitutionEngine,
+    id_to_word: Dict[int, str],
+    bit_owner: Dict[int, "tuple[str, int]"],
+    stats: AbstractionStats,
+) -> "tuple[Polynomial, PolynomialRing]":
+    """Case-1/Case-2 finishing shared by the serial and parallel paths."""
     word_ring = word_ring_for(field, ordering.input_words)
     leftover_bits = sorted(
         var for var in engine.variables_present() if var not in id_to_word
-    )
-    stats = AbstractionStats(
-        gate_count=circuit.num_gates(),
-        substitutions=engine.substitutions,
-        peak_terms=engine.peak_terms,
-        term_traffic=engine.term_traffic,
     )
     if not leftover_bits:
         stats.case = 1
@@ -765,14 +810,376 @@ def abstract_circuit(
                 )
             else:
                 small = _case2_groebner(
-                    engine, field, circuit, ordering, output_word, id_of
+                    engine, field, circuit, ordering, output_word,
+                    ordering.var_ids,
                 )
                 polynomial = _map_words(small, word_ring)
+    return polynomial, word_ring
+
+
+def _report_metrics(stats: AbstractionStats) -> None:
+    if not metrics.is_enabled():
+        return
+    metrics.counter_add(metrics.ABSTRACTION_SUBSTITUTIONS, stats.substitutions)
+    metrics.counter_add(metrics.ABSTRACTION_TERM_TRAFFIC, stats.term_traffic)
+    metrics.gauge_max(metrics.ABSTRACTION_PEAK_TERMS, stats.peak_terms)
+    if stats.jobs:
+        metrics.counter_add(metrics.PARALLEL_CONES, stats.cones)
+        metrics.counter_add(
+            metrics.PARALLEL_CONE_DIVISION_STEPS, sum(stats.cone_division_steps)
+        )
+        if stats.cone_division_steps:
+            metrics.gauge_max(
+                metrics.PARALLEL_MAX_CONE_DIVISION_STEPS,
+                max(stats.cone_division_steps),
+            )
+        metrics.gauge_max(metrics.PARALLEL_POOL_WORKERS, stats.jobs)
+        metrics.gauge_max(
+            metrics.PARALLEL_POOL_UTILIZATION_PCT, stats.pool_utilization_pct
+        )
+        metrics.counter_add(
+            metrics.PARALLEL_POOL_IDLE_MS, int(stats.pool_idle_seconds * 1000)
+        )
+        metrics.counter_add(metrics.PARALLEL_TABLE_REBUILDS, stats.table_rebuilds)
+
+
+#: Below this gate count the fork/pickle overhead of the pool outweighs the
+#: reduction work and ``extract_canonical`` stays serial regardless of
+#: ``jobs``. Roughly a k=48 multiplier; override with REPRO_PARALLEL_MIN_GATES.
+DEFAULT_PARALLEL_MIN_GATES = 4000
+
+
+def _parallel_min_gates() -> int:
+    return int(os.environ.get("REPRO_PARALLEL_MIN_GATES", DEFAULT_PARALLEL_MIN_GATES))
+
+
+def _resolve_workers(jobs: Optional[int]) -> int:
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def extract_canonical(
+    circuit: Circuit,
+    field: GF2m,
+    output_word: Optional[str] = None,
+    case2: str = "linearized",
+    ordering: Optional[RatoOrdering] = None,
+    jobs: Optional[int] = None,
+) -> AbstractionResult:
+    """Derive the canonical polynomial ``Z = G(input words)`` of a circuit.
+
+    Parameters
+    ----------
+    circuit:
+        Gate-level netlist with word annotations (all words ``field.k`` bits).
+    output_word:
+        Which output word to abstract (defaults to the only one).
+    case2:
+        ``"linearized"`` (default, scalable) or ``"groebner"`` (the paper's
+        Case-2 computation, exact but exponential in the worst case).
+    ordering:
+        Variable ordering; defaults to RATO. Pass
+        :func:`~repro.core.rato.build_unrefined_order` output for ablations.
+        A custom ordering forces the serial path — cone slicing assumes the
+        standard RATO layout.
+    jobs:
+        Worker processes for the cone-sliced parallel path: ``None``/``1``
+        stays serial, ``0`` means one per CPU, ``N >= 2`` uses a pool of
+        ``N``. Small circuits (gate count below ``REPRO_PARALLEL_MIN_GATES``,
+        default ``4000``) fall back to serial — slicing overhead would
+        dominate — as does any :class:`~repro.jobs.pool.PoolError`. Both
+        paths produce bit-identical polynomials.
+    """
+    start = time.perf_counter()
+    if case2 not in ("linearized", "groebner"):
+        raise ValueError(f"unknown case2 strategy {case2!r}")
+    output_word = _resolve_output_word(circuit, field, output_word)
+    workers = _resolve_workers(jobs)
+    if (
+        workers > 1
+        and ordering is None
+        and circuit.num_gates() >= _parallel_min_gates()
+    ):
+        from ..jobs.pool import PoolError
+
+        try:
+            return _extract_parallel(
+                circuit, field, output_word, case2, workers, start
+            )
+        except PoolError as exc:
+            logger.warning(
+                "parallel abstraction of %r failed (%s); rerunning serially",
+                output_word,
+                exc,
+            )
+    return _extract_serial(circuit, field, output_word, case2, ordering, start)
+
+
+def abstract_circuit(
+    circuit: Circuit,
+    field: GF2m,
+    output_word: Optional[str] = None,
+    case2: str = "linearized",
+    ordering: Optional[RatoOrdering] = None,
+    jobs: Optional[int] = None,
+) -> AbstractionResult:
+    """Alias of :func:`extract_canonical` (the original entry-point name)."""
+    return extract_canonical(
+        circuit,
+        field,
+        output_word=output_word,
+        case2=case2,
+        ordering=ordering,
+        jobs=jobs,
+    )
+
+
+def _extract_serial(
+    circuit: Circuit,
+    field: GF2m,
+    output_word: str,
+    case2: str,
+    ordering: Optional[RatoOrdering],
+    start: float,
+) -> AbstractionResult:
+    ordering = ordering or build_rato(circuit, output_words=[output_word])
+    id_of = ordering.var_ids
+
+    # Seed with Spoly(f_w, f_g)'s surviving part: sum_i alpha^i * z_i.
+    # Only gate variables and each input word's leading bit are ever
+    # substituted, so the occurrence index tracks just those.
+    substitutable = {id_of[net] for net in ordering.gate_nets}
+    for word in ordering.input_words:
+        substitutable.add(id_of[circuit.input_words[word][0]])
+    engine = SubstitutionEngine(field, indexed_vars=substitutable)
+    alpha_powers = field.alpha_powers()
+    for i, bit in enumerate(circuit.output_words[output_word]):
+        engine.add_term(frozenset((id_of[bit],)), alpha_powers[i])
+
+    with span("spoly_reduction", gates=circuit.num_gates(), output=output_word):
+        # Division by the input word relations f_wi = b_0 + b_1*alpha + ...
+        # + W substitutes each relation's leading bit b_0; handing the
+        # relations to the sweep keeps those steps in its compact encoding.
+        word_relations, id_to_word, bit_owner = _word_relation_tables(
+            circuit, ordering, alpha_powers
+        )
+        reduce_through_gates(
+            circuit, engine, ordering, word_relations=word_relations
+        )
+
+    stats = AbstractionStats(
+        gate_count=circuit.num_gates(),
+        substitutions=engine.substitutions,
+        peak_terms=engine.peak_terms,
+        term_traffic=engine.term_traffic,
+    )
+    polynomial, word_ring = _finish_polynomial(
+        circuit, field, ordering, output_word, case2, engine,
+        id_to_word, bit_owner, stats,
+    )
     stats.seconds = time.perf_counter() - start
-    if metrics.is_enabled():
-        metrics.counter_add(metrics.ABSTRACTION_SUBSTITUTIONS, stats.substitutions)
-        metrics.counter_add(metrics.ABSTRACTION_TERM_TRAFFIC, stats.term_traffic)
-        metrics.gauge_max(metrics.ABSTRACTION_PEAK_TERMS, stats.peak_terms)
+    _report_metrics(stats)
+    return AbstractionResult(
+        polynomial=polynomial,
+        output_word=output_word,
+        input_words=list(ordering.input_words),
+        ring=word_ring,
+        stats=stats,
+    )
+
+
+def _reduce_cone(
+    cone: "FaninCone", field: GF2m, bitmap: List[int]
+) -> "tuple[List[int], int, int, int]":
+    """Reduce one output-bit cone; masks come back in the *parent* layout.
+
+    The cone's subcircuit gets its own RATO (gate nets only — a cone carries
+    no word annotations), is seeded with the bare root variable at
+    coefficient 1 and swept with :func:`_reduce_to_masks`. Over GF(2) logic
+    every gate-tail coefficient is 1 and the word-relation division hasn't
+    happened yet, so every surviving cone coefficient is exactly 1 — the
+    remainder is a pure *set* of input-bit masks, and the alpha-power
+    scaling waits for the parent merge. ``bitmap[j]`` is the parent-layout
+    mask bit of ``cone.inputs[j]``; returns
+    ``(masks, substitutions, term_traffic, peak_terms)``.
+    """
+    if not cone.gates:
+        # Output bit wired straight to a primary input.
+        return [bitmap[cone.inputs.index(cone.root)]], 0, 0, 1
+    sub = cone.subcircuit()
+    sub_ordering = build_rato(sub, output_words=[])
+    seed = {frozenset((sub_ordering.var_ids[cone.root],)): 1}
+    remainder, substitutions, traffic, peak = _reduce_to_masks(
+        sub, seed, field, sub_ordering
+    )
+    masks: List[int] = []
+    for mask, coeff in remainder.items():
+        if coeff != 1:  # unreachable for boolean gate tails; guard the merge
+            raise RuntimeError(
+                f"cone {cone.root!r} produced coefficient {coeff:#x}, expected 1"
+            )
+        out = 0
+        while mask:
+            low = mask & -mask
+            out |= bitmap[low.bit_length() - 1]
+            mask ^= low
+        masks.append(out)
+    return masks, substitutions, traffic, peak
+
+
+def _extract_parallel(
+    circuit: Circuit,
+    field: GF2m,
+    output_word: str,
+    case2: str,
+    workers: int,
+    start: float,
+) -> AbstractionResult:
+    """Cone-sliced abstraction across a fork pool of ``workers`` processes.
+
+    Slices the circuit into per-output-bit fanin cones, reduces each cone
+    independently (coefficient-free — see :func:`_reduce_cone`), then
+    rebuilds ``sum_i alpha^i * r_i`` by scaling each cone's masks at merge
+    time and finishes with the same trailing word-relation division and
+    Case-1/Case-2 steps as the serial path. Because substitution rewriting
+    is confluent and the seed is linear in the ``z_i``, this is term-for-term
+    identical to reducing the whole seed in one sweep.
+    """
+    from ..jobs.pool import run_pool
+
+    ordering = build_rato(circuit, output_words=[output_word])
+    id_of = ordering.var_ids
+    num_gates = len(ordering.gate_nets)
+    alpha_powers = field.alpha_powers()
+    mask_bytes = (len(ordering.variables) - num_gates + 7) // 8
+
+    with span("cone_slicing", output=output_word):
+        cones = circuit.output_cones(word=output_word)
+        # Parent-layout mask bit of each cone input, precomputed before the
+        # fork so workers remap without touching the parent id tables.
+        bitmaps = [
+            [1 << (id_of[name] - num_gates) for name in cone.inputs]
+            for cone in cones
+        ]
+
+    def reduce_cone(index: int) -> "tuple[bytes, Dict]":
+        cone = cones[index]
+        with span(
+            "cone_reduction", root=cone.root, bit=index, gates=cone.num_gates()
+        ):
+            masks, steps, traffic, peak = _reduce_cone(
+                cone, field, bitmaps[index]
+            )
+        payload = b"".join(m.to_bytes(mask_bytes, "little") for m in masks)
+        return payload, {
+            "bit": index,
+            "root": cone.root,
+            "gates": cone.num_gates(),
+            "division_steps": steps,
+            "term_traffic": traffic,
+            "peak_terms": peak,
+            "terms": len(masks),
+        }
+
+    stats = AbstractionStats(
+        gate_count=circuit.num_gates(), jobs=workers, cones=len(cones)
+    )
+    collector = active_collector()
+    with span(
+        "spoly_reduction",
+        gates=circuit.num_gates(),
+        output=output_word,
+        workers=workers,
+        cones=len(cones),
+    ):
+        # Heaviest cones first: the high output bits of a multiplier own the
+        # deepest fanin, and scheduling them early keeps the pool's tail
+        # short when cone costs are skewed.
+        heavy_first = sorted(
+            range(len(cones)), key=lambda i: -cones[i].num_gates()
+        )
+        pool_start = time.perf_counter()
+        results = run_pool(
+            reduce_cone,
+            heavy_first,
+            workers,
+            field_key=(field.k, field.modulus),
+        )
+        pool_wall = time.perf_counter() - pool_start
+
+        merged: Dict[int, int] = {}
+        cone_steps = [0] * len(cones)
+        substitutions = traffic = peak = 0
+        busy = 0.0
+        rebuilds_by_pid: Dict[int, int] = {}
+        for res in results:
+            info = res.stats
+            index = res.index
+            cone_steps[index] = info["division_steps"]
+            substitutions += info["division_steps"]
+            traffic += info["term_traffic"]
+            if info["peak_terms"] > peak:
+                peak = info["peak_terms"]
+            busy += info["seconds"]
+            pid = info["pid"]
+            if info["table_rebuilds"] > rebuilds_by_pid.get(pid, 0):
+                rebuilds_by_pid[pid] = info["table_rebuilds"]
+            if res.spans and collector is not None:
+                collector.merge({"spans": res.spans})
+            scale = alpha_powers[index]
+            payload = res.payload
+            for off in range(0, len(payload), mask_bytes):
+                mask = int.from_bytes(payload[off : off + mask_bytes], "little")
+                cur = merged.get(mask, 0) ^ scale
+                if cur:
+                    merged[mask] = cur
+                else:
+                    del merged[mask]
+        if len(merged) > peak:
+            peak = len(merged)
+
+        word_relations, id_to_word, bit_owner = _word_relation_tables(
+            circuit, ordering, alpha_powers
+        )
+        div_subs, div_traffic, div_peak = _divide_word_relations(
+            merged, word_relations, num_gates, field.mul
+        )
+        substitutions += div_subs
+        traffic += div_traffic
+        if div_peak > peak:
+            peak = div_peak
+
+    engine = SubstitutionEngine(field, indexed_vars=set())
+    terms = engine.terms
+    for mask, coeff in merged.items():
+        vars_: List[int] = []
+        while mask:
+            low = mask & -mask
+            vars_.append(num_gates + low.bit_length() - 1)
+            mask ^= low
+        terms[frozenset(vars_)] = coeff
+
+    stats.substitutions = substitutions
+    stats.term_traffic = traffic
+    stats.peak_terms = peak
+    stats.cone_division_steps = cone_steps
+    stats.table_rebuilds = sum(rebuilds_by_pid.values())
+    capacity = workers * pool_wall
+    if capacity > 0:
+        stats.pool_idle_seconds = max(0.0, capacity - busy)
+        stats.pool_utilization_pct = min(100.0, 100.0 * busy / capacity)
+
+    polynomial, word_ring = _finish_polynomial(
+        circuit, field, ordering, output_word, case2, engine,
+        id_to_word, bit_owner, stats,
+    )
+    stats.seconds = time.perf_counter() - start
+    _report_metrics(stats)
     return AbstractionResult(
         polynomial=polynomial,
         output_word=output_word,
@@ -786,6 +1193,7 @@ def abstract_all_outputs(
     circuit: Circuit,
     field: GF2m,
     case2: str = "linearized",
+    jobs: Optional[int] = None,
 ) -> Dict[str, AbstractionResult]:
     """Abstract every output word of a multi-output circuit.
 
@@ -794,6 +1202,8 @@ def abstract_all_outputs(
     and returns ``{output word: AbstractionResult}``.
     """
     return {
-        word: abstract_circuit(circuit, field, output_word=word, case2=case2)
+        word: extract_canonical(
+            circuit, field, output_word=word, case2=case2, jobs=jobs
+        )
         for word in circuit.output_words
     }

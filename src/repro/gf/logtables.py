@@ -30,6 +30,8 @@ __all__ = [
     "tables_enabled",
     "log_tables",
     "reduction_table",
+    "table_builds",
+    "warm",
 ]
 
 #: Largest k for which full log/antilog tables are built (2^k entries each).
@@ -37,6 +39,33 @@ MAX_LOG_K = 16
 
 _log_cache: Dict[Tuple[int, int], Tuple[List[int], List[int]]] = {}
 _reduction_cache: Dict[Tuple[int, int], List[List[int]]] = {}
+
+#: Count of actual table constructions in this process (cache misses).
+#: Worker pools warm their tables once in the initializer and then assert
+#: this counter stays flat across the run — a rebuild mid-run means a field
+#: reached arithmetic before the warm-up covered it.
+_builds = 0
+
+
+def table_builds() -> int:
+    """Number of table constructions performed by this process so far."""
+    return _builds
+
+
+def warm(k: int, modulus: int) -> None:
+    """Pre-build the table family arithmetic on ``(k, modulus)`` will use.
+
+    Called from pool initializers so table construction happens once per
+    worker, before any timed work; subsequent :func:`log_tables` /
+    :func:`reduction_table` calls for the same field are cache hits and do
+    not move :func:`table_builds`. A no-op when ``REPRO_GF_TABLES=0``.
+    """
+    if not tables_enabled():
+        return
+    if k <= MAX_LOG_K:
+        log_tables(k, modulus)
+    else:
+        reduction_table(k, modulus)
 
 
 def tables_enabled() -> bool:
@@ -82,10 +111,12 @@ def log_tables(k: int, modulus: int) -> Tuple[List[int], List[int]]:
     (``log[0]`` is a poison value that keeps the list dense but must never
     be read — callers branch on zero first).
     """
+    global _builds
     key = (k, modulus)
     cached = _log_cache.get(key)
     if cached is not None:
         return cached
+    _builds += 1
     span = (1 << k) - 1
     if span == 1:  # F_2: the multiplicative group is trivial
         tables = ([1, 1], [-(1 << 60), 0])
@@ -115,10 +146,12 @@ def reduction_table(k: int, modulus: int) -> List[List[int]]:
     Built incrementally from ``x^(k+j) mod P`` recurrences in O(k + 256*k/8)
     word operations — no per-entry long division.
     """
+    global _builds
     key = (k, modulus)
     cached = _reduction_cache.get(key)
     if cached is not None:
         return cached
+    _builds += 1
     order = 1 << k
     mask = order - 1
     low = modulus & mask  # x^k ≡ low  (mod P)

@@ -17,6 +17,7 @@ from .cache import (
     rehydrate_polynomial,
 )
 from .executor import execute_job
+from .pool import PoolError, PoolResult, run_pool
 from .manifest import (
     BatchJob,
     BatchManifest,
@@ -32,6 +33,8 @@ __all__ = [
     "BatchReport",
     "CanonicalPolyCache",
     "ManifestError",
+    "PoolError",
+    "PoolResult",
     "canonical_cache_key",
     "default_cache_dir",
     "execute_job",

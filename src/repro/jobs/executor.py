@@ -39,7 +39,7 @@ from typing import Dict, Optional, Tuple
 from .. import obs
 from ..algebra import parse_polynomial
 from ..circuits import Circuit, read_netlist
-from ..core import abstract_circuit, word_ring_for
+from ..core import extract_canonical, word_ring_for
 from ..gf import GF2m
 from ..obs import metrics
 from ..verify import check_ideal_membership, find_nonzero_point
@@ -67,6 +67,11 @@ _PHASE_OF_SPAN = {
     "spoly_reduction": "spoly_reduction",
     "case2_finish": "spoly_reduction",
     "coeff_match": "coeff_match",
+    # The parallel path's "cone_slicing"/"cone_reduction" spans are
+    # deliberately unmapped: the umbrella "spoly_reduction" span already
+    # covers the pool's wall clock, and folding the per-cone worker spans
+    # in as well would double-count the phase. They still ride along in
+    # ``telemetry`` for flamegraphs.
 }
 
 #: Phases emitted as explicit zeros when nothing contributed to them
@@ -113,17 +118,22 @@ def _cached_canonical(
     output_word: Optional[str],
     cache: Optional[CanonicalPolyCache],
     counters: Dict[str, int],
+    jobs: Optional[int] = None,
 ) -> Tuple[Dict, bool]:
     """Canonical-polynomial payload for a flat circuit, cache-aware.
 
     Returns ``(payload, hit)``. On a miss the RATO and reduction work runs
-    inside :func:`~repro.core.abstraction.abstract_circuit`, whose spans
+    inside :func:`~repro.core.abstraction.extract_canonical`, whose spans
     feed the job's phase timings; on a hit neither span fires and the
-    executor reports both phases as explicit zeros.
+    executor reports both phases as explicit zeros. ``jobs`` selects the
+    cone-sliced parallel path on a miss — it stays out of the cache key
+    because both paths produce bit-identical polynomials.
     """
 
     def compute() -> Dict:
-        result = abstract_circuit(circuit, field, output_word=output_word, case2=case2)
+        result = extract_canonical(
+            circuit, field, output_word=output_word, case2=case2, jobs=jobs
+        )
         return polynomial_payload(result)
 
     if cache is None:
@@ -147,12 +157,17 @@ def _run_verify(
 ) -> Dict:
     field = _field_for(params)
     case2 = params.get("case2", "linearized")
+    jobs = params.get("jobs")
 
     spec = read_netlist(params["spec"])
     impl = read_netlist(params["impl"])
 
-    spec_payload, spec_hit = _cached_canonical(spec, field, case2, None, cache, counters)
-    impl_payload, impl_hit = _cached_canonical(impl, field, case2, None, cache, counters)
+    spec_payload, spec_hit = _cached_canonical(
+        spec, field, case2, None, cache, counters, jobs=jobs
+    )
+    impl_payload, impl_hit = _cached_canonical(
+        impl, field, case2, None, cache, counters, jobs=jobs
+    )
 
     with obs.span("coeff_match"):
         spec_poly = rehydrate_polynomial(spec_payload, field)
@@ -213,7 +228,8 @@ def _run_abstract(
     case2 = params.get("case2", "linearized")
     circuit = read_netlist(params["netlist"])
     payload, hit = _cached_canonical(
-        circuit, field, case2, params.get("output_word"), cache, counters
+        circuit, field, case2, params.get("output_word"), cache, counters,
+        jobs=params.get("jobs"),
     )
     polynomial = rehydrate_polynomial(payload, field)
     return {

@@ -55,8 +55,8 @@ _PATH_FIELDS = ("spec", "impl", "netlist")
 
 #: Per-type optional fields (beyond the engine-level timeout/retries/seed).
 _OPTIONAL_FIELDS = {
-    "verify": ("modulus", "case2"),
-    "abstract": ("modulus", "case2", "output_word"),
+    "verify": ("modulus", "case2", "jobs"),
+    "abstract": ("modulus", "case2", "output_word", "jobs"),
     "check-spec": ("modulus", "output_word"),
     "sleep": (),
     "crash": ("fail_attempts",),

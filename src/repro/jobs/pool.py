@@ -1,0 +1,205 @@
+"""In-process fork pool for cone-sliced parallel abstraction.
+
+The batch runner (:mod:`repro.jobs.runner`) isolates whole verification
+*jobs* in one OS process each — the right trade for multi-second jobs that
+may crash or blow their memory budget. Cone tasks are the opposite shape:
+hundreds of sub-100ms reductions that all read the same circuit. This pool
+serves that shape:
+
+- **fork copy-on-write input handoff** — the parent publishes the task
+  context (circuit, cone list, closure) in a module global *before* the
+  workers fork, so every worker shares the parent's pages instead of
+  unpickling its own copy; tasks on the wire are bare integers.
+- **warm workers** — the pool initializer pre-builds the GF(2^k) log/antilog
+  (or byte-window reduction) tables for the run's ``(k, modulus)`` via
+  :func:`repro.gf.logtables.warm`, then records
+  :func:`~repro.gf.logtables.table_builds`; every task reports the delta so
+  callers can assert no worker rebuilt tables mid-run.
+- **compact result handoff** — cone remainders travel back as packed byte
+  blobs (the caller's ``fn`` decides the encoding; the parallel abstraction
+  packs fixed-width little-endian bit masks), not per-term Python objects.
+- **deadline + retry** — the whole map has an optional wall-clock deadline,
+  and a broken pool (a worker died without reporting) or a timeout is
+  retried with a fresh pool before :class:`PoolError` reaches the caller —
+  the same containment contract as the job runner, scaled down.
+
+Workers run tasks under their own :class:`~repro.obs.spans.TraceCollector`
+when the parent had tracing enabled at fork time; the recorded spans ride
+home on each result so the parent can merge them — in the Chrome trace each
+worker pid renders as its own track, making pool load imbalance visible.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..gf import logtables
+
+__all__ = ["PoolError", "PoolResult", "run_pool"]
+
+logger = logging.getLogger("repro.jobs")
+
+#: Task context published by the parent immediately before the workers
+#: fork; children inherit it through copy-on-write memory. Holds the task
+#: callable and a tracing flag — never pickled, never sent over a pipe.
+_CTX: Optional[Dict[str, Any]] = None
+
+#: ``logtables.table_builds()`` as recorded right after the initializer's
+#: warm-up; tasks report ``table_builds() - _WARM_BUILDS`` so a mid-run
+#: rebuild is visible to the parent.
+_WARM_BUILDS = 0
+
+
+class PoolError(RuntimeError):
+    """The pool could not complete the map (timeout or repeated crashes)."""
+
+
+class PoolResult:
+    """One task's outcome: index, payload, worker stats, optional spans."""
+
+    __slots__ = ("index", "payload", "stats", "spans")
+
+    def __init__(self, index: int, payload: Any, stats: Dict, spans: Optional[List]):
+        self.index = index
+        self.payload = payload
+        self.stats = stats
+        self.spans = spans
+
+
+def _pool_initializer(k: Optional[int], modulus: Optional[int], tracing: bool) -> None:
+    """Per-worker warm-up, run once right after the fork.
+
+    Clears inherited tracing state (the parent's collector and current-span
+    pointer survive the fork) and pre-builds the GF tables for the run's
+    field so no task pays table construction — or, worse, every task in
+    every worker pays it, the failure mode this initializer exists to kill.
+    """
+    global _WARM_BUILDS
+    obs.disable()
+    obs.reset_context()
+    if k is not None and modulus is not None:
+        logtables.warm(k, modulus)
+    _WARM_BUILDS = logtables.table_builds()
+
+
+def _run_task(index: int) -> Tuple[int, Any, Dict, Optional[List]]:
+    """Worker-side task wrapper: timing, tracing, table-rebuild accounting."""
+    ctx = _CTX
+    assert ctx is not None, "pool context lost across fork"
+    fn: Callable[[int], Tuple[Any, Dict]] = ctx["fn"]
+    spans: Optional[List] = None
+    builds_before = logtables.table_builds()
+    started = time.perf_counter()
+    if ctx["tracing"]:
+        collector = obs.TraceCollector()
+        obs.enable(collector)
+        try:
+            payload, stats = fn(index)
+        finally:
+            obs.disable()
+        spans = collector.snapshot()["spans"]
+    else:
+        payload, stats = fn(index)
+    stats = dict(stats)
+    stats["seconds"] = time.perf_counter() - started
+    stats["pid"] = os.getpid()
+    # Rebuilds since warm-up, not since task start: a task that *first*
+    # triggers a lazy build makes every later task in this worker report a
+    # nonzero delta too, which is exactly the loud failure we want.
+    stats["table_rebuilds"] = logtables.table_builds() - _WARM_BUILDS
+    stats.setdefault("warm_builds_delta", logtables.table_builds() - builds_before)
+    return index, payload, stats, spans
+
+
+def run_pool(
+    fn: Callable[[int], Tuple[Any, Dict]],
+    indices: Sequence[int],
+    workers: int,
+    field_key: Optional[Tuple[int, int]] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> List[PoolResult]:
+    """Map ``fn`` over ``indices`` on a pool of forked workers.
+
+    ``fn`` must return ``(payload, stats_dict)`` and is shipped to the
+    workers by fork inheritance — closures over large in-memory state
+    (circuits, cone lists) are free. ``indices`` controls dispatch order:
+    callers submit heavy tasks first to keep the tail of the schedule
+    short. ``field_key`` is the ``(k, modulus)`` whose GF tables the
+    initializer pre-builds. ``timeout`` bounds the whole map's wall clock.
+
+    Results come back in completion order; callers index by
+    :attr:`PoolResult.index`. Raises :class:`PoolError` once ``retries``
+    fresh-pool attempts are exhausted.
+    """
+    if workers < 1:
+        raise ValueError("run_pool needs at least one worker")
+    attempts = max(1, retries + 1)
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, attempts + 1):
+        try:
+            return _run_pool_once(fn, indices, workers, field_key, timeout)
+        except (BrokenProcessPool, TimeoutError, OSError) as exc:
+            last_error = exc
+            if attempt < attempts:
+                logger.warning(
+                    "worker pool attempt %d failed (%s: %s); retrying with a "
+                    "fresh pool",
+                    attempt,
+                    type(exc).__name__,
+                    exc,
+                )
+    raise PoolError(
+        f"worker pool failed after {attempts} attempt(s): "
+        f"{type(last_error).__name__}: {last_error}"
+    )
+
+
+def _run_pool_once(
+    fn: Callable[[int], Tuple[Any, Dict]],
+    indices: Sequence[int],
+    workers: int,
+    field_key: Optional[Tuple[int, int]],
+    timeout: Optional[float],
+) -> List[PoolResult]:
+    global _CTX
+    k, modulus = field_key if field_key is not None else (None, None)
+    deadline = time.monotonic() + timeout if timeout is not None else None
+    _CTX = {"fn": fn, "tracing": obs.is_enabled()}
+    executor = ProcessPoolExecutor(
+        max_workers=min(workers, max(1, len(indices))),
+        mp_context=multiprocessing.get_context("fork"),
+        initializer=_pool_initializer,
+        initargs=(k, modulus, obs.is_enabled()),
+    )
+    results: List[PoolResult] = []
+    try:
+        futures = {executor.submit(_run_task, index) for index in indices}
+        while futures:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"pool map exceeded its {timeout:.1f}s deadline with "
+                        f"{len(futures)} task(s) outstanding"
+                    )
+            done, futures = wait(futures, timeout=remaining, return_when=FIRST_COMPLETED)
+            if not done and deadline is not None:
+                continue  # loop re-checks the deadline
+            for future in done:
+                index, payload, stats, spans = future.result()
+                results.append(PoolResult(index, payload, stats, spans))
+    finally:
+        _CTX = None
+        # cancel_futures keeps a timed-out map from blocking shutdown on
+        # work nobody will read.
+        executor.shutdown(wait=False, cancel_futures=True)
+    return results

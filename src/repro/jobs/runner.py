@@ -38,6 +38,7 @@ from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, List, Optional
 
 from .. import obs
+from ..gf import GF2m, logtables
 from .cache import CanonicalPolyCache
 from .executor import execute_job
 from .manifest import BatchManifest
@@ -131,6 +132,37 @@ def _trace_file_name(job_id: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "_", job_id) + ".trace.json"
 
 
+def _prewarm_gf_tables(manifest: BatchManifest) -> None:
+    """Build GF tables for every manifest field in the parent, pre-fork.
+
+    Job workers are forked, so tables built here are inherited copy-on-write
+    by every worker: each distinct ``(k, modulus)`` is constructed exactly
+    once per batch instead of once per job process. Malformed field params
+    are left for the job itself to report as a proper failure record.
+    """
+    seen = set()
+    for job in manifest.jobs:
+        params = job.params
+        k = params.get("k")
+        if k is None:
+            continue
+        modulus = params.get("modulus")
+        if isinstance(modulus, str):
+            try:
+                modulus = int(modulus, 0)
+            except ValueError:
+                continue
+        try:
+            field = GF2m(int(k), modulus=modulus)
+        except (ValueError, TypeError):
+            continue
+        key = (field.k, field.modulus)
+        if key in seen:
+            continue
+        seen.add(key)
+        logtables.warm(field.k, field.modulus)
+
+
 def run_batch(
     manifest: BatchManifest,
     workers: int = 1,
@@ -150,6 +182,7 @@ def run_batch(
     """
     workers = max(1, int(workers))
     ctx = multiprocessing.get_context("fork")
+    _prewarm_gf_tables(manifest)
     log = _RunLog(log_path)
     if trace_dir:
         os.makedirs(trace_dir, exist_ok=True)

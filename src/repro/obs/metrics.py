@@ -28,6 +28,13 @@ __all__ = [
     "DIVISION_STEPS",
     "FRAIG_MERGED",
     "FRAIG_QUERIES",
+    "PARALLEL_CONES",
+    "PARALLEL_CONE_DIVISION_STEPS",
+    "PARALLEL_MAX_CONE_DIVISION_STEPS",
+    "PARALLEL_POOL_IDLE_MS",
+    "PARALLEL_POOL_UTILIZATION_PCT",
+    "PARALLEL_POOL_WORKERS",
+    "PARALLEL_TABLE_REBUILDS",
     "SAT_CONFLICTS",
     "SAT_DECISIONS",
     "SAT_PROPAGATIONS",
@@ -60,6 +67,18 @@ ABSTRACTION_PEAK_TERMS = "abstraction.peak_terms"  # gauge
 # Canonical-polynomial cache.
 CACHE_HITS = "cache.hits"
 CACHE_MISSES = "cache.misses"
+
+# Cone-sliced parallel abstraction: per-cone work plus pool health. The
+# idle/utilization pair makes load imbalance visible without a trace viewer
+# (``repro verify --metrics``); the table-rebuilds counter should stay at 0 —
+# workers warm their GF tables in the pool initializer.
+PARALLEL_CONES = "parallel.cones"
+PARALLEL_CONE_DIVISION_STEPS = "parallel.cone_division_steps"
+PARALLEL_MAX_CONE_DIVISION_STEPS = "parallel.max_cone_division_steps"  # gauge
+PARALLEL_POOL_WORKERS = "parallel.pool_workers"  # gauge
+PARALLEL_POOL_UTILIZATION_PCT = "parallel.pool_utilization_pct"  # gauge
+PARALLEL_POOL_IDLE_MS = "parallel.pool_idle_ms"
+PARALLEL_TABLE_REBUILDS = "parallel.table_rebuilds"
 
 # Bit-level cross-checkers.
 SAT_CONFLICTS = "sat.conflicts"

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Union
 
 from ..algebra import Polynomial
 from ..circuits import Circuit, HierarchicalCircuit, simulate_words
-from ..core import abstract_circuit, abstract_hierarchy, word_ring_for
+from ..core import abstract_hierarchy, extract_canonical, word_ring_for
 from ..gf import GF2m
 from ..obs.spans import span
 from .counterexample import find_nonzero_point
@@ -36,8 +36,15 @@ def canonical_polynomial(
     field: GF2m,
     output_word: Optional[str] = None,
     case2: str = "linearized",
+    jobs: Optional[int] = None,
 ) -> "tuple[Polynomial, Dict[str, object]]":
-    """Canonical polynomial of a flat or hierarchical design, plus stats."""
+    """Canonical polynomial of a flat or hierarchical design, plus stats.
+
+    ``jobs`` enables the cone-sliced parallel abstraction for flat circuits
+    (see :func:`repro.core.extract_canonical`). Hierarchical designs are
+    already decomposed block-by-block, and each block sits below the
+    parallel cost threshold, so they ignore it.
+    """
     if isinstance(design, HierarchicalCircuit):
         result = abstract_hierarchy(design, field, case2=case2)
         if output_word is None:
@@ -58,13 +65,24 @@ def canonical_polynomial(
             "seconds": result.total_seconds,
         }
         return result.polynomials[output_word], stats
-    result = abstract_circuit(design, field, output_word=output_word, case2=case2)
+    result = extract_canonical(
+        design, field, output_word=output_word, case2=case2, jobs=jobs
+    )
     stats = {
         "case": result.stats.case,
         "seconds": result.stats.seconds,
         "peak_terms": result.stats.peak_terms,
         "gates": result.stats.gate_count,
     }
+    if result.stats.jobs:
+        stats["parallel"] = {
+            "jobs": result.stats.jobs,
+            "cones": result.stats.cones,
+            "cone_division_steps": list(result.stats.cone_division_steps),
+            "pool_utilization_pct": round(result.stats.pool_utilization_pct, 1),
+            "pool_idle_seconds": round(result.stats.pool_idle_seconds, 4),
+            "table_rebuilds": result.stats.table_rebuilds,
+        }
     return result.polynomial, stats
 
 
@@ -154,6 +172,7 @@ def verify_equivalence(
     word_map: Optional[Dict[str, str]] = None,
     case2: str = "linearized",
     seed: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> EquivalenceOutcome:
     """Decide whether two designs implement the same word-level function.
 
@@ -161,7 +180,9 @@ def verify_equivalence(
     designs use different names (identity by default). Output words may
     differ in name (``Z`` vs ``G``); only the polynomials are compared.
     ``seed`` makes the counterexample search reproducible across batch
-    runs; the default keeps the historical fixed-seed behavior.
+    runs; the default keeps the historical fixed-seed behavior. ``jobs``
+    turns on cone-sliced parallel abstraction for flat designs — both
+    sides still yield bit-identical canonical polynomials.
     """
     start = time.perf_counter()
     spec_words = _input_words(spec)
@@ -175,9 +196,13 @@ def verify_equivalence(
         )
 
     with span("abstract", side="spec"):
-        spec_poly, spec_stats = canonical_polynomial(spec, field, spec_output, case2)
+        spec_poly, spec_stats = canonical_polynomial(
+            spec, field, spec_output, case2, jobs=jobs
+        )
     with span("abstract", side="impl"):
-        impl_poly, impl_stats = canonical_polynomial(impl, field, impl_output, case2)
+        impl_poly, impl_stats = canonical_polynomial(
+            impl, field, impl_output, case2, jobs=jobs
+        )
 
     with span("coeff_match"):
         # Re-home both polynomials into one shared ring over the spec's words.

@@ -1,0 +1,132 @@
+"""Unit tests for per-output-bit fanin cone extraction (Circuit.output_cones)."""
+
+import pytest
+
+from repro.circuits import Circuit, CircuitError, FaninCone, GateType, simulate
+
+
+def two_bit_multiplier():
+    """The paper's Fig. 2 circuit."""
+    c = Circuit("mult2")
+    c.add_inputs(["a0", "a1", "b0", "b1"])
+    c.AND("a0", "b0", out="s0")
+    c.AND("a0", "b1", out="s1")
+    c.AND("a1", "b0", out="s2")
+    c.AND("a1", "b1", out="s3")
+    c.XOR("s1", "s2", out="r0")
+    c.XOR("s0", "s3", out="z0")
+    c.XOR("r0", "s3", out="z1")
+    c.set_outputs(["z0", "z1"])
+    c.add_input_word("A", ["a0", "a1"])
+    c.add_input_word("B", ["b0", "b1"])
+    c.add_output_word("Z", ["z0", "z1"])
+    return c
+
+
+class TestFaninCone:
+    def test_cones_cover_exact_transitive_fanin(self):
+        c = two_bit_multiplier()
+        z0, z1 = c.output_cones(word="Z")
+        assert z0.root == "z0"
+        assert {g.output for g in z0.gates} == {"s0", "s3", "z0"}
+        assert z0.inputs == ["a0", "a1", "b0", "b1"]
+        assert {g.output for g in z1.gates} == {"s1", "s2", "s3", "r0", "z1"}
+
+    def test_shared_fanin_gate_appears_in_every_cone(self):
+        # s3 = a1 & b1 feeds both output bits; each cone carries its own copy.
+        c = two_bit_multiplier()
+        cones = c.output_cones(word="Z")
+        for cone in cones:
+            assert "s3" in {g.output for g in cone.gates}
+
+    def test_cone_gates_in_parent_topological_order(self):
+        c = two_bit_multiplier()
+        for cone in c.output_cones(word="Z"):
+            position = {g.output: i for i, g in enumerate(cone.gates)}
+            for gate in cone.gates:
+                for net in gate.inputs:
+                    if net in position:
+                        assert position[net] < position[gate.output]
+
+    def test_single_gate_cone(self):
+        c = Circuit("single")
+        c.add_inputs(["a", "b"])
+        c.AND("a", "b", out="z")
+        c.set_outputs(["z"])
+        (cone,) = c.output_cones()
+        assert cone.root == "z"
+        assert cone.num_gates() == 1
+        assert cone.inputs == ["a", "b"]
+
+    def test_constant_output_cone(self):
+        c = Circuit("const")
+        c.add_inputs(["a"])
+        c.add_gate("z", GateType.CONST1, [])
+        c.set_outputs(["z"])
+        (cone,) = c.output_cones()
+        assert cone.num_gates() == 1
+        assert cone.inputs == []  # a constant reaches no primary input
+        sub = cone.subcircuit()
+        assert simulate(sub, {"a": 0} if sub.inputs else {}) == {"z": 1}
+
+    def test_output_wired_to_input(self):
+        c = Circuit("wire")
+        c.add_inputs(["a", "b"])
+        c.AND("a", "b", out="g")
+        c.set_outputs(["g", "a"])
+        cones = c.output_cones()
+        assert cones[1].root == "a"
+        assert cones[1].gates == []
+        assert cones[1].inputs == ["a"]
+
+    def test_word_selection_lsb_first(self):
+        c = two_bit_multiplier()
+        cones = c.output_cones(word="Z")
+        assert [cone.root for cone in cones] == ["z0", "z1"]
+
+    def test_default_uses_primary_outputs(self):
+        c = two_bit_multiplier()
+        assert [cone.root for cone in c.output_cones()] == ["z0", "z1"]
+
+    def test_unknown_word_rejected(self):
+        with pytest.raises(CircuitError):
+            two_bit_multiplier().output_cones(word="Q")
+
+    def test_cone_reaching_undriven_net_rejected(self):
+        c = Circuit("broken")
+        c.add_inputs(["a"])
+        c.add_gate("z", GateType.AND, ["a", "ghost"])
+        with pytest.raises(CircuitError, match="undriven"):
+            c.fanin_cone("z")
+
+    def test_fanin_cone_of_internal_net(self):
+        c = two_bit_multiplier()
+        cone = c.fanin_cone("r0")
+        assert {g.output for g in cone.gates} == {"s1", "s2", "r0"}
+        assert cone.inputs == ["a0", "a1", "b0", "b1"]
+
+    def test_fanin_cone_unknown_net_rejected(self):
+        with pytest.raises(CircuitError):
+            two_bit_multiplier().fanin_cone("nope")
+
+
+class TestSubcircuit:
+    def test_subcircuit_matches_parent_simulation(self):
+        c = two_bit_multiplier()
+        for cone in c.output_cones(word="Z"):
+            sub = cone.subcircuit()
+            assert isinstance(cone, FaninCone)
+            assert sub.outputs == [cone.root]
+            for a0 in (0, 1):
+                for a1 in (0, 1):
+                    for b0 in (0, 1):
+                        for b1 in (0, 1):
+                            full = {"a0": a0, "a1": a1, "b0": b0, "b1": b1}
+                            expected = simulate(c, full)[cone.root]
+                            partial = {n: full[n] for n in cone.inputs}
+                            assert simulate(sub, partial)[cone.root] == expected
+
+    def test_subcircuit_validates(self):
+        c = two_bit_multiplier()
+        for cone in c.output_cones(word="Z"):
+            cone.subcircuit().validate()

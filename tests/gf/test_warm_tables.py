@@ -1,0 +1,63 @@
+"""Unit tests for the table-build counter and pool warm-up hook."""
+
+from repro.gf import GF2m, logtables
+
+
+def _evict(k, modulus):
+    logtables._log_cache.pop((k, modulus), None)
+    logtables._reduction_cache.pop((k, modulus), None)
+
+
+class TestTableBuilds:
+    def test_counter_moves_once_per_cold_field(self):
+        field = GF2m(10)
+        _evict(field.k, field.modulus)
+        before = logtables.table_builds()
+        logtables.log_tables(field.k, field.modulus)
+        assert logtables.table_builds() == before + 1
+        logtables.log_tables(field.k, field.modulus)  # cache hit
+        assert logtables.table_builds() == before + 1
+
+    def test_counter_counts_reduction_tables_too(self):
+        field = GF2m(18)  # above MAX_LOG_K: byte-window reduction table
+        assert field.k > logtables.MAX_LOG_K
+        _evict(field.k, field.modulus)
+        before = logtables.table_builds()
+        logtables.reduction_table(field.k, field.modulus)
+        assert logtables.table_builds() == before + 1
+
+
+class TestWarm:
+    def test_warm_small_field_builds_log_tables(self):
+        field = GF2m(9)
+        _evict(field.k, field.modulus)
+        before = logtables.table_builds()
+        logtables.warm(field.k, field.modulus)
+        assert logtables.table_builds() == before + 1
+        # Arithmetic after warm-up is all cache hits.
+        logtables.log_tables(field.k, field.modulus)
+        assert logtables.table_builds() == before + 1
+
+    def test_warm_large_field_builds_reduction_table(self):
+        field = GF2m(20)
+        _evict(field.k, field.modulus)
+        before = logtables.table_builds()
+        logtables.warm(field.k, field.modulus)
+        assert logtables.table_builds() == before + 1
+        logtables.reduction_table(field.k, field.modulus)
+        assert logtables.table_builds() == before + 1
+
+    def test_warm_is_idempotent(self):
+        field = GF2m(9)
+        logtables.warm(field.k, field.modulus)
+        before = logtables.table_builds()
+        logtables.warm(field.k, field.modulus)
+        assert logtables.table_builds() == before
+
+    def test_warm_respects_disable_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GF_TABLES", "0")
+        field = GF2m(12)
+        _evict(field.k, field.modulus)
+        before = logtables.table_builds()
+        logtables.warm(field.k, field.modulus)
+        assert logtables.table_builds() == before

@@ -1,0 +1,111 @@
+"""Unit tests for the fork pool behind cone-sliced parallel abstraction."""
+
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.gf import GF2m, logtables
+from repro.jobs import PoolError, run_pool
+
+
+def double(index):
+    return index * 2, {"tag": index}
+
+
+def slow(index):
+    time.sleep(5.0)
+    return index, {}
+
+
+def hard_crash(index):
+    os._exit(1)
+
+
+class TestRunPool:
+    def test_basic_map(self):
+        results = run_pool(double, range(6), workers=2)
+        assert len(results) == 6
+        by_index = {r.index: r for r in results}
+        assert sorted(by_index) == list(range(6))
+        for index, result in by_index.items():
+            assert result.payload == index * 2
+            assert result.stats["tag"] == index
+            assert result.stats["seconds"] >= 0.0
+            assert result.stats["pid"] > 0
+
+    def test_dispatch_order_is_caller_controlled(self):
+        heavy_first = [5, 4, 3, 2, 1, 0]
+        results = run_pool(double, heavy_first, workers=1)
+        assert {r.index for r in results} == set(heavy_first)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_pool(double, [0], workers=0)
+
+    def test_empty_map(self):
+        assert run_pool(double, [], workers=2) == []
+
+
+class TestWarmTables:
+    def test_warm_workers_never_rebuild(self):
+        field = GF2m(8)
+
+        def use_field(index):
+            logtables.log_tables(field.k, field.modulus)
+            return index, {}
+
+        results = run_pool(
+            use_field, range(4), workers=2, field_key=(field.k, field.modulus)
+        )
+        assert all(r.stats["table_rebuilds"] == 0 for r in results)
+
+    def test_cold_worker_rebuild_is_reported(self):
+        # A field the initializer did NOT warm and the parent has never
+        # built: evict it so the forked children cannot inherit it either.
+        field = GF2m(11)
+        logtables._log_cache.pop((field.k, field.modulus), None)
+
+        def use_cold_field(index):
+            logtables.log_tables(field.k, field.modulus)
+            return index, {}
+
+        results = run_pool(use_cold_field, range(2), workers=1, field_key=None)
+        assert all(r.stats["table_rebuilds"] >= 1 for r in results)
+
+
+class TestFailureContainment:
+    def test_timeout_raises_pool_error(self):
+        with pytest.raises(PoolError, match="TimeoutError"):
+            run_pool(slow, range(2), workers=2, timeout=0.2, retries=0)
+
+    def test_crashed_pool_retried_then_raises(self):
+        started = time.perf_counter()
+        with pytest.raises(PoolError, match="attempt"):
+            run_pool(hard_crash, range(2), workers=1, retries=1)
+        # Two fresh-pool attempts, both fast hard-crashes.
+        assert time.perf_counter() - started < 30.0
+
+
+class TestTracing:
+    def test_spans_ship_back_when_parent_traces(self):
+        def traced(index):
+            with obs.span("cone_task", index=index):
+                pass
+            return index, {}
+
+        collector = obs.enable(obs.TraceCollector())
+        try:
+            results = run_pool(traced, range(2), workers=2)
+        finally:
+            obs.disable()
+        del collector
+        for result in results:
+            assert result.spans is not None
+            assert [s["name"] for s in result.spans] == ["cone_task"]
+
+    def test_no_spans_without_tracing(self):
+        assert obs.active_collector() is None
+        results = run_pool(double, range(2), workers=1)
+        assert all(r.spans is None for r in results)

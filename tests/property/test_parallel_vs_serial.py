@@ -1,0 +1,50 @@
+"""Property test: parallel abstraction is bit-identical to the serial sweep.
+
+Randomized gate-substitution errors give circuits whose canonical
+polynomials are irregular (often dense, sometimes Case 2), which is where
+a merge bug in the cone-sliced path would show. The invariant under test
+is exact: same terms, same case, same remainder bits.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_mutation
+from repro.core import extract_canonical
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier
+
+F256 = GF2m(8)
+
+
+def _extract_both(circuit, field, case2="linearized"):
+    serial = extract_canonical(circuit, field, case2=case2)
+    os.environ["REPRO_PARALLEL_MIN_GATES"] = "1"
+    try:
+        parallel = extract_canonical(circuit, field, case2=case2, jobs=2)
+    finally:
+        del os.environ["REPRO_PARALLEL_MIN_GATES"]
+    assert parallel.stats.jobs == 2, "parallel path did not engage"
+    return serial, parallel
+
+
+@given(seed=st.integers(0, 2**20))
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_mutated_multiplier_parallel_matches_serial(seed):
+    circuit, _ = random_mutation(mastrovito_multiplier(F256), seed=seed)
+    serial, parallel = _extract_both(circuit, F256)
+    assert parallel.polynomial.terms == serial.polynomial.terms
+    assert parallel.stats.case == serial.stats.case
+    assert parallel.stats.remainder_bits == serial.stats.remainder_bits
+
+
+@given(seed=st.integers(0, 2**20), k=st.sampled_from([4, 5, 6]))
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_small_fields_parallel_matches_serial(seed, k):
+    field = GF2m(k)
+    circuit, _ = random_mutation(mastrovito_multiplier(field), seed=seed)
+    serial, parallel = _extract_both(circuit, field)
+    assert parallel.polynomial.terms == serial.polynomial.terms
+    assert str(parallel.polynomial) == str(serial.polynomial)
