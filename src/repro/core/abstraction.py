@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 import logging
+import multiprocessing
 import os
 import time
 from collections import Counter
@@ -900,6 +901,16 @@ def extract_canonical(
         raise ValueError(f"unknown case2 strategy {case2!r}")
     output_word = _resolve_output_word(circuit, field, output_word)
     workers = _resolve_workers(jobs)
+    if workers > 1 and multiprocessing.current_process().daemon:
+        # Batch-runner job workers are daemonic and daemonic processes
+        # cannot fork children — the pool would die on startup. Serial is
+        # the only viable path here; the batch layer already parallelises
+        # across jobs.
+        logger.debug(
+            "parallel abstraction requested inside a daemonic process; "
+            "running serially"
+        )
+        workers = 1
     if (
         workers > 1
         and ordering is None

@@ -34,6 +34,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -55,6 +56,12 @@ _CTX: Optional[Dict[str, Any]] = None
 #: warm-up; tasks report ``table_builds() - _WARM_BUILDS`` so a mid-run
 #: rebuild is visible to the parent.
 _WARM_BUILDS = 0
+
+#: The fork handoff goes through the ``_CTX`` module global, so only one map
+#: may be in flight per process: a second concurrent caller would clobber the
+#: first's context and its workers could fork with the wrong ``fn`` (or
+#: ``_CTX = None``). This lock serialises concurrent :func:`run_pool` callers.
+_POOL_LOCK = threading.Lock()
 
 
 class PoolError(RuntimeError):
@@ -136,26 +143,39 @@ def run_pool(
     initializer pre-builds. ``timeout`` bounds the whole map's wall clock.
 
     Results come back in completion order; callers index by
-    :attr:`PoolResult.index`. Raises :class:`PoolError` once ``retries``
-    fresh-pool attempts are exhausted.
+    :attr:`PoolResult.index`. Every pool-path failure surfaces as
+    :class:`PoolError`: infrastructure failures (a crashed worker, the map
+    deadline, fork errors) are retried with a fresh pool first, while an
+    exception raised by ``fn`` itself — deterministic, so a fresh pool
+    cannot help — is wrapped immediately. Callers with a serial fallback
+    need to catch only :class:`PoolError`.
+
+    Maps are serialised process-wide (the fork handoff rides a module
+    global); a concurrent call from another thread blocks until the
+    in-flight map finishes.
     """
     if workers < 1:
         raise ValueError("run_pool needs at least one worker")
     attempts = max(1, retries + 1)
     last_error: Optional[BaseException] = None
-    for attempt in range(1, attempts + 1):
-        try:
-            return _run_pool_once(fn, indices, workers, field_key, timeout)
-        except (BrokenProcessPool, TimeoutError, OSError) as exc:
-            last_error = exc
-            if attempt < attempts:
-                logger.warning(
-                    "worker pool attempt %d failed (%s: %s); retrying with a "
-                    "fresh pool",
-                    attempt,
-                    type(exc).__name__,
-                    exc,
-                )
+    with _POOL_LOCK:
+        for attempt in range(1, attempts + 1):
+            try:
+                return _run_pool_once(fn, indices, workers, field_key, timeout)
+            except (BrokenProcessPool, TimeoutError, OSError) as exc:
+                last_error = exc
+                if attempt < attempts:
+                    logger.warning(
+                        "worker pool attempt %d failed (%s: %s); retrying "
+                        "with a fresh pool",
+                        attempt,
+                        type(exc).__name__,
+                        exc,
+                    )
+            except Exception as exc:
+                raise PoolError(
+                    f"worker pool task failed: {type(exc).__name__}: {exc}"
+                ) from exc
     raise PoolError(
         f"worker pool failed after {attempts} attempt(s): "
         f"{type(last_error).__name__}: {last_error}"
@@ -180,6 +200,7 @@ def _run_pool_once(
         initargs=(k, modulus, obs.is_enabled()),
     )
     results: List[PoolResult] = []
+    completed = False
     try:
         futures = {executor.submit(_run_task, index) for index in indices}
         while futures:
@@ -197,9 +218,28 @@ def _run_pool_once(
             for future in done:
                 index, payload, stats, spans = future.result()
                 results.append(PoolResult(index, payload, stats, spans))
+        completed = True
     finally:
         _CTX = None
+        # Snapshot the worker list first — shutdown() clears _processes.
+        workers_snapshot = list((getattr(executor, "_processes", None) or {}).values())
         # cancel_futures keeps a timed-out map from blocking shutdown on
         # work nobody will read.
         executor.shutdown(wait=False, cancel_futures=True)
+        if not completed:
+            _terminate_workers(workers_snapshot)
     return results
+
+
+def _terminate_workers(processes: List) -> None:
+    """Forcefully stop a failed map's workers.
+
+    ``shutdown(cancel_futures=True)`` only drops *pending* futures; tasks
+    already in flight keep running in the non-daemonic workers, where they
+    compete with the fresh-pool retry for CPU and block interpreter exit on
+    the atexit join if genuinely hung. Nobody will read their results, so
+    SIGTERM them outright.
+    """
+    for process in processes:
+        if process.is_alive():
+            process.terminate()

@@ -118,6 +118,38 @@ class TestCostModel:
         with pytest.raises(ValueError):
             _resolve_workers(-1)
 
+    def test_daemonic_process_stays_serial(self, force_parallel):
+        # Batch-runner job workers are daemonic, and daemonic processes
+        # cannot fork children — requesting jobs>=2 there must quietly take
+        # the serial path instead of blowing up the cone pool on startup.
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        recv, send = ctx.Pipe(duplex=False)
+
+        def child(conn):
+            try:
+                field = GF2m(4)
+                circuit = mastrovito_multiplier(field)
+                result = extract_canonical(circuit, field, jobs=2)
+                conn.send(("ok", result.stats.jobs, str(result.polynomial)))
+            except BaseException as exc:  # pragma: no cover - failure path
+                conn.send(("error", repr(exc), None))
+            finally:
+                conn.close()
+
+        process = ctx.Process(target=child, args=(send,), daemon=True)
+        process.start()
+        send.close()
+        assert recv.poll(60), "daemonic child never reported"
+        status, jobs_used, poly_str = recv.recv()
+        process.join(timeout=30)
+        assert status == "ok", f"daemonic extract_canonical failed: {jobs_used}"
+        assert jobs_used == 0
+        field = GF2m(4)
+        serial = extract_canonical(mastrovito_multiplier(field), field)
+        assert poly_str == str(serial.polynomial)
+
     def test_pool_failure_falls_back_to_serial(self, force_parallel, monkeypatch):
         from repro.core import abstraction
         from repro.jobs.pool import PoolError

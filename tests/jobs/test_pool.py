@@ -23,6 +23,10 @@ def hard_crash(index):
     os._exit(1)
 
 
+def soft_fail(index):
+    raise RuntimeError("coefficient invariant violated")
+
+
 class TestRunPool:
     def test_basic_map(self):
         results = run_pool(double, range(6), workers=2)
@@ -86,6 +90,54 @@ class TestFailureContainment:
             run_pool(hard_crash, range(2), workers=1, retries=1)
         # Two fresh-pool attempts, both fast hard-crashes.
         assert time.perf_counter() - started < 30.0
+
+    def test_task_exception_wrapped_in_pool_error(self):
+        # A deterministic exception raised by fn itself must reach the
+        # caller as PoolError (so serial fallbacks engage) and must NOT
+        # burn fresh-pool retries — the "task failed" message proves the
+        # wrap happened before the retry loop's "after N attempt(s)" path.
+        with pytest.raises(
+            PoolError, match=r"task failed: RuntimeError: coefficient"
+        ):
+            run_pool(soft_fail, range(2), workers=1, retries=3)
+
+    def test_timeout_terminates_inflight_workers(self):
+        import multiprocessing
+
+        with pytest.raises(PoolError, match="TimeoutError"):
+            run_pool(slow, range(2), workers=2, timeout=0.3, retries=0)
+        # cancel_futures only drops pending work; in-flight tasks (5s
+        # sleeps here) must be SIGTERMed, not left to run to completion.
+        deadline = time.monotonic() + 3.0
+        while time.monotonic() < deadline:
+            if not any(p.is_alive() for p in multiprocessing.active_children()):
+                break
+            time.sleep(0.05)
+        assert not any(p.is_alive() for p in multiprocessing.active_children())
+
+
+class TestThreadSafety:
+    def test_concurrent_maps_serialise_on_the_module_lock(self):
+        # The fork handoff rides the _CTX module global; without the lock,
+        # concurrent maps clobber each other's context and workers fork
+        # with the wrong fn (or _CTX=None).
+        import threading
+
+        errors = []
+
+        def one_map():
+            try:
+                results = run_pool(double, range(4), workers=2)
+                assert {r.payload for r in results} == {0, 2, 4, 6}
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=one_map) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
 
 
 class TestTracing:
