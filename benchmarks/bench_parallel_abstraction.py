@@ -145,12 +145,16 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    # Every size in the sweep should exercise the pool, not just k>=48.
+    # Every size in the sweep should exercise the pool, not just k>=48 —
+    # including on one-CPU hosts, where extract_canonical would otherwise
+    # (rightly) clamp to serial; the sweep wants the honest pool numbers.
     os.environ["REPRO_PARALLEL_MIN_GATES"] = "1"
+    os.environ["REPRO_PARALLEL_FORCE"] = "1"
     try:
         current = run_suite(args.quick)
     finally:
         del os.environ["REPRO_PARALLEL_MIN_GATES"]
+        del os.environ["REPRO_PARALLEL_FORCE"]
     payload = {
         "meta": {
             "quick": args.quick,

@@ -1,0 +1,313 @@
+"""Verification-service throughput: resident daemon vs process-per-request.
+
+Boots a :class:`repro.service.VerificationService` on an ephemeral port and
+drives a *duplicate-heavy* workload — the regression/bug-hunt shape where
+one golden spec is checked against a small set of candidate implementations
+over and over — at client concurrency 1/4/16. Reports requests/second and
+p50/p95 submit-to-verdict latency per concurrency level, plus the
+single-flight/cache economy (abstractions actually computed vs requests
+served, from the daemon's own ``/metrics``).
+
+For contrast it times the same check as ``repro verify`` subprocesses —
+the process-per-request deployment the service replaces, which pays
+interpreter start-up, GF-table construction and netlist parsing on every
+call.
+
+Standalone script::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --quick
+
+``--quick`` (CI mode) shrinks the field, the request count, and the
+concurrency sweep. Output JSON goes to ``--out``, ``$REPRO_BENCH_OUT``,
+or ``./BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.circuits import write_verilog
+from repro.circuits.mutate import substitute_gate_type
+from repro.gf import GF2m
+from repro.service import ServiceClient, ServiceConfig, VerificationService
+from repro.synth import mastrovito_multiplier, montgomery_multiplier
+
+CONCURRENCY_SWEEP = (1, 4, 16)
+QUICK_CONCURRENCY = (1, 4)
+
+
+def build_workload(k: int, variants: int, tmp_dir: Path):
+    """One golden pair plus ``variants`` buggy mutants, as Verilog text.
+
+    Returns (spec_text, [impl_texts...], spec_path, impl_path) — the paths
+    feed the subprocess baseline.
+    """
+    field = GF2m(k)
+    spec = mastrovito_multiplier(field)
+    impl = montgomery_multiplier(field).flatten()
+    spec_path = tmp_dir / "spec.v"
+    impl_path = tmp_dir / "impl.v"
+    write_verilog(spec, str(spec_path))
+    write_verilog(impl, str(impl_path))
+
+    impl_texts = [impl_path.read_text()]
+    for index in range(variants):
+        mutant, _ = substitute_gate_type(impl, impl.gates[index].output)
+        mutant_path = tmp_dir / f"mutant_{index}.v"
+        write_verilog(mutant, str(mutant_path))
+        impl_texts.append(mutant_path.read_text())
+    return spec_path.read_text(), impl_texts, spec_path, impl_path
+
+
+def drive_clients(host, port, spec_text, impl_texts, k, requests, concurrency):
+    """``requests`` submit+wait round trips spread over ``concurrency``
+    client threads, cycling through the duplicate-heavy implementation set.
+    Returns per-request latencies (seconds) and the wall clock."""
+    latencies = []
+    errors = []
+    lock = threading.Lock()
+    counter = iter(range(requests))
+
+    def worker():
+        client = ServiceClient(host=host, port=port, timeout=120.0)
+        try:
+            while True:
+                with lock:
+                    try:
+                        index = next(counter)
+                    except StopIteration:
+                        return
+                impl_text = impl_texts[index % len(impl_texts)]
+                started = time.perf_counter()
+                try:
+                    doc = client.verify(
+                        spec_text, impl_text, k, poll_timeout=300.0
+                    )
+                    if doc.get("status") != "done":
+                        raise RuntimeError(f"job ended {doc.get('status')}")
+                except Exception as exc:  # noqa: BLE001 — tally, keep driving
+                    with lock:
+                        errors.append(f"{type(exc).__name__}: {exc}")
+                    continue
+                elapsed = time.perf_counter() - started
+                with lock:
+                    latencies.append(elapsed)
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker) for _ in range(concurrency)]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_started
+    return latencies, wall, errors
+
+
+def percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def scrape_economy(host, port):
+    client = ServiceClient(host=host, port=port)
+    try:
+        text = client.metrics_text()
+    finally:
+        client.close()
+    values = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        name, _, value = line.partition(" ")
+        values[name] = float(value)
+    return {
+        "requests": values.get("repro_service_requests", 0),
+        "abstractions_computed": values.get("repro_abstraction_extractions", 0),
+        "singleflight_shared": values.get("repro_service_singleflight_shared", 0),
+        "requests_deduplicated": values.get(
+            "repro_service_requests_deduplicated", 0
+        ),
+        "cache_hits": values.get("repro_cache_hits", 0),
+    }
+
+
+def bench_subprocess_baseline(spec_path, impl_path, k, reps):
+    """Cold ``repro verify`` subprocess per request: the replaced deployment."""
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env = dict(os.environ, PYTHONPATH=src)
+    samples = []
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "verify",
+             str(spec_path), str(impl_path), "-k", str(k)],
+            env=env, capture_output=True,
+        )
+        if result.returncode != 0:
+            raise RuntimeError(
+                f"baseline verify failed: {result.stderr.decode()[:500]}"
+            )
+        samples.append(time.perf_counter() - started)
+    mean = statistics.mean(samples)
+    return {
+        "reps": reps,
+        "mean_seconds": round(mean, 4),
+        "req_per_s": round(1.0 / mean, 3) if mean else None,
+    }
+
+
+def run_suite(k, requests, variants, workers, concurrencies, baseline_reps):
+    results = {"k": k, "requests_per_level": requests, "levels": {}}
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_dir = Path(tmp)
+        spec_text, impl_texts, spec_path, impl_path = build_workload(
+            k, variants, tmp_dir
+        )
+        print(f"workload: k={k}, {len(impl_texts)} distinct impls, "
+              f"{requests} requests per level")
+
+        service = VerificationService(
+            ServiceConfig(
+                port=0,
+                workers=workers,
+                queue_capacity=max(64, requests),
+                cache_dir=str(tmp_dir / "cache"),
+                prewarm=[(k, None)],
+            )
+        )
+        host, port = service.start()
+        try:
+            for concurrency in concurrencies:
+                latencies, wall, errors = drive_clients(
+                    host, port, spec_text, impl_texts, k, requests, concurrency
+                )
+                if not latencies:
+                    results["levels"][str(concurrency)] = {
+                        "error": f"no request succeeded: {errors[:3]}"
+                    }
+                    continue
+                level = {
+                    "requests_ok": len(latencies),
+                    "errors": len(errors),
+                    "wall_seconds": round(wall, 4),
+                    "req_per_s": round(len(latencies) / wall, 3),
+                    "p50_seconds": round(percentile(latencies, 0.50), 4),
+                    "p95_seconds": round(percentile(latencies, 0.95), 4),
+                }
+                results["levels"][str(concurrency)] = level
+                print(
+                    f"concurrency {concurrency:>2}: "
+                    f"{level['req_per_s']:.2f} req/s, "
+                    f"p50 {level['p50_seconds']*1e3:.1f} ms, "
+                    f"p95 {level['p95_seconds']*1e3:.1f} ms"
+                    + (f", {len(errors)} error(s)" if errors else "")
+                )
+            results["economy"] = scrape_economy(host, port)
+            economy = results["economy"]
+            print(
+                f"economy: {economy['requests']:.0f} requests served by "
+                f"{economy['abstractions_computed']:.0f} abstraction "
+                f"computation(s) ({economy['cache_hits']:.0f} cache hits, "
+                f"{economy['singleflight_shared']:.0f} single-flight shares)"
+            )
+        finally:
+            service.stop()
+
+        if baseline_reps:
+            results["subprocess_baseline"] = bench_subprocess_baseline(
+                spec_path, impl_path, k, baseline_reps
+            )
+            base = results["subprocess_baseline"]
+            resident = max(
+                (level.get("req_per_s") or 0)
+                for level in results["levels"].values()
+            )
+            if base["req_per_s"]:
+                results["resident_speedup_vs_subprocess"] = round(
+                    resident / base["req_per_s"], 2
+                )
+                print(
+                    f"process-per-request: {base['req_per_s']:.2f} req/s "
+                    f"(mean {base['mean_seconds']*1e3:.0f} ms) -> resident "
+                    f"speedup {results['resident_speedup_vs_subprocess']}x"
+                )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small field, short sweep (CI mode)")
+    parser.add_argument("-k", type=int, default=None,
+                        help="field degree (default 16, quick 8)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per concurrency level (default 48, quick 12)")
+    parser.add_argument("--variants", type=int, default=3,
+                        help="distinct buggy mutants in the workload (default 3)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="daemon worker threads (default 2)")
+    parser.add_argument("--baseline-reps", type=int, default=None,
+                        help="subprocess repro verify timings (default 3, quick 2, "
+                        "0 disables)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON (default $REPRO_BENCH_OUT or "
+                        "./BENCH_service.json)")
+    args = parser.parse_args(argv)
+
+    k = args.k if args.k is not None else (8 if args.quick else 16)
+    requests = args.requests if args.requests is not None else (
+        12 if args.quick else 48
+    )
+    baseline_reps = args.baseline_reps if args.baseline_reps is not None else (
+        2 if args.quick else 3
+    )
+    concurrencies = QUICK_CONCURRENCY if args.quick else CONCURRENCY_SWEEP
+
+    current = run_suite(
+        k, requests, args.variants, args.workers, concurrencies, baseline_reps
+    )
+    payload = {
+        "meta": {
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "current": current,
+    }
+    out = args.out or os.environ.get("REPRO_BENCH_OUT") or "BENCH_service.json"
+    out_path = Path(out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"trajectory written to {out_path}")
+
+    economy = current.get("economy", {})
+    if economy.get("requests") and not (
+        economy["abstractions_computed"] < economy["requests"]
+    ):
+        print(
+            "FAIL: duplicate-heavy workload did not deduplicate "
+            f"(abstractions {economy['abstractions_computed']:.0f} >= "
+            f"requests {economy['requests']:.0f})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,7 @@ from .mutate import (
     substitute_gate_type,
     swap_gate_inputs,
 )
-from .io import read_netlist, sniff_netlist_format
+from .io import read_netlist, read_netlist_text, sniff_netlist_format
 from .simulate import exhaustive_word_table, simulate, simulate_words
 from .verilog import from_verilog, read_verilog, to_verilog, write_verilog
 
@@ -42,5 +42,6 @@ __all__ = [
     "write_blif",
     "read_blif",
     "read_netlist",
+    "read_netlist_text",
     "sniff_netlist_format",
 ]

@@ -13,11 +13,11 @@ from __future__ import annotations
 import os
 
 from ..obs.spans import span
-from .blif import read_blif
+from .blif import from_blif, read_blif
 from .circuit import Circuit, CircuitError
-from .verilog import read_verilog
+from .verilog import from_verilog, read_verilog
 
-__all__ = ["read_netlist", "sniff_netlist_format"]
+__all__ = ["read_netlist", "read_netlist_text", "sniff_netlist_format"]
 
 
 def sniff_netlist_format(text: str) -> "str | None":
@@ -37,6 +37,26 @@ def sniff_netlist_format(text: str) -> "str | None":
             return "verilog"
         return None
     return None
+
+
+def read_netlist_text(text: str, name: str = "<netlist>") -> Circuit:
+    """Parse a netlist from an in-memory string, sniffing the format.
+
+    The streamed-body twin of :func:`read_netlist`: the verification
+    service receives netlists in HTTP request bodies rather than as paths
+    on its own filesystem, so the reader must work without a file. ``name``
+    labels parse errors and the trace span (there is no path to show).
+    """
+    with span("parse", path=name):
+        fmt = sniff_netlist_format(text)
+        if fmt == "blif":
+            return from_blif(text)
+        if fmt == "verilog":
+            return from_verilog(text)
+        raise CircuitError(
+            f"cannot determine netlist format of {name}: expected a BLIF "
+            f"'.model' header or a Verilog 'module' header"
+        )
 
 
 def read_netlist(path: str) -> Circuit:

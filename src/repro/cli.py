@@ -35,7 +35,7 @@ import logging
 import sys
 from typing import Optional
 
-from . import obs
+from . import __version__, obs
 
 from .circuits import (
     Circuit,
@@ -314,6 +314,183 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .jobs import default_cache_dir
+    from .service import ServiceConfig, serve
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or str(default_cache_dir())
+    prewarm = []
+    if args.prewarm:
+        for spec in args.prewarm.split(","):
+            spec = spec.strip()
+            if not spec:
+                continue
+            try:
+                prewarm.append((int(spec, 0), None))
+            except ValueError:
+                print(f"error: invalid --prewarm field degree {spec!r}",
+                      file=sys.stderr)
+                return 2
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        cache_dir=cache_dir,
+        retain=args.retain,
+        drain_timeout=args.drain_timeout,
+        max_request_bytes=args.max_request_mb * 1024 * 1024,
+        seed=args.seed,
+        prewarm=prewarm,
+        port_file=args.port_file,
+    )
+    return serve(config)
+
+
+def _read_text(path: str) -> str:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as exc:
+        raise CircuitError(f"cannot read netlist {path}: {exc}") from None
+
+
+def _submit_exit_code(doc: dict) -> int:
+    if doc.get("status") != "done":
+        return 2
+    verdict = (doc.get("result") or {}).get("verdict")
+    if verdict == "equivalent":
+        return 0
+    if verdict == "not_equivalent":
+        return 1
+    return 0  # abstract jobs have no verdict; done is success
+
+
+def _print_job_outcome(doc: dict) -> None:
+    status = doc.get("status")
+    result = doc.get("result") or {}
+    if status == "done":
+        verdict = result.get("verdict")
+        if verdict is not None:
+            print(f"{doc['id']}: {verdict.upper().replace('_', '-')}")
+            if result.get("counterexample"):
+                print(f"  counterexample: {result['counterexample']}")
+        else:
+            print(f"{doc['id']}: done")
+            if result.get("polynomial"):
+                print(f"  {result['polynomial']}")
+        if result.get("seconds") is not None:
+            hits = [
+                side for side in ("spec", "impl")
+                if result.get(f"{side}_cache_hit")
+            ]
+            note = f" (cache hit: {', '.join(hits)})" if hits else ""
+            print(f"  {result['seconds']:.3f}s{note}")
+    else:
+        print(f"{doc['id']}: {status}  ({doc.get('error', 'no result')})")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port, timeout=args.timeout)
+    if args.port_file:
+        with open(args.port_file, "r", encoding="utf-8") as handle:
+            client = ServiceClient.from_address(
+                handle.read(), timeout=args.timeout
+            )
+
+    try:
+        if args.manifest:
+            return _submit_manifest(client, args)
+        if not (args.spec and args.impl and args.k is not None):
+            print(
+                "error: submit needs either SPEC IMPL -k K or --manifest",
+                file=sys.stderr,
+            )
+            return 2
+        submission = client.submit_verify(
+            _read_text(args.spec),
+            _read_text(args.impl),
+            args.k,
+            modulus=int(args.modulus, 0) if args.modulus else None,
+            case2=args.case2,
+            priority=args.priority,
+            timeout=args.deadline,
+            spec_name=args.spec,
+            impl_name=args.impl,
+        )
+        job_id = submission["id"]
+        if submission.get("coalesced"):
+            print(f"coalesced onto in-flight job {job_id}")
+        else:
+            print(f"submitted job {job_id}")
+        if args.no_wait:
+            return 0
+        doc = client.wait_for(job_id, timeout=args.poll_timeout)
+        _print_job_outcome(doc)
+        return _submit_exit_code(doc)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+
+def _submit_manifest(client, args: argparse.Namespace) -> int:
+    """Submit every verify/abstract job of a batch manifest to the daemon."""
+    from .jobs import load_manifest
+
+    manifest = load_manifest(args.manifest)
+    submitted = []  # (job id from manifest, service job id)
+    for job in manifest.jobs:
+        params = job.params
+        if job.type == "verify":
+            submission = client.submit_verify(
+                _read_text(params["spec"]),
+                _read_text(params["impl"]),
+                params["k"],
+                modulus=params.get("modulus"),
+                case2=params.get("case2", "linearized"),
+                priority=args.priority,
+                timeout=args.deadline,
+                spec_name=params["spec"],
+                impl_name=params["impl"],
+            )
+        elif job.type == "abstract":
+            submission = client.submit_abstract(
+                _read_text(params["netlist"]),
+                params["k"],
+                modulus=params.get("modulus"),
+                case2=params.get("case2", "linearized"),
+                output_word=params.get("output_word"),
+                priority=args.priority,
+                timeout=args.deadline,
+                netlist_name=params["netlist"],
+            )
+        else:
+            print(f"{job.id:<24} skipped  (job type {job.type!r} is not "
+                  "servable; use repro batch)")
+            continue
+        submitted.append((job.id, submission["id"]))
+        note = "  (coalesced)" if submission.get("coalesced") else ""
+        print(f"{job.id:<24} -> {submission['id']}{note}")
+    if args.no_wait:
+        return 0
+    worst = 0
+    for manifest_id, job_id in submitted:
+        doc = client.wait_for(job_id, timeout=args.poll_timeout)
+        print(f"--- {manifest_id}")
+        _print_job_outcome(doc)
+        worst = max(worst, _submit_exit_code(doc))
+    return worst
+
+
 def _setup_logging(args: argparse.Namespace) -> None:
     """Configure stderr logging from ``--quiet``/``--verbose``.
 
@@ -353,6 +530,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Word-level abstraction & equivalence verification of "
         "Galois field circuits (DAC 2014 reproduction)",
         parents=[log_flags],
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -527,6 +707,151 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_spec.add_argument("--output-word", default=None)
     check_spec.set_defaults(func=_cmd_check_spec)
+
+    serve = add_command(
+        "serve",
+        help="run the resident verification daemon (HTTP API on /v1)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8014,
+        help="listen port (0 = ephemeral; see --port-file; default 8014)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="verification worker threads (default 2)",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued-job limit before submissions get 429 (default 64)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="D",
+        help="canonical-polynomial cache directory "
+        "(default $REPRO_CACHE_DIR or ~/.cache/repro/canonical)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the canonical-polynomial cache",
+    )
+    serve.add_argument(
+        "--retain",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="finished job records kept for polling (default 1024)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds to finish queued work after SIGTERM (default 30)",
+    )
+    serve.add_argument(
+        "--max-request-mb",
+        type=int,
+        default=32,
+        metavar="MB",
+        help="largest accepted request body (default 32 MiB)",
+    )
+    serve.add_argument(
+        "--prewarm",
+        default=None,
+        metavar="K,K,...",
+        help="comma-separated field degrees whose GF tables are built "
+        "before the first request (e.g. 32,64,128)",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed for counterexample searches (reproducible verdicts)",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write host:port here once listening (ephemeral-port handshake)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = add_command(
+        "submit",
+        help="submit work to a running repro serve daemon",
+        description="Submit one equivalence check (SPEC IMPL -k K, same "
+        "netlist formats as repro verify) or a whole batch manifest "
+        "(--manifest, same schema as repro batch) to a daemon, and wait "
+        "for verdicts. Exit codes match repro verify: 0 equivalent, "
+        "1 not equivalent, 2 error.",
+    )
+    submit.add_argument("spec", nargs="?", help="spec netlist (.v/.blif)")
+    submit.add_argument("impl", nargs="?", help="impl netlist (.v/.blif)")
+    submit.add_argument("-k", type=int, default=None, help="field degree")
+    submit.add_argument("--modulus", help="irreducible P(x) as an int literal")
+    submit.add_argument(
+        "--case2", choices=["linearized", "groebner"], default="linearized"
+    )
+    submit.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="submit every verify/abstract job of a batch manifest instead",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8014)
+    submit.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="read the daemon address from this file (written by "
+        "repro serve --port-file)",
+    )
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=5,
+        help="queue priority, 0 (most urgent) to 9 (default 5)",
+    )
+    submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="S",
+        help="server-side deadline: expire the job if it cannot start "
+        "within S seconds of submission",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="HTTP request timeout (default 60)",
+    )
+    submit.add_argument(
+        "--poll-timeout",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="give up waiting for a verdict after S seconds (default 600)",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the job id and exit without waiting for the verdict",
+    )
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 

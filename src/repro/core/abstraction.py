@@ -854,6 +854,17 @@ def _parallel_min_gates() -> int:
     return int(os.environ.get("REPRO_PARALLEL_MIN_GATES", DEFAULT_PARALLEL_MIN_GATES))
 
 
+def _parallel_forced() -> bool:
+    """``REPRO_PARALLEL_FORCE=1`` overrides the single-CPU serial clamp.
+
+    Tests and benchmark sweeps set this to exercise the pool machinery on
+    one-CPU hosts, where by default the pool is skipped because fork
+    overhead with no parallel hardware makes it strictly slower than serial
+    (the ``BENCH_parallel.json`` 0.15x "speedup").
+    """
+    return os.environ.get("REPRO_PARALLEL_FORCE", "0") == "1"
+
+
 def _resolve_workers(jobs: Optional[int]) -> int:
     if jobs is None:
         return 1
@@ -893,14 +904,26 @@ def extract_canonical(
         stays serial, ``0`` means one per CPU, ``N >= 2`` uses a pool of
         ``N``. Small circuits (gate count below ``REPRO_PARALLEL_MIN_GATES``,
         default ``4000``) fall back to serial — slicing overhead would
-        dominate — as does any :class:`~repro.jobs.pool.PoolError`. Both
-        paths produce bit-identical polynomials.
+        dominate — as do single-CPU hosts (fork cost buys no parallelism;
+        ``REPRO_PARALLEL_FORCE=1`` overrides) and any
+        :class:`~repro.jobs.pool.PoolError`. Both paths produce
+        bit-identical polynomials.
     """
     start = time.perf_counter()
+    metrics.counter_add(metrics.ABSTRACTION_EXTRACTIONS, 1)
     if case2 not in ("linearized", "groebner"):
         raise ValueError(f"unknown case2 strategy {case2!r}")
     output_word = _resolve_output_word(circuit, field, output_word)
     workers = _resolve_workers(jobs)
+    if workers > 1 and (os.cpu_count() or 1) <= 1 and not _parallel_forced():
+        # One-CPU host: the cone pool cannot run anything in parallel, so
+        # forking workers only adds overhead (measured ~6x slower than
+        # serial). Stay serial unless explicitly forced.
+        logger.debug(
+            "parallel abstraction requested on a single-CPU host; running "
+            "serially (set REPRO_PARALLEL_FORCE=1 to override)"
+        )
+        workers = 1
     if workers > 1 and multiprocessing.current_process().daemon:
         # Batch-runner job workers are daemonic and daemonic processes
         # cannot fork children — the pool would die on startup. Serial is

@@ -12,6 +12,7 @@ from .cache import (
     CanonicalPolyCache,
     canonical_cache_key,
     default_cache_dir,
+    locking_available,
     normalize_circuit_text,
     polynomial_payload,
     rehydrate_polynomial,
@@ -39,6 +40,7 @@ __all__ = [
     "default_cache_dir",
     "execute_job",
     "load_manifest",
+    "locking_available",
     "manifest_from_dict",
     "normalize_circuit_text",
     "polynomial_payload",

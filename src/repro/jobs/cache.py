@@ -29,8 +29,9 @@ import json
 import os
 import tempfile
 import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from ..algebra import Polynomial
 from ..circuits import Circuit
@@ -46,10 +47,42 @@ __all__ = [
     "CanonicalPolyCache",
     "canonical_cache_key",
     "default_cache_dir",
+    "locking_available",
     "normalize_circuit_text",
     "polynomial_payload",
     "rehydrate_polynomial",
 ]
+
+
+def locking_available() -> bool:
+    """Whether per-key advisory locks are supported on this platform.
+
+    When False the cache runs in *degraded (lock-free) mode*: concurrent
+    callers racing on the same missing key may each compute it
+    (at-least-once instead of exactly-once), but reads stay consistent —
+    values publish via atomic rename, so a reader sees either nothing or a
+    complete document, never a torn write.
+    """
+    return fcntl is not None
+
+
+@contextmanager
+def _exclusive_lock(lock_path: Path) -> Iterator[bool]:
+    """Hold an exclusive advisory lock on ``lock_path`` (best effort).
+
+    Yields True while a real ``flock`` is held. Without ``fcntl`` this
+    degrades to a no-op that yields False — no lock file is even created,
+    callers simply lose the exactly-once guarantee.
+    """
+    if fcntl is None:
+        yield False
+        return
+    with open(lock_path, "w") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield True
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
 
 _KEY_SCHEMA = "repro-canonical-poly-v1"
 
@@ -183,26 +216,23 @@ class CanonicalPolyCache:
 
         Returns ``(payload, hit)``. Concurrent callers racing on the same
         missing key serialize on a per-key file lock: exactly one runs
-        ``compute``, the rest block and then read its published result.
+        ``compute``, the rest block and then read its published result. In
+        degraded mode (no ``fcntl`` — see :func:`locking_available`) racers
+        may each compute, but every caller still returns a correct value and
+        the atomic publish keeps reads untorn.
         """
         payload = self.get(key)
         if payload is not None:
             return payload, True
-        self.locks.mkdir(parents=True, exist_ok=True)
-        lock_path = self.locks / f"{key}.lock"
-        with open(lock_path, "w") as lock:
-            if fcntl is not None:
-                fcntl.flock(lock, fcntl.LOCK_EX)
-            try:
-                payload = self.get(key)  # a peer may have published meanwhile
-                if payload is not None:
-                    return payload, True
-                payload = compute()
-                self.put(key, payload)
-                return payload, False
-            finally:
-                if fcntl is not None:
-                    fcntl.flock(lock, fcntl.LOCK_UN)
+        if fcntl is not None:
+            self.locks.mkdir(parents=True, exist_ok=True)
+        with _exclusive_lock(self.locks / f"{key}.lock"):
+            payload = self.get(key)  # a peer may have published meanwhile
+            if payload is not None:
+                return payload, True
+            payload = compute()
+            self.put(key, payload)
+            return payload, False
 
     # -- counters ------------------------------------------------------------
 
@@ -211,30 +241,23 @@ class CanonicalPolyCache:
         if not hits and not misses:
             return
         self.root.mkdir(parents=True, exist_ok=True)
-        lock_path = self.root / "stats.lock"
-        with open(lock_path, "w") as lock:
-            if fcntl is not None:
-                fcntl.flock(lock, fcntl.LOCK_EX)
+        with _exclusive_lock(self.root / "stats.lock"):
+            counters = {"hits": 0, "misses": 0}
             try:
-                counters = {"hits": 0, "misses": 0}
-                try:
-                    with open(self.stats_path, "r", encoding="utf-8") as handle:
-                        stored = json.load(handle)
-                    counters.update(
-                        {k: int(stored.get(k, 0)) for k in ("hits", "misses")}
-                    )
-                except (FileNotFoundError, json.JSONDecodeError, OSError):
-                    pass
-                counters["hits"] += hits
-                counters["misses"] += misses
-                counters["updated"] = time.time()
-                fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(counters, handle)
-                os.replace(tmp, self.stats_path)
-            finally:
-                if fcntl is not None:
-                    fcntl.flock(lock, fcntl.LOCK_UN)
+                with open(self.stats_path, "r", encoding="utf-8") as handle:
+                    stored = json.load(handle)
+                counters.update(
+                    {k: int(stored.get(k, 0)) for k in ("hits", "misses")}
+                )
+            except (FileNotFoundError, json.JSONDecodeError, OSError):
+                pass
+            counters["hits"] += hits
+            counters["misses"] += misses
+            counters["updated"] = time.time()
+            fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(counters, handle)
+            os.replace(tmp, self.stats_path)
 
     def stats(self) -> Dict:
         """Entry count, on-disk bytes, and cumulative hit/miss counters."""

@@ -38,7 +38,7 @@ from typing import Dict, Optional, Tuple
 
 from .. import obs
 from ..algebra import parse_polynomial
-from ..circuits import Circuit, read_netlist
+from ..circuits import Circuit, read_netlist, read_netlist_text
 from ..core import extract_canonical, word_ring_for
 from ..gf import GF2m
 from ..obs import metrics
@@ -51,7 +51,13 @@ from .cache import (
     rehydrate_polynomial,
 )
 
-__all__ = ["execute_job", "phases_from_spans"]
+__all__ = [
+    "execute_job",
+    "phases_from_spans",
+    "run_abstract",
+    "run_check_spec",
+    "run_verify",
+]
 
 #: Polynomials larger than this many characters are elided in result
 #: records — buggy Case-2 abstractions can be astronomically dense, and the
@@ -104,6 +110,20 @@ def _field_for(params: Dict) -> GF2m:
     return GF2m(int(params["k"]), modulus=modulus)
 
 
+def _load_circuit(params: Dict, key: str) -> Circuit:
+    """Load the netlist named by ``params[key]``, path- or body-based.
+
+    Batch manifests carry filesystem paths (``params["spec"]``); the
+    verification service streams netlist *bodies* in the request instead
+    (``params["spec_text"]``), since the daemon may not share a filesystem
+    with its clients. A ``<key>_text`` entry wins over a path.
+    """
+    text = params.get(f"{key}_text")
+    if text is not None:
+        return read_netlist_text(text, name=str(params.get(key) or f"<{key}>"))
+    return read_netlist(params[key])
+
+
 def _poly_str(polynomial, output_word: str) -> str:
     text = f"{output_word} = {polynomial}"
     if len(text) > _MAX_POLY_CHARS:
@@ -119,6 +139,7 @@ def _cached_canonical(
     cache: Optional[CanonicalPolyCache],
     counters: Dict[str, int],
     jobs: Optional[int] = None,
+    inflight=None,
 ) -> Tuple[Dict, bool]:
     """Canonical-polynomial payload for a flat circuit, cache-aware.
 
@@ -128,6 +149,13 @@ def _cached_canonical(
     executor reports both phases as explicit zeros. ``jobs`` selects the
     cone-sliced parallel path on a miss — it stays out of the cache key
     because both paths produce bit-identical polynomials.
+
+    ``inflight`` is an optional single-flight group (an object with
+    ``do(key, fn) -> (value, shared)``, see
+    :class:`repro.service.singleflight.SingleFlight`): concurrent callers in
+    the same process racing on one key then run ``fn`` once and share its
+    result without ever blocking on the cache's per-key file lock. A shared
+    result counts as a hit — the caller avoided the computation.
     """
 
     def compute() -> Dict:
@@ -136,37 +164,56 @@ def _cached_canonical(
         )
         return polynomial_payload(result)
 
-    if cache is None:
+    def compute_cached() -> Tuple[Dict, bool]:
+        if cache is None:
+            return compute(), False
+        return cache.get_or_compute(key, compute)
+
+    if cache is None and inflight is None:
         payload, hit = compute(), False
     else:
         key = canonical_cache_key(
             circuit, field, case2=case2, output_word=output_word
         )
-        payload, hit = cache.get_or_compute(key, compute)
+        if inflight is None:
+            payload, hit = cache.get_or_compute(key, compute)
+        else:
+            (payload, hit), shared = inflight.do(key, compute_cached)
+            hit = hit or shared
     counters["hits"] += int(hit)
     counters["misses"] += int(not hit)
     metrics.counter_add(metrics.CACHE_HITS if hit else metrics.CACHE_MISSES, 1)
     return payload, hit
 
 
-def _run_verify(
+def run_verify(
     params: Dict,
-    cache: Optional[CanonicalPolyCache],
-    counters: Dict[str, int],
-    seed: Optional[int],
+    cache: Optional[CanonicalPolyCache] = None,
+    counters: Optional[Dict[str, int]] = None,
+    seed: Optional[int] = None,
+    inflight=None,
 ) -> Dict:
+    """Run one verify job body: abstract both sides and coefficient-match.
+
+    The shared engine behind batch ``verify`` jobs and the service's
+    ``POST /v1/verify``. ``params`` uses the manifest schema; netlists may
+    arrive as paths (``spec``/``impl``) or as streamed bodies
+    (``spec_text``/``impl_text``). ``inflight`` forwards to
+    :func:`_cached_canonical` for in-process single-flight dedup.
+    """
+    counters = counters if counters is not None else {"hits": 0, "misses": 0}
     field = _field_for(params)
     case2 = params.get("case2", "linearized")
     jobs = params.get("jobs")
 
-    spec = read_netlist(params["spec"])
-    impl = read_netlist(params["impl"])
+    spec = _load_circuit(params, "spec")
+    impl = _load_circuit(params, "impl")
 
     spec_payload, spec_hit = _cached_canonical(
-        spec, field, case2, None, cache, counters, jobs=jobs
+        spec, field, case2, None, cache, counters, jobs=jobs, inflight=inflight
     )
     impl_payload, impl_hit = _cached_canonical(
-        impl, field, case2, None, cache, counters, jobs=jobs
+        impl, field, case2, None, cache, counters, jobs=jobs, inflight=inflight
     )
 
     with obs.span("coeff_match"):
@@ -219,17 +266,20 @@ def _run_verify(
     }
 
 
-def _run_abstract(
+def run_abstract(
     params: Dict,
-    cache: Optional[CanonicalPolyCache],
-    counters: Dict[str, int],
+    cache: Optional[CanonicalPolyCache] = None,
+    counters: Optional[Dict[str, int]] = None,
+    inflight=None,
 ) -> Dict:
+    """Run one abstract job body: a single circuit's canonical polynomial."""
+    counters = counters if counters is not None else {"hits": 0, "misses": 0}
     field = _field_for(params)
     case2 = params.get("case2", "linearized")
-    circuit = read_netlist(params["netlist"])
+    circuit = _load_circuit(params, "netlist")
     payload, hit = _cached_canonical(
         circuit, field, case2, params.get("output_word"), cache, counters,
-        jobs=params.get("jobs"),
+        jobs=params.get("jobs"), inflight=inflight,
     )
     polynomial = rehydrate_polynomial(payload, field)
     return {
@@ -241,9 +291,10 @@ def _run_abstract(
     }
 
 
-def _run_check_spec(params: Dict) -> Dict:
+def run_check_spec(params: Dict) -> Dict:
+    """Run one check-spec job body (Lv-style ideal membership)."""
     field = _field_for(params)
-    circuit = read_netlist(params["netlist"])
+    circuit = _load_circuit(params, "netlist")
     ring = word_ring_for(field, sorted(circuit.input_words))
     spec = parse_polynomial(params["spec_poly"], ring)
     outcome = check_ideal_membership(
@@ -304,11 +355,11 @@ def execute_job(
         start = time.perf_counter()
         with obs.span("job", id=job["id"], type=job_type, attempt=attempt):
             if job_type == "verify":
-                body = _run_verify(params, cache, counters, job_seed)
+                body = run_verify(params, cache, counters, job_seed)
             elif job_type == "abstract":
-                body = _run_abstract(params, cache, counters)
+                body = run_abstract(params, cache, counters)
             elif job_type == "check-spec":
-                body = _run_check_spec(params)
+                body = run_check_spec(params)
             elif job_type == "sleep":
                 body = _run_sleep(params)
             elif job_type == "crash":

@@ -158,7 +158,16 @@ def run_pool(
         raise ValueError("run_pool needs at least one worker")
     attempts = max(1, retries + 1)
     last_error: Optional[BaseException] = None
+    lock_wait_started = time.perf_counter()
     with _POOL_LOCK:
+        # In a multi-threaded host (the verification service) concurrent
+        # requests that each want a cone pool serialise here; surface the
+        # wait so /metrics shows the contention instead of hiding it.
+        waited = time.perf_counter() - lock_wait_started
+        if waited > 0.001:
+            obs.metrics.counter_add(
+                obs.metrics.PARALLEL_POOL_LOCK_WAIT_MS, int(waited * 1000)
+            )
         for attempt in range(1, attempts + 1):
             try:
                 return _run_pool_once(fn, indices, workers, field_key, timeout)

@@ -26,7 +26,13 @@ paths costs one global read per call site when disabled (guarded by
 """
 
 from . import metrics
-from .export import summary_table, to_chrome_trace, write_chrome_trace, write_jsonl
+from .export import (
+    render_prometheus,
+    summary_table,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
 from .report import aggregate_run_log, format_report
 from .schema import validate_trace, validate_trace_file
 from .spans import (
@@ -55,6 +61,7 @@ __all__ = [
     "gauge_max",
     "is_enabled",
     "metrics",
+    "render_prometheus",
     "reset_context",
     "span",
     "summary_table",

@@ -22,6 +22,7 @@ from typing import Any, Dict, List
 from .spans import SCHEMA_VERSION
 
 __all__ = [
+    "render_prometheus",
     "summary_table",
     "to_chrome_trace",
     "write_chrome_trace",
@@ -110,6 +111,41 @@ def write_jsonl(snapshot: Dict[str, Any], path: str) -> None:
         handle.write(
             json.dumps({"event": "gauges", **snapshot.get("gauges", {})}) + "\n"
         )
+
+
+def _prometheus_name(name: str) -> str:
+    """``subsystem.measure`` -> ``repro_subsystem_measure``."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{cleaned}"
+
+
+def render_prometheus(
+    snapshot: Dict[str, Any],
+    extra_gauges: "Dict[str, float] | None" = None,
+) -> str:
+    """Render a collector snapshot in the Prometheus text exposition format.
+
+    Counters become ``counter`` metrics, gauges become ``gauge`` metrics,
+    both under a ``repro_`` prefix with dots mapped to underscores
+    (``cache.hits`` -> ``repro_cache_hits``). ``extra_gauges`` lets a caller
+    append point-in-time values that live outside the collector — the
+    verification service reports queue depth, in-flight jobs and uptime this
+    way. Spans are not exported; scrape ``/metrics``, not traces.
+    """
+    lines: List[str] = []
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    gauges = dict(snapshot.get("gauges") or {})
+    gauges.update(extra_gauges or {})
+    for name, value in sorted(gauges.items()):
+        metric = _prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        value = float(value)
+        rendered = str(int(value)) if value == int(value) else repr(value)
+        lines.append(f"{metric} {rendered}")
+    return "\n".join(lines) + "\n"
 
 
 def _format_rows(rows: List[Dict[str, Any]]) -> List[str]:

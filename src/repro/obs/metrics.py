@@ -14,6 +14,7 @@ from __future__ import annotations
 from .spans import counter_add, gauge_max, is_enabled
 
 __all__ = [
+    "ABSTRACTION_EXTRACTIONS",
     "ABSTRACTION_PEAK_TERMS",
     "ABSTRACTION_SUBSTITUTIONS",
     "ABSTRACTION_TERM_TRAFFIC",
@@ -32,12 +33,23 @@ __all__ = [
     "PARALLEL_CONE_DIVISION_STEPS",
     "PARALLEL_MAX_CONE_DIVISION_STEPS",
     "PARALLEL_POOL_IDLE_MS",
+    "PARALLEL_POOL_LOCK_WAIT_MS",
     "PARALLEL_POOL_UTILIZATION_PCT",
     "PARALLEL_POOL_WORKERS",
     "PARALLEL_TABLE_REBUILDS",
     "SAT_CONFLICTS",
     "SAT_DECISIONS",
     "SAT_PROPAGATIONS",
+    "SERVICE_JOBS_CANCELLED",
+    "SERVICE_JOBS_COMPLETED",
+    "SERVICE_JOBS_EXPIRED",
+    "SERVICE_JOBS_FAILED",
+    "SERVICE_QUEUE_DEPTH_PEAK",
+    "SERVICE_QUEUE_WAIT_MS",
+    "SERVICE_REQUESTS",
+    "SERVICE_REQUESTS_DEDUPLICATED",
+    "SERVICE_REQUESTS_REJECTED",
+    "SERVICE_SINGLEFLIGHT_SHARED",
     "VANISHING_GENERATORS",
     "counter_add",
     "gauge_max",
@@ -59,7 +71,11 @@ DIVISION_PEAK_TERMS = "division.peak_terms"  # gauge
 # Vanishing ideal J_0 generators materialised for faithful GB runs.
 VANISHING_GENERATORS = "vanishing.generators"
 
-# Guided S-polynomial reduction (the abstraction engine).
+# Guided S-polynomial reduction (the abstraction engine). The extractions
+# counter ticks once per actual `extract_canonical` run — compare it against
+# `service.requests` to see single-flight/cache dedup working (a
+# duplicate-heavy workload computes far fewer abstractions than it serves).
+ABSTRACTION_EXTRACTIONS = "abstraction.extractions"
 ABSTRACTION_SUBSTITUTIONS = "abstraction.substitutions"
 ABSTRACTION_TERM_TRAFFIC = "abstraction.term_traffic"
 ABSTRACTION_PEAK_TERMS = "abstraction.peak_terms"  # gauge
@@ -79,6 +95,26 @@ PARALLEL_POOL_WORKERS = "parallel.pool_workers"  # gauge
 PARALLEL_POOL_UTILIZATION_PCT = "parallel.pool_utilization_pct"  # gauge
 PARALLEL_POOL_IDLE_MS = "parallel.pool_idle_ms"
 PARALLEL_TABLE_REBUILDS = "parallel.table_rebuilds"
+# Fork handoff allows one map in flight per process; concurrent callers
+# (service worker threads whose requests each ask for a cone pool) queue on
+# the module lock. This counter makes that contention visible in /metrics.
+PARALLEL_POOL_LOCK_WAIT_MS = "parallel.pool_lock_wait_ms"
+
+# Verification service (repro serve): admission, queueing and dedup. The
+# requests counter ticks per accepted job submission; rejected counts 429
+# backpressure; deduplicated counts submissions coalesced onto an identical
+# in-flight job; singleflight_shared counts abstractions that were served by
+# waiting on a peer's in-flight computation instead of recomputing.
+SERVICE_REQUESTS = "service.requests"
+SERVICE_REQUESTS_REJECTED = "service.requests_rejected"
+SERVICE_REQUESTS_DEDUPLICATED = "service.requests_deduplicated"
+SERVICE_JOBS_COMPLETED = "service.jobs_completed"
+SERVICE_JOBS_FAILED = "service.jobs_failed"
+SERVICE_JOBS_EXPIRED = "service.jobs_expired"
+SERVICE_JOBS_CANCELLED = "service.jobs_cancelled"
+SERVICE_SINGLEFLIGHT_SHARED = "service.singleflight_shared"
+SERVICE_QUEUE_WAIT_MS = "service.queue_wait_ms"
+SERVICE_QUEUE_DEPTH_PEAK = "service.queue_depth_peak"  # gauge
 
 # Bit-level cross-checkers.
 SAT_CONFLICTS = "sat.conflicts"

@@ -61,14 +61,22 @@ class TraceCollector:
     ``division.steps``, ...); gauges keep the maximum observed value
     (``abstraction.peak_terms``, ``bdd.nodes``). Both are flat
     ``name -> number`` maps so snapshots serialize to JSON directly.
+
+    ``max_spans`` bounds the span buffer: once full, the oldest spans are
+    dropped (counters and gauges always keep accumulating). One-shot CLI
+    runs leave it unbounded; the long-running verification service caps it
+    so weeks of traffic cannot grow the collector without bound —
+    ``spans_dropped`` reports how many fell off the ring.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_spans: Optional[int] = None) -> None:
         self._lock = threading.Lock()
         self._spans: List[Dict[str, Any]] = []
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._next_id = 0
+        self._max_spans = max_spans
+        self._dropped = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -80,6 +88,7 @@ class TraceCollector:
     def add_span(self, record: Dict[str, Any]) -> None:
         with self._lock:
             self._spans.append(record)
+            self._trim_locked()
 
     def counter_add(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -89,6 +98,18 @@ class TraceCollector:
         with self._lock:
             if value > self._gauges.get(name, float("-inf")):
                 self._gauges[name] = value
+
+    def _trim_locked(self) -> None:
+        if self._max_spans is not None and len(self._spans) > self._max_spans:
+            excess = len(self._spans) - self._max_spans
+            del self._spans[:excess]
+            self._dropped += excess
+
+    @property
+    def spans_dropped(self) -> int:
+        """Spans evicted from a ``max_spans``-bounded buffer so far."""
+        with self._lock:
+            return self._dropped
 
     # -- export / handoff ----------------------------------------------------
 
@@ -110,6 +131,7 @@ class TraceCollector:
         """
         with self._lock:
             self._spans.extend(dict(r) for r in snapshot.get("spans", ()))
+            self._trim_locked()
             for name, amount in (snapshot.get("counters") or {}).items():
                 self._counters[name] = self._counters.get(name, 0) + amount
             for name, value in (snapshot.get("gauges") or {}).items():

@@ -1,0 +1,49 @@
+"""Long-running verification service: HTTP daemon, queue, dedup, client.
+
+The resident alternative to process-per-request verification. One daemon
+(``repro serve``) holds warm GF tables, a shared canonical-polynomial
+cache, and an in-process single-flight group; clients (``repro submit`` /
+:class:`ServiceClient`) stream netlists over HTTP and poll for verdicts.
+
+Layering, bottom up:
+
+:mod:`~repro.service.singleflight`
+    Concurrent-duplicate suppression keyed on the executor's
+    content-addressed cache key.
+:mod:`~repro.service.queue`
+    Bounded priority admission queue — rejects (429) rather than blocks,
+    closes-then-drains for shutdown.
+:mod:`~repro.service.store`
+    Job records, request-level dedup index, long-poll support.
+:mod:`~repro.service.scheduler`
+    Worker threads running the same executor bodies as ``repro batch``.
+:mod:`~repro.service.server`
+    The HTTP front end and graceful-drain lifecycle.
+:mod:`~repro.service.client`
+    Retry/backoff client with connection reuse.
+"""
+
+from .client import ServiceClient, ServiceError, ServiceUnavailable
+from .queue import BoundedJobQueue, QueueClosed, QueueFull
+from .scheduler import Scheduler
+from .server import ServiceConfig, VerificationService, request_key, serve
+from .singleflight import SingleFlight
+from .store import JobRecord, JobStore, TERMINAL_STATUSES
+
+__all__ = [
+    "BoundedJobQueue",
+    "JobRecord",
+    "JobStore",
+    "QueueClosed",
+    "QueueFull",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceUnavailable",
+    "SingleFlight",
+    "TERMINAL_STATUSES",
+    "VerificationService",
+    "request_key",
+    "serve",
+]

@@ -1,0 +1,251 @@
+"""HTTP client for the verification service: connection reuse + backoff.
+
+:class:`ServiceClient` is the library behind ``repro submit`` and the
+throughput benchmark. Stdlib only (:mod:`http.client`), one persistent
+keep-alive connection per client instance (instances are not thread-safe
+— give each thread its own), and retry with exponential backoff + jitter
+for the failure modes a resident daemon actually exhibits:
+
+- ``429`` (queue full) and ``503`` (draining/booting) honour the server's
+  ``Retry-After`` hint when present, else back off exponentially;
+- connection-level errors (daemon restarting, not up yet) reconnect and
+  retry the same way;
+- other HTTP errors surface immediately as :class:`ServiceError` — a
+  ``400`` will not become a ``200`` by retrying.
+
+Submission helpers take netlist *text* (the daemon may not share a
+filesystem with the client); :meth:`ServiceClient.verify` is the
+blocking convenience that submits and long-polls to a verdict.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceUnavailable"]
+
+DEFAULT_PORT = 8014
+
+
+class ServiceError(Exception):
+    """Terminal client error: the request was answered and refused."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceUnavailable(ServiceError):
+    """Retries exhausted against 429/503/connection failures."""
+
+
+class ServiceClient:
+    """One keep-alive connection to a verification daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 60.0,
+        retries: int = 5,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 10.0,
+        rng: Optional[random.Random] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng if rng is not None else random.Random()
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _once(self, method: str, path: str, body: Optional[Dict]):
+        """One request over the persistent connection; reconnects once if
+        the server closed the idle socket under us."""
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                return response.status, response.getheader("Retry-After"), data
+            except (http.client.HTTPException, ConnectionError, socket.error):
+                self.close()
+                if attempt == 2:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _backoff(self, attempt: int, retry_after: Optional[str]) -> float:
+        if retry_after:
+            try:
+                return min(float(retry_after), self.backoff_cap)
+            except ValueError:
+                pass
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return delay * (0.5 + self._rng.random())  # full jitter
+
+    def request(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
+        """Issue one API call with retry/backoff; returns the decoded JSON."""
+        last_error: Optional[str] = None
+        for attempt in range(self.retries + 1):
+            try:
+                status, retry_after, data = self._once(method, path, body)
+            except (http.client.HTTPException, ConnectionError, socket.error) as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                if attempt < self.retries:
+                    time.sleep(self._backoff(attempt, None))
+                continue
+            if status in (429, 503):
+                try:
+                    last_error = json.loads(data).get("error", "busy")
+                except (json.JSONDecodeError, AttributeError):
+                    last_error = f"status {status}"
+                if attempt < self.retries:
+                    time.sleep(self._backoff(attempt, retry_after))
+                continue
+            try:
+                doc = json.loads(data) if data else {}
+            except json.JSONDecodeError:
+                raise ServiceError(status, f"non-JSON response: {data[:200]!r}")
+            if status >= 400:
+                raise ServiceError(status, doc.get("error", "request failed"))
+            return doc
+        raise ServiceUnavailable(
+            503, f"gave up after {self.retries + 1} attempts: {last_error}"
+        )
+
+    # -- API surface ---------------------------------------------------------
+
+    def submit_verify(
+        self,
+        spec_text: str,
+        impl_text: str,
+        k: int,
+        modulus: Optional[int] = None,
+        case2: str = "linearized",
+        priority: int = 5,
+        timeout: Optional[float] = None,
+        spec_name: Optional[str] = None,
+        impl_name: Optional[str] = None,
+    ) -> Dict:
+        """Submit an equivalence check; returns the submission document
+        (``{"id": ..., "status": ...}``, plus ``coalesced`` on dedup)."""
+        body: Dict = {
+            "k": k,
+            "spec_text": spec_text,
+            "impl_text": impl_text,
+            "case2": case2,
+            "priority": priority,
+        }
+        if modulus is not None:
+            body["modulus"] = modulus
+        if timeout is not None:
+            body["timeout"] = timeout
+        if spec_name is not None:
+            body["spec"] = spec_name
+        if impl_name is not None:
+            body["impl"] = impl_name
+        return self.request("POST", "/v1/verify", body)
+
+    def submit_abstract(
+        self,
+        netlist_text: str,
+        k: int,
+        modulus: Optional[int] = None,
+        case2: str = "linearized",
+        output_word: Optional[str] = None,
+        priority: int = 5,
+        timeout: Optional[float] = None,
+        netlist_name: Optional[str] = None,
+    ) -> Dict:
+        body: Dict = {
+            "k": k,
+            "netlist_text": netlist_text,
+            "case2": case2,
+            "priority": priority,
+        }
+        if modulus is not None:
+            body["modulus"] = modulus
+        if output_word is not None:
+            body["output_word"] = output_word
+        if timeout is not None:
+            body["timeout"] = timeout
+        if netlist_name is not None:
+            body["netlist"] = netlist_name
+        return self.request("POST", "/v1/abstract", body)
+
+    def get_job(self, job_id: str, wait: Optional[float] = None) -> Dict:
+        path = f"/v1/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait:g}"
+        return self.request("GET", path)
+
+    def wait_for(self, job_id: str, timeout: float = 300.0) -> Dict:
+        """Long-poll until the job is terminal; raises on client timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} still {self.get_job(job_id).get('status')!r} "
+                    f"after {timeout:g}s"
+                )
+            doc = self.get_job(job_id, wait=min(remaining, 30.0))
+            if doc.get("status") in ("done", "failed", "expired", "cancelled"):
+                return doc
+
+    def verify(
+        self,
+        spec_text: str,
+        impl_text: str,
+        k: int,
+        poll_timeout: float = 300.0,
+        **kwargs,
+    ) -> Dict:
+        """Submit + wait: the blocking one-call equivalence check."""
+        submission = self.submit_verify(spec_text, impl_text, k, **kwargs)
+        return self.wait_for(submission["id"], timeout=poll_timeout)
+
+    def health(self) -> Dict:
+        return self.request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        status, _, data = self._once("GET", "/metrics", None)
+        if status != 200:
+            raise ServiceError(status, "metrics scrape failed")
+        return data.decode()
+
+    @staticmethod
+    def from_address(address: str, **kwargs) -> "ServiceClient":
+        """Build a client from ``host:port`` (e.g. a ``--port-file`` line)."""
+        host, _, port = address.strip().rpartition(":")
+        return ServiceClient(host=host or "127.0.0.1", port=int(port), **kwargs)

@@ -1,0 +1,119 @@
+"""Bounded priority queue with explicit backpressure and drain semantics.
+
+The admission-control half of the verification service. Three properties
+the stdlib ``queue.PriorityQueue`` does not give together:
+
+- **bounded with *rejection*, not blocking** — an HTTP handler must answer
+  ``429 Retry-After`` immediately when the daemon is saturated, so
+  :meth:`BoundedJobQueue.put` raises :class:`QueueFull` instead of
+  blocking the accept thread;
+- **priority classes with FIFO fairness** — entries dispatch lowest
+  priority number first and, within a class, strictly in arrival order
+  (a monotonic sequence number breaks ties, so equal-priority work can
+  never starve or reorder);
+- **close-then-drain** — :meth:`close` stops admission while letting
+  workers pull everything already accepted; once empty, getters see
+  :class:`QueueClosed` and exit. :meth:`drain_remaining` force-empties
+  the queue for deadline-bounded shutdown, returning the abandoned
+  entries so the caller can mark them cancelled rather than lose them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["BoundedJobQueue", "QueueClosed", "QueueFull"]
+
+
+class QueueFull(Exception):
+    """Admission rejected: the queue is at capacity (HTTP 429 territory)."""
+
+
+class QueueClosed(Exception):
+    """The queue no longer accepts work (drain in progress or finished)."""
+
+
+class BoundedJobQueue:
+    """Priority queue of job entries with a hard capacity."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._peak_depth = 0
+
+    def put(self, item: Any, priority: int = 5) -> int:
+        """Admit ``item``; returns the queue depth after insertion.
+
+        Raises :class:`QueueFull` at capacity and :class:`QueueClosed`
+        after :meth:`close` — both without blocking.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("queue is closed to new work")
+            if len(self._heap) >= self.capacity:
+                raise QueueFull(
+                    f"queue at capacity ({self.capacity} entries)"
+                )
+            heapq.heappush(self._heap, (priority, next(self._seq), item))
+            depth = len(self._heap)
+            self._peak_depth = max(self._peak_depth, depth)
+            self._not_empty.notify()
+            return depth
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        """Pop the highest-priority entry, blocking up to ``timeout``.
+
+        Returns None on timeout. Raises :class:`QueueClosed` once the
+        queue is closed *and* empty — the worker-thread exit signal.
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        with self._not_empty:
+            while not self._heap:
+                if self._closed:
+                    raise QueueClosed("queue drained")
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._not_empty.wait(remaining)
+            return heapq.heappop(self._heap)[2]
+
+    def close(self) -> None:
+        """Stop admission; wake all waiting getters so they can drain/exit."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def drain_remaining(self) -> List[Any]:
+        """Remove and return everything still queued (for cancellation)."""
+        with self._lock:
+            items = [entry[2] for entry in sorted(self._heap)]
+            self._heap.clear()
+            self._not_empty.notify_all()
+            return items
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def peak_depth(self) -> int:
+        with self._lock:
+            return self._peak_depth
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

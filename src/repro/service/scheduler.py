@@ -1,0 +1,228 @@
+"""Worker-thread scheduler: queue → executor bodies, with dedup and drain.
+
+The scheduler owns the compute half of the daemon. Worker *threads* (not
+processes) pull :class:`~repro.service.store.JobRecord` entries off the
+bounded queue and run them through the same executor bodies the batch
+runner uses (:func:`repro.jobs.executor.run_verify` /
+:func:`run_abstract`), so a resident service answers exactly what
+``repro verify`` would — but with three standing advantages a
+process-per-request pipeline pays for on every call:
+
+- **warm GF tables** — log/antilog and windowed-reduction tables are
+  process-global caches; the scheduler warms each ``(k, modulus)`` on
+  first sight (and any configured set at boot via
+  :func:`repro.gf.logtables.warm`) and every later request reuses them;
+- **shared polynomial cache + single-flight** — all workers share one
+  content-addressed :class:`~repro.jobs.cache.CanonicalPolyCache` and one
+  in-process :class:`~repro.service.singleflight.SingleFlight` group keyed
+  on the cache key, so concurrent duplicate abstractions collapse to one
+  computation even before the disk cache can serve them;
+- **deadline-aware dispatch** — a job whose client deadline expired while
+  it sat queued is marked ``expired`` without wasting a reduction on it.
+  Deadlines are only enforced *at dequeue*: Python threads cannot be
+  killed, so work that starts runs to completion.
+
+Inside the cone-sliced abstraction the parallel fork-pool is left alone:
+``extract_canonical``'s own single-CPU clamp and gate threshold decide
+whether a request fans out further.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Iterable, Optional, Set, Tuple
+
+from .. import obs
+from ..gf import GF2m, logtables
+from ..jobs.cache import CanonicalPolyCache
+from ..jobs.executor import run_abstract, run_verify
+from ..obs import metrics
+from .queue import BoundedJobQueue, QueueClosed
+from .singleflight import SingleFlight
+from .store import JobRecord, JobStore
+
+__all__ = ["Scheduler"]
+
+logger = logging.getLogger("repro.service")
+
+
+class Scheduler:
+    """Dispatch queued job records onto executor worker threads."""
+
+    def __init__(
+        self,
+        queue: BoundedJobQueue,
+        store: JobStore,
+        workers: int = 2,
+        cache_dir: Optional[str] = None,
+        seed: Optional[int] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.queue = queue
+        self.store = store
+        self.cache = CanonicalPolyCache(cache_dir) if cache_dir else None
+        self.inflight = SingleFlight(on_shared=self._note_shared)
+        self._seed = seed
+        self._workers = workers
+        self._threads: list = []
+        self._warmed: Set[Tuple[int, int]] = set()
+        self._warm_lock = threading.Lock()
+        # EWMA of job run time, seeding Retry-After hints on 429s. Starts
+        # at a plausible small-field verify latency so the very first
+        # rejection doesn't advertise zero.
+        self._ema_seconds = 0.5
+        self._ema_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        for index in range(self._workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def drain(self, timeout: float = 30.0) -> int:
+        """Close the queue, let workers finish, cancel the leftovers.
+
+        Returns the number of jobs cancelled. Workers exit once the queue
+        is both closed and empty; anything still queued past ``timeout``
+        is pulled out and marked ``cancelled`` so no client poll hangs on
+        a job that will never run.
+        """
+        self.queue.close()
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = deadline - time.monotonic()
+            if remaining > 0:
+                thread.join(remaining)
+        abandoned = self.queue.drain_remaining()
+        for record in abandoned:
+            self.store.finish(
+                record, "cancelled", error="service shut down before the job ran"
+            )
+            metrics.counter_add(metrics.SERVICE_JOBS_CANCELLED, 1)
+        for thread in self._threads:
+            remaining = deadline - time.monotonic()
+            thread.join(max(0.0, remaining))
+        return len(abandoned)
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for thread in self._threads if thread.is_alive())
+
+    # -- GF table prewarm ----------------------------------------------------
+
+    def prewarm(self, fields: Iterable[Tuple[int, Optional[int]]]) -> int:
+        """Build GF tables for ``(k, modulus)`` pairs ahead of traffic.
+
+        Tables are process-global, so one build here serves every worker
+        thread for the daemon's lifetime. Invalid field specs are skipped
+        (the request that names them will fail with a proper error).
+        Returns the number of fields actually warmed.
+        """
+        warmed = 0
+        for k, modulus in fields:
+            try:
+                field = GF2m(int(k), modulus=modulus)
+            except (ValueError, TypeError) as exc:
+                logger.warning("prewarm skipped k=%s: %s", k, exc)
+                continue
+            with self._warm_lock:
+                if (field.k, field.modulus) in self._warmed:
+                    continue
+                self._warmed.add((field.k, field.modulus))
+            logtables.warm(field.k, field.modulus)
+            warmed += 1
+        return warmed
+
+    def warm_for_params(self, params: dict) -> None:
+        """Lazily warm the field a submitted job will compute in."""
+        k = params.get("k")
+        if k is None:
+            return
+        modulus = params.get("modulus")
+        if isinstance(modulus, str):
+            try:
+                modulus = int(modulus, 0)
+            except ValueError:
+                return
+        self.prewarm([(k, modulus)])
+
+    # -- hints ---------------------------------------------------------------
+
+    def retry_after_hint(self) -> int:
+        """Whole seconds a 429'd client should wait: one queue's worth of
+        estimated work per worker, clamped to [1, 120]."""
+        with self._ema_lock:
+            ema = self._ema_seconds
+        estimate = ema * max(1, self.queue.depth()) / self._workers
+        return max(1, min(120, int(estimate + 0.999)))
+
+    # -- internals -----------------------------------------------------------
+
+    def _note_shared(self, key: str) -> None:
+        metrics.counter_add(metrics.SERVICE_SINGLEFLIGHT_SHARED, 1)
+
+    def _observe_seconds(self, seconds: float) -> None:
+        with self._ema_lock:
+            self._ema_seconds = 0.8 * self._ema_seconds + 0.2 * seconds
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                record = self.queue.get(timeout=1.0)
+            except QueueClosed:
+                return
+            if record is None:
+                continue
+            self._run_one(record)
+
+    def _run_one(self, record: JobRecord) -> None:
+        queued_ms = int((time.time() - record.created) * 1000)
+        metrics.counter_add(metrics.SERVICE_QUEUE_WAIT_MS, max(0, queued_ms))
+        if record.deadline is not None and time.monotonic() > record.deadline:
+            self.store.finish(
+                record,
+                "expired",
+                error=f"deadline ({record.timeout}s) passed while queued",
+            )
+            metrics.counter_add(metrics.SERVICE_JOBS_EXPIRED, 1)
+            return
+
+        self.store.mark_running(record)
+        started = time.perf_counter()
+        try:
+            with obs.span(
+                "service_job", id=record.id, kind=record.kind,
+                priority=record.priority,
+            ):
+                if record.kind == "verify":
+                    result = run_verify(
+                        record.params,
+                        cache=self.cache,
+                        seed=self._seed,
+                        inflight=self.inflight,
+                    )
+                elif record.kind == "abstract":
+                    result = run_abstract(
+                        record.params, cache=self.cache, inflight=self.inflight
+                    )
+                else:
+                    raise ValueError(f"unknown job kind {record.kind!r}")
+        except Exception as exc:  # noqa: BLE001 — job faults become records
+            self.store.finish(record, "failed", error=f"{type(exc).__name__}: {exc}")
+            metrics.counter_add(metrics.SERVICE_JOBS_FAILED, 1)
+            logger.warning("job %s failed: %s", record.id, exc)
+        else:
+            result["seconds"] = round(time.perf_counter() - started, 6)
+            self.store.finish(record, "done", result=result)
+            metrics.counter_add(metrics.SERVICE_JOBS_COMPLETED, 1)
+        finally:
+            self._observe_seconds(time.perf_counter() - started)

@@ -1,0 +1,92 @@
+"""In-process single-flight execution groups.
+
+``SingleFlight.do(key, fn)`` guarantees that among concurrent callers
+passing the same ``key``, exactly one (the *leader*) runs ``fn``; the rest
+(*followers*) block until the leader finishes and then share its return
+value — or its exception. Once no call for a key is in flight the next
+caller leads again, so the group deduplicates only *concurrent* work;
+cross-request memoization stays the cache's job.
+
+This is the service's answer to the thundering-herd shape of verification
+traffic: N clients submitting the same circuit pair within one abstraction
+latency should cost one abstraction, not N. The disk cache's per-key
+``flock`` already serializes *processes*; this group serializes *threads*
+in the daemon without touching the filesystem, and works even when the
+cache is disabled or degraded (no ``fcntl``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = ["SingleFlight"]
+
+
+class _Call:
+    """One in-flight computation: a latch plus its eventual outcome."""
+
+    __slots__ = ("done", "value", "error", "followers")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self.followers = 0
+
+
+class SingleFlight:
+    """Deduplicate concurrent calls by key (Go ``singleflight`` style).
+
+    ``on_shared`` is invoked (with the key) every time a follower shares a
+    leader's result — the service wires it to the
+    ``service.singleflight_shared`` metric so dedup is visible in
+    ``/metrics``.
+    """
+
+    def __init__(self, on_shared: Optional[Callable[[str], None]] = None):
+        self._lock = threading.Lock()
+        self._calls: Dict[str, _Call] = {}
+        self._on_shared = on_shared
+
+    def do(self, key: str, fn: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Run ``fn`` once per concurrent ``key``; returns ``(value, shared)``.
+
+        ``shared`` is True when this caller waited on a peer's computation
+        instead of running ``fn`` itself. If the leader raised, every
+        follower re-raises the same exception; the key is forgotten either
+        way, so a later retry computes afresh.
+        """
+        with self._lock:
+            call = self._calls.get(key)
+            if call is None:
+                call = _Call()
+                self._calls[key] = call
+                leader = True
+            else:
+                call.followers += 1
+                leader = False
+
+        if not leader:
+            call.done.wait()
+            if self._on_shared is not None:
+                self._on_shared(key)
+            if call.error is not None:
+                raise call.error
+            return call.value, True
+
+        try:
+            call.value = fn()
+        except BaseException as exc:
+            call.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._calls.pop(key, None)
+            call.done.set()
+        return call.value, False
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed (for introspection)."""
+        with self._lock:
+            return len(self._calls)

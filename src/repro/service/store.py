@@ -1,0 +1,216 @@
+"""Job records and the in-memory job store of the verification service.
+
+A :class:`JobRecord` is the unit the HTTP API reasons about: submitted via
+``POST /v1/verify`` / ``POST /v1/abstract``, queued, executed, and then
+polled at ``GET /v1/jobs/{id}``. The :class:`JobStore` keeps them under one
+condition variable so status transitions are atomic and clients can
+long-poll (``?wait=``) without burning requests.
+
+The store also owns the *request-level* single-flight index: an in-flight
+(queued or running) job is findable by its content-addressed request key,
+so an identical submission coalesces onto the existing job instead of
+queueing a duplicate. Terminal jobs leave the index immediately — repeat
+requests after completion run again (and hit the polynomial cache instead).
+
+Memory is bounded: terminal records beyond ``retain`` are evicted oldest
+first, after which their ids answer 404. A daemon serving millions of
+requests holds a window of recent history, not all of it.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional
+
+__all__ = ["JobRecord", "JobStore", "TERMINAL_STATUSES"]
+
+TERMINAL_STATUSES = ("done", "failed", "expired", "cancelled")
+
+
+def _new_job_id() -> str:
+    return os.urandom(8).hex()
+
+
+@dataclass
+class JobRecord:
+    """One verification/abstraction request through its lifecycle."""
+
+    kind: str  # "verify" | "abstract"
+    params: Dict  # executor-schema params (netlists inline as *_text)
+    request_key: str
+    priority: int = 5
+    timeout: Optional[float] = None  # completion deadline, seconds from submit
+    id: str = dataclass_field(default_factory=_new_job_id)
+    status: str = "queued"
+    created: float = dataclass_field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    result: Optional[Dict] = None
+    error: Optional[str] = None
+    coalesced: int = 0  # duplicate submissions served by this job
+    # Monotonic deadline used internally; wall-clock fields are reporting.
+    deadline: Optional[float] = dataclass_field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.deadline is None:
+            self.deadline = time.monotonic() + float(self.timeout)
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    def to_json(self) -> Dict:
+        """Public wire form: everything but the (possibly large) netlists."""
+        public_params = {
+            k: v for k, v in self.params.items() if not k.endswith("_text")
+        }
+        doc: Dict = {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "priority": self.priority,
+            "params": public_params,
+            "created": self.created,
+            "coalesced": self.coalesced,
+        }
+        if self.timeout is not None:
+            doc["timeout"] = self.timeout
+        if self.started is not None:
+            doc["started"] = self.started
+            doc["queue_seconds"] = round(self.started - self.created, 6)
+        if self.finished is not None:
+            doc["finished"] = self.finished
+            reference = self.started if self.started is not None else self.created
+            doc["run_seconds"] = round(self.finished - reference, 6)
+        if self.result is not None:
+            doc["result"] = self.result
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+class JobStore:
+    """Thread-safe registry of job records with long-poll support."""
+
+    def __init__(self, retain: int = 1024):
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        self._retain = retain
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._jobs: "Dict[str, JobRecord]" = {}  # insertion-ordered
+        self._inflight_by_key: Dict[str, str] = {}
+
+    # -- admission -----------------------------------------------------------
+
+    def add(self, record: JobRecord) -> None:
+        with self._lock:
+            self._jobs[record.id] = record
+            self._inflight_by_key[record.request_key] = record.id
+            self._evict_locked()
+
+    def find_inflight(self, request_key: str) -> Optional[JobRecord]:
+        """The non-terminal job for ``request_key``, if one exists."""
+        with self._lock:
+            job_id = self._inflight_by_key.get(request_key)
+            if job_id is None:
+                return None
+            record = self._jobs.get(job_id)
+            if record is None or record.terminal:
+                self._inflight_by_key.pop(request_key, None)
+                return None
+            return record
+
+    def note_coalesced(self, record: JobRecord) -> None:
+        with self._changed:
+            record.coalesced += 1
+
+    def remove(self, job_id: str) -> None:
+        """Forget a record that never made it into the queue (429 path)."""
+        with self._lock:
+            record = self._jobs.pop(job_id, None)
+            if (
+                record is not None
+                and self._inflight_by_key.get(record.request_key) == record.id
+            ):
+                del self._inflight_by_key[record.request_key]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def mark_running(self, record: JobRecord) -> None:
+        with self._changed:
+            record.status = "running"
+            record.started = time.time()
+            self._changed.notify_all()
+
+    def finish(
+        self,
+        record: JobRecord,
+        status: str,
+        result: Optional[Dict] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        if status not in TERMINAL_STATUSES:
+            raise ValueError(f"not a terminal status: {status!r}")
+        with self._changed:
+            record.status = status
+            record.finished = time.time()
+            record.result = result
+            record.error = error
+            # Drop the big request bodies as soon as the job is over — a
+            # retained record costs a summary, not two netlists.
+            record.params = {
+                k: v for k, v in record.params.items() if not k.endswith("_text")
+            }
+            if self._inflight_by_key.get(record.request_key) == record.id:
+                del self._inflight_by_key[record.request_key]
+            self._evict_locked()
+            self._changed.notify_all()
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job_id: str, timeout: float) -> Optional[JobRecord]:
+        """Long-poll: return the record once terminal, or at the timeout.
+
+        None means the id is unknown (or was evicted mid-wait).
+        """
+        deadline = time.monotonic() + timeout
+        with self._changed:
+            while True:
+                record = self._jobs.get(job_id)
+                if record is None or record.terminal:
+                    return record
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return record
+                self._changed.wait(remaining)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for record in self._jobs.values():
+                counts[record.status] = counts.get(record.status, 0) + 1
+            return counts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    # -- internals -----------------------------------------------------------
+
+    def _evict_locked(self) -> None:
+        terminal: List[str] = [
+            job_id
+            for job_id, record in self._jobs.items()
+            if record.terminal
+        ]
+        excess = len(terminal) - self._retain
+        for job_id in terminal[:max(0, excess)]:
+            del self._jobs[job_id]

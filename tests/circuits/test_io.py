@@ -1,0 +1,47 @@
+"""Format-sniffing netlist entry points: paths and in-memory text."""
+
+import pytest
+
+from repro.circuits import (
+    CircuitError,
+    read_netlist,
+    read_netlist_text,
+    to_blif,
+    to_verilog,
+)
+
+from .test_circuit import two_bit_multiplier
+
+
+class TestReadNetlistText:
+    """``read_netlist_text`` is the wire-format entry point: the service
+    streams netlist bodies over HTTP, so parsing must work without a
+    filesystem path."""
+
+    def test_verilog_text_round_trips(self):
+        circuit = two_bit_multiplier()
+        parsed = read_netlist_text(to_verilog(circuit))
+        assert parsed.inputs == circuit.inputs
+        assert parsed.outputs == circuit.outputs
+        assert parsed.num_gates() == circuit.num_gates()
+        assert parsed.input_words == circuit.input_words
+
+    def test_blif_text_round_trips(self):
+        circuit = two_bit_multiplier()
+        parsed = read_netlist_text(to_blif(circuit))
+        assert parsed.inputs == circuit.inputs
+        assert parsed.outputs == circuit.outputs
+
+    def test_unrecognised_text_is_a_circuit_error(self):
+        with pytest.raises(CircuitError) as excinfo:
+            read_netlist_text("this is not a netlist\n", name="req-body")
+        assert "req-body" in str(excinfo.value)
+
+    def test_matches_path_based_reader(self, tmp_path):
+        circuit = two_bit_multiplier()
+        path = tmp_path / "c.v"
+        path.write_text(to_verilog(circuit))
+        from_path = read_netlist(str(path))
+        from_text = read_netlist_text(path.read_text())
+        assert from_path.gates == from_text.gates
+        assert from_path.output_words == from_text.output_words

@@ -23,8 +23,13 @@ from repro.verify import verify_equivalence
 
 @pytest.fixture
 def force_parallel(monkeypatch):
-    """Drop the gate-count threshold so tiny circuits take the pool path."""
+    """Drop the gate-count threshold so tiny circuits take the pool path.
+
+    Also overrides the single-CPU serial clamp — these tests exercise the
+    pool machinery itself and must engage it even on one-CPU hosts.
+    """
     monkeypatch.setenv("REPRO_PARALLEL_MIN_GATES", "1")
+    monkeypatch.setenv("REPRO_PARALLEL_FORCE", "1")
 
 
 def assert_same_abstraction(serial, parallel):
@@ -117,6 +122,50 @@ class TestCostModel:
         assert _resolve_workers(0) == (os.cpu_count() or 1)
         with pytest.raises(ValueError):
             _resolve_workers(-1)
+
+    def test_single_cpu_host_stays_serial(self, monkeypatch):
+        # On a one-CPU box the pool's fork cost buys no parallelism (the
+        # BENCH_parallel sweep measured it ~6x slower than serial), so an
+        # explicit jobs=4 must quietly stay serial there.
+        import os
+
+        from repro.core import abstraction
+
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_GATES", "1")
+        monkeypatch.delenv("REPRO_PARALLEL_FORCE", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        field = GF2m(4)
+        circuit = mastrovito_multiplier(field)
+        serial = extract_canonical(circuit, field)
+        result = extract_canonical(circuit, field, jobs=4)
+        assert result.stats.jobs == 0
+        assert result.polynomial.terms == serial.polynomial.terms
+        # The escape hatch still engages the pool for tests and honest
+        # single-CPU benchmark sweeps.
+        monkeypatch.setenv("REPRO_PARALLEL_FORCE", "1")
+        forced = extract_canonical(circuit, field, jobs=2)
+        assert forced.stats.jobs == 2
+        assert forced.polynomial.terms == serial.polynomial.terms
+
+    def test_jobs_zero_on_single_cpu_skips_pool(self, monkeypatch):
+        # jobs=0 ("one worker per CPU") resolves to a single worker on a
+        # one-CPU host; no pool may be created for it even when forced.
+        import os
+
+        from repro.core import abstraction
+
+        monkeypatch.setenv("REPRO_PARALLEL_MIN_GATES", "1")
+        monkeypatch.setenv("REPRO_PARALLEL_FORCE", "1")
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+
+        def explode(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool path engaged for one effective worker")
+
+        monkeypatch.setattr(abstraction, "_extract_parallel", explode)
+        field = GF2m(4)
+        circuit = mastrovito_multiplier(field)
+        result = extract_canonical(circuit, field, jobs=0)
+        assert result.stats.jobs == 0
 
     def test_daemonic_process_stays_serial(self, force_parallel):
         # Batch-runner job workers are daemonic, and daemonic processes

@@ -8,9 +8,11 @@ from repro.circuits import read_verilog, write_verilog
 from repro.circuits.mutate import substitute_gate_type
 from repro.core import abstract_circuit
 from repro.gf import GF2m
+import repro.jobs.cache as cache_module
 from repro.jobs import (
     CanonicalPolyCache,
     canonical_cache_key,
+    locking_available,
     normalize_circuit_text,
     polynomial_payload,
     rehydrate_polynomial,
@@ -133,3 +135,134 @@ class TestCacheStore:
         path.parent.mkdir(parents=True)
         path.write_text("{not json")
         assert cache.get(key) is None
+
+    def test_locked_mode_creates_lock_files(self, circuit, field, tmp_path):
+        assert locking_available()  # POSIX box: fcntl must be present
+        cache = CanonicalPolyCache(tmp_path / "cache")
+        key = canonical_cache_key(circuit, field)
+        cache.get_or_compute(key, lambda: {"terms": []})
+        assert (cache.locks / f"{key}.lock").exists()
+
+
+class TestDegradedLockFreeMode:
+    """The cache without ``fcntl`` (exotic platforms): weaker but correct.
+
+    Exactly-once becomes at-least-once for concurrent racers, but every
+    caller must still get a correct value, reads must never be torn, and
+    no lock files may be created.
+    """
+
+    @pytest.fixture()
+    def degraded(self, monkeypatch):
+        monkeypatch.setattr(cache_module, "fcntl", None)
+        assert not locking_available()
+
+    def test_miss_then_hit_still_works(self, degraded, circuit, field, tmp_path):
+        cache = CanonicalPolyCache(tmp_path / "cache")
+        key = canonical_cache_key(circuit, field)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return polynomial_payload(abstract_circuit(circuit, field))
+
+        payload1, hit1 = cache.get_or_compute(key, compute)
+        payload2, hit2 = cache.get_or_compute(key, compute)
+        assert (hit1, hit2) == (False, True)
+        assert len(calls) == 1
+        assert payload1["terms"] == payload2["terms"]
+
+    def test_no_lock_files_are_created(self, degraded, circuit, field, tmp_path):
+        cache = CanonicalPolyCache(tmp_path / "cache")
+        cache.get_or_compute(
+            canonical_cache_key(circuit, field), lambda: {"terms": []}
+        )
+        cache.record(hits=1)
+        assert not cache.locks.exists()
+        assert not (cache.root / "stats.lock").exists()
+
+    def test_concurrent_racers_compute_at_least_once_consistently(
+        self, degraded, tmp_path
+    ):
+        """Racing threads may each compute, but all reads are complete docs."""
+        import threading
+
+        cache = CanonicalPolyCache(tmp_path / "cache")
+        key = "0" * 64
+        barrier = threading.Barrier(4, timeout=10.0)
+        calls = []
+        results = []
+        errors = []
+
+        def compute():
+            calls.append(threading.get_ident())
+            return {"terms": [[[["A", 1]], 1]], "payload": "x" * 4096}
+
+        def racer():
+            try:
+                barrier.wait()
+                payload, _hit = cache.get_or_compute(key, compute)
+                results.append(payload)
+            except Exception as exc:  # pragma: no cover - the failure signal
+                errors.append(exc)
+
+        threads = [threading.Thread(target=racer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+
+        assert not errors
+        assert len(results) == 4
+        assert 1 <= len(calls) <= 4  # at-least-once, not exactly-once
+        # Every caller saw a complete, identical document — atomic rename
+        # publishing means no torn reads even when writers race.
+        for payload in results:
+            assert payload["terms"] == [[[["A", 1]], 1]]
+            assert payload["payload"] == "x" * 4096
+        final, hit = cache.get_or_compute(key, compute)
+        assert hit is True
+        assert final["terms"] == [[[["A", 1]], 1]]
+
+    def test_stats_counters_still_accumulate(self, degraded, tmp_path):
+        cache = CanonicalPolyCache(tmp_path / "cache")
+        cache.record(hits=2, misses=1)
+        cache.record(hits=1)
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"]) == (3, 1)
+
+    def test_executor_single_flight_restores_once_only(
+        self, degraded, circuit, field, tmp_path
+    ):
+        """The service's in-process single-flight group compensates for the
+        lost lock: threads racing through ``get_or_compute`` wrapped in
+        ``SingleFlight.do`` compute exactly once even in degraded mode."""
+        import threading
+
+        from repro.service import SingleFlight
+
+        cache = CanonicalPolyCache(tmp_path / "cache")
+        key = "1" * 64
+        group = SingleFlight()
+        barrier = threading.Barrier(4, timeout=10.0)
+        calls = []
+        results = []
+
+        def compute():
+            calls.append(1)
+            return {"terms": []}
+
+        def racer():
+            barrier.wait()
+            (payload, _hit), _shared = group.do(
+                key, lambda: cache.get_or_compute(key, compute)
+            )
+            results.append(payload)
+
+        threads = [threading.Thread(target=racer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert len(calls) == 1  # exactly-once restored in-process
+        assert len(results) == 4

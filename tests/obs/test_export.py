@@ -129,3 +129,40 @@ class TestValidator:
         assert "invalid" in capsys.readouterr().err
         assert schema_main([str(good), str(bad)]) == 1
         assert schema_main([]) == 2
+
+
+class TestPrometheusRendering:
+    def test_counters_and_gauges_with_type_lines(self):
+        snapshot = _sample_snapshot()
+        text = obs.render_prometheus(snapshot)
+        assert "# TYPE repro_division_steps counter" in text
+        assert "repro_division_steps 42" in text
+        assert "# TYPE repro_abstraction_peak_terms gauge" in text
+        assert "repro_abstraction_peak_terms 99" in text
+        assert text.endswith("\n")
+
+    def test_dots_map_to_underscores(self):
+        text = obs.render_prometheus({"counters": {"a.b-c.d": 1}, "gauges": {}})
+        assert "repro_a_b_c_d 1" in text
+
+    def test_extra_gauges_are_appended(self):
+        text = obs.render_prometheus(
+            {"counters": {}, "gauges": {}},
+            extra_gauges={"service.queue_depth": 3, "service.uptime_seconds": 1.5},
+        )
+        assert "repro_service_queue_depth 3" in text
+        assert "repro_service_uptime_seconds 1.5" in text
+
+    def test_integral_floats_render_without_decimal_point(self):
+        text = obs.render_prometheus(
+            {"counters": {}, "gauges": {"g": 4.0}}
+        )
+        assert "repro_g 4\n" in text
+
+    def test_empty_snapshot_renders_empty_exposition(self):
+        assert obs.render_prometheus({}) == "\n"
+
+    def test_spans_are_not_exported(self):
+        snapshot = _sample_snapshot()
+        text = obs.render_prometheus(snapshot)
+        assert "verify" not in text

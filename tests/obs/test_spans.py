@@ -237,3 +237,54 @@ class TestPipelineInstrumentation:
         counters = collector.snapshot()["counters"]
         assert counters.get(metrics.BUCHBERGER_PAIRS_CONSIDERED, 0) > 0
         assert counters.get(metrics.BUCHBERGER_REDUCTIONS, 0) > 0
+
+
+class TestBoundedSpanBuffer:
+    """``max_spans`` keeps long-running daemons from accumulating unbounded
+    span memory: the buffer trims oldest-first and counts what it dropped."""
+
+    def _span(self, index):
+        return {
+            "name": f"s{index}",
+            "id": index,
+            "parent": None,
+            "pid": 1,
+            "tid": 1,
+            "ts": float(index),
+            "dur": 0.1,
+            "tags": {},
+        }
+
+    def test_unbounded_by_default(self):
+        collector = obs.TraceCollector()
+        for index in range(100):
+            collector.add_span(self._span(index))
+        assert len(collector.snapshot()["spans"]) == 100
+        assert collector.spans_dropped == 0
+
+    def test_oldest_spans_trim_first(self):
+        collector = obs.TraceCollector(max_spans=3)
+        for index in range(10):
+            collector.add_span(self._span(index))
+        names = [record["name"] for record in collector.snapshot()["spans"]]
+        assert names == ["s7", "s8", "s9"]
+        assert collector.spans_dropped == 7
+
+    def test_merge_respects_the_bound(self):
+        worker = obs.TraceCollector()
+        for index in range(10):
+            worker.add_span(self._span(index))
+        parent = obs.TraceCollector(max_spans=4)
+        parent.merge(worker.snapshot())
+        snapshot = parent.snapshot()
+        assert len(snapshot["spans"]) == 4
+        assert parent.spans_dropped == 6
+        # Counters still merged in full despite span trimming.
+        assert snapshot["counters"] == {}
+
+    def test_counters_survive_trimming(self):
+        collector = obs.TraceCollector(max_spans=1)
+        collector.counter_add("hits", 5)
+        for index in range(5):
+            collector.add_span(self._span(index))
+        assert collector.snapshot()["counters"]["hits"] == 5

@@ -22,10 +22,12 @@ F256 = GF2m(8)
 def _extract_both(circuit, field, case2="linearized"):
     serial = extract_canonical(circuit, field, case2=case2)
     os.environ["REPRO_PARALLEL_MIN_GATES"] = "1"
+    os.environ["REPRO_PARALLEL_FORCE"] = "1"  # engage the pool on 1-CPU hosts
     try:
         parallel = extract_canonical(circuit, field, case2=case2, jobs=2)
     finally:
         del os.environ["REPRO_PARALLEL_MIN_GATES"]
+        del os.environ["REPRO_PARALLEL_FORCE"]
     assert parallel.stats.jobs == 2, "parallel path did not engage"
     return serial, parallel
 

@@ -1,0 +1,74 @@
+"""Shared fixtures for the verification-service tests.
+
+``service_factory`` boots real :class:`VerificationService` instances on
+ephemeral ports and guarantees they are stopped at teardown — tests never
+leak daemon threads into each other. ``texts`` renders the tiny F_16
+benchmark pair (plus a buggy mutant) as Verilog text, the wire format the
+service actually accepts.
+"""
+
+import pytest
+
+from repro.circuits import write_verilog
+from repro.circuits.mutate import substitute_gate_type
+from repro.gf import GF2m
+from repro.service import ServiceClient, ServiceConfig, VerificationService
+from repro.synth import mastrovito_multiplier, montgomery_multiplier
+
+
+@pytest.fixture(scope="module")
+def texts(tmp_path_factory):
+    """Verilog texts over F_16: spec, equivalent impl, buggy mutant."""
+    tmp_path = tmp_path_factory.mktemp("netlists")
+    field = GF2m(4)
+    spec = mastrovito_multiplier(field)
+    impl = montgomery_multiplier(field).flatten()
+    mutant, _ = substitute_gate_type(impl, impl.gates[0].output)
+
+    def render(circuit, name):
+        path = tmp_path / f"{name}.v"
+        write_verilog(circuit, str(path))
+        return path.read_text()
+
+    return {
+        "spec": render(spec, "spec"),
+        "impl": render(impl, "impl"),
+        "mutant": render(mutant, "mutant"),
+    }
+
+
+@pytest.fixture()
+def service_factory(tmp_path):
+    """Boot services on port 0; every instance is stopped at teardown."""
+    created = []
+
+    def make(**overrides):
+        overrides.setdefault("port", 0)
+        overrides.setdefault("workers", 2)
+        overrides.setdefault("drain_timeout", 5.0)
+        service = VerificationService(ServiceConfig(**overrides))
+        service.start()
+        created.append(service)
+        return service
+
+    yield make
+    for service in created:
+        service.stop()
+
+
+@pytest.fixture()
+def client_for():
+    """Build clients bound to a service's ephemeral address."""
+    clients = []
+
+    def make(service, **kwargs):
+        kwargs.setdefault("timeout", 30.0)
+        kwargs.setdefault("retries", 2)
+        host, port = service.address
+        client = ServiceClient(host=host, port=port, **kwargs)
+        clients.append(client)
+        return client
+
+    yield make
+    for client in clients:
+        client.close()

@@ -1,0 +1,133 @@
+"""Daemon lifecycle as a real OS process: boot, serve, SIGTERM, exit 0.
+
+The same contract the CI ``service-smoke`` job enforces, runnable locally:
+``repro serve`` on an ephemeral port, ``repro submit`` against it (both the
+equivalent pair and a buggy mutant), a clean ``/metrics`` scrape, then
+SIGTERM → graceful drain → exit status 0.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.circuits import write_verilog
+from repro.circuits.mutate import substitute_gate_type
+from repro.gf import GF2m
+from repro.service import ServiceClient
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture()
+def netlists(tmp_path):
+    from repro.synth import mastrovito_multiplier, montgomery_multiplier
+
+    field = GF2m(4)
+    impl = montgomery_multiplier(field).flatten()
+    mutant, _ = substitute_gate_type(impl, impl.gates[0].output)
+    paths = {}
+    for name, circuit in (
+        ("spec", mastrovito_multiplier(field)),
+        ("impl", impl),
+        ("mutant", mutant),
+    ):
+        paths[name] = str(tmp_path / f"{name}.v")
+        write_verilog(circuit, paths[name])
+    return paths
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    """A ``repro serve`` subprocess on an ephemeral port; yields (proc, addr)."""
+    port_file = tmp_path / "daemon.addr"
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--port-file", str(port_file),
+            "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--drain-timeout", "10",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 30.0
+    while not port_file.exists():
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon died during boot: {proc.stderr.read().decode()}"
+            )
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise TimeoutError("daemon never wrote its port file")
+        time.sleep(0.05)
+    address = port_file.read_text().strip()
+    yield proc, address
+    if proc.poll() is None:
+        proc.kill()
+        proc.wait(10)
+
+
+def run_cli(args, timeout=120):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env, capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestDaemonProcess:
+    def test_serve_submit_sigterm_cycle(self, daemon, netlists):
+        proc, address = daemon
+        host, port = address.rsplit(":", 1)
+
+        equivalent = run_cli(
+            ["submit", netlists["spec"], netlists["impl"], "-k", "4",
+             "--host", host, "--port", port]
+        )
+        assert equivalent.returncode == 0, equivalent.stderr
+        assert "EQUIVALENT" in equivalent.stdout
+
+        buggy = run_cli(
+            ["submit", netlists["spec"], netlists["mutant"], "-k", "4",
+             "--host", host, "--port", port]
+        )
+        assert buggy.returncode == 1, buggy.stderr
+        assert "NOT-EQUIVALENT" in buggy.stdout
+
+        client = ServiceClient.from_address(address)
+        try:
+            metrics = client.metrics_text()
+        finally:
+            client.close()
+        assert "repro_service_jobs_completed 2" in metrics
+        assert "repro_service_requests 2" in metrics
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+
+    def test_submit_via_port_file(self, daemon, netlists, tmp_path):
+        proc, address = daemon
+        port_file = tmp_path / "copy.addr"
+        port_file.write_text(address + "\n")
+        result = run_cli(
+            ["submit", netlists["spec"], netlists["impl"], "-k", "4",
+             "--port-file", str(port_file)]
+        )
+        assert result.returncode == 0, result.stderr
+        assert "EQUIVALENT" in result.stdout
+
+    def test_version_flag(self):
+        from repro import __version__
+
+        result = run_cli(["--version"], timeout=60)
+        assert result.returncode == 0
+        assert result.stdout.strip() == f"repro {__version__}"

@@ -1,0 +1,114 @@
+"""Service answers == library answers: real verification through HTTP.
+
+The acceptance contract of the daemon: results served over the wire are
+identical to what ``repro verify`` computes in-process, dedup reduces
+actual abstraction work, and abstraction jobs return the canonical
+polynomial.
+"""
+
+import pytest
+
+from repro.gf import GF2m
+from repro.synth import mastrovito_multiplier
+from repro.verify import verify_equivalence
+from repro.circuits import read_netlist_text
+
+
+class TestVerdictParity:
+    def test_equivalent_pair(self, service_factory, client_for, texts, tmp_path):
+        service = service_factory(cache_dir=str(tmp_path / "cache"))
+        client = client_for(service)
+        doc = client.verify(texts["spec"], texts["impl"], 4, poll_timeout=120.0)
+        assert doc["status"] == "done"
+        assert doc["result"]["verdict"] == "equivalent"
+        assert doc["result"]["counterexample"] is None
+        assert doc["result"]["spec_terms"] >= 1
+
+    def test_buggy_mutant_with_counterexample(
+        self, service_factory, client_for, texts, tmp_path
+    ):
+        service = service_factory(cache_dir=str(tmp_path / "cache"))
+        client = client_for(service)
+        doc = client.verify(texts["spec"], texts["mutant"], 4, poll_timeout=120.0)
+        assert doc["result"]["verdict"] == "not_equivalent"
+        counterexample = doc["result"]["counterexample"]
+        assert counterexample is not None
+
+        # The daemon's verdict agrees with the in-process library call.
+        spec = read_netlist_text(texts["spec"])
+        mutant = read_netlist_text(texts["mutant"])
+        outcome = verify_equivalence(spec, mutant, GF2m(4))
+        assert outcome.status == "not_equivalent"
+
+    def test_abstract_job_returns_polynomial(
+        self, service_factory, client_for, texts
+    ):
+        service = service_factory()
+        client = client_for(service)
+        doc = client.submit_abstract(texts["spec"], 4)
+        final = client.wait_for(doc["id"], timeout=120.0)
+        assert final["status"] == "done"
+        assert "=" in final["result"]["polynomial"]
+        assert final["result"]["terms"] >= 1
+        assert final["result"]["case"] in (1, 2, "1", "2")
+
+
+class TestDedupEconomy:
+    def test_repeat_requests_hit_the_cache(
+        self, service_factory, client_for, texts, tmp_path
+    ):
+        service = service_factory(cache_dir=str(tmp_path / "cache"), workers=1)
+        client = client_for(service)
+        first = client.verify(texts["spec"], texts["impl"], 4, poll_timeout=120.0)
+        assert not first["result"]["spec_cache_hit"]
+        second = client.verify(texts["spec"], texts["impl"], 4, poll_timeout=120.0)
+        assert second["result"]["spec_cache_hit"]
+        assert second["result"]["impl_cache_hit"]
+        assert second["result"]["verdict"] == "equivalent"
+
+    def test_duplicate_heavy_load_computes_fewer_abstractions(
+        self, service_factory, client_for, texts, tmp_path
+    ):
+        """The headline economy: N duplicate requests, far fewer extractions."""
+        service = service_factory(
+            cache_dir=str(tmp_path / "cache"), workers=2, queue_capacity=32
+        )
+        client = client_for(service)
+        submissions = [
+            client.submit_verify(texts["spec"], texts["impl"], 4) for _ in range(6)
+        ]
+        for submission in submissions:
+            final = client.wait_for(submission["id"], timeout=120.0)
+            assert final["status"] == "done"
+            assert final["result"]["verdict"] == "equivalent"
+
+        metrics = {
+            line.split()[0]: float(line.split()[1])
+            for line in service.render_metrics().splitlines()
+            if not line.startswith("#")
+        }
+        assert metrics["repro_service_requests"] >= 6
+        # Two distinct circuits were ever abstracted, no matter how many
+        # requests named them (single-flight while in flight, cache after).
+        assert metrics["repro_abstraction_extractions"] == 2
+        assert metrics["repro_abstraction_extractions"] < metrics[
+            "repro_service_requests"
+        ]
+
+
+class TestPrewarm:
+    def test_prewarm_builds_tables_before_traffic(self, service_factory):
+        from repro.gf import logtables
+
+        builds_before = logtables.table_builds()
+        service_factory(prewarm=[(4, None), (4, None), (8, None)])
+        # Tables for F_16/F_256 may already exist from earlier tests in this
+        # process (the cache is process-global) — prewarm must never *add*
+        # more than the two distinct fields, and must dedup the repeat.
+        assert logtables.table_builds() - builds_before <= 2
+
+    def test_submission_warms_its_field(self, service_factory, client_for, texts):
+        service = service_factory(workers=1)
+        client = client_for(service)
+        client.submit_verify(texts["spec"], texts["impl"], 4)
+        assert (4, GF2m(4).modulus) in service.scheduler._warmed

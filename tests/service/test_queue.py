@@ -1,0 +1,111 @@
+"""Bounded priority queue: rejection, ordering, close-then-drain."""
+
+import threading
+
+import pytest
+
+from repro.service import BoundedJobQueue, QueueClosed, QueueFull
+
+
+class TestAdmission:
+    def test_put_returns_depth_and_tracks_peak(self):
+        queue = BoundedJobQueue(capacity=4)
+        assert queue.put("a") == 1
+        assert queue.put("b") == 2
+        assert queue.get() is not None
+        assert queue.put("c") == 2
+        assert queue.peak_depth == 2
+
+    def test_full_queue_rejects_without_blocking(self):
+        queue = BoundedJobQueue(capacity=2)
+        queue.put("a")
+        queue.put("b")
+        with pytest.raises(QueueFull):
+            queue.put("c")
+        # Rejection did not consume capacity or drop entries.
+        assert queue.depth() == 2
+        assert queue.get() == "a"
+        queue.put("c")  # space freed: admission resumes
+
+    def test_closed_queue_rejects(self):
+        queue = BoundedJobQueue(capacity=2)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put("a")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedJobQueue(capacity=0)
+
+
+class TestOrdering:
+    def test_lower_priority_number_dispatches_first(self):
+        queue = BoundedJobQueue(capacity=8)
+        queue.put("background", priority=9)
+        queue.put("urgent", priority=0)
+        queue.put("normal", priority=5)
+        assert [queue.get(), queue.get(), queue.get()] == [
+            "urgent", "normal", "background",
+        ]
+
+    def test_fifo_within_a_priority_class(self):
+        queue = BoundedJobQueue(capacity=8)
+        for tag in ("first", "second", "third"):
+            queue.put(tag, priority=5)
+        assert [queue.get(), queue.get(), queue.get()] == [
+            "first", "second", "third",
+        ]
+
+
+class TestBlockingGet:
+    def test_get_times_out_with_none(self):
+        queue = BoundedJobQueue(capacity=2)
+        assert queue.get(timeout=0.05) is None
+
+    def test_get_wakes_on_put(self):
+        queue = BoundedJobQueue(capacity=2)
+        results = []
+        thread = threading.Thread(target=lambda: results.append(queue.get(timeout=5.0)))
+        thread.start()
+        queue.put("item")
+        thread.join(5.0)
+        assert results == ["item"]
+
+
+class TestCloseAndDrain:
+    def test_close_lets_getters_drain_then_raises(self):
+        queue = BoundedJobQueue(capacity=4)
+        queue.put("a")
+        queue.put("b")
+        queue.close()
+        assert queue.get() == "a"
+        assert queue.get() == "b"
+        with pytest.raises(QueueClosed):
+            queue.get()
+
+    def test_close_wakes_blocked_getters(self):
+        queue = BoundedJobQueue(capacity=2)
+        outcomes = []
+
+        def worker():
+            try:
+                queue.get(timeout=5.0)
+                outcomes.append("item")
+            except QueueClosed:
+                outcomes.append("closed")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        queue.close()
+        thread.join(5.0)
+        assert outcomes == ["closed"]
+
+    def test_drain_remaining_returns_priority_order_and_empties(self):
+        queue = BoundedJobQueue(capacity=8)
+        queue.put("low", priority=8)
+        queue.put("high", priority=1)
+        queue.put("mid", priority=5)
+        queue.close()
+        assert queue.drain_remaining() == ["high", "mid", "low"]
+        assert queue.depth() == 0
+        assert queue.drain_remaining() == []

@@ -1,0 +1,296 @@
+"""HTTP front end: routing, validation, backpressure, dedup, drain.
+
+The executor bodies are monkeypatched (``repro.service.scheduler.run_verify``)
+so queue/backpressure timing is deterministic — jobs block on an Event the
+test controls. Real end-to-end verification runs in ``test_end_to_end.py``.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+import repro.service.scheduler as scheduler_module
+from repro import __version__
+from repro.service import ServiceError
+
+
+@pytest.fixture()
+def blocked_jobs(monkeypatch):
+    """Make every verify job block until the test releases it."""
+    release = threading.Event()
+    running = threading.Event()
+
+    def fake_run_verify(params, cache=None, counters=None, seed=None, inflight=None):
+        running.set()
+        if not release.wait(10.0):
+            raise TimeoutError("test never released the job")
+        return {"verdict": "equivalent", "counterexample": None}
+
+    monkeypatch.setattr(scheduler_module, "run_verify", fake_run_verify)
+    yield {"release": release, "running": running}
+    release.set()  # never leave worker threads parked at teardown
+
+
+def submit_body(texts, tag=""):
+    """A distinct valid submission body per tag (distinct request keys)."""
+    return {
+        "k": 4,
+        "spec_text": texts["spec"] + f"\n// {tag}" if tag else texts["spec"],
+        "impl_text": texts["impl"],
+    }
+
+
+class TestRoutingAndValidation:
+    def test_health_reports_version_and_server_header(
+        self, service_factory, client_for, texts
+    ):
+        service = service_factory()
+        client = client_for(service)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["version"] == __version__
+        assert health["workers"] == 2
+        assert health["accepting"] is True
+
+    def test_server_header_value(self, service_factory, texts):
+        import http.client
+
+        service = service_factory()
+        host, port = service.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            response.read()
+            assert response.getheader("Server") == f"repro/{__version__}"
+        finally:
+            conn.close()
+
+    def test_readyz_flips_when_draining(self, service_factory, client_for):
+        service = service_factory()
+        client = client_for(service)
+        status, _, body = client._once("GET", "/readyz", None)
+        assert (status, body.strip()) == (200, b"ready")
+        service._accepting = False
+        status, _, body = client._once("GET", "/readyz", None)
+        assert (status, body.strip()) == (503, b"draining")
+
+    def test_unknown_endpoint_404(self, service_factory, client_for):
+        client = client_for(service_factory())
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("GET", "/v2/nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_404(self, service_factory, client_for):
+        client = client_for(service_factory())
+        with pytest.raises(ServiceError) as excinfo:
+            client.get_job("no-such-job")
+        assert excinfo.value.status == 404
+
+    @pytest.mark.parametrize(
+        "mutation, expected_fragment",
+        [
+            ({"k": None}, "missing required field 'k'"),
+            ({"k": "four"}, "must be an integer"),
+            ({"spec_text": None}, "missing netlist"),
+            ({"priority": 99}, "priority must be in"),
+            ({"timeout": -1}, "timeout must be > 0"),
+        ],
+    )
+    def test_invalid_submissions_are_400(
+        self, service_factory, client_for, texts, mutation, expected_fragment
+    ):
+        client = client_for(service_factory())
+        body = submit_body(texts)
+        body.update(mutation)
+        body = {key: value for key, value in body.items() if value is not None}
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/v1/verify", body)
+        assert excinfo.value.status == 400
+        assert expected_fragment in str(excinfo.value)
+
+    def test_oversized_body_is_413(self, service_factory, client_for, texts):
+        service = service_factory(max_request_bytes=128)
+        client = client_for(service)
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/v1/verify", submit_body(texts))
+        assert excinfo.value.status == 413
+
+    def test_invalid_json_body_is_400(self, service_factory):
+        import http.client
+
+        host, port = service_factory().address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/v1/verify", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert b"invalid JSON" in response.read()
+        finally:
+            conn.close()
+
+
+class TestBackpressure:
+    def test_full_queue_429_with_retry_after(
+        self, service_factory, client_for, texts, blocked_jobs
+    ):
+        service = service_factory(workers=1, queue_capacity=1)
+        client = client_for(service, retries=0)
+        # First job occupies the worker...
+        client.request("POST", "/v1/verify", submit_body(texts, "a"))
+        assert blocked_jobs["running"].wait(5.0)
+        # ...second fills the queue...
+        client.request("POST", "/v1/verify", submit_body(texts, "b"))
+        # ...third must be rejected, with a Retry-After hint.
+        status, retry_after, data = client._once(
+            "POST", "/v1/verify", submit_body(texts, "c")
+        )
+        assert status == 429
+        assert int(retry_after) >= 1
+        assert "queue is full" in json.loads(data)["error"]
+        metrics = service.render_metrics()
+        assert "repro_service_requests_rejected 1" in metrics
+
+    def test_queue_drains_and_accepts_again(
+        self, service_factory, client_for, texts, blocked_jobs
+    ):
+        service = service_factory(workers=1, queue_capacity=1)
+        client = client_for(service, retries=0)
+        first = client.request("POST", "/v1/verify", submit_body(texts, "a"))
+        assert blocked_jobs["running"].wait(5.0)
+        second = client.request("POST", "/v1/verify", submit_body(texts, "b"))
+        blocked_jobs["release"].set()
+        for doc in (first, second):
+            final = client.wait_for(doc["id"], timeout=10.0)
+            assert final["status"] == "done"
+            assert final["result"]["verdict"] == "equivalent"
+        # Capacity is free again.
+        third = client.request("POST", "/v1/verify", submit_body(texts, "c"))
+        assert client.wait_for(third["id"], timeout=10.0)["status"] == "done"
+
+
+class TestRequestDedup:
+    def test_identical_inflight_submissions_coalesce(
+        self, service_factory, client_for, texts, blocked_jobs
+    ):
+        service = service_factory(workers=1, queue_capacity=4)
+        client = client_for(service)
+        first = client.request("POST", "/v1/verify", submit_body(texts))
+        assert blocked_jobs["running"].wait(5.0)
+        second = client.request("POST", "/v1/verify", submit_body(texts))
+        assert second["id"] == first["id"]
+        assert second.get("coalesced") is True
+        blocked_jobs["release"].set()
+        final = client.wait_for(first["id"], timeout=10.0)
+        assert final["coalesced"] == 1
+        assert "repro_service_requests_deduplicated 1" in service.render_metrics()
+
+    def test_different_work_is_not_coalesced(
+        self, service_factory, client_for, texts, blocked_jobs
+    ):
+        service = service_factory(workers=1, queue_capacity=4)
+        client = client_for(service)
+        first = client.request("POST", "/v1/verify", submit_body(texts, "a"))
+        assert blocked_jobs["running"].wait(5.0)
+        second = client.request("POST", "/v1/verify", submit_body(texts, "b"))
+        assert second["id"] != first["id"]
+        assert not second.get("coalesced")
+
+    def test_priority_is_cosmetic_for_dedup(
+        self, service_factory, client_for, texts, blocked_jobs
+    ):
+        service = service_factory(workers=1, queue_capacity=4)
+        client = client_for(service)
+        body = submit_body(texts)
+        first = client.request("POST", "/v1/verify", {**body, "priority": 5})
+        assert blocked_jobs["running"].wait(5.0)
+        second = client.request("POST", "/v1/verify", {**body, "priority": 1})
+        assert second["id"] == first["id"]
+
+
+class TestDeadlines:
+    def test_job_expired_while_queued(
+        self, service_factory, client_for, texts, blocked_jobs
+    ):
+        service = service_factory(workers=1, queue_capacity=4)
+        client = client_for(service)
+        client.request("POST", "/v1/verify", submit_body(texts, "blocker"))
+        assert blocked_jobs["running"].wait(5.0)
+        doomed = client.request(
+            "POST", "/v1/verify", {**submit_body(texts, "doomed"), "timeout": 0.05}
+        )
+        time.sleep(0.2)  # let the deadline lapse while queued
+        blocked_jobs["release"].set()
+        final = client.wait_for(doomed["id"], timeout=10.0)
+        assert final["status"] == "expired"
+        assert "deadline" in final["error"]
+        assert "repro_service_jobs_expired 1" in service.render_metrics()
+
+
+class TestFailures:
+    def test_job_exception_becomes_failed_record(
+        self, service_factory, client_for, texts, monkeypatch
+    ):
+        def explode(params, cache=None, counters=None, seed=None, inflight=None):
+            raise RuntimeError("abstraction exploded")
+
+        monkeypatch.setattr(scheduler_module, "run_verify", explode)
+        service = service_factory(workers=1)
+        client = client_for(service)
+        doc = client.request("POST", "/v1/verify", submit_body(texts))
+        final = client.wait_for(doc["id"], timeout=10.0)
+        assert final["status"] == "failed"
+        assert "abstraction exploded" in final["error"]
+        assert "repro_service_jobs_failed 1" in service.render_metrics()
+
+
+class TestDrain:
+    def test_drain_cancels_what_cannot_finish(
+        self, service_factory, client_for, texts, blocked_jobs
+    ):
+        service = service_factory(workers=1, queue_capacity=4, drain_timeout=0.3)
+        client = client_for(service, retries=0)
+        running = client.request("POST", "/v1/verify", submit_body(texts, "a"))
+        assert blocked_jobs["running"].wait(5.0)
+        queued = client.request("POST", "/v1/verify", submit_body(texts, "b"))
+
+        stopper = threading.Thread(target=service.stop)
+        stopper.start()
+        stopper.join(10.0)
+        assert not stopper.is_alive()
+
+        record = service.store.get(queued["id"])
+        assert record.status == "cancelled"
+        blocked_jobs["release"].set()
+
+    def test_draining_service_rejects_submissions(
+        self, service_factory, client_for, texts
+    ):
+        service = service_factory()
+        client = client_for(service, retries=0)
+        service._accepting = False
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/v1/verify", submit_body(texts))
+        assert excinfo.value.status == 503
+
+    def test_stop_is_idempotent(self, service_factory):
+        service = service_factory()
+        assert service.stop() == 0
+        assert service.stop() == 0
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_scrape_shape(self, service_factory, client_for):
+        service = service_factory()
+        client = client_for(service)
+        text = client.metrics_text()
+        assert "# TYPE repro_service_queue_depth gauge" in text
+        assert "repro_service_queue_capacity 64" in text
+        assert "repro_service_workers_alive 2" in text
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line

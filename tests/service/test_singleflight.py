@@ -1,0 +1,135 @@
+"""Single-flight group: one computation per concurrent key, shared faults."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import SingleFlight
+
+
+class TestSingleFlight:
+    def test_sequential_calls_each_compute(self):
+        group = SingleFlight()
+        calls = []
+        value1, shared1 = group.do("k", lambda: calls.append(1) or "a")
+        value2, shared2 = group.do("k", lambda: calls.append(1) or "b")
+        assert (value1, shared1) == ("a", False)
+        assert (value2, shared2) == ("b", False)
+        assert len(calls) == 2  # nothing in flight between them: no dedup
+
+    def test_concurrent_callers_share_one_computation(self):
+        group = SingleFlight()
+        release = threading.Event()
+        started = threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(threading.get_ident())
+            started.set()
+            release.wait(5.0)
+            return "result"
+
+        results = []
+
+        def worker():
+            results.append(group.do("key", compute))
+
+        leader = threading.Thread(target=worker)
+        leader.start()
+        assert started.wait(5.0)
+        followers = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in followers:
+            thread.start()
+        # Followers must be parked on the leader's latch, not computing.
+        time.sleep(0.05)
+        assert len(calls) == 1
+        assert group.in_flight() == 1
+        release.set()
+        leader.join(5.0)
+        for thread in followers:
+            thread.join(5.0)
+
+        assert len(calls) == 1
+        assert sorted(shared for _, shared in results) == [False, True, True, True, True]
+        assert all(value == "result" for value, _ in results)
+        assert group.in_flight() == 0
+
+    def test_followers_inherit_the_leaders_exception(self):
+        group = SingleFlight()
+        release = threading.Event()
+        started = threading.Event()
+
+        def explode():
+            started.set()
+            release.wait(5.0)
+            raise ValueError("leader failed")
+
+        errors = []
+
+        def worker():
+            try:
+                group.do("key", explode)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        threads[0].start()
+        assert started.wait(5.0)
+        for thread in threads[1:]:
+            thread.start()
+        time.sleep(0.05)
+        release.set()
+        for thread in threads:
+            thread.join(5.0)
+        assert errors == ["leader failed"] * 3
+        # The failed key is forgotten: a retry computes afresh.
+        value, shared = group.do("key", lambda: "recovered")
+        assert (value, shared) == ("recovered", False)
+
+    def test_distinct_keys_do_not_serialize(self):
+        group = SingleFlight()
+        barrier = threading.Barrier(2, timeout=5.0)
+        results = []
+
+        def compute(tag):
+            barrier.wait()  # both keys must be in flight simultaneously
+            return tag
+
+        threads = [
+            threading.Thread(
+                target=lambda t=tag: results.append(group.do(t, lambda: compute(t)))
+            )
+            for tag in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5.0)
+        assert sorted(value for value, _ in results) == ["a", "b"]
+        assert all(not shared for _, shared in results)
+
+    def test_on_shared_callback_fires_per_follower(self):
+        seen = []
+        group = SingleFlight(on_shared=seen.append)
+        release = threading.Event()
+        started = threading.Event()
+
+        def compute():
+            started.set()
+            release.wait(5.0)
+            return 1
+
+        threads = [
+            threading.Thread(target=lambda: group.do("key", compute))
+            for _ in range(3)
+        ]
+        threads[0].start()
+        assert started.wait(5.0)
+        for thread in threads[1:]:
+            thread.start()
+        time.sleep(0.05)
+        release.set()
+        for thread in threads:
+            thread.join(5.0)
+        assert seen == ["key", "key"]

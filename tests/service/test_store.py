@@ -1,0 +1,157 @@
+"""Job store: lifecycle, request-key dedup index, retention, long-poll."""
+
+import threading
+
+import pytest
+
+from repro.service import JobRecord, JobStore
+
+
+def record_for(key="key", **kwargs):
+    kwargs.setdefault("kind", "verify")
+    kwargs.setdefault("params", {"k": 4, "spec_text": "...", "impl_text": "..."})
+    return JobRecord(request_key=key, **kwargs)
+
+
+class TestLifecycle:
+    def test_status_progression_and_timestamps(self):
+        store = JobStore()
+        record = record_for()
+        store.add(record)
+        assert record.status == "queued"
+        store.mark_running(record)
+        assert record.status == "running"
+        assert record.started is not None
+        store.finish(record, "done", result={"verdict": "equivalent"})
+        assert record.terminal
+        doc = record.to_json()
+        assert doc["status"] == "done"
+        assert doc["result"] == {"verdict": "equivalent"}
+        assert doc["queue_seconds"] >= 0
+        assert doc["run_seconds"] >= 0
+
+    def test_finish_requires_terminal_status(self):
+        store = JobStore()
+        record = record_for()
+        store.add(record)
+        with pytest.raises(ValueError):
+            store.finish(record, "running")
+
+    def test_finish_drops_netlist_bodies(self):
+        store = JobStore()
+        record = record_for()
+        store.add(record)
+        store.finish(record, "done", result={})
+        assert "spec_text" not in record.params
+        assert record.params["k"] == 4
+
+    def test_wire_form_never_leaks_netlist_bodies(self):
+        record = record_for()
+        assert "spec_text" not in record.to_json()["params"]
+
+
+class TestDedupIndex:
+    def test_inflight_job_found_by_request_key(self):
+        store = JobStore()
+        record = record_for("abc")
+        store.add(record)
+        assert store.find_inflight("abc") is record
+        store.mark_running(record)
+        assert store.find_inflight("abc") is record
+
+    def test_terminal_job_leaves_the_index(self):
+        store = JobStore()
+        record = record_for("abc")
+        store.add(record)
+        store.finish(record, "done", result={})
+        assert store.find_inflight("abc") is None
+
+    def test_coalesced_counter(self):
+        store = JobStore()
+        record = record_for()
+        store.add(record)
+        store.note_coalesced(record)
+        store.note_coalesced(record)
+        assert record.to_json()["coalesced"] == 2
+
+    def test_remove_forgets_record_and_index(self):
+        store = JobStore()
+        record = record_for("abc")
+        store.add(record)
+        store.remove(record.id)
+        assert store.get(record.id) is None
+        assert store.find_inflight("abc") is None
+
+    def test_resubmitted_key_rebinds_to_the_new_job(self):
+        store = JobStore()
+        first = record_for("abc")
+        store.add(first)
+        store.finish(first, "done", result={})
+        second = record_for("abc")
+        store.add(second)
+        assert store.find_inflight("abc") is second
+
+
+class TestRetention:
+    def test_terminal_records_evict_oldest_first(self):
+        store = JobStore(retain=2)
+        records = [record_for(f"k{i}") for i in range(4)]
+        for record in records:
+            store.add(record)
+            store.finish(record, "done", result={})
+        assert store.get(records[0].id) is None
+        assert store.get(records[1].id) is None
+        assert store.get(records[2].id) is not None
+        assert store.get(records[3].id) is not None
+
+    def test_live_records_are_never_evicted(self):
+        store = JobStore(retain=1)
+        live = [record_for(f"live{i}") for i in range(5)]
+        for record in live:
+            store.add(record)
+        done = record_for("done")
+        store.add(done)
+        store.finish(done, "done", result={})
+        assert all(store.get(record.id) is not None for record in live)
+        assert len(store) == 6
+
+
+class TestWait:
+    def test_wait_returns_immediately_when_terminal(self):
+        store = JobStore()
+        record = record_for()
+        store.add(record)
+        store.finish(record, "failed", error="boom")
+        assert store.wait(record.id, timeout=5.0) is record
+
+    def test_wait_times_out_on_a_running_job(self):
+        store = JobStore()
+        record = record_for()
+        store.add(record)
+        result = store.wait(record.id, timeout=0.05)
+        assert result is record
+        assert not result.terminal
+
+    def test_wait_wakes_on_finish(self):
+        store = JobStore()
+        record = record_for()
+        store.add(record)
+        seen = []
+        thread = threading.Thread(
+            target=lambda: seen.append(store.wait(record.id, timeout=5.0))
+        )
+        thread.start()
+        store.finish(record, "done", result={})
+        thread.join(5.0)
+        assert seen and seen[0].terminal
+
+    def test_wait_unknown_id_returns_none(self):
+        assert JobStore().wait("nope", timeout=0.01) is None
+
+    def test_counts_by_status(self):
+        store = JobStore()
+        a, b = record_for("a"), record_for("b")
+        store.add(a)
+        store.add(b)
+        store.mark_running(a)
+        assert store.counts() == {"running": 1, "queued": 1}
