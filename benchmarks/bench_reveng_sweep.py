@@ -1,0 +1,88 @@
+"""Reverse engineering — polynomial-recovery sweep cost and cache economy.
+
+Measures the ``repro reveng poly`` workload end to end: for each word
+width, a Mastrovito multiplier (built over the standard low-weight
+modulus, but the sweep is *not told* that) is probed against candidate
+irreducibles in (weight, value) order until its canonical polynomial
+collapses to ``Z = A*B``. Three measurements per width:
+
+1. cold sweep — candidate probes against an empty cache,
+2. warm sweep — the identical sweep again; every probe must be a cache
+   hit, so the row quantifies the cache economy an auditor re-running a
+   recovery enjoys,
+3. census (small widths only) — ``all_candidates`` over a bounded
+   candidate budget, confirming the true modulus is the *only* match in
+   that budget.
+
+The reported row is candidates probed, cold/warm wall seconds, the warm
+hit rate, and candidates/second on the cold pass.
+"""
+
+import pytest
+
+from repro.gf import GF2m
+from repro.jobs.cache import CanonicalPolyCache
+from repro.reveng import recover_polynomial
+from repro.synth import mastrovito_multiplier
+
+from .conftest import FAST, report_row
+
+TABLE = "Reveng: P(x) recovery sweep (Mastrovito, modulus withheld)"
+
+SIZES = [8, 16] if FAST else [8, 16, 24, 32]
+
+#: Candidate budget for the full-census row; kept small because a census
+#: pays one abstraction per candidate and exists to show exclusivity, not
+#: throughput.
+CENSUS_LIMIT = 12
+
+
+@pytest.mark.parametrize("k", SIZES)
+def test_reveng_sweep(benchmark, tmp_path, k):
+    field = GF2m(k)
+    circuit = mastrovito_multiplier(field)
+    cache = CanonicalPolyCache(tmp_path / f"cache-{k}")
+
+    cold = recover_polynomial(circuit, cache=cache)
+    assert cold.recovered == field.modulus
+    assert cold.cache_hits == 0
+
+    def warm_sweep():
+        return recover_polynomial(circuit, cache=cache)
+
+    warm = benchmark.pedantic(warm_sweep, rounds=3, iterations=1)
+    assert warm.recovered == field.modulus
+    assert warm.cache_hits == warm.candidates_tried, "warm sweep must be all hits"
+
+    census_matches = None
+    if k <= 16:
+        census = recover_polynomial(
+            circuit, cache=cache, all_candidates=True, limit=CENSUS_LIMIT
+        )
+        census_matches = len(census.matches)
+        assert census.matches == [field.modulus], (
+            "within the census budget only the true modulus may match"
+        )
+
+    benchmark.extra_info["candidates"] = cold.candidates_tried
+    benchmark.extra_info["cold_seconds"] = round(cold.seconds, 4)
+    report_row(
+        TABLE,
+        {
+            "k": k,
+            "candidates": cold.candidates_tried,
+            "cold_s": f"{cold.seconds:.3f}",
+            "warm_s": f"{warm.seconds:.3f}",
+            "warm_hit_rate": f"{warm.cache_hits}/{warm.candidates_tried}",
+            "cold_cand_per_s": (
+                f"{cold.candidates_tried / cold.seconds:.1f}"
+                if cold.seconds > 0
+                else "inf"
+            ),
+            "census_matches": (
+                f"{census_matches}/{CENSUS_LIMIT}"
+                if census_matches is not None
+                else "-"
+            ),
+        },
+    )

@@ -6,6 +6,11 @@ from .gates import GATE_ARITY, Gate, GateType, eval_gate
 from .hierarchy import Block, HierarchicalCircuit
 from .mutate import (
     Mutation,
+    add_dead_gate,
+    demorgan_gate,
+    expand_xor_gate,
+    insert_buffer,
+    insert_inverter_pair,
     random_mutation,
     rewire_gate_input,
     substitute_gate_type,
@@ -30,6 +35,11 @@ __all__ = [
     "swap_gate_inputs",
     "rewire_gate_input",
     "random_mutation",
+    "add_dead_gate",
+    "demorgan_gate",
+    "expand_xor_gate",
+    "insert_buffer",
+    "insert_inverter_pair",
     "simulate",
     "simulate_words",
     "exhaustive_word_table",

@@ -1,10 +1,19 @@
-"""Bug injection for netlists.
+"""Bug injection and semantics-preserving rewrites for netlists.
 
 The paper's Example 5.1 studies abstraction of *buggy* circuits (where the
 Case-2 Gröbner basis computation kicks in). This module injects the classic
 gate-level design-error models: gate-type substitution, input swap, and
 wrong-input (connection) errors. Each mutation returns a fresh circuit plus
 a record of what changed, so experiments can sweep error populations.
+
+A second family of mutators is *semantics-preserving*: De Morgan gate
+re-encodings, XOR expansion, buffer/double-inverter insertion, and dead
+logic — the primitives the reverse-engineering obfuscation suite
+(:mod:`repro.reveng.obfuscate`) layers into whole-netlist transforms. These
+operate **in place** (callers clone first) because obfuscation applies
+hundreds of them per netlist; anything randomized takes an explicit
+``rng``/``seed`` so variant generation is reproducible in CI — none of the
+mutators in this module consults global random state.
 """
 
 from __future__ import annotations
@@ -16,7 +25,18 @@ from typing import List, Optional
 from .circuit import Circuit
 from .gates import Gate, GateType
 
-__all__ = ["Mutation", "substitute_gate_type", "swap_gate_inputs", "rewire_gate_input", "random_mutation"]
+__all__ = [
+    "Mutation",
+    "add_dead_gate",
+    "demorgan_gate",
+    "expand_xor_gate",
+    "insert_buffer",
+    "insert_inverter_pair",
+    "random_mutation",
+    "rewire_gate_input",
+    "substitute_gate_type",
+    "swap_gate_inputs",
+]
 
 #: Gate-type substitution targets that always change the Boolean function.
 _SUBSTITUTIONS = {
@@ -119,3 +139,122 @@ def random_mutation(
     before = circuit.gate_driving(net)
     new_type = rng.choice(_SUBSTITUTIONS[before.gate_type])
     return substitute_gate_type(circuit, net, new_type)
+
+
+# -- semantics-preserving obfuscation primitives (in place) -------------------
+#
+# Each transform leaves the Boolean function of every pre-existing net
+# unchanged; only the gate-level encoding grows. They mutate ``circuit``
+# directly — the obfuscation suite clones once and applies many.
+
+#: De Morgan duals: the gate at a net is replaced by the dual over inverted
+#: inputs plus an output inversion, e.g. ``AND(a, b) == NOT(OR(!a, !b))``.
+_DEMORGAN_DUAL = {
+    GateType.AND: GateType.OR,
+    GateType.OR: GateType.AND,
+    GateType.NAND: GateType.NOR,
+    GateType.NOR: GateType.NAND,
+}
+
+
+def demorgan_gate(circuit: Circuit, net: str) -> bool:
+    """Re-encode the AND/OR/NAND/NOR gate driving ``net`` via De Morgan.
+
+    ``AND(a, b, ...)`` becomes ``NOT(OR(!a, !b, ...))`` (and dually for the
+    other three types); NAND/NOR drop the trailing inversion instead of
+    gaining one. Returns True when the gate was rewritten, False when its
+    type has no De Morgan dual (XOR, NOT, BUF, constants).
+    """
+    gate = circuit.gate_driving(net)
+    dual = _DEMORGAN_DUAL.get(gate.gate_type)
+    if dual is None:
+        return False
+    inverted = [
+        circuit.NOT(source, out=circuit.fresh_net("dm")) for source in gate.inputs
+    ]
+    if gate.gate_type in (GateType.AND, GateType.OR):
+        inner = circuit.add_gate(circuit.fresh_net("dm"), dual, inverted)
+        circuit.replace_gate(net, GateType.NOT, (inner,))
+    else:  # NAND == OR of inverted inputs, NOR == AND of inverted inputs
+        plain = GateType.OR if gate.gate_type is GateType.NAND else GateType.AND
+        circuit.replace_gate(net, plain, inverted)
+    return True
+
+
+def expand_xor_gate(circuit: Circuit, net: str) -> bool:
+    """Re-encode a 2-input XOR/XNOR as AND/OR/NOT logic.
+
+    ``XOR(a, b)`` becomes ``OR(AND(a, !b), AND(!a, b))``; XNOR gains a
+    trailing inversion. Returns False for other gate types and for wider
+    XOR gates (the generators emit 2-input trees).
+    """
+    gate = circuit.gate_driving(net)
+    if gate.gate_type not in (GateType.XOR, GateType.XNOR) or len(gate.inputs) != 2:
+        return False
+    a, b = gate.inputs
+    not_a = circuit.NOT(a, out=circuit.fresh_net("xe"))
+    not_b = circuit.NOT(b, out=circuit.fresh_net("xe"))
+    left = circuit.AND(a, not_b, out=circuit.fresh_net("xe"))
+    right = circuit.AND(not_a, b, out=circuit.fresh_net("xe"))
+    if gate.gate_type is GateType.XOR:
+        circuit.replace_gate(net, GateType.OR, (left, right))
+    else:
+        inner = circuit.OR(left, right, out=circuit.fresh_net("xe"))
+        circuit.replace_gate(net, GateType.NOT, (inner,))
+    return True
+
+
+def insert_buffer(circuit: Circuit, net: str, position: int) -> str:
+    """Interpose a BUF on one input of the gate driving ``net``.
+
+    Returns the new intermediate net. The driven function is unchanged;
+    the netlist grows by one gate.
+    """
+    gate = circuit.gate_driving(net)
+    if not 0 <= position < len(gate.inputs):
+        raise ValueError(f"gate at {net!r} has no input position {position}")
+    hop = circuit.BUF(gate.inputs[position], out=circuit.fresh_net("buf"))
+    inputs = list(gate.inputs)
+    inputs[position] = hop
+    circuit.replace_gate(net, gate.gate_type, inputs)
+    return hop
+
+
+def insert_inverter_pair(circuit: Circuit, net: str, position: int) -> str:
+    """Interpose ``NOT(NOT(...))`` on one input of the gate driving ``net``.
+
+    Returns the second (outer) inverter's net. Two gates are added; the
+    function is unchanged.
+    """
+    gate = circuit.gate_driving(net)
+    if not 0 <= position < len(gate.inputs):
+        raise ValueError(f"gate at {net!r} has no input position {position}")
+    first = circuit.NOT(gate.inputs[position], out=circuit.fresh_net("inv"))
+    second = circuit.NOT(first, out=circuit.fresh_net("inv"))
+    inputs = list(gate.inputs)
+    inputs[position] = second
+    circuit.replace_gate(net, gate.gate_type, inputs)
+    return second
+
+
+def add_dead_gate(
+    circuit: Circuit,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """Add one gate whose output drives nothing (dead logic).
+
+    The gate reads random existing nets, so it looks like live structure to
+    a casual reader but never reaches a primary output. Pass ``rng`` (or
+    ``seed``) for reproducible injection; returns the dead net.
+    """
+    if rng is None:
+        rng = random.Random(seed) if seed is not None else random.Random()
+    sources = circuit.inputs + [gate.output for gate in circuit.gates]
+    gate_type = rng.choice(
+        [GateType.AND, GateType.OR, GateType.XOR, GateType.NAND, GateType.NOR]
+    )
+    picks = (
+        rng.sample(sources, 2) if len(sources) >= 2 else [sources[0], sources[0]]
+    )
+    return circuit.add_gate(circuit.fresh_net("dead"), gate_type, picks)

@@ -10,6 +10,9 @@ Usage (also via ``python -m repro``)::
     repro verify spec.v impl.v -k 16 --trace out.trace.json --metrics
     repro verify spec.v impl.v -k 128 --jobs 4    # cone-sliced parallel path
     repro check-spec impl.v -k 16 --spec "A*B"    # Lv-style membership test
+    repro reveng poly unknown.v                   # recover the field polynomial
+    repro reveng func unknown.v -k 16             # identify the function
+    repro reveng obfuscate spec.v -o obf.v --seed 7 --check
     repro batch manifest.json --jobs 4 --timeout 120 --cache-dir .repro-cache
     repro batch manifest.json --log run.jsonl --trace-dir traces/
     repro report run.jsonl                        # aggregate a batch run log
@@ -241,6 +244,112 @@ def _cmd_check_spec(args: argparse.Namespace) -> int:
     return 0 if outcome.equivalent else 1
 
 
+def _reveng_cache(args: argparse.Namespace):
+    from .jobs import CanonicalPolyCache, default_cache_dir
+
+    if getattr(args, "no_cache", False):
+        return None
+    return CanonicalPolyCache(args.cache_dir or default_cache_dir())
+
+
+def _cmd_reveng_poly(args: argparse.Namespace) -> int:
+    from .reveng import recover_polynomial
+
+    circuit = _read_netlist(args.netlist)
+    result = recover_polynomial(
+        circuit,
+        degree=args.m,
+        spec_form=args.spec_form,
+        case2=args.case2,
+        cache=_reveng_cache(args),
+        all_candidates=args.all,
+        limit=args.limit,
+        jobs=args.jobs,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.matches else 1
+    print(f"degree:     {result.degree}  (spec form: Z = {args.spec_form})")
+    print(
+        f"candidates: {result.candidates_tried} probed, "
+        f"{result.cache_hits} from cache, {result.seconds:.3f}s"
+    )
+    if result.matches:
+        for modulus in result.matches:
+            print(f"match:      P(x) = {poly2.to_string(modulus)}  ({modulus:#x})")
+        if not result.exhausted and not args.all:
+            print("(stopped at the first match; use --all for a full census)")
+        return 0
+    qualifier = "" if result.exhausted else " probed (census incomplete)"
+    print(f"no candidate modulus{qualifier} explains this netlist "
+          f"as Z = {args.spec_form}")
+    return 1
+
+
+def _cmd_reveng_func(args: argparse.Namespace) -> int:
+    from .reveng import identify_function
+
+    field = _field(args)
+    circuit = _read_netlist(args.netlist)
+    forms = [f.strip() for f in args.forms.split(",") if f.strip()] if args.forms else ()
+    result = identify_function(
+        circuit,
+        field,
+        forms=forms,
+        case2=args.case2,
+        cache=_reveng_cache(args),
+        jobs=args.jobs,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.matches else 1
+    print(f"field:          F_2^{field.k}, P(x) = {poly2.to_string(field.modulus)}")
+    print(f"polynomial:     Z = {result.polynomial}  [{result.terms} term(s)]")
+    if result.matches:
+        print(f"identified as:  {', '.join(result.matches)}")
+        return 0
+    print(f"unidentified:   no spec form matches (structure: "
+          f"{result.classification})")
+    return 1
+
+
+def _cmd_reveng_obfuscate(args: argparse.Namespace) -> int:
+    import random as random_module
+
+    from .circuits.simulate import simulate_words
+    from .reveng import obfuscate
+
+    circuit = _read_netlist(args.netlist)
+    passes = None
+    if args.passes:
+        passes = [p.strip() for p in args.passes.split(",") if p.strip()]
+    variant = obfuscate(
+        circuit,
+        passes=passes,
+        seed=args.seed,
+        fraction=args.fraction,
+    )
+    if args.check:
+        rng = random_module.Random(args.seed)
+        lanes = 64
+        stimuli = {
+            word: [rng.getrandbits(len(bits)) for _ in range(lanes)]
+            for word, bits in circuit.input_words.items()
+        }
+        if simulate_words(variant.circuit, stimuli) != simulate_words(circuit, stimuli):
+            print("error: obfuscated variant diverges from the original "
+                  "(this is a bug — please report it)", file=sys.stderr)
+            return 2
+    _write_netlist(variant.circuit, args.output)
+    check_note = f", simulation-checked on 64 vectors" if args.check else ""
+    print(
+        f"wrote {variant.name} ({variant.gates_before} -> "
+        f"{variant.gates_after} gates via {', '.join(variant.passes)}"
+        f"{check_note}) to {args.output}"
+    )
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .jobs import default_cache_dir, load_manifest, run_batch
 
@@ -377,6 +486,22 @@ def _print_job_outcome(doc: dict) -> None:
             print(f"{doc['id']}: {verdict.upper().replace('_', '-')}")
             if result.get("counterexample"):
                 print(f"  counterexample: {result['counterexample']}")
+        elif result.get("mode") == "poly":
+            recovered = result.get("recovered")
+            if recovered:
+                print(f"{doc['id']}: recovered P(x) = {recovered} "
+                      f"({result.get('candidates_tried')} candidate(s), "
+                      f"{result.get('cache_hits')} cached)")
+            else:
+                print(f"{doc['id']}: no matching modulus "
+                      f"({result.get('candidates_tried')} candidate(s) probed)")
+        elif result.get("mode") == "func":
+            identified = result.get("identified")
+            if identified:
+                print(f"{doc['id']}: identified as {identified}")
+            else:
+                print(f"{doc['id']}: unidentified "
+                      f"(structure: {result.get('classification')})")
         else:
             print(f"{doc['id']}: done")
             if result.get("polynomial"):
@@ -469,6 +594,21 @@ def _submit_manifest(client, args: argparse.Namespace) -> int:
                 modulus=params.get("modulus"),
                 case2=params.get("case2", "linearized"),
                 output_word=params.get("output_word"),
+                priority=args.priority,
+                timeout=args.deadline,
+                netlist_name=params["netlist"],
+            )
+        elif job.type == "reveng":
+            submission = client.submit_reveng(
+                _read_text(params["netlist"]),
+                mode=params.get("mode", "poly"),
+                m=params.get("m"),
+                k=params.get("k"),
+                modulus=params.get("modulus"),
+                spec_form=params.get("spec_form"),
+                all_candidates=bool(params.get("all", False)),
+                limit=params.get("limit"),
+                case2=params.get("case2", "linearized"),
                 priority=args.priority,
                 timeout=args.deadline,
                 netlist_name=params["netlist"],
@@ -707,6 +847,122 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_spec.add_argument("--output-word", default=None)
     check_spec.set_defaults(func=_cmd_check_spec)
+
+    reveng = add_command(
+        "reveng",
+        help="reverse-engineer a netlist: recover P(x), identify the "
+        "function, or generate obfuscated variants",
+    )
+    reveng_sub = reveng.add_subparsers(dest="reveng_command", required=True)
+
+    def add_reveng_cache_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="D",
+            help="canonical-polynomial cache directory "
+            "(default $REPRO_CACHE_DIR or ~/.cache/repro/canonical)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the canonical-polynomial cache for this run",
+        )
+        p.add_argument(
+            "--case2", choices=["linearized", "groebner"], default="linearized"
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="cone-sliced parallel abstraction: N worker processes "
+            "(0 = one per CPU; default serial)",
+        )
+        p.add_argument("--json", action="store_true", help="emit JSON")
+
+    reveng_poly = reveng_sub.add_parser(
+        "poly",
+        parents=[log_flags],
+        help="recover an unknown field polynomial by sweeping candidate "
+        "irreducibles (lowest weight first)",
+    )
+    reveng_poly.add_argument("netlist")
+    reveng_poly.add_argument(
+        "-m",
+        type=int,
+        default=None,
+        help="field degree (default: inferred from the netlist's word widths)",
+    )
+    reveng_poly.add_argument(
+        "--spec-form",
+        default="mul",
+        help="expected function under the true modulus (default mul: Z = A*B)",
+    )
+    reveng_poly.add_argument(
+        "--all",
+        action="store_true",
+        help="census every matching modulus instead of stopping at the first",
+    )
+    reveng_poly.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="probe at most N candidate moduli",
+    )
+    add_reveng_cache_flags(reveng_poly)
+    reveng_poly.set_defaults(func=_cmd_reveng_poly)
+
+    reveng_func = reveng_sub.add_parser(
+        "func",
+        parents=[log_flags],
+        help="identify which arithmetic function a netlist computes over a "
+        "known field",
+    )
+    reveng_func.add_argument("netlist")
+    reveng_func.add_argument("-k", type=int, required=True, help="field degree")
+    reveng_func.add_argument("--modulus", help="irreducible P(x) as an int literal")
+    reveng_func.add_argument(
+        "--forms",
+        default=None,
+        metavar="F1,F2,...",
+        help="restrict the spec-form library (default: every form whose "
+        "arity matches)",
+    )
+    add_reveng_cache_flags(reveng_func)
+    reveng_func.set_defaults(func=_cmd_reveng_func)
+
+    reveng_obf = reveng_sub.add_parser(
+        "obfuscate",
+        parents=[log_flags],
+        help="write a semantics-preserving obfuscated variant of a netlist",
+    )
+    reveng_obf.add_argument("netlist")
+    reveng_obf.add_argument("-o", "--output", required=True, help=".v or .blif path")
+    reveng_obf.add_argument(
+        "--passes",
+        default=None,
+        metavar="P1,P2,...",
+        help="comma-separated pass list: demorgan, xor_expand, dead_logic, "
+        "buffer_chains, rename, shuffle (default: all, in that order)",
+    )
+    reveng_obf.add_argument(
+        "--seed", type=int, default=0, help="variant seed (default 0)"
+    )
+    reveng_obf.add_argument(
+        "--fraction",
+        type=float,
+        default=1.0,
+        help="fraction of each pass's eligible gates to rewrite (default 1.0)",
+    )
+    reveng_obf.add_argument(
+        "--check",
+        action="store_true",
+        help="simulate 64 random word vectors and refuse to write a "
+        "variant that diverges",
+    )
+    reveng_obf.set_defaults(func=_cmd_reveng_obfuscate)
 
     serve = add_command(
         "serve",

@@ -3,7 +3,14 @@
 from . import poly2
 from .dualbasis import coordinate_coefficients, dual_basis
 from .field import GF2m, GFElement
-from .irreducible import find_irreducible, find_primitive, is_irreducible, is_primitive
+from .irreducible import (
+    count_irreducible,
+    find_irreducible,
+    find_primitive,
+    irreducible_polynomials,
+    is_irreducible,
+    is_primitive,
+)
 from .tables import NIST_POLYNOMIALS, STANDARD_POLYNOMIALS, nist_polynomial
 
 __all__ = [
@@ -12,10 +19,12 @@ __all__ = [
     "coordinate_coefficients",
     "GF2m",
     "GFElement",
+    "count_irreducible",
     "is_irreducible",
     "is_primitive",
     "find_irreducible",
     "find_primitive",
+    "irreducible_polynomials",
     "nist_polynomial",
     "NIST_POLYNOMIALS",
     "STANDARD_POLYNOMIALS",

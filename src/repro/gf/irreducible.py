@@ -11,15 +11,18 @@ irreducible polynomials (trinomials/pentanomials). This module provides:
 
 from __future__ import annotations
 
+from itertools import combinations
 from typing import Dict, Iterator, List
 
 from . import poly2
 
 __all__ = [
+    "count_irreducible",
     "is_irreducible",
     "is_primitive",
     "find_irreducible",
     "find_primitive",
+    "irreducible_polynomials",
     "prime_factors",
 ]
 
@@ -112,6 +115,66 @@ def _weight_candidates(k: int) -> Iterator[int]:
         for b in range(2, c):
             for a in range(1, b):
                 yield top | (1 << c) | (1 << b) | (1 << a)
+
+
+def _moebius(n: int) -> int:
+    """The Möbius function µ(n)."""
+    mu = 1
+    for prime, exponent in prime_factors(n).items():
+        del prime
+        if exponent > 1:
+            return 0
+        mu = -mu
+    return mu
+
+
+def count_irreducible(m: int) -> int:
+    """Number of monic irreducible degree-``m`` polynomials over F2.
+
+    Gauss's necklace formula: ``(1/m) * sum_{d | m} mu(d) * 2^(m/d)``.
+    Used by tests as the ground truth for :func:`irreducible_polynomials`.
+    """
+    if m < 1:
+        raise ValueError("degree must be >= 1")
+    total = 0
+    for d in range(1, m + 1):
+        if m % d == 0:
+            total += _moebius(d) * (1 << (m // d))
+    return total // m
+
+
+def irreducible_polynomials(m: int) -> Iterator[int]:
+    """All irreducible degree-``m`` polynomials, lowest weight first.
+
+    Deterministic enumeration ordered by (weight, value): trinomials before
+    pentanomials before heptanomials and so on, ascending integer encoding
+    within each weight class. This is the candidate order the
+    reverse-engineering sweep probes — hardware overwhelmingly uses the
+    lowest-weight irreducible available (the paper's search heuristic), so
+    the true ``P(x)`` of a real design surfaces within the first few
+    candidates even for degrees whose full irreducible census is
+    astronomically large.
+
+    The generator is lazy per weight class; consuming it fully enumerates
+    every irreducible of degree ``m`` (practical for small ``m`` only).
+    """
+    if m < 1:
+        raise ValueError("degree must be >= 1")
+    if m == 1:
+        yield 0b10  # x
+        yield 0b11  # x + 1
+        return
+    top = (1 << m) | 1  # x^m + ... + 1: any irreducible of degree >= 2
+    # A polynomial with an even number of terms has 1 as a root, so only
+    # odd weights >= 3 can be irreducible once the degree exceeds 1.
+    for weight in range(3, m + 2, 2):
+        candidates = [
+            top | sum(1 << position for position in interior)
+            for interior in combinations(range(1, m), weight - 2)
+        ]
+        for candidate in sorted(candidates):
+            if is_irreducible(candidate):
+                yield candidate
 
 
 def find_irreducible(k: int) -> int:

@@ -56,6 +56,7 @@ __all__ = [
     "phases_from_spans",
     "run_abstract",
     "run_check_spec",
+    "run_reveng",
     "run_verify",
 ]
 
@@ -86,6 +87,7 @@ _EXPECTED_PHASES = {
     "verify": ("parse", "rato_setup", "spoly_reduction", "coeff_match"),
     "abstract": ("parse", "rato_setup", "spoly_reduction"),
     "check-spec": ("parse", "rato_setup", "spoly_reduction"),
+    "reveng": ("parse", "rato_setup", "spoly_reduction"),
 }
 
 
@@ -291,6 +293,79 @@ def run_abstract(
     }
 
 
+def run_reveng(
+    params: Dict,
+    cache: Optional[CanonicalPolyCache] = None,
+    counters: Optional[Dict[str, int]] = None,
+    inflight=None,
+) -> Dict:
+    """Run one reveng job body: polynomial recovery or function identification.
+
+    ``params["mode"]`` selects the engine: ``"poly"`` (default) sweeps
+    candidate irreducible polynomials of degree ``m`` until the netlist's
+    canonical polynomial collapses to ``spec_form``; ``"func"`` extracts the
+    canonical polynomial over the *known* field (``k``/``modulus``) and
+    matches it against the spec-form library. Shared engine behind batch
+    ``reveng`` jobs and the service's ``POST /v1/reveng``.
+
+    The reveng package is imported lazily: ``repro.reveng`` depends on
+    ``repro.jobs.cache``, and a module-level import here would cycle through
+    the :mod:`repro.jobs` package ``__init__``.
+    """
+    from ..reveng import identify_function, recover_polynomial
+
+    counters = counters if counters is not None else {"hits": 0, "misses": 0}
+    mode = params.get("mode", "poly")
+    case2 = params.get("case2", "linearized")
+    jobs = params.get("jobs")
+    circuit = _load_circuit(params, "netlist")
+
+    if mode == "poly":
+        degree = params.get("m")
+        result = recover_polynomial(
+            circuit,
+            degree=int(degree) if degree is not None else None,
+            spec_form=params.get("spec_form", "mul"),
+            case2=case2,
+            cache=cache,
+            all_candidates=bool(params.get("all", False)),
+            limit=int(params["limit"]) if params.get("limit") is not None else None,
+            jobs=jobs,
+            inflight=inflight,
+        )
+        body = {"mode": "poly"}
+        body.update(result.to_dict())
+    elif mode == "func":
+        if params.get("k") is None:
+            raise ValueError("reveng mode 'func' requires the field size 'k'")
+        field = _field_for(params)
+        outcome = identify_function(
+            circuit,
+            field,
+            forms=params.get("forms") or (),
+            case2=case2,
+            cache=cache,
+            jobs=jobs,
+            inflight=inflight,
+        )
+        body = {"mode": "func", "k": field.k, "modulus": f"{field.modulus:#x}"}
+        body.update(outcome.to_dict())
+    else:
+        raise ValueError(
+            f"unknown reveng mode {mode!r}; expected 'poly' or 'func'"
+        )
+
+    # The engines time themselves; keep that under a distinct key so the
+    # caller's job-level "seconds" (which includes parsing) survives the
+    # record merge in execute_job.
+    body["engine_seconds"] = body.pop("seconds", None)
+    hits = body.get("cache_hits", 1 if body.get("cache_hit") else 0)
+    probed = body.get("candidates_tried", 1)
+    counters["hits"] += int(hits)
+    counters["misses"] += int(probed) - int(hits)
+    return body
+
+
 def run_check_spec(params: Dict) -> Dict:
     """Run one check-spec job body (Lv-style ideal membership)."""
     field = _field_for(params)
@@ -360,6 +435,8 @@ def execute_job(
                 body = run_abstract(params, cache, counters)
             elif job_type == "check-spec":
                 body = run_check_spec(params)
+            elif job_type == "reveng":
+                body = run_reveng(params, cache, counters)
             elif job_type == "sleep":
                 body = _run_sleep(params)
             elif job_type == "crash":

@@ -23,6 +23,14 @@ Job types:
 ``check-spec``
     Lv-style ideal membership against a textual spec polynomial. Fields:
     ``netlist``, ``spec_poly``, ``k``; optional ``modulus``, ``output_word``.
+``reveng``
+    Reverse engineering. ``mode: "poly"`` (the default) sweeps candidate
+    irreducibles to recover an unknown field polynomial — fields:
+    ``netlist``; optional ``m`` (degree, inferred from word widths when
+    omitted), ``spec_form``, ``all`` (census every match), ``limit``.
+    ``mode: "func"`` identifies which arithmetic function the netlist
+    computes over a *known* field — fields: ``netlist``, ``k``; optional
+    ``modulus``, ``forms``. Both accept ``case2`` and ``jobs``.
 ``sleep`` / ``crash``
     Operational self-test jobs: ``sleep`` blocks for ``seconds`` (exercises
     the per-job deadline), ``crash`` hard-exits the worker for its first
@@ -41,12 +49,13 @@ from typing import Dict, List, Optional
 
 __all__ = ["BatchJob", "BatchManifest", "ManifestError", "load_manifest", "manifest_from_dict"]
 
-JOB_TYPES = ("verify", "abstract", "check-spec", "sleep", "crash")
+JOB_TYPES = ("verify", "abstract", "check-spec", "reveng", "sleep", "crash")
 
 _REQUIRED_FIELDS = {
     "verify": ("spec", "impl", "k"),
     "abstract": ("netlist", "k"),
     "check-spec": ("netlist", "spec_poly", "k"),
+    "reveng": ("netlist",),
     "sleep": ("seconds",),
     "crash": (),
 }
@@ -58,6 +67,13 @@ _OPTIONAL_FIELDS = {
     "verify": ("modulus", "case2", "jobs"),
     "abstract": ("modulus", "case2", "output_word", "jobs"),
     "check-spec": ("modulus", "output_word"),
+    # "k"/"modulus" matter in func mode (known field); "m" in poly mode
+    # (unknown field, degree only). Mode-dependent requirements are checked
+    # at execution time, not manifest-load time.
+    "reveng": (
+        "mode", "m", "k", "modulus", "case2", "spec_form", "forms", "all",
+        "limit", "jobs",
+    ),
     "sleep": (),
     "crash": ("fail_attempts",),
 }

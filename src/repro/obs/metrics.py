@@ -37,6 +37,13 @@ __all__ = [
     "PARALLEL_POOL_UTILIZATION_PCT",
     "PARALLEL_POOL_WORKERS",
     "PARALLEL_TABLE_REBUILDS",
+    "REVENG_CACHE_HITS",
+    "REVENG_CANDIDATES_PROBED",
+    "REVENG_IDENTIFICATIONS",
+    "REVENG_MATCHES",
+    "REVENG_OBFUSCATION_GATES_ADDED",
+    "REVENG_OBFUSCATION_VARIANTS",
+    "REVENG_SWEEPS",
     "SAT_CONFLICTS",
     "SAT_DECISIONS",
     "SAT_PROPAGATIONS",
@@ -115,6 +122,20 @@ SERVICE_JOBS_CANCELLED = "service.jobs_cancelled"
 SERVICE_SINGLEFLIGHT_SHARED = "service.singleflight_shared"
 SERVICE_QUEUE_WAIT_MS = "service.queue_wait_ms"
 SERVICE_QUEUE_DEPTH_PEAK = "service.queue_depth_peak"  # gauge
+
+# Reverse engineering (repro reveng): polynomial recovery sweeps, spec-form
+# identification and obfuscation-robustness harnessing. ``candidates_probed``
+# ticks once per candidate modulus whose canonical polynomial was examined
+# (hit or miss); ``cache_hits`` counts the probes served from the
+# content-addressed cache — the second run of an identical sweep should show
+# cache_hits ~= candidates_probed.
+REVENG_SWEEPS = "reveng.sweeps"
+REVENG_CANDIDATES_PROBED = "reveng.candidates_probed"
+REVENG_CACHE_HITS = "reveng.cache_hits"
+REVENG_MATCHES = "reveng.matches"
+REVENG_IDENTIFICATIONS = "reveng.identifications"
+REVENG_OBFUSCATION_VARIANTS = "reveng.obfuscation_variants"
+REVENG_OBFUSCATION_GATES_ADDED = "reveng.obfuscation_gates_added"
 
 # Bit-level cross-checkers.
 SAT_CONFLICTS = "sat.conflicts"

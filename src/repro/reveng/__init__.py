@@ -1,0 +1,50 @@
+"""Reverse engineering of Galois-field netlists via word-level abstraction.
+
+The abstraction engine answers "what polynomial function does this netlist
+compute?" — which makes it a reverse-engineering instrument, not just a
+verifier. Three engines build on that:
+
+- :mod:`repro.reveng.polyrec` — recover an undocumented field polynomial
+  ``P(x)`` by sweeping candidate irreducibles (lowest weight first) until
+  the canonical polynomial collapses to the spec form,
+- :mod:`repro.reveng.identify` — identify which arithmetic function
+  (multiplication, squaring, inversion, ...) an unknown netlist computes by
+  matching its canonical polynomial against a spec-form library,
+- :mod:`repro.reveng.obfuscate` — generate semantics-preserving obfuscated
+  variants (De Morgan re-encoding, dead logic, renaming, ...) and show that
+  both engines are untouched by them.
+
+Exposed as ``repro reveng {poly,func,obfuscate}`` on the CLI, as the
+``reveng`` batch-manifest job type, and as ``POST /v1/reveng`` on the
+verification service.
+"""
+
+from .identify import IdentifyResult, identify_function
+from .obfuscate import (
+    OBFUSCATION_PASSES,
+    ObfuscatedVariant,
+    obfuscate,
+    obfuscation_suite,
+)
+from .polyrec import RevengResult, infer_degree, recover_polynomial
+from .probe import ProbeRecord, probe_canonical
+from .specforms import SPEC_FORMS, applicable_forms, build_form, classify, match_forms
+
+__all__ = [
+    "IdentifyResult",
+    "identify_function",
+    "OBFUSCATION_PASSES",
+    "ObfuscatedVariant",
+    "obfuscate",
+    "obfuscation_suite",
+    "RevengResult",
+    "infer_degree",
+    "recover_polynomial",
+    "ProbeRecord",
+    "probe_canonical",
+    "SPEC_FORMS",
+    "applicable_forms",
+    "build_form",
+    "classify",
+    "match_forms",
+]

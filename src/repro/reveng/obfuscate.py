@@ -1,0 +1,257 @@
+"""Semantics-preserving netlist obfuscation and the robustness suite.
+
+The word-level abstraction is a *functional* fingerprint: any rewriting
+that preserves each output bit's Boolean function leaves the canonical
+polynomial — and therefore polynomial recovery and function
+identification — untouched. This module generates such rewritings at
+netlist scale, layering the in-place primitives of
+:mod:`repro.circuits.mutate` into whole-circuit passes:
+
+``demorgan``
+    Re-encode AND/OR/NAND/NOR gates through their De Morgan duals.
+``xor_expand``
+    Replace 2-input XOR/XNOR gates with AND/OR/NOT networks.
+``dead_logic``
+    Inject gates that drive nothing (fake structure).
+``buffer_chains``
+    Interpose BUF and double-inverter hops on random gate inputs.
+``rename``
+    Rename every internal net to an opaque identifier (primary inputs
+    keep their names — they are the probe's word interface).
+``shuffle``
+    Re-emit gates in a random declaration order.
+
+Every pass takes an explicit ``rng`` so variant generation is
+reproducible. Note the cache interaction: ``shuffle`` does **not** change
+the content-address of the netlist (normalization sorts gates), while the
+other passes do — an obfuscated variant is a genuinely new abstraction
+problem, which is exactly what the robustness harness wants to measure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..circuits import Circuit
+from ..circuits.gates import GateType
+from ..circuits.mutate import (
+    add_dead_gate,
+    demorgan_gate,
+    expand_xor_gate,
+    insert_buffer,
+    insert_inverter_pair,
+)
+from ..obs import metrics
+
+__all__ = [
+    "OBFUSCATION_PASSES",
+    "ObfuscatedVariant",
+    "obfuscate",
+    "obfuscation_suite",
+]
+
+
+def _pass_demorgan(circuit: Circuit, rng: random.Random, fraction: float) -> Circuit:
+    eligible = [
+        gate.output
+        for gate in circuit.gates
+        if gate.gate_type
+        in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR)
+    ]
+    for net in _sample_fraction(eligible, rng, fraction):
+        demorgan_gate(circuit, net)
+    return circuit
+
+
+def _pass_xor_expand(circuit: Circuit, rng: random.Random, fraction: float) -> Circuit:
+    eligible = [
+        gate.output
+        for gate in circuit.gates
+        if gate.gate_type in (GateType.XOR, GateType.XNOR) and len(gate.inputs) == 2
+    ]
+    for net in _sample_fraction(eligible, rng, fraction):
+        expand_xor_gate(circuit, net)
+    return circuit
+
+
+def _pass_dead_logic(circuit: Circuit, rng: random.Random, fraction: float) -> Circuit:
+    count = max(1, int(circuit.num_gates() * fraction * 0.25))
+    for _ in range(count):
+        add_dead_gate(circuit, rng=rng)
+    return circuit
+
+
+def _pass_buffer_chains(circuit: Circuit, rng: random.Random, fraction: float) -> Circuit:
+    targets = [
+        (gate.output, position)
+        for gate in circuit.gates
+        for position in range(len(gate.inputs))
+    ]
+    for net, position in _sample_fraction(targets, rng, fraction * 0.5):
+        if rng.random() < 0.5:
+            insert_buffer(circuit, net, position)
+        else:
+            insert_inverter_pair(circuit, net, position)
+    return circuit
+
+
+def _pass_rename(circuit: Circuit, rng: random.Random, fraction: float) -> Circuit:
+    del fraction  # renaming is all-or-nothing: partial renames help nobody
+    internal = [gate.output for gate in circuit.gates]
+    shuffled = list(internal)
+    rng.shuffle(shuffled)
+    taken = set(circuit.inputs)
+    mapping: Dict[str, str] = {}
+    for index, net in enumerate(shuffled):
+        opaque = f"t{index:04d}"
+        while opaque in taken:
+            opaque = f"t{index:04d}_{rng.randrange(1 << 16):x}"
+        taken.add(opaque)
+        mapping[net] = opaque
+
+    def r(net: str) -> str:
+        return mapping.get(net, net)
+
+    renamed = Circuit(circuit.name)
+    renamed.add_inputs(circuit.inputs)
+    for gate in circuit.gates:
+        renamed.add_gate(r(gate.output), gate.gate_type, [r(n) for n in gate.inputs])
+    renamed.set_outputs([r(n) for n in circuit.outputs])
+    renamed.input_words = {w: list(b) for w, b in circuit.input_words.items()}
+    renamed.output_words = {
+        w: [r(b) for b in bits] for w, bits in circuit.output_words.items()
+    }
+    return renamed
+
+
+def _pass_shuffle(circuit: Circuit, rng: random.Random, fraction: float) -> Circuit:
+    del fraction  # declaration order is one permutation; shuffle all of it
+    gates = circuit.gates
+    rng.shuffle(gates)
+    shuffled = Circuit(circuit.name)
+    shuffled.add_inputs(circuit.inputs)
+    for gate in gates:
+        shuffled.add_gate(gate.output, gate.gate_type, gate.inputs)
+    shuffled.set_outputs(circuit.outputs)
+    shuffled.input_words = {w: list(b) for w, b in circuit.input_words.items()}
+    shuffled.output_words = {w: list(b) for w, b in circuit.output_words.items()}
+    return shuffled
+
+
+def _sample_fraction(population: Sequence, rng: random.Random, fraction: float) -> List:
+    if not population:
+        return []
+    fraction = min(max(fraction, 0.0), 1.0)
+    count = max(1, round(len(population) * fraction)) if fraction > 0 else 0
+    return rng.sample(list(population), min(count, len(population)))
+
+
+#: Pass name -> implementation, in the order :func:`obfuscate` applies them.
+OBFUSCATION_PASSES: "Dict[str, Callable[[Circuit, random.Random, float], Circuit]]" = {
+    "demorgan": _pass_demorgan,
+    "xor_expand": _pass_xor_expand,
+    "dead_logic": _pass_dead_logic,
+    "buffer_chains": _pass_buffer_chains,
+    "rename": _pass_rename,
+    "shuffle": _pass_shuffle,
+}
+
+
+@dataclass
+class ObfuscatedVariant:
+    """One semantics-preserving variant plus its growth accounting."""
+
+    name: str
+    passes: List[str]
+    circuit: Circuit
+    gates_before: int
+    gates_after: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "passes": list(self.passes),
+            "gates_before": self.gates_before,
+            "gates_after": self.gates_after,
+            "growth": round(self.gates_after / max(self.gates_before, 1), 3),
+        }
+
+
+def obfuscate(
+    circuit: Circuit,
+    passes: Optional[Sequence[str]] = None,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    fraction: float = 1.0,
+    name: Optional[str] = None,
+) -> ObfuscatedVariant:
+    """Apply obfuscation ``passes`` (default: all, in library order).
+
+    The input circuit is never mutated — passes run on a clone. ``fraction``
+    scales how much of each pass's eligible population is rewritten.
+    Randomness comes from ``rng`` (or the convenience ``seed``, default 0):
+    variant generation is deterministic unless the caller opts out by
+    passing their own unseeded generator.
+    """
+    if rng is None:
+        rng = random.Random(0 if seed is None else seed)
+    selected = list(passes) if passes is not None else list(OBFUSCATION_PASSES)
+    for pass_name in selected:
+        if pass_name not in OBFUSCATION_PASSES:
+            raise ValueError(
+                f"unknown obfuscation pass {pass_name!r}; "
+                f"expected one of {sorted(OBFUSCATION_PASSES)}"
+            )
+    before = circuit.num_gates()
+    variant_name = name or f"{circuit.name}_obf"
+    working = circuit.clone(variant_name)
+    for pass_name in selected:
+        working = OBFUSCATION_PASSES[pass_name](working, rng, fraction)
+    working.validate()
+    metrics.counter_add(metrics.REVENG_OBFUSCATION_VARIANTS, 1)
+    metrics.counter_add(
+        metrics.REVENG_OBFUSCATION_GATES_ADDED,
+        max(0, working.num_gates() - before),
+    )
+    return ObfuscatedVariant(
+        name=variant_name,
+        passes=selected,
+        circuit=working,
+        gates_before=before,
+        gates_after=working.num_gates(),
+    )
+
+
+def obfuscation_suite(
+    circuit: Circuit,
+    seed: int = 0,
+    fraction: float = 1.0,
+) -> List[ObfuscatedVariant]:
+    """One variant per pass plus a ``stacked`` variant applying all of them.
+
+    This is the robustness corpus the harness and CI smoke run recovery
+    against: each variant is simulation-equivalent to ``circuit`` by
+    construction, and each stresses a different normalization assumption
+    (gate re-encoding, structural growth, naming, ordering).
+    """
+    variants = [
+        obfuscate(
+            circuit,
+            passes=[pass_name],
+            seed=seed + index,
+            fraction=fraction,
+            name=f"{circuit.name}_{pass_name}",
+        )
+        for index, pass_name in enumerate(OBFUSCATION_PASSES)
+    ]
+    variants.append(
+        obfuscate(
+            circuit,
+            seed=seed + len(OBFUSCATION_PASSES),
+            fraction=fraction,
+            name=f"{circuit.name}_stacked",
+        )
+    )
+    return variants

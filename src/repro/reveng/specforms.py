@@ -1,0 +1,150 @@
+"""Library of known arithmetic spec forms for reverse engineering.
+
+A canonical word-level polynomial is a complete functional fingerprint of a
+netlist (Cor. 4.1 uniqueness), so recognising *what* an unknown circuit
+computes reduces to comparing its canonical polynomial against the
+polynomials of known arithmetic functions — the word-level analogue of the
+arithmetic-function extraction of Yu et al. (arXiv:1802.06870). The forms
+here cover everything the :mod:`repro.synth` generators emit:
+
+========================  ======================================  =======
+form                      canonical polynomial                     words
+========================  ======================================  =======
+``mul``                   ``Z = A * B``                            2
+``montgomery_mul``        ``Z = R^{-1} * A * B`` (``R = x^k``)     2
+``add``                   ``Z = A + B``                            2
+``square``                ``Z = A^2``                              1
+``montgomery_square``     ``Z = R^{-1} * A^2``                     1
+``identity``              ``Z = A``                                1
+``inverse``               ``Z = A^(2^k - 2)`` (Fermat, 0 -> 0)     1
+========================  ======================================  =======
+
+:func:`match_forms` returns every form an extracted polynomial equals;
+:func:`classify` gives a coarse structural label when nothing matches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..algebra import Polynomial, PolynomialRing
+from ..core import word_ring_for
+from ..gf import GF2m
+
+__all__ = ["SPEC_FORMS", "build_form", "classify", "match_forms"]
+
+#: form name -> number of input words it applies to.
+SPEC_FORMS: Dict[str, int] = {
+    "mul": 2,
+    "montgomery_mul": 2,
+    "add": 2,
+    "square": 1,
+    "montgomery_square": 1,
+    "identity": 1,
+    "inverse": 1,
+}
+
+
+def _r_inverse(field: GF2m) -> int:
+    """``R^{-1}`` for the Montgomery radix ``R = x^k mod P``."""
+    return field.inv(field.pow(field.alpha, field.k))
+
+
+def build_form(
+    name: str, field: GF2m, ring: PolynomialRing, words: Sequence[str]
+) -> Polynomial:
+    """The expected canonical polynomial of spec form ``name``.
+
+    ``words`` are the circuit's input words in sorted order; binary forms
+    use the first two, unary forms the first one.
+    """
+    if name not in SPEC_FORMS:
+        raise ValueError(
+            f"unknown spec form {name!r}; expected one of {sorted(SPEC_FORMS)}"
+        )
+    if len(words) < SPEC_FORMS[name]:
+        raise ValueError(
+            f"spec form {name!r} needs {SPEC_FORMS[name]} input word(s), "
+            f"circuit has {len(words)}"
+        )
+    a = ring.var(words[0])
+    if name == "mul":
+        return a * ring.var(words[1])
+    if name == "montgomery_mul":
+        return (a * ring.var(words[1])).scale(_r_inverse(field))
+    if name == "add":
+        return a + ring.var(words[1])
+    if name == "square":
+        return a * a
+    if name == "montgomery_square":
+        return (a * a).scale(_r_inverse(field))
+    if name == "identity":
+        return a
+    # inverse: x^(2^k - 2) agrees with 1/x on F* and maps 0 to 0 — the
+    # convention every hardware inverter (Itoh-Tsujii included) implements.
+    return ring.var(words[0], field.order - 2)
+
+
+def applicable_forms(num_words: int) -> List[str]:
+    """Spec forms whose arity matches a circuit with ``num_words`` inputs."""
+    return [name for name, arity in SPEC_FORMS.items() if arity == num_words]
+
+
+def match_forms(
+    polynomial: Polynomial,
+    field: GF2m,
+    words: Sequence[str],
+    forms: Sequence[str] = (),
+) -> List[str]:
+    """Every spec form (from ``forms``, default all applicable) that
+    ``polynomial`` equals. Forms whose arity exceeds the circuit's word
+    count are skipped silently so callers can pass a fixed probe list."""
+    words = list(words)
+    candidates = list(forms) if forms else applicable_forms(len(words))
+    ring = word_ring_for(field, words)
+    matched = []
+    for name in candidates:
+        if name not in SPEC_FORMS:
+            raise ValueError(
+                f"unknown spec form {name!r}; expected one of {sorted(SPEC_FORMS)}"
+            )
+        if SPEC_FORMS[name] > len(words):
+            continue
+        if polynomial == build_form(name, field, ring, words):
+            matched.append(name)
+    return matched
+
+
+def classify(polynomial: Polynomial) -> str:
+    """Coarse structural label for an unidentified canonical polynomial.
+
+    ``constant`` / ``linearized`` (an F2-linear map: every monomial is a
+    single word raised to a power of two) / ``affine`` (linearized plus a
+    constant) / ``quadratic`` (total degree-in-words <= 2 in the
+    power-of-two exponent sense, e.g. the cross terms a Mastrovito array
+    produces under a wrong modulus) / ``nonlinear``.
+    """
+    if polynomial.is_zero() or not polynomial.variables_used():
+        return "constant"
+    has_constant = False
+    linearized = True
+    pow2_exponents = True
+    max_factors = 0
+    for monomial, _coeff in polynomial.terms.items():
+        if not monomial:
+            has_constant = True
+            continue
+        factors = 0
+        for _var, exponent in monomial:
+            factors += 1
+            if exponent & (exponent - 1):  # not a power of two
+                linearized = False
+                pow2_exponents = False
+        max_factors = max(max_factors, factors)
+        if factors > 1:
+            linearized = False
+    if linearized and max_factors <= 1:
+        return "affine" if has_constant else "linearized"
+    if max_factors <= 2 and pow2_exponents:
+        return "quadratic"
+    return "nonlinear"

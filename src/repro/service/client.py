@@ -203,6 +203,52 @@ class ServiceClient:
             body["netlist"] = netlist_name
         return self.request("POST", "/v1/abstract", body)
 
+    def submit_reveng(
+        self,
+        netlist_text: str,
+        mode: str = "poly",
+        m: Optional[int] = None,
+        k: Optional[int] = None,
+        modulus: Optional[int] = None,
+        spec_form: Optional[str] = None,
+        all_candidates: bool = False,
+        limit: Optional[int] = None,
+        case2: str = "linearized",
+        priority: int = 5,
+        timeout: Optional[float] = None,
+        netlist_name: Optional[str] = None,
+    ) -> Dict:
+        """Submit a reverse-engineering job.
+
+        ``mode="poly"`` recovers the unknown field polynomial (optional
+        degree ``m``, inferred from word widths server-side when omitted);
+        ``mode="func"`` identifies the arithmetic function over a known
+        field and requires ``k``.
+        """
+        body: Dict = {
+            "mode": mode,
+            "netlist_text": netlist_text,
+            "case2": case2,
+            "priority": priority,
+        }
+        if m is not None:
+            body["m"] = m
+        if k is not None:
+            body["k"] = k
+        if modulus is not None:
+            body["modulus"] = modulus
+        if spec_form is not None:
+            body["spec_form"] = spec_form
+        if all_candidates:
+            body["all"] = True
+        if limit is not None:
+            body["limit"] = limit
+        if timeout is not None:
+            body["timeout"] = timeout
+        if netlist_name is not None:
+            body["netlist"] = netlist_name
+        return self.request("POST", "/v1/reveng", body)
+
     def get_job(self, job_id: str, wait: Optional[float] = None) -> Dict:
         path = f"/v1/jobs/{job_id}"
         if wait is not None:

@@ -37,7 +37,7 @@ from typing import Iterable, Optional, Set, Tuple
 from .. import obs
 from ..gf import GF2m, logtables
 from ..jobs.cache import CanonicalPolyCache
-from ..jobs.executor import run_abstract, run_verify
+from ..jobs.executor import run_abstract, run_reveng, run_verify
 from ..obs import metrics
 from .queue import BoundedJobQueue, QueueClosed
 from .singleflight import SingleFlight
@@ -212,6 +212,10 @@ class Scheduler:
                     )
                 elif record.kind == "abstract":
                     result = run_abstract(
+                        record.params, cache=self.cache, inflight=self.inflight
+                    )
+                elif record.kind == "reveng":
+                    result = run_reveng(
                         record.params, cache=self.cache, inflight=self.inflight
                     )
                 else:

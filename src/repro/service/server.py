@@ -6,13 +6,16 @@ GF-table construction, the canonical-polynomial cache, and parsing
 infrastructure across requests instead of paying process start-up per
 check. Endpoints:
 
-``POST /v1/verify``, ``POST /v1/abstract``
+``POST /v1/verify``, ``POST /v1/abstract``, ``POST /v1/reveng``
     Submit a job (netlists inline as ``spec_text``/``impl_text``/
     ``netlist_text``; field as ``k`` + optional ``modulus``). Answers
     ``202`` with a job id — or ``200`` with the id of an *identical
     in-flight job* (request-level dedup), ``400`` on malformed input,
     ``429`` + ``Retry-After`` when the bounded queue is full, ``503``
-    while draining.
+    while draining. Reveng submissions select an engine via ``mode``:
+    ``"poly"`` (recover an unknown field polynomial; optional degree
+    ``m``) or ``"func"`` (identify the function over a known field;
+    requires ``k``).
 ``GET /v1/jobs/{id}``
     Poll a job; ``?wait=SECONDS`` long-polls until the job is terminal.
 ``GET /healthz``
@@ -68,11 +71,20 @@ _KEYED_FIELDS = (
     "spec_text",
     "impl_text",
     "netlist_text",
+    # reveng-only knobs: engine mode, sweep degree and termination policy
+    # all change what is computed, so they participate in dedup keys.
+    "mode",
+    "m",
+    "spec_form",
+    "forms",
+    "all",
+    "limit",
 )
 
 _TEXT_OR_PATH = {
     "verify": (("spec", "spec_text"), ("impl", "impl_text")),
     "abstract": (("netlist", "netlist_text"),),
+    "reveng": (("netlist", "netlist_text"),),
 }
 
 
@@ -100,14 +112,33 @@ def _validate_submission(kind: str, body: Dict) -> Tuple[Dict, int, Optional[flo
     """Check a submission body; returns (executor params, priority, timeout)."""
     if not isinstance(body, dict):
         raise RequestError(400, "request body must be a JSON object")
-    if "k" not in body:
+    mode: Optional[str] = None
+    if kind == "reveng":
+        mode = str(body.get("mode", "poly"))
+        if mode not in ("poly", "func"):
+            raise RequestError(
+                400, f"field 'mode' must be 'poly' or 'func', got {mode!r}"
+            )
+    # A polynomial-recovery sweep is the one submission with no field size:
+    # the modulus is the unknown. It takes an optional degree 'm' instead.
+    k: Optional[int] = None
+    k_required = kind != "reveng" or mode == "func"
+    if k_required and "k" not in body:
         raise RequestError(400, "missing required field 'k'")
-    try:
-        k = int(body["k"])
-    except (TypeError, ValueError):
-        raise RequestError(400, f"field 'k' must be an integer, got {body['k']!r}")
-    if k < 1:
-        raise RequestError(400, f"field 'k' must be >= 1, got {k}")
+    if "k" in body:
+        try:
+            k = int(body["k"])
+        except (TypeError, ValueError):
+            raise RequestError(400, f"field 'k' must be an integer, got {body['k']!r}")
+        if k < 1:
+            raise RequestError(400, f"field 'k' must be >= 1, got {k}")
+    if body.get("m") is not None:
+        try:
+            degree = int(body["m"])
+        except (TypeError, ValueError):
+            raise RequestError(400, f"field 'm' must be an integer, got {body['m']!r}")
+        if degree < 2:
+            raise RequestError(400, f"field 'm' must be >= 2, got {degree}")
 
     for path_key, text_key in _TEXT_OR_PATH[kind]:
         if body.get(path_key) is None and body.get(text_key) is None:
@@ -136,8 +167,13 @@ def _validate_submission(kind: str, body: Dict) -> Tuple[Dict, int, Optional[flo
         "k", "modulus", "case2", "jobs", "output_word",
         "spec", "impl", "netlist", "spec_text", "impl_text", "netlist_text",
     }
+    if kind == "reveng":
+        allowed |= {"mode", "m", "spec_form", "forms", "all", "limit"}
     params = {key: body[key] for key in allowed if body.get(key) is not None}
-    params["k"] = k
+    if k is not None:
+        params["k"] = k
+    if mode is not None:
+        params["mode"] = mode
     return params, priority, timeout
 
 
@@ -224,6 +260,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._submit("verify")
             elif path == "/v1/abstract":
                 self._submit("abstract")
+            elif path == "/v1/reveng":
+                self._submit("reveng")
             else:
                 self._send_json(404, {"error": f"no such endpoint: {path}"})
         except RequestError as exc:

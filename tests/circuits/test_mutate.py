@@ -6,6 +6,11 @@ import pytest
 
 from repro.circuits import (
     GateType,
+    add_dead_gate,
+    demorgan_gate,
+    expand_xor_gate,
+    insert_buffer,
+    insert_inverter_pair,
     random_mutation,
     rewire_gate_input,
     simulate_words,
@@ -113,3 +118,98 @@ class TestRandomMutation:
         c.set_outputs(["z"])
         with pytest.raises(ValueError):
             random_mutation(c)
+
+
+def _word_function(circuit, lanes=None):
+    """Full truth table of the 2-bit multiplier's word function."""
+    stim = {
+        "A": [a for a in range(4) for _ in range(4)],
+        "B": [b for _ in range(4) for b in range(4)],
+    }
+    return simulate_words(circuit, stim)
+
+
+class TestDemorganGate:
+    def test_preserves_function(self):
+        c = two_bit_multiplier()
+        reference = _word_function(c)
+        assert demorgan_gate(c, "s0")
+        assert c.gate_driving("s0").gate_type is not GateType.AND
+        assert _word_function(c) == reference
+
+    def test_no_dual_for_xor(self):
+        c = two_bit_multiplier()
+        assert not demorgan_gate(c, "r0")
+
+    def test_grows_netlist(self):
+        c = two_bit_multiplier()
+        before = c.num_gates()
+        demorgan_gate(c, "s0")
+        assert c.num_gates() > before
+
+
+class TestExpandXorGate:
+    def test_preserves_function(self):
+        c = two_bit_multiplier()
+        reference = _word_function(c)
+        assert expand_xor_gate(c, "z1")
+        assert c.gate_driving("z1").gate_type is not GateType.XOR
+        assert _word_function(c) == reference
+
+    def test_rejects_non_xor(self):
+        c = two_bit_multiplier()
+        assert not expand_xor_gate(c, "s0")
+
+
+class TestInsertBufferAndInverterPair:
+    def test_buffer_preserves_function(self):
+        c = two_bit_multiplier()
+        reference = _word_function(c)
+        new_net = insert_buffer(c, "r0", 0)
+        assert new_net in c.gate_driving("r0").inputs
+        assert _word_function(c) == reference
+
+    def test_inverter_pair_preserves_function(self):
+        c = two_bit_multiplier()
+        reference = _word_function(c)
+        before = c.num_gates()
+        insert_inverter_pair(c, "z0", 1)
+        assert c.num_gates() == before + 2
+        assert _word_function(c) == reference
+
+    def test_bad_position_rejected(self):
+        c = two_bit_multiplier()
+        with pytest.raises(ValueError):
+            insert_buffer(c, "r0", 9)
+        with pytest.raises(ValueError):
+            insert_inverter_pair(c, "r0", 9)
+
+
+class TestAddDeadGate:
+    def test_output_is_undriven_and_function_preserved(self):
+        c = two_bit_multiplier()
+        reference = _word_function(c)
+        dead = add_dead_gate(c, seed=4)
+        assert dead not in c.outputs
+        assert all(dead not in g.inputs for g in c.gates)
+        assert _word_function(c) == reference
+
+    def test_deterministic_with_seed(self):
+        a = two_bit_multiplier()
+        b = two_bit_multiplier()
+        add_dead_gate(a, seed=17)
+        add_dead_gate(b, seed=17)
+        assert a.gate_driving(add_dead_gate(a, seed=5)) is not None
+        ga = [g for g in a.gates][-2]
+        gb = [g for g in b.gates][-1]
+        assert ga.gate_type == gb.gate_type
+        assert ga.inputs == gb.inputs
+
+    def test_no_global_random_state(self):
+        random.seed(123)
+        a = two_bit_multiplier()
+        add_dead_gate(a, rng=random.Random(9))
+        state = random.getstate()
+        b = two_bit_multiplier()
+        add_dead_gate(b, rng=random.Random(9))
+        assert random.getstate() == state

@@ -3,8 +3,11 @@
 import pytest
 
 from repro.gf import poly2
+from repro.gf import STANDARD_POLYNOMIALS
 from repro.gf.irreducible import (
+    count_irreducible,
     find_irreducible,
+    irreducible_polynomials,
     find_primitive,
     is_irreducible,
     is_primitive,
@@ -105,3 +108,55 @@ class TestFindPrimitive:
     def test_bad_degree(self):
         with pytest.raises(ValueError):
             find_primitive(1)
+
+
+class TestCountIrreducible:
+    @pytest.mark.parametrize(
+        "m,expected",
+        [(1, 2), (2, 1), (3, 2), (4, 3), (5, 6), (6, 9), (7, 18), (8, 30)],
+    )
+    def test_gauss_necklace_values(self, m, expected):
+        assert count_irreducible(m) == expected
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            count_irreducible(0)
+
+
+class TestIrreduciblePolynomials:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_full_census_matches_count(self, m):
+        polys = list(irreducible_polynomials(m))
+        assert len(polys) == count_irreducible(m)
+        assert len(set(polys)) == len(polys)
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 5, 6, 7, 8])
+    def test_every_yield_is_irreducible_of_degree_m(self, m):
+        for poly in irreducible_polynomials(m):
+            assert poly2.degree(poly) == m
+            assert is_irreducible(poly)
+
+    @pytest.mark.parametrize("m", [4, 8, 10])
+    def test_weight_then_value_order(self, m):
+        keys = [
+            (bin(poly).count("1"), poly)
+            for poly in irreducible_polynomials(m)
+        ]
+        assert keys == sorted(keys)
+
+    @pytest.mark.parametrize("m", [8, 16, 32])
+    def test_standard_polynomial_is_first_candidate(self, m):
+        """The weight-ordered sweep probes the fielded modulus first."""
+        first = next(iter(irreducible_polynomials(m)))
+        assert first == STANDARD_POLYNOMIALS[m]
+
+    def test_lazy_for_large_degree(self):
+        """Large degrees must yield a prefix without a full census."""
+        gen = irreducible_polynomials(64)
+        first = next(gen)
+        assert poly2.degree(first) == 64
+        assert is_irreducible(first)
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            list(irreducible_polynomials(0))

@@ -1,0 +1,130 @@
+"""Batch-executor op dispatch: mixed manifests and unknown-op hygiene."""
+
+from repro.jobs import load_manifest, run_batch
+from repro.jobs.manifest import BatchJob, BatchManifest
+
+
+def _results_by_id(report):
+    return {result["id"]: result for result in report.results}
+
+
+class TestMixedManifest:
+    def test_verify_abstract_and_reveng_run_end_to_end(
+        self, write_manifest, tmp_path
+    ):
+        """One manifest mixing all op families completes on shared workers."""
+        manifest = load_manifest(
+            write_manifest(
+                [
+                    {
+                        "id": "equiv",
+                        "type": "verify",
+                        "spec": "mastrovito_4.v",
+                        "impl": "montgomery_4.v",
+                        "k": 4,
+                    },
+                    {
+                        "id": "abs",
+                        "type": "abstract",
+                        "netlist": "mastrovito_4.v",
+                        "k": 4,
+                    },
+                    {
+                        "id": "rec",
+                        "type": "reveng",
+                        "netlist": "mastrovito_4.v",
+                        "mode": "poly",
+                    },
+                    {
+                        "id": "ident",
+                        "type": "reveng",
+                        "netlist": "montgomery_4.v",
+                        "mode": "func",
+                        "k": 4,
+                    },
+                ]
+            )
+        )
+        report = run_batch(manifest, workers=2, cache_dir=str(tmp_path / "cache"))
+        assert report.ok
+        by_id = _results_by_id(report)
+        assert by_id["equiv"]["verdict"] == "equivalent"
+        assert by_id["abs"]["terms"] == 1
+        assert by_id["rec"]["mode"] == "poly"
+        assert by_id["rec"]["recovered"] == "0x13"  # x^4 + x + 1
+        assert by_id["ident"]["mode"] == "func"
+        assert by_id["ident"]["identified"] == "mul"
+
+    def test_reveng_defaults_apply(self, write_manifest, tmp_path):
+        manifest = load_manifest(
+            write_manifest(
+                [{"id": "rec", "type": "reveng", "netlist": "mastrovito_4.v"}],
+                defaults={"mode": "poly"},
+            )
+        )
+        report = run_batch(manifest, workers=1, cache_dir=str(tmp_path / "cache"))
+        assert report.ok
+        assert _results_by_id(report)["rec"]["candidates_tried"] == 1
+
+
+class TestDispatchHygiene:
+    def test_unknown_op_fails_cleanly(self, netlist_dir):
+        """An unknown op yields a per-job failed record, not a traceback,
+        and does not take sibling jobs down with it."""
+        manifest = BatchManifest(
+            jobs=[
+                BatchJob(id="bogus", type="frobnicate", params={}),
+                BatchJob(
+                    id="rec",
+                    type="reveng",
+                    params={
+                        "netlist": str(netlist_dir / "mastrovito_4.v"),
+                        "mode": "poly",
+                    },
+                ),
+            ]
+        )
+        report = run_batch(manifest, workers=2)
+        assert not report.ok
+        by_id = _results_by_id(report)
+        assert by_id["bogus"]["status"] == "failed"
+        assert "frobnicate" in by_id["bogus"]["error"]
+        assert "Traceback" not in by_id["bogus"]["error"]
+        assert by_id["rec"]["status"] == "ok"
+        assert by_id["rec"]["recovered"] == "0x13"
+
+    def test_reveng_func_without_k_fails_cleanly(self, netlist_dir):
+        manifest = BatchManifest(
+            jobs=[
+                BatchJob(
+                    id="ident",
+                    type="reveng",
+                    params={
+                        "netlist": str(netlist_dir / "mastrovito_4.v"),
+                        "mode": "func",
+                    },
+                ),
+            ]
+        )
+        report = run_batch(manifest, workers=1)
+        (result,) = report.results
+        assert result["status"] == "failed"
+        assert "'k'" in result["error"]
+
+    def test_reveng_bad_mode_fails_cleanly(self, netlist_dir):
+        manifest = BatchManifest(
+            jobs=[
+                BatchJob(
+                    id="weird",
+                    type="reveng",
+                    params={
+                        "netlist": str(netlist_dir / "mastrovito_4.v"),
+                        "mode": "sideways",
+                    },
+                ),
+            ]
+        )
+        report = run_batch(manifest, workers=1)
+        (result,) = report.results
+        assert result["status"] == "failed"
+        assert "sideways" in result["error"]

@@ -1,0 +1,15 @@
+"""Shared fixtures for the reverse-engineering tests."""
+
+import pytest
+
+from repro.gf import GF2m
+
+
+@pytest.fixture(scope="module")
+def f4():
+    return GF2m(4)
+
+
+@pytest.fixture(scope="module")
+def f8():
+    return GF2m(8)

@@ -1,0 +1,112 @@
+"""Tests for function identification against the spec-form library."""
+
+import pytest
+
+from repro.core import extract_canonical
+from repro.reveng import (
+    SPEC_FORMS,
+    applicable_forms,
+    classify,
+    identify_function,
+    match_forms,
+)
+from repro.synth import (
+    frobenius_power_circuit,
+    gf_adder,
+    gf_squarer,
+    itoh_tsujii_inverter,
+    mastrovito_multiplier,
+    montgomery_block,
+)
+
+
+def test_identifies_multiplier(f4):
+    outcome = identify_function(mastrovito_multiplier(f4), f4)
+    assert outcome.identified
+    assert outcome.matches == ["mul"]
+    assert outcome.classification == "quadratic"
+
+
+def test_identifies_adder(f4):
+    outcome = identify_function(gf_adder(f4), f4)
+    assert outcome.matches == ["add"]
+    assert outcome.classification == "linearized"
+
+
+def test_identifies_squarer(f4):
+    outcome = identify_function(gf_squarer(f4), f4)
+    assert "square" in outcome.matches
+    assert outcome.classification == "linearized"
+
+
+def test_identifies_montgomery_block(f4):
+    outcome = identify_function(montgomery_block(f4), f4)
+    assert outcome.matches == ["montgomery_mul"]
+
+
+def test_identifies_inverter(f4):
+    circuit = itoh_tsujii_inverter(f4).flatten()
+    outcome = identify_function(circuit, f4)
+    assert outcome.matches == ["inverse"]
+    assert outcome.classification == "nonlinear"
+
+
+def test_frobenius_is_square_at_degree_boundary(f4):
+    """Frobenius A^2 over GF(2^4) *is* the squaring map."""
+    outcome = identify_function(frobenius_power_circuit(f4, 1), f4)
+    assert "square" in outcome.matches
+    assert outcome.classification == "linearized"
+
+
+def test_restricted_form_library(f4):
+    """Restricting the library hides matches outside it."""
+    outcome = identify_function(
+        mastrovito_multiplier(f4), f4, forms=("add", "square")
+    )
+    assert not outcome.identified
+    assert outcome.matches == []
+    # The structural classification still reports what the netlist is.
+    assert outcome.classification == "quadratic"
+
+
+def test_unknown_form_name_rejected(f4):
+    with pytest.raises(ValueError):
+        identify_function(mastrovito_multiplier(f4), f4, forms=("nonesuch",))
+
+
+def test_match_forms_skips_arity_mismatch(f4):
+    """Unary-netlist probes never test binary forms."""
+    circuit = gf_squarer(f4)
+    result = extract_canonical(circuit, f4)
+    matches = match_forms(result.polynomial, f4, sorted(circuit.input_words))
+    assert "mul" not in matches
+    assert "square" in matches
+
+
+def test_applicable_forms_partitions_by_arity():
+    unary = set(applicable_forms(1))
+    binary = set(applicable_forms(2))
+    assert "mul" not in unary
+    assert "square" in unary
+    assert "mul" in binary
+    assert unary.isdisjoint(binary)
+    assert unary | binary == set(SPEC_FORMS)
+
+
+def test_classify_labels(f4):
+    mul = extract_canonical(mastrovito_multiplier(f4), f4).polynomial
+    add = extract_canonical(gf_adder(f4), f4).polynomial
+    inv = extract_canonical(itoh_tsujii_inverter(f4).flatten(), f4).polynomial
+    assert classify(mul) == "quadratic"
+    assert classify(add) == "linearized"
+    assert classify(inv) == "nonlinear"
+
+
+def test_outcome_serialization(f4):
+    outcome = identify_function(gf_adder(f4), f4)
+    payload = outcome.to_dict()
+    assert payload["matches"] == ["add"]
+    assert payload["identified"] == "add"
+    assert payload["classification"] == "linearized"
+    assert payload["polynomial"] == "A + B"
+    assert payload["cache_hit"] is False

@@ -1,0 +1,108 @@
+"""Obfuscation generators: semantics preservation and recovery robustness."""
+
+import random
+
+import pytest
+
+from repro.circuits import simulate_words, to_verilog
+from repro.reveng import (
+    OBFUSCATION_PASSES,
+    identify_function,
+    obfuscate,
+    obfuscation_suite,
+    recover_polynomial,
+)
+from repro.synth import mastrovito_multiplier
+
+
+def _random_stimuli(circuit, field, lanes=32, seed=7):
+    rng = random.Random(seed)
+    return {
+        word: [rng.randrange(field.order) for _ in range(lanes)]
+        for word in circuit.input_words
+    }
+
+
+def _words_equal(circuit, variant, field):
+    stimuli = _random_stimuli(circuit, field)
+    return simulate_words(circuit, stimuli) == simulate_words(variant.circuit, stimuli)
+
+
+@pytest.fixture(scope="module")
+def mul4(f4):
+    return mastrovito_multiplier(f4)
+
+
+@pytest.mark.parametrize("pass_name", sorted(OBFUSCATION_PASSES))
+def test_single_pass_preserves_semantics(mul4, f4, pass_name):
+    variant = obfuscate(mul4, passes=[pass_name], seed=11)
+    assert list(variant.passes) == [pass_name]
+    assert _words_equal(mul4, variant, f4)
+
+
+def test_suite_covers_every_pass_plus_stack(mul4):
+    suite = obfuscation_suite(mul4)
+    names = [variant.name for variant in suite]
+    assert len(suite) == len(OBFUSCATION_PASSES) + 1
+    assert names[-1].endswith("_stacked")
+    single = {variant.passes[0] for variant in suite[:-1]}
+    assert single == set(OBFUSCATION_PASSES)
+
+
+def test_suite_variants_are_simulation_equivalent(mul4, f4):
+    for variant in obfuscation_suite(mul4):
+        assert _words_equal(mul4, variant, f4), variant.name
+
+
+def test_suite_variants_still_identify_as_multiplication(mul4, f4):
+    for variant in obfuscation_suite(mul4):
+        outcome = identify_function(variant.circuit, f4)
+        assert outcome.matches == ["mul"], variant.name
+
+
+def test_recovery_survives_stacked_obfuscation(f4):
+    circuit = mastrovito_multiplier(f4)
+    variant = obfuscate(circuit, seed=3)
+    assert variant.gates_after > variant.gates_before
+    result = recover_polynomial(variant.circuit)
+    assert result.recovered == f4.modulus
+
+
+def test_obfuscation_is_deterministic(mul4):
+    first = obfuscate(mul4, seed=42)
+    second = obfuscate(mul4, seed=42)
+    assert to_verilog(first.circuit) == to_verilog(second.circuit)
+
+
+def test_different_seeds_differ(mul4):
+    a = obfuscate(mul4, seed=1)
+    b = obfuscate(mul4, seed=2)
+    assert to_verilog(a.circuit) != to_verilog(b.circuit)
+
+
+def test_rename_pass_changes_cache_key(mul4, f4):
+    """Opaque renaming defeats netlist-text caching; shuffling must not."""
+    from repro.jobs.cache import canonical_cache_key
+
+    def key_of(circ):
+        return canonical_cache_key(circ, f4)
+
+    base = key_of(mul4)
+    shuffled = obfuscate(mul4, passes=["shuffle"], seed=5)
+    renamed = obfuscate(mul4, passes=["rename"], seed=5)
+    assert key_of(shuffled.circuit) == base
+    assert key_of(renamed.circuit) != base
+
+
+def test_unknown_pass_rejected(mul4):
+    with pytest.raises(ValueError):
+        obfuscate(mul4, passes=["nonesuch"])
+
+
+def test_variant_serialization(mul4):
+    variant = obfuscate(mul4, passes=["dead_logic"], seed=9)
+    payload = variant.to_dict()
+    assert payload["name"] == variant.name
+    assert payload["passes"] == ["dead_logic"]
+    assert payload["gates_after"] >= payload["gates_before"]
+    assert "growth" in payload

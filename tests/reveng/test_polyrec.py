@@ -1,0 +1,133 @@
+"""Tests for P(x) recovery sweeps over candidate irreducible polynomials."""
+
+import pytest
+
+from repro.gf import GF2m, STANDARD_POLYNOMIALS, irreducible_polynomials
+from repro.jobs.cache import CanonicalPolyCache
+from repro.reveng import RevengResult, infer_degree, recover_polynomial
+from repro.synth import (
+    gf_adder,
+    mastrovito_multiplier,
+    montgomery_block,
+    montgomery_multiplier,
+)
+
+
+@pytest.mark.parametrize("k", [8, 16, 32])
+def test_recovers_mastrovito_modulus(k):
+    """The sweep recovers the standard modulus without being told it."""
+    field = GF2m(k)
+    result = recover_polynomial(mastrovito_multiplier(field))
+    assert result.recovered == field.modulus
+    assert result.degree == k
+    assert result.spec_form == "mul"
+    # NIST-style low-weight moduli sit first in (weight, value) order, so
+    # the sweep terminates on the very first probe.
+    assert result.candidates_tried == 1
+    assert not result.exhausted
+
+
+@pytest.mark.parametrize("k", [8, 16, 32])
+def test_recovers_montgomery_modulus(k):
+    """Flattened Montgomery multipliers recover the same way (Z = A*B)."""
+    field = GF2m(k)
+    circuit = montgomery_multiplier(field).flatten()
+    result = recover_polynomial(circuit)
+    assert result.recovered == field.modulus
+    assert result.candidates_tried == 1
+
+
+def test_recovers_montgomery_block_with_spec_form(f4):
+    """A bare Montgomery block matches under the R^-1*A*B spec form."""
+    circuit = montgomery_block(f4)
+    plain = recover_polynomial(circuit, spec_form="mul")
+    assert plain.recovered is None, "R^-1*A*B must not match the plain A*B form"
+    assert plain.exhausted
+    result = recover_polynomial(circuit, spec_form="montgomery_mul")
+    assert result.recovered == f4.modulus
+
+
+def test_recovery_with_nonstandard_modulus():
+    """Recovery is not hard-wired to the standard polynomial."""
+    candidates = list(irreducible_polynomials(8))
+    alt = next(p for p in candidates if p != STANDARD_POLYNOMIALS[8])
+    field = GF2m(8, modulus=alt)
+    result = recover_polynomial(mastrovito_multiplier(field))
+    assert result.recovered == alt
+
+
+def test_warm_sweep_is_all_cache_hits(tmp_path):
+    """A second identical sweep must be served (>=90%) from the cache."""
+    field = GF2m(8)
+    circuit = mastrovito_multiplier(field)
+    cache = CanonicalPolyCache(tmp_path / "cache")
+
+    cold = recover_polynomial(circuit, cache=cache, all_candidates=True, limit=6)
+    assert cold.cache_hits == 0
+    assert cold.candidates_tried == 6
+
+    warm = recover_polynomial(circuit, cache=cache, all_candidates=True, limit=6)
+    assert warm.candidates_tried == 6
+    assert warm.cache_hits == warm.candidates_tried
+    assert warm.matches == cold.matches == [field.modulus]
+
+
+def test_census_is_exclusive(tmp_path):
+    """all_candidates keeps sweeping and only the true modulus matches."""
+    field = GF2m(8)
+    cache = CanonicalPolyCache(tmp_path / "cache")
+    result = recover_polynomial(
+        mastrovito_multiplier(field), cache=cache, all_candidates=True, limit=10
+    )
+    assert result.candidates_tried == 10
+    assert result.matches == [field.modulus]
+    assert not result.exhausted  # stopped by the limit, not exhaustion
+    assert len(result.probes) == 10
+
+
+def test_limit_without_match_reports_no_recovery(tmp_path):
+    """A budget that excludes the true modulus yields an honest miss."""
+    field = GF2m(8)
+    # An adder's canonical form is A+B under *every* modulus candidate, so
+    # it can never match the multiplication spec form.
+    result = recover_polynomial(gf_adder(field), spec_form="mul", limit=4)
+    assert result.recovered is None
+    assert result.matches == []
+    assert result.candidates_tried == 4
+
+
+def test_result_serialization_round_trip():
+    field = GF2m(8)
+    result = recover_polynomial(mastrovito_multiplier(field))
+    payload = result.to_dict()
+    assert payload["recovered"] == hex(field.modulus)
+    assert payload["matches"] == [hex(field.modulus)]
+    assert payload["candidates_tried"] == 1
+    assert isinstance(payload["probes"], list)
+    assert payload["probes"][0]["modulus"] == hex(field.modulus)
+    assert isinstance(result, RevengResult)
+
+
+def test_infer_degree_from_words(f8):
+    assert infer_degree(mastrovito_multiplier(f8)) == 8
+
+
+def test_infer_degree_rejects_wordless_circuit():
+    from repro.circuits import Circuit
+
+    circuit = Circuit("raw")
+    circuit.add_inputs(["a", "b"])
+    circuit.AND("a", "b", out="z")
+    circuit.set_outputs(["z"])
+    with pytest.raises(ValueError):
+        infer_degree(circuit)
+
+
+def test_unknown_spec_form_rejected(f4):
+    with pytest.raises(ValueError):
+        recover_polynomial(mastrovito_multiplier(f4), spec_form="nonesuch")
+
+
+def test_degree_below_two_rejected(f4):
+    with pytest.raises(ValueError):
+        recover_polynomial(mastrovito_multiplier(f4), degree=1)

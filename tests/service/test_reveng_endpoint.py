@@ -1,0 +1,90 @@
+"""POST /v1/reveng: recovery and identification over the wire."""
+
+import pytest
+
+from repro.service import ServiceError
+
+
+class TestRevengPoly:
+    def test_poly_round_trip_recovers_modulus(
+        self, service_factory, client_for, texts, tmp_path
+    ):
+        service = service_factory(cache_dir=str(tmp_path / "cache"))
+        client = client_for(service)
+        doc = client.submit_reveng(texts["spec"], mode="poly")
+        final = client.wait_for(doc["id"], timeout=120.0)
+        assert final["status"] == "done"
+        result = final["result"]
+        assert result["mode"] == "poly"
+        assert result["recovered"] == "0x13"  # x^4 + x + 1
+        assert result["degree"] == 4
+        assert result["candidates_tried"] == 1
+
+    def test_repeat_sweep_is_cache_served(
+        self, service_factory, client_for, texts, tmp_path
+    ):
+        service = service_factory(cache_dir=str(tmp_path / "cache"), workers=1)
+        client = client_for(service)
+        first = client.submit_reveng(texts["spec"], mode="poly")
+        cold = client.wait_for(first["id"], timeout=120.0)
+        assert cold["result"]["cache_hits"] == 0
+        second = client.submit_reveng(texts["spec"], mode="poly", limit=3)
+        warm = client.wait_for(second["id"], timeout=120.0)
+        # Different limit => different request key, same underlying probes.
+        assert warm["result"]["cache_hits"] >= 1
+
+
+class TestRevengFunc:
+    def test_func_round_trip_identifies_multiplication(
+        self, service_factory, client_for, texts, tmp_path
+    ):
+        service = service_factory(cache_dir=str(tmp_path / "cache"))
+        client = client_for(service)
+        doc = client.submit_reveng(texts["impl"], mode="func", k=4)
+        final = client.wait_for(doc["id"], timeout=120.0)
+        assert final["status"] == "done"
+        result = final["result"]
+        assert result["mode"] == "func"
+        assert result["identified"] == "mul"
+        assert result["classification"] == "quadratic"
+
+
+class TestRevengValidation:
+    def test_func_without_k_rejected(self, service_factory, client_for, texts):
+        service = service_factory()
+        client = client_for(service, retries=0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_reveng(texts["spec"], mode="func")
+        assert excinfo.value.status == 400
+        assert "'k'" in str(excinfo.value)
+
+    def test_bad_mode_rejected(self, service_factory, client_for, texts):
+        service = service_factory()
+        client = client_for(service, retries=0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_reveng(texts["spec"], mode="sideways")
+        assert excinfo.value.status == 400
+
+    def test_missing_netlist_rejected(self, service_factory, client_for):
+        service = service_factory()
+        client = client_for(service, retries=0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("POST", "/v1/reveng", {"mode": "poly"})
+        assert excinfo.value.status == 400
+
+
+class TestRevengMetrics:
+    def test_counters_surface_in_metrics(
+        self, service_factory, client_for, texts, tmp_path
+    ):
+        service = service_factory(cache_dir=str(tmp_path / "cache"), workers=1)
+        client = client_for(service)
+        poly = client.submit_reveng(texts["spec"], mode="poly")
+        client.wait_for(poly["id"], timeout=120.0)
+        func = client.submit_reveng(texts["impl"], mode="func", k=4)
+        client.wait_for(func["id"], timeout=120.0)
+        text = client.metrics_text()
+        assert "repro_reveng_sweeps 1" in text
+        assert "repro_reveng_candidates_probed" in text
+        assert "repro_reveng_matches 1" in text
+        assert "repro_reveng_identifications 1" in text
