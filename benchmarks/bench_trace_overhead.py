@@ -1,0 +1,187 @@
+"""REDTRACE overhead: enabled-vs-disabled recording at paper word widths.
+
+The reduction-event hooks (``divisor_hit``, ``mask_sweep``,
+``spoly_selected``, ...) live permanently inside the division and
+abstraction hot loops, so they inherit the telemetry subsystem's core
+promise: *disabled means free*. This benchmark measures both halves of
+that promise on the Mastrovito-vs-Montgomery verify path:
+
+1. **disabled guard** — census the events a run would emit, microbench
+   the per-iteration disabled cost (one hoisted ``active_writer()`` local
+   tested against ``None``), and assert
+   ``events x per_check < 5% of the disabled verify wall time`` — the
+   same budget ``bench_obs_overhead.py`` enforces for spans/counters;
+2. **enabled ratio** — time the same verify with a stream recording
+   active and report the slowdown honestly (recording is a diagnostic
+   mode; it has no budget, only a measurement).
+
+Standalone script so CI can gate on it cheaply::
+
+    PYTHONPATH=src python benchmarks/bench_trace_overhead.py --quick
+
+``--quick`` restricts the sweep to k=16 (the CI smoke contract); the
+default sweep is k in {16, 32, 64}. Output JSON goes to ``--out``,
+``$REPRO_BENCH_OUT``, or ``./BENCH_trace.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from datetime import datetime
+from pathlib import Path
+
+from repro.gf import GF2m
+from repro.obs import redtrace
+from repro.synth import mastrovito_multiplier, montgomery_multiplier
+from repro.verify import verify_equivalence
+
+SWEEP_SIZES = (16, 32, 64)
+QUICK_SIZES = (16,)
+DISABLED_BUDGET = 0.05
+_CHECK_LOOP = 1_000_000
+
+
+def _build_pair(k: int):
+    field = GF2m(k)
+    return mastrovito_multiplier(field), montgomery_multiplier(field).flatten(), field
+
+
+def _time_verify(spec, impl, field, reps: int) -> float:
+    samples = []
+    for _ in range(reps):
+        gc.collect()
+        t0 = time.perf_counter()
+        outcome = verify_equivalence(spec, impl, field)
+        samples.append(time.perf_counter() - t0)
+        assert outcome.equivalent
+    return statistics.median(samples)
+
+
+def _per_check_disabled_seconds() -> float:
+    """Cost of one hoisted-writer None test, the per-iteration disabled
+    price every instrumented loop pays."""
+    assert redtrace.active_writer() is None
+    rtw = redtrace.active_writer()
+    sink = 0
+    t0 = time.perf_counter()
+    for _ in range(_CHECK_LOOP):
+        if rtw is not None:
+            sink += 1
+    per_iter = (time.perf_counter() - t0) / _CHECK_LOOP
+    assert sink == 0
+    return per_iter
+
+
+def _census_events(spec, impl, field) -> int:
+    """How many REDTRACE events does this verify emit when recording?"""
+    writer = redtrace.start_recording(
+        op="verify", params={"k": field.k}, ring=True, max_events=10_000_000
+    )
+    try:
+        verify_equivalence(spec, impl, field)
+    finally:
+        redtrace.stop_recording()
+    return writer.emitted
+
+
+def bench_size(k: int, reps: int, trace_dir: Path) -> dict:
+    spec, impl, field = _build_pair(k)
+    gates = spec.num_gates() + impl.num_gates()
+
+    disabled_seconds = _time_verify(spec, impl, field, reps)
+    events = _census_events(spec, impl, field)
+    per_check = _per_check_disabled_seconds()
+    disabled_fraction = (events * per_check) / disabled_seconds
+
+    # Enabled: stream recording to a real file, the verify --record path.
+    trace_path = trace_dir / f"bench_k{k}.redtrace"
+    samples = []
+    for _ in range(reps):
+        gc.collect()
+        redtrace.start_recording(
+            path=str(trace_path), op="verify", params={"k": k}
+        )
+        t0 = time.perf_counter()
+        outcome = verify_equivalence(spec, impl, field)
+        samples.append(time.perf_counter() - t0)
+        redtrace.stop_recording()
+        assert outcome.equivalent
+    enabled_seconds = statistics.median(samples)
+    trace_path.unlink(missing_ok=True)
+
+    row = {
+        "gates": gates,
+        "events": events,
+        "disabled_seconds": round(disabled_seconds, 6),
+        "enabled_seconds": round(enabled_seconds, 6),
+        "enabled_ratio": round(enabled_seconds / disabled_seconds, 4),
+        "per_check_ns": round(per_check * 1e9, 3),
+        "disabled_fraction": round(disabled_fraction, 8),
+        "disabled_budget": DISABLED_BUDGET,
+    }
+    print(
+        f"k={k:<3} ({gates} gates)  disabled {disabled_seconds * 1e3:8.1f} ms  "
+        f"recording {enabled_seconds * 1e3:8.1f} ms "
+        f"(x{row['enabled_ratio']:.2f})  {events} events  "
+        f"disabled cost {disabled_fraction * 100:.5f}% of budget "
+        f"{DISABLED_BUDGET * 100:.0f}%"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="k=16 only (CI smoke)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="timing repetitions per configuration (default 3)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON (default $REPRO_BENCH_OUT or "
+                        "./BENCH_trace.json)")
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else SWEEP_SIZES
+    trace_dir = Path(os.environ.get("TMPDIR", "/tmp"))
+    results = {}
+    failures = []
+    for k in sizes:
+        row = bench_size(k, args.reps, trace_dir)
+        results[f"k{k}"] = row
+        if row["disabled_fraction"] >= DISABLED_BUDGET:
+            failures.append(
+                f"k={k}: disabled REDTRACE checks cost "
+                f"{row['disabled_fraction'] * 100:.2f}% of the verify path "
+                f"(budget {DISABLED_BUDGET * 100:.0f}%)"
+            )
+
+    doc = {
+        "meta": {
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "timestamp": datetime.now().isoformat(timespec="seconds"),
+        },
+        "current": results,
+    }
+    out = args.out or os.environ.get("REPRO_BENCH_OUT") or "BENCH_trace.json"
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    sys.exit(main())

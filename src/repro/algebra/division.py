@@ -24,7 +24,7 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..obs import metrics
+from ..obs import metrics, redtrace
 from .order import Monomial
 from .ring import Polynomial, PolynomialRing
 
@@ -171,12 +171,17 @@ def reduce_polynomial(
     remainder: Dict[Monomial, int] = {}
     steps = 0
     peak_terms = 0
+    # REDTRACE hook, hoisted once per call: the disabled cost inside this
+    # innermost loop must stay a single None test.
+    rtw = redtrace.active_writer()
     while heap:
         monomial = heappop(heap)[1]
         coeff = work.pop(monomial, None)
         if coeff is None:
             continue  # stale heap entry: the term cancelled earlier
         slot = find(monomial)
+        if rtw is not None and slot is not None:
+            rtw.emit("divisor_hit", slot=slot, m=monomial)
         steps += 1
         size = len(work) + len(remainder)
         if size > peak_terms:
@@ -233,10 +238,13 @@ def reference_reduce_polynomial(
     remainder: Dict[Monomial, int] = {}
     steps = 0
     peak_terms = 0
+    rtw = redtrace.active_writer()
     while work:
         monomial = min(work, key=order.sort_key)  # the current leading term
         coeff = work.pop(monomial)
         index = _find_reducer(ring, monomial, leads)
+        if rtw is not None and index is not None:
+            rtw.emit("divisor_hit", slot=index, m=monomial)
         steps += 1
         size = len(work) + len(remainder)
         if size > peak_terms:

@@ -124,13 +124,38 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_abstract(args: argparse.Namespace) -> int:
     field = _field(args)
     circuit = _read_netlist(args.netlist)
-    result = extract_canonical(
-        circuit,
-        field,
-        output_word=args.output_word,
-        case2=args.case2,
-        jobs=args.jobs,
-    )
+    recorder = None
+    if args.record:
+        from .obs.replay import netlist_sha256
+
+        netlist_text = _read_text(args.netlist)
+        recorder = obs.redtrace.start_recording(
+            path=args.record,
+            op="abstract",
+            params={
+                "k": field.k,
+                "modulus": f"{field.modulus:#x}",
+                "output_word": args.output_word,
+                "case2": args.case2,
+                "jobs": args.jobs,
+                "netlist": args.netlist,
+                "netlist_text": netlist_text,
+                "netlist_sha256": netlist_sha256(netlist_text),
+            },
+        )
+    try:
+        result = extract_canonical(
+            circuit,
+            field,
+            output_word=args.output_word,
+            case2=args.case2,
+            jobs=args.jobs,
+        )
+    finally:
+        if recorder is not None:
+            obs.redtrace.stop_recording()
+    if recorder is not None:
+        print(f"redtrace:   {args.record} ({recorder.emitted} event(s))")
     print(f"field:      F_2^{field.k}, P(x) = {poly2.to_string(field.modulus)}")
     print(f"case:       {result.stats.case}")
     print(f"time:       {result.stats.seconds:.3f}s")
@@ -186,6 +211,36 @@ def _print_parallel_metrics(outcome) -> None:
 def _cmd_verify(args: argparse.Namespace) -> int:
     field = _field(args)
     trace_path = args.trace
+    recorder = None
+    if args.record:
+        if args.method != "abstraction":
+            print(
+                "error: --record captures reduction events, so it needs "
+                "--method abstraction",
+                file=sys.stderr,
+            )
+            return 2
+        from .obs.replay import netlist_sha256
+
+        spec_text = _read_text(args.spec)
+        impl_text = _read_text(args.impl)
+        recorder = obs.redtrace.start_recording(
+            path=args.record,
+            op="verify",
+            params={
+                "k": field.k,
+                "modulus": f"{field.modulus:#x}",
+                "method": args.method,
+                "seed": args.seed,
+                "jobs": args.jobs,
+                "spec": args.spec,
+                "impl": args.impl,
+                "spec_text": spec_text,
+                "impl_text": impl_text,
+                "spec_sha256": netlist_sha256(spec_text),
+                "impl_sha256": netlist_sha256(impl_text),
+            },
+        )
     collector = obs.enable() if (trace_path or args.metrics) else None
     try:
         with obs.span("verify", method=args.method, k=args.k):
@@ -216,7 +271,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     finally:
         if collector is not None:
             obs.disable()
+        if recorder is not None:
+            obs.redtrace.stop_recording()
     print(outcome)
+    if recorder is not None:
+        print(f"redtrace: {args.record} ({recorder.emitted} event(s))")
     if collector is not None:
         snapshot = collector.snapshot()
         if trace_path:
@@ -357,6 +416,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     cache_dir = None
     if not args.no_cache:
         cache_dir = args.cache_dir or str(default_cache_dir())
+    cost_model = None
+    if args.cost_model:
+        from .obs.costmodel import CostModel
+
+        try:
+            cost_model = CostModel.load(args.cost_model)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load cost model: {exc}", file=sys.stderr)
+            return 2
     report = run_batch(
         manifest,
         workers=args.jobs,
@@ -366,6 +434,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         seed=args.seed,
         retries=args.retries,
         trace_dir=args.trace_dir,
+        cost_model=cost_model,
     )
     for result in report.results:
         verdict = result.get("verdict", "")
@@ -394,8 +463,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    cost_model = None
+    if args.cost_model:
+        from .obs.costmodel import CostModel
+
+        try:
+            cost_model = CostModel.load(args.cost_model)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load cost model: {exc}", file=sys.stderr)
+            return 2
     try:
-        aggregate = obs.aggregate_run_log(args.runlog)
+        aggregate = obs.aggregate_run_log(args.runlog, cost_model=cost_model)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -454,8 +532,95 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         prewarm=prewarm,
         port_file=args.port_file,
+        cost_model=args.cost_model,
+        trace_ring=args.trace_ring,
     )
     return serve(config)
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .obs.replay import ReplayError, diff_events, replay_file
+
+    try:
+        recorded, fresh = replay_file(args.trace)
+    except (ReplayError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    header = recorded[0]
+    params = header.get("params") or {}
+    print(
+        f"replay: op={header.get('op')} k={params.get('k')}  "
+        f"recorded {len(recorded)} event(s), fresh run {len(fresh)} event(s)"
+    )
+    if not args.diff:
+        return 0
+    divergence = diff_events(recorded, fresh)
+    if divergence is None:
+        print(f"diff: identical ({len(recorded)} event(s))")
+        return 0
+    index, rec, new = divergence
+    print(f"diff: divergence at event {index}", file=sys.stderr)
+    rec_text = (
+        json.dumps(rec, sort_keys=True) if rec is not None else "(stream ended)"
+    )
+    new_text = (
+        json.dumps(new, sort_keys=True) if new is not None else "(stream ended)"
+    )
+    print(f"  recorded: {rec_text}", file=sys.stderr)
+    print(f"  replayed: {new_text}", file=sys.stderr)
+    return 1
+
+
+def _cmd_costmodel(args: argparse.Namespace) -> int:
+    from .obs.costmodel import CostModel, collect_job_records
+
+    if args.costmodel_command == "fit":
+        try:
+            records = collect_job_records(args.runlogs)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not records:
+            print(
+                "error: no completed job records found in the given run logs",
+                file=sys.stderr,
+            )
+            return 2
+        model = CostModel.fit(records)
+        model.save(args.output)
+        print(f"cost model: {args.output} ({len(records)} job record(s))")
+        for op in sorted(model.ops):
+            entry = model.ops[op]
+            buckets = entry.get("buckets") or {}
+            bucket_text = ", ".join(
+                f"k={k}:{info['mean']:.4f}s(n={info['n']})"
+                for k, info in sorted(buckets.items(), key=lambda i: int(i[0]))
+            )
+            r2 = (entry.get("r2") or {}).get("total")
+            fit_text = f"  r2={r2:.3f}" if isinstance(r2, (int, float)) else ""
+            print(
+                f"  {op}: n={entry['n']} mean={entry['mean']:.4f}s{fit_text}"
+                + (f"  [{bucket_text}]" if bucket_text else "")
+            )
+        return 0
+    # predict
+    try:
+        model = CostModel.load(args.model)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load cost model: {exc}", file=sys.stderr)
+        return 2
+    value = model.predict(
+        args.op, k=args.k, gates=args.gates, cones=args.cones, phase=args.phase
+    )
+    if value is None:
+        print(
+            f"error: model has no estimate for op={args.op!r} "
+            f"(phase={args.phase!r})",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"predicted: {value:.6f}s  (op={args.op} phase={args.phase})")
+    return 0
 
 
 def _read_text(path: str) -> str:
@@ -708,6 +873,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="cone-sliced parallel abstraction: N worker processes "
         "(0 = one per CPU; default serial)",
     )
+    abstract.add_argument(
+        "--record",
+        default=None,
+        metavar="PATH",
+        help="record a REDTRACE/1 reduction trace (JSONL) replayable with "
+        "`repro replay`",
+    )
     abstract.set_defaults(func=_cmd_abstract)
 
     verify = add_command("verify", help="prove or refute equivalence")
@@ -749,6 +921,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print per-span timings and algebraic work counters afterwards",
+    )
+    verify.add_argument(
+        "--record",
+        default=None,
+        metavar="PATH",
+        help="record a REDTRACE/1 reduction trace (JSONL) replayable with "
+        "`repro replay`; abstraction method only",
     )
     verify.set_defaults(func=_cmd_verify)
 
@@ -808,6 +987,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="D",
         help="write one Chrome-trace JSON per job into this directory",
     )
+    batch.add_argument(
+        "--cost-model",
+        default=None,
+        metavar="PATH",
+        help="fitted cost model (repro costmodel fit); orders jobs "
+        "shortest-predicted-first and logs predicted_seconds per job",
+    )
     batch.set_defaults(func=_cmd_batch)
 
     report = add_command(
@@ -819,7 +1005,60 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--json", action="store_true", help="emit the aggregate as JSON"
     )
+    report.add_argument(
+        "--cost-model",
+        default=None,
+        metavar="PATH",
+        help="fitted cost model used to score predicted-vs-actual runtimes "
+        "for jobs that were not run with batch --cost-model",
+    )
     report.set_defaults(func=_cmd_report)
+
+    replay = add_command(
+        "replay",
+        help="re-execute a recorded REDTRACE reduction trace deterministically",
+    )
+    replay.add_argument("trace", help="REDTRACE/1 JSONL file (verify --record)")
+    replay.add_argument(
+        "--diff",
+        action="store_true",
+        help="compare the fresh event stream record-by-record against the "
+        "recording; exit 1 at the first divergence, printing both records",
+    )
+    replay.set_defaults(func=_cmd_replay)
+
+    costmodel = add_command(
+        "costmodel",
+        help="fit or query a per-phase job cost model from batch run logs",
+    )
+    costmodel_sub = costmodel.add_subparsers(
+        dest="costmodel_command", required=True
+    )
+    costmodel_fit = costmodel_sub.add_parser(
+        "fit", help="fit a cost model from one or more batch run logs"
+    )
+    costmodel_fit.add_argument(
+        "runlogs", nargs="+", help="JSONL run logs written by batch --log"
+    )
+    costmodel_fit.add_argument(
+        "-o", "--output", required=True, metavar="PATH",
+        help="where to write the fitted model (JSON)",
+    )
+    costmodel_fit.set_defaults(func=_cmd_costmodel)
+    costmodel_predict = costmodel_sub.add_parser(
+        "predict", help="query a fitted model for a predicted runtime"
+    )
+    costmodel_predict.add_argument("model", help="fitted model JSON")
+    costmodel_predict.add_argument("--op", required=True, help="job type")
+    costmodel_predict.add_argument("--k", type=int, default=None)
+    costmodel_predict.add_argument("--gates", type=int, default=None)
+    costmodel_predict.add_argument("--cones", type=int, default=None)
+    costmodel_predict.add_argument(
+        "--phase",
+        default="total",
+        help="phase to predict (default total; e.g. spoly_reduction)",
+    )
+    costmodel_predict.set_defaults(func=_cmd_costmodel)
 
     cache = add_command(
         "cache", help="inspect or clear the canonical-polynomial cache"
@@ -1040,6 +1279,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write host:port here once listening (ephemeral-port handshake)",
+    )
+    serve.add_argument(
+        "--cost-model",
+        default=None,
+        metavar="PATH",
+        help="fitted cost model (repro costmodel fit) seeding per-(op,k) "
+        "Retry-After estimates before their buckets have seen a job",
+    )
+    serve.add_argument(
+        "--trace-ring",
+        type=int,
+        default=20000,
+        metavar="N",
+        help="flight-recorder ring size for REDTRACE events "
+        "(0 disables; default 20000)",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -43,7 +43,7 @@ from ..algebra import (
 )
 from ..circuits import Circuit, FaninCone, GateType
 from ..gf import GF2m, coordinate_coefficients
-from ..obs import metrics
+from ..obs import metrics, redtrace
 from ..obs.spans import active_collector, span
 from .bitpoly import SubstitutionEngine
 from .gate_polys import gate_tail
@@ -511,6 +511,8 @@ def _reduce_to_masks(
     heapq.heapify(heap)
     queued = set(heap)
     staged_get = staged.get
+    # REDTRACE hook, hoisted so the disabled per-pop cost is one None test.
+    rtw = redtrace.active_writer()
     while heap:
         var = heapq.heappop(heap)
         queued.discard(var)
@@ -518,6 +520,14 @@ def _reduce_to_masks(
         if not bucket:
             continue
         tail_items = tails[var]
+        if rtw is not None:
+            rtw.emit(
+                "mask_sweep",
+                var=var,
+                groups=len(bucket),
+                tail=len(tail_items),
+                live=live,
+            )
         substitutions_here = 0
         # Resolve each tail monomial's target bucket once per pop: groups
         # whose gate tuple is just ``(var,)`` (the common case) route every
@@ -674,11 +684,20 @@ def _divide_word_relations(
     substitutions = 0
     traffic = 0
     peak = 0
+    rtw = redtrace.active_writer()
     for var, rel_tail in word_relations:
         bit = 1 << (var - num_gates)
         affected = [item for item in remainder.items() if item[0] & bit]
         if not affected:
             continue
+        if rtw is not None:
+            rtw.emit(
+                "word_relation_division",
+                var=var,
+                affected=len(affected),
+                tail=len(rel_tail),
+                remainder=len(remainder),
+            )
         titems = [(1 << (tv - num_gates), tc) for tv, tc in rel_tail]
         for mask, _ in affected:
             del remainder[mask]
@@ -995,6 +1014,16 @@ def _extract_serial(
     for i, bit in enumerate(circuit.output_words[output_word]):
         engine.add_term(frozenset((id_of[bit],)), alpha_powers[i])
 
+    rtw = redtrace.active_writer()
+    if rtw is not None:
+        rtw.emit(
+            "spoly_selected",
+            source="abstraction",
+            output=output_word,
+            gates=circuit.num_gates(),
+            seed_terms=len(engine.terms),
+            case2=case2,
+        )
     with span("spoly_reduction", gates=circuit.num_gates(), output=output_word):
         # Division by the input word relations f_wi = b_0 + b_1*alpha + ...
         # + W substitutes each relation's leading bit b_0; handing the
@@ -1137,6 +1166,20 @@ def _extract_parallel(
         heavy_first = sorted(
             range(len(cones)), key=lambda i: -cones[i].num_gates()
         )
+        # Cone events are recorded by the parent (forked workers never
+        # write — see redtrace.reset_after_fork): cone_start here in
+        # dispatch order, cone_end below in bit order, so a parallel
+        # recording replays byte-identically regardless of completion
+        # order.
+        rtw = redtrace.active_writer()
+        if rtw is not None:
+            for i in heavy_first:
+                rtw.emit(
+                    "cone_start",
+                    bit=i,
+                    root=cones[i].root,
+                    gates=cones[i].num_gates(),
+                )
         pool_start = time.perf_counter()
         results = run_pool(
             reduce_cone,
@@ -1151,9 +1194,21 @@ def _extract_parallel(
         substitutions = traffic = peak = 0
         busy = 0.0
         rebuilds_by_pid: Dict[int, int] = {}
-        for res in results:
+        # Merge in bit order (not completion order): the XOR-accumulated
+        # contents are order-independent, and a deterministic iteration
+        # keeps the recorded cone_end stream replayable.
+        for res in sorted(results, key=lambda r: r.index):
             info = res.stats
             index = res.index
+            if rtw is not None:
+                rtw.emit(
+                    "cone_end",
+                    bit=index,
+                    root=info["root"],
+                    gates=info["gates"],
+                    division_steps=info["division_steps"],
+                    terms=info["terms"],
+                )
             cone_steps[index] = info["division_steps"]
             substitutions += info["division_steps"]
             traffic += info["term_traffic"]

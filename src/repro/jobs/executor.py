@@ -37,6 +37,7 @@ import time
 from typing import Dict, Optional, Tuple
 
 from .. import obs
+from ..obs import redtrace
 from ..algebra import parse_polynomial
 from ..circuits import Circuit, read_netlist, read_netlist_text
 from ..core import extract_canonical, word_ring_for
@@ -185,6 +186,13 @@ def _cached_canonical(
     counters["hits"] += int(hit)
     counters["misses"] += int(not hit)
     metrics.counter_add(metrics.CACHE_HITS if hit else metrics.CACHE_MISSES, 1)
+    rtw = redtrace.active_writer()
+    if rtw is not None and (cache is not None or inflight is not None):
+        # Environment-dependent by nature (a warm cache answers differently
+        # than a cold one), so the replay differ never sees these: the
+        # `repro verify --record` path runs cache-less. They exist for the
+        # daemon's flight recorder.
+        rtw.emit("cache_probe", key=key[:16], hit=bool(hit))
     return payload, hit
 
 
@@ -265,6 +273,14 @@ def run_verify(
         "impl_cache_hit": impl_hit,
         "spec_case": spec_payload["stats"]["case"],
         "impl_case": impl_payload["stats"]["case"],
+        # Cost-model features: field width, total gate count across both
+        # sides, total cone count (0 on the serial path / old cache entries).
+        "k": field.k,
+        "gates": spec.num_gates() + impl.num_gates(),
+        "cones": (
+            (spec_payload["stats"].get("cones") or 0)
+            + (impl_payload["stats"].get("cones") or 0)
+        ),
     }
 
 
@@ -290,6 +306,9 @@ def run_abstract(
         "case": payload["stats"]["case"],
         "cache_hit": hit,
         "abstraction_stats": payload["stats"],
+        "k": field.k,
+        "gates": circuit.num_gates(),
+        "cones": payload["stats"].get("cones") or 0,
     }
 
 

@@ -91,6 +91,10 @@ def _pool_initializer(k: Optional[int], modulus: Optional[int], tracing: bool) -
     global _WARM_BUILDS
     obs.disable()
     obs.reset_context()
+    # An inherited REDTRACE writer shares the parent's file descriptor;
+    # cone workers must never write to it (the parent re-emits their
+    # events deterministically at merge time).
+    obs.redtrace.reset_after_fork()
     if k is not None and modulus is not None:
         logtables.warm(k, modulus)
     _WARM_BUILDS = logtables.table_builds()

@@ -76,6 +76,7 @@ class BatchReport:
 
 def _worker_main(job: Dict, conn, cache_dir: Optional[str], attempt: int, seed) -> None:
     """Entry point of a single-job worker process."""
+    obs.redtrace.reset_after_fork()  # never write into the parent's trace fd
     try:
         result = execute_job(job, cache_dir=cache_dir, attempt=attempt, seed=seed)
     except BaseException as exc:  # noqa: BLE001 — any failure becomes a record
@@ -163,6 +164,33 @@ def _prewarm_gf_tables(manifest: BatchManifest) -> None:
         logtables.warm(field.k, field.modulus)
 
 
+def _order_pending(pending: List[tuple], cost_model) -> "tuple[List[tuple], Dict]":
+    """Shortest-predicted-first schedule for the pending stack.
+
+    Returns ``(reordered, predicted_by_id)`` where ``reordered`` is laid
+    out for tail-``pop()`` dispatch: the job with the *smallest* predicted
+    runtime sits last. Predictions use manifest-time features only (op
+    type and ``k`` — gate counts are unknown before parsing), so the
+    model answers from its (op, k) buckets / op means. Jobs the model
+    cannot price keep manifest order among themselves and run after every
+    priced job.
+    """
+    predicted_by_id: Dict[str, float] = {}
+
+    def price(entry: tuple) -> float:
+        job = entry[0]
+        params = job.get("params", {})
+        value = cost_model.predict(job["type"], k=params.get("k"))
+        if value is None:
+            return float("inf")
+        predicted_by_id[job["id"]] = round(value, 6)
+        return value
+
+    priced = [(price(entry), index, entry) for index, entry in enumerate(pending)]
+    priced.sort(key=lambda item: (item[0], item[1]), reverse=True)
+    return [entry for _, _, entry in priced], predicted_by_id
+
+
 def run_batch(
     manifest: BatchManifest,
     workers: int = 1,
@@ -172,13 +200,17 @@ def run_batch(
     seed: Optional[int] = None,
     retries: Optional[int] = None,
     trace_dir: Optional[str] = None,
+    cost_model=None,
 ) -> BatchReport:
     """Run every job of ``manifest`` on a pool of ``workers`` processes.
 
     ``default_timeout``/``retries`` apply to jobs that do not override them
     in the manifest; ``seed`` derives a distinct deterministic per-job seed
     (``seed + job index``) for the randomized counterexample search.
-    ``trace_dir`` enables per-job Chrome traces.
+    ``trace_dir`` enables per-job Chrome traces. ``cost_model`` (a fitted
+    :class:`repro.obs.costmodel.CostModel`) switches dispatch from manifest
+    order to shortest-predicted-first and annotates each job record with
+    ``predicted_seconds`` so ``repro report`` can score the model.
     """
     workers = max(1, int(workers))
     ctx = multiprocessing.get_context("fork")
@@ -196,6 +228,10 @@ def run_batch(
             "cache_dir": cache_dir,
             "timeout": default_timeout,
             "seed": seed,
+            "order": (
+                "shortest-predicted-first" if cost_model is not None
+                else "manifest"
+            ),
         }
     )
 
@@ -204,7 +240,11 @@ def run_batch(
         job_seed = seed + index if seed is not None else None
         job_retries = job.retries if retries is None else retries
         pending.append((job.to_dict(), 1, job_seed, job_retries))
-    pending.reverse()  # pop() from the tail preserves manifest order
+    predicted_by_id: Dict[str, float] = {}
+    if cost_model is not None:
+        pending, predicted_by_id = _order_pending(pending, cost_model)
+    else:
+        pending.reverse()  # pop() from the tail preserves manifest order
 
     running: List[_Running] = []
     results: List[Dict] = []
@@ -213,6 +253,8 @@ def run_batch(
         # The raw span snapshot is bulky; keep it out of the run log and the
         # in-memory results, exporting/merging it here instead.
         telemetry = record.pop("telemetry", None)
+        if record.get("id") in predicted_by_id:
+            record["predicted_seconds"] = predicted_by_id[record["id"]]
         if telemetry:
             if trace_dir:
                 path = os.path.join(trace_dir, _trace_file_name(record["id"]))

@@ -25,7 +25,8 @@ paths costs one global read per call site when disabled (guarded by
     obs.write_chrome_trace(collector.snapshot(), "out.trace.json")
 """
 
-from . import metrics
+from . import metrics, redtrace
+from .costmodel import CostEstimator, CostModel, fit_from_run_logs
 from .export import (
     render_prometheus,
     summary_table,
@@ -34,7 +35,12 @@ from .export import (
     write_jsonl,
 )
 from .report import aggregate_run_log, format_report
-from .schema import validate_trace, validate_trace_file
+from .schema import (
+    validate_redtrace,
+    validate_redtrace_file,
+    validate_trace,
+    validate_trace_file,
+)
 from .spans import (
     SCHEMA_VERSION,
     TraceCollector,
@@ -50,23 +56,29 @@ from .spans import (
 )
 
 __all__ = [
+    "CostEstimator",
+    "CostModel",
     "SCHEMA_VERSION",
     "TraceCollector",
     "active_collector",
     "aggregate_run_log",
     "counter_add",
+    "fit_from_run_logs",
     "disable",
     "enable",
     "format_report",
     "gauge_max",
     "is_enabled",
     "metrics",
+    "redtrace",
     "render_prometheus",
     "reset_context",
     "span",
     "summary_table",
     "to_chrome_trace",
     "traced",
+    "validate_redtrace",
+    "validate_redtrace_file",
     "validate_trace",
     "validate_trace_file",
     "write_chrome_trace",

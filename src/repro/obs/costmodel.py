@@ -1,0 +1,361 @@
+"""Fitted per-phase cost models + online (op, k) runtime estimators.
+
+Two complementary predictors live here, both feeding "how long will this
+job take?" questions:
+
+- :class:`CostModel` — an *offline* model fitted by least squares from
+  accumulated batch run logs (``repro batch --log run.jsonl``). Features
+  per job: gate count, field width ``k`` and cone count; one regression
+  per op type for the total, plus one per recorded phase
+  (``parse``/``rato_setup``/``spoly_reduction``/``coeff_match``). When an
+  op has too few samples for a stable fit the model falls back to
+  per-(op, k) bucket means, then to the op mean. Persisted as JSON
+  (``repro costmodel fit``), consumed by the batch runner's
+  shortest-predicted-first ordering, the service Retry-After estimator
+  and ``repro report``'s predicted-vs-actual section.
+- :class:`CostEstimator` — the *online* half used by the service
+  scheduler: an EMA per (op, k) bucket with a global EMA as cold-start
+  fallback (so a burst of k=16 adds no longer poisons the estimate for
+  k=64 multiplies), optionally seeded by a fitted :class:`CostModel`.
+
+Everything is pure stdlib: the normal-equations solve is a tiny Gaussian
+elimination, which is plenty for 4 features.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "COSTMODEL_VERSION",
+    "FEATURE_NAMES",
+    "CostEstimator",
+    "CostModel",
+    "collect_job_records",
+    "fit_from_run_logs",
+]
+
+COSTMODEL_VERSION = "repro-costmodel-v1"
+
+# Design-matrix columns, in order. ``intercept`` is the constant 1.
+FEATURE_NAMES = ("intercept", "gates", "k", "cones")
+
+# Least-squares needs comfortably more samples than features to produce
+# coefficients worth trusting.
+_MIN_FIT_SAMPLES = len(FEATURE_NAMES) + 2
+
+_MIN_PREDICTION = 1e-4
+
+
+def _solve(matrix: List[List[float]], rhs: List[float]) -> Optional[List[float]]:
+    """Gaussian elimination with partial pivoting; None when singular."""
+    n = len(rhs)
+    aug = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(aug[r][col]))
+        if abs(aug[pivot][col]) < 1e-12:
+            return None
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        for row in range(n):
+            if row == col:
+                continue
+            factor = aug[row][col] / aug[col][col]
+            if factor:
+                for j in range(col, n + 1):
+                    aug[row][j] -= factor * aug[col][j]
+    return [aug[i][n] / aug[i][i] for i in range(n)]
+
+
+def _least_squares(
+    rows: Sequence[Sequence[float]], targets: Sequence[float], ridge: float = 1e-9
+) -> Optional[List[float]]:
+    """Solve ``min ||X b - y||`` via ridge-damped normal equations."""
+    if not rows:
+        return None
+    n_features = len(rows[0])
+    xtx = [[0.0] * n_features for _ in range(n_features)]
+    xty = [0.0] * n_features
+    for row, y in zip(rows, targets):
+        for i in range(n_features):
+            xty[i] += row[i] * y
+            for j in range(n_features):
+                xtx[i][j] += row[i] * row[j]
+    for i in range(n_features):
+        xtx[i][i] += ridge
+    return _solve(xtx, xty)
+
+
+def _features(record: Dict[str, Any]) -> List[float]:
+    return [
+        1.0,
+        float(record.get("gates") or 0),
+        float(record.get("k") or 0),
+        float(record.get("cones") or 0),
+    ]
+
+
+class CostModel:
+    """Per-op least-squares timing model with bucket-mean fallbacks."""
+
+    def __init__(self, ops: Dict[str, Dict[str, Any]], fitted_from: int = 0):
+        self.ops = ops
+        self.fitted_from = fitted_from
+
+    # -- fitting -------------------------------------------------------------
+
+    @classmethod
+    def fit(cls, records: Iterable[Dict[str, Any]]) -> "CostModel":
+        """Fit from job records (each: op/type, seconds, k/gates/cones,
+        optional phases dict of per-phase seconds)."""
+        by_op: Dict[str, List[Dict[str, Any]]] = {}
+        total = 0
+        for record in records:
+            op = record.get("op") or record.get("type")
+            seconds = record.get("seconds")
+            if not op or not isinstance(seconds, (int, float)):
+                continue
+            by_op.setdefault(str(op), []).append(record)
+            total += 1
+
+        ops: Dict[str, Dict[str, Any]] = {}
+        for op, group in sorted(by_op.items()):
+            seconds = [float(r["seconds"]) for r in group]
+            buckets: Dict[str, Dict[str, float]] = {}
+            for r in group:
+                k = r.get("k")
+                if k is None:
+                    continue
+                slot = buckets.setdefault(str(int(k)), {"sum": 0.0, "n": 0})
+                slot["sum"] += float(r["seconds"])
+                slot["n"] += 1
+            coef: Dict[str, List[float]] = {}
+            rsq: Dict[str, float] = {}
+            # Total-runtime regression, then one per phase that appears.
+            targets: Dict[str, List[Tuple[List[float], float]]] = {
+                "total": [(_features(r), float(r["seconds"])) for r in group]
+            }
+            for r in group:
+                for phase, phase_seconds in (r.get("phases") or {}).items():
+                    if isinstance(phase_seconds, (int, float)):
+                        targets.setdefault(phase, []).append(
+                            (_features(r), float(phase_seconds))
+                        )
+            for name, pairs in targets.items():
+                if len(pairs) < _MIN_FIT_SAMPLES:
+                    continue
+                rows = [p[0] for p in pairs]
+                ys = [p[1] for p in pairs]
+                solved = _least_squares(rows, ys)
+                if solved is None:
+                    continue
+                coef[name] = [round(c, 12) for c in solved]
+                rsq[name] = round(_r_squared(rows, ys, solved), 6)
+            ops[op] = {
+                "n": len(group),
+                "mean": sum(seconds) / len(seconds),
+                "buckets": {
+                    k: {"mean": v["sum"] / v["n"], "n": int(v["n"])}
+                    for k, v in sorted(buckets.items(), key=lambda kv: int(kv[0]))
+                },
+                "coef": coef,
+                "r2": rsq,
+            }
+        return cls(ops, fitted_from=total)
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict(
+        self,
+        op: str,
+        k: Optional[int] = None,
+        gates: Optional[int] = None,
+        cones: Optional[int] = None,
+        phase: str = "total",
+    ) -> Optional[float]:
+        """Predicted seconds, or None when the model knows nothing of op.
+
+        The regression is only used when ``gates`` is known (manifest-time
+        callers usually only know ``k``); otherwise the (op, k) bucket
+        mean answers, then the op mean.
+        """
+        entry = self.ops.get(op)
+        if entry is None:
+            return None
+        coef = (entry.get("coef") or {}).get(phase)
+        if coef is not None and gates is not None:
+            features = _features({"gates": gates, "k": k, "cones": cones})
+            value = sum(c * f for c, f in zip(coef, features))
+            return max(_MIN_PREDICTION, value)
+        if phase != "total":
+            return None
+        if k is not None:
+            bucket = (entry.get("buckets") or {}).get(str(int(k)))
+            if bucket:
+                return max(_MIN_PREDICTION, float(bucket["mean"]))
+        mean = entry.get("mean")
+        if isinstance(mean, (int, float)):
+            return max(_MIN_PREDICTION, float(mean))
+        return None
+
+    def bucket_mean(self, op: str, k: Optional[int]) -> Optional[float]:
+        """The raw (op, k) bucket mean, if that bucket was ever observed."""
+        entry = self.ops.get(op)
+        if entry is None or k is None:
+            return None
+        bucket = (entry.get("buckets") or {}).get(str(int(k)))
+        return float(bucket["mean"]) if bucket else None
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": COSTMODEL_VERSION,
+            "features": list(FEATURE_NAMES),
+            "fitted_from": self.fitted_from,
+            "ops": self.ops,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "CostModel":
+        version = doc.get("version")
+        if version != COSTMODEL_VERSION:
+            raise ValueError(
+                f"unsupported cost model version {version!r} "
+                f"(expected {COSTMODEL_VERSION!r})"
+            )
+        ops = doc.get("ops")
+        if not isinstance(ops, dict):
+            raise ValueError("cost model document has no 'ops' mapping")
+        return cls(ops, fitted_from=int(doc.get("fitted_from") or 0))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "CostModel":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def _r_squared(
+    rows: Sequence[Sequence[float]], ys: Sequence[float], coef: Sequence[float]
+) -> float:
+    mean = sum(ys) / len(ys)
+    ss_tot = sum((y - mean) ** 2 for y in ys)
+    ss_res = sum(
+        (y - sum(c * f for c, f in zip(coef, row))) ** 2
+        for row, y in zip(rows, ys)
+    )
+    if ss_tot <= 0:
+        return 1.0 if ss_res <= 1e-18 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+# -- run-log ingestion -------------------------------------------------------
+
+
+def collect_job_records(paths: Iterable[str]) -> List[Dict[str, Any]]:
+    """Pull fit-ready job records out of batch run logs (JSONL).
+
+    Keeps only completed jobs with a measured runtime; carries the
+    feature fields (k/gates/cones) and per-phase timings through.
+    """
+    records: List[Dict[str, Any]] = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if doc.get("event") != "job" or doc.get("status") != "ok":
+                    continue
+                seconds = doc.get("seconds")
+                if not isinstance(seconds, (int, float)):
+                    continue
+                records.append(
+                    {
+                        "op": doc.get("type"),
+                        "seconds": float(seconds),
+                        "k": doc.get("k"),
+                        "gates": doc.get("gates"),
+                        "cones": doc.get("cones"),
+                        "phases": doc.get("phases") or {},
+                    }
+                )
+    return records
+
+
+def fit_from_run_logs(paths: Iterable[str]) -> CostModel:
+    return CostModel.fit(collect_job_records(paths))
+
+
+# -- online estimation (service scheduler) -----------------------------------
+
+
+class CostEstimator:
+    """Per-(op, k) EMA job-cost buckets with a global EMA fallback.
+
+    The service scheduler observes every finished job here and asks for
+    estimates when computing Retry-After hints. A bucket answers once it
+    has seen at least one job; before that the fitted model (if any)
+    answers; the global EMA is the cold-start fallback of last resort.
+    ``estimate`` returns ``(seconds, source)`` with source one of
+    ``"bucket"``, ``"model"``, ``"global"`` so callers can count
+    fallbacks.
+    """
+
+    _ALPHA = 0.2
+
+    def __init__(
+        self,
+        default_seconds: float = 0.5,
+        model: Optional[CostModel] = None,
+    ):
+        self.model = model
+        self._global = default_seconds
+        self._buckets: Dict[Tuple[str, Optional[int]], float] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _key(op: str, k: Optional[Any]) -> Tuple[str, Optional[int]]:
+        try:
+            return (op, int(k)) if k is not None else (op, None)
+        except (TypeError, ValueError):
+            return (op, None)
+
+    def observe(self, op: str, k: Optional[Any], seconds: float) -> None:
+        key = self._key(op, k)
+        with self._lock:
+            previous = self._buckets.get(key)
+            if previous is None:
+                self._buckets[key] = seconds
+            else:
+                self._buckets[key] = (1 - self._ALPHA) * previous + (
+                    self._ALPHA * seconds
+                )
+            self._global = (1 - self._ALPHA) * self._global + self._ALPHA * seconds
+
+    def estimate(self, op: str, k: Optional[Any] = None) -> Tuple[float, str]:
+        key = self._key(op, k)
+        with self._lock:
+            bucketed = self._buckets.get(key)
+            global_ema = self._global
+        if bucketed is not None:
+            return bucketed, "bucket"
+        if self.model is not None:
+            predicted = self.model.predict(op, k=key[1])
+            if predicted is not None:
+                return predicted, "model"
+        return global_ema, "global"
+
+    def global_estimate(self) -> float:
+        with self._lock:
+            return self._global

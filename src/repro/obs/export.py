@@ -17,6 +17,7 @@ several workers' snapshots):
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Dict, List
 
 from .spans import SCHEMA_VERSION
@@ -28,6 +29,33 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
 ]
+
+
+def _json_safe(value: Any) -> Any:
+    """Normalize an arbitrary span-tag value into strict-JSON territory.
+
+    Span tags are free-form (callers attach moduli as ``bytes``, sets of
+    variable names, ``float('inf')`` deadlines, ...) but Chrome's trace
+    viewer parses with a strict JSON reader — ``json.dump(default=str)``
+    alone leaks Python reprs like ``b'\\x11\\xb'`` into ``args`` and
+    NaN/Infinity literals into the file, both of which make
+    ``chrome://tracing`` refuse the whole trace. Bytes become hex
+    strings, sets become sorted lists, non-finite floats become strings,
+    containers are normalized recursively, anything else stringifies.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else str(value)
+    if isinstance(value, (bytes, bytearray)):
+        return "0x" + bytes(value).hex()
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_json_safe(item) for item in value), key=repr)
+    return str(value)
 
 
 def to_chrome_trace(snapshot: Dict[str, Any]) -> Dict[str, Any]:
@@ -42,7 +70,7 @@ def to_chrome_trace(snapshot: Dict[str, Any]) -> Dict[str, Any]:
     events: List[Dict[str, Any]] = []
     seen_pids = set()
     for record in spans:
-        args = dict(record.get("tags") or {})
+        args = {str(k): _json_safe(v) for k, v in (record.get("tags") or {}).items()}
         if "error" in record:
             args["error"] = record["error"]
         args["span_id"] = record["id"]
@@ -86,7 +114,9 @@ def to_chrome_trace(snapshot: Dict[str, Any]) -> Dict[str, Any]:
 def write_chrome_trace(snapshot: Dict[str, Any], path: str) -> None:
     """Write ``snapshot`` as a ``chrome://tracing``-loadable JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(to_chrome_trace(snapshot), handle, indent=1, default=str)
+        json.dump(
+            to_chrome_trace(snapshot), handle, indent=1, allow_nan=False
+        )
         handle.write("\n")
 
 
@@ -104,6 +134,11 @@ def write_jsonl(snapshot: Dict[str, Any], path: str) -> None:
             + "\n"
         )
         for record in snapshot.get("spans", []):
+            record = dict(record)
+            if record.get("tags"):
+                record["tags"] = {
+                    str(k): _json_safe(v) for k, v in record["tags"].items()
+                }
             handle.write(json.dumps({"event": "span", **record}, default=str) + "\n")
         handle.write(
             json.dumps({"event": "counters", **snapshot.get("counters", {})}) + "\n"

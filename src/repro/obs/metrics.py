@@ -24,6 +24,9 @@ __all__ = [
     "BUCHBERGER_REDUCTIONS",
     "CACHE_HITS",
     "CACHE_MISSES",
+    "COSTMODEL_ABS_ERROR_MS",
+    "COSTMODEL_FALLBACKS",
+    "COSTMODEL_PREDICTIONS",
     "DIVISION_CALLS",
     "DIVISION_PEAK_TERMS",
     "DIVISION_STEPS",
@@ -57,6 +60,9 @@ __all__ = [
     "SERVICE_REQUESTS_DEDUPLICATED",
     "SERVICE_REQUESTS_REJECTED",
     "SERVICE_SINGLEFLIGHT_SHARED",
+    "TRACE_DROPPED",
+    "TRACE_EVENTS",
+    "TRACE_RECORDINGS",
     "VANISHING_GENERATORS",
     "counter_add",
     "gauge_max",
@@ -136,6 +142,23 @@ REVENG_MATCHES = "reveng.matches"
 REVENG_IDENTIFICATIONS = "reveng.identifications"
 REVENG_OBFUSCATION_VARIANTS = "reveng.obfuscation_variants"
 REVENG_OBFUSCATION_GATES_ADDED = "reveng.obfuscation_gates_added"
+
+# REDTRACE event recording (repro.obs.redtrace): events ticks once per
+# emitted record; dropped counts ring-buffer evictions in the daemon's
+# flight recorder (a nonzero value means the window is too small for the
+# traffic); recordings ticks once per start_recording().
+TRACE_EVENTS = "trace.events"
+TRACE_DROPPED = "trace.dropped"
+TRACE_RECORDINGS = "trace.recordings"
+
+# Fitted cost model (repro.obs.costmodel): predictions ticks once per
+# job-runtime estimate the scheduler makes; fallbacks counts the subset
+# answered by the global EMA because neither the fitted model nor the
+# (op, k) bucket had data; abs_error_ms accumulates |predicted - actual|
+# so error rate is abs_error_ms / predictions.
+COSTMODEL_PREDICTIONS = "costmodel.predictions"
+COSTMODEL_FALLBACKS = "costmodel.fallbacks"
+COSTMODEL_ABS_ERROR_MS = "costmodel.abs_error_ms"
 
 # Bit-level cross-checkers.
 SAT_CONFLICTS = "sat.conflicts"

@@ -19,16 +19,20 @@ or ``gauges`` simply contribute nothing to those sections.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 __all__ = ["aggregate_run_log", "format_report"]
 
 
-def aggregate_run_log(path: str) -> Dict[str, Any]:
+def aggregate_run_log(path: str, cost_model=None) -> Dict[str, Any]:
     """Aggregate a batch JSONL run log into one profile dict.
 
-    Raises ``ValueError`` on unreadable/garbled input or when the log
-    contains no job records at all.
+    ``cost_model`` (a fitted :class:`repro.obs.costmodel.CostModel`) adds
+    a ``cost_model`` section scoring predicted-vs-actual runtimes; jobs
+    that already carry ``predicted_seconds`` (a cost-model-ordered batch
+    run) are scored even without the model. Raises ``ValueError`` on
+    unreadable/garbled input or when the log contains no job records at
+    all.
     """
     jobs: List[Dict[str, Any]] = []
     start: Dict[str, Any] = {}
@@ -100,6 +104,7 @@ def aggregate_run_log(path: str) -> Dict[str, Any]:
     for agg in phases.values():
         agg["mean"] = agg["total"] / agg["count"]
     lookups = cache_hits + cache_misses
+    predictions = _score_predictions(jobs, cost_model)
     return {
         "run_log": path,
         "jobs": len(jobs),
@@ -117,7 +122,67 @@ def aggregate_run_log(path: str) -> Dict[str, Any]:
             "misses": cache_misses,
             "hit_rate": (cache_hits / lookups) if lookups else None,
         },
+        "cost_model": predictions,
     }
+
+
+def _score_predictions(
+    jobs: List[Dict[str, Any]], cost_model
+) -> Optional[Dict[str, Any]]:
+    """Per-op predicted-vs-actual accuracy, or None with nothing to score.
+
+    A job's prediction comes from its logged ``predicted_seconds`` (written
+    by a cost-model-ordered batch run) or, failing that, from ``cost_model``
+    applied to the job's logged features (type, k, gates, cones).
+    """
+    per_op: Dict[str, Dict[str, Any]] = {}
+    for record in jobs:
+        if record.get("status") != "ok":
+            continue
+        actual = record.get("seconds")
+        if not isinstance(actual, (int, float)):
+            continue
+        predicted = record.get("predicted_seconds")
+        if predicted is None and cost_model is not None:
+            predicted = cost_model.predict(
+                record.get("type"),
+                k=record.get("k"),
+                gates=record.get("gates"),
+                cones=record.get("cones"),
+            )
+        if not isinstance(predicted, (int, float)):
+            continue
+        op = record.get("type") or "?"
+        agg = per_op.setdefault(
+            op,
+            {"jobs": 0, "actual_s": 0.0, "predicted_s": 0.0, "abs_error_s": 0.0},
+        )
+        agg["jobs"] += 1
+        agg["actual_s"] += float(actual)
+        agg["predicted_s"] += float(predicted)
+        agg["abs_error_s"] += abs(float(actual) - float(predicted))
+    if not per_op:
+        return None
+    for agg in per_op.values():
+        agg["mean_abs_error_s"] = agg["abs_error_s"] / agg["jobs"]
+        agg["mape_pct"] = (
+            100.0 * agg["abs_error_s"] / agg["actual_s"]
+            if agg["actual_s"] > 0
+            else None
+        )
+    totals = {
+        "jobs": sum(agg["jobs"] for agg in per_op.values()),
+        "actual_s": sum(agg["actual_s"] for agg in per_op.values()),
+        "predicted_s": sum(agg["predicted_s"] for agg in per_op.values()),
+        "abs_error_s": sum(agg["abs_error_s"] for agg in per_op.values()),
+    }
+    totals["mean_abs_error_s"] = totals["abs_error_s"] / totals["jobs"]
+    totals["mape_pct"] = (
+        100.0 * totals["abs_error_s"] / totals["actual_s"]
+        if totals["actual_s"] > 0
+        else None
+    )
+    return {"ops": per_op, "overall": totals}
 
 
 def _table(rows: List[Dict[str, Any]]) -> List[str]:
@@ -198,4 +263,23 @@ def format_report(aggregate: Dict[str, Any]) -> str:
         f"cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
         f"hit rate {rate_text}"
     )
+    predictions = aggregate.get("cost_model")
+    if predictions:
+        lines.append("")
+        lines.append("cost model: predicted vs actual")
+
+        def _row(op: str, agg: Dict[str, Any]) -> Dict[str, Any]:
+            mape = agg.get("mape_pct")
+            return {
+                "op": op,
+                "jobs": agg["jobs"],
+                "actual_s": f"{agg['actual_s']:.4f}",
+                "predicted_s": f"{agg['predicted_s']:.4f}",
+                "mean_abs_err_s": f"{agg['mean_abs_error_s']:.4f}",
+                "err_pct": f"{mape:.1f}%" if mape is not None else "n/a",
+            }
+
+        rows = [_row(op, agg) for op, agg in sorted(predictions["ops"].items())]
+        rows.append(_row("(all)", predictions["overall"]))
+        lines.extend(_table(rows))
     return "\n".join(lines)

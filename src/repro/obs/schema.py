@@ -1,16 +1,25 @@
 """Trace-file schema validation (zero-dependency, CI-friendly).
 
-Validates the Chrome Trace Event Format documents written by
-:func:`repro.obs.export.write_chrome_trace` without pulling in a JSON
-Schema library: :func:`validate_trace` returns a list of human-readable
-problems (empty == valid), and running the module validates a file and
-exits nonzero on failure::
+Validates the two trace formats this repo writes without pulling in a
+JSON Schema library:
 
-    python -m repro.obs.schema out.trace.json
+- Chrome Trace Event Format documents from
+  :func:`repro.obs.export.write_chrome_trace` (:func:`validate_trace`);
+- ``REDTRACE/1`` JSONL reduction traces from
+  :mod:`repro.obs.redtrace` (:func:`validate_redtrace`) — header first
+  with the format version, known event kinds only, strictly increasing
+  sequence numbers (gaps are legal: the daemon's ring writer drops old
+  events).
 
-CI runs exactly that against a freshly generated trace so exporter
+Each validator returns a list of human-readable problems (empty ==
+valid), and running the module sniffs the format per file and exits
+nonzero on failure::
+
+    python -m repro.obs.schema out.trace.json run.redtrace
+
+CI runs exactly that against freshly generated traces so exporter
 regressions fail the build rather than silently producing files the
-trace viewer rejects.
+trace viewer (or ``repro replay``) rejects.
 """
 
 from __future__ import annotations
@@ -19,9 +28,16 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
+from .redtrace import EVENT_KINDS, REDTRACE_VERSION
 from .spans import SCHEMA_VERSION
 
-__all__ = ["validate_trace", "validate_trace_file", "main"]
+__all__ = [
+    "validate_redtrace",
+    "validate_redtrace_file",
+    "validate_trace",
+    "validate_trace_file",
+    "main",
+]
 
 _ALLOWED_PHASES = {"X", "M", "B", "E", "C", "i"}
 
@@ -97,13 +113,129 @@ def validate_trace_file(path: str) -> List[str]:
     return validate_trace(doc)
 
 
+def validate_redtrace(lines: List[str], where: str = "trace") -> List[str]:
+    """Validate REDTRACE JSONL content; returns a list of problems.
+
+    ``lines`` are raw text lines (blank ones are ignored). Checks: every
+    line is a JSON object with a known ``ev`` kind; the first record is a
+    ``header`` carrying ``"redtrace": "REDTRACE/1"`` at seq 0; ``seq``
+    values are strictly increasing integers (gaps allowed — the daemon's
+    ring mode drops old events but never reorders them).
+    """
+    errors: List[str] = []
+    events: List[Dict[str, Any]] = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{where}:{number}: not valid JSON: {exc}")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"{where}:{number}: event must be a JSON object")
+            continue
+        kind = record.get("ev")
+        if kind not in EVENT_KINDS:
+            errors.append(
+                f"{where}:{number}: unknown event kind {kind!r} "
+                f"(known: {sorted(EVENT_KINDS)})"
+            )
+        seq = record.get("seq")
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            errors.append(f"{where}:{number}: 'seq' must be a non-negative integer")
+        events.append(record)
+
+    if not events:
+        errors.append(f"{where}: empty trace (no event records)")
+        return errors
+    head = events[0]
+    if head.get("ev") != "header":
+        errors.append(f"{where}: first record must be the 'header' event")
+    else:
+        version = head.get("redtrace")
+        if version is None:
+            errors.append(f"{where}: header is missing the 'redtrace' version field")
+        elif version != REDTRACE_VERSION:
+            errors.append(
+                f"{where}: header version is {version!r}; this validator "
+                f"expects {REDTRACE_VERSION!r}"
+            )
+        if head.get("seq") != 0:
+            errors.append(f"{where}: header must carry seq 0")
+    previous: Optional[int] = None
+    for index, record in enumerate(events):
+        seq = record.get("seq")
+        if not isinstance(seq, int) or isinstance(seq, bool):
+            continue
+        if previous is not None and seq <= previous:
+            errors.append(
+                f"{where}: out-of-order sequence number at record {index}: "
+                f"seq {seq} after seq {previous}"
+            )
+        previous = seq
+    return errors
+
+
+def validate_redtrace_file(path: str) -> List[str]:
+    """Read ``path`` and validate it as a REDTRACE/1 JSONL trace."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    return validate_redtrace(lines, where=path)
+
+
+def _sniff_redtrace(path: str) -> bool:
+    """True when ``path`` looks like JSONL event records (not one JSON doc).
+
+    A Chrome trace is a single multi-line JSON document, so its first
+    line alone does not parse; a REDTRACE file's first line is a complete
+    object (normally the header with a ``redtrace`` key, but any ``ev``
+    record sniffs too so that headerless files are *rejected by the
+    redtrace validator* rather than misread as Chrome traces).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    first = json.loads(line)
+                except json.JSONDecodeError:
+                    return False
+                return isinstance(first, dict) and (
+                    "redtrace" in first or "ev" in first
+                )
+    except OSError:
+        return False
+    return False
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv:
-        print("usage: python -m repro.obs.schema TRACE.json ...", file=sys.stderr)
+        print(
+            "usage: python -m repro.obs.schema TRACE.json|TRACE.redtrace ...",
+            file=sys.stderr,
+        )
         return 2
     status = 0
     for path in argv:
+        if path.endswith(".redtrace") or _sniff_redtrace(path):
+            errors = validate_redtrace_file(path)
+            if errors:
+                for error in errors:
+                    print(f"invalid: {error}", file=sys.stderr)
+                status = 1
+                continue
+            with open(path, "r", encoding="utf-8") as handle:
+                count = sum(1 for line in handle if line.strip())
+            print(f"ok: {path} ({count} redtrace event(s))")
+            continue
         errors = validate_trace_file(path)
         if errors:
             for error in errors:

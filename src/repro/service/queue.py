@@ -104,6 +104,15 @@ class BoundedJobQueue:
             self._not_empty.notify_all()
             return items
 
+    def items(self) -> list:
+        """Snapshot of the queued items, in dispatch (priority) order.
+
+        Read-only peek for cost estimation (the Retry-After hint sums a
+        per-item runtime prediction); the queue itself is untouched.
+        """
+        with self._lock:
+            return [entry[2] for entry in sorted(self._heap)]
+
     def depth(self) -> int:
         with self._lock:
             return len(self._heap)

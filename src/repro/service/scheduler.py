@@ -39,6 +39,7 @@ from ..gf import GF2m, logtables
 from ..jobs.cache import CanonicalPolyCache
 from ..jobs.executor import run_abstract, run_reveng, run_verify
 from ..obs import metrics
+from ..obs.costmodel import CostEstimator, CostModel
 from .queue import BoundedJobQueue, QueueClosed
 from .singleflight import SingleFlight
 from .store import JobRecord, JobStore
@@ -58,6 +59,7 @@ class Scheduler:
         workers: int = 2,
         cache_dir: Optional[str] = None,
         seed: Optional[int] = None,
+        cost_model_path: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -70,11 +72,22 @@ class Scheduler:
         self._threads: list = []
         self._warmed: Set[Tuple[int, int]] = set()
         self._warm_lock = threading.Lock()
-        # EWMA of job run time, seeding Retry-After hints on 429s. Starts
-        # at a plausible small-field verify latency so the very first
-        # rejection doesn't advertise zero.
-        self._ema_seconds = 0.5
-        self._ema_lock = threading.Lock()
+        # Per-(op, k) EWMA job-cost buckets seeding Retry-After hints on
+        # 429s, optionally primed by a fitted cost model. The global EWMA
+        # inside the estimator is the cold-start fallback — it starts at a
+        # plausible small-field verify latency so the very first rejection
+        # doesn't advertise zero.
+        model = None
+        if cost_model_path:
+            try:
+                model = CostModel.load(cost_model_path)
+            except (OSError, ValueError, KeyError) as exc:
+                logger.warning(
+                    "cost model %s not loaded (%s); falling back to EWMA",
+                    cost_model_path,
+                    exc,
+                )
+        self.estimator = CostEstimator(default_seconds=0.5, model=model)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -159,20 +172,28 @@ class Scheduler:
 
     def retry_after_hint(self) -> int:
         """Whole seconds a 429'd client should wait: one queue's worth of
-        estimated work per worker, clamped to [1, 120]."""
-        with self._ema_lock:
-            ema = self._ema_seconds
-        estimate = ema * max(1, self.queue.depth()) / self._workers
+        estimated work per worker, clamped to [1, 120].
+
+        Each queued job is priced by its own (op, k) bucket — a burst of
+        fast k=16 adds no longer poisons the estimate for queued k=64
+        multiplies — with the fitted model, then the global EWMA, filling
+        in for buckets that have never completed a job.
+        """
+        total = 0.0
+        for record in self.queue.items():
+            seconds, _ = self.estimator.estimate(
+                record.kind, record.params.get("k")
+            )
+            total += seconds
+        if total <= 0.0:
+            total = self.estimator.global_estimate()
+        estimate = total / self._workers
         return max(1, min(120, int(estimate + 0.999)))
 
     # -- internals -----------------------------------------------------------
 
     def _note_shared(self, key: str) -> None:
         metrics.counter_add(metrics.SERVICE_SINGLEFLIGHT_SHARED, 1)
-
-    def _observe_seconds(self, seconds: float) -> None:
-        with self._ema_lock:
-            self._ema_seconds = 0.8 * self._ema_seconds + 0.2 * seconds
 
     def _worker_loop(self) -> None:
         while True:
@@ -197,6 +218,9 @@ class Scheduler:
             return
 
         self.store.mark_running(record)
+        predicted, source = self.estimator.estimate(
+            record.kind, record.params.get("k")
+        )
         started = time.perf_counter()
         try:
             with obs.span(
@@ -229,4 +253,12 @@ class Scheduler:
             self.store.finish(record, "done", result=result)
             metrics.counter_add(metrics.SERVICE_JOBS_COMPLETED, 1)
         finally:
-            self._observe_seconds(time.perf_counter() - started)
+            seconds = time.perf_counter() - started
+            self.estimator.observe(record.kind, record.params.get("k"), seconds)
+            metrics.counter_add(metrics.COSTMODEL_PREDICTIONS, 1)
+            if source == "global":
+                metrics.counter_add(metrics.COSTMODEL_FALLBACKS, 1)
+            metrics.counter_add(
+                metrics.COSTMODEL_ABS_ERROR_MS,
+                int(abs(seconds - predicted) * 1000),
+            )

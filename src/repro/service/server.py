@@ -191,6 +191,13 @@ class ServiceConfig:
     max_request_bytes: int = 32 * 1024 * 1024
     max_spans: int = 20000
     seed: Optional[int] = None
+    #: Fitted cost model (``repro costmodel fit`` output) priming the
+    #: Retry-After estimator's cold-start predictions.
+    cost_model: Optional[str] = None
+    #: Capacity of the in-memory REDTRACE flight recorder (ring mode);
+    #: 0 disables it. It exists so ``trace.*`` metrics reflect live
+    #: engine traffic on ``/metrics`` — it is not a replayable artifact.
+    trace_ring: int = 20000
     #: ``(k, modulus)`` pairs whose GF tables are built before the first
     #: request (modulus None = the NIST default for that k).
     prewarm: List[Tuple[int, Optional[int]]] = dataclass_field(default_factory=list)
@@ -358,6 +365,7 @@ class VerificationService:
             workers=self.config.workers,
             cache_dir=self.config.cache_dir,
             seed=self.config.seed,
+            cost_model_path=self.config.cost_model,
         )
         self._httpd: Optional[_Server] = None
         self._http_thread: Optional[threading.Thread] = None
@@ -365,6 +373,7 @@ class VerificationService:
         self._accepting = True
         self._stop = threading.Event()
         self._previous_collector = None
+        self._recorder = None
         self._admission = threading.Lock()
 
     # -- state ---------------------------------------------------------------
@@ -453,6 +462,8 @@ class VerificationService:
             "service.jobs_queued": counts.get("queued", 0),
             "service.jobs_running": counts.get("running", 0),
         }
+        if self._recorder is not None:
+            extra["trace.buffered_events"] = self._recorder.buffered()
         return render_prometheus(snapshot, extra_gauges=extra)
 
     # -- lifecycle -----------------------------------------------------------
@@ -461,6 +472,15 @@ class VerificationService:
         """Bind, start workers and the HTTP thread; returns (host, port)."""
         self._previous_collector = obs.active_collector()
         obs.enable(obs.TraceCollector(max_spans=self.config.max_spans))
+        if self.config.trace_ring > 0 and obs.redtrace.active_writer() is None:
+            # Bounded flight recorder: keeps trace.* metrics live on
+            # /metrics for the daemon's lifetime without unbounded memory.
+            self._recorder = obs.redtrace.start_recording(
+                op="service",
+                params={"workers": self.config.workers},
+                ring=True,
+                max_events=self.config.trace_ring,
+            )
         if self.config.prewarm:
             warmed = self.scheduler.prewarm(self.config.prewarm)
             logger.info("prewarmed GF tables for %d field(s)", warmed)
@@ -500,6 +520,9 @@ class VerificationService:
             self._httpd.server_close()
         if self._http_thread is not None:
             self._http_thread.join(timeout=5.0)
+        if self._recorder is not None:
+            obs.redtrace.stop_recording()
+            self._recorder = None
         obs.disable()
         if self._previous_collector is not None:
             obs.enable(self._previous_collector)

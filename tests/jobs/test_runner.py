@@ -264,3 +264,109 @@ class TestRunLog:
         assert summary["cache_hits"] + summary["cache_misses"] == 2
         job_records = [r for r in records if r["event"] == "job"]
         assert all("seconds" in r for r in job_records)
+
+
+class _StubModel:
+    """Minimal cost-model stand-in: prices (op, k) from a fixed table."""
+
+    def __init__(self, table):
+        self.table = table
+
+    def predict(self, op, k=None, gates=None, cones=None, phase="total"):
+        return self.table.get((op, k))
+
+
+class TestCostModelOrdering:
+    def test_order_pending_shortest_predicted_last_for_tail_pop(self):
+        from repro.jobs.runner import _order_pending
+
+        model = _StubModel(
+            {("verify", 64): 9.0, ("verify", 16): 1.0, ("abstract", 16): 0.5}
+        )
+        pending = [
+            ({"id": "slow", "type": "verify", "params": {"k": 64}}, 1, None, 1),
+            ({"id": "fast", "type": "verify", "params": {"k": 16}}, 1, None, 1),
+            ({"id": "faster", "type": "abstract", "params": {"k": 16}}, 1, None, 1),
+            ({"id": "unknown", "type": "verify", "params": {"k": 128}}, 1, None, 1),
+        ]
+        ordered, predicted = _order_pending(pending, model)
+        # dispatch pops from the tail: smallest prediction first, unpriced last
+        dispatch = [entry[0]["id"] for entry in reversed(ordered)]
+        assert dispatch == ["faster", "fast", "slow", "unknown"]
+        assert predicted == {"slow": 9.0, "fast": 1.0, "faster": 0.5}
+
+    def test_unpriced_ties_keep_manifest_order(self):
+        from repro.jobs.runner import _order_pending
+
+        model = _StubModel({})
+        pending = [
+            ({"id": f"j{i}", "type": "verify", "params": {}}, 1, None, 1)
+            for i in range(4)
+        ]
+        ordered, predicted = _order_pending(pending, model)
+        assert [e[0]["id"] for e in reversed(ordered)] == ["j0", "j1", "j2", "j3"]
+        assert predicted == {}
+
+    def test_batch_logs_predicted_seconds_and_order(
+        self, write_manifest, tmp_path
+    ):
+        from repro.obs.costmodel import CostModel
+
+        manifest = load_manifest(
+            write_manifest(
+                [
+                    {
+                        "id": "v",
+                        "type": "verify",
+                        "spec": "mastrovito_4.v",
+                        "impl": "montgomery_4.v",
+                        "k": 4,
+                    },
+                    {"id": "a", "type": "abstract", "netlist": "mastrovito_4.v", "k": 4},
+                ]
+            )
+        )
+        model = CostModel.fit(
+            [
+                {"op": "verify", "seconds": 2.0, "k": 4},
+                {"op": "abstract", "seconds": 0.5, "k": 4},
+            ]
+        )
+        log_path = tmp_path / "run.jsonl"
+        report = run_batch(
+            manifest, workers=1, log_path=str(log_path), cost_model=model
+        )
+        assert report.ok
+        records = [json.loads(line) for line in log_path.read_text().splitlines()]
+        start = records[0]
+        assert start["order"] == "shortest-predicted-first"
+        job_records = [r for r in records if r["event"] == "job"]
+        # abstract is predicted cheaper, so it dispatches (and finishes) first
+        assert [r["id"] for r in job_records] == ["a", "v"]
+        assert job_records[0]["predicted_seconds"] == 0.5
+        assert job_records[1]["predicted_seconds"] == 2.0
+
+    def test_job_records_carry_feature_fields(self, write_manifest, tmp_path):
+        manifest = load_manifest(
+            write_manifest(
+                [
+                    {
+                        "id": "v",
+                        "type": "verify",
+                        "spec": "mastrovito_4.v",
+                        "impl": "montgomery_4.v",
+                        "k": 4,
+                    }
+                ]
+            )
+        )
+        log_path = tmp_path / "run.jsonl"
+        run_batch(manifest, workers=1, log_path=str(log_path))
+        job = next(
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+            if json.loads(line).get("event") == "job"
+        )
+        assert job["k"] == 4
+        assert job["gates"] > 0
+        assert "cones" in job

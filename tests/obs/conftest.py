@@ -10,6 +10,8 @@ def clean_collector():
     """Tracing state is process-global; never leak it across tests."""
     obs.disable()
     obs.reset_context()
+    obs.redtrace.reset_after_fork()
     yield
     obs.disable()
     obs.reset_context()
+    obs.redtrace.reset_after_fork()

@@ -1,0 +1,188 @@
+"""Fitted cost model + online (op, k) estimator tests."""
+
+import json
+
+import pytest
+
+from repro.obs.costmodel import (
+    CostEstimator,
+    CostModel,
+    collect_job_records,
+    fit_from_run_logs,
+)
+
+
+def _synthetic_records(n=24):
+    """Jobs whose runtime is an exact linear function of the features."""
+    records = []
+    for i in range(n):
+        gates, k, cones = 100 + 40 * i, 8 + (i % 3) * 8, 4 + i % 5
+        seconds = 0.01 + 0.0005 * gates + 0.002 * k + 0.003 * cones
+        records.append(
+            {
+                "op": "verify",
+                "seconds": seconds,
+                "gates": gates,
+                "k": k,
+                "cones": cones,
+                "phases": {"spoly_reduction": 0.8 * seconds},
+            }
+        )
+    return records
+
+
+class TestFit:
+    def test_least_squares_recovers_linear_law(self):
+        model = CostModel.fit(_synthetic_records())
+        predicted = model.predict("verify", k=16, gates=500, cones=6)
+        expected = 0.01 + 0.0005 * 500 + 0.002 * 16 + 0.003 * 6
+        assert predicted == pytest.approx(expected, rel=1e-6)
+        assert model.ops["verify"]["r2"]["total"] > 0.999
+
+    def test_per_phase_regression(self):
+        model = CostModel.fit(_synthetic_records())
+        total = model.predict("verify", k=16, gates=500, cones=6)
+        phase = model.predict(
+            "verify", k=16, gates=500, cones=6, phase="spoly_reduction"
+        )
+        assert phase == pytest.approx(0.8 * total, rel=1e-6)
+
+    def test_unknown_phase_without_gates_returns_none(self):
+        model = CostModel.fit(_synthetic_records())
+        assert model.predict("verify", k=16, phase="spoly_reduction") is None
+
+    def test_bucket_fallback_without_gates(self):
+        model = CostModel.fit(_synthetic_records())
+        bucketed = model.predict("verify", k=16)
+        assert bucketed == pytest.approx(model.bucket_mean("verify", 16))
+
+    def test_op_mean_fallback_for_unseen_k(self):
+        model = CostModel.fit(_synthetic_records())
+        assert model.predict("verify", k=999) == pytest.approx(
+            model.ops["verify"]["mean"]
+        )
+
+    def test_unknown_op_returns_none(self):
+        model = CostModel.fit(_synthetic_records())
+        assert model.predict("mystery") is None
+
+    def test_too_few_samples_skips_regression_keeps_buckets(self):
+        records = _synthetic_records()[:3]
+        model = CostModel.fit(records)
+        assert "total" not in model.ops["verify"]["coef"]
+        assert model.predict("verify", k=8) is not None
+
+    def test_predictions_are_floored(self):
+        # A fit from constant-zero runtimes must not predict <= 0.
+        records = [
+            {"op": "abstract", "seconds": 0.0, "k": 8, "gates": g, "cones": 1}
+            for g in range(10)
+        ]
+        model = CostModel.fit(records)
+        assert model.predict("abstract", k=8, gates=5) > 0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        model = CostModel.fit(_synthetic_records())
+        path = str(tmp_path / "model.json")
+        model.save(path)
+        loaded = CostModel.load(path)
+        assert loaded.fitted_from == model.fitted_from
+        assert loaded.predict("verify", k=16, gates=500, cones=6) == pytest.approx(
+            model.predict("verify", k=16, gates=500, cones=6)
+        )
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": "other", "ops": {}}))
+        with pytest.raises(ValueError, match="version"):
+            CostModel.load(str(path))
+
+    def test_missing_ops_rejected(self):
+        with pytest.raises(ValueError, match="ops"):
+            CostModel.from_dict({"version": "repro-costmodel-v1"})
+
+
+class TestRunLogIngestion:
+    def _write_log(self, tmp_path, records):
+        path = tmp_path / "run.jsonl"
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        return str(path)
+
+    def test_collects_only_ok_jobs_with_seconds(self, tmp_path):
+        path = self._write_log(
+            tmp_path,
+            [
+                {"event": "start", "jobs": 3},
+                {"event": "job", "status": "ok", "type": "verify", "seconds": 1.5,
+                 "k": 16, "gates": 500, "cones": 8},
+                {"event": "job", "status": "failed", "type": "verify", "seconds": 9.9},
+                {"event": "job", "status": "ok", "type": "abstract"},
+                {"event": "summary"},
+            ],
+        )
+        records = collect_job_records([path])
+        assert len(records) == 1
+        assert records[0]["op"] == "verify"
+        assert records[0]["k"] == 16
+
+    def test_fit_from_run_logs(self, tmp_path):
+        jobs = [
+            {"event": "job", "status": "ok", "type": "verify",
+             "seconds": r["seconds"], "k": r["k"], "gates": r["gates"],
+             "cones": r["cones"]}
+            for r in _synthetic_records()
+        ]
+        model = fit_from_run_logs([self._write_log(tmp_path, jobs)])
+        assert model.predict("verify", k=16, gates=500, cones=6) > 0
+
+
+class TestCostEstimator:
+    def test_global_fallback_before_any_observation(self):
+        estimator = CostEstimator(default_seconds=0.5)
+        seconds, source = estimator.estimate("verify", 64)
+        assert seconds == 0.5
+        assert source == "global"
+
+    def test_bucket_answers_after_observation(self):
+        estimator = CostEstimator(default_seconds=0.5)
+        estimator.observe("verify", 64, 10.0)
+        seconds, source = estimator.estimate("verify", 64)
+        assert seconds == 10.0  # first observation seeds the bucket directly
+        assert source == "bucket"
+        # a different k still falls back
+        _, source = estimator.estimate("verify", 16)
+        assert source == "global"
+
+    def test_buckets_are_isolated_per_op_and_k(self):
+        estimator = CostEstimator()
+        estimator.observe("verify", 16, 0.01)
+        estimator.observe("verify", 64, 60.0)
+        fast, _ = estimator.estimate("verify", 16)
+        slow, _ = estimator.estimate("verify", 64)
+        assert fast < 1.0 < slow
+
+    def test_ema_converges_toward_recent_observations(self):
+        estimator = CostEstimator()
+        estimator.observe("verify", 16, 1.0)
+        for _ in range(50):
+            estimator.observe("verify", 16, 3.0)
+        seconds, _ = estimator.estimate("verify", 16)
+        assert seconds == pytest.approx(3.0, abs=1e-3)
+
+    def test_model_answers_between_global_and_bucket(self):
+        model = CostModel.fit(_synthetic_records())
+        estimator = CostEstimator(default_seconds=0.5, model=model)
+        seconds, source = estimator.estimate("verify", 16)
+        assert source == "model"
+        assert seconds == pytest.approx(model.predict("verify", k=16))
+        estimator.observe("verify", 16, 42.0)
+        seconds, source = estimator.estimate("verify", 16)
+        assert (seconds, source) == (42.0, "bucket")
+
+    def test_non_numeric_k_collapses_to_none_bucket(self):
+        estimator = CostEstimator()
+        estimator.observe("verify", "not-a-k", 2.0)
+        seconds, source = estimator.estimate("verify", None)
+        assert (seconds, source) == (2.0, "bucket")

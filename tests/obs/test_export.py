@@ -166,3 +166,74 @@ class TestPrometheusRendering:
         snapshot = _sample_snapshot()
         text = obs.render_prometheus(snapshot)
         assert "verify" not in text
+
+
+class TestTagEscaping:
+    """Non-JSON-safe tag values must be escaped, not crash the exporter."""
+
+    def _snapshot_with_tags(self, tags):
+        collector = obs.TraceCollector()
+        collector.add_span(
+            {
+                "name": "verify", "id": 1, "parent": None, "pid": 1,
+                "tid": 1, "ts": 0.0, "dur": 1.0, "tags": tags,
+            }
+        )
+        return collector.snapshot()
+
+    def test_bytes_tags_become_hex_strings(self, tmp_path):
+        snapshot = self._snapshot_with_tags({"digest": b"\x00\xff\x10"})
+        path = str(tmp_path / "t.trace.json")
+        obs.write_chrome_trace(snapshot, path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert validate_trace(doc) == []
+        args = doc["traceEvents"][0]["args"]
+        assert args["digest"] == "0x00ff10"
+
+    def test_nested_containers_and_sets_are_sanitized(self, tmp_path):
+        snapshot = self._snapshot_with_tags(
+            {
+                "nested": {"raw": b"\x01", "seq": [b"\x02", 3]},
+                "mask_set": {3, 1, 2},
+                "pair": (1, b"\x04"),
+            }
+        )
+        path = str(tmp_path / "t.trace.json")
+        obs.write_chrome_trace(snapshot, path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        args = doc["traceEvents"][0]["args"]
+        assert args["nested"] == {"raw": "0x01", "seq": ["0x02", 3]}
+        assert args["mask_set"] == [1, 2, 3]
+        assert args["pair"] == [1, "0x04"]
+
+    def test_non_finite_floats_become_strings(self, tmp_path):
+        snapshot = self._snapshot_with_tags({"ratio": float("inf"), "x": float("nan")})
+        path = str(tmp_path / "t.trace.json")
+        obs.write_chrome_trace(snapshot, path)  # allow_nan=False would raise
+        with open(path) as handle:
+            doc = json.load(handle)
+        args = doc["traceEvents"][0]["args"]
+        assert args["ratio"] == "inf"
+        assert args["x"] == "nan"
+
+    def test_arbitrary_objects_fall_back_to_str(self, tmp_path):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        snapshot = self._snapshot_with_tags({"obj": Weird()})
+        path = str(tmp_path / "t.trace.json")
+        obs.write_chrome_trace(snapshot, path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["traceEvents"][0]["args"]["obj"] == "<weird>"
+
+    def test_jsonl_export_sanitizes_tags_too(self, tmp_path):
+        snapshot = self._snapshot_with_tags({"digest": b"\xab"})
+        path = str(tmp_path / "t.jsonl")
+        obs.write_jsonl(snapshot, path)
+        lines = [json.loads(l) for l in open(path) if l.strip()]
+        span = next(l for l in lines if l.get("event") == "span")
+        assert span["tags"]["digest"] == "0xab"

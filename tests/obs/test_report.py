@@ -107,3 +107,62 @@ class TestFormatting:
         assert "division.steps" in text
         assert "hit rate 50.0%" in text
         assert "retries: 1" in text
+
+
+class TestCostModelSection:
+    def _log_with_predictions(self, tmp_path):
+        return _write_log(
+            tmp_path,
+            [
+                {"event": "job", "id": "a", "type": "verify", "status": "ok",
+                 "seconds": 2.0, "predicted_seconds": 1.5, "k": 16},
+                {"event": "job", "id": "b", "type": "abstract", "status": "ok",
+                 "seconds": 1.0, "predicted_seconds": 1.0, "k": 16},
+                {"event": "job", "id": "c", "type": "verify", "status": "timeout",
+                 "seconds": 9.0, "predicted_seconds": 0.1},
+            ],
+            name="predicted.jsonl",
+        )
+
+    def test_logged_predictions_scored_without_model(self, tmp_path):
+        aggregate = aggregate_run_log(self._log_with_predictions(tmp_path))
+        section = aggregate["cost_model"]
+        # the timed-out job is not scored
+        assert section["overall"]["jobs"] == 2
+        assert section["ops"]["verify"]["abs_error_s"] == pytest.approx(0.5)
+        assert section["ops"]["abstract"]["abs_error_s"] == pytest.approx(0.0)
+        assert section["overall"]["mape_pct"] == pytest.approx(
+            100.0 * 0.5 / 3.0
+        )
+
+    def test_model_scores_jobs_without_logged_predictions(self, tmp_path):
+        from repro.obs.costmodel import CostModel
+
+        log = _write_log(
+            tmp_path,
+            [
+                {"event": "job", "id": "a", "type": "verify", "status": "ok",
+                 "seconds": 2.0, "k": 16},
+            ],
+            name="bare.jsonl",
+        )
+        model = CostModel.fit(
+            [{"op": "verify", "seconds": 1.6, "k": 16} for _ in range(2)]
+        )
+        aggregate = aggregate_run_log(log, cost_model=model)
+        verify = aggregate["cost_model"]["ops"]["verify"]
+        assert verify["predicted_s"] == pytest.approx(1.6)
+        assert verify["abs_error_s"] == pytest.approx(0.4)
+
+    def test_section_absent_without_predictions(self, sample_log):
+        aggregate = aggregate_run_log(sample_log)
+        assert aggregate["cost_model"] is None
+        assert "cost model" not in format_report(aggregate)
+
+    def test_report_renders_predicted_vs_actual_table(self, tmp_path):
+        text = format_report(
+            aggregate_run_log(self._log_with_predictions(tmp_path))
+        )
+        assert "cost model: predicted vs actual" in text
+        assert "(all)" in text
+        assert "err_pct" in text

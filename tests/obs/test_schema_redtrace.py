@@ -1,0 +1,138 @@
+"""Schema validation for REDTRACE/1 JSONL traces (satellite of the
+replayable-traces work): kinds, header contract, sequence ordering, and
+the per-file format sniffing in ``python -m repro.obs.schema``."""
+
+import json
+
+from repro.obs.redtrace import REDTRACE_VERSION
+from repro.obs.schema import (
+    main,
+    validate_redtrace,
+    validate_redtrace_file,
+)
+
+
+def _lines(*records):
+    return [json.dumps(r) for r in records]
+
+
+HEADER = {"ev": "header", "seq": 0, "redtrace": REDTRACE_VERSION, "op": "verify"}
+END = {"ev": "end", "seq": 2, "emitted": 3, "dropped": 0}
+
+
+class TestValidateRedtrace:
+    def test_valid_stream_passes(self):
+        lines = _lines(HEADER, {"ev": "mask_sweep", "seq": 1, "var": 0}, END)
+        assert validate_redtrace(lines) == []
+
+    def test_seq_gaps_are_legal_ring_drops(self):
+        lines = _lines(
+            HEADER,
+            {"ev": "cache_probe", "seq": 900, "hit": True},
+            {"ev": "end", "seq": 901, "emitted": 902, "dropped": 899},
+        )
+        assert validate_redtrace(lines) == []
+
+    def test_unknown_event_kind(self):
+        lines = _lines(HEADER, {"ev": "wat", "seq": 1}, END)
+        errors = validate_redtrace(lines)
+        assert any("unknown event kind 'wat'" in e for e in errors)
+
+    def test_missing_header(self):
+        lines = _lines({"ev": "mask_sweep", "seq": 0, "var": 0}, END)
+        errors = validate_redtrace(lines)
+        assert any("first record must be the 'header'" in e for e in errors)
+
+    def test_missing_version_field(self):
+        headerless = {"ev": "header", "seq": 0, "op": "verify"}
+        errors = validate_redtrace(_lines(headerless, END))
+        assert any("missing the 'redtrace' version" in e for e in errors)
+
+    def test_wrong_version(self):
+        wrong = dict(HEADER, redtrace="REDTRACE/99")
+        errors = validate_redtrace(_lines(wrong, END))
+        assert any("header version is 'REDTRACE/99'" in e for e in errors)
+
+    def test_header_must_carry_seq_zero(self):
+        shifted = dict(HEADER, seq=5)
+        errors = validate_redtrace(_lines(shifted, END))
+        assert any("header must carry seq 0" in e for e in errors)
+
+    def test_out_of_order_seq(self):
+        lines = _lines(
+            HEADER,
+            {"ev": "mask_sweep", "seq": 7, "var": 0},
+            {"ev": "mask_sweep", "seq": 3, "var": 1},
+        )
+        errors = validate_redtrace(lines)
+        assert any("out-of-order sequence number" in e for e in errors)
+        assert any("seq 3 after seq 7" in e for e in errors)
+
+    def test_duplicate_seq_is_out_of_order(self):
+        lines = _lines(HEADER, {"ev": "mask_sweep", "seq": 0, "var": 0})
+        errors = validate_redtrace(lines)
+        assert any("out-of-order" in e for e in errors)
+
+    def test_negative_and_bool_seq_rejected(self):
+        lines = _lines(HEADER, {"ev": "mask_sweep", "seq": -1})
+        assert any("non-negative integer" in e for e in validate_redtrace(lines))
+        lines = _lines(HEADER, {"ev": "mask_sweep", "seq": True})
+        assert any("non-negative integer" in e for e in validate_redtrace(lines))
+
+    def test_non_object_line_and_bad_json(self):
+        errors = validate_redtrace(["[1, 2]", "not json"])
+        assert any("must be a JSON object" in e for e in errors)
+        assert any("not valid JSON" in e for e in errors)
+
+    def test_empty_trace(self):
+        assert validate_redtrace([]) == ["trace: empty trace (no event records)"]
+
+    def test_file_wrapper_reports_unreadable_path(self, tmp_path):
+        errors = validate_redtrace_file(str(tmp_path / "missing.redtrace"))
+        assert errors and "cannot read" in errors[0]
+
+
+class TestSchemaMain:
+    def _write(self, tmp_path, name, lines):
+        path = tmp_path / name
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_main_accepts_valid_redtrace(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, "t.redtrace",
+            _lines(HEADER, {"ev": "mask_sweep", "seq": 1, "var": 0}, END),
+        )
+        assert main([path]) == 0
+        assert "redtrace event(s)" in capsys.readouterr().out
+
+    def test_main_rejects_corrupt_redtrace(self, tmp_path, capsys):
+        path = self._write(tmp_path, "t.redtrace", _lines(HEADER, {"ev": "wat", "seq": 1}))
+        assert main([path]) == 1
+        assert "invalid:" in capsys.readouterr().err
+
+    def test_sniffing_dispatches_without_extension(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, "trace.jsonl",
+            _lines(HEADER, {"ev": "mask_sweep", "seq": 1, "var": 0}, END),
+        )
+        assert main([path]) == 0
+        assert "redtrace event(s)" in capsys.readouterr().out
+
+    def test_headerless_event_stream_still_validated_as_redtrace(self, tmp_path):
+        # sniffs as redtrace via its "ev" key, then fails the header check
+        path = self._write(
+            tmp_path, "headerless.jsonl", _lines({"ev": "mask_sweep", "seq": 0})
+        )
+        assert main([path]) == 1
+
+    def test_chrome_trace_still_validates(self, tmp_path, capsys):
+        doc = {
+            "traceEvents": [
+                {"name": "verify", "ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 5}
+            ]
+        }
+        path = tmp_path / "chrome.trace.json"
+        path.write_text(json.dumps(doc, indent=1))
+        assert main([str(path)]) == 0
+        assert "span event(s)" in capsys.readouterr().out

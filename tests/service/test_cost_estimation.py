@@ -1,0 +1,114 @@
+"""Scheduler cost estimation: per-(op, k) Retry-After buckets, fitted-model
+seeding, and the daemon's REDTRACE flight recorder."""
+
+import json
+
+import pytest
+
+from repro.obs import redtrace
+from repro.obs.costmodel import CostModel
+from repro.service.queue import BoundedJobQueue
+from repro.service.scheduler import Scheduler
+from repro.service.store import JobRecord, JobStore
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    redtrace.reset_after_fork()
+    yield
+    redtrace.reset_after_fork()
+
+
+def _scheduler(tmp_path, queue=None, **kwargs):
+    return Scheduler(
+        queue or BoundedJobQueue(capacity=8),
+        JobStore(),
+        workers=2,
+        **kwargs,
+    )
+
+
+class TestRetryAfterHint:
+    def test_empty_queue_falls_back_to_global_estimate(self, tmp_path):
+        scheduler = _scheduler(tmp_path)
+        assert scheduler.retry_after_hint() >= 1
+
+    def test_buckets_price_queued_work_per_op_and_k(self, tmp_path):
+        queue = BoundedJobQueue(capacity=8)
+        scheduler = _scheduler(tmp_path, queue=queue)
+        # a burst of fast small-field jobs must not dilute big-field pricing
+        scheduler.estimator.observe("verify", 16, 0.01)
+        scheduler.estimator.observe("verify", 64, 80.0)
+        for _ in range(3):
+            queue.put(JobRecord(kind="verify", params={"k": 64}, request_key="x"))
+        hint = scheduler.retry_after_hint()
+        # 3 jobs x 80s over 2 workers = 120s
+        assert hint == 120
+        queue.drain_remaining()
+        for _ in range(3):
+            queue.put(JobRecord(kind="verify", params={"k": 16}, request_key="y"))
+        assert scheduler.retry_after_hint() == 1
+
+    def test_hint_clamped_to_120(self, tmp_path):
+        queue = BoundedJobQueue(capacity=8)
+        scheduler = _scheduler(tmp_path, queue=queue)
+        scheduler.estimator.observe("verify", 163, 10_000.0)
+        queue.put(JobRecord(kind="verify", params={"k": 163}, request_key="x"))
+        assert scheduler.retry_after_hint() == 120
+
+    def test_fitted_model_seeds_unseen_buckets(self, tmp_path):
+        model = CostModel.fit(
+            [{"op": "verify", "seconds": 30.0, "k": 64} for _ in range(3)]
+        )
+        queue = BoundedJobQueue(capacity=8)
+        scheduler = _scheduler(tmp_path, queue=queue)
+        scheduler.estimator.model = model
+        queue.put(JobRecord(kind="verify", params={"k": 64}, request_key="x"))
+        seconds, source = scheduler.estimator.estimate("verify", 64)
+        assert (seconds, source) == (30.0, "model")
+        assert scheduler.retry_after_hint() == 15  # 30s / 2 workers
+
+    def test_cost_model_path_loaded_at_construction(self, tmp_path):
+        model = CostModel.fit(
+            [{"op": "abstract", "seconds": 4.0, "k": 32} for _ in range(2)]
+        )
+        path = str(tmp_path / "model.json")
+        model.save(path)
+        scheduler = _scheduler(tmp_path, cost_model_path=path)
+        seconds, source = scheduler.estimator.estimate("abstract", 32)
+        assert (seconds, source) == (4.0, "model")
+
+    def test_unreadable_cost_model_degrades_to_ewma(self, tmp_path, caplog):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        scheduler = _scheduler(tmp_path, cost_model_path=str(bad))
+        assert scheduler.estimator.model is None
+        _, source = scheduler.estimator.estimate("verify", 16)
+        assert source == "global"
+
+
+class TestFlightRecorder:
+    def test_daemon_opens_ring_recorder_and_exports_gauge(self, service_factory):
+        service = service_factory(trace_ring=64)
+        assert redtrace.active_writer() is not None
+        assert redtrace.active_writer().ring
+        text = service.render_metrics()
+        assert "repro_trace_buffered_events" in text
+        service.stop()
+        assert redtrace.active_writer() is None
+
+    def test_trace_ring_zero_disables_recorder(self, service_factory):
+        service_factory(trace_ring=0)
+        assert redtrace.active_writer() is None
+
+    def test_daemon_defers_to_an_existing_recording(self, service_factory, tmp_path):
+        writer = redtrace.start_recording(
+            path=str(tmp_path / "outer.redtrace"), op="verify", params={}
+        )
+        try:
+            service = service_factory(trace_ring=64)
+            assert redtrace.active_writer() is writer
+            service.stop()
+            assert redtrace.active_writer() is writer
+        finally:
+            redtrace.stop_recording()
