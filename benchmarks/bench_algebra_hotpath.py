@@ -28,6 +28,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro import kernels
 from repro.algebra import LexOrder, Polynomial, PolynomialRing, reduce_polynomial
 from repro.gf import GF2m, poly2
 from repro.synth import mastrovito_multiplier, montgomery_multiplier
@@ -35,6 +36,7 @@ from repro.verify import verify_equivalence
 from repro.verify.fullgb import abstract_via_full_groebner
 
 BASELINE_PATH = Path(__file__).parent / "baselines" / "algebra_pre_pr.json"
+PRE_BATCH_PATH = Path(__file__).parent / "baselines" / "algebra_pre_batch.json"
 
 VERIFY_SIZES = (16, 32, 64)
 QUICK_SIZES = (16,)
@@ -220,6 +222,7 @@ def main(argv=None) -> int:
     payload = {
         "meta": {
             "quick": args.quick,
+            "kernel": kernels.active_kernel(),
             "python": platform.python_version(),
             "platform": platform.platform(),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -239,6 +242,16 @@ def main(argv=None) -> int:
         payload["baseline_meta"] = baseline["meta"]
         payload["speedup"] = compute_speedups(baseline["current"], current)
         print("speedup vs recorded baseline:", json.dumps(payload["speedup"]))
+
+    if PRE_BATCH_PATH.exists():
+        pre_batch = json.loads(PRE_BATCH_PATH.read_text())
+        payload["speedup_vs_legacy_kernels"] = compute_speedups(
+            pre_batch["current"], current
+        )
+        print(
+            "speedup vs legacy kernels:",
+            json.dumps(payload["speedup_vs_legacy_kernels"]),
+        )
 
     out = args.out or os.environ.get("REPRO_BENCH_OUT") or "BENCH_algebra.json"
     out_path = Path(out)

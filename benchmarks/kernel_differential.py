@@ -1,0 +1,220 @@
+"""Kernel differential: batched vs legacy reduction kernels, end to end.
+
+The ``REPRO_BATCH_KERNELS`` switch promises that both kernel paths are
+observably identical except for speed. This script enforces that promise
+the way CI consumes it::
+
+    PYTHONPATH=src python benchmarks/kernel_differential.py --quick
+
+Three checks, each fatal on divergence (exit status 1):
+
+1. **canonical polynomials** — ``extract_canonical`` under each kernel on
+   the Mastrovito and Montgomery multipliers at the chosen k must produce
+   byte-identical polynomial renderings and identical work counters;
+2. **verify** — ``verify_equivalence`` agrees under both kernels, and the
+   per-kernel wall-clocks are reported (batched/legacy speedup);
+3. **replay** — a REDTRACE recorded under the legacy kernels replays with
+   zero diffs under the batched kernels, and vice versa (the
+   ``repro replay --diff`` contract, exercised in-process).
+
+``--quick`` runs k=16 (the CI perf-smoke step, well under its 2-minute
+budget); the default is the heavier k=32 differential. Writes a JSON
+summary (``--out``, default ``BENCH_kernel_differential.json`` honouring
+``$REPRO_BENCH_OUT`` conventions) tagged with both kernels' timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.circuits.blif import to_blif
+from repro.core import extract_canonical
+from repro.gf import GF2m
+from repro.obs import redtrace
+from repro.obs.replay import diff_events, execute_header, netlist_sha256
+from repro.synth import mastrovito_multiplier, montgomery_multiplier
+from repro.verify import verify_equivalence
+
+KERNELS = ("legacy", "batched")
+
+
+def _set_kernel(name: str) -> None:
+    os.environ["REPRO_BATCH_KERNELS"] = "1" if name == "batched" else "0"
+
+
+def _circuits(k: int):
+    field = GF2m(k)
+    spec = mastrovito_multiplier(field)
+    impl = montgomery_multiplier(field).flatten()
+    return field, spec, impl
+
+
+def check_canonical(k: int) -> dict:
+    """Both kernels must render the identical canonical polynomial."""
+    field, spec, impl = _circuits(k)
+    failures = []
+    timings: dict = {}
+    for name, circuit in (("mastrovito", spec), ("montgomery", impl)):
+        rendered = {}
+        stats = {}
+        for kernel in KERNELS:
+            _set_kernel(kernel)
+            t0 = time.perf_counter()
+            result = extract_canonical(circuit, field)
+            timings.setdefault(name, {})[kernel] = time.perf_counter() - t0
+            rendered[kernel] = str(result.polynomial)
+            stats[kernel] = (
+                result.stats.substitutions,
+                result.stats.term_traffic,
+                result.stats.peak_terms,
+            )
+        if rendered["batched"] != rendered["legacy"]:
+            failures.append(f"{name}: canonical polynomial renderings differ")
+        if stats["batched"] != stats["legacy"]:
+            failures.append(
+                f"{name}: work counters differ "
+                f"(legacy {stats['legacy']}, batched {stats['batched']})"
+            )
+    return {"timings": timings, "failures": failures}
+
+
+def check_verify(k: int, reps: int) -> dict:
+    """Same verdict under both kernels; report per-kernel wall-clock."""
+    failures = []
+    seconds = {}
+    for kernel in KERNELS:
+        _set_kernel(kernel)
+        samples = []
+        for _ in range(reps):
+            field, spec, impl = _circuits(k)
+            t0 = time.perf_counter()
+            outcome = verify_equivalence(spec, impl, field)
+            samples.append(time.perf_counter() - t0)
+            if not outcome.equivalent:
+                failures.append(f"{kernel}: verify reported non-equivalent")
+                break
+        seconds[kernel] = statistics.median(samples)
+    return {"seconds": seconds, "failures": failures}
+
+
+def check_replay(k: int) -> dict:
+    """Cross-kernel replay must be byte-identical, both directions."""
+    field, spec, _ = _circuits(k)
+    text = to_blif(spec)
+    failures = []
+    for record_kernel, replay_kernel in (
+        ("legacy", "batched"),
+        ("batched", "legacy"),
+    ):
+        _set_kernel(record_kernel)
+        writer = redtrace.start_recording(
+            op="abstract",
+            params={
+                "k": field.k,
+                "modulus": f"{field.modulus:#x}",
+                "output_word": None,
+                "case2": "linearized",
+                "jobs": None,
+                "netlist": "<mastrovito>",
+                "netlist_text": text,
+                "netlist_sha256": netlist_sha256(text),
+            },
+            ring=False,
+        )
+        try:
+            extract_canonical(spec, field)
+        finally:
+            redtrace.stop_recording()
+        recorded = writer.events()
+        _set_kernel(replay_kernel)
+        fresh = execute_header(recorded[0])
+        diff = diff_events(recorded, fresh)
+        if diff is not None:
+            index, a, b = diff
+            failures.append(
+                f"record={record_kernel} replay={replay_kernel}: first "
+                f"divergence at event {index}: {a!r} != {b!r}"
+            )
+    return {"failures": failures}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="k=16 differential (CI mode)"
+    )
+    parser.add_argument(
+        "--k", type=int, default=None, help="field degree (default 32, 16 with --quick)"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="JSON summary path (default $REPRO_BENCH_OUT dir conventions)",
+    )
+    args = parser.parse_args(argv)
+    k = args.k if args.k is not None else (16 if args.quick else 32)
+    prior = os.environ.get("REPRO_BATCH_KERNELS")
+
+    try:
+        canonical = check_canonical(k)
+        verify = check_verify(k, reps=3 if args.quick else 5)
+        replay = check_replay(k)
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_BATCH_KERNELS", None)
+        else:
+            os.environ["REPRO_BATCH_KERNELS"] = prior
+
+    failures = canonical["failures"] + verify["failures"] + replay["failures"]
+    legacy = verify["seconds"]["legacy"]
+    batched = verify["seconds"]["batched"]
+    print(
+        f"verify k={k}: legacy {legacy*1e3:.1f} ms, batched "
+        f"{batched*1e3:.1f} ms ({legacy/batched:.2f}x)"
+    )
+    for name, row in canonical["timings"].items():
+        print(
+            f"abstract {name} k={k}: legacy {row['legacy']*1e3:.1f} ms, "
+            f"batched {row['batched']*1e3:.1f} ms"
+        )
+    print("replay: cross-kernel diff clean both directions"
+          if not replay["failures"] else "replay: DIVERGED")
+
+    payload = {
+        "meta": {
+            "k": k,
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "verify_seconds": verify["seconds"],
+        "abstract_seconds": canonical["timings"],
+        "speedup": round(legacy / batched, 3) if batched else None,
+        "failures": failures,
+    }
+    out = args.out or os.environ.get("REPRO_BENCH_OUT")
+    if out and Path(out).is_dir():
+        out = str(Path(out) / "BENCH_kernel_differential.json")
+    out_path = Path(out or "BENCH_kernel_differential.json")
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"summary written to {out_path}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"OK: kernels identical at k={k}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,7 @@ from itertools import chain
 from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, FrozenSet, List, Optional
 
+from .. import kernels
 from ..algebra import (
     LexOrder,
     Polynomial,
@@ -42,7 +43,7 @@ from ..algebra import (
     vanishing_ideal,
 )
 from ..circuits import Circuit, FaninCone, GateType
-from ..gf import GF2m, coordinate_coefficients
+from ..gf import GF2m, coordinate_coefficients, xor_accumulate
 from ..obs import metrics, redtrace
 from ..obs.spans import active_collector, span
 from .bitpoly import SubstitutionEngine
@@ -335,7 +336,29 @@ def _reduce_to_masks(
     directly so cone remainders can travel between processes as packed
     ints instead of frozensets; :func:`reduce_through_gates` wraps it with
     the engine write-back.
+
+    Dispatches to the batched kernel (:func:`_reduce_to_masks_batched`)
+    unless ``REPRO_BATCH_KERNELS=0`` selects the retained legacy kernel.
+    Both are term-for-term identical and emit byte-identical REDTRACE
+    streams.
     """
+    if kernels.batch_enabled():
+        return _reduce_to_masks_batched(
+            circuit, seed_terms, field, ordering, word_relations
+        )
+    return _reduce_to_masks_legacy(
+        circuit, seed_terms, field, ordering, word_relations
+    )
+
+
+def _reduce_to_masks_legacy(
+    circuit: Circuit,
+    seed_terms: Dict[FrozenSet[int], int],
+    field: GF2m,
+    ordering: RatoOrdering,
+    word_relations: Optional[List[tuple]] = None,
+) -> "tuple[Dict[int, int], int, int, int]":
+    """The pre-batching sweep, kept verbatim as the differential oracle."""
     id_of = ordering.var_ids
     num_gates = len(ordering.gate_nets)
 
@@ -657,8 +680,364 @@ def _reduce_to_masks(
     # thousand terms at k=32), so substituting each word's leading bit here
     # avoids building frozensets only to immediately rewrite them.
     if word_relations:
-        div_subs, div_traffic, div_peak = _divide_word_relations(
+        div_subs, div_traffic, div_peak = _divide_word_relations_legacy(
             remainder, word_relations, num_gates, mul
+        )
+        substitutions += div_subs
+        traffic += div_traffic
+        if div_peak > peak:
+            peak = div_peak
+    return remainder, substitutions, traffic, peak
+
+
+def _reduce_to_masks_batched(
+    circuit: Circuit,
+    seed_terms: Dict[FrozenSet[int], int],
+    field: GF2m,
+    ordering: RatoOrdering,
+    word_relations: Optional[List[tuple]] = None,
+) -> "tuple[Dict[int, int], int, int, int]":
+    """Frontier-batched sweep: one Python op advances a whole term group.
+
+    Gate tails over boolean logic carry coefficient 1 on every monomial, so
+    tails are stored as plain *sets* of ``(mask, gates)`` keys and a
+    substitution step becomes set algebra. For a coefficient-free seed
+    (every seed coefficient 1 — the per-cone parallel path) the staged
+    groups themselves are mask sets and each tail monomial folds a whole
+    group into its target with one ``symmetric_difference_update``; for the
+    alpha-weighted serial seed groups stay ``mask -> coeff`` dicts and the
+    fold is one :func:`~repro.gf.xor_accumulate` sweep per tail monomial.
+    Either way the interpreter dispatches per *tail item*, not per product.
+
+    Shifting a group by a tail mask is not injective — two masks differing
+    only inside the tail mask collide, and that pair must *cancel*, so the
+    batch is parity-folded through a Counter whenever ``set(shifted)``
+    loses elements; a bare ``set()`` would dedupe instead.
+
+    Term-for-term identical to :func:`_reduce_to_masks_legacy` and emits
+    the same REDTRACE stream byte-for-byte: events carry content-based
+    counts sampled at pop boundaries (group/tail/live sizes), all invariant
+    under batching and under set iteration order. In the (never observed)
+    event a gate tail surfaces a non-1 coefficient, the whole call defers
+    to the legacy kernel rather than running a mixed-mode frontier.
+    """
+    id_of = ordering.var_ids
+    num_gates = len(ordering.gate_nets)
+
+    # AND/BUF resolution is identical to the legacy kernel: single-monomial
+    # coefficient-1 tails are inlined at encode time and never scheduled.
+    resolved: list = [None] * num_gates
+
+    def encode(monomial) -> "tuple[int, tuple]":
+        mask = 0
+        gs = ()
+        for v in monomial:
+            if v < num_gates:
+                r = resolved[v]
+                if r is None:
+                    gs = _merge_sorted(gs, (v,)) if gs else (v,)
+                else:
+                    mask |= r[0]
+                    if r[1]:
+                        gs = _merge_sorted(gs, r[1]) if gs else r[1]
+            else:
+                mask |= 1 << (v - num_gates)
+        return mask, gs
+
+    fanout = Counter(
+        chain.from_iterable(g.inputs for g in circuit.topological_order())
+    )
+    pinned = [False] * num_gates
+    for monomial in seed_terms:
+        for v in monomial:
+            if v < num_gates:
+                pinned[v] = True
+
+    # Tails as sets of (mask, gates) keys. XOR-tree splicing steals the
+    # single-consumer child's set outright and merges smaller-into-larger;
+    # set symmetric difference is exactly the coefficient-1 XOR merge.
+    tails: Dict[int, set] = {}
+    for gate in circuit.topological_order():
+        out = id_of[gate.output]
+        gtype = gate.gate_type
+        if gtype is GateType.AND or gtype is GateType.BUF:
+            mask = 0
+            gs = ()
+            for net in gate.inputs:
+                v = id_of[net]
+                if v < num_gates:
+                    r = resolved[v]
+                    if r is None:
+                        if not gs:
+                            gs = (v,)
+                        elif len(gs) == 1:  # dominant shapes, merged inline
+                            g0 = gs[0]
+                            if v > g0:
+                                gs = (g0, v)
+                            elif v < g0:
+                                gs = (v, g0)
+                        else:
+                            gs = _merge_sorted(gs, (v,))
+                    else:
+                        mask |= r[0]
+                        rg = r[1]
+                        if rg:
+                            if not gs:
+                                gs = rg
+                            elif len(gs) == 1 and len(rg) == 1:
+                                g0 = gs[0]
+                                w = rg[0]
+                                if w > g0:
+                                    gs = (g0, w)
+                                elif w < g0:
+                                    gs = (w, g0)
+                            else:
+                                gs = _merge_sorted(gs, rg)
+                else:
+                    mask |= 1 << (v - num_gates)
+            resolved[out] = (mask, gs)
+            continue
+        if gtype is GateType.XOR:
+            acc: set = set()
+            for net in gate.inputs:
+                v = id_of[net]
+                if v < num_gates:
+                    r = resolved[v]
+                    if r is None:
+                        spliced = (
+                            tails.pop(v)
+                            if fanout[net] == 1 and not pinned[v] and v in tails
+                            else None
+                        )
+                        if spliced is not None:
+                            if not acc:
+                                acc = spliced
+                                continue
+                            if len(spliced) > len(acc):
+                                acc, spliced = spliced, acc
+                            acc.symmetric_difference_update(spliced)
+                            continue
+                        key = (0, (v,))
+                    else:
+                        key = r
+                else:
+                    key = (1 << (v - num_gates), ())
+                if key in acc:  # XOR parity on repeats
+                    acc.remove(key)
+                else:
+                    acc.add(key)
+        else:
+            dacc: Dict[tuple, int] = {}
+            for tm, tc in gate_tail(gate, id_of).items():
+                key = encode(tm)  # encode is not injective: XOR-merge
+                cur = dacc.get(key, 0) ^ tc
+                if cur:
+                    dacc[key] = cur
+                else:
+                    del dacc[key]
+            if any(c != 1 for c in dacc.values()):
+                # A non-boolean tail coefficient would need field products
+                # inside the set sweep; no supported gate produces one, but
+                # if it ever happens run the whole call on the legacy
+                # kernel instead.
+                return _reduce_to_masks_legacy(
+                    circuit, seed_terms, field, ordering, word_relations
+                )
+            acc = set(dacc)
+        if len(acc) == 1:
+            resolved[out] = next(iter(acc))
+            continue
+        tails[out] = acc
+
+    # Stage the seed. A coefficient-free seed keeps every bucket a pure
+    # mask set for the whole sweep (no stored coefficient can ever differ
+    # from 1 when both the seed and all tails are coefficient-1); any other
+    # seed stages mask -> coeff dicts. ``remainder`` follows suit and the
+    # set variant is converted to a dict at the end.
+    pure = True
+    for c in seed_terms.values():
+        if c != 1:
+            pure = False
+            break
+
+    staged: Dict[int, dict] = {}
+    if pure:
+        rem_set: set = set()
+        for monomial in seed_terms:
+            mask, gates = encode(monomial)
+            sub = rem_set if not gates else (
+                staged.setdefault(gates[0], {}).setdefault(gates, set())
+            )
+            if mask in sub:
+                sub.remove(mask)
+            else:
+                sub.add(mask)
+        frontier = rem_set
+    else:
+        remainder = {}
+        for monomial, coeff in seed_terms.items():
+            mask, gates = encode(monomial)
+            sub = remainder if not gates else (
+                staged.setdefault(gates[0], {}).setdefault(gates, {})
+            )
+            cur = sub.get(mask)
+            if cur is None:
+                sub[mask] = coeff
+            else:
+                merged = cur ^ coeff
+                if merged:
+                    sub[mask] = merged
+                else:
+                    del sub[mask]
+        frontier = remainder
+
+    substitutions = 0
+    traffic = 0
+    live = len(frontier) + sum(
+        len(sub) for bucket in staged.values() for sub in bucket.values()
+    )
+    peak = 0
+    heap = [v for v, bucket in staged.items() if bucket]
+    heapq.heapify(heap)
+    queued = set(heap)
+    staged_get = staged.get
+    new_group = set if pure else dict
+    rtw = redtrace.active_writer()
+    while heap:
+        var = heapq.heappop(heap)
+        queued.discard(var)
+        bucket = staged.pop(var, None)
+        if not bucket:
+            continue
+        tail_set = tails[var]
+        if rtw is not None:
+            rtw.emit(
+                "mask_sweep",
+                var=var,
+                groups=len(bucket),
+                tail=len(tail_set),
+                live=live,
+            )
+        substitutions_here = 0
+        # Route each tail monomial once per pop; buckets are mutated in
+        # place so the references stay valid while the pop adds terms.
+        # Set iteration order is replay-safe: the heap schedule dedupes
+        # pushes and every emitted figure is a content-based count.
+        # ``routed`` keeps the gate tuples for multi-gate groups; the hot
+        # loops unpack the slimmer ``pairs``.
+        routed = []
+        pairs = []
+        for tmask, tgates in tail_set:
+            if tgates:
+                g0 = tgates[0]
+                outer = staged_get(g0)
+                if outer is None:
+                    staged[g0] = outer = {}
+                if g0 not in queued:
+                    heapq.heappush(heap, g0)
+                    queued.add(g0)
+                tgt = outer.get(tgates)
+                if tgt is None:
+                    outer[tgates] = tgt = new_group()
+            else:
+                tgt = frontier
+            routed.append((tmask, tgates, tgt))
+            pairs.append((tmask, tgt))
+        ntail = len(routed)
+        for gates, sub in bucket.items():
+            if not sub:
+                continue
+            substitutions_here = 1
+            nsub = len(sub)
+            live -= nsub
+            traffic += nsub * ntail
+            rest = gates[1:]  # gates[0] == var by the staging invariant
+            if not rest:
+                targets = pairs
+            else:
+                targets = []
+                for tmask, tgates, _ in routed:
+                    if not tgates:
+                        kgates = rest
+                    elif len(rest) == 1 and len(tgates) == 1:
+                        a = rest[0]
+                        b = tgates[0]
+                        kgates = (
+                            (a, b) if a < b else ((b, a) if b < a else rest)
+                        )
+                    else:
+                        kgates = _merge_sorted(rest, tgates)
+                    g0 = kgates[0]
+                    outer = staged_get(g0)
+                    if outer is None:
+                        staged[g0] = outer = {}
+                    if g0 not in queued:
+                        heapq.heappush(heap, g0)
+                        queued.add(g0)
+                    tgt = outer.get(kgates)
+                    if tgt is None:
+                        outer[kgates] = tgt = new_group()
+                    targets.append((tmask, tgt))
+            if pure:
+                if nsub == 1:
+                    (mask0,) = sub
+                    for tmask, tgt in targets:
+                        key = mask0 | tmask
+                        if key in tgt:
+                            tgt.remove(key)
+                            live -= 1
+                        else:
+                            tgt.add(key)
+                            live += 1
+                else:
+                    for tmask, tgt in targets:
+                        if tmask:
+                            shifted = [m | tmask for m in sub]
+                            batch = set(shifted)
+                            if len(batch) != nsub:
+                                # Colliding shifts must cancel pairwise,
+                                # not dedupe: keep odd-parity masks only.
+                                batch = {
+                                    m
+                                    for m, n in Counter(shifted).items()
+                                    if n & 1
+                                }
+                        else:
+                            batch = sub
+                        before = len(tgt)
+                        tgt.symmetric_difference_update(batch)
+                        live += len(tgt) - before
+            elif nsub == 1:
+                (mask0, coeff0), = sub.items()
+                for tmask, tgt in targets:
+                    key = mask0 | tmask
+                    cur = tgt.get(key)
+                    if cur is None:
+                        tgt[key] = coeff0
+                        live += 1
+                    else:
+                        merged = cur ^ coeff0
+                        if merged:
+                            tgt[key] = merged
+                        else:
+                            del tgt[key]
+                            live -= 1
+            else:
+                masks = list(sub)
+                coeffs = list(sub.values())
+                for tmask, tgt in targets:
+                    live += xor_accumulate(
+                        tgt, [m | tmask for m in masks], coeffs
+                    )
+        substitutions += substitutions_here
+        if live > peak:
+            peak = live
+
+    if pure:
+        remainder = dict.fromkeys(frontier, 1)
+    if word_relations:
+        div_subs, div_traffic, div_peak = _divide_word_relations_batched(
+            remainder, word_relations, num_gates, field
         )
         substitutions += div_subs
         traffic += div_traffic
@@ -671,16 +1050,84 @@ def _divide_word_relations(
     remainder: Dict[int, int],
     word_relations: List[tuple],
     num_gates: int,
-    mul,
+    field: GF2m,
 ) -> "tuple[int, int, int]":
     """Divide a mask-space remainder by the input word relations, in place.
 
     Substitutes each relation's leading bit by its tail (the word variable
     plus the alpha-scaled higher bits). Returns ``(substitutions,
-    term_traffic, peak_terms)`` deltas; the serial sweep folds them into
-    its own counters and the parallel merge applies this to the combined
-    remainder — one place, identical term-by-term behaviour.
+    term_traffic, peak_terms)`` deltas. Dispatches on the kernel switch,
+    like :func:`_reduce_to_masks`; the parallel merge calls this on the
+    combined remainder and each sweep kernel calls its own variant
+    directly.
     """
+    if kernels.batch_enabled():
+        return _divide_word_relations_batched(
+            remainder, word_relations, num_gates, field
+        )
+    return _divide_word_relations_legacy(
+        remainder, word_relations, num_gates, field.mul
+    )
+
+
+def _divide_word_relations_batched(
+    remainder: Dict[int, int],
+    word_relations: List[tuple],
+    num_gates: int,
+    field: GF2m,
+) -> "tuple[int, int, int]":
+    """Word-relation division, vectorised tail-major through ``mul_vec``.
+
+    Where the legacy variant walks affected-term × tail-item pairs one
+    merge at a time, this scales *all* affected coefficients by one tail
+    coefficient per :meth:`~repro.gf.GF2m.mul_vec` call and folds each
+    shifted batch in with one :func:`~repro.gf.xor_accumulate` sweep. XOR
+    accumulation commutes, so the result and every emitted figure match
+    the legacy order exactly.
+    """
+    substitutions = 0
+    traffic = 0
+    peak = 0
+    mul_vec = field.mul_vec
+    rtw = redtrace.active_writer()
+    for var, rel_tail in word_relations:
+        bit = 1 << (var - num_gates)
+        affected = [item for item in remainder.items() if item[0] & bit]
+        if not affected:
+            continue
+        if rtw is not None:
+            rtw.emit(
+                "word_relation_division",
+                var=var,
+                affected=len(affected),
+                tail=len(rel_tail),
+                remainder=len(remainder),
+            )
+        for mask, _ in affected:
+            del remainder[mask]
+        traffic += len(affected) * len(rel_tail)
+        bases = [mask ^ bit for mask, _ in affected]
+        coeffs = [coeff for _, coeff in affected]
+        for tv, tcoeff in rel_tail:
+            tmask = 1 << (tv - num_gates)
+            xor_accumulate(
+                remainder,
+                [base | tmask for base in bases],
+                coeffs if tcoeff == 1 else mul_vec(coeffs, tcoeff),
+            )
+        substitutions += 1
+        if len(remainder) > peak:
+            peak = len(remainder)
+    return substitutions, traffic, peak
+
+
+def _divide_word_relations_legacy(
+    remainder: Dict[int, int],
+    word_relations: List[tuple],
+    num_gates: int,
+    mul,
+) -> "tuple[int, int, int]":
+    """The pre-batching division loop, kept verbatim as the oracle."""
     substitutions = 0
     traffic = 0
     peak = 0
@@ -1236,7 +1683,7 @@ def _extract_parallel(
             circuit, ordering, alpha_powers
         )
         div_subs, div_traffic, div_peak = _divide_word_relations(
-            merged, word_relations, num_gates, field.mul
+            merged, word_relations, num_gates, field
         )
         substitutions += div_subs
         traffic += div_traffic

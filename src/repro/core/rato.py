@@ -66,7 +66,19 @@ def build_rato(
     """RATO for ``circuit``: reverse-topological ranking of the gate nets."""
     with span("rato_setup", gates=circuit.num_gates()):
         levels = circuit.reverse_topological_levels()
-        gate_nets = sorted(levels, key=lambda net: (levels[net], net))
+        # Bucket by level, then sort each (small) bucket by name: same
+        # ordering as sorting (level, net) pairs, without allocating a key
+        # tuple per net or calling back into a lambda N log N times.
+        buckets: Dict[int, List[str]] = {}
+        for net, level in levels.items():
+            bucket = buckets.get(level)
+            if bucket is None:
+                buckets[level] = [net]
+            else:
+                bucket.append(net)
+        gate_nets: List[str] = []
+        for level in sorted(buckets):
+            gate_nets.extend(sorted(buckets[level]))
         return _assemble(circuit, gate_nets, output_words)
 
 

@@ -2,7 +2,7 @@
 
 from . import poly2
 from .dualbasis import coordinate_coefficients, dual_basis
-from .field import GF2m, GFElement
+from .field import GF2m, GFElement, xor_accumulate
 from .irreducible import (
     count_irreducible,
     find_irreducible,
@@ -19,6 +19,7 @@ __all__ = [
     "coordinate_coefficients",
     "GF2m",
     "GFElement",
+    "xor_accumulate",
     "count_irreducible",
     "is_irreducible",
     "is_primitive",

@@ -14,13 +14,39 @@ coefficient of ``alpha^i`` (``alpha`` a root of ``P``); equivalently the
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from . import logtables, poly2
 from .irreducible import is_irreducible
 from .tables import nist_polynomial
 
-__all__ = ["GF2m", "GFElement"]
+__all__ = ["GF2m", "GFElement", "xor_accumulate"]
+
+
+def xor_accumulate(
+    acc: Dict[int, int], keys: Sequence[int], coeffs: Sequence[int]
+) -> int:
+    """XOR-merge parallel ``(key, coeff)`` sequences into ``acc`` in place.
+
+    The characteristic-2 accumulation step shared by the batched reduction
+    kernels: a present key is XOR-merged (and deleted when the coefficient
+    cancels to zero), an absent key is inserted. Returns the net change in
+    ``len(acc)`` so callers can batch their live-term accounting instead of
+    adjusting a counter per element.
+    """
+    get = acc.get
+    before = len(acc)
+    for key, cc in zip(keys, coeffs):
+        cur = get(key)
+        if cur is None:
+            acc[key] = cc
+        else:
+            merged = cur ^ cc
+            if merged:
+                acc[key] = merged
+            else:
+                del acc[key]
+    return len(acc) - before
 
 
 class GF2m:
@@ -156,12 +182,123 @@ class GF2m:
                 log = self._log
                 return exp[log[a] + log[b]]
             return 0
+        red = self._red
+        if red is not None and 0 <= a < self.order and 0 <= b < self.order:
+            # k > 16 fast path: carry-less multiply, then the byte-windowed
+            # table reduction inlined — poly2.mod's bit-by-bit long division
+            # never runs for in-range residues.
+            product = poly2.clmul(a, b)
+            if product < self.order:
+                return product
+            low = product & self._mask
+            high = product >> self.k
+            i = 0
+            while high:
+                byte = high & 0xFF
+                if byte:
+                    low ^= red[i][byte]
+                high >>= 8
+                i += 1
+            return low
         product = poly2.clmul(a, b)
         if product < self.order:
             return product
-        if self._red is not None and a < self.order and b < self.order:
-            return self._window_reduce(product)
         return poly2.mod(product, self.modulus)
+
+    def _constant_window_tables(self, c: int) -> List[List[int]]:
+        """256-entry tables of ``byte << 8i -> byte * x^(8i) * c mod P``.
+
+        Together the tables evaluate ``v * c mod P`` as one XOR per byte of
+        ``v``. Built by the same doubling recurrence as the reduction
+        tables, so construction costs O(k + 256 * k/8) word ops and
+        amortises over a :meth:`mul_vec` batch.
+        """
+        order = self.order
+        mask = self._mask
+        low_p = self.modulus & mask  # x^k ≡ low_p (mod P)
+        tables: List[List[int]] = []
+        r = c  # x^(8i + j) * c mod P, advanced by doubling
+        for _ in range((self.k + 7) // 8):
+            residues = []
+            for _ in range(8):
+                residues.append(r)
+                r <<= 1
+                if r & order:
+                    r = (r & mask) ^ low_p
+            rows = [0] * 256
+            for byte in range(1, 256):
+                lowbit = byte & -byte
+                rows[byte] = rows[byte ^ lowbit] ^ residues[lowbit.bit_length() - 1]
+            tables.append(rows)
+        return tables
+
+    def mul_vec(self, values: Iterable[int], c: int) -> List[int]:
+        """Multiply every residue in ``values`` by the constant residue ``c``.
+
+        Batched entry point for the reduction kernels, element-identical to
+        ``[self.mul(v, c) for v in values]``: the table dispatch and the
+        log lookup for ``c`` are hoisted out of the loop, and on wide
+        fields a dense ``c`` over a large batch gets per-byte product
+        tables (:meth:`_constant_window_tables`) so each element costs
+        O(k/8) lookups instead of a carry-less multiply whose Python loop
+        walks every set bit. Sparse constants — the alpha powers the
+        word-relation division feeds in — stay on clmul, which already
+        iterates only ``c``'s set bits.
+        """
+        if self._tables_pending:
+            self.ensure_tables()
+        values = list(values)
+        if c == 0:
+            return [0] * len(values)
+        if c == 1:
+            return values
+        self._check(c)
+        exp = self._exp
+        if exp is not None:
+            log = self._log
+            lc = log[c]
+            return [exp[log[v] + lc] if v else 0 for v in values]
+        red = self._red
+        if red is not None:
+            if len(values) * c.bit_count() >= 2048:
+                tables = self._constant_window_tables(c)
+                out: List[int] = []
+                append = out.append
+                for v in values:
+                    acc = 0
+                    i = 0
+                    while v:
+                        byte = v & 0xFF
+                        if byte:
+                            acc ^= tables[i][byte]
+                        v >>= 8
+                        i += 1
+                    append(acc)
+                return out
+            clmul = poly2.clmul
+            order = self.order
+            mask = self._mask
+            k = self.k
+            out = []
+            append = out.append
+            for v in values:
+                product = clmul(v, c)
+                if product < order:
+                    append(product)
+                    continue
+                low = product & mask
+                high = product >> k
+                i = 0
+                while high:
+                    byte = high & 0xFF
+                    if byte:
+                        low ^= red[i][byte]
+                    high >>= 8
+                    i += 1
+                append(low)
+            return out
+        mul = self.mul
+        return [mul(v, c) for v in values]
 
     def square(self, a: int) -> int:
         if self._tables_pending:

@@ -6,12 +6,19 @@ instance of the same field reuses them:
 
 - **log/antilog tables** (``k <= MAX_LOG_K``): discrete logarithms with
   respect to a generator of the multiplicative group turn ``mul``, ``div``,
-  ``inv``, ``pow`` and ``square`` into O(1) list lookups. The antilog table
-  is doubled so the common index arithmetic never needs a modulo.
+  ``inv``, ``pow`` and ``square`` into O(1) lookups. The antilog table is
+  doubled so the common index arithmetic never needs a modulo. Both tables
+  are stored as ``array('I')``: every entry fits 32 bits for ``k <= 16``,
+  which cuts resident size ~8x against a list of boxed ints at identical
+  measured lookup cost.
 - **windowed-reduction tables** (``k > MAX_LOG_K``): a full log table is
   infeasible, but the modular reduction after a carry-less multiply can be
   done byte-at-a-time with 256-entry tables of ``byte * x^(k+8i) mod P`` —
   O(k/8) XORs instead of the bit-by-bit long division of ``poly2.mod``.
+  Rows are ``array('I')`` while residues fit a machine word (``k <= 32``);
+  wider fields keep plain lists — their entries are arbitrary-precision
+  ints that a flat array cannot hold, and re-boxing large ints on every
+  lookup measures slower than reusing the list's existing objects.
 
 Setting ``REPRO_GF_TABLES=0`` in the environment disables both families;
 every operation then runs on the pure :mod:`repro.gf.poly2` reference path
@@ -21,7 +28,8 @@ every operation then runs on the pure :mod:`repro.gf.poly2` reference path
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Tuple
+from array import array
+from typing import Dict, List, Sequence, Tuple
 
 from . import poly2
 
@@ -37,8 +45,12 @@ __all__ = [
 #: Largest k for which full log/antilog tables are built (2^k entries each).
 MAX_LOG_K = 16
 
-_log_cache: Dict[Tuple[int, int], Tuple[List[int], List[int]]] = {}
-_reduction_cache: Dict[Tuple[int, int], List[List[int]]] = {}
+#: Widest field whose reduction-table rows are packed ``array('I')`` — every
+#: residue of F_2^32 fits one unsigned 32-bit slot.
+MAX_PACKED_ROW_K = 32
+
+_log_cache: Dict[Tuple[int, int], Tuple["array", "array"]] = {}
+_reduction_cache: Dict[Tuple[int, int], List[Sequence[int]]] = {}
 
 #: Count of actual table constructions in this process (cache misses).
 #: Worker pools warm their tables once in the initializer and then assert
@@ -103,13 +115,15 @@ def _try_generator(g: int, k: int, modulus: int) -> "List[int] | None":
     return exp
 
 
-def log_tables(k: int, modulus: int) -> Tuple[List[int], List[int]]:
-    """``(exp, log)`` tables for ``F_2^k = F2[x]/(modulus)``.
+def log_tables(k: int, modulus: int) -> Tuple["array", "array"]:
+    """``(exp, log)`` tables for ``F_2^k = F2[x]/(modulus)``, as ``array('I')``.
 
     ``exp`` is the doubled antilog table from :func:`_try_generator`;
-    ``log[a]`` is the discrete logarithm of the nonzero residue ``a``
-    (``log[0]`` is a poison value that keeps the list dense but must never
-    be read — callers branch on zero first).
+    ``log[a]`` is the discrete logarithm of the nonzero residue ``a``.
+    ``log[0]`` is a poison entry (``2 * span``, past the end of ``exp``)
+    that keeps the table dense but must never be read — callers branch on
+    zero first, and the ``exp[log[a] + log[b]]`` pattern raises IndexError
+    if one slips through.
     """
     global _builds
     key = (k, modulus)
@@ -119,7 +133,7 @@ def log_tables(k: int, modulus: int) -> Tuple[List[int], List[int]]:
     _builds += 1
     span = (1 << k) - 1
     if span == 1:  # F_2: the multiplicative group is trivial
-        tables = ([1, 1], [-(1 << 60), 0])
+        tables = (array("I", [1, 1]), array("I", [2, 0]))
         _log_cache[key] = tables
         return tables
     exp = None
@@ -131,20 +145,23 @@ def log_tables(k: int, modulus: int) -> Tuple[List[int], List[int]]:
             break
     if exp is None:  # pragma: no cover - every field has a generator
         raise RuntimeError(f"no generator found for F_2^{k}")
-    log = [-(1 << 60)] * (span + 1)
+    log = [2 * span] * (span + 1)
     for i in range(span):
         log[exp[i]] = i
-    _log_cache[key] = (exp, log)
-    return exp, log
+    tables = (array("I", exp), array("I", log))
+    _log_cache[key] = tables
+    return tables
 
 
-def reduction_table(k: int, modulus: int) -> List[List[int]]:
+def reduction_table(k: int, modulus: int) -> List[Sequence[int]]:
     """Byte-window reduction tables for products of two degree-<k residues.
 
     ``table[i][byte] == (byte << (k + 8*i)) mod modulus`` for every byte
     position ``i`` of the product's high part (degree ``k .. 2k-2``).
     Built incrementally from ``x^(k+j) mod P`` recurrences in O(k + 256*k/8)
-    word operations — no per-entry long division.
+    word operations — no per-entry long division. Rows are packed
+    ``array('I')`` up to ``k == MAX_PACKED_ROW_K`` and plain lists beyond
+    (see the module docstring for the measured rationale).
     """
     global _builds
     key = (k, modulus)
@@ -164,7 +181,8 @@ def reduction_table(k: int, modulus: int) -> List[List[int]]:
             r = (r & mask) ^ low
         residues[j] = r
     positions = (len(residues) + 7) // 8
-    table: List[List[int]] = []
+    pack_rows = k <= MAX_PACKED_ROW_K
+    table: List[Sequence[int]] = []
     for i in range(positions):
         rows = [0] * 256
         base = 8 * i
@@ -176,6 +194,6 @@ def reduction_table(k: int, modulus: int) -> List[List[int]]:
                 rows[byte] = rows[byte ^ lowbit]
             else:
                 rows[byte] = rows[byte ^ lowbit] ^ residues[base + bit]
-        table.append(rows)
+        table.append(array("I", rows) if pack_rows else rows)
     _reduction_cache[key] = table
     return table

@@ -36,7 +36,7 @@ import resource
 import time
 from typing import Dict, Optional, Tuple
 
-from .. import obs
+from .. import kernels, obs
 from ..obs import redtrace
 from ..algebra import parse_polynomial
 from ..circuits import Circuit, read_netlist, read_netlist_text
@@ -481,6 +481,7 @@ def execute_job(
         "status": "ok",
         "attempt": attempt,
         "seconds": seconds,
+        "kernel": kernels.active_kernel(),
         "phases": {k: round(v, 6) for k, v in phases.items()},
         "peak_rss_mb": round(_peak_rss_mb(), 1),
         "cache": dict(counters),

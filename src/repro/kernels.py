@@ -1,0 +1,36 @@
+"""Kernel-path selection for the batched reduction engines.
+
+The hot reduction loops ship in two implementations:
+
+- **batched** (the default): one Python-level operation advances a whole
+  frontier of terms — set-valued substitution sweeps, spliced tail sets,
+  vectorised word-relation division through ``GF2m.mul_vec``;
+- **legacy**: the per-term dict kernels the batched rewrite replaced,
+  kept verbatim behind ``REPRO_BATCH_KERNELS=0`` (mirroring
+  ``REPRO_GF_TABLES``) as the in-tree differential oracle and as the
+  honest baseline for before/after benchmarking.
+
+Both paths are term-for-term identical and replay byte-identical REDTRACE
+streams; the CI kernel-differential step and the property suite enforce
+this on every change. The switch is read from the environment on every
+call so tests can flip it per-case without re-importing anything.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["BATCHED", "LEGACY", "active_kernel", "batch_enabled"]
+
+BATCHED = "batched"
+LEGACY = "legacy"
+
+
+def batch_enabled() -> bool:
+    """Honour the ``REPRO_BATCH_KERNELS`` switch (default: enabled)."""
+    return os.environ.get("REPRO_BATCH_KERNELS", "1") != "0"
+
+
+def active_kernel() -> str:
+    """The active kernel path name, for run logs and ``/metrics`` tagging."""
+    return BATCHED if batch_enabled() else LEGACY

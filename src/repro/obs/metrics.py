@@ -29,6 +29,8 @@ __all__ = [
     "COSTMODEL_PREDICTIONS",
     "DIVISION_CALLS",
     "DIVISION_PEAK_TERMS",
+    "DIVISION_SORTKEY_HITS",
+    "DIVISION_SORTKEY_LOOKUPS",
     "DIVISION_STEPS",
     "FRAIG_MERGED",
     "FRAIG_QUERIES",
@@ -77,9 +79,15 @@ BUCHBERGER_PAIRS_SKIPPED = "buchberger.pairs_skipped_coprime"
 BUCHBERGER_REDUCTIONS = "buchberger.spoly_reductions"
 
 # Multivariate division (``f ->_G+ r``): the inner loop of everything.
+# The sortkey pair tracks the batched reducer's per-call monomial-key memo:
+# lookups ticks once per key request, hits counts the subset served from the
+# memo (hit rate = hits / lookups — high on reduction-heavy workloads where
+# the same monomials are re-keyed on every heap push).
 DIVISION_CALLS = "division.calls"
 DIVISION_STEPS = "division.steps"
 DIVISION_PEAK_TERMS = "division.peak_terms"  # gauge
+DIVISION_SORTKEY_LOOKUPS = "division.sortkey_lookups"
+DIVISION_SORTKEY_HITS = "division.sortkey_hits"
 
 # Vanishing ideal J_0 generators materialised for faithful GB runs.
 VANISHING_GENERATORS = "vanishing.generators"

@@ -1,0 +1,210 @@
+"""Property tests: the batched kernels are indistinguishable from legacy.
+
+Three invariants, each the contract the ``REPRO_BATCH_KERNELS`` switch
+promises:
+
+- **term exactness** — ``extract_canonical`` under the batched kernels
+  produces the identical polynomial, case and work counters as the legacy
+  kernels, on clean and on randomly mutated multipliers (mutations give
+  dense, irregular, sometimes Case-2 canonical polynomials — where a
+  parity bug in the set-batched frontier would surface);
+- **oracle agreement** — the batched ``reduce_polynomial`` matches both
+  the legacy heap reducer and the scan-based
+  ``reference_reduce_polynomial`` remainder-for-remainder and
+  step-for-step on random polynomial systems;
+- **replay byte-identity** — a REDTRACE recorded under one kernel replays
+  with zero diffs under the other, at k in {8, 16, 32}.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import Polynomial, PolynomialRing
+from repro.algebra.division import (
+    DivisionTrace,
+    reduce_polynomial,
+    reference_reduce_polynomial,
+)
+from repro.circuits import random_mutation
+from repro.circuits.blif import to_blif
+from repro.core import extract_canonical
+from repro.gf import GF2m
+from repro.obs import redtrace
+from repro.obs.replay import diff_events, execute_header, netlist_sha256
+from repro.synth import mastrovito_multiplier, montgomery_multiplier
+
+F256 = GF2m(8)
+
+
+def _with_kernel(value):
+    os.environ["REPRO_BATCH_KERNELS"] = value
+
+
+def _extract_both_kernels(circuit, field):
+    prior = os.environ.get("REPRO_BATCH_KERNELS")
+    try:
+        _with_kernel("0")
+        legacy = extract_canonical(circuit, field)
+        _with_kernel("1")
+        batched = extract_canonical(circuit, field)
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_BATCH_KERNELS", None)
+        else:
+            os.environ["REPRO_BATCH_KERNELS"] = prior
+    return legacy, batched
+
+
+def _assert_identical(legacy, batched):
+    assert batched.polynomial.terms == legacy.polynomial.terms
+    assert batched.stats.case == legacy.stats.case
+    assert batched.stats.remainder_bits == legacy.stats.remainder_bits
+    assert batched.stats.substitutions == legacy.stats.substitutions
+    assert batched.stats.term_traffic == legacy.stats.term_traffic
+    assert batched.stats.peak_terms == legacy.stats.peak_terms
+
+
+class TestExtractionTermExact:
+    @pytest.mark.parametrize("synth", [mastrovito_multiplier, montgomery_multiplier])
+    def test_clean_multiplier(self, synth):
+        circuit = synth(F256)
+        if hasattr(circuit, "flatten"):
+            circuit = circuit.flatten()
+        _assert_identical(*_extract_both_kernels(circuit, F256))
+
+    @given(seed=st.integers(0, 2**20))
+    @settings(
+        max_examples=10, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_mutated_mastrovito(self, seed):
+        circuit, _ = random_mutation(mastrovito_multiplier(F256), seed=seed)
+        _assert_identical(*_extract_both_kernels(circuit, F256))
+
+    @given(seed=st.integers(0, 2**20))
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_mutated_montgomery(self, seed):
+        circuit = montgomery_multiplier(F256)
+        if hasattr(circuit, "flatten"):
+            circuit = circuit.flatten()
+        circuit, _ = random_mutation(circuit, seed=seed)
+        _assert_identical(*_extract_both_kernels(circuit, F256))
+
+
+@st.composite
+def poly_data(draw, num_vars=4, max_terms=8, order=256):
+    terms = {}
+    for _ in range(draw(st.integers(1, max_terms))):
+        nv = draw(st.integers(1, num_vars))
+        variables = draw(
+            st.lists(
+                st.integers(0, num_vars - 1),
+                min_size=nv, max_size=nv, unique=True,
+            )
+        )
+        monomial = tuple(
+            sorted((v, draw(st.integers(1, 2))) for v in variables)
+        )
+        terms[monomial] = draw(st.integers(1, order - 1))
+    return terms
+
+
+class TestDivisionOracleAgreement:
+    @given(
+        f_data=poly_data(),
+        g_data=st.lists(poly_data(max_terms=4), min_size=1, max_size=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batched_matches_legacy_and_reference(self, f_data, g_data):
+        ring = PolynomialRing(F256, ["a", "b", "c", "d"])
+        f = Polynomial(ring, f_data)
+        divisors = [Polynomial(ring, d) for d in g_data]
+        prior = os.environ.get("REPRO_BATCH_KERNELS")
+        traces = [DivisionTrace() for _ in range(3)]
+        try:
+            _with_kernel("1")
+            batched = reduce_polynomial(f, divisors, trace=traces[0])
+            _with_kernel("0")
+            legacy = reduce_polynomial(f, divisors, trace=traces[1])
+        finally:
+            if prior is None:
+                os.environ.pop("REPRO_BATCH_KERNELS", None)
+            else:
+                os.environ["REPRO_BATCH_KERNELS"] = prior
+        reference = reference_reduce_polynomial(f, divisors, trace=traces[2])
+        assert batched.terms == legacy.terms == reference.terms
+        assert (
+            (traces[0].steps, traces[0].peak_terms)
+            == (traces[1].steps, traces[1].peak_terms)
+            == (traces[2].steps, traces[2].peak_terms)
+        )
+
+
+def _record_abstract(circuit, field, kernel, tmp_path, tag):
+    """Record an ``abstract`` REDTRACE under the given kernel path."""
+    text = to_blif(circuit)
+    path = str(tmp_path / f"{tag}.redtrace")
+    _with_kernel(kernel)
+    redtrace.start_recording(
+        path=path,
+        op="abstract",
+        params={
+            "k": field.k,
+            "modulus": f"{field.modulus:#x}",
+            "output_word": None,
+            "case2": "linearized",
+            "jobs": None,
+            "netlist": f"<{tag}>",
+            "netlist_text": text,
+            "netlist_sha256": netlist_sha256(text),
+        },
+    )
+    try:
+        extract_canonical(circuit, field)
+    finally:
+        redtrace.stop_recording()
+    return redtrace.read_trace(path)
+
+
+class TestReplayCrossKernel:
+    @pytest.mark.parametrize("k", [8, 16, 32])
+    def test_legacy_recording_replays_on_batched(self, k, tmp_path):
+        field = GF2m(k)
+        circuit = mastrovito_multiplier(field)
+        if hasattr(circuit, "flatten"):
+            circuit = circuit.flatten()
+        prior = os.environ.get("REPRO_BATCH_KERNELS")
+        try:
+            recorded = _record_abstract(circuit, field, "0", tmp_path, f"m{k}")
+            _with_kernel("1")
+            fresh = execute_header(recorded[0])
+        finally:
+            if prior is None:
+                os.environ.pop("REPRO_BATCH_KERNELS", None)
+            else:
+                os.environ["REPRO_BATCH_KERNELS"] = prior
+        assert diff_events(recorded, fresh) is None
+
+    @pytest.mark.parametrize("k", [8, 16])
+    def test_batched_recording_replays_on_legacy(self, k, tmp_path):
+        field = GF2m(k)
+        circuit = montgomery_multiplier(field)
+        if hasattr(circuit, "flatten"):
+            circuit = circuit.flatten()
+        prior = os.environ.get("REPRO_BATCH_KERNELS")
+        try:
+            recorded = _record_abstract(circuit, field, "1", tmp_path, f"g{k}")
+            _with_kernel("0")
+            fresh = execute_header(recorded[0])
+        finally:
+            if prior is None:
+                os.environ.pop("REPRO_BATCH_KERNELS", None)
+            else:
+                os.environ["REPRO_BATCH_KERNELS"] = prior
+        assert diff_events(recorded, fresh) is None
