@@ -1,0 +1,284 @@
+"""Cluster benchmark: consistent-hash router over two shards on one box.
+
+Boots two :class:`repro.service.VerificationService` daemons and a
+:class:`repro.service.RouterService` in front of them — the smallest real
+cluster — and measures what the router adds and what sharding buys:
+
+- **routing locality**: a duplicate-heavy workload of ``distinct``
+  submission keys, each repeated; the router's ``primary_routed`` share
+  shows keys pinning to their owning shard (the property that keeps each
+  shard's canonical-polynomial cache and in-flight dedup effective);
+- **cache economy under sharding**: abstractions actually computed across
+  the fleet versus requests served, read from the shards' own counters;
+- **router overhead**: p50 submit→verdict latency through the router vs
+  straight to a shard for the same key;
+- **failover**: one shard is stopped mid-run, the next submissions must
+  land on the survivor (and be counted ``failover_routed``).
+
+Standalone script::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_router.py --quick
+
+Output JSON goes to ``--out``, ``$REPRO_BENCH_OUT``, or
+``./BENCH_cluster.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.circuits import write_verilog
+from repro.circuits.mutate import substitute_gate_type
+from repro.gf import GF2m
+from repro.service import ServiceClient, ServiceConfig, VerificationService
+from repro.service.router import RouterConfig, RouterService
+from repro.synth import mastrovito_multiplier, montgomery_multiplier
+
+
+def build_workload(k: int, variants: int, tmp_dir: Path):
+    """Spec text plus ``variants`` distinct impl texts (1 good, rest buggy)."""
+    field = GF2m(k)
+    spec = mastrovito_multiplier(field)
+    impl = montgomery_multiplier(field).flatten()
+    write_verilog(spec, str(tmp_dir / "spec.v"))
+    texts = [(tmp_dir / "spec.v").read_text()]
+    write_verilog(impl, str(tmp_dir / "impl0.v"))
+    impl_texts = [(tmp_dir / "impl0.v").read_text()]
+    mutated = impl
+    for i in range(1, variants):
+        mutated, _ = substitute_gate_type(impl, impl.gates[i % len(impl.gates)].output)
+        path = tmp_dir / f"impl{i}.v"
+        write_verilog(mutated, str(path))
+        impl_texts.append(path.read_text())
+    return texts[0], impl_texts
+
+
+def scrape(host, port, wanted):
+    """Pull named samples out of a /metrics exposition."""
+    client = ServiceClient(host=host, port=port, timeout=15.0, retries=2)
+    try:
+        text = client.metrics_text()
+    finally:
+        client.close()
+    values = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if name in wanted:
+            values[name] = float(value)
+    return values
+
+
+def drive(router_address, spec_text, impl_texts, k, repeats):
+    """Submit every (spec, impl) key ``repeats`` times; returns latencies."""
+    host, port = router_address
+    client = ServiceClient(host=host, port=port, timeout=60.0, retries=3)
+    latencies = []
+    try:
+        for _ in range(repeats):
+            for impl_text in impl_texts:
+                t0 = time.perf_counter()
+                doc = client.verify(spec_text, impl_text, k, poll_timeout=300.0)
+                latencies.append(time.perf_counter() - t0)
+                assert doc["status"] == "done", doc
+    finally:
+        client.close()
+    return latencies
+
+
+def percentile(samples, fraction):
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def run_suite(k, variants, repeats, tmp_dir: Path) -> dict:
+    spec_text, impl_texts = build_workload(k, variants, tmp_dir)
+    shards = []
+    for i in range(2):
+        config = ServiceConfig(
+            port=0, workers=1, cache_dir=str(tmp_dir / f"cache{i}"),
+            drain_timeout=10.0, shard_of=f"{i}/2",
+        )
+        service = VerificationService(config)
+        service.start()
+        shards.append(service)
+    backends = ["%s:%d" % s.address for s in shards]
+    router = RouterService(RouterConfig(backends=backends, port=0,
+                                        health_interval=0.5))
+    router.start()
+    results: dict = {"backends": backends, "k": k,
+                     "distinct_keys": variants, "repeats": repeats}
+    try:
+        t0 = time.perf_counter()
+        latencies = drive(router.address, spec_text, impl_texts, k, repeats)
+        wall = time.perf_counter() - t0
+
+        router_metrics = scrape(
+            *router.address,
+            wanted={
+                "repro_router_requests", "repro_router_primary_routed",
+                "repro_router_failover_routed", "repro_router_retries",
+            },
+        )
+        requests = router_metrics.get("repro_router_requests", 0)
+        primary = router_metrics.get("repro_router_primary_routed", 0)
+        locality = round(primary / requests, 4) if requests else None
+        # The collector is process-global, so the shard counters scraped
+        # from either daemon reflect fleet-wide abstraction work.
+        fleet = scrape(*shards[0].address,
+                       wanted={"repro_abstraction_extractions"})
+        extractions = fleet.get("repro_abstraction_extractions")
+        results["routed"] = {
+            "requests": requests,
+            "wall_seconds": round(wall, 3),
+            "requests_per_second": round(len(latencies) / wall, 2),
+            "p50_seconds": round(percentile(latencies, 0.50), 4),
+            "p95_seconds": round(percentile(latencies, 0.95), 4),
+            "key_locality": locality,
+            "failover_routed": router_metrics.get(
+                "repro_router_failover_routed", 0),
+            "abstraction_extractions": extractions,
+            "verdicts_served": len(latencies),
+        }
+        print(
+            f"routed: {len(latencies)} verdicts in {wall:.2f}s, "
+            f"locality {locality}, {extractions:.0f} extraction(s) computed"
+        )
+
+        # Same repeated key straight to its owning shard, for the overhead
+        # delta. The key is warm on both paths — this isolates proxy cost.
+        direct_latencies = []
+        owner = router.ring.primary(
+            router.submission_key(
+                "verify",
+                json.dumps({"k": k, "spec_text": spec_text,
+                            "impl_text": impl_texts[0],
+                            "case2": "linearized"}).encode(),
+            )
+        )
+        owner_backend = router.backends[owner]
+        client = ServiceClient(host=owner_backend.host,
+                               port=owner_backend.port,
+                               timeout=60.0, retries=2)
+        try:
+            for _ in range(max(3, repeats)):
+                t0 = time.perf_counter()
+                client.verify(spec_text, impl_texts[0], k, poll_timeout=300.0)
+                direct_latencies.append(time.perf_counter() - t0)
+        finally:
+            client.close()
+        routed_same_key = []
+        rhost, rport = router.address
+        client = ServiceClient(host=rhost, port=rport, timeout=60.0, retries=2)
+        try:
+            for _ in range(max(3, repeats)):
+                t0 = time.perf_counter()
+                client.verify(spec_text, impl_texts[0], k, poll_timeout=300.0)
+                routed_same_key.append(time.perf_counter() - t0)
+        finally:
+            client.close()
+        direct_p50 = percentile(direct_latencies, 0.5)
+        routed_p50 = percentile(routed_same_key, 0.5)
+        results["router_overhead"] = {
+            "direct_p50_seconds": round(direct_p50, 4),
+            "routed_p50_seconds": round(routed_p50, 4),
+            "added_ms_p50": round((routed_p50 - direct_p50) * 1e3, 2),
+        }
+        print(
+            f"router overhead p50: direct {direct_p50*1e3:.1f} ms, "
+            f"routed {routed_p50*1e3:.1f} ms "
+            f"(+{(routed_p50-direct_p50)*1e3:.1f} ms)"
+        )
+
+        # Failover: kill the shard that OWNS impl0's key (so the re-drive
+        # must actually fail over, not just keep hitting its primary).
+        victim = next(s for s in shards if "%s:%d" % s.address == owner)
+        victim.stop()
+        router.probe_all()
+        t0 = time.perf_counter()
+        drive(router.address, spec_text, impl_texts[:1], k, 1)
+        failover_latency = time.perf_counter() - t0
+        after = scrape(*router.address,
+                       wanted={"repro_router_failover_routed",
+                               "repro_router_unroutable"})
+        results["failover"] = {
+            "survivors": router.healthy_count(),
+            "first_verdict_seconds": round(failover_latency, 3),
+            "failover_routed_total": after.get(
+                "repro_router_failover_routed", 0),
+            "unroutable_total": after.get("repro_router_unroutable", 0),
+        }
+        print(
+            f"failover: {router.healthy_count()} shard(s) up, verdict in "
+            f"{failover_latency:.2f}s"
+        )
+    finally:
+        router.stop()
+        for shard in shards:
+            shard.stop()
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller field and workload (CI mode)")
+    parser.add_argument("--k", type=int, default=None,
+                        help="field degree (default 8, or 4 with --quick)")
+    parser.add_argument("--variants", type=int, default=None,
+                        help="distinct impl netlists (default 4; 2 quick)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="times each key is resubmitted (default 3; 2 quick)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default $REPRO_BENCH_OUT "
+                        "or ./BENCH_cluster.json)")
+    args = parser.parse_args(argv)
+
+    k = args.k or (4 if args.quick else 8)
+    variants = args.variants or (2 if args.quick else 4)
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-bench-") as tmp:
+        results = run_suite(k, variants, repeats, Path(tmp))
+
+    payload = {
+        "meta": {
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "current": results,
+    }
+    out = args.out or os.environ.get("REPRO_BENCH_OUT") or "BENCH_cluster.json"
+    out_path = Path(out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"trajectory written to {out_path}")
+
+    locality = results.get("routed", {}).get("key_locality")
+    if locality is not None and locality < 0.95:
+        print(f"FAIL: key locality {locality} below 0.95", file=sys.stderr)
+        return 1
+    if results.get("failover", {}).get("survivors") != 1:
+        print("FAIL: failover did not leave exactly one survivor",
+              file=sys.stderr)
+        return 1
+    print(f"OK: locality {locality}, failover served by the survivor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,6 +62,9 @@ class Circuit:
         self.input_words: Dict[str, List[str]] = {}
         self.output_words: Dict[str, List[str]] = {}
         self._topo_cache: Optional[List[Gate]] = None
+        # Packed parallel-abstraction context (repro.core.abstraction) —
+        # invalidated alongside the topo cache on any structural edit.
+        self._plane_cache = None
         self._levels_cache: Optional[Dict[str, int]] = None
 
     # -- construction ---------------------------------------------------------
@@ -76,6 +79,7 @@ class Circuit:
         self._input_set.add(net)
         self._topo_cache = None
         self._levels_cache = None
+        self._plane_cache = None  # packed parallel-abstraction context
         return net
 
     def add_inputs(self, nets: Iterable[str]) -> List[str]:
@@ -90,6 +94,7 @@ class Circuit:
         self._gates[output] = Gate(output, gate_type, tuple(inputs))
         self._topo_cache = None
         self._levels_cache = None
+        self._plane_cache = None  # packed parallel-abstraction context
         return output
 
     def set_outputs(self, nets: Sequence[str]) -> None:
@@ -392,6 +397,7 @@ class Circuit:
         self._gates[output] = Gate(output, gate_type, tuple(inputs))
         self._topo_cache = None
         self._levels_cache = None
+        self._plane_cache = None  # packed parallel-abstraction context
 
     def __repr__(self) -> str:
         return (

@@ -534,8 +534,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port_file=args.port_file,
         cost_model=args.cost_model,
         trace_ring=args.trace_ring,
+        dispatch=args.dispatch,
+        shard_of=args.shard_of,
     )
     return serve(config)
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from .service.router import RouterConfig, route
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    if not backends:
+        print("error: --backends needs at least one host:port", file=sys.stderr)
+        return 2
+    for backend in backends:
+        host, _, port = backend.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"error: invalid backend address {backend!r} "
+                  "(expected host:port)", file=sys.stderr)
+            return 2
+    config = RouterConfig(
+        backends=backends,
+        host=args.host,
+        port=args.port,
+        vnodes=args.vnodes,
+        health_interval=args.health_interval,
+        retry_budget=args.retry_budget,
+        port_file=args.port_file,
+    )
+    return route(config)
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -1295,7 +1322,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="flight-recorder ring size for REDTRACE events "
         "(0 disables; default 20000)",
     )
+    serve.add_argument(
+        "--dispatch",
+        choices=("plane", "inline"),
+        default="plane",
+        help="where job bodies run: the resident worker plane (process "
+        "isolation + parallelism, default) or inline on dispatcher threads",
+    )
+    serve.add_argument(
+        "--shard-of",
+        default=None,
+        metavar="I/N",
+        help="label this daemon shard I of an N-shard cluster behind "
+        "repro route (shows on /healthz and /metrics)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    route = add_command(
+        "route",
+        help="run the consistent-hash shard router over repro serve daemons",
+        description="Front door for a fleet of repro serve daemons: "
+        "consistent-hashes each submission's request key onto a backend "
+        "shard so identical work always hits the same warm cache, fails "
+        "over when a shard dies, and aggregates /metrics across the "
+        "fleet. Responses are proxied byte-for-byte.",
+    )
+    route.add_argument(
+        "--backends",
+        required=True,
+        metavar="H:P,H:P,...",
+        help="comma-separated backend daemon addresses (host:port)",
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument(
+        "--port",
+        type=int,
+        default=8013,
+        help="listen port (0 = ephemeral; see --port-file; default 8013)",
+    )
+    route.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        metavar="N",
+        help="virtual nodes per backend on the hash ring (default 64)",
+    )
+    route.add_argument(
+        "--health-interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between /readyz probes of each backend (default 2)",
+    )
+    route.add_argument(
+        "--retry-budget",
+        type=int,
+        default=2,
+        metavar="N",
+        help="attempts per backend on 429/503 before failing over "
+        "(default 2, honouring Retry-After)",
+    )
+    route.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write host:port here once listening (ephemeral-port handshake)",
+    )
+    route.set_defaults(func=_cmd_route)
 
     submit = add_command(
         "submit",

@@ -47,6 +47,7 @@ from ..gf import GF2m, coordinate_coefficients, xor_accumulate
 from ..obs import metrics, redtrace
 from ..obs.spans import active_collector, span
 from .bitpoly import SubstitutionEngine
+from .engage import note_serial_run
 from .gate_polys import gate_tail
 from .rato import RatoOrdering, build_rato
 
@@ -1320,17 +1321,6 @@ def _parallel_min_gates() -> int:
     return int(os.environ.get("REPRO_PARALLEL_MIN_GATES", DEFAULT_PARALLEL_MIN_GATES))
 
 
-def _parallel_forced() -> bool:
-    """``REPRO_PARALLEL_FORCE=1`` overrides the single-CPU serial clamp.
-
-    Tests and benchmark sweeps set this to exercise the pool machinery on
-    one-CPU hosts, where by default the pool is skipped because fork
-    overhead with no parallel hardware makes it strictly slower than serial
-    (the ``BENCH_parallel.json`` 0.15x "speedup").
-    """
-    return os.environ.get("REPRO_PARALLEL_FORCE", "0") == "1"
-
-
 def _resolve_workers(jobs: Optional[int]) -> int:
     if jobs is None:
         return 1
@@ -1370,10 +1360,12 @@ def extract_canonical(
         stays serial, ``0`` means one per CPU, ``N >= 2`` uses a pool of
         ``N``. Small circuits (gate count below ``REPRO_PARALLEL_MIN_GATES``,
         default ``4000``) fall back to serial — slicing overhead would
-        dominate — as do single-CPU hosts (fork cost buys no parallelism;
-        ``REPRO_PARALLEL_FORCE=1`` overrides) and any
-        :class:`~repro.jobs.pool.PoolError`. Both paths produce
-        bit-identical polynomials.
+        dominate. Above the threshold the engage decision is a cost
+        comparison (:func:`repro.core.engage.parallel_engage`): predicted
+        serial seconds vs. the worker plane's measured dispatch overhead,
+        with ``REPRO_PARALLEL_FORCE=1``/``0`` as the hard override. Any
+        :class:`~repro.jobs.pool.PoolError` also falls back to serial.
+        Both paths produce bit-identical polynomials.
     """
     start = time.perf_counter()
     metrics.counter_add(metrics.ABSTRACTION_EXTRACTIONS, 1)
@@ -1381,20 +1373,11 @@ def extract_canonical(
         raise ValueError(f"unknown case2 strategy {case2!r}")
     output_word = _resolve_output_word(circuit, field, output_word)
     workers = _resolve_workers(jobs)
-    if workers > 1 and (os.cpu_count() or 1) <= 1 and not _parallel_forced():
-        # One-CPU host: the cone pool cannot run anything in parallel, so
-        # forking workers only adds overhead (measured ~6x slower than
-        # serial). Stay serial unless explicitly forced.
-        logger.debug(
-            "parallel abstraction requested on a single-CPU host; running "
-            "serially (set REPRO_PARALLEL_FORCE=1 to override)"
-        )
-        workers = 1
     if workers > 1 and multiprocessing.current_process().daemon:
-        # Batch-runner job workers are daemonic and daemonic processes
-        # cannot fork children — the pool would die on startup. Serial is
-        # the only viable path here; the batch layer already parallelises
-        # across jobs.
+        # Batch-runner job processes and plane workers are daemonic, and
+        # daemonic processes cannot fork children — a nested pool would die
+        # on startup. Serial is the only viable path here; the layer above
+        # already parallelises across jobs.
         logger.debug(
             "parallel abstraction requested inside a daemonic process; "
             "running serially"
@@ -1406,16 +1389,23 @@ def extract_canonical(
         and circuit.num_gates() >= _parallel_min_gates()
     ):
         from ..jobs.pool import PoolError
+        from .engage import parallel_engage
 
-        try:
-            return _extract_parallel(
-                circuit, field, output_word, case2, workers, start
-            )
-        except PoolError as exc:
-            logger.warning(
-                "parallel abstraction of %r failed (%s); rerunning serially",
-                output_word,
-                exc,
+        engaged, reason = parallel_engage(workers, circuit.num_gates(), field.k)
+        if engaged:
+            try:
+                return _extract_parallel(
+                    circuit, field, output_word, case2, workers, start
+                )
+            except PoolError as exc:
+                logger.warning(
+                    "parallel abstraction of %r failed (%s); rerunning serially",
+                    output_word,
+                    exc,
+                )
+        else:
+            logger.debug(
+                "parallel abstraction of %r not engaged (%s)", output_word, reason
             )
     return _extract_serial(circuit, field, output_word, case2, ordering, start)
 
@@ -1493,6 +1483,9 @@ def _extract_serial(
         id_to_word, bit_owner, stats,
     )
     stats.seconds = time.perf_counter() - start
+    # Feed the engage policy's serial-rate EMA so the next request for the
+    # same field sizes its parallel decision from measured data.
+    note_serial_run(field.k, stats.gate_count, stats.seconds)
     _report_metrics(stats)
     return AbstractionResult(
         polynomial=polynomial,
@@ -1504,7 +1497,10 @@ def _extract_serial(
 
 
 def _reduce_cone(
-    cone: "FaninCone", field: GF2m, bitmap: List[int]
+    cone: "FaninCone",
+    field: GF2m,
+    bitmap: List[int],
+    derived: "Optional[tuple]" = None,
 ) -> "tuple[List[int], int, int, int]":
     """Reduce one output-bit cone; masks come back in the *parent* layout.
 
@@ -1517,12 +1513,19 @@ def _reduce_cone(
     scaling waits for the parent merge. ``bitmap[j]`` is the parent-layout
     mask bit of ``cone.inputs[j]``; returns
     ``(masks, substitutions, term_traffic, peak_terms)``.
+
+    ``derived`` optionally supplies a precomputed ``(subcircuit, ordering)``
+    pair — resident plane workers memoise these per cone across maps, where
+    they otherwise dominate the re-run cost of an unchanged circuit.
     """
     if not cone.gates:
         # Output bit wired straight to a primary input.
         return [bitmap[cone.inputs.index(cone.root)]], 0, 0, 1
-    sub = cone.subcircuit()
-    sub_ordering = build_rato(sub, output_words=[])
+    if derived is None:
+        sub = cone.subcircuit()
+        sub_ordering = build_rato(sub, output_words=[])
+    else:
+        sub, sub_ordering = derived
     seed = {frozenset((sub_ordering.var_ids[cone.root],)): 1}
     remainder, substitutions, traffic, peak = _reduce_to_masks(
         sub, seed, field, sub_ordering
@@ -1542,6 +1545,110 @@ def _reduce_cone(
     return masks, substitutions, traffic, peak
 
 
+def _cone_task(context: Dict, index: int) -> "tuple[bytes, Dict]":
+    """Plane-worker task: reduce one cone of the shipped context.
+
+    ``context`` travels to the worker once per circuit (epoch-tagged — see
+    :mod:`repro.jobs.plane`); tasks are bare cone indices. The worker's
+    context copy is resident for the epoch's lifetime, so per-circuit
+    derived state is memoised on it: the field object (its GF tables were
+    warmed when the context was published), each cone's extracted
+    subcircuit + RATO, and — because the context identity is the content
+    hash of its packed bytes, making every cone reduction a pure function
+    of ``(context, index)`` — the finished cone results themselves. A
+    worker asked to re-reduce a cone of a circuit it already holds answers
+    from memory; the memo dies with the context when a new epoch is
+    published. This is what makes repeated maps of an unchanged circuit
+    (the resident-service steady state) pay: they cost pipe traffic and
+    the parent merge, not re-sweeps.
+    """
+    memo = context.get("_results")
+    if memo is None:
+        memo = context["_results"] = {}
+    hit = memo.get(index)
+    if hit is not None:
+        return hit
+    field = context.get("_field")
+    if field is None:
+        field = GF2m(context["k"], context["modulus"])
+        context["_field"] = field
+    cone = context["cones"][index]
+    derived_cache = context.get("_derived")
+    if derived_cache is None:
+        derived_cache = context["_derived"] = {}
+    derived = derived_cache.get(index)
+    if derived is None and cone.gates:
+        sub = cone.subcircuit()
+        derived = derived_cache[index] = (sub, build_rato(sub, output_words=[]))
+    with span(
+        "cone_reduction", root=cone.root, bit=index, gates=cone.num_gates()
+    ):
+        masks, steps, traffic, peak = _reduce_cone(
+            cone, field, context["bitmaps"][index], derived=derived
+        )
+    mask_bytes = context["mask_bytes"]
+    payload = b"".join(m.to_bytes(mask_bytes, "little") for m in masks)
+    result = (
+        payload,
+        {
+            "bit": index,
+            "root": cone.root,
+            "gates": cone.num_gates(),
+            "division_steps": steps,
+            "term_traffic": traffic,
+            "peak_terms": peak,
+            "terms": len(masks),
+        },
+    )
+    memo[index] = result
+    return result
+
+
+def _plane_slices(circuit: Circuit, field: GF2m, output_word: str):
+    """RATO + cone slices + the packed plane context, cached on the circuit.
+
+    Slicing and context packing cost tens of milliseconds on k=96-sized
+    multipliers — per *circuit* costs, not per map. The cache lives on the
+    circuit object and is invalidated by every structural edit (see
+    ``Circuit._plane_cache``), keyed on the things that change the packed
+    bytes: output word, field, gate count and the tracing flag (the
+    context embeds it).
+    """
+    tracing = metrics.is_enabled()
+    token = (output_word, field.k, field.modulus, circuit.num_gates(), tracing)
+    cached = getattr(circuit, "_plane_cache", None)
+    if cached is not None and cached[0] == token:
+        return cached[1]
+
+    ordering = build_rato(circuit, output_words=[output_word])
+    id_of = ordering.var_ids
+    num_gates = len(ordering.gate_nets)
+    mask_bytes = (len(ordering.variables) - num_gates + 7) // 8
+    with span("cone_slicing", output=output_word):
+        cones = circuit.output_cones(word=output_word)
+        # Parent-layout mask bit of each cone input, precomputed so workers
+        # remap without needing the parent id tables.
+        bitmaps = [
+            [1 << (id_of[name] - num_gates) for name in cone.inputs]
+            for cone in cones
+        ]
+    from ..jobs.plane import pack_context
+
+    context = {
+        "cones": cones,
+        "bitmaps": bitmaps,
+        "k": field.k,
+        "modulus": field.modulus,
+        "mask_bytes": mask_bytes,
+    }
+    packed = pack_context(
+        _cone_task, context, field_key=(field.k, field.modulus), tracing=tracing
+    )
+    value = (ordering, cones, bitmaps, mask_bytes, context, packed)
+    circuit._plane_cache = (token, value)
+    return value
+
+
 def _extract_parallel(
     circuit: Circuit,
     field: GF2m,
@@ -1550,7 +1657,7 @@ def _extract_parallel(
     workers: int,
     start: float,
 ) -> AbstractionResult:
-    """Cone-sliced abstraction across a fork pool of ``workers`` processes.
+    """Cone-sliced abstraction across ``workers`` plane processes.
 
     Slices the circuit into per-output-bit fanin cones, reduces each cone
     independently (coefficient-free — see :func:`_reduce_cone`), then
@@ -1562,39 +1669,11 @@ def _extract_parallel(
     """
     from ..jobs.pool import run_pool
 
-    ordering = build_rato(circuit, output_words=[output_word])
-    id_of = ordering.var_ids
+    ordering, cones, bitmaps, mask_bytes, context, packed = _plane_slices(
+        circuit, field, output_word
+    )
     num_gates = len(ordering.gate_nets)
     alpha_powers = field.alpha_powers()
-    mask_bytes = (len(ordering.variables) - num_gates + 7) // 8
-
-    with span("cone_slicing", output=output_word):
-        cones = circuit.output_cones(word=output_word)
-        # Parent-layout mask bit of each cone input, precomputed before the
-        # fork so workers remap without touching the parent id tables.
-        bitmaps = [
-            [1 << (id_of[name] - num_gates) for name in cone.inputs]
-            for cone in cones
-        ]
-
-    def reduce_cone(index: int) -> "tuple[bytes, Dict]":
-        cone = cones[index]
-        with span(
-            "cone_reduction", root=cone.root, bit=index, gates=cone.num_gates()
-        ):
-            masks, steps, traffic, peak = _reduce_cone(
-                cone, field, bitmaps[index]
-            )
-        payload = b"".join(m.to_bytes(mask_bytes, "little") for m in masks)
-        return payload, {
-            "bit": index,
-            "root": cone.root,
-            "gates": cone.num_gates(),
-            "division_steps": steps,
-            "term_traffic": traffic,
-            "peak_terms": peak,
-            "terms": len(masks),
-        }
 
     stats = AbstractionStats(
         gate_count=circuit.num_gates(), jobs=workers, cones=len(cones)
@@ -1629,10 +1708,12 @@ def _extract_parallel(
                 )
         pool_start = time.perf_counter()
         results = run_pool(
-            reduce_cone,
+            _cone_task,
             heavy_first,
             workers,
             field_key=(field.k, field.modulus),
+            context=context,
+            packed=packed,
         )
         pool_wall = time.perf_counter() - pool_start
 

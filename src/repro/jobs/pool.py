@@ -1,32 +1,28 @@
-"""In-process fork pool for cone-sliced parallel abstraction.
+"""Cone-task map façade: resident worker plane with a legacy fork-pool engine.
 
-The batch runner (:mod:`repro.jobs.runner`) isolates whole verification
-*jobs* in one OS process each — the right trade for multi-second jobs that
-may crash or blow their memory budget. Cone tasks are the opposite shape:
-hundreds of sub-100ms reductions that all read the same circuit. This pool
-serves that shape:
+:func:`run_pool` is the one entry point for "map hundreds of sub-100ms
+tasks that all read the same circuit across processes". Two engines serve
+it:
 
-- **fork copy-on-write input handoff** — the parent publishes the task
-  context (circuit, cone list, closure) in a module global *before* the
-  workers fork, so every worker shares the parent's pages instead of
-  unpickling its own copy; tasks on the wire are bare integers.
-- **warm workers** — the pool initializer pre-builds the GF(2^k) log/antilog
-  (or byte-window reduction) tables for the run's ``(k, modulus)`` via
-  :func:`repro.gf.logtables.warm`, then records
-  :func:`~repro.gf.logtables.table_builds`; every task reports the delta so
-  callers can assert no worker rebuilt tables mid-run.
-- **compact result handoff** — cone remainders travel back as packed byte
-  blobs (the caller's ``fn`` decides the encoding; the parallel abstraction
-  packs fixed-width little-endian bit masks), not per-term Python objects.
-- **deadline + retry** — the whole map has an optional wall-clock deadline,
-  and a broken pool (a worker died without reporting) or a timeout is
-  retried with a fresh pool before :class:`PoolError` reaches the caller —
-  the same containment contract as the job runner, scaled down.
+- **plane** (default) — the resident :class:`~repro.jobs.plane.WorkerPlane`
+  of pre-forked, GF-table-warm workers. Context (the task callable plus an
+  explicit picklable ``context`` object) ships over a pipe once per
+  distinct circuit and is epoch-versioned; maps after the first pay only
+  per-task pipe traffic. Concurrent maps from different threads run on
+  disjoint workers — nothing serialises on a module global.
+- **forkpool** (``REPRO_WORKER_PLANE=0`` or ``engine="forkpool"``) — the
+  original per-map ``ProcessPoolExecutor`` with fork copy-on-write context
+  handoff. Kept as the escape hatch and as the measured baseline for the
+  plane's dispatch-overhead win (see
+  ``benchmarks/bench_parallel_abstraction.py``); it still serialises
+  concurrent maps on its module lock, and it is the automatic fallback
+  when a context cannot be pickled (closures over live objects).
 
-Workers run tasks under their own :class:`~repro.obs.spans.TraceCollector`
-when the parent had tracing enabled at fork time; the recorded spans ride
-home on each result so the parent can merge them — in the Chrome trace each
-worker pid renders as its own track, making pool load imbalance visible.
+Both engines keep the same contract: every pool-path failure surfaces as
+:class:`PoolError` (infrastructure failures retried first — on the plane a
+crashed worker is respawned and the in-flight task requeued; on the fork
+pool the whole map reruns on a fresh pool), so callers with a serial
+fallback need to catch only :class:`PoolError`.
 """
 
 from __future__ import annotations
@@ -42,10 +38,95 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..gf import logtables
+from .plane import PoolError, PoolResult, _UnpicklableContext, get_plane
 
-__all__ = ["PoolError", "PoolResult", "run_pool"]
+__all__ = ["PoolError", "PoolResult", "run_pool", "pool_engine"]
 
 logger = logging.getLogger("repro.jobs")
+
+#: Sentinel distinguishing "no context" (legacy ``fn(index)`` signature)
+#: from an explicit ``context=None``.
+_NO_CONTEXT = object()
+
+
+def pool_engine() -> str:
+    """The configured map engine: ``"plane"`` unless ``REPRO_WORKER_PLANE``
+    is ``0``/``false``/``off``."""
+    if os.environ.get("REPRO_WORKER_PLANE", "1").lower() in ("0", "false", "off"):
+        return "forkpool"
+    return "plane"
+
+
+def _call_plain(fn: Callable[[int], Tuple[Any, Dict]], index: int):
+    """Plane adapter for legacy zero-context callables."""
+    return fn(index)
+
+
+def run_pool(
+    fn: Callable[..., Tuple[Any, Dict]],
+    indices: Sequence[int],
+    workers: int,
+    field_key: Optional[Tuple[int, int]] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    context: Any = _NO_CONTEXT,
+    engine: Optional[str] = None,
+    packed: Optional[bytes] = None,
+) -> List[PoolResult]:
+    """Map ``fn`` over ``indices`` on worker processes.
+
+    With ``context`` given, ``fn`` must be a module-level callable invoked
+    as ``fn(context, index)``; the pair ships to the plane workers once per
+    distinct context. Without it, ``fn(index)`` is called — closures over
+    large state work on the fork-pool engine (copy-on-write) and on the
+    plane only if picklable; unpicklable callables fall back to the fork
+    pool transparently.
+
+    ``fn`` returns ``(payload, stats_dict)``. ``indices`` controls dispatch
+    order: callers submit heavy tasks first to keep the schedule's tail
+    short. ``field_key`` is the ``(k, modulus)`` whose GF tables workers
+    pre-build. ``timeout`` bounds the whole map's wall clock; ``retries``
+    is the crash budget (per task on the plane, per map on the fork pool).
+
+    Results come back in completion order; callers index by
+    :attr:`PoolResult.index`. Every pool-path failure surfaces as
+    :class:`PoolError`.
+    """
+    if workers < 1:
+        raise ValueError("run_pool needs at least one worker")
+    chosen = engine or pool_engine()
+    if chosen == "plane":
+        if context is _NO_CONTEXT:
+            task_fn, task_ctx = _call_plain, fn
+        else:
+            task_fn, task_ctx = fn, context
+        try:
+            return get_plane().map(
+                task_fn,
+                task_ctx,
+                indices,
+                workers,
+                field_key=field_key,
+                timeout=timeout,
+                retries=retries,
+                packed=packed,
+            )
+        except _UnpicklableContext as exc:
+            logger.debug(
+                "plane context not picklable (%s); using the fork pool", exc
+            )
+    if context is _NO_CONTEXT:
+        plain_fn = fn
+    else:
+        bound_ctx, bound_fn = context, fn
+
+        def plain_fn(index: int) -> Tuple[Any, Dict]:
+            return bound_fn(bound_ctx, index)
+
+    return _run_forkpool(plain_fn, indices, workers, field_key, timeout, retries)
+
+
+# -- legacy fork-pool engine --------------------------------------------------
 
 #: Task context published by the parent immediately before the workers
 #: fork; children inherit it through copy-on-write memory. Holds the task
@@ -57,27 +138,11 @@ _CTX: Optional[Dict[str, Any]] = None
 #: rebuild is visible to the parent.
 _WARM_BUILDS = 0
 
-#: The fork handoff goes through the ``_CTX`` module global, so only one map
-#: may be in flight per process: a second concurrent caller would clobber the
-#: first's context and its workers could fork with the wrong ``fn`` (or
-#: ``_CTX = None``). This lock serialises concurrent :func:`run_pool` callers.
-_POOL_LOCK = threading.Lock()
-
-
-class PoolError(RuntimeError):
-    """The pool could not complete the map (timeout or repeated crashes)."""
-
-
-class PoolResult:
-    """One task's outcome: index, payload, worker stats, optional spans."""
-
-    __slots__ = ("index", "payload", "stats", "spans")
-
-    def __init__(self, index: int, payload: Any, stats: Dict, spans: Optional[List]):
-        self.index = index
-        self.payload = payload
-        self.stats = stats
-        self.spans = spans
+#: The fork handoff goes through the ``_CTX`` module global, so only one
+#: fork-pool map may be in flight per process — a second concurrent caller
+#: would clobber the first's context before its workers fork. Only the
+#: legacy engine takes this lock; plane maps run concurrently.
+_FORKPOOL_LOCK = threading.Lock()
 
 
 def _pool_initializer(k: Optional[int], modulus: Optional[int], tracing: bool) -> None:
@@ -129,44 +194,20 @@ def _run_task(index: int) -> Tuple[int, Any, Dict, Optional[List]]:
     return index, payload, stats, spans
 
 
-def run_pool(
+def _run_forkpool(
     fn: Callable[[int], Tuple[Any, Dict]],
     indices: Sequence[int],
     workers: int,
-    field_key: Optional[Tuple[int, int]] = None,
-    timeout: Optional[float] = None,
+    field_key: Optional[Tuple[int, int]],
+    timeout: Optional[float],
     retries: int = 1,
 ) -> List[PoolResult]:
-    """Map ``fn`` over ``indices`` on a pool of forked workers.
-
-    ``fn`` must return ``(payload, stats_dict)`` and is shipped to the
-    workers by fork inheritance — closures over large in-memory state
-    (circuits, cone lists) are free. ``indices`` controls dispatch order:
-    callers submit heavy tasks first to keep the tail of the schedule
-    short. ``field_key`` is the ``(k, modulus)`` whose GF tables the
-    initializer pre-builds. ``timeout`` bounds the whole map's wall clock.
-
-    Results come back in completion order; callers index by
-    :attr:`PoolResult.index`. Every pool-path failure surfaces as
-    :class:`PoolError`: infrastructure failures (a crashed worker, the map
-    deadline, fork errors) are retried with a fresh pool first, while an
-    exception raised by ``fn`` itself — deterministic, so a fresh pool
-    cannot help — is wrapped immediately. Callers with a serial fallback
-    need to catch only :class:`PoolError`.
-
-    Maps are serialised process-wide (the fork handoff rides a module
-    global); a concurrent call from another thread blocks until the
-    in-flight map finishes.
-    """
-    if workers < 1:
-        raise ValueError("run_pool needs at least one worker")
     attempts = max(1, retries + 1)
     last_error: Optional[BaseException] = None
     lock_wait_started = time.perf_counter()
-    with _POOL_LOCK:
-        # In a multi-threaded host (the verification service) concurrent
-        # requests that each want a cone pool serialise here; surface the
-        # wait so /metrics shows the contention instead of hiding it.
+    with _FORKPOOL_LOCK:
+        # Concurrent fork-pool maps serialise here; surface the wait so
+        # /metrics shows the contention instead of hiding it.
         waited = time.perf_counter() - lock_wait_started
         if waited > 0.001:
             obs.metrics.counter_add(
@@ -174,7 +215,7 @@ def run_pool(
             )
         for attempt in range(1, attempts + 1):
             try:
-                return _run_pool_once(fn, indices, workers, field_key, timeout)
+                return _run_forkpool_once(fn, indices, workers, field_key, timeout)
             except (BrokenProcessPool, TimeoutError, OSError) as exc:
                 last_error = exc
                 if attempt < attempts:
@@ -195,7 +236,7 @@ def run_pool(
     )
 
 
-def _run_pool_once(
+def _run_forkpool_once(
     fn: Callable[[int], Tuple[Any, Dict]],
     indices: Sequence[int],
     workers: int,
@@ -230,7 +271,16 @@ def _run_pool_once(
                 continue  # loop re-checks the deadline
             for future in done:
                 index, payload, stats, spans = future.result()
-                results.append(PoolResult(index, payload, stats, spans))
+                results.append(
+                    PoolResult(
+                        index,
+                        payload,
+                        stats,
+                        {"spans": spans, "counters": {}, "gauges": {}}
+                        if spans is not None
+                        else None,
+                    )
+                )
         completed = True
     finally:
         _CTX = None

@@ -33,6 +33,7 @@ import logging
 import multiprocessing
 import os
 import re
+import signal
 import time
 from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, List, Optional
@@ -76,6 +77,12 @@ class BatchReport:
 
 def _worker_main(job: Dict, conn, cache_dir: Optional[str], attempt: int, seed) -> None:
     """Entry point of a single-job worker process."""
+    # Restore default signal dispositions: a parent embedding run_batch may
+    # have custom SIGTERM/SIGINT handlers (the service daemon does), and an
+    # inherited handler would swallow the deadline SIGTERM this runner sends
+    # overdue workers, forcing every kill through the SIGKILL grace period.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     obs.redtrace.reset_after_fork()  # never write into the parent's trace fd
     try:
         result = execute_job(job, cache_dir=cache_dir, attempt=attempt, seed=seed)

@@ -42,6 +42,14 @@ __all__ = [
     "PARALLEL_POOL_UTILIZATION_PCT",
     "PARALLEL_POOL_WORKERS",
     "PARALLEL_TABLE_REBUILDS",
+    "PLANE_CTX_PUBLISHES",
+    "PLANE_CTX_REUSED",
+    "PLANE_DISPATCH_OVERHEAD_MS",
+    "PLANE_MAPS",
+    "PLANE_STALE_REFUSALS",
+    "PLANE_TASK_RETRIES",
+    "PLANE_WORKERS_SPAWNED",
+    "PLANE_WORKER_RESPAWNS",
     "REVENG_CACHE_HITS",
     "REVENG_CANDIDATES_PROBED",
     "REVENG_IDENTIFICATIONS",
@@ -49,6 +57,15 @@ __all__ = [
     "REVENG_OBFUSCATION_GATES_ADDED",
     "REVENG_OBFUSCATION_VARIANTS",
     "REVENG_SWEEPS",
+    "ROUTER_BACKENDS_HEALTHY",
+    "ROUTER_FAILOVER_ROUTED",
+    "ROUTER_HEALTH_TRANSITIONS",
+    "ROUTER_JOB_FANOUTS",
+    "ROUTER_JOB_LOOKUPS",
+    "ROUTER_PRIMARY_ROUTED",
+    "ROUTER_REQUESTS",
+    "ROUTER_RETRIES",
+    "ROUTER_UNROUTABLE",
     "SAT_CONFLICTS",
     "SAT_DECISIONS",
     "SAT_PROPAGATIONS",
@@ -56,6 +73,8 @@ __all__ = [
     "SERVICE_JOBS_COMPLETED",
     "SERVICE_JOBS_EXPIRED",
     "SERVICE_JOBS_FAILED",
+    "SERVICE_PLANE_FALLBACKS",
+    "SERVICE_PLANE_JOBS",
     "SERVICE_QUEUE_DEPTH_PEAK",
     "SERVICE_QUEUE_WAIT_MS",
     "SERVICE_REQUESTS",
@@ -116,10 +135,43 @@ PARALLEL_POOL_WORKERS = "parallel.pool_workers"  # gauge
 PARALLEL_POOL_UTILIZATION_PCT = "parallel.pool_utilization_pct"  # gauge
 PARALLEL_POOL_IDLE_MS = "parallel.pool_idle_ms"
 PARALLEL_TABLE_REBUILDS = "parallel.table_rebuilds"
-# Fork handoff allows one map in flight per process; concurrent callers
-# (service worker threads whose requests each ask for a cone pool) queue on
-# the module lock. This counter makes that contention visible in /metrics.
+# The legacy fork-pool engine (REPRO_WORKER_PLANE=0) allows one map in
+# flight per process; concurrent callers queue on its module lock. The
+# plane engine never ticks this — its maps run concurrently.
 PARALLEL_POOL_LOCK_WAIT_MS = "parallel.pool_lock_wait_ms"
+
+# Resident worker plane (repro.jobs.plane): fork-amortised map dispatch.
+# ctx_publishes counts context (circuit) ships to workers; ctx_reused the
+# maps that found their context already resident (the amortisation the
+# plane exists for); worker_respawns counts crash replacements;
+# task_retries the in-flight tasks requeued after a worker death;
+# stale_refusals the tasks a worker rejected because it held an older
+# context epoch. dispatch_overhead_ms is the high-water measured per-map
+# overhead (wall - busy/parallelism).
+PLANE_WORKERS_SPAWNED = "plane.workers_spawned"
+PLANE_WORKER_RESPAWNS = "plane.worker_respawns"
+PLANE_MAPS = "plane.maps"
+PLANE_CTX_PUBLISHES = "plane.ctx_publishes"
+PLANE_CTX_REUSED = "plane.ctx_reused"
+PLANE_TASK_RETRIES = "plane.task_retries"
+PLANE_STALE_REFUSALS = "plane.stale_refusals"
+PLANE_DISPATCH_OVERHEAD_MS = "plane.dispatch_overhead_ms"  # gauge
+
+# Consistent-hash shard router (repro route): request routing and backend
+# health. primary_routed counts requests sent to the ring-owner backend of
+# their request_key (key locality = primary_routed / requests_routed);
+# failover_routed counts requests re-routed past an unhealthy or failing
+# owner; job_fanouts counts job polls that had to probe every backend
+# because the router had no owner recorded for the id.
+ROUTER_REQUESTS = "router.requests"
+ROUTER_PRIMARY_ROUTED = "router.primary_routed"
+ROUTER_FAILOVER_ROUTED = "router.failover_routed"
+ROUTER_RETRIES = "router.retries"
+ROUTER_UNROUTABLE = "router.unroutable"
+ROUTER_JOB_LOOKUPS = "router.job_lookups"
+ROUTER_JOB_FANOUTS = "router.job_fanouts"
+ROUTER_BACKENDS_HEALTHY = "router.backends_healthy"  # gauge
+ROUTER_HEALTH_TRANSITIONS = "router.health_transitions"
 
 # Verification service (repro serve): admission, queueing and dedup. The
 # requests counter ticks per accepted job submission; rejected counts 429
@@ -136,6 +188,11 @@ SERVICE_JOBS_CANCELLED = "service.jobs_cancelled"
 SERVICE_SINGLEFLIGHT_SHARED = "service.singleflight_shared"
 SERVICE_QUEUE_WAIT_MS = "service.queue_wait_ms"
 SERVICE_QUEUE_DEPTH_PEAK = "service.queue_depth_peak"  # gauge
+# Plane dispatch: jobs the scheduler shipped to a resident plane worker
+# process (GIL escape) vs. the inline fallbacks run on the dispatcher
+# thread because the plane refused (daemonic host, shutdown, crash budget).
+SERVICE_PLANE_JOBS = "service.plane_jobs"
+SERVICE_PLANE_FALLBACKS = "service.plane_fallbacks"
 
 # Reverse engineering (repro reveng): polynomial recovery sweeps, spec-form
 # identification and obfuscation-robustness harnessing. ``candidates_probed``

@@ -21,10 +21,13 @@ Layering, bottom up:
     The HTTP front end and graceful-drain lifecycle.
 :mod:`~repro.service.client`
     Retry/backoff client with connection reuse.
+:mod:`~repro.service.router`
+    Consistent-hash shard router fronting a fleet of daemons.
 """
 
 from .client import ServiceClient, ServiceError, ServiceUnavailable
 from .queue import BoundedJobQueue, QueueClosed, QueueFull
+from .router import HashRing, RouterConfig, RouterService, route
 from .scheduler import Scheduler
 from .server import ServiceConfig, VerificationService, request_key, serve
 from .singleflight import SingleFlight
@@ -32,10 +35,13 @@ from .store import JobRecord, JobStore, TERMINAL_STATUSES
 
 __all__ = [
     "BoundedJobQueue",
+    "HashRing",
     "JobRecord",
     "JobStore",
     "QueueClosed",
     "QueueFull",
+    "RouterConfig",
+    "RouterService",
     "Scheduler",
     "ServiceClient",
     "ServiceConfig",
@@ -45,5 +51,6 @@ __all__ = [
     "TERMINAL_STATUSES",
     "VerificationService",
     "request_key",
+    "route",
     "serve",
 ]

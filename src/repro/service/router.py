@@ -1,0 +1,611 @@
+"""Consistent-hash shard router: one front door for N verification daemons.
+
+``repro route --backends a:8014,b:8014`` boots a :class:`RouterService` — a
+thin HTTP proxy that places every submission on a *shard* chosen by
+consistent-hashing its :func:`~repro.service.server.request_key`. Identical
+work always lands on the same daemon, so the per-shard canonical-polynomial
+cache, warm GF tables and in-flight dedup all keep paying even when the
+fleet grows; adding or removing a shard remaps only ``~1/N`` of the key
+space (the classic hash-ring property) instead of reshuffling everything.
+
+The router rewrites nothing. Request bodies are forwarded byte-for-byte and
+shard responses are returned byte-for-byte (status, ``Content-Type``,
+``Retry-After`` and all), so a response served through the router is
+identical to one fetched from the owning daemon directly — job ids stay
+valid against either door.
+
+Routing policy per submission:
+
+- hash the request key onto the ring; walk the ring's preference order,
+  healthiest first — the primary owner unless its health probe failed;
+- give each backend a small retry budget for ``429``/``503`` answers,
+  sleeping the server's ``Retry-After`` hint (capped) between attempts;
+- on connection failure mark the backend down (the prober brings it back)
+  and fail over to the next ring position;
+- when every backend is down or exhausted, answer ``503`` and count it
+  ``router.unroutable``.
+
+``GET /v1/jobs/{id}`` uses a bounded id→shard memory populated at submit
+time; an id the router never saw (restart, direct submission to a shard)
+fans out to every live backend and returns the first non-404 answer.
+
+Endpoints: the full ``/v1`` surface proxied as above, ``/healthz`` (router
+doc incl. per-backend health), ``/readyz`` (200 while ≥1 backend is up),
+``/metrics`` (router's own ``router.*`` counters plus every backend's
+samples re-labelled ``{backend="host:port"}``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import logging
+import signal
+import socket
+import threading
+import time
+from bisect import bisect_right
+from collections import OrderedDict
+from dataclasses import dataclass, field as dataclass_field
+from hashlib import sha256
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlparse
+
+from .. import __version__, obs
+from ..obs import metrics, render_prometheus
+from .server import request_key
+
+__all__ = ["RouterConfig", "RouterService", "HashRing", "route"]
+
+logger = logging.getLogger("repro.service.router")
+
+_SUBMIT_PATHS = {"/v1/verify": "verify", "/v1/abstract": "abstract",
+                 "/v1/reveng": "reveng"}
+#: Response headers forwarded verbatim from the shard to the client.
+_PROXIED_HEADERS = ("Content-Type", "Retry-After")
+
+
+class HashRing:
+    """Consistent hash ring over backend addresses, with virtual nodes.
+
+    ``preference(key)`` returns every backend exactly once, ordered by ring
+    position starting at the key's hash point: element 0 is the primary
+    owner, the rest is the deterministic failover order. With ``vnodes``
+    replicas per backend the key space splits evenly and removing one
+    backend moves only its own share of keys.
+    """
+
+    def __init__(self, backends: List[str], vnodes: int = 64):
+        if not backends:
+            raise ValueError("hash ring needs at least one backend")
+        self.backends = list(dict.fromkeys(backends))  # dedup, keep order
+        self.vnodes = vnodes
+        points: List[Tuple[int, str]] = []
+        for address in self.backends:
+            for replica in range(vnodes):
+                digest = sha256(f"{address}#{replica}".encode()).digest()
+                points.append((int.from_bytes(digest[:8], "big"), address))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [a for _, a in points]
+
+    def primary(self, key: str) -> str:
+        return self.preference(key)[0]
+
+    def preference(self, key: str) -> List[str]:
+        digest = sha256(key.encode()).digest()
+        start = bisect_right(self._points, int.from_bytes(digest[:8], "big"))
+        seen: List[str] = []
+        for offset in range(len(self._owners)):
+            owner = self._owners[(start + offset) % len(self._owners)]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == len(self.backends):
+                    break
+        return seen
+
+
+@dataclass
+class RouterConfig:
+    """Everything ``repro route`` can tune."""
+
+    backends: List[str] = dataclass_field(default_factory=list)
+    host: str = "127.0.0.1"
+    port: int = 8013
+    #: Virtual nodes per backend on the ring.
+    vnodes: int = 64
+    #: Seconds between active ``/readyz`` probes of each backend.
+    health_interval: float = 2.0
+    probe_timeout: float = 2.0
+    #: Attempts per backend for 429/503 answers before failing over.
+    retry_budget: int = 2
+    #: Cap on honouring a shard's ``Retry-After`` hint, seconds.
+    retry_after_cap: float = 5.0
+    #: Socket timeout for proxied requests (shard jobs answer 202 fast;
+    #: long-poll GETs are the slow path).
+    proxy_timeout: float = 330.0
+    #: Bounded job-id → backend memory (oldest evicted first).
+    job_memory: int = 8192
+    max_spans: int = 2000
+    port_file: Optional[str] = None
+
+
+class _Backend:
+    """One shard: address, probed health, passive failure marking."""
+
+    __slots__ = ("address", "host", "port", "healthy", "last_error")
+
+    def __init__(self, address: str):
+        self.address = address
+        host, _, port = address.rpartition(":")
+        self.host = host or "127.0.0.1"
+        self.port = int(port)
+        self.healthy = True  # optimistic until the first probe says otherwise
+        self.last_error: Optional[str] = None
+
+    def set_health(self, healthy: bool, reason: Optional[str] = None) -> bool:
+        """Returns True when this call flipped the state."""
+        flipped = self.healthy != healthy
+        self.healthy = healthy
+        self.last_error = None if healthy else reason
+        return flipped
+
+
+class _ProxyResponse:
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: Dict[str, str], body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+
+class RouterService:
+    """The shard router daemon: hash ring + health prober + HTTP proxy."""
+
+    def __init__(self, config: RouterConfig):
+        if not config.backends:
+            raise ValueError("router needs --backends")
+        self.config = config
+        self.ring = HashRing(config.backends, vnodes=config.vnodes)
+        self.backends = {a: _Backend(a) for a in self.ring.backends}
+        self._jobs: "OrderedDict[str, str]" = OrderedDict()
+        self._jobs_lock = threading.Lock()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._prober: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started = time.time()
+        self._previous_collector = None
+
+    # -- health --------------------------------------------------------------
+
+    def healthy_count(self) -> int:
+        return sum(1 for b in self.backends.values() if b.healthy)
+
+    def probe_backend(self, backend: _Backend) -> bool:
+        try:
+            conn = http.client.HTTPConnection(
+                backend.host, backend.port, timeout=self.config.probe_timeout
+            )
+            try:
+                conn.request("GET", "/readyz")
+                response = conn.getresponse()
+                response.read()
+                up = response.status == 200
+                reason = None if up else f"readyz answered {response.status}"
+            finally:
+                conn.close()
+        except (OSError, http.client.HTTPException) as exc:
+            up, reason = False, f"{type(exc).__name__}: {exc}"
+        if backend.set_health(up, reason):
+            metrics.counter_add(metrics.ROUTER_HEALTH_TRANSITIONS, 1)
+            logger.info(
+                "backend %s is %s%s", backend.address,
+                "up" if up else "down", "" if up else f" ({reason})",
+            )
+        return up
+
+    def probe_all(self) -> int:
+        for backend in self.backends.values():
+            self.probe_backend(backend)
+        return self.healthy_count()
+
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(self.config.health_interval):
+            self.probe_all()
+
+    # -- job memory ----------------------------------------------------------
+
+    def remember_job(self, job_id: str, address: str) -> None:
+        with self._jobs_lock:
+            self._jobs[job_id] = address
+            self._jobs.move_to_end(job_id)
+            while len(self._jobs) > self.config.job_memory:
+                self._jobs.popitem(last=False)
+
+    def job_owner(self, job_id: str) -> Optional[str]:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    # -- proxy transport -----------------------------------------------------
+
+    def _proxy_once(
+        self,
+        backend: _Backend,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        timeout: Optional[float] = None,
+    ) -> _ProxyResponse:
+        headers = {}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(
+            backend.host, backend.port,
+            timeout=timeout or self.config.proxy_timeout,
+        )
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            kept = {
+                name: value
+                for name in _PROXIED_HEADERS
+                if (value := response.getheader(name)) is not None
+            }
+            return _ProxyResponse(response.status, kept, data)
+        finally:
+            conn.close()
+
+    # -- routing -------------------------------------------------------------
+
+    def submission_key(self, kind: str, raw_body: bytes) -> Optional[str]:
+        """The request key a shard would compute, or None on junk input.
+
+        Junk still routes (to the primary of an empty key) so the owning
+        shard can answer the 400 itself — the router validates nothing.
+        """
+        try:
+            body = json.loads(raw_body)
+            if not isinstance(body, dict):
+                return None
+            return request_key(kind, body)
+        except (json.JSONDecodeError, TypeError, ValueError):
+            return None
+
+    def route_submission(self, kind: str, raw_body: bytes) -> _ProxyResponse:
+        metrics.counter_add(metrics.ROUTER_REQUESTS, 1)
+        key = self.submission_key(kind, raw_body) or ""
+        preference = self.ring.preference(key)
+        path = f"/v1/{kind}"
+        last_busy: Optional[_ProxyResponse] = None
+        for rank, address in enumerate(preference):
+            backend = self.backends[address]
+            if not backend.healthy:
+                continue
+            response = self._attempt_backend(backend, "POST", path, raw_body)
+            if response is None:
+                continue  # connection-dead: marked down, fail over
+            if response.status in (429, 503):
+                last_busy = response
+                continue  # budget exhausted on a live-but-busy shard
+            metrics.counter_add(
+                metrics.ROUTER_PRIMARY_ROUTED if rank == 0
+                else metrics.ROUTER_FAILOVER_ROUTED, 1,
+            )
+            self._remember_from_response(response, address)
+            return response
+        if last_busy is not None:
+            # Every reachable shard said "come back later": relay the most
+            # recent such answer, Retry-After intact.
+            return last_busy
+        metrics.counter_add(metrics.ROUTER_UNROUTABLE, 1)
+        return _ProxyResponse(
+            503,
+            {"Content-Type": "application/json", "Retry-After": "5"},
+            json.dumps({"error": "no backend available"}).encode(),
+        )
+
+    def _attempt_backend(
+        self, backend: _Backend, method: str, path: str, body: Optional[bytes]
+    ) -> Optional[_ProxyResponse]:
+        """Budgeted attempts against one backend.
+
+        Returns the final response (possibly still 429/503 once the budget
+        is spent), or None when the backend dropped the connection — which
+        also marks it down for the prober to resurrect.
+        """
+        for attempt in range(max(1, self.config.retry_budget)):
+            try:
+                response = self._proxy_once(backend, method, path, body)
+            except (OSError, http.client.HTTPException) as exc:
+                if backend.set_health(False, f"{type(exc).__name__}: {exc}"):
+                    metrics.counter_add(metrics.ROUTER_HEALTH_TRANSITIONS, 1)
+                    logger.info("backend %s is down (%s)", backend.address, exc)
+                return None
+            if response.status not in (429, 503):
+                return response
+            if attempt + 1 >= max(1, self.config.retry_budget):
+                return response
+            metrics.counter_add(metrics.ROUTER_RETRIES, 1)
+            time.sleep(self._retry_delay(response))
+        return None  # pragma: no cover — loop always returns
+
+    def _retry_delay(self, response: _ProxyResponse) -> float:
+        hint = response.headers.get("Retry-After")
+        if hint:
+            try:
+                return min(float(hint), self.config.retry_after_cap)
+            except ValueError:
+                pass
+        return min(0.25, self.config.retry_after_cap)
+
+    def _remember_from_response(
+        self, response: _ProxyResponse, address: str
+    ) -> None:
+        if response.status not in (200, 202):
+            return
+        try:
+            job_id = json.loads(response.body).get("id")
+        except (json.JSONDecodeError, AttributeError):
+            return
+        if job_id:
+            self.remember_job(str(job_id), address)
+
+    def route_job_get(self, job_id: str, query: str) -> _ProxyResponse:
+        metrics.counter_add(metrics.ROUTER_JOB_LOOKUPS, 1)
+        path = f"/v1/jobs/{job_id}" + (f"?{query}" if query else "")
+        owner = self.job_owner(job_id)
+        if owner is not None:
+            backend = self.backends[owner]
+            if backend.healthy:
+                response = self._attempt_backend(backend, "GET", path, None)
+                if response is not None and response.status != 404:
+                    return response
+        # Unknown id (router restarted, job submitted shard-direct) or the
+        # remembered owner lost it: ask everyone still standing.
+        metrics.counter_add(metrics.ROUTER_JOB_FANOUTS, 1)
+        for address, backend in self.backends.items():
+            if address == owner or not backend.healthy:
+                continue
+            response = self._attempt_backend(backend, "GET", path, None)
+            if response is not None and response.status != 404:
+                self.remember_job(job_id, address)
+                return response
+        return _ProxyResponse(
+            404,
+            {"Content-Type": "application/json"},
+            json.dumps({"error": f"unknown job id {job_id!r}"}).encode(),
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def health(self) -> Dict:
+        return {
+            "status": "ok",
+            "role": "router",
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self._started, 1),
+            "backends": {
+                b.address: {
+                    "healthy": b.healthy,
+                    **({"error": b.last_error} if b.last_error else {}),
+                }
+                for b in self.backends.values()
+            },
+            "backends_healthy": self.healthy_count(),
+            "vnodes": self.config.vnodes,
+            "jobs_remembered": len(self._jobs),
+        }
+
+    def render_metrics(self) -> str:
+        collector = obs.active_collector()
+        snapshot = collector.snapshot() if collector is not None else {}
+        body = render_prometheus(
+            snapshot,
+            extra_gauges={
+                "router.backends_healthy": self.healthy_count(),
+                "router.uptime_seconds": round(time.time() - self._started, 1),
+            },
+        )
+        for backend in self.backends.values():
+            if not backend.healthy:
+                continue
+            try:
+                scraped = self._proxy_once(
+                    backend, "GET", "/metrics", None, timeout=5.0
+                )
+            except (OSError, http.client.HTTPException):
+                continue
+            if scraped.status != 200:
+                continue
+            body += f"# backend {backend.address}\n"
+            body += _relabel(scraped.body.decode(), backend.address)
+        return body
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._httpd is None:
+            raise RuntimeError("router is not started")
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> Tuple[str, int]:
+        self._previous_collector = obs.active_collector()
+        obs.enable(obs.TraceCollector(max_spans=self.config.max_spans))
+        self.probe_all()
+        self._prober = threading.Thread(
+            target=self._probe_loop, name="repro-router-prober", daemon=True
+        )
+        self._prober.start()
+        self._httpd = _RouterServer((self.config.host, self.config.port), self)
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.2},
+            name="repro-router-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        host, port = self.address
+        if self.config.port_file:
+            with open(self.config.port_file, "w") as handle:
+                handle.write(f"{host}:{port}\n")
+        logger.info(
+            "repro %s routing on %s:%d across %d backend(s), %d up",
+            __version__, host, port, len(self.backends), self.healthy_count(),
+        )
+        return host, port
+
+    def stop(self) -> None:
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5.0)
+        if self._prober is not None:
+            self._prober.join(timeout=5.0)
+        obs.disable()
+        if self._previous_collector is not None:
+            obs.enable(self._previous_collector)
+
+    def run_until_signal(self) -> int:
+        done = threading.Event()
+
+        def _handle(signum, frame):  # noqa: ARG001 — signal API
+            logger.info("received %s, stopping", signal.Signals(signum).name)
+            done.set()
+
+        previous = {
+            sig: signal.signal(sig, _handle)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            done.wait()
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+        self.stop()
+        return 0
+
+
+def _relabel(exposition: str, address: str) -> str:
+    """Inject ``backend="address"`` into every sample of a scrape.
+
+    Comment/``# TYPE`` lines are dropped — the aggregate would otherwise
+    redeclare types per backend, which scrapers reject.
+    """
+    out: List[str] = []
+    for line in exposition.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            continue
+        if name.endswith("}"):
+            name = name[:-1] + f',backend="{address}"}}'
+        else:
+            name = name + f'{{backend="{address}"}}'
+        out.append(f"{name} {value}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    server_version = f"repro-router/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    def version_string(self) -> str:
+        return self.server_version
+
+    @property
+    def router(self) -> RouterService:
+        return self.server.router  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    def _reply(self, response: _ProxyResponse) -> None:
+        self.send_response(response.status)
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def _send_json(self, status: int, doc: Dict) -> None:
+        payload = json.dumps(doc, default=str).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_text(self, status: int, text: str) -> None:
+        payload = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        path = urlparse(self.path).path
+        try:
+            kind = _SUBMIT_PATHS.get(path)
+            if kind is None:
+                self._send_json(404, {"error": f"no such endpoint: {path}"})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length > 0 else b""
+            self._reply(self.router.route_submission(kind, raw))
+        except Exception as exc:  # noqa: BLE001 — handler must answer
+            logger.exception("unhandled error routing POST %s", path)
+            self._send_json(502, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        path = parsed.path
+        try:
+            if path.startswith("/v1/jobs/"):
+                job_id = path[len("/v1/jobs/"):]
+                self._reply(self.router.route_job_get(job_id, parsed.query))
+            elif path == "/healthz":
+                self._send_json(200, self.router.health())
+            elif path == "/readyz":
+                if self.router.healthy_count() > 0:
+                    self._send_text(200, "ready\n")
+                else:
+                    self._send_text(503, "no backends\n")
+            elif path == "/metrics":
+                self._send_text(200, self.router.render_metrics())
+            else:
+                self._send_json(404, {"error": f"no such endpoint: {path}"})
+        except Exception as exc:  # noqa: BLE001
+            logger.exception("unhandled error routing GET %s", path)
+            self._send_json(502, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+class _RouterServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, router: RouterService):
+        self.router = router
+        super().__init__(address, _RouterHandler)
+
+
+def route(config: RouterConfig) -> int:
+    """Boot a router and run until signalled (the ``repro route`` body)."""
+    router = RouterService(config)
+    try:
+        router.start()
+    except (OSError, socket.error) as exc:
+        logger.error("cannot bind %s:%d: %s", config.host, config.port, exc)
+        return 2
+    return router.run_until_signal()

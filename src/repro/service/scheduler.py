@@ -1,30 +1,41 @@
-"""Worker-thread scheduler: queue → executor bodies, with dedup and drain.
+"""Scheduler: queue → job bodies on the worker plane, with dedup and drain.
 
-The scheduler owns the compute half of the daemon. Worker *threads* (not
-processes) pull :class:`~repro.service.store.JobRecord` entries off the
-bounded queue and run them through the same executor bodies the batch
-runner uses (:func:`repro.jobs.executor.run_verify` /
-:func:`run_abstract`), so a resident service answers exactly what
-``repro verify`` would — but with three standing advantages a
-process-per-request pipeline pays for on every call:
+The scheduler owns the compute half of the daemon. Dispatcher threads pull
+:class:`~repro.service.store.JobRecord` entries off the bounded queue and
+run them through the same executor bodies the batch runner uses
+(:func:`repro.jobs.executor.run_verify` / :func:`run_abstract`) — by
+default on the resident :class:`~repro.jobs.plane.WorkerPlane`, one
+in-flight job per worker *process*. Compared to the worker-thread design
+this replaced, job bodies no longer contend on the GIL (two k=64 verifies
+genuinely overlap on a multi-core box) and a job that segfaults or gets
+OOM-killed takes down a respawnable plane worker, not the daemon. The
+standing advantages of a resident service are kept:
 
-- **warm GF tables** — log/antilog and windowed-reduction tables are
-  process-global caches; the scheduler warms each ``(k, modulus)`` on
-  first sight (and any configured set at boot via
-  :func:`repro.gf.logtables.warm`) and every later request reuses them;
-- **shared polynomial cache + single-flight** — all workers share one
-  content-addressed :class:`~repro.jobs.cache.CanonicalPolyCache` and one
-  in-process :class:`~repro.service.singleflight.SingleFlight` group keyed
-  on the cache key, so concurrent duplicate abstractions collapse to one
-  computation even before the disk cache can serve them;
+- **warm state** — the daemon warms GF tables for each ``(k, modulus)``
+  on first sight; plane workers warm theirs on first use and keep them
+  for the plane's lifetime (they are resident too);
+- **shared polynomial cache + admission dedup** — identical in-flight
+  submissions coalesce onto one job at admission (request-key dedup in
+  the store), and all workers share the content-addressed disk
+  :class:`~repro.jobs.cache.CanonicalPolyCache`, so duplicate work is
+  eliminated before and after computation. On the inline path the
+  in-process :class:`~repro.service.singleflight.SingleFlight` group
+  still collapses concurrent same-key abstractions;
+- **telemetry merged home** — each plane job ships its worker's full
+  trace snapshot (spans + counters + gauges) back with the result; the
+  scheduler folds it into the daemon's collector so ``/metrics`` counts
+  work wherever it ran;
 - **deadline-aware dispatch** — a job whose client deadline expired while
   it sat queued is marked ``expired`` without wasting a reduction on it.
-  Deadlines are only enforced *at dequeue*: Python threads cannot be
-  killed, so work that starts runs to completion.
+  Deadlines are only enforced *at dequeue*; work that starts runs to
+  completion, as before.
 
-Inside the cone-sliced abstraction the parallel fork-pool is left alone:
-``extract_canonical``'s own single-CPU clamp and gate threshold decide
-whether a request fans out further.
+Any :class:`~repro.jobs.plane.PoolError` (plane wedged, context not
+picklable — e.g. monkeypatched job bodies in tests) falls back to running
+the job inline on the dispatcher thread, which is exactly the old
+behaviour; ``dispatch="inline"`` forces that mode. Inside the cone-sliced
+abstraction nothing changes: plane workers are daemonic, so a job body
+asking for parallel abstraction degrades to serial automatically.
 """
 
 from __future__ import annotations
@@ -32,7 +43,7 @@ from __future__ import annotations
 import logging
 import threading
 import time
-from typing import Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from .. import obs
 from ..gf import GF2m, logtables
@@ -49,6 +60,25 @@ __all__ = ["Scheduler"]
 logger = logging.getLogger("repro.service")
 
 
+def _service_job_task(context: Dict, index: int) -> "Tuple[Dict, Dict]":
+    """Plane-worker body for one service job.
+
+    ``context`` carries the executor callable (pickled by reference — a
+    monkeypatched or otherwise unpicklable body fails the publish and the
+    scheduler runs it inline instead), the job params, and the cache
+    directory. The worker opens its own handle on the shared disk cache;
+    cross-process single-flight is unnecessary because identical in-flight
+    submissions already coalesced at admission.
+    """
+    fn = context["fn"]
+    cache_dir = context.get("cache_dir")
+    cache = CanonicalPolyCache(cache_dir) if cache_dir else None
+    kwargs: Dict = {"cache": cache}
+    if context["kind"] == "verify":
+        kwargs["seed"] = context.get("seed")
+    return fn(context["params"], **kwargs), {}
+
+
 class Scheduler:
     """Dispatch queued job records onto executor worker threads."""
 
@@ -60,13 +90,18 @@ class Scheduler:
         cache_dir: Optional[str] = None,
         seed: Optional[int] = None,
         cost_model_path: Optional[str] = None,
+        dispatch: str = "plane",
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if dispatch not in ("plane", "inline"):
+            raise ValueError(f"dispatch must be 'plane' or 'inline', got {dispatch!r}")
         self.queue = queue
         self.store = store
         self.cache = CanonicalPolyCache(cache_dir) if cache_dir else None
         self.inflight = SingleFlight(on_shared=self._note_shared)
+        self._cache_dir = cache_dir
+        self._dispatch = dispatch
         self._seed = seed
         self._workers = workers
         self._threads: list = []
@@ -227,23 +262,7 @@ class Scheduler:
                 "service_job", id=record.id, kind=record.kind,
                 priority=record.priority,
             ):
-                if record.kind == "verify":
-                    result = run_verify(
-                        record.params,
-                        cache=self.cache,
-                        seed=self._seed,
-                        inflight=self.inflight,
-                    )
-                elif record.kind == "abstract":
-                    result = run_abstract(
-                        record.params, cache=self.cache, inflight=self.inflight
-                    )
-                elif record.kind == "reveng":
-                    result = run_reveng(
-                        record.params, cache=self.cache, inflight=self.inflight
-                    )
-                else:
-                    raise ValueError(f"unknown job kind {record.kind!r}")
+                result = self._execute(record)
         except Exception as exc:  # noqa: BLE001 — job faults become records
             self.store.finish(record, "failed", error=f"{type(exc).__name__}: {exc}")
             metrics.counter_add(metrics.SERVICE_JOBS_FAILED, 1)
@@ -262,3 +281,62 @@ class Scheduler:
                 metrics.COSTMODEL_ABS_ERROR_MS,
                 int(abs(seconds - predicted) * 1000),
             )
+
+    def _job_body(self, kind: str):
+        """The executor callable for ``kind`` — resolved through this
+        module's globals so test monkeypatches are honoured on both
+        dispatch paths."""
+        if kind == "verify":
+            return run_verify
+        if kind == "abstract":
+            return run_abstract
+        if kind == "reveng":
+            return run_reveng
+        raise ValueError(f"unknown job kind {kind!r}")
+
+    def _execute(self, record: JobRecord) -> Dict:
+        body = self._job_body(record.kind)
+        if self._dispatch == "plane":
+            from ..jobs.plane import PoolError
+
+            try:
+                return self._execute_on_plane(record, body)
+            except PoolError as exc:
+                metrics.counter_add(metrics.SERVICE_PLANE_FALLBACKS, 1)
+                logger.debug(
+                    "job %s not dispatched to the plane (%s); running inline",
+                    record.id,
+                    exc,
+                )
+        return self._execute_inline(record, body)
+
+    def _execute_on_plane(self, record: JobRecord, body) -> Dict:
+        """Run one job on a plane worker process; merge its telemetry home."""
+        from ..jobs.plane import get_plane
+
+        context = {
+            "fn": body,
+            "kind": record.kind,
+            "params": record.params,
+            "cache_dir": self._cache_dir,
+            "seed": self._seed,
+        }
+        [res] = get_plane().map(
+            _service_job_task, context, [0], workers=1, retries=1
+        )
+        collector = obs.active_collector()
+        if res.snapshot and collector is not None:
+            # The worker's spans, counters and gauges (extraction counts,
+            # cache traffic, peak terms) land in the daemon's collector so
+            # /metrics reports the work no matter which process did it.
+            collector.merge(res.snapshot)
+        metrics.counter_add(metrics.SERVICE_PLANE_JOBS, 1)
+        return res.payload
+
+    def _execute_inline(self, record: JobRecord, body) -> Dict:
+        return body(
+            record.params,
+            cache=self.cache,
+            inflight=self.inflight,
+            **({"seed": self._seed} if record.kind == "verify" else {}),
+        )

@@ -184,6 +184,14 @@ class ServiceConfig:
     host: str = "127.0.0.1"
     port: int = 8014
     workers: int = 2
+    #: ``"plane"`` runs job bodies on the resident worker plane (process
+    #: isolation, true parallelism); ``"inline"`` keeps them on the
+    #: dispatcher threads (the pre-plane behaviour).
+    dispatch: str = "plane"
+    #: ``"I/N"`` when this daemon is shard I of an N-shard cluster behind
+    #: ``repro route`` — surfaced on /healthz and /metrics so the router
+    #: and operators can tell shards apart. None for a standalone daemon.
+    shard_of: Optional[str] = None
     queue_capacity: int = 64
     cache_dir: Optional[str] = None
     retain: int = 1024
@@ -366,6 +374,7 @@ class VerificationService:
             cache_dir=self.config.cache_dir,
             seed=self.config.seed,
             cost_model_path=self.config.cost_model,
+            dispatch=self.config.dispatch,
         )
         self._httpd: Optional[_Server] = None
         self._http_thread: Optional[threading.Thread] = None
@@ -438,17 +447,21 @@ class VerificationService:
     # -- introspection -------------------------------------------------------
 
     def health(self) -> Dict:
-        return {
+        doc = {
             "status": "ok",
             "version": __version__,
             "uptime_seconds": round(time.time() - self._started, 1),
             "accepting": self.accepting,
             "workers": self.scheduler.alive_workers,
+            "dispatch": self.config.dispatch,
             "queue_depth": self.queue.depth(),
             "queue_capacity": self.queue.capacity,
             "jobs": self.store.counts(),
             "inflight_abstractions": self.scheduler.inflight.in_flight(),
         }
+        if self.config.shard_of:
+            doc["shard"] = self.config.shard_of
+        return doc
 
     def render_metrics(self) -> str:
         collector = obs.active_collector()
@@ -472,6 +485,11 @@ class VerificationService:
             "# TYPE repro_kernel_info gauge\n"
             f'repro_kernel_info{{path="{kernels.active_kernel()}"}} 1\n'
         )
+        if self.config.shard_of:
+            body += (
+                "# TYPE repro_shard_info gauge\n"
+                f'repro_shard_info{{shard="{self.config.shard_of}"}} 1\n'
+            )
         return body
 
     # -- lifecycle -----------------------------------------------------------

@@ -19,6 +19,11 @@ def slow(index):
     return index, {}
 
 
+def napper(index):
+    time.sleep(1.0)
+    return index, {}
+
+
 def hard_crash(index):
     os._exit(1)
 
@@ -104,10 +109,15 @@ class TestFailureContainment:
     def test_timeout_terminates_inflight_workers(self):
         import multiprocessing
 
+        from repro.jobs.plane import reset_plane
+
+        # Start from an empty plane so every child alive during the map is
+        # one of the two workers stuck in a 5 s `slow` task. Idle plane
+        # workers are *supposed* to persist; busy ones computing results
+        # nobody will read are not.
+        reset_plane()
         with pytest.raises(PoolError, match="TimeoutError"):
             run_pool(slow, range(2), workers=2, timeout=0.3, retries=0)
-        # cancel_futures only drops pending work; in-flight tasks (5s
-        # sleeps here) must be SIGTERMed, not left to run to completion.
         deadline = time.monotonic() + 3.0
         while time.monotonic() < deadline:
             if not any(p.is_alive() for p in multiprocessing.active_children()):
@@ -117,10 +127,10 @@ class TestFailureContainment:
 
 
 class TestThreadSafety:
-    def test_concurrent_maps_serialise_on_the_module_lock(self):
-        # The fork handoff rides the _CTX module global; without the lock,
-        # concurrent maps clobber each other's context and workers fork
-        # with the wrong fn (or _CTX=None).
+    def test_concurrent_maps_are_correct(self):
+        # The legacy fork pool serialised concurrent maps on its _CTX
+        # module lock; the plane runs them on disjoint workers. Either
+        # way, interleaved maps must never see each other's context.
         import threading
 
         errors = []
@@ -138,6 +148,33 @@ class TestThreadSafety:
         for thread in threads:
             thread.join(timeout=60)
         assert not errors
+
+    def test_concurrent_maps_overlap_in_time(self):
+        # Regression for the module-lock removal: two threads each mapping
+        # a 1 s sleep must *overlap* on the plane. A schedule serialised on
+        # a module lock needs >= 2 s wall; disjoint workers need ~1 s.
+        import threading
+
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def one_map():
+            try:
+                barrier.wait(timeout=10)
+                results = run_pool(napper, [0], workers=1)
+                assert [r.payload for r in results] == [0]
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=one_map) for _ in range(2)]
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        wall = time.monotonic() - started
+        assert not errors
+        assert wall < 1.9, f"concurrent maps serialised: {wall:.2f}s wall"
 
 
 class TestTracing:

@@ -1,0 +1,266 @@
+"""Shard router: ring determinism, locality, failover, byte-identity.
+
+Boots real :class:`VerificationService` daemons on ephemeral ports and a
+:class:`RouterService` in front of them — every assertion below runs over
+actual HTTP, the way the CI cluster-smoke job exercises the pair.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.service import ServiceClient, request_key
+from repro.service.router import HashRing, RouterConfig, RouterService
+
+
+@pytest.fixture()
+def router_factory(service_factory):
+    """Boot routers over freshly-started backend services."""
+    created = []
+
+    def make(services, **overrides):
+        backends = ["%s:%d" % s.address for s in services]
+        overrides.setdefault("port", 0)
+        overrides.setdefault("health_interval", 0.2)
+        overrides.setdefault("retry_budget", 2)
+        router = RouterService(RouterConfig(backends=backends, **overrides))
+        router.start()
+        created.append(router)
+        return router
+
+    yield make
+    for router in created:
+        router.stop()
+
+
+def raw_get(address, path):
+    """One plain GET returning (status, body-bytes) — no client smarts."""
+    host, port = address
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+class TestHashRing:
+    def test_preference_is_deterministic_and_complete(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        for key in ("k1", "k2", "deadbeef"):
+            order = ring.preference(key)
+            assert order == ring.preference(key)
+            assert sorted(order) == ["a:1", "b:2", "c:3"]
+
+    def test_single_backend_owns_everything(self):
+        ring = HashRing(["solo:1"])
+        assert ring.primary("anything") == "solo:1"
+
+    def test_keys_spread_across_backends(self):
+        ring = HashRing(["a:1", "b:2", "c:3", "d:4"], vnodes=64)
+        owners = {ring.primary(f"key-{i}") for i in range(200)}
+        assert owners == {"a:1", "b:2", "c:3", "d:4"}
+
+    def test_removing_a_backend_only_remaps_its_keys(self):
+        keys = [f"key-{i}" for i in range(300)]
+        full = HashRing(["a:1", "b:2", "c:3"], vnodes=64)
+        reduced = HashRing(["a:1", "b:2"], vnodes=64)
+        moved = 0
+        for key in keys:
+            before, after = full.primary(key), reduced.primary(key)
+            if before == "c:3":
+                assert after in ("a:1", "b:2")
+            else:
+                assert after == before  # survivors keep their keys
+                moved += 0
+        # And c's share was roughly a third, so *something* moved.
+        assert sum(1 for k in keys if full.primary(k) == "c:3") > 0
+
+    def test_needs_backends(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+class TestRoutingLocality:
+    def test_same_key_lands_on_same_shard(
+        self, service_factory, router_factory, texts, tmp_path
+    ):
+        services = [
+            service_factory(cache_dir=str(tmp_path / f"cache{i}"), workers=1)
+            for i in range(2)
+        ]
+        router = router_factory(services)
+        client = ServiceClient(*router.address, timeout=30.0, retries=2)
+        try:
+            first = client.verify(texts["spec"], texts["impl"], 4,
+                                  poll_timeout=120.0)
+            second = client.verify(texts["spec"], texts["impl"], 4,
+                                   poll_timeout=120.0)
+        finally:
+            client.close()
+        assert first["result"]["verdict"] == "equivalent"
+        assert second["result"]["verdict"] == "equivalent"
+        # Locality proof: the repeat hit the same shard's warm disk cache.
+        assert second["result"]["spec_cache_hit"]
+        assert second["result"]["impl_cache_hit"]
+        # And the router called both primary routes (no failover happened).
+        status, body = raw_get(router.address, "/metrics")
+        assert status == 200
+        assert "repro_router_primary_routed 2" in body.decode()
+
+    def test_router_response_is_byte_identical_to_shard(
+        self, service_factory, router_factory, texts
+    ):
+        services = [service_factory(workers=1) for _ in range(2)]
+        router = router_factory(services)
+        client = ServiceClient(*router.address, timeout=30.0, retries=2)
+        try:
+            submission = client.submit_verify(texts["spec"], texts["impl"], 4)
+            job_id = submission["id"]
+            client.wait_for(job_id, timeout=120.0)
+        finally:
+            client.close()
+        owner_address = router.job_owner(job_id)
+        assert owner_address is not None
+        owner = router.backends[owner_address]
+        direct_status, direct_body = raw_get(
+            (owner.host, owner.port), f"/v1/jobs/{job_id}"
+        )
+        routed_status, routed_body = raw_get(
+            router.address, f"/v1/jobs/{job_id}"
+        )
+        assert (routed_status, routed_body) == (direct_status, direct_body)
+
+    def test_unknown_job_id_fans_out(
+        self, service_factory, router_factory, texts
+    ):
+        services = [service_factory(workers=1) for _ in range(2)]
+        router = router_factory(services)
+        # Submit *around* the router, straight to a shard it never saw.
+        shard = ServiceClient(*services[1].address, timeout=30.0, retries=2)
+        try:
+            submission = shard.submit_verify(texts["spec"], texts["impl"], 4)
+            job_id = submission["id"]
+            shard.wait_for(job_id, timeout=120.0)
+        finally:
+            shard.close()
+        status, body = raw_get(router.address, f"/v1/jobs/{job_id}")
+        assert status == 200
+        assert json.loads(body)["id"] == job_id
+        # …and the fan-out taught the router the owner for next time.
+        assert router.job_owner(job_id) == "%s:%d" % services[1].address
+
+    def test_bad_submission_answered_by_shard(
+        self, service_factory, router_factory
+    ):
+        services = [service_factory(workers=1)]
+        router = router_factory(services)
+        host, port = router.address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request(
+                "POST", "/v1/verify", body=b'{"nonsense": true}',
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400  # the shard's 400, proxied verbatim
+            assert b"missing required field" in response.read()
+        finally:
+            conn.close()
+
+
+class TestFailover:
+    def test_dead_primary_fails_over(
+        self, service_factory, router_factory, texts
+    ):
+        services = [service_factory(workers=1) for _ in range(2)]
+        router = router_factory(services)
+        # Find which shard owns this submission's key, then kill it.
+        body = {"k": 4, "spec_text": texts["spec"], "impl_text": texts["impl"],
+                "case2": "linearized", "priority": 5}
+        key = request_key("verify", body)
+        primary = router.ring.primary(key)
+        victim = next(
+            s for s in services if "%s:%d" % s.address == primary
+        )
+        victim.stop()
+        router.probe_all()
+        assert router.healthy_count() == 1
+
+        client = ServiceClient(*router.address, timeout=30.0, retries=2)
+        try:
+            doc = client.verify(texts["spec"], texts["impl"], 4,
+                                poll_timeout=120.0)
+        finally:
+            client.close()
+        assert doc["result"]["verdict"] == "equivalent"
+        status, metrics_body = raw_get(router.address, "/metrics")
+        assert status == 200
+        assert "repro_router_failover_routed 1" in metrics_body.decode()
+
+    def test_no_backends_is_503_unroutable(
+        self, service_factory, router_factory, texts
+    ):
+        services = [service_factory(workers=1)]
+        router = router_factory(services)
+        services[0].stop()
+        router.probe_all()
+        assert router.healthy_count() == 0
+        status, body = raw_get(router.address, "/readyz")
+        assert status == 503
+        host, port = router.address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request(
+                "POST", "/v1/verify", body=b"{}",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 503
+            assert response.getheader("Retry-After") is not None
+        finally:
+            conn.close()
+
+    def test_recovered_backend_rejoins(self, service_factory, router_factory):
+        services = [service_factory(workers=1) for _ in range(2)]
+        router = router_factory(services)
+        assert router.healthy_count() == 2
+        services[0].stop()
+        router.probe_all()
+        assert router.healthy_count() == 1
+        # The transition was counted both ways down…
+        # (…and /healthz names the dead shard.)
+        status, body = raw_get(router.address, "/healthz")
+        doc = json.loads(body)
+        dead = "%s:%d" % services[0].address
+        assert doc["backends"][dead]["healthy"] is False
+        assert doc["backends_healthy"] == 1
+
+
+class TestAggregatedMetrics:
+    def test_backend_samples_are_labelled(
+        self, service_factory, router_factory, texts
+    ):
+        services = [service_factory(workers=1) for _ in range(2)]
+        router = router_factory(services)
+        client = ServiceClient(*router.address, timeout=30.0, retries=2)
+        try:
+            client.verify(texts["spec"], texts["impl"], 4, poll_timeout=120.0)
+        finally:
+            client.close()
+        status, body = raw_get(router.address, "/metrics")
+        assert status == 200
+        text = body.decode()
+        assert "repro_router_requests 1" in text
+        for service in services:
+            label = 'backend="%s:%d"' % service.address
+            assert label in text
+        # Labelled backend samples parse as name{labels} value.
+        labelled = [l for l in text.splitlines() if 'backend="' in l]
+        assert labelled
+        for line in labelled:
+            name, _, value = line.rpartition(" ")
+            assert name.endswith("}") and "{" in name
+            float(value)
