@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``)::
     repro verify spec.v impl.v -k 16 [--method abstraction|sat|fraig|bdd]
     repro verify spec.v impl.v -k 16 --trace out.trace.json --metrics
     repro verify spec.v impl.v -k 128 --jobs 4    # cone-sliced parallel path
+    repro verify spec.v impl.v -k 16 --no-prepass # skip the structural prepass
     repro check-spec impl.v -k 16 --spec "A*B"    # Lv-style membership test
     repro reveng poly unknown.v                   # recover the field polynomial
     repro reveng func unknown.v -k 16             # identify the function
@@ -122,8 +123,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_abstract(args: argparse.Namespace) -> int:
+    from .prepass import PrepassError, apply_prepass, resolve_prepass
+
     field = _field(args)
     circuit = _read_netlist(args.netlist)
+    use_prepass = resolve_prepass(args.prepass)
     recorder = None
     if args.record:
         from .obs.replay import netlist_sha256
@@ -138,14 +142,25 @@ def _cmd_abstract(args: argparse.Namespace) -> int:
                 "output_word": args.output_word,
                 "case2": args.case2,
                 "jobs": args.jobs,
+                # Resolved at record time so replay never consults the live
+                # REPRO_PREPASS environment.
+                "prepass": use_prepass,
                 "netlist": args.netlist,
                 "netlist_text": netlist_text,
                 "netlist_sha256": netlist_sha256(netlist_text),
             },
         )
+    prepassed = None
     try:
+        target = circuit
+        if use_prepass:
+            try:
+                prepassed = apply_prepass(circuit)
+                target = prepassed.circuit
+            except PrepassError:
+                target = circuit  # guard tripped: abstract the raw netlist
         result = extract_canonical(
-            circuit,
+            target,
             field,
             output_word=args.output_word,
             case2=args.case2,
@@ -157,6 +172,12 @@ def _cmd_abstract(args: argparse.Namespace) -> int:
     if recorder is not None:
         print(f"redtrace:   {args.record} ({recorder.emitted} event(s))")
     print(f"field:      F_2^{field.k}, P(x) = {poly2.to_string(field.modulus)}")
+    if prepassed is not None:
+        print(
+            f"prepass:    {prepassed.gates_in} -> {prepassed.gates_out} "
+            f"gate(s) ({prepassed.nets_merged} net(s) SAT-merged, "
+            f"{prepassed.seconds:.3f}s)"
+        )
     print(f"case:       {result.stats.case}")
     print(f"time:       {result.stats.seconds:.3f}s")
     print(f"peak terms: {result.stats.peak_terms}")
@@ -208,9 +229,27 @@ def _print_parallel_metrics(outcome) -> None:
             print(f"  per cone (LSB first): {steps}")
 
 
+def _print_prepass_metrics(outcome) -> None:
+    """Per-side structural pre-reduction work from a verify outcome."""
+    details = getattr(outcome, "details", None) or {}
+    for side in ("spec", "impl"):
+        stats = (details.get(side) or {}).get("prepass")
+        if not stats:
+            continue
+        print(
+            f"prepass[{side}]: {stats['gates_in']} -> {stats['gates_out']} "
+            f"gate(s), {stats['nets_merged']} net(s) SAT-merged "
+            f"({stats['sat_queries']} quer(y/ies), {stats['sat_unknown']} "
+            f"unknown), {stats['seconds']:.3f}s"
+        )
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
+    from .prepass import resolve_prepass
+
     field = _field(args)
     trace_path = args.trace
+    use_prepass = resolve_prepass(args.prepass)
     recorder = None
     if args.record:
         if args.method != "abstraction":
@@ -233,6 +272,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 "method": args.method,
                 "seed": args.seed,
                 "jobs": args.jobs,
+                # Resolved at record time so replay never consults the live
+                # REPRO_PREPASS environment.
+                "prepass": use_prepass,
                 "spec": args.spec,
                 "impl": args.impl,
                 "spec_text": spec_text,
@@ -254,7 +296,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                     output_map = {impl_out[0]: spec_out[0]}
             if args.method == "abstraction":
                 outcome = verify_equivalence(
-                    spec, impl, field, seed=args.seed, jobs=args.jobs
+                    spec,
+                    impl,
+                    field,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    prepass=use_prepass,
                 )
             elif args.method == "sat":
                 outcome = check_equivalence_sat(
@@ -283,6 +330,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         if args.metrics:
             print(obs.summary_table(snapshot))
             _print_parallel_metrics(outcome)
+            _print_prepass_metrics(outcome)
     if outcome.status == "equivalent":
         return 0
     if outcome.status == "not_equivalent":
@@ -324,6 +372,7 @@ def _cmd_reveng_poly(args: argparse.Namespace) -> int:
         all_candidates=args.all,
         limit=args.limit,
         jobs=args.jobs,
+        prepass=args.prepass,
     )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
@@ -358,6 +407,7 @@ def _cmd_reveng_func(args: argparse.Namespace) -> int:
         case2=args.case2,
         cache=_reveng_cache(args),
         jobs=args.jobs,
+        prepass=args.prepass,
     )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
@@ -450,9 +500,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"in {report.wall_seconds:.2f}s  [{counts}]"
     )
     if cache_dir:
+        breakdown = ""
+        if report.cache_hits:
+            breakdown = (
+                f" [{report.cache_hits_canonical} canonical-key, "
+                f"{report.cache_hits_raw} raw-key]"
+            )
         print(
-            f"cache: {report.cache_hits} hit(s), {report.cache_misses} miss(es) "
-            f"({cache_dir})"
+            f"cache: {report.cache_hits} hit(s){breakdown}, "
+            f"{report.cache_misses} miss(es) ({cache_dir})"
         )
     if args.trace_dir:
         traced = sum(1 for r in report.results if r.get("trace_file"))
@@ -497,6 +553,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"entries:   {stats['entries']}")
     print(f"size:      {stats['bytes'] / 1024.0:.1f} KiB")
     print(f"hits:      {stats['hits']}")
+    # Hits split by which key kind answered: "canonical" = the prepassed
+    # canonical-structure key (structural variants collapse onto it), "raw"
+    # = the raw-structure key (prepass off, or fallback hits on entries
+    # written before the prepass existed). Counters predating the split
+    # leave both at 0 while hits is nonzero.
+    print(f"  canonical-key: {stats['hits_canonical']}")
+    print(f"  raw-key:       {stats['hits_raw']}")
     print(f"misses:    {stats['misses']}")
     return 0
 
@@ -871,6 +934,23 @@ def build_parser() -> argparse.ArgumentParser:
     def add_command(name: str, **kwargs) -> argparse.ArgumentParser:
         return sub.add_parser(name, parents=[log_flags], **kwargs)
 
+    def add_prepass_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--prepass",
+            dest="prepass",
+            action="store_true",
+            default=None,
+            help="force the structural pre-reduction on (canonicalize + "
+            "SAT-sweep the netlist before abstraction; default follows "
+            "$REPRO_PREPASS, which is on)",
+        )
+        p.add_argument(
+            "--no-prepass",
+            dest="prepass",
+            action="store_false",
+            help="abstract the raw netlist, skipping the pre-reduction",
+        )
+
     gen = add_command("gen", help="generate a benchmark netlist")
     gen.add_argument("architecture", choices=sorted(GENERATORS))
     gen.add_argument("-k", type=int, required=True, help="field degree")
@@ -907,6 +987,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a REDTRACE/1 reduction trace (JSONL) replayable with "
         "`repro replay`",
     )
+    add_prepass_flags(abstract)
     abstract.set_defaults(func=_cmd_abstract)
 
     verify = add_command("verify", help="prove or refute equivalence")
@@ -956,6 +1037,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a REDTRACE/1 reduction trace (JSONL) replayable with "
         "`repro replay`; abstraction method only",
     )
+    add_prepass_flags(verify)
     verify.set_defaults(func=_cmd_verify)
 
     batch = add_command(
@@ -1145,6 +1227,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="cone-sliced parallel abstraction: N worker processes "
             "(0 = one per CPU; default serial)",
         )
+        add_prepass_flags(p)
         p.add_argument("--json", action="store_true", help="emit JSON")
 
     reveng_poly = reveng_sub.add_parser(

@@ -222,38 +222,77 @@ class CanonicalPolyCache:
         may each compute, but every caller still returns a correct value and
         the atomic publish keeps reads untorn.
         """
+        payload, source = self.lookup_or_compute(key, compute)
+        return payload, source != "computed"
+
+    def lookup_or_compute(
+        self,
+        key: str,
+        compute: Callable[[], Dict],
+        fallback_keys: "Tuple[str, ...] | tuple" = (),
+    ) -> Tuple[Dict, str]:
+        """Like :meth:`get_or_compute`, with fallback keys and hit attribution.
+
+        Returns ``(payload, source)`` where source is ``"primary"`` (hit on
+        ``key``), ``"fallback"`` (hit on one of ``fallback_keys``), or
+        ``"computed"``. The prepass pipeline keys on the *canonical*
+        (prepassed) structure and passes the raw-structure key as fallback,
+        so entries written before the prepass existed — or by
+        ``REPRO_PREPASS=0`` runs — still answer; a fallback hit is promoted
+        under the primary key so the next lookup hits directly.
+        """
         payload = self.get(key)
         if payload is not None:
-            return payload, True
+            return payload, "primary"
+        for fallback in fallback_keys:
+            payload = self.get(fallback)
+            if payload is not None:
+                self.put(key, payload)
+                return payload, "fallback"
         if fcntl is not None:
             self.locks.mkdir(parents=True, exist_ok=True)
         with _exclusive_lock(self.locks / f"{key}.lock"):
             payload = self.get(key)  # a peer may have published meanwhile
             if payload is not None:
-                return payload, True
+                return payload, "primary"
             payload = compute()
             self.put(key, payload)
-            return payload, False
+            return payload, "computed"
 
     # -- counters ------------------------------------------------------------
 
-    def record(self, hits: int = 0, misses: int = 0) -> None:
-        """Accumulate hit/miss counters (atomic read-modify-write)."""
+    _STAT_KEYS = ("hits", "misses", "hits_canonical", "hits_raw")
+
+    def record(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        hits_canonical: int = 0,
+        hits_raw: int = 0,
+    ) -> None:
+        """Accumulate hit/miss counters (atomic read-modify-write).
+
+        ``hits_canonical``/``hits_raw`` break total hits out by which key
+        kind answered: the prepassed canonical-structure key vs the
+        raw-structure key (fallback lookups and ``REPRO_PREPASS=0`` runs).
+        """
         if not hits and not misses:
             return
         self.root.mkdir(parents=True, exist_ok=True)
         with _exclusive_lock(self.root / "stats.lock"):
-            counters = {"hits": 0, "misses": 0}
+            counters = {k: 0 for k in self._STAT_KEYS}
             try:
                 with open(self.stats_path, "r", encoding="utf-8") as handle:
                     stored = json.load(handle)
                 counters.update(
-                    {k: int(stored.get(k, 0)) for k in ("hits", "misses")}
+                    {k: int(stored.get(k, 0)) for k in self._STAT_KEYS}
                 )
             except (FileNotFoundError, json.JSONDecodeError, OSError):
                 pass
             counters["hits"] += hits
             counters["misses"] += misses
+            counters["hits_canonical"] += hits_canonical
+            counters["hits_raw"] += hits_raw
             counters["updated"] = time.time()
             fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -271,11 +310,11 @@ class CanonicalPolyCache:
                     size += path.stat().st_size
                 except OSError:
                     pass
-        counters = {"hits": 0, "misses": 0}
+        counters = {k: 0 for k in self._STAT_KEYS}
         try:
             with open(self.stats_path, "r", encoding="utf-8") as handle:
                 stored = json.load(handle)
-            counters.update({k: int(stored.get(k, 0)) for k in ("hits", "misses")})
+            counters.update({k: int(stored.get(k, 0)) for k in self._STAT_KEYS})
         except (FileNotFoundError, json.JSONDecodeError, OSError):
             pass
         return {
@@ -284,6 +323,8 @@ class CanonicalPolyCache:
             "bytes": size,
             "hits": counters["hits"],
             "misses": counters["misses"],
+            "hits_canonical": counters["hits_canonical"],
+            "hits_raw": counters["hits_raw"],
         }
 
     def clear(self) -> int:

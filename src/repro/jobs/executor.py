@@ -11,6 +11,11 @@ the paper's pipeline:
 
 ``parse``
     Netlist reading (BLIF / structural Verilog).
+``prepass``
+    Structural pre-reduction (:mod:`repro.prepass`): canonicalization plus
+    the fraig SAT sweep, run before hashing so cache keys are structural-
+    variant-invariant. Nonzero even on warm hits — the canonical key is a
+    function of the prepassed circuit.
 ``rato_setup``
     Building the Refined Abstraction Term Order (Definition 5.1).
 ``spoly_reduction``
@@ -37,20 +42,14 @@ import time
 from typing import Dict, Optional, Tuple
 
 from .. import kernels, obs
-from ..obs import redtrace
 from ..algebra import parse_polynomial
 from ..circuits import Circuit, read_netlist, read_netlist_text
-from ..core import extract_canonical, word_ring_for
+from ..core import word_ring_for
 from ..gf import GF2m
-from ..obs import metrics
-from ..verify import check_ideal_membership, find_nonzero_point
-from ..verify.equivalence import counterexample_by_simulation
-from .cache import (
-    CanonicalPolyCache,
-    canonical_cache_key,
-    polynomial_payload,
-    rehydrate_polynomial,
-)
+from ..prepass import abstract_canonical
+from ..verify import check_ideal_membership
+from ..verify.equivalence import verify_equivalence
+from .cache import CanonicalPolyCache, rehydrate_polynomial
 
 __all__ = [
     "execute_job",
@@ -71,6 +70,7 @@ _MAX_POLY_CHARS = 2000
 #: abstraction step (Section 5's reduction plus its Case-2 epilogue).
 _PHASE_OF_SPAN = {
     "parse": "parse",
+    "prepass": "prepass",
     "rato_setup": "rato_setup",
     "spoly_reduction": "spoly_reduction",
     "case2_finish": "spoly_reduction",
@@ -85,11 +85,17 @@ _PHASE_OF_SPAN = {
 #: Phases emitted as explicit zeros when nothing contributed to them
 #: (cache hits), keyed by job type.
 _EXPECTED_PHASES = {
-    "verify": ("parse", "rato_setup", "spoly_reduction", "coeff_match"),
-    "abstract": ("parse", "rato_setup", "spoly_reduction"),
+    "verify": ("parse", "prepass", "rato_setup", "spoly_reduction", "coeff_match"),
+    "abstract": ("parse", "prepass", "rato_setup", "spoly_reduction"),
     "check-spec": ("parse", "rato_setup", "spoly_reduction"),
-    "reveng": ("parse", "rato_setup", "spoly_reduction"),
+    "reveng": ("parse", "prepass", "rato_setup", "spoly_reduction"),
 }
+
+#: Fresh per-job cache-counter dict: totals plus the canonical/raw key
+#: split the prepass pipeline maintains (see
+#: :func:`repro.prepass.abstract_canonical`).
+def _new_counters() -> Dict[str, int]:
+    return {"hits": 0, "misses": 0, "hits_canonical": 0, "hits_raw": 0}
 
 
 def phases_from_spans(spans) -> Dict[str, float]:
@@ -127,73 +133,15 @@ def _load_circuit(params: Dict, key: str) -> Circuit:
     return read_netlist(params[key])
 
 
-def _poly_str(polynomial, output_word: str) -> str:
-    text = f"{output_word} = {polynomial}"
+def _clipped_poly(output_word: object, polynomial_text: str, terms: int) -> str:
+    text = f"{output_word} = {polynomial_text}"
     if len(text) > _MAX_POLY_CHARS:
-        return text[:_MAX_POLY_CHARS] + f"... [{len(polynomial)} terms]"
+        return text[:_MAX_POLY_CHARS] + f"... [{terms} terms]"
     return text
 
 
-def _cached_canonical(
-    circuit: Circuit,
-    field: GF2m,
-    case2: str,
-    output_word: Optional[str],
-    cache: Optional[CanonicalPolyCache],
-    counters: Dict[str, int],
-    jobs: Optional[int] = None,
-    inflight=None,
-) -> Tuple[Dict, bool]:
-    """Canonical-polynomial payload for a flat circuit, cache-aware.
-
-    Returns ``(payload, hit)``. On a miss the RATO and reduction work runs
-    inside :func:`~repro.core.abstraction.extract_canonical`, whose spans
-    feed the job's phase timings; on a hit neither span fires and the
-    executor reports both phases as explicit zeros. ``jobs`` selects the
-    cone-sliced parallel path on a miss — it stays out of the cache key
-    because both paths produce bit-identical polynomials.
-
-    ``inflight`` is an optional single-flight group (an object with
-    ``do(key, fn) -> (value, shared)``, see
-    :class:`repro.service.singleflight.SingleFlight`): concurrent callers in
-    the same process racing on one key then run ``fn`` once and share its
-    result without ever blocking on the cache's per-key file lock. A shared
-    result counts as a hit — the caller avoided the computation.
-    """
-
-    def compute() -> Dict:
-        result = extract_canonical(
-            circuit, field, output_word=output_word, case2=case2, jobs=jobs
-        )
-        return polynomial_payload(result)
-
-    def compute_cached() -> Tuple[Dict, bool]:
-        if cache is None:
-            return compute(), False
-        return cache.get_or_compute(key, compute)
-
-    if cache is None and inflight is None:
-        payload, hit = compute(), False
-    else:
-        key = canonical_cache_key(
-            circuit, field, case2=case2, output_word=output_word
-        )
-        if inflight is None:
-            payload, hit = cache.get_or_compute(key, compute)
-        else:
-            (payload, hit), shared = inflight.do(key, compute_cached)
-            hit = hit or shared
-    counters["hits"] += int(hit)
-    counters["misses"] += int(not hit)
-    metrics.counter_add(metrics.CACHE_HITS if hit else metrics.CACHE_MISSES, 1)
-    rtw = redtrace.active_writer()
-    if rtw is not None and (cache is not None or inflight is not None):
-        # Environment-dependent by nature (a warm cache answers differently
-        # than a cold one), so the replay differ never sees these: the
-        # `repro verify --record` path runs cache-less. They exist for the
-        # daemon's flight recorder.
-        rtw.emit("cache_probe", key=key[:16], hit=bool(hit))
-    return payload, hit
+def _poly_str(polynomial, output_word: str) -> str:
+    return _clipped_poly(output_word, str(polynomial), len(polynomial))
 
 
 def run_verify(
@@ -203,85 +151,68 @@ def run_verify(
     seed: Optional[int] = None,
     inflight=None,
 ) -> Dict:
-    """Run one verify job body: abstract both sides and coefficient-match.
+    """Run one verify job body: prepass, abstract both sides, coefficient-match.
 
     The shared engine behind batch ``verify`` jobs and the service's
     ``POST /v1/verify``. ``params`` uses the manifest schema; netlists may
     arrive as paths (``spec``/``impl``) or as streamed bodies
-    (``spec_text``/``impl_text``). ``inflight`` forwards to
-    :func:`_cached_canonical` for in-process single-flight dedup.
+    (``spec_text``/``impl_text``). The body is a thin record adapter over
+    :func:`~repro.verify.equivalence.verify_equivalence` — the exact
+    pipeline the CLI runs — with the cache, single-flight group and
+    ``params["prepass"]`` override threaded through.
     """
-    counters = counters if counters is not None else {"hits": 0, "misses": 0}
+    counters = counters if counters is not None else _new_counters()
     field = _field_for(params)
-    case2 = params.get("case2", "linearized")
-    jobs = params.get("jobs")
 
     spec = _load_circuit(params, "spec")
     impl = _load_circuit(params, "impl")
 
-    spec_payload, spec_hit = _cached_canonical(
-        spec, field, case2, None, cache, counters, jobs=jobs, inflight=inflight
+    outcome = verify_equivalence(
+        spec,
+        impl,
+        field,
+        case2=params.get("case2", "linearized"),
+        seed=seed,
+        jobs=params.get("jobs"),
+        cache=cache,
+        counters=counters,
+        inflight=inflight,
+        prepass=params.get("prepass"),
     )
-    impl_payload, impl_hit = _cached_canonical(
-        impl, field, case2, None, cache, counters, jobs=jobs, inflight=inflight
-    )
-
-    with obs.span("coeff_match"):
-        spec_poly = rehydrate_polynomial(spec_payload, field)
-        impl_poly = rehydrate_polynomial(impl_payload, field)
-        shared_words = sorted(spec_payload["input_words"])
-        if sorted(impl_payload["input_words"]) != shared_words:
-            raise ValueError(
-                f"input words do not match: spec {shared_words}, "
-                f"impl {sorted(impl_payload['input_words'])}"
-            )
-        ring = word_ring_for(field, shared_words)
-
-        def rehome(poly):
-            source = poly.ring
-            data = {}
-            for monomial, coeff in poly.terms.items():
-                key = tuple(
-                    sorted((ring.index[source.variables[v]], e) for v, e in monomial)
-                )
-                data[key] = coeff
-            return type(poly)(ring, data)
-
-        spec_canonical = rehome(spec_poly)
-        impl_canonical = rehome(impl_poly)
-        equivalent = spec_canonical == impl_canonical
-        counterexample = None
-        if not equivalent:
-            rng = random.Random(0xDAC14 if seed is None else seed)
-            counterexample = counterexample_by_simulation(
-                spec, impl, field, shared_words, {}, rng=rng
-            )
-            if counterexample is None:
-                counterexample = find_nonzero_point(
-                    spec_canonical + impl_canonical,
-                    exhaustive_limit=1 << 12,
-                    samples=500,
-                    rng=random.Random(2014 if seed is None else seed + 1),
-                )
-    return {
-        "verdict": "equivalent" if equivalent else "not_equivalent",
-        "counterexample": counterexample,
-        "spec_polynomial": _poly_str(spec_canonical, spec_payload["output_word"]),
-        "spec_terms": len(spec_canonical),
-        "impl_terms": len(impl_canonical),
-        "spec_cache_hit": spec_hit,
-        "impl_cache_hit": impl_hit,
-        "spec_case": spec_payload["stats"]["case"],
-        "impl_case": impl_payload["stats"]["case"],
+    details = outcome.details
+    spec_stats = details["spec"]
+    impl_stats = details["impl"]
+    record = {
+        "verdict": outcome.status,
+        "counterexample": outcome.counterexample,
+        "spec_polynomial": _clipped_poly(
+            spec_stats.get("output_word"),
+            details["spec_polynomial"],
+            details["spec_terms"],
+        ),
+        "spec_terms": details["spec_terms"],
+        "impl_terms": details["impl_terms"],
+        "spec_cache_hit": details["spec_cache_hit"],
+        "impl_cache_hit": details["impl_cache_hit"],
+        "spec_case": spec_stats["case"],
+        "impl_case": impl_stats["case"],
         # Cost-model features: field width, total gate count across both
-        # sides, total cone count (0 on the serial path / old cache entries).
+        # sides (raw, pre-prepass), total cone count (0 on the serial path /
+        # old cache entries).
         "k": field.k,
         "gates": spec.num_gates() + impl.num_gates(),
         "cones": (
-            (spec_payload["stats"].get("cones") or 0)
-            + (impl_payload["stats"].get("cones") or 0)
+            (spec_stats.get("cones") or 0) + (impl_stats.get("cones") or 0)
         ),
     }
+    prepass_stats = {
+        side: stats["prepass"]
+        for side, stats in (("spec", spec_stats), ("impl", impl_stats))
+        if stats.get("prepass")
+    }
+    if prepass_stats:
+        record["prepass"] = prepass_stats
+    return record
 
 
 def run_abstract(
@@ -291,25 +222,35 @@ def run_abstract(
     inflight=None,
 ) -> Dict:
     """Run one abstract job body: a single circuit's canonical polynomial."""
-    counters = counters if counters is not None else {"hits": 0, "misses": 0}
+    counters = counters if counters is not None else _new_counters()
     field = _field_for(params)
-    case2 = params.get("case2", "linearized")
     circuit = _load_circuit(params, "netlist")
-    payload, hit = _cached_canonical(
-        circuit, field, case2, params.get("output_word"), cache, counters,
-        jobs=params.get("jobs"), inflight=inflight,
+    probe = abstract_canonical(
+        circuit,
+        field,
+        output_word=params.get("output_word"),
+        case2=params.get("case2", "linearized"),
+        jobs=params.get("jobs"),
+        cache=cache,
+        counters=counters,
+        inflight=inflight,
+        prepass=params.get("prepass"),
     )
+    payload = probe.payload
     polynomial = rehydrate_polynomial(payload, field)
-    return {
+    record = {
         "polynomial": _poly_str(polynomial, payload["output_word"]),
         "terms": len(polynomial),
         "case": payload["stats"]["case"],
-        "cache_hit": hit,
+        "cache_hit": probe.hit,
         "abstraction_stats": payload["stats"],
         "k": field.k,
         "gates": circuit.num_gates(),
         "cones": payload["stats"].get("cones") or 0,
     }
+    if probe.prepass is not None:
+        record["prepass"] = probe.prepass.stats()
+    return record
 
 
 def run_reveng(
@@ -333,10 +274,11 @@ def run_reveng(
     """
     from ..reveng import identify_function, recover_polynomial
 
-    counters = counters if counters is not None else {"hits": 0, "misses": 0}
+    counters = counters if counters is not None else _new_counters()
     mode = params.get("mode", "poly")
     case2 = params.get("case2", "linearized")
     jobs = params.get("jobs")
+    prepass = params.get("prepass")
     circuit = _load_circuit(params, "netlist")
 
     if mode == "poly":
@@ -351,6 +293,7 @@ def run_reveng(
             limit=int(params["limit"]) if params.get("limit") is not None else None,
             jobs=jobs,
             inflight=inflight,
+            prepass=prepass,
         )
         body = {"mode": "poly"}
         body.update(result.to_dict())
@@ -366,6 +309,7 @@ def run_reveng(
             cache=cache,
             jobs=jobs,
             inflight=inflight,
+            prepass=prepass,
         )
         body = {"mode": "func", "k": field.k, "modulus": f"{field.modulus:#x}"}
         body.update(outcome.to_dict())
@@ -437,7 +381,7 @@ def execute_job(
     (algebraic work), and the raw ``telemetry`` snapshot.
     """
     params = job.get("params", {})
-    counters = {"hits": 0, "misses": 0}
+    counters = _new_counters()
     cache = CanonicalPolyCache(cache_dir) if cache_dir else None
     job_seed = job.get("seed") if job.get("seed") is not None else seed
 

@@ -16,10 +16,10 @@ Job types:
 ``verify``
     Abstract ``spec`` and ``impl`` to canonical polynomials and
     coefficient-match (the paper's flow). Fields: ``spec``, ``impl``,
-    ``k``; optional ``modulus``, ``case2``, ``seed``.
+    ``k``; optional ``modulus``, ``case2``, ``seed``, ``prepass``.
 ``abstract``
     Derive one circuit's canonical polynomial. Fields: ``netlist``, ``k``;
-    optional ``modulus``, ``case2``, ``output_word``.
+    optional ``modulus``, ``case2``, ``output_word``, ``prepass``.
 ``check-spec``
     Lv-style ideal membership against a textual spec polynomial. Fields:
     ``netlist``, ``spec_poly``, ``k``; optional ``modulus``, ``output_word``.
@@ -30,7 +30,9 @@ Job types:
     omitted), ``spec_form``, ``all`` (census every match), ``limit``.
     ``mode: "func"`` identifies which arithmetic function the netlist
     computes over a *known* field — fields: ``netlist``, ``k``; optional
-    ``modulus``, ``forms``. Both accept ``case2`` and ``jobs``.
+    ``modulus``, ``forms``. Both accept ``case2``, ``jobs`` and
+    ``prepass`` (a boolean overriding the structural pre-reduction's
+    ``REPRO_PREPASS`` default, accepted by verify/abstract too).
 ``sleep`` / ``crash``
     Operational self-test jobs: ``sleep`` blocks for ``seconds`` (exercises
     the per-job deadline), ``crash`` hard-exits the worker for its first
@@ -64,15 +66,15 @@ _PATH_FIELDS = ("spec", "impl", "netlist")
 
 #: Per-type optional fields (beyond the engine-level timeout/retries/seed).
 _OPTIONAL_FIELDS = {
-    "verify": ("modulus", "case2", "jobs"),
-    "abstract": ("modulus", "case2", "output_word", "jobs"),
+    "verify": ("modulus", "case2", "jobs", "prepass"),
+    "abstract": ("modulus", "case2", "output_word", "jobs", "prepass"),
     "check-spec": ("modulus", "output_word"),
     # "k"/"modulus" matter in func mode (known field); "m" in poly mode
     # (unknown field, degree only). Mode-dependent requirements are checked
     # at execution time, not manifest-load time.
     "reveng": (
         "mode", "m", "k", "modulus", "case2", "spec_form", "forms", "all",
-        "limit", "jobs",
+        "limit", "jobs", "prepass",
     ),
     "sleep": (),
     "crash": ("fail_attempts",),

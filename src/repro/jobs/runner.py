@@ -62,6 +62,11 @@ class BatchReport:
     log_path: Optional[str] = None
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Hits broken out by which key kind answered: the prepassed
+    #: canonical-structure key vs the raw-structure key (fallback lookups
+    #: and ``prepass: false`` jobs).
+    cache_hits_canonical: int = 0
+    cache_hits_raw: int = 0
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -439,8 +444,17 @@ def _summarize(
 ) -> BatchReport:
     hits = sum(r.get("cache", {}).get("hits", 0) for r in results)
     misses = sum(r.get("cache", {}).get("misses", 0) for r in results)
+    hits_canonical = sum(
+        r.get("cache", {}).get("hits_canonical", 0) for r in results
+    )
+    hits_raw = sum(r.get("cache", {}).get("hits_raw", 0) for r in results)
     if cache_dir and (hits or misses):
-        CanonicalPolyCache(cache_dir).record(hits=hits, misses=misses)
+        CanonicalPolyCache(cache_dir).record(
+            hits=hits,
+            misses=misses,
+            hits_canonical=hits_canonical,
+            hits_raw=hits_raw,
+        )
     report = BatchReport(
         results=results,
         wall_seconds=time.perf_counter() - started,
@@ -448,6 +462,8 @@ def _summarize(
         log_path=log.path,
         cache_hits=hits,
         cache_misses=misses,
+        cache_hits_canonical=hits_canonical,
+        cache_hits_raw=hits_raw,
     )
     log.write(
         {
@@ -458,6 +474,8 @@ def _summarize(
             "status_counts": report.counts,
             "cache_hits": hits,
             "cache_misses": misses,
+            "cache_hits_canonical": hits_canonical,
+            "cache_hits_raw": hits_raw,
         }
     )
     return report

@@ -50,6 +50,14 @@ __all__ = [
     "PLANE_TASK_RETRIES",
     "PLANE_WORKERS_SPAWNED",
     "PLANE_WORKER_RESPAWNS",
+    "PREPASS_CANONICAL_KEY_HITS",
+    "PREPASS_GATES_REMOVED",
+    "PREPASS_GUARD_FAILURES",
+    "PREPASS_NETS_MERGED",
+    "PREPASS_RAW_KEY_HITS",
+    "PREPASS_RUNS",
+    "PREPASS_SAT_QUERIES",
+    "PREPASS_SAT_UNKNOWN",
     "REVENG_CACHE_HITS",
     "REVENG_CANDIDATES_PROBED",
     "REVENG_IDENTIFICATIONS",
@@ -207,6 +215,26 @@ REVENG_MATCHES = "reveng.matches"
 REVENG_IDENTIFICATIONS = "reveng.identifications"
 REVENG_OBFUSCATION_VARIANTS = "reveng.obfuscation_variants"
 REVENG_OBFUSCATION_GATES_ADDED = "reveng.obfuscation_gates_added"
+
+# Structural pre-reduction front-end (repro.prepass): runs ticks once per
+# apply_prepass; gates_removed accumulates the net shrink handed to the
+# abstraction engine; nets_merged/sat_queries/sat_unknown account the fraig
+# stage (merges happen only on proven-UNSAT miters — unknown queries are
+# left untouched, so nets_merged + sat_refuted + sat_unknown <= sat_queries
+# never lies about soundness). The key-hit pair splits cache hits by which
+# key answered: canonical (prepassed structure) vs raw fallback — the
+# canonical share is the hit-rate multiplication the prepass exists for.
+# guard_failures counts differential-guard trips (prepass output disagreed
+# with the original on random vectors; the caller fell back to the raw
+# netlist).
+PREPASS_RUNS = "prepass.runs"
+PREPASS_GATES_REMOVED = "prepass.gates_removed"
+PREPASS_NETS_MERGED = "prepass.nets_merged"
+PREPASS_SAT_QUERIES = "prepass.sat_queries"
+PREPASS_SAT_UNKNOWN = "prepass.sat_unknown"
+PREPASS_CANONICAL_KEY_HITS = "prepass.canonical_key_hits"
+PREPASS_RAW_KEY_HITS = "prepass.raw_key_hits"
+PREPASS_GUARD_FAILURES = "prepass.guard_failures"
 
 # REDTRACE event recording (repro.obs.redtrace): events ticks once per
 # emitted record; dropped counts ring-buffer evictions in the daemon's

@@ -119,6 +119,12 @@ def execute_header(header: Dict[str, Any]) -> List[Dict[str, Any]]:
     from ..core import extract_canonical
     from ..verify import verify_equivalence
 
+    # Whether the recording ran the structural prepass is part of the
+    # recorded computation (it changes the circuit the reduction sees), so
+    # replay honors the stored flag instead of the live REPRO_PREPASS
+    # environment. Traces recorded before the prepass existed carry no
+    # "prepass" key and replay raw, exactly as they ran.
+    prepass = bool(params.get("prepass", False))
     field = _field_from(params)
     writer = redtrace.start_recording(op=op, params=params, ring=False)
     try:
@@ -131,9 +137,17 @@ def execute_header(header: Dict[str, Any]) -> List[Dict[str, Any]]:
                 field,
                 seed=params.get("seed"),
                 jobs=params.get("jobs"),
+                prepass=prepass,
             )
         elif op == "abstract":
             circuit = _checked_circuit(params, "netlist")
+            if prepass:
+                from ..prepass import PrepassError, apply_prepass
+
+                try:
+                    circuit = apply_prepass(circuit).circuit
+                except PrepassError:
+                    pass  # guard tripped: replay against the raw netlist
             extract_canonical(
                 circuit,
                 field,

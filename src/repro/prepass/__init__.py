@@ -1,0 +1,44 @@
+"""Structural pre-reduction front-end (ROADMAP item 4).
+
+Canonicalize and SAT-sweep netlists *before* hashing and abstraction, so
+
+* every structural variant of a design — gate-form rewrites, buffer and
+  inverter chains, dead logic, shuffled gate order, and opaquely renamed
+  nets (each of :mod:`repro.reveng.obfuscate`'s passes, alone or stacked)
+  — collapses to one canonical circuit and therefore one content-addressed
+  cache key, and
+* every downstream Gröbner reduction sees a smaller circuit: the fraig
+  stage merges internal nets the SAT solver *proves* equivalent (unknowns
+  are never touched), and a differential guard makes a prepass bug cost
+  performance, never a verdict.
+
+``REPRO_PREPASS=0`` disables the whole subsystem; per-call overrides ride
+on ``--prepass/--no-prepass`` (CLI) and ``params["prepass"]`` (batch
+manifests / service requests).
+"""
+
+from .canon import canonical_input_order, canonicalize
+from .pipeline import AbstractionProbe, abstract_canonical
+from .reduce import (
+    PREPASS_ENV,
+    PrepassError,
+    PrepassResult,
+    apply_prepass,
+    differential_guard,
+    prepass_default,
+    resolve_prepass,
+)
+
+__all__ = [
+    "AbstractionProbe",
+    "PREPASS_ENV",
+    "PrepassError",
+    "PrepassResult",
+    "abstract_canonical",
+    "apply_prepass",
+    "canonical_input_order",
+    "canonicalize",
+    "differential_guard",
+    "prepass_default",
+    "resolve_prepass",
+]

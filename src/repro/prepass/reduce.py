@@ -1,0 +1,199 @@
+"""The structural pre-reduction pass: canonicalize, fraig, guard.
+
+:func:`apply_prepass` is the one entry point every pipeline shares (CLI,
+batch executor, service, reverse engineering). It runs up to three stages:
+
+1. :func:`~repro.prepass.canon.canonicalize` — deterministic structural
+   normal form (gate-form normalization, dead-logic strip, buffer collapse,
+   order-free renaming). Always sound: pure rewriting of the same function.
+2. A fraiging SAT sweep (:func:`~repro.aig.sweep.sat_sweep`) promoted from
+   baseline checker to *reducer*: internal nets whose equivalence the SAT
+   solver **proves** (an UNSAT miter within the conflict budget) are merged
+   and the circuit rebuilt smaller. The soundness contract is inherited
+   from the sweep itself — it merges only on ``"equal"`` verdicts;
+   ``"unknown"`` (budget exhausted) and ``"diff"`` candidates are left
+   untouched — and the rebuild consumes exactly its merge map.
+3. A differential guard: the reduced circuit is bit-parallel simulated
+   against the original on fixed-seed random vectors; any mismatch raises
+   :class:`PrepassError` and the caller falls back to the raw netlist, so a
+   prepass bug can cost performance but never a verdict.
+
+``REPRO_PREPASS=0`` is the global escape hatch; every entry point also
+takes an explicit ``--prepass/--no-prepass`` (or ``params["prepass"]``)
+override, resolved by :func:`resolve_prepass`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..aig.sweep import sat_sweep
+from ..circuits import Circuit
+from ..circuits.simulate import simulate
+from ..obs import metrics
+from .canon import _rebuild, build_canonical_aig
+
+__all__ = [
+    "PREPASS_ENV",
+    "PrepassError",
+    "PrepassResult",
+    "apply_prepass",
+    "prepass_default",
+    "resolve_prepass",
+]
+
+#: Environment escape hatch: ``REPRO_PREPASS=0`` disables the prepass
+#: everywhere a caller didn't pass an explicit override.
+PREPASS_ENV = "REPRO_PREPASS"
+
+_GUARD_SEED = 0xC0FFEE
+_GUARD_LANES = 64
+
+
+class PrepassError(RuntimeError):
+    """The differential guard caught a prepass/original mismatch."""
+
+
+def prepass_default() -> bool:
+    """Whether the prepass is on by default (the ``REPRO_PREPASS`` switch)."""
+    return os.environ.get(PREPASS_ENV, "1").strip().lower() not in (
+        "0",
+        "false",
+        "no",
+        "off",
+    )
+
+
+def resolve_prepass(flag: Optional[bool] = None) -> bool:
+    """Resolve a tri-state prepass override against the environment default."""
+    return prepass_default() if flag is None else bool(flag)
+
+
+@dataclass
+class PrepassResult:
+    """What the prepass did to one circuit."""
+
+    circuit: Circuit
+    gates_in: int
+    canonical_gates: int
+    gates_out: int
+    nets_merged: int
+    sat_queries: int
+    sat_refuted: int
+    sat_unknown: int
+    seconds: float
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "gates_in": self.gates_in,
+            "canonical_gates": self.canonical_gates,
+            "gates_out": self.gates_out,
+            "gates_removed": self.gates_in - self.gates_out,
+            "nets_merged": self.nets_merged,
+            "sat_queries": self.sat_queries,
+            "sat_refuted": self.sat_refuted,
+            "sat_unknown": self.sat_unknown,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+def differential_guard(
+    original: Circuit,
+    reduced: Circuit,
+    lanes: int = _GUARD_LANES,
+    seed: int = _GUARD_SEED,
+) -> None:
+    """Raise :class:`PrepassError` unless the circuits agree on random vectors.
+
+    Fixed-seed and bit-parallel: one :func:`~repro.circuits.simulate.simulate`
+    sweep checks ``lanes`` input vectors per output bit. Outputs are compared
+    positionally (the prepass renames nets but preserves output order and
+    word structure).
+    """
+    rng = random.Random(seed)
+    stimuli = {net: rng.getrandbits(lanes) for net in sorted(original.inputs)}
+    got_a = simulate(original, stimuli, lanes=lanes)
+    got_b = simulate(reduced, stimuli, lanes=lanes)
+    for net_a, net_b in zip(original.outputs, reduced.outputs):
+        if got_a[net_a] != got_b[net_b]:
+            raise PrepassError(
+                f"prepass guard: output {net_a!r}/{net_b!r} diverged on "
+                f"random stimuli"
+            )
+    for word, bits_a in original.output_words.items():
+        bits_b = reduced.output_words.get(word, ())
+        if len(bits_a) != len(bits_b):
+            raise PrepassError(f"prepass guard: output word {word!r} changed shape")
+        for net_a, net_b in zip(bits_a, bits_b):
+            if got_a[net_a] != got_b[net_b]:
+                raise PrepassError(
+                    f"prepass guard: word {word!r} bit {net_a!r}/{net_b!r} "
+                    f"diverged on random stimuli"
+                )
+
+
+def apply_prepass(
+    circuit: Circuit,
+    fraig: bool = True,
+    max_conflicts: int = 200,
+    patterns: int = 4,
+    seed: int = 2014,
+    guard: bool = True,
+) -> PrepassResult:
+    """Canonicalize + SAT-sweep ``circuit``; returns the reduced form.
+
+    Deterministic for a given input: the sweep runs on the canonicalized
+    circuit's AIG (whose node numbering no longer depends on source gate
+    order), so structural variants of one design reduce to the *same*
+    circuit — and therefore the same cache key. Raises :class:`PrepassError`
+    if the differential guard detects a mismatch (callers fall back to the
+    raw circuit).
+    """
+    start = time.perf_counter()
+    gates_in = circuit.num_gates()
+    reduced = _rebuild(circuit)
+    canonical_gates = reduced.num_gates()
+    merged = queries = refuted = unknown = 0
+    if fraig and canonical_gates:
+        bundle = build_canonical_aig(reduced)
+        sweep = sat_sweep(
+            bundle[0],
+            max_conflicts_per_query=max_conflicts,
+            num_random_patterns=patterns,
+            seed=seed,
+        )
+        merged = sweep.merged
+        queries = sweep.queries
+        refuted = sweep.sat_refuted
+        unknown = sweep.unknown
+        if sweep.merged:
+            reduced = _rebuild(reduced, sweep_canon=sweep.canon, prebuilt=bundle)
+    if guard:
+        try:
+            differential_guard(circuit, reduced)
+        except PrepassError:
+            metrics.counter_add(metrics.PREPASS_GUARD_FAILURES, 1)
+            raise
+    result = PrepassResult(
+        circuit=reduced,
+        gates_in=gates_in,
+        canonical_gates=canonical_gates,
+        gates_out=reduced.num_gates(),
+        nets_merged=merged,
+        sat_queries=queries,
+        sat_refuted=refuted,
+        sat_unknown=unknown,
+        seconds=time.perf_counter() - start,
+    )
+    metrics.counter_add(metrics.PREPASS_RUNS, 1)
+    metrics.counter_add(
+        metrics.PREPASS_GATES_REMOVED, max(0, result.gates_in - result.gates_out)
+    )
+    metrics.counter_add(metrics.PREPASS_NETS_MERGED, merged)
+    metrics.counter_add(metrics.PREPASS_SAT_QUERIES, queries)
+    metrics.counter_add(metrics.PREPASS_SAT_UNKNOWN, unknown)
+    return result

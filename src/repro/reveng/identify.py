@@ -26,6 +26,7 @@ from ..circuits import Circuit
 from ..gf import GF2m
 from ..jobs.cache import CanonicalPolyCache
 from ..obs import metrics, span
+from ..prepass import PrepassError, apply_prepass, resolve_prepass
 from .probe import ProbeRecord, probe_canonical, probe_words
 from .specforms import classify, match_forms
 
@@ -71,19 +72,30 @@ def identify_function(
     cache: Optional[CanonicalPolyCache] = None,
     jobs: Optional[int] = None,
     inflight=None,
+    prepass: Optional[bool] = None,
 ) -> IdentifyResult:
     """Match ``circuit``'s canonical polynomial against known spec forms.
 
     ``forms`` restricts the library to specific names (default: every form
     whose arity matches the circuit's input word count). All matching forms
     are reported — e.g. over small fields ``square`` and ``mul`` can both
-    hold when the circuit squares a word that is its only input.
+    hold when the circuit squares a word that is its only input. ``prepass``
+    gates the structural pre-reduction (None defers to ``REPRO_PREPASS``);
+    probing the canonical circuit means an obfuscated netlist identifies
+    through the same cache entry as a clean copy.
     """
     start = time.perf_counter()
     words = probe_words(circuit)
+    probe_circuit = circuit
+    if resolve_prepass(prepass):
+        with span("prepass", gates=circuit.num_gates()):
+            try:
+                probe_circuit = apply_prepass(circuit).circuit
+            except PrepassError:
+                probe_circuit = circuit  # guard tripped: probe the raw netlist
     with span("reveng_identify", k=field.k):
         polynomial, record = probe_canonical(
-            circuit, field, case2=case2, cache=cache, jobs=jobs, inflight=inflight
+            probe_circuit, field, case2=case2, cache=cache, jobs=jobs, inflight=inflight
         )
         matches = match_forms(polynomial, field, words, forms=forms)
     if matches:

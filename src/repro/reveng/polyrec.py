@@ -32,6 +32,7 @@ from ..gf import GF2m, irreducible_polynomials
 from ..jobs.cache import CanonicalPolyCache
 from ..obs import metrics, span
 from ..core import word_ring_for
+from ..prepass import PrepassError, apply_prepass, resolve_prepass
 from .probe import ProbeRecord, probe_canonical, probe_words
 from .specforms import SPEC_FORMS, build_form
 
@@ -106,6 +107,7 @@ def recover_polynomial(
     limit: Optional[int] = None,
     jobs: Optional[int] = None,
     inflight=None,
+    prepass: Optional[bool] = None,
 ) -> RevengResult:
     """Sweep candidate irreducibles of ``degree`` until one explains the netlist.
 
@@ -118,6 +120,12 @@ def recover_polynomial(
     answer). ``all_candidates=True`` keeps sweeping to census *every*
     matching modulus; ``limit`` caps the number of candidates probed either
     way — ``exhausted`` reports whether the census actually completed.
+
+    ``prepass`` gates the structural pre-reduction (None defers to
+    ``REPRO_PREPASS``). It runs *once* before the sweep, not per candidate:
+    the canonical circuit is field-independent, and probing it means an
+    obfuscated netlist's sweep hits the same cache entries a clean (or
+    differently obfuscated) copy of the design populated.
     """
     if spec_form not in SPEC_FORMS:
         raise ValueError(
@@ -135,6 +143,13 @@ def recover_polynomial(
         )
 
     start = time.perf_counter()
+    probe_circuit = circuit
+    if resolve_prepass(prepass):
+        with span("prepass", gates=circuit.num_gates()):
+            try:
+                probe_circuit = apply_prepass(circuit).circuit
+            except PrepassError:
+                probe_circuit = circuit  # guard tripped: sweep the raw netlist
     metrics.counter_add(metrics.REVENG_SWEEPS, 1)
     matches: List[int] = []
     probes: List[ProbeRecord] = []
@@ -150,7 +165,7 @@ def recover_polynomial(
         for modulus in candidates:
             field = GF2m(degree, modulus=modulus)
             polynomial, record = probe_canonical(
-                circuit,
+                probe_circuit,
                 field,
                 case2=case2,
                 cache=cache,

@@ -79,6 +79,11 @@ _KEYED_FIELDS = (
     "forms",
     "all",
     "limit",
+    # The prepass changes no verdict (Cor. 4.1: canonical polynomials are
+    # prepass-invariant) but it is still keyed: a client explicitly asking
+    # for a raw-netlist run must not be answered by a prepassed job's
+    # record, whose stats/phases differ.
+    "prepass",
 )
 
 _TEXT_OR_PATH = {
@@ -164,7 +169,7 @@ def _validate_submission(kind: str, body: Dict) -> Tuple[Dict, int, Optional[flo
             raise RequestError(400, f"timeout must be > 0, got {timeout}")
 
     allowed = {
-        "k", "modulus", "case2", "jobs", "output_word",
+        "k", "modulus", "case2", "jobs", "output_word", "prepass",
         "spec", "impl", "netlist", "spec_text", "impl_text", "netlist_text",
     }
     if kind == "reveng":

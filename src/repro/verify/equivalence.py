@@ -6,6 +6,16 @@ coefficient matching — Section 6's methodology. Either side may be a flat
 :class:`~repro.circuits.Circuit` or a
 :class:`~repro.circuits.HierarchicalCircuit` (abstracted block-by-block and
 composed at word level, as in the Montgomery experiments of Table 2).
+
+This is *the* pipeline: flat sides route through
+:func:`repro.prepass.abstract_canonical` — structural prepass, then the
+content-addressed cache (canonical key first, raw key fallback), then
+:func:`~repro.core.extract_canonical` — which is the same engine the batch
+executor and the service scheduler call, so CLI, batch, and service cannot
+diverge. The prepass is function-preserving, and by Corollary 4.1 a
+circuit's canonical polynomial is unique, so prepass-on and prepass-off
+runs produce identical polynomials and verdicts; counterexample search
+always simulates the *original* circuits.
 """
 
 from __future__ import annotations
@@ -163,6 +173,61 @@ def counterexample_by_simulation(
     return None
 
 
+def _side_polynomial(
+    design: Design,
+    field: GF2m,
+    output_word: Optional[str],
+    case2: str,
+    jobs: Optional[int],
+    cache,
+    counters,
+    inflight,
+    prepass: Optional[bool],
+) -> "tuple[Polynomial, Dict[str, object], bool]":
+    """One side's canonical polynomial through the shared pipeline stage.
+
+    Flat circuits route through :func:`repro.prepass.abstract_canonical`
+    (prepass + canonical/raw cache keys + extraction); hierarchical designs
+    keep the block-wise composition path (already decomposed, no cache).
+    Returns ``(polynomial, stats, cache_hit)``.
+    """
+    if isinstance(design, HierarchicalCircuit):
+        poly, stats = canonical_polynomial(design, field, output_word, case2, jobs=jobs)
+        return poly, stats, False
+
+    from ..prepass import abstract_canonical
+    from ..jobs.cache import rehydrate_polynomial
+
+    probe = abstract_canonical(
+        design,
+        field,
+        output_word=output_word,
+        case2=case2,
+        jobs=jobs,
+        cache=cache,
+        counters=counters,
+        inflight=inflight,
+        prepass=prepass,
+    )
+    poly = rehydrate_polynomial(probe.payload, field)
+    stats: Dict[str, object] = dict(probe.payload["stats"])
+    stats["cache_hit"] = probe.hit
+    stats["output_word"] = probe.payload["output_word"]
+    result = probe.result
+    if result is not None and result.stats.jobs:
+        stats["parallel"] = {
+            "jobs": result.stats.jobs,
+            "cones": result.stats.cones,
+            "cone_division_steps": list(result.stats.cone_division_steps),
+            "pool_utilization_pct": round(result.stats.pool_utilization_pct, 1),
+            "pool_idle_seconds": round(result.stats.pool_idle_seconds, 4),
+            "table_rebuilds": result.stats.table_rebuilds,
+        }
+    if probe.prepass is not None:
+        stats["prepass"] = probe.prepass.stats()
+    return poly, stats, probe.hit
+
+
 def verify_equivalence(
     spec: Design,
     impl: Design,
@@ -173,6 +238,10 @@ def verify_equivalence(
     case2: str = "linearized",
     seed: Optional[int] = None,
     jobs: Optional[int] = None,
+    cache=None,
+    counters: Optional[Dict[str, int]] = None,
+    inflight=None,
+    prepass: Optional[bool] = None,
 ) -> EquivalenceOutcome:
     """Decide whether two designs implement the same word-level function.
 
@@ -183,6 +252,13 @@ def verify_equivalence(
     runs; the default keeps the historical fixed-seed behavior. ``jobs``
     turns on cone-sliced parallel abstraction for flat designs — both
     sides still yield bit-identical canonical polynomials.
+
+    ``cache`` (a :class:`~repro.jobs.cache.CanonicalPolyCache`),
+    ``counters`` (mutated hit/miss accounting dict) and ``inflight``
+    (single-flight group) opt each flat side into the content-addressed
+    cache — the batch executor and the service pass them. ``prepass``
+    overrides the structural pre-reduction tri-state (None defers to
+    ``REPRO_PREPASS``, which defaults on).
     """
     start = time.perf_counter()
     spec_words = _input_words(spec)
@@ -196,12 +272,12 @@ def verify_equivalence(
         )
 
     with span("abstract", side="spec"):
-        spec_poly, spec_stats = canonical_polynomial(
-            spec, field, spec_output, case2, jobs=jobs
+        spec_poly, spec_stats, spec_hit = _side_polynomial(
+            spec, field, spec_output, case2, jobs, cache, counters, inflight, prepass
         )
     with span("abstract", side="impl"):
-        impl_poly, impl_stats = canonical_polynomial(
-            impl, field, impl_output, case2, jobs=jobs
+        impl_poly, impl_stats, impl_hit = _side_polynomial(
+            impl, field, impl_output, case2, jobs, cache, counters, inflight, prepass
         )
 
     with span("coeff_match"):
@@ -232,6 +308,8 @@ def verify_equivalence(
         "impl_polynomial": str(impl_canonical),
         "spec_terms": len(spec_canonical),
         "impl_terms": len(impl_canonical),
+        "spec_cache_hit": spec_hit,
+        "impl_cache_hit": impl_hit,
     }
     if equivalent:
         return EquivalenceOutcome("equivalent", "abstraction", None, elapsed, details)

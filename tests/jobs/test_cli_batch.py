@@ -54,11 +54,12 @@ class TestBatchCommand:
         assert "ok=2" in out
         assert (in_netlist_dir / "run.jsonl").exists()
 
-        # Second run: every abstraction must come from the cache.
+        # Second run: every abstraction must come from the cache — via the
+        # canonical key, since both runs had the prepass on.
         rc = main(["batch", manifest, "--jobs", "2", "--cache-dir", "cache"])
         out = capsys.readouterr().out
         assert rc == 0
-        assert "3 hit(s), 0 miss(es)" in out
+        assert "3 hit(s) [3 canonical-key, 0 raw-key], 0 miss(es)" in out
 
         rc = main(["cache", "stats", "--cache-dir", "cache"])
         out = capsys.readouterr().out

@@ -1,0 +1,16 @@
+"""Shared fixtures for the structural-prepass tests."""
+
+import pytest
+
+from repro.gf import GF2m
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    """F_16 — small enough for exhaustive word simulation."""
+    return GF2m(4)
+
+
+@pytest.fixture(scope="module")
+def gf256():
+    return GF2m(8)

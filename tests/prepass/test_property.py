@@ -1,0 +1,131 @@
+"""Property tests: idempotence, function preservation, key convergence.
+
+The canonicalizer's contract is threefold and these tests state it over the
+full generator suite plus every :mod:`repro.reveng.obfuscate` pass:
+
+* ``canon(canon(c)) == canon(c)`` — the canonical form is a fixed point;
+* the canonical circuit computes the same word-level function;
+* every structural variant of one design maps to the *same* canonical
+  cache key, so the content-addressed cache collapses them to one entry.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits import simulate_words
+from repro.jobs.cache import (
+    CanonicalPolyCache,
+    canonical_cache_key,
+    normalize_circuit_text,
+)
+from repro.prepass import abstract_canonical, apply_prepass, canonicalize
+from repro.reveng import OBFUSCATION_PASSES, obfuscate, obfuscation_suite
+from repro.synth import (
+    gf_adder,
+    gf_squarer,
+    karatsuba_multiplier,
+    mastrovito_multiplier,
+    montgomery_multiplier,
+)
+
+GENERATORS = {
+    "mastrovito": lambda field: mastrovito_multiplier(field),
+    "montgomery": lambda field: montgomery_multiplier(field).flatten(),
+    "karatsuba": lambda field: karatsuba_multiplier(field),
+    "squarer": lambda field: gf_squarer(field),
+    "adder": lambda field: gf_adder(field),
+}
+
+
+def _word_stimuli(circuit, field, lanes=64, seed=5):
+    rng = random.Random(seed)
+    return {
+        word: [rng.randrange(field.order) for _ in range(lanes)]
+        for word in circuit.input_words
+    }
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_canon_idempotent_and_equivalent_across_generators(name, gf16):
+    circuit = GENERATORS[name](gf16)
+    once = canonicalize(circuit)
+    twice = canonicalize(once)
+    assert normalize_circuit_text(once) == normalize_circuit_text(twice), name
+    stimuli = _word_stimuli(circuit, gf16)
+    assert simulate_words(once, stimuli) == simulate_words(circuit, stimuli), name
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_prepass_preserves_function_across_generators(name, gf16):
+    circuit = GENERATORS[name](gf16)
+    result = apply_prepass(circuit)
+    stimuli = _word_stimuli(circuit, gf16)
+    assert simulate_words(result.circuit, stimuli) == simulate_words(
+        circuit, stimuli
+    ), name
+    assert result.gates_out <= result.gates_in
+
+
+def test_every_obfuscation_pass_maps_to_one_canonical_key(gf16):
+    """All six obfuscation passes — and their stack — share one cache key.
+
+    This is the tentpole property: ``rename`` (opaque net renaming) used to
+    defeat the raw-structure cache key outright, and the rewrite passes each
+    perturbed the normalized netlist text. After canonicalization the whole
+    family keys identically.
+    """
+    original = mastrovito_multiplier(gf16)
+    suite = obfuscation_suite(original, seed=3)
+    assert len(suite) == len(OBFUSCATION_PASSES) + 1  # six passes + stack
+    reference = canonical_cache_key(canonicalize(original), gf16)
+    for variant in suite:
+        key = canonical_cache_key(canonicalize(variant.circuit), gf16)
+        assert key == reference, variant.name
+
+
+def test_seeded_obfuscation_variants_canonicalize_identically(gf16):
+    original = gf_squarer(gf16)
+    reference = normalize_circuit_text(canonicalize(original))
+    for seed in (1, 2, 3):
+        variant = obfuscate(original, seed=seed)
+        assert (
+            normalize_circuit_text(canonicalize(variant.circuit)) == reference
+        ), seed
+        stimuli = _word_stimuli(original, gf16, seed=seed)
+        assert simulate_words(variant.circuit, stimuli) == simulate_words(
+            original, stimuli
+        )
+
+
+def test_opaque_rename_now_cache_hits_the_original(tmp_path, gf16):
+    """Regression: a renamed variant warm-hits the original's cache entry.
+
+    Before the prepass existed the cache keyed on the raw netlist structure
+    (gate and net names included), so the ``rename`` obfuscation pass — a
+    pure alpha-conversion — produced a guaranteed cache *miss* and a full
+    re-abstraction. The canonical key is rename-invariant: this test
+    abstracts the original cold, then requires the renamed variant to be a
+    hit, which fails on the pre-PR raw-key scheme.
+    """
+    original = mastrovito_multiplier(gf16)
+    renamed = obfuscate(original, passes=["rename"], seed=9).circuit
+    # The pre-PR failure mode, kept observable: the raw keys really differ.
+    assert canonical_cache_key(original, gf16) != canonical_cache_key(
+        renamed, gf16
+    )
+
+    cache = CanonicalPolyCache(tmp_path / "cache")
+    counters = {}
+    cold = abstract_canonical(original, gf16, cache=cache, counters=counters)
+    assert not cold.hit
+    warm = abstract_canonical(renamed, gf16, cache=cache, counters=counters)
+    assert warm.hit
+    assert warm.source == "canonical"
+    assert counters == {
+        "hits": 1,
+        "misses": 1,
+        "hits_canonical": 1,
+        "hits_raw": 0,
+    }
+    assert warm.payload["terms"] == cold.payload["terms"]
